@@ -1,0 +1,36 @@
+//! # oranges-accelerate — Accelerate-shaped CPU numerics
+//!
+//! The paper's fastest CPU implementation calls Apple's Accelerate
+//! framework (`cblas_sgemm`, Listing 1) and vDSP, both of which "assumedly
+//! run on AMX" (§5.2) — that is how the M-series CPU reaches 0.90–1.49
+//! TFLOPS FP32 where the NEON units alone top out around 0.5.
+//!
+//! This crate reproduces that stack:
+//!
+//! - [`blas`]: a `cblas_sgemm`-shaped API (row-major, transposes,
+//!   alpha/beta) executing real FP32 arithmetic on host threads and timed
+//!   by the AMX model;
+//! - [`vdsp`]: vDSP-style vector ops (`vsmul`, `vadd`, `dotpr`, `mmul`) —
+//!   the paper reports vDSP and BLAS "perform nearly identically";
+//! - [`threading`]: the scoped row-block thread pool used by the blocked
+//!   driver (crossbeam; one worker per performance core);
+//! - [`timing`]: the calibrated sustained-throughput model (Figure 2
+//!   Accelerate anchors: 0.90 / 1.09 / 1.38 / 1.49 TFLOPS on M1–M4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blas;
+pub mod threading;
+pub mod timing;
+pub mod vdsp;
+
+pub use blas::{Blas, BlasReport, Order, Transpose};
+pub use timing::AccelerateModel;
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::blas::{Blas, BlasReport, Order, Transpose};
+    pub use crate::timing::AccelerateModel;
+    pub use crate::vdsp;
+}

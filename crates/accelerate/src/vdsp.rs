@@ -1,0 +1,179 @@
+//! vDSP-style vector and matrix operations.
+//!
+//! The paper (§2.1) describes vDSP as the Accelerate component for signal
+//! processing and linear algebra that "automatically leverag[es] the vector
+//! and AMX capabilities of the CPU", and reports (§5.2) that its matrix
+//! multiply performs identically to BLAS — "they assumedly both run on
+//! AMX". The functions here mirror the vDSP entry points the benchmarks
+//! touch; `mmul` shares the BLAS timing model for exactly that reason.
+
+use crate::timing::AccelerateModel;
+use oranges_soc::time::SimDuration;
+
+/// `vDSP_vsmul`: `out[i] = a[i] * scalar`.
+pub fn vsmul(a: &[f32], scalar: f32, out: &mut [f32]) {
+    let n = a.len().min(out.len());
+    for i in 0..n {
+        out[i] = a[i] * scalar;
+    }
+}
+
+/// `vDSP_vadd`: `out[i] = a[i] + b[i]`.
+pub fn vadd(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let n = a.len().min(b.len()).min(out.len());
+    for i in 0..n {
+        out[i] = a[i] + b[i];
+    }
+}
+
+/// `vDSP_dotpr`: dot product.
+pub fn dotpr(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// `vDSP_vfill`: fill with a constant.
+pub fn vfill(value: f32, out: &mut [f32]) {
+    out.fill(value);
+}
+
+/// `vDSP_maxv`: maximum element (NaN-propagating like vDSP).
+pub fn maxv(a: &[f32]) -> f32 {
+    a.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+}
+
+/// Result of a timed `mmul`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmulReport {
+    /// Modeled duration (same AMX model as BLAS — the paper found the two
+    /// indistinguishable).
+    pub duration: SimDuration,
+    /// FLOPs performed.
+    pub flops: u64,
+}
+
+/// `vDSP_mmul`: `c := a · b` where `a` is `m×p`, `b` is `p×n` (row-major,
+/// unit stride — the vDSP signature's stride arguments fixed at 1, as the
+/// paper's harness uses them).
+pub fn mmul(
+    model: &AccelerateModel,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    n: usize,
+    p: usize,
+) -> Result<MmulReport, String> {
+    if a.len() < m * p {
+        return Err(format!("a holds {} elements, needs {}", a.len(), m * p));
+    }
+    if b.len() < p * n {
+        return Err(format!("b holds {} elements, needs {}", b.len(), p * n));
+    }
+    if c.len() < m * n {
+        return Err(format!("c holds {} elements, needs {}", c.len(), m * n));
+    }
+    for i in 0..m {
+        let row = &mut c[i * n..(i + 1) * n];
+        row.fill(0.0);
+        for l in 0..p {
+            let a_il = a[i * p + l];
+            if a_il == 0.0 {
+                continue;
+            }
+            for (j, v) in row.iter_mut().enumerate() {
+                *v += a_il * b[l * n + j];
+            }
+        }
+    }
+    let flops = (m as u64) * (n as u64) * (2 * p as u64).max(1) - (m as u64) * (n as u64);
+    Ok(MmulReport {
+        duration: model.gemm_duration(m as u64, n as u64, p as u64),
+        flops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oranges_soc::chip::ChipGeneration;
+
+    #[test]
+    fn vsmul_scales() {
+        let a = [1.0, 2.0, 3.0];
+        let mut out = [0.0; 3];
+        vsmul(&a, 2.5, &mut out);
+        assert_eq!(out, [2.5, 5.0, 7.5]);
+    }
+
+    #[test]
+    fn vadd_adds() {
+        let mut out = [0.0; 3];
+        vadd(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0], &mut out);
+        assert_eq!(out, [11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn dotpr_and_maxv() {
+        assert_eq!(dotpr(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(maxv(&[1.0, -5.0, 3.5]), 3.5);
+    }
+
+    #[test]
+    fn vfill_fills() {
+        let mut out = [0.0; 4];
+        vfill(7.0, &mut out);
+        assert_eq!(out, [7.0; 4]);
+    }
+
+    #[test]
+    fn mismatched_lengths_truncate_safely() {
+        let mut out = [0.0; 2];
+        vadd(&[1.0, 2.0, 3.0], &[1.0], &mut out);
+        assert_eq!(out, [2.0, 0.0]);
+    }
+
+    #[test]
+    fn mmul_matches_hand_example() {
+        let model = AccelerateModel::of(ChipGeneration::M1);
+        // [1 2; 3 4] × [5 6; 7 8] = [19 22; 43 50]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [0.0; 4];
+        let report = mmul(&model, &a, &b, &mut c, 2, 2, 2).unwrap();
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+        assert_eq!(report.flops, 2 * 2 * 3);
+        assert!(report.duration.as_nanos() > 0);
+    }
+
+    #[test]
+    fn mmul_rectangular() {
+        let model = AccelerateModel::of(ChipGeneration::M4);
+        // 1×3 · 3×2.
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let mut c = [0.0; 2];
+        mmul(&model, &a, &b, &mut c, 1, 2, 3).unwrap();
+        assert_eq!(c, [4.0, 5.0]);
+    }
+
+    #[test]
+    fn mmul_validates_lengths() {
+        let model = AccelerateModel::of(ChipGeneration::M2);
+        let mut c = [0.0; 4];
+        assert!(mmul(&model, &[0.0; 3], &[0.0; 4], &mut c, 2, 2, 2).is_err());
+    }
+
+    #[test]
+    fn mmul_duration_equals_blas_duration() {
+        // §5.2: "The vDSP and BLAS implementations perform nearly
+        // identically" — in the model, exactly identically.
+        let model = AccelerateModel::of(ChipGeneration::M3);
+        let report = {
+            let a = vec![0.5f32; 64 * 64];
+            let b = vec![0.25f32; 64 * 64];
+            let mut c = vec![0.0f32; 64 * 64];
+            mmul(&model, &a, &b, &mut c, 64, 64, 64).unwrap()
+        };
+        assert_eq!(report.duration, model.sgemm_duration(64));
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests: BLAS against a scalar reference over random shapes,
+//! transposes and scalars; timing-model invariants.
+
+use oranges_accelerate::blas::{Blas, Order, Transpose};
+use oranges_accelerate::threading::row_blocks;
+use oranges_accelerate::timing::AccelerateModel;
+use oranges_soc::chip::ChipGeneration;
+use proptest::prelude::*;
+
+fn any_generation() -> impl Strategy<Value = ChipGeneration> {
+    prop_oneof![
+        Just(ChipGeneration::M1),
+        Just(ChipGeneration::M2),
+        Just(ChipGeneration::M3),
+        Just(ChipGeneration::M4),
+    ]
+}
+
+fn any_transpose() -> impl Strategy<Value = Transpose> {
+    prop_oneof![Just(Transpose::NoTrans), Just(Transpose::Trans)]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn reference(
+    trans_a: Transpose,
+    trans_b: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c0: &[f32],
+) -> Vec<f32> {
+    let mut c = c0.to_vec();
+    let lda = match trans_a {
+        Transpose::NoTrans => k,
+        Transpose::Trans => m,
+    };
+    let ldb = match trans_b {
+        Transpose::NoTrans => n,
+        Transpose::Trans => k,
+    };
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for l in 0..k {
+                let a_il = match trans_a {
+                    Transpose::NoTrans => a[i * lda + l],
+                    Transpose::Trans => a[l * lda + i],
+                };
+                let b_lj = match trans_b {
+                    Transpose::NoTrans => b[l * ldb + j],
+                    Transpose::Trans => b[j * ldb + l],
+                };
+                acc += a_il * b_lj;
+            }
+            c[i * n + j] = alpha * acc + beta * c0[i * n + j];
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sgemm_matches_reference(
+        gen in any_generation(),
+        trans_a in any_transpose(),
+        trans_b in any_transpose(),
+        m in 1usize..24,
+        n in 1usize..24,
+        k in 1usize..24,
+        alpha in -2.0f32..2.0,
+        beta in -2.0f32..2.0,
+        seed in 0u64..1000,
+    ) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(5);
+        let mut next = move || {
+            state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+            ((state >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+        };
+        let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+        let c0: Vec<f32> = (0..m * n).map(|_| next()).collect();
+        let mut c = c0.clone();
+
+        let (lda, ldb) = (
+            match trans_a { Transpose::NoTrans => k, Transpose::Trans => m },
+            match trans_b { Transpose::NoTrans => n, Transpose::Trans => k },
+        );
+        let blas = Blas::new(gen);
+        let report = blas
+            .sgemm(Order::RowMajor, trans_a, trans_b, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut c, n)
+            .unwrap();
+        prop_assert!(report.functional);
+        let expected = reference(trans_a, trans_b, m, n, k, alpha, &a, &b, beta, &c0);
+        for idx in 0..m * n {
+            let tol = 1e-4f32 * k as f32 + 1e-4;
+            prop_assert!((c[idx] - expected[idx]).abs() <= tol * (1.0 + expected[idx].abs()),
+                "idx {}: {} vs {}", idx, c[idx], expected[idx]);
+        }
+    }
+
+    #[test]
+    fn duration_monotone_when_rate_is_fixed(
+        gen in any_generation(),
+        m in 1u64..2048,
+        n in 1u64..2048,
+        k in 1u64..2048,
+    ) {
+        // The sustained rate is keyed to the *minimum* dimension, so
+        // growing a non-minimal dimension adds FLOPs at a fixed rate and
+        // can only lengthen the call. (Growing the minimal dimension can
+        // legitimately *shorten* it — a k=1 GEMM is pathologically
+        // inefficient — so that direction is not asserted.)
+        let model = AccelerateModel::of(gen);
+        let base = model.gemm_duration(m, n, k);
+        let min = m.min(n).min(k);
+        if m > min {
+            prop_assert!(model.gemm_duration(m + 64, n, k) >= base);
+        }
+        if n > min {
+            prop_assert!(model.gemm_duration(m, n + 64, k) >= base);
+        }
+        if k > min {
+            prop_assert!(model.gemm_duration(m, n, k + 64) >= base);
+        }
+        // Square problems are always monotone.
+        let square = model.sgemm_duration(min);
+        prop_assert!(model.sgemm_duration(min + 64) >= square);
+    }
+
+    #[test]
+    fn sustained_gflops_bounded_by_amx_peak(gen in any_generation(), n in 1u64..100_000) {
+        let model = AccelerateModel::of(gen);
+        let sustained = model.sustained_gflops(n);
+        prop_assert!(sustained >= 0.0);
+        prop_assert!(sustained <= gen.spec().amx_gflops());
+    }
+
+    #[test]
+    fn row_blocks_partition_exactly(rows in 1usize..5000, workers in 1usize..64) {
+        let blocks = row_blocks(rows, workers);
+        let total: usize = blocks.iter().map(|b| b.len()).sum();
+        prop_assert_eq!(total, rows);
+        // Balanced: sizes differ by at most one.
+        let min = blocks.iter().map(|b| b.len()).min().unwrap();
+        let max = blocks.iter().map(|b| b.len()).max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+}

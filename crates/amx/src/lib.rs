@@ -1,0 +1,43 @@
+//! # oranges-amx — Apple AMX / ARM SME coprocessor simulator
+//!
+//! The paper (§2.1) describes the Apple Matrix eXtension: an undocumented
+//! coprocessor attached to each performance cluster, driven by CPU-issued
+//! instructions, that computes outer products over 64-byte tile registers.
+//! Accelerate's BLAS and vDSP run on it, which is how the M-series CPU
+//! reaches ~0.9–1.5 TFLOPS FP32 in the paper's Figure 2. From the M4 the
+//! unit fronts the standardized ARM SME interface, "fairly similar to the
+//! AMX unit at its core" (paper §2.1, citing Remke & Breuer).
+//!
+//! This crate simulates the unit *functionally* (real FP32 arithmetic on
+//! tile registers — results are bit-exact against a scalar reference) and
+//! *temporally* (a per-generation cycle model: one 16×16 FP32 outer product
+//! retired per P-cluster clock).
+//!
+//! - [`regs`]: the X/Y operand pools and the Z accumulator grid;
+//! - [`insn`]: the instruction set (loads, stores, FMA variants);
+//! - [`unit`]: the execution unit — functional state + cycle accounting;
+//! - [`sgemm`]: blocked SGEMM on the unit (the kernel Accelerate uses);
+//! - [`sme`]: the M4 streaming-mode view of the same engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod insn;
+pub mod regs;
+pub mod sgemm;
+pub mod sme;
+pub mod unit;
+
+pub use insn::Instruction;
+pub use regs::{RegisterFile, TILE_F32_LANES, TILE_REG_BYTES};
+pub use sgemm::AmxSgemm;
+pub use unit::{AmxError, AmxUnit};
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::insn::Instruction;
+    pub use crate::regs::{RegisterFile, TILE_F32_LANES, TILE_REG_BYTES};
+    pub use crate::sgemm::AmxSgemm;
+    pub use crate::sme::SmeUnit;
+    pub use crate::unit::{AmxError, AmxUnit};
+}

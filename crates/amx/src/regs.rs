@@ -1,0 +1,181 @@
+//! AMX register file.
+//!
+//! The architecture (as reverse-engineered in the literature the paper
+//! cites) exposes three register pools:
+//!
+//! - **X pool**: 8 registers × 64 bytes — row operands;
+//! - **Y pool**: 8 registers × 64 bytes — column operands;
+//! - **Z pool**: 64 rows × 64 bytes — the accumulator grid.
+//!
+//! In FP32 mode a 64-byte register holds 16 lanes, and an outer product
+//! `z[i][j] += x[j] * y[i]` fills a 16×16 FP32 tile of the Z grid (the
+//! hardware interleaves the 16 used Z rows; the simulator flattens that
+//! detail away and exposes a dense 16×16 tile per tile index).
+
+/// Bytes per tile register (X, Y and each Z row).
+pub const TILE_REG_BYTES: usize = 64;
+/// FP32 lanes per 64-byte register.
+pub const TILE_F32_LANES: usize = 16;
+/// Registers in the X pool.
+pub const X_REGS: usize = 8;
+/// Registers in the Y pool.
+pub const Y_REGS: usize = 8;
+/// Rows in the Z accumulator pool.
+pub const Z_ROWS: usize = 64;
+/// Number of independent 16×16 FP32 accumulator tiles the Z pool holds
+/// (64 rows / 16 rows per FP32 tile).
+pub const Z_F32_TILES: usize = Z_ROWS / TILE_F32_LANES;
+
+/// The architectural register state of one AMX unit (FP32 view).
+#[derive(Debug, Clone)]
+pub struct RegisterFile {
+    x: [[f32; TILE_F32_LANES]; X_REGS],
+    y: [[f32; TILE_F32_LANES]; Y_REGS],
+    /// `z[tile][row][lane]`.
+    z: [[[f32; TILE_F32_LANES]; TILE_F32_LANES]; Z_F32_TILES],
+}
+
+impl Default for RegisterFile {
+    fn default() -> Self {
+        RegisterFile {
+            x: [[0.0; TILE_F32_LANES]; X_REGS],
+            y: [[0.0; TILE_F32_LANES]; Y_REGS],
+            z: [[[0.0; TILE_F32_LANES]; TILE_F32_LANES]; Z_F32_TILES],
+        }
+    }
+}
+
+impl RegisterFile {
+    /// Fresh, zeroed register file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read X register `reg`.
+    pub fn x(&self, reg: usize) -> &[f32; TILE_F32_LANES] {
+        &self.x[reg]
+    }
+
+    /// Write X register `reg`.
+    pub fn set_x(&mut self, reg: usize, value: [f32; TILE_F32_LANES]) {
+        self.x[reg] = value;
+    }
+
+    /// Read Y register `reg`.
+    pub fn y(&self, reg: usize) -> &[f32; TILE_F32_LANES] {
+        &self.y[reg]
+    }
+
+    /// Write Y register `reg`.
+    pub fn set_y(&mut self, reg: usize, value: [f32; TILE_F32_LANES]) {
+        self.y[reg] = value;
+    }
+
+    /// Read one row of a Z tile.
+    pub fn z_row(&self, tile: usize, row: usize) -> &[f32; TILE_F32_LANES] {
+        &self.z[tile][row]
+    }
+
+    /// Mutable row of a Z tile.
+    pub fn z_row_mut(&mut self, tile: usize, row: usize) -> &mut [f32; TILE_F32_LANES] {
+        &mut self.z[tile][row]
+    }
+
+    /// Zero one Z tile.
+    pub fn clear_z(&mut self, tile: usize) {
+        self.z[tile] = [[0.0; TILE_F32_LANES]; TILE_F32_LANES];
+    }
+
+    /// Zero every register.
+    pub fn clear_all(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Accumulate the outer product of `x[xr]` and `y[yr]` into Z `tile`:
+    /// `z[i][j] += y[i] * x[j]` — the fundamental AMX FP32 operation.
+    pub fn fma32(&mut self, tile: usize, xr: usize, yr: usize) {
+        let x = self.x[xr];
+        let y = self.y[yr];
+        let z = &mut self.z[tile];
+        for (i, zrow) in z.iter_mut().enumerate() {
+            let yi = y[i];
+            for (j, zv) in zrow.iter_mut().enumerate() {
+                *zv += yi * x[j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_constants() {
+        assert_eq!(TILE_REG_BYTES, 64);
+        assert_eq!(TILE_F32_LANES, 16);
+        assert_eq!(TILE_F32_LANES * std::mem::size_of::<f32>(), TILE_REG_BYTES);
+        assert_eq!(Z_F32_TILES, 4);
+    }
+
+    #[test]
+    fn registers_start_zeroed() {
+        let rf = RegisterFile::new();
+        assert!(rf.x(0).iter().all(|&v| v == 0.0));
+        assert!(rf.y(7).iter().all(|&v| v == 0.0));
+        assert!(rf.z_row(3, 15).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn fma32_computes_outer_product() {
+        let mut rf = RegisterFile::new();
+        let mut x = [0.0f32; 16];
+        let mut y = [0.0f32; 16];
+        for i in 0..16 {
+            x[i] = (i + 1) as f32;
+            y[i] = (i as f32) * 0.5;
+        }
+        rf.set_x(0, x);
+        rf.set_y(0, y);
+        rf.fma32(0, 0, 0);
+        for i in 0..16 {
+            for j in 0..16 {
+                let expected = y[i] * x[j];
+                assert_eq!(rf.z_row(0, i)[j], expected, "z[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn fma32_accumulates() {
+        let mut rf = RegisterFile::new();
+        rf.set_x(1, [1.0; 16]);
+        rf.set_y(1, [2.0; 16]);
+        rf.fma32(2, 1, 1);
+        rf.fma32(2, 1, 1);
+        assert!(rf.z_row(2, 0).iter().all(|&v| v == 4.0));
+        // Other tiles untouched.
+        assert!(rf.z_row(0, 0).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn clear_z_is_per_tile() {
+        let mut rf = RegisterFile::new();
+        rf.set_x(0, [1.0; 16]);
+        rf.set_y(0, [1.0; 16]);
+        rf.fma32(0, 0, 0);
+        rf.fma32(1, 0, 0);
+        rf.clear_z(0);
+        assert!(rf.z_row(0, 5).iter().all(|&v| v == 0.0));
+        assert!(rf.z_row(1, 5).iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn z_row_mut_allows_store_paths() {
+        let mut rf = RegisterFile::new();
+        rf.z_row_mut(3, 9)[4] = 42.0;
+        assert_eq!(rf.z_row(3, 9)[4], 42.0);
+        rf.clear_all();
+        assert_eq!(rf.z_row(3, 9)[4], 0.0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Blocked SGEMM on the AMX unit.
+//!
+//! This is (a stand-in for) the kernel Accelerate dispatches to when the
+//! paper calls `cblas_sgemm` (Listing 1): C := A·B over 16×16 output tiles,
+//! each computed as a sum of `fma32` outer products. Full tiles run on the
+//! simulated unit instruction-by-instruction (real arithmetic, counted
+//! cycles); edge remainders (when `n` is not a multiple of 16) fall back to
+//! a scalar loop whose cycles are charged at NEON rate.
+
+use crate::insn::Instruction;
+use crate::regs::TILE_F32_LANES;
+use crate::unit::{AmxError, AmxUnit};
+use oranges_soc::chip::ChipGeneration;
+use oranges_soc::time::SimDuration;
+
+/// Result of one AMX SGEMM run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgemmStats {
+    /// FP32 FLOPs retired on the AMX unit.
+    pub amx_flops: u64,
+    /// FP32 FLOPs retired by the scalar edge loop.
+    pub scalar_flops: u64,
+    /// Total elapsed simulated time.
+    pub elapsed: SimDuration,
+    /// AMX instructions retired.
+    pub instructions: u64,
+}
+
+impl SgemmStats {
+    /// All FLOPs.
+    pub fn total_flops(&self) -> u64 {
+        self.amx_flops + self.scalar_flops
+    }
+}
+
+/// AMX-blocked SGEMM driver for one chip generation.
+#[derive(Debug)]
+pub struct AmxSgemm {
+    unit: AmxUnit,
+}
+
+impl AmxSgemm {
+    /// Driver for a generation.
+    pub fn new(generation: ChipGeneration) -> Self {
+        AmxSgemm { unit: AmxUnit::new(generation) }
+    }
+
+    /// The underlying unit.
+    pub fn unit(&self) -> &AmxUnit {
+        &self.unit
+    }
+
+    /// `c := a · b` for row-major square `n×n` FP32 matrices.
+    ///
+    /// `c` is overwritten. Returns per-run statistics (the unit's counters
+    /// are reset at entry).
+    pub fn sgemm(
+        &mut self,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+    ) -> Result<SgemmStats, AmxError> {
+        assert_eq!(a.len(), n * n, "a must be n*n");
+        assert_eq!(b.len(), n * n, "b must be n*n");
+        assert_eq!(c.len(), n * n, "c must be n*n");
+        self.unit.reset_counters();
+
+        let t = TILE_F32_LANES;
+        let full = n / t * t; // extent covered by full tiles
+        let mut stage = vec![0.0f32; t]; // A-column staging (panel transpose)
+        let mut out_rows = vec![0.0f32; t * t]; // Z spill area
+
+        for bi in (0..full).step_by(t) {
+            for bj in (0..full).step_by(t) {
+                self.unit.execute(Instruction::ClrZ { tile: 0 }, &mut stage)?;
+                for k in 0..n {
+                    // Stage the A column segment A[bi..bi+16][k].
+                    for (s, row) in stage.iter_mut().zip(bi..bi + t) {
+                        *s = a[row * n + k];
+                    }
+                    self.unit.execute(Instruction::LdY { reg: 0, offset: 0 }, &mut stage)?;
+                    // B row segment B[k][bj..bj+16] is contiguous.
+                    let b_off = k * n + bj;
+                    let b_row = &mut [0.0f32; TILE_F32_LANES][..];
+                    b_row.copy_from_slice(&b[b_off..b_off + t]);
+                    self.unit.execute(Instruction::LdX { reg: 0, offset: 0 }, b_row)?;
+                    self.unit.execute(Instruction::Fma32 { tile: 0, xr: 0, yr: 0 }, &mut stage)?;
+                }
+                // Spill the tile.
+                for row in 0..t {
+                    self.unit.execute(
+                        Instruction::StZ { tile: 0, row, offset: row * t },
+                        &mut out_rows,
+                    )?;
+                }
+                for row in 0..t {
+                    let c_off = (bi + row) * n + bj;
+                    c[c_off..c_off + t].copy_from_slice(&out_rows[row * t..(row + 1) * t]);
+                }
+            }
+        }
+
+        // Scalar cleanup for edge rows/columns (n not a multiple of 16).
+        let mut scalar_flops = 0u64;
+        if full < n {
+            for i in 0..n {
+                for j in 0..n {
+                    if i < full && j < full {
+                        continue;
+                    }
+                    let mut acc = 0.0f32;
+                    for k in 0..n {
+                        acc += a[i * n + k] * b[k * n + j];
+                    }
+                    c[i * n + j] = acc;
+                    scalar_flops += 2 * n as u64;
+                }
+            }
+        }
+
+        // Charge scalar work at single-core NEON rate.
+        let scalar_time = if scalar_flops > 0 {
+            let spec = self.unit.generation().spec();
+            let neon_per_core = spec.p_clock_ghz
+                * (oranges_soc::chip::P_CORE_NEON_PIPES
+                    * oranges_soc::chip::NEON_F32_FLOPS_PER_PIPE_CYCLE) as f64;
+            SimDuration::from_secs_f64(scalar_flops as f64 / (neon_per_core * 1e9))
+        } else {
+            SimDuration::ZERO
+        };
+
+        Ok(SgemmStats {
+            amx_flops: self.unit.flops(),
+            scalar_flops,
+            elapsed: self.unit.elapsed() + scalar_time,
+            instructions: self.unit.instructions(),
+        })
+    }
+}
+
+/// Scalar reference SGEMM (`c := a · b`) used by tests and verification.
+pub fn reference_sgemm(n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for k in 0..n {
+                acc += a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deterministic_matrix(n: usize, seed: u32) -> Vec<f32> {
+        // Small LCG keeps tests dependency-free and deterministic.
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        (0..n * n)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 8) as f32 / (1u32 << 24) as f32
+            })
+            .collect()
+    }
+
+    fn assert_close(actual: &[f32], expected: &[f32], n: usize) {
+        for (idx, (x, y)) in actual.iter().zip(expected.iter()).enumerate() {
+            let tol = 1e-4 * n as f32;
+            assert!(
+                (x - y).abs() <= tol.max(1e-5),
+                "mismatch at {idx}: {x} vs {y} (n={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_tile_multiple() {
+        for n in [16, 32, 48] {
+            let a = deterministic_matrix(n, 1);
+            let b = deterministic_matrix(n, 2);
+            let mut c = vec![0.0f32; n * n];
+            let mut expected = vec![0.0f32; n * n];
+            let mut driver = AmxSgemm::new(ChipGeneration::M1);
+            let stats = driver.sgemm(n, &a, &b, &mut c).unwrap();
+            reference_sgemm(n, &a, &b, &mut expected);
+            assert_close(&c, &expected, n);
+            assert_eq!(stats.scalar_flops, 0);
+            assert_eq!(stats.amx_flops, 2 * (n as u64).pow(3));
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_ragged_sizes() {
+        for n in [5, 17, 30, 33] {
+            let a = deterministic_matrix(n, 3);
+            let b = deterministic_matrix(n, 4);
+            let mut c = vec![0.0f32; n * n];
+            let mut expected = vec![0.0f32; n * n];
+            let mut driver = AmxSgemm::new(ChipGeneration::M2);
+            let stats = driver.sgemm(n, &a, &b, &mut c).unwrap();
+            reference_sgemm(n, &a, &b, &mut expected);
+            assert_close(&c, &expected, n);
+            assert!(stats.scalar_flops > 0, "n={n} needs edge cleanup");
+            // Total flops ≈ 2n³ (each output element costs 2n).
+            assert_eq!(stats.total_flops(), 2 * (n as u64).pow(3));
+        }
+    }
+
+    #[test]
+    fn identity_is_preserved() {
+        let n = 32;
+        let mut identity = vec![0.0f32; n * n];
+        for i in 0..n {
+            identity[i * n + i] = 1.0;
+        }
+        let m = deterministic_matrix(n, 7);
+        let mut c = vec![0.0f32; n * n];
+        let mut driver = AmxSgemm::new(ChipGeneration::M3);
+        driver.sgemm(n, &identity, &m, &mut c).unwrap();
+        assert_close(&c, &m, n);
+    }
+
+    #[test]
+    fn elapsed_time_is_positive_and_scales() {
+        let mut driver = AmxSgemm::new(ChipGeneration::M4);
+        let run = |driver: &mut AmxSgemm, n: usize| {
+            let a = deterministic_matrix(n, 1);
+            let b = deterministic_matrix(n, 2);
+            let mut c = vec![0.0f32; n * n];
+            driver.sgemm(n, &a, &b, &mut c).unwrap().elapsed
+        };
+        let t32 = run(&mut driver, 32);
+        let t64 = run(&mut driver, 64);
+        assert!(t32.as_nanos() > 0);
+        // Cubic growth: 64³/32³ = 8×.
+        let ratio = t64.as_secs_f64() / t32.as_secs_f64();
+        assert!(ratio > 6.0 && ratio < 10.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn faster_generations_finish_sooner() {
+        let n = 32;
+        let a = deterministic_matrix(n, 1);
+        let b = deterministic_matrix(n, 2);
+        let mut elapsed = Vec::new();
+        for gen in ChipGeneration::ALL {
+            let mut driver = AmxSgemm::new(gen);
+            let mut c = vec![0.0f32; n * n];
+            elapsed.push(driver.sgemm(n, &a, &b, &mut c).unwrap().elapsed);
+        }
+        for pair in elapsed.windows(2) {
+            assert!(pair[1] <= pair[0], "later generations must not be slower: {elapsed:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "a must be n*n")]
+    fn dimension_mismatch_panics() {
+        let mut driver = AmxSgemm::new(ChipGeneration::M1);
+        let mut c = vec![0.0f32; 4];
+        let _ = driver.sgemm(2, &[0.0; 3], &[0.0; 4], &mut c);
+    }
+}

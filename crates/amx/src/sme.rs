@@ -1,0 +1,166 @@
+//! ARM SME streaming-mode view of the matrix unit (M4).
+//!
+//! The M4 replaces the private AMX front-end with the standardized Scalable
+//! Matrix Extension (paper §2.1: "in the latest M4, standardized ARM SME
+//! ... is later proved to be fairly similar to the AMX unit at its core").
+//! The simulator reflects that finding literally: [`SmeUnit`] is a thin
+//! facade over [`AmxUnit`] exposing SME vocabulary (streaming vector
+//! length, ZA tiles, `fmopa`), available only on generations whose ISA
+//! carries SME.
+
+use crate::insn::Instruction;
+use crate::regs::TILE_F32_LANES;
+use crate::unit::{AmxError, AmxUnit};
+use oranges_soc::chip::ChipGeneration;
+use oranges_soc::time::SimDuration;
+
+/// Streaming vector length in bits (M4-class SME: 512).
+pub const SVL_BITS: usize = 512;
+/// FP32 lanes per streaming vector.
+pub const SVL_F32_LANES: usize = SVL_BITS / 32;
+
+/// The SME streaming-mode engine.
+#[derive(Debug)]
+pub struct SmeUnit {
+    inner: AmxUnit,
+    streaming: bool,
+}
+
+impl SmeUnit {
+    /// Construct for a generation; errors if the ISA has no SME.
+    pub fn new(generation: ChipGeneration) -> Result<Self, AmxError> {
+        if !generation.spec().isa.has_sme() {
+            return Err(AmxError::Unsupported("SME requires ARMv9.2-A (M4 or later)"));
+        }
+        Ok(SmeUnit { inner: AmxUnit::new(generation), streaming: false })
+    }
+
+    /// Enter streaming SVE mode (`smstart`).
+    pub fn smstart(&mut self) {
+        self.streaming = true;
+    }
+
+    /// Leave streaming mode (`smstop`).
+    pub fn smstop(&mut self) {
+        self.streaming = false;
+    }
+
+    /// Whether streaming mode is active.
+    pub fn is_streaming(&self) -> bool {
+        self.streaming
+    }
+
+    /// `fmopa za[tile] += zn ⊗ zm`: FP32 outer-product accumulate of two
+    /// streaming vectors into a ZA tile. Operands are read from `zn`/`zm`
+    /// slices of [`SVL_F32_LANES`] elements.
+    pub fn fmopa(
+        &mut self,
+        tile: usize,
+        zn: &[f32],
+        zm: &[f32],
+    ) -> Result<(), AmxError> {
+        if !self.streaming {
+            return Err(AmxError::Unsupported("fmopa outside streaming mode (missing smstart)"));
+        }
+        if zn.len() < SVL_F32_LANES || zm.len() < SVL_F32_LANES {
+            return Err(AmxError::BadOperand {
+                offset: 0,
+                needed: SVL_F32_LANES,
+                len: zn.len().min(zm.len()),
+            });
+        }
+        debug_assert_eq!(SVL_F32_LANES, TILE_F32_LANES, "SVL matches the AMX tile geometry");
+        let mut zn_buf = [0.0f32; SVL_F32_LANES];
+        zn_buf.copy_from_slice(&zn[..SVL_F32_LANES]);
+        let mut zm_buf = [0.0f32; SVL_F32_LANES];
+        zm_buf.copy_from_slice(&zm[..SVL_F32_LANES]);
+        // zn → Y (rows), zm → X (columns): za[i][j] += zn[i] * zm[j].
+        self.inner.execute(Instruction::LdY { reg: 0, offset: 0 }, &mut zn_buf)?;
+        self.inner.execute(Instruction::LdX { reg: 0, offset: 0 }, &mut zm_buf)?;
+        self.inner.execute(Instruction::Fma32 { tile, xr: 0, yr: 0 }, &mut zn_buf)?;
+        Ok(())
+    }
+
+    /// Read a ZA tile row into `out`.
+    pub fn read_za_row(&mut self, tile: usize, row: usize, out: &mut [f32]) -> Result<(), AmxError> {
+        let mut buf = vec![0.0f32; TILE_F32_LANES];
+        self.inner.execute(Instruction::StZ { tile, row, offset: 0 }, &mut buf)?;
+        let take = out.len().min(TILE_F32_LANES);
+        out[..take].copy_from_slice(&buf[..take]);
+        Ok(())
+    }
+
+    /// Zero a ZA tile (`zero {za.s[..]}`)
+    pub fn zero_za(&mut self, tile: usize) -> Result<(), AmxError> {
+        let mut dummy = [0.0f32; 1];
+        self.inner.execute(Instruction::ClrZ { tile }, &mut dummy)
+    }
+
+    /// Retired FP32 FLOPs.
+    pub fn flops(&self) -> u64 {
+        self.inner.flops()
+    }
+
+    /// Elapsed simulated time.
+    pub fn elapsed(&self) -> SimDuration {
+        self.inner.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sme_rejects_pre_m4_generations() {
+        for gen in [ChipGeneration::M1, ChipGeneration::M2, ChipGeneration::M3] {
+            assert!(matches!(SmeUnit::new(gen), Err(AmxError::Unsupported(_))), "{gen}");
+        }
+        assert!(SmeUnit::new(ChipGeneration::M4).is_ok());
+    }
+
+    #[test]
+    fn svl_matches_tile_geometry() {
+        assert_eq!(SVL_BITS, 512);
+        assert_eq!(SVL_F32_LANES, 16);
+        assert_eq!(SVL_F32_LANES, TILE_F32_LANES);
+    }
+
+    #[test]
+    fn fmopa_requires_streaming_mode() {
+        let mut sme = SmeUnit::new(ChipGeneration::M4).unwrap();
+        let v = vec![1.0f32; 16];
+        assert!(matches!(sme.fmopa(0, &v, &v), Err(AmxError::Unsupported(_))));
+        sme.smstart();
+        assert!(sme.is_streaming());
+        assert!(sme.fmopa(0, &v, &v).is_ok());
+        sme.smstop();
+        assert!(!sme.is_streaming());
+    }
+
+    #[test]
+    fn fmopa_computes_outer_product() {
+        let mut sme = SmeUnit::new(ChipGeneration::M4).unwrap();
+        sme.smstart();
+        let zn: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let zm: Vec<f32> = (0..16).map(|i| (i + 1) as f32 * 0.25).collect();
+        sme.zero_za(1).unwrap();
+        sme.fmopa(1, &zn, &zm).unwrap();
+        let mut row = vec![0.0f32; 16];
+        sme.read_za_row(1, 3, &mut row).unwrap();
+        for j in 0..16 {
+            assert_eq!(row[j], 3.0 * (j + 1) as f32 * 0.25);
+        }
+        assert_eq!(sme.flops(), 512);
+        assert!(sme.elapsed().as_nanos() > 0);
+    }
+
+    #[test]
+    fn short_operands_are_rejected() {
+        let mut sme = SmeUnit::new(ChipGeneration::M4).unwrap();
+        sme.smstart();
+        let short = vec![1.0f32; 8];
+        let full = vec![1.0f32; 16];
+        assert!(matches!(sme.fmopa(0, &short, &full), Err(AmxError::BadOperand { .. })));
+    }
+}

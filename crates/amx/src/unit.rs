@@ -1,0 +1,307 @@
+//! The AMX execution unit: functional state + cycle accounting.
+//!
+//! One unit serves one performance cluster (paper §2.1: "AMX does not
+//! execute independently but is controlled via instructions from the
+//! CPU"). Executing an [`Instruction`] mutates the register file with real
+//! FP32 arithmetic and advances the cycle counter; elapsed simulated time
+//! is `cycles / p_cluster_clock`.
+
+use crate::insn::Instruction;
+use crate::regs::{RegisterFile, TILE_F32_LANES, X_REGS, Y_REGS, Z_F32_TILES};
+use oranges_soc::chip::ChipGeneration;
+use oranges_soc::time::SimDuration;
+use std::fmt;
+
+/// Errors raised by the execution unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AmxError {
+    /// Register index outside its pool.
+    BadRegister {
+        /// Pool name ("x", "y", "z-tile", "z-row").
+        pool: &'static str,
+        /// Offending index.
+        index: usize,
+    },
+    /// Memory operand out of bounds.
+    BadOperand {
+        /// Requested element offset.
+        offset: usize,
+        /// Elements required.
+        needed: usize,
+        /// Bound memory length.
+        len: usize,
+    },
+    /// The chip has no such capability (e.g. SME streaming on pre-M4).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for AmxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AmxError::BadRegister { pool, index } => {
+                write!(f, "register index {index} out of range for {pool} pool")
+            }
+            AmxError::BadOperand { offset, needed, len } => write!(
+                f,
+                "memory operand [{offset}..{}] out of bounds for length {len}",
+                offset + needed
+            ),
+            AmxError::Unsupported(what) => write!(f, "unsupported on this generation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for AmxError {}
+
+/// One AMX unit attached to a P-cluster.
+#[derive(Debug, Clone)]
+pub struct AmxUnit {
+    generation: ChipGeneration,
+    regs: RegisterFile,
+    cycles: f64,
+    flops: u64,
+    instructions: u64,
+}
+
+impl AmxUnit {
+    /// A unit of the given chip generation.
+    pub fn new(generation: ChipGeneration) -> Self {
+        AmxUnit {
+            generation,
+            regs: RegisterFile::new(),
+            cycles: 0.0,
+            flops: 0,
+            instructions: 0,
+        }
+    }
+
+    /// Chip generation this unit belongs to.
+    pub fn generation(&self) -> ChipGeneration {
+        self.generation
+    }
+
+    /// Register file (read access, for inspection/tests).
+    pub fn regs(&self) -> &RegisterFile {
+        &self.regs
+    }
+
+    /// Retired instruction count.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Accumulated cycles.
+    pub fn cycles(&self) -> f64 {
+        self.cycles
+    }
+
+    /// Retired FP32 FLOPs.
+    pub fn flops(&self) -> u64 {
+        self.flops
+    }
+
+    /// Elapsed simulated time at the P-cluster clock.
+    pub fn elapsed(&self) -> SimDuration {
+        let ghz = self.generation.spec().p_clock_ghz;
+        SimDuration::from_secs_f64(self.cycles / (ghz * 1e9))
+    }
+
+    /// Theoretical FP32 GFLOPS of this unit (512 FLOPs per cycle at the
+    /// P-cluster clock — see `ChipSpec::amx_gflops`).
+    pub fn peak_gflops(&self) -> f64 {
+        self.generation.spec().amx_gflops()
+    }
+
+    /// Reset performance counters (register state is preserved).
+    pub fn reset_counters(&mut self) {
+        self.cycles = 0.0;
+        self.flops = 0;
+        self.instructions = 0;
+    }
+
+    /// Execute one instruction against bound memory `mem`.
+    pub fn execute(&mut self, insn: Instruction, mem: &mut [f32]) -> Result<(), AmxError> {
+        match insn {
+            Instruction::LdX { reg, offset } => {
+                Self::check_reg("x", reg, X_REGS)?;
+                let lanes = Self::load_lanes(mem, offset)?;
+                self.regs.set_x(reg, lanes);
+            }
+            Instruction::LdY { reg, offset } => {
+                Self::check_reg("y", reg, Y_REGS)?;
+                let lanes = Self::load_lanes(mem, offset)?;
+                self.regs.set_y(reg, lanes);
+            }
+            Instruction::Fma32 { tile, xr, yr } => {
+                Self::check_reg("z-tile", tile, Z_F32_TILES)?;
+                Self::check_reg("x", xr, X_REGS)?;
+                Self::check_reg("y", yr, Y_REGS)?;
+                self.regs.fma32(tile, xr, yr);
+            }
+            Instruction::StZ { tile, row, offset } => {
+                Self::check_reg("z-tile", tile, Z_F32_TILES)?;
+                Self::check_reg("z-row", row, TILE_F32_LANES)?;
+                if offset + TILE_F32_LANES > mem.len() {
+                    return Err(AmxError::BadOperand {
+                        offset,
+                        needed: TILE_F32_LANES,
+                        len: mem.len(),
+                    });
+                }
+                let row_data = *self.regs.z_row(tile, row);
+                mem[offset..offset + TILE_F32_LANES].copy_from_slice(&row_data);
+            }
+            Instruction::ClrZ { tile } => {
+                Self::check_reg("z-tile", tile, Z_F32_TILES)?;
+                self.regs.clear_z(tile);
+            }
+        }
+        self.cycles += insn.cycles();
+        self.flops += insn.flops();
+        self.instructions += 1;
+        Ok(())
+    }
+
+    /// Execute a straight-line program.
+    pub fn run(&mut self, program: &[Instruction], mem: &mut [f32]) -> Result<(), AmxError> {
+        for insn in program {
+            self.execute(*insn, mem)?;
+        }
+        Ok(())
+    }
+
+    fn check_reg(pool: &'static str, index: usize, limit: usize) -> Result<(), AmxError> {
+        if index < limit {
+            Ok(())
+        } else {
+            Err(AmxError::BadRegister { pool, index })
+        }
+    }
+
+    fn load_lanes(mem: &[f32], offset: usize) -> Result<[f32; TILE_F32_LANES], AmxError> {
+        if offset + TILE_F32_LANES > mem.len() {
+            return Err(AmxError::BadOperand { offset, needed: TILE_F32_LANES, len: mem.len() });
+        }
+        let mut lanes = [0.0f32; TILE_F32_LANES];
+        lanes.copy_from_slice(&mem[offset..offset + TILE_F32_LANES]);
+        Ok(lanes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> AmxUnit {
+        AmxUnit::new(ChipGeneration::M1)
+    }
+
+    #[test]
+    fn load_fma_store_round_trip() {
+        let mut u = unit();
+        let mut mem = vec![0.0f32; 64];
+        for i in 0..16 {
+            mem[i] = (i + 1) as f32; // x operand
+            mem[16 + i] = 2.0; // y operand
+        }
+        u.execute(Instruction::LdX { reg: 0, offset: 0 }, &mut mem).unwrap();
+        u.execute(Instruction::LdY { reg: 0, offset: 16 }, &mut mem).unwrap();
+        u.execute(Instruction::Fma32 { tile: 0, xr: 0, yr: 0 }, &mut mem).unwrap();
+        u.execute(Instruction::StZ { tile: 0, row: 0, offset: 32 }, &mut mem).unwrap();
+        for j in 0..16 {
+            assert_eq!(mem[32 + j], 2.0 * (j + 1) as f32);
+        }
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut u = unit();
+        let mut mem = vec![1.0f32; 32];
+        u.execute(Instruction::LdX { reg: 0, offset: 0 }, &mut mem).unwrap();
+        u.execute(Instruction::LdY { reg: 0, offset: 16 }, &mut mem).unwrap();
+        u.execute(Instruction::Fma32 { tile: 0, xr: 0, yr: 0 }, &mut mem).unwrap();
+        assert_eq!(u.instructions(), 3);
+        assert_eq!(u.flops(), 512);
+        assert_eq!(u.cycles(), 2.0); // 0.5 + 0.5 + 1.0
+        u.reset_counters();
+        assert_eq!(u.instructions(), 0);
+        assert_eq!(u.flops(), 0);
+        // Register state preserved across counter reset.
+        assert_eq!(u.regs().z_row(0, 0)[0], 1.0);
+    }
+
+    #[test]
+    fn elapsed_time_uses_p_clock() {
+        let mut u = AmxUnit::new(ChipGeneration::M1); // 3.2 GHz
+        let mut mem = vec![0.0f32; 32];
+        for _ in 0..3200 {
+            u.execute(Instruction::Fma32 { tile: 0, xr: 0, yr: 0 }, &mut mem).unwrap();
+        }
+        // 3200 cycles at 3.2 GHz = 1 µs.
+        assert_eq!(u.elapsed().as_nanos(), 1_000);
+    }
+
+    #[test]
+    fn peak_gflops_matches_spec() {
+        for gen in ChipGeneration::ALL {
+            let u = AmxUnit::new(gen);
+            assert_eq!(u.peak_gflops(), gen.spec().amx_gflops());
+        }
+    }
+
+    #[test]
+    fn bad_register_indices_are_rejected() {
+        let mut u = unit();
+        let mut mem = vec![0.0f32; 32];
+        assert!(matches!(
+            u.execute(Instruction::LdX { reg: 8, offset: 0 }, &mut mem),
+            Err(AmxError::BadRegister { pool: "x", index: 8 })
+        ));
+        assert!(matches!(
+            u.execute(Instruction::Fma32 { tile: 4, xr: 0, yr: 0 }, &mut mem),
+            Err(AmxError::BadRegister { pool: "z-tile", .. })
+        ));
+        assert!(matches!(
+            u.execute(Instruction::StZ { tile: 0, row: 16, offset: 0 }, &mut mem),
+            Err(AmxError::BadRegister { pool: "z-row", .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_operands_are_rejected() {
+        let mut u = unit();
+        let mut mem = vec![0.0f32; 20];
+        assert!(matches!(
+            u.execute(Instruction::LdX { reg: 0, offset: 8 }, &mut mem),
+            Err(AmxError::BadOperand { offset: 8, needed: 16, len: 20 })
+        ));
+        assert!(u.execute(Instruction::LdX { reg: 0, offset: 4 }, &mut mem).is_ok());
+        // Failed instructions do not retire.
+        assert_eq!(u.instructions(), 1);
+    }
+
+    #[test]
+    fn run_executes_programs() {
+        let mut u = unit();
+        let mut mem = vec![1.0f32; 48];
+        let program = vec![
+            Instruction::LdX { reg: 0, offset: 0 },
+            Instruction::LdY { reg: 0, offset: 16 },
+            Instruction::ClrZ { tile: 0 },
+            Instruction::Fma32 { tile: 0, xr: 0, yr: 0 },
+            Instruction::Fma32 { tile: 0, xr: 0, yr: 0 },
+            Instruction::StZ { tile: 0, row: 0, offset: 32 },
+        ];
+        u.run(&program, &mut mem).unwrap();
+        assert!(mem[32..48].iter().all(|&v| v == 2.0));
+        assert_eq!(u.flops(), 1024);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(AmxError::Unsupported("sme").to_string().contains("sme"));
+        assert!(
+            AmxError::BadOperand { offset: 1, needed: 16, len: 4 }.to_string().contains("[1..17]")
+        );
+    }
+}

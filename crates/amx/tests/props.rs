@@ -1,0 +1,105 @@
+//! Property-based tests: the AMX unit against a scalar model.
+
+use oranges_amx::insn::Instruction;
+use oranges_amx::regs::TILE_F32_LANES;
+use oranges_amx::sgemm::{reference_sgemm, AmxSgemm};
+use oranges_amx::unit::AmxUnit;
+use oranges_soc::chip::ChipGeneration;
+use proptest::prelude::*;
+
+fn lane_vec() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, TILE_F32_LANES)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn outer_product_matches_scalar(x in lane_vec(), y in lane_vec()) {
+        let mut unit = AmxUnit::new(ChipGeneration::M1);
+        let mut xm = x.clone();
+        let mut ym = y.clone();
+        unit.execute(Instruction::LdX { reg: 0, offset: 0 }, &mut xm).unwrap();
+        unit.execute(Instruction::LdY { reg: 0, offset: 0 }, &mut ym).unwrap();
+        unit.execute(Instruction::Fma32 { tile: 0, xr: 0, yr: 0 }, &mut xm).unwrap();
+        for i in 0..TILE_F32_LANES {
+            for j in 0..TILE_F32_LANES {
+                prop_assert_eq!(unit.regs().z_row(0, i)[j], y[i] * x[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_fma_equals_sum_of_rank1_updates(
+        xs in proptest::collection::vec(lane_vec(), 1..6),
+        ys in proptest::collection::vec(lane_vec(), 1..6),
+    ) {
+        let updates = xs.len().min(ys.len());
+        let mut unit = AmxUnit::new(ChipGeneration::M2);
+        let mut expected = vec![vec![0.0f64; TILE_F32_LANES]; TILE_F32_LANES];
+        for u in 0..updates {
+            let mut xm = xs[u].clone();
+            let mut ym = ys[u].clone();
+            unit.execute(Instruction::LdX { reg: 0, offset: 0 }, &mut xm).unwrap();
+            unit.execute(Instruction::LdY { reg: 0, offset: 0 }, &mut ym).unwrap();
+            unit.execute(Instruction::Fma32 { tile: 0, xr: 0, yr: 0 }, &mut xm).unwrap();
+            for i in 0..TILE_F32_LANES {
+                for j in 0..TILE_F32_LANES {
+                    // f32 accumulate order matches the unit's.
+                    expected[i][j] =
+                        (expected[i][j] as f32 + ys[u][i] * xs[u][j]) as f64;
+                }
+            }
+        }
+        for i in 0..TILE_F32_LANES {
+            for j in 0..TILE_F32_LANES {
+                prop_assert_eq!(unit.regs().z_row(0, i)[j], expected[i][j] as f32);
+            }
+        }
+        prop_assert_eq!(unit.flops(), 512 * updates as u64);
+    }
+
+    #[test]
+    fn sgemm_agrees_with_reference(n in 1usize..40, seed in 0u64..1000) {
+        let mut rng_state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            ((rng_state >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+        };
+        let a: Vec<f32> = (0..n * n).map(|_| next()).collect();
+        let b: Vec<f32> = (0..n * n).map(|_| next()).collect();
+        let mut c = vec![0.0f32; n * n];
+        let mut expected = vec![0.0f32; n * n];
+        let mut driver = AmxSgemm::new(ChipGeneration::M4);
+        let stats = driver.sgemm(n, &a, &b, &mut c).unwrap();
+        reference_sgemm(n, &a, &b, &mut expected);
+        let tol = 1e-4f32 * n as f32;
+        for idx in 0..n * n {
+            prop_assert!((c[idx] - expected[idx]).abs() <= tol.max(1e-5),
+                "n={} idx={} {} vs {}", n, idx, c[idx], expected[idx]);
+        }
+        prop_assert_eq!(stats.total_flops(), 2 * (n as u64).pow(3));
+        // Tiny edge-only problems (n < 4) retire in under a nanosecond and
+        // legitimately round to zero on the ns-resolution clock.
+        if n >= 4 {
+            prop_assert!(stats.elapsed.as_nanos() > 0);
+        }
+    }
+
+    #[test]
+    fn counters_are_consistent(ops in 1u64..200) {
+        let mut unit = AmxUnit::new(ChipGeneration::M3);
+        let mut mem = vec![0.5f32; 32];
+        for _ in 0..ops {
+            unit.execute(Instruction::Fma32 { tile: 0, xr: 0, yr: 0 }, &mut mem).unwrap();
+        }
+        prop_assert_eq!(unit.flops(), 512 * ops);
+        prop_assert_eq!(unit.instructions(), ops);
+        prop_assert!((unit.cycles() - ops as f64).abs() < 1e-9);
+        // Elapsed time equals cycles / clock.
+        let expected_ns = ops as f64 / (ChipGeneration::M3.spec().p_clock_ghz);
+        prop_assert!((unit.elapsed().as_nanos() as f64 - expected_ns).abs() <= 1.0);
+    }
+}

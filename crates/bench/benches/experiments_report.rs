@@ -1,0 +1,41 @@
+//! Regenerate the paper-vs-measured report (the body of EXPERIMENTS.md)
+//! from live runs of all four figure pipelines, plus the two extension
+//! experiments. Writes `target/paper-output/experiments_report.md`.
+
+use oranges::experiments::{contention, fig1, fig2, fig3, fig4, mixed_precision, thermal};
+use oranges::report;
+use oranges_powermetrics::WorkClass;
+
+fn main() {
+    println!("running all figure pipelines…");
+    let fig1_data = fig1::run();
+    let fig2_data = fig2::run(&fig2::Fig2Config::default()).expect("fig2");
+    let fig3_data = fig3::run(&fig3::Fig3Config::default()).expect("fig3");
+    let fig4_data = fig4::run(&fig4::Fig4Config::default()).expect("fig4");
+
+    let mut body = report::full_report(&fig1_data, &fig2_data, &fig3_data, &fig4_data);
+    body.push_str("\n## Extension: unified-memory contention\n\n");
+    body.push_str(&contention::render(&contention::run()));
+    body.push_str("\n## Extension: sustained thermal behaviour (GPU-CUTLASS, 10 min)\n\n");
+    body.push_str(&thermal::render(
+        WorkClass::GpuCutlass,
+        &thermal::run(WorkClass::GpuCutlass, 10.0),
+    ));
+    body.push_str("\n## Extension: mixed-precision headroom (§7 future work)\n\n");
+    body.push_str(&mixed_precision::render(&mixed_precision::run()));
+
+    println!("{body}");
+    let path = oranges_bench::output_path("experiments_report.md");
+    std::fs::write(&path, &body).expect("write report");
+    println!("wrote {}", path.display());
+
+    // Hard gate: the reproduction bands this repo claims.
+    let max_err = report::fig1_rows(&fig1_data)
+        .into_iter()
+        .chain(report::fig2_rows(&fig2_data))
+        .chain(report::fig4_rows(&fig4_data))
+        .map(|row| row.relative_error())
+        .fold(0.0f64, f64::max);
+    println!("max relative error across all anchored rows: {:.2}%", max_err * 100.0);
+    assert!(max_err < 0.10, "reproduction drifted past 10%");
+}

@@ -1,0 +1,53 @@
+//! Reproduce Figure 1: STREAM bandwidth for CPU and GPU on M1–M4.
+//!
+//! Prints the per-kernel best bandwidths (the paper's bars), the
+//! theoretical line, the ASCII chart, and writes `fig1.csv`.
+
+use oranges::experiments::fig1;
+use oranges::prelude::*;
+
+fn main() {
+    println!("=== Figure 1: STREAM benchmark results of each processor ===\n");
+    let data = fig1::run();
+
+    // The paper's series rows.
+    println!(
+        "{:<6} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "Chip", "Theoretical", "Copy(C)", "Scale(C)", "Add(C)", "Triad(C)", "Copy(G)",
+        "Scale(G)", "Add(G)", "Triad(G)"
+    );
+    for chip in ChipGeneration::ALL {
+        let v = |agent: &str, kernel: &str| data.value(chip, agent, kernel).unwrap_or(0.0);
+        println!(
+            "{:<6} {:>12.0} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            chip.name(),
+            chip.spec().memory_bandwidth_gbs,
+            v("CPU", "Copy"),
+            v("CPU", "Scale"),
+            v("CPU", "Add"),
+            v("CPU", "Triad"),
+            v("GPU", "Copy"),
+            v("GPU", "Scale"),
+            v("GPU", "Add"),
+            v("GPU", "Triad"),
+        );
+    }
+    println!();
+    println!("{}", fig1::render(&data));
+
+    let csv = fig1::to_csv(&data);
+    let path = oranges_bench::output_path("fig1.csv");
+    std::fs::write(&path, &csv).expect("write fig1.csv");
+    println!("wrote {}", path.display());
+
+    // Paper-vs-measured summary.
+    println!("\npaper-vs-measured (best GB/s):");
+    for (chip, published) in oranges::paper::FIG1_CPU_BEST_GBS {
+        let got = data.best(chip, "CPU");
+        println!("  {chip} CPU: paper {published:.0}, measured {got:.1}");
+    }
+    for (chip, published) in oranges::paper::FIG1_GPU_BEST_GBS {
+        let got = data.best(chip, "GPU");
+        println!("  {chip} GPU: paper {published:.0}, measured {got:.1}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Reproduce Figure 2: GFLOPS for all implementations and matrix sizes.
+//!
+//! Runs the full paper grid (sizes 32…16384, §4 skip rules, five
+//! repetitions), prints per-chip panels and the peak table, and writes
+//! `fig2.csv`.
+
+use oranges::experiments::fig2;
+use oranges::prelude::*;
+
+fn main() {
+    println!("=== Figure 2: GFLOPS for all implementations and matrices sizes ===\n");
+    // Full paper grid; functional verification up to n = 256.
+    let config = fig2::Fig2Config::default();
+    let data = fig2::run(&config).expect("fig2 grid runs");
+
+    for chip in ChipGeneration::ALL {
+        println!("{}", fig2::render_panel(&data, chip));
+        println!(
+            "{:<16} {}",
+            "impl \\ n",
+            config.sizes.iter().map(|n| format!("{n:>9}")).collect::<String>()
+        );
+        for implementation in
+            ["CPU-Single", "CPU-OMP", "CPU-Accelerate", "GPU-Naive", "GPU-CUTLASS", "GPU-MPS"]
+        {
+            let cells: String = config
+                .sizes
+                .iter()
+                .map(|n| match data.cell(chip, implementation, *n) {
+                    Some(cell) => format!("{:>9.1}", cell.gflops),
+                    None => format!("{:>9}", "-"),
+                })
+                .collect();
+            println!("{implementation:<16} {cells}");
+        }
+        println!();
+    }
+
+    let csv = fig2::to_csv(&data);
+    let path = oranges_bench::output_path("fig2.csv");
+    std::fs::write(&path, &csv).expect("write fig2.csv");
+    println!("wrote {}", path.display());
+
+    println!("\npaper-vs-measured (peak TFLOPS):");
+    for implementation in ["CPU-Accelerate", "GPU-Naive", "GPU-CUTLASS", "GPU-MPS"] {
+        for chip in ChipGeneration::ALL {
+            if let Some(published) = oranges::paper::fig2_peak_tflops(implementation, chip) {
+                println!(
+                    "  {chip} {implementation}: paper {published:.2}, measured {:.2}",
+                    data.peak(chip, implementation) / 1e3
+                );
+            }
+        }
+    }
+
+    // Verification summary.
+    let verified = data.points.iter().filter(|p| p.verified == Some(true)).count();
+    let failed = data.points.iter().filter(|p| p.verified == Some(false)).count();
+    println!("\nfunctional verification: {verified} cells passed, {failed} failed");
+    assert_eq!(failed, 0, "all verified cells must pass");
+}

@@ -1,0 +1,45 @@
+//! Reproduce Figure 3: power utilization of each implementation varying
+//! matrix size (mW), per chip. Writes `fig3.csv`.
+
+use oranges::experiments::fig3;
+use oranges::prelude::*;
+
+fn main() {
+    println!("=== Figure 3: Power utilization of each implementation ===\n");
+    let config = fig3::Fig3Config::default();
+    let data = fig3::run(&config).expect("fig3 grid runs");
+
+    for chip in ChipGeneration::ALL {
+        println!("{}", fig3::render_panel(&data, chip));
+        println!(
+            "{:<16} {}",
+            "impl \\ n [mW]",
+            config.sizes.iter().map(|n| format!("{n:>9}")).collect::<String>()
+        );
+        for implementation in
+            ["CPU-Single", "CPU-OMP", "CPU-Accelerate", "GPU-Naive", "GPU-CUTLASS", "GPU-MPS"]
+        {
+            let cells: String = config
+                .sizes
+                .iter()
+                .map(|n| match data.cell(chip, implementation, *n) {
+                    Some(cell) => format!("{:>9.0}", cell.power_mw),
+                    None => format!("{:>9}", "-"),
+                })
+                .collect();
+            println!("{implementation:<16} {cells}");
+        }
+        println!();
+    }
+
+    let hottest = data.hottest().expect("non-empty grid");
+    println!(
+        "hottest cell: {} {} at n = {} → {:.0} mW (paper: M4 Cutlass-style, ~17500–20000 mW)",
+        hottest.chip, hottest.implementation, hottest.n, hottest.power_mw
+    );
+
+    let csv = fig3::to_csv(&data);
+    let path = oranges_bench::output_path("fig3.csv");
+    std::fs::write(&path, &csv).expect("write fig3.csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,54 @@
+//! Reproduce Figure 4: power efficiency in GFLOPS per Watt (higher is
+//! better), per chip. Writes `fig4.csv`.
+
+use oranges::experiments::fig4;
+use oranges::prelude::*;
+
+fn main() {
+    println!("=== Figure 4: Power efficiency in GFLOPS per Watt ===\n");
+    let config = fig4::Fig4Config::default();
+    let data = fig4::run(&config).expect("fig4 grid runs");
+
+    for chip in ChipGeneration::ALL {
+        println!("{}", fig4::render_panel(&data, chip));
+        println!(
+            "{:<16} {}",
+            "impl \\ n [GF/W]",
+            config.sizes.iter().map(|n| format!("{n:>9}")).collect::<String>()
+        );
+        for implementation in
+            ["CPU-Single", "CPU-OMP", "CPU-Accelerate", "GPU-Naive", "GPU-CUTLASS", "GPU-MPS"]
+        {
+            let cells: String = config
+                .sizes
+                .iter()
+                .map(|n| match data.cell(chip, implementation, *n) {
+                    Some(cell) => format!("{:>9.2}", cell.gflops_per_watt),
+                    None => format!("{:>9}", "-"),
+                })
+                .collect();
+            println!("{implementation:<16} {cells}");
+        }
+        println!();
+    }
+
+    println!("paper-vs-measured (peak TFLOPS/W):");
+    for implementation in ["GPU-MPS", "CPU-Accelerate"] {
+        for chip in ChipGeneration::ALL {
+            if let Some(published) =
+                oranges::paper::fig4_peak_tflops_per_watt(implementation, chip)
+            {
+                println!(
+                    "  {chip} {implementation}: paper {published:.2}, measured {:.2}",
+                    data.peak(chip, implementation) / 1e3
+                );
+            }
+        }
+    }
+    println!("\n(§5.3: all four chips clear 200 GFLOPS/W with GPU-MPS; Green500 #1 runs at 72.)");
+
+    let csv = fig4::to_csv(&data);
+    let path = oranges_bench::output_path("fig4.csv");
+    std::fs::write(&path, &csv).expect("write fig4.csv");
+    println!("wrote {}", path.display());
+}

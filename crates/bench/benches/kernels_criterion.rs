@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks of the real host kernels underneath the
+//! simulation: STREAM array passes, blocked GEMM, AMX tile FMAs, and the
+//! Metal-path functional dispatch. These measure *host* throughput (the
+//! cost of running the simulator), not simulated M-series time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oranges_amx::insn::Instruction;
+use oranges_amx::unit::AmxUnit;
+use oranges_gemm::suite::suite_for;
+use oranges_soc::chip::ChipGeneration;
+use oranges_stream::kernels::StreamArrays;
+use std::hint::black_box;
+
+fn bench_stream_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_host");
+    for elements in [100_000usize, 1_000_000] {
+        group.throughput(Throughput::Bytes((elements * 8 * 10) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("full_iteration", elements),
+            &elements,
+            |b, &elements| {
+                let mut arrays = StreamArrays::new(elements);
+                b.iter(|| {
+                    arrays.run_iteration(4);
+                    black_box(arrays.a[0])
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gemm_implementations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_host_functional");
+    let n = 128usize;
+    group.throughput(Throughput::Elements((n * n * (2 * n - 1)) as u64));
+    let a: Vec<f32> = (0..n * n).map(|i| (i % 97) as f32 / 97.0).collect();
+    let b_mat: Vec<f32> = (0..n * n).map(|i| (i % 89) as f32 / 89.0).collect();
+    for mut implementation in suite_for(ChipGeneration::M1) {
+        let name = implementation.name();
+        group.bench_function(BenchmarkId::new(name, n), |bencher| {
+            let mut c_mat = vec![0.0f32; n * n];
+            bencher.iter(|| {
+                implementation
+                    .run(n, black_box(&a), black_box(&b_mat), &mut c_mat)
+                    .expect("run succeeds");
+                black_box(c_mat[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_amx_tile_fma(c: &mut Criterion) {
+    let mut group = c.benchmark_group("amx_unit");
+    group.throughput(Throughput::Elements(512));
+    group.bench_function("fma32_outer_product", |b| {
+        let mut unit = AmxUnit::new(ChipGeneration::M4);
+        let mut mem = vec![0.5f32; 32];
+        unit.execute(Instruction::LdX { reg: 0, offset: 0 }, &mut mem).unwrap();
+        unit.execute(Instruction::LdY { reg: 0, offset: 16 }, &mut mem).unwrap();
+        b.iter(|| {
+            unit.execute(Instruction::Fma32 { tile: 0, xr: 0, yr: 0 }, &mut mem).unwrap();
+            black_box(unit.flops())
+        });
+    });
+    group.finish();
+}
+
+fn bench_modeled_sweep(c: &mut Criterion) {
+    // How fast is a *modeled* figure cell? (This is what makes the full
+    // paper grid cheap to regenerate.)
+    let mut group = c.benchmark_group("modeled_sweep");
+    group.bench_function("fig2_cell_m4_mps_16384", |b| {
+        let mut platform = oranges::Platform::new(ChipGeneration::M4);
+        b.iter(|| black_box(platform.gemm_modeled("GPU-MPS", 16384).unwrap().gflops()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stream_iteration,
+    bench_gemm_implementations,
+    bench_amx_tile_fma,
+    bench_modeled_sweep
+);
+criterion_main!(benches);

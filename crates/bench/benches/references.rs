@@ -1,0 +1,25 @@
+//! Reproduce the HPC Perspective comparisons (R1–R3): the M-series next
+//! to GH200, MI250X, Xeon Max, A100, RTX 4090 and the Green500 leader.
+
+use oranges::experiments::{fig1, fig2, fig4, references};
+use oranges::prelude::*;
+
+fn main() {
+    let fig1_data = fig1::run();
+    println!("{}", references::bandwidth_comparison(&fig1_data));
+
+    let fig2_data = fig2::run(&fig2::Fig2Config {
+        sizes: vec![8192, 16384],
+        verify_max_flops: 0,
+        ..fig2::Fig2Config::default()
+    })
+    .expect("fig2 runs");
+    let mps_peaks: Vec<(ChipGeneration, f64)> = ChipGeneration::ALL
+        .iter()
+        .map(|chip| (*chip, fig2_data.peak(*chip, "GPU-MPS") / 1e3))
+        .collect();
+    println!("{}", references::compute_comparison(&mps_peaks));
+
+    let fig4_data = fig4::run(&fig4::Fig4Config::default()).expect("fig4 runs");
+    println!("{}", references::efficiency_comparison(&fig4_data));
+}

@@ -1,0 +1,11 @@
+//! Reproduce Tables 1–3 verbatim from the model databases.
+
+use oranges::experiments::tables;
+
+fn main() {
+    println!("{}", tables::table1());
+    println!();
+    println!("{}", tables::table2());
+    println!();
+    println!("{}", tables::table3());
+}

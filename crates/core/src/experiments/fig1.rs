@@ -1,0 +1,157 @@
+//! Figure 1 — STREAM bandwidth per chip, CPU and GPU, vs theoretical.
+
+use oranges_harness::csv::CsvWriter;
+use oranges_harness::figure::{grouped_bar_chart, Bar, BarGroup};
+use oranges_soc::chip::ChipGeneration;
+use oranges_stream::cpu::CpuStream;
+use oranges_stream::gpu::GpuStream;
+use oranges_umem::bandwidth::StreamKernelKind;
+use serde::Serialize;
+
+/// One bandwidth measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Fig1Point {
+    /// Chip.
+    pub chip: ChipGeneration,
+    /// "CPU" or "GPU".
+    pub agent: &'static str,
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Best bandwidth across reps (and thread sweep for CPU), GB/s.
+    pub gbs: f64,
+}
+
+/// The full Figure 1 dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig1Data {
+    /// All 32 bars (4 chips × 2 agents × 4 kernels).
+    pub points: Vec<Fig1Point>,
+    /// The theoretical line per chip.
+    pub theoretical: Vec<(ChipGeneration, f64)>,
+}
+
+impl Fig1Data {
+    /// Best bandwidth for (chip, agent).
+    pub fn best(&self, chip: ChipGeneration, agent: &str) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.chip == chip && p.agent == agent)
+            .map(|p| p.gbs)
+            .fold(0.0, f64::max)
+    }
+
+    /// One bar's value.
+    pub fn value(&self, chip: ChipGeneration, agent: &str, kernel: &str) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.chip == chip && p.agent == agent && p.kernel == kernel)
+            .map(|p| p.gbs)
+    }
+}
+
+/// Run the experiment with the paper's configuration (10 CPU reps with
+/// thread sweep, 20 GPU reps, maxima reported).
+pub fn run() -> Fig1Data {
+    let mut points = Vec::with_capacity(32);
+    let mut theoretical = Vec::with_capacity(4);
+    for chip in ChipGeneration::ALL {
+        theoretical.push((chip, chip.spec().memory_bandwidth_gbs));
+        let cpu = CpuStream::new(chip).run();
+        for result in &cpu.results {
+            points.push(Fig1Point {
+                chip,
+                agent: "CPU",
+                kernel: result.kernel.name(),
+                gbs: result.best_gbs,
+            });
+        }
+        let gpu = GpuStream::new(chip).run().expect("standard kernels present");
+        for result in &gpu.results {
+            points.push(Fig1Point {
+                chip,
+                agent: "GPU",
+                kernel: result.kernel.name(),
+                gbs: result.best_gbs,
+            });
+        }
+    }
+    Fig1Data { points, theoretical }
+}
+
+/// Render the ASCII version of Figure 1.
+pub fn render(data: &Fig1Data) -> String {
+    let groups: Vec<BarGroup> = ChipGeneration::ALL
+        .iter()
+        .map(|chip| {
+            let mut bars = Vec::with_capacity(8);
+            for agent in ["CPU", "GPU"] {
+                for kernel in StreamKernelKind::ALL {
+                    if let Some(gbs) = data.value(*chip, agent, kernel.name()) {
+                        bars.push(Bar { label: format!("{} ({agent})", kernel.name()), value: gbs });
+                    }
+                }
+            }
+            let reference =
+                data.theoretical.iter().find(|(c, _)| c == chip).map(|(_, gbs)| *gbs);
+            BarGroup { label: chip.name().to_string(), bars, reference }
+        })
+        .collect();
+    grouped_bar_chart(
+        "Fig. 1. STREAM benchmark results of each processor (GB/s, | = theoretical)",
+        "GB/s",
+        &groups,
+        48,
+    )
+}
+
+/// CSV of the dataset (`chip,agent,kernel,gbs`).
+pub fn to_csv(data: &Fig1Data) -> String {
+    let mut csv = CsvWriter::new(&["chip", "agent", "kernel", "gbs"]);
+    for p in &data.points {
+        csv.row(&[
+            p.chip.name().to_string(),
+            p.agent.to_string(),
+            p.kernel.to_string(),
+            format!("{:.2}", p.gbs),
+        ]);
+    }
+    csv.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn dataset_shape() {
+        let data = run();
+        assert_eq!(data.points.len(), 32, "4 chips x 2 agents x 4 kernels");
+        assert_eq!(data.theoretical.len(), 4);
+    }
+
+    #[test]
+    fn matches_paper_anchors() {
+        let data = run();
+        for (chip, expected) in paper::FIG1_CPU_BEST_GBS {
+            let got = data.best(chip, "CPU");
+            assert!(paper::relative_error(got, expected) < 0.02, "{chip} CPU: {got}");
+        }
+        for (chip, expected) in paper::FIG1_GPU_BEST_GBS {
+            let got = data.best(chip, "GPU");
+            assert!(paper::relative_error(got, expected) < 0.03, "{chip} GPU: {got}");
+        }
+    }
+
+    #[test]
+    fn render_and_csv() {
+        let data = run();
+        let chart = render(&data);
+        assert!(chart.contains("M1"));
+        assert!(chart.contains("Triad (GPU)"));
+        assert!(chart.contains("theoretical"));
+        let csv = to_csv(&data);
+        assert_eq!(csv.lines().count(), 33);
+        assert!(csv.starts_with("chip,agent,kernel,gbs"));
+    }
+}

@@ -1,0 +1,255 @@
+//! Figure 2 — GFLOPS for every implementation, size and chip.
+//!
+//! §4's protocol: sizes 32…16384 (powers of two), five repetitions each,
+//! CPU-Single and CPU-OMP skipping 8192/16384. Functional verification
+//! runs once per cell up to a configurable FLOP ceiling (the paper's
+//! harness verifies numerics at small scale for the same reason: full
+//! verification of an 8.8 TFLOP product is itself an 8.8 TFLOP job).
+
+use crate::platform::Platform;
+use oranges_gemm::suite::{paper_sizes, skips_size};
+use oranges_gemm::{gemm_flops, verify_sampled, GemmError, Matrix};
+use oranges_harness::csv::CsvWriter;
+use oranges_harness::experiment::RepetitionProtocol;
+use oranges_harness::figure::{series_chart, Series, SeriesChartConfig};
+use oranges_harness::stats::Summary;
+use oranges_soc::chip::ChipGeneration;
+use serde::Serialize;
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Fig2Config {
+    /// Matrix sizes to sweep.
+    pub sizes: Vec<usize>,
+    /// Repetition protocol (paper: 5 reps).
+    pub protocol: RepetitionProtocol,
+    /// Verify numerics functionally for cells at or below this many FLOPs.
+    pub verify_max_flops: u64,
+    /// Chips to run (default all four).
+    pub chips: Vec<ChipGeneration>,
+}
+
+impl Default for Fig2Config {
+    fn default() -> Self {
+        Fig2Config {
+            sizes: paper_sizes(),
+            protocol: RepetitionProtocol::GEMM,
+            verify_max_flops: gemm_flops(256),
+            chips: ChipGeneration::ALL.to_vec(),
+        }
+    }
+}
+
+impl Fig2Config {
+    /// A reduced grid for tests: three sizes, one verification cell.
+    pub fn smoke() -> Self {
+        Fig2Config {
+            sizes: vec![64, 256, 1024],
+            protocol: RepetitionProtocol::GEMM,
+            verify_max_flops: gemm_flops(64),
+            chips: vec![ChipGeneration::M1, ChipGeneration::M4],
+        }
+    }
+}
+
+/// One cell of the Figure 2 grid.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2Point {
+    /// Chip.
+    pub chip: ChipGeneration,
+    /// Implementation legend name.
+    pub implementation: &'static str,
+    /// Matrix size.
+    pub n: usize,
+    /// Mean GFLOPS over the repetitions.
+    pub gflops: f64,
+    /// Repetition statistics (of GFLOPS).
+    pub stats: Summary,
+    /// Whether this cell's numerics were functionally verified.
+    pub verified: Option<bool>,
+}
+
+/// The full Figure 2 dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2Data {
+    /// All grid cells, in (chip, implementation, size) order.
+    pub points: Vec<Fig2Point>,
+}
+
+impl Fig2Data {
+    /// Look up one cell.
+    pub fn cell(&self, chip: ChipGeneration, implementation: &str, n: usize) -> Option<&Fig2Point> {
+        self.points
+            .iter()
+            .find(|p| p.chip == chip && p.implementation == implementation && p.n == n)
+    }
+
+    /// Peak GFLOPS of an implementation on a chip across sizes.
+    pub fn peak(&self, chip: ChipGeneration, implementation: &str) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.chip == chip && p.implementation == implementation)
+            .map(|p| p.gflops)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Run the experiment.
+pub fn run(config: &Fig2Config) -> Result<Fig2Data, GemmError> {
+    let mut points = Vec::new();
+    for &chip in &config.chips {
+        let mut platform = Platform::new(chip);
+        let names = platform.implementation_names();
+        for name in names {
+            for &n in &config.sizes {
+                if skips_size(name, n) {
+                    continue;
+                }
+                // Optional one-shot functional verification.
+                let flops = gemm_flops(n as u64);
+                let verified = if flops <= config.verify_max_flops {
+                    Some(verify_cell(&mut platform, name, n)?)
+                } else {
+                    None
+                };
+                // The five timed repetitions (model path — deterministic).
+                let samples = config
+                    .protocol
+                    .try_run(|_| platform.gemm_modeled(name, n).map(|r| r.gflops()))?;
+                let stats = Summary::of(&samples).expect("non-empty repetitions");
+                points.push(Fig2Point {
+                    chip,
+                    implementation: name,
+                    n,
+                    gflops: stats.mean,
+                    stats,
+                    verified,
+                });
+            }
+        }
+    }
+    Ok(Fig2Data { points })
+}
+
+fn verify_cell(platform: &mut Platform, name: &'static str, n: usize) -> Result<bool, GemmError> {
+    let space = platform.address_space().clone();
+    let a = Matrix::random(&space, n, 1)?;
+    let b = Matrix::random(&space, n, 2)?;
+    let mut c = vec![0.0f32; n * n];
+    let mut suite = oranges_gemm::suite::suite_for(platform.chip());
+    let implementation =
+        suite.iter_mut().find(|i| i.name() == name).expect("implementation exists");
+    let outcome = implementation.run(n, a.as_slice(), b.as_slice(), &mut c)?;
+    if !outcome.functional {
+        return Ok(false);
+    }
+    let verdict = verify_sampled(n, a.as_slice(), b.as_slice(), &c, 64, 7, 1e-5);
+    Ok(verdict.passed)
+}
+
+/// Render one chip's panel of Figure 2 (log-y GFLOPS vs size).
+pub fn render_panel(data: &Fig2Data, chip: ChipGeneration) -> String {
+    let mut series = Vec::new();
+    let implementations: Vec<&'static str> = {
+        let mut names: Vec<&'static str> =
+            data.points.iter().filter(|p| p.chip == chip).map(|p| p.implementation).collect();
+        names.dedup();
+        names
+    };
+    for name in implementations {
+        let points: Vec<(f64, Option<f64>)> = data
+            .points
+            .iter()
+            .filter(|p| p.chip == chip && p.implementation == name)
+            .map(|p| (p.n as f64, Some(p.gflops)))
+            .collect();
+        series.push(Series { label: name.to_string(), points });
+    }
+    series_chart(
+        &format!("Fig. 2 ({chip}). GFLOPS for all implementations and matrix sizes"),
+        "GFLOPS",
+        &series,
+        SeriesChartConfig::default(),
+    )
+}
+
+/// CSV of the dataset.
+pub fn to_csv(data: &Fig2Data) -> String {
+    let mut csv = CsvWriter::new(&["chip", "implementation", "n", "gflops", "verified"]);
+    for p in &data.points {
+        csv.row(&[
+            p.chip.name().to_string(),
+            p.implementation.to_string(),
+            p.n.to_string(),
+            format!("{:.3}", p.gflops),
+            match p.verified {
+                Some(true) => "pass".into(),
+                Some(false) => "fail".into(),
+                None => "".into(),
+            },
+        ]);
+    }
+    csv.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn smoke_grid_runs_and_verifies() {
+        let data = run(&Fig2Config::smoke()).unwrap();
+        // 2 chips × (6 impls × 3 sizes) = 36 cells.
+        assert_eq!(data.points.len(), 36);
+        // n=64 cells are verified.
+        let verified: Vec<&Fig2Point> =
+            data.points.iter().filter(|p| p.verified.is_some()).collect();
+        assert!(!verified.is_empty());
+        assert!(verified.iter().all(|p| p.verified == Some(true)), "all verifications pass");
+    }
+
+    #[test]
+    fn skip_rules_applied() {
+        let config = Fig2Config {
+            sizes: vec![4096, 8192, 16384],
+            chips: vec![ChipGeneration::M1],
+            ..Fig2Config::default()
+        };
+        let data = run(&config).unwrap();
+        assert!(data.cell(ChipGeneration::M1, "CPU-Single", 8192).is_none());
+        assert!(data.cell(ChipGeneration::M1, "CPU-OMP", 16384).is_none());
+        assert!(data.cell(ChipGeneration::M1, "GPU-MPS", 16384).is_some());
+    }
+
+    #[test]
+    fn peaks_match_figure2_anchors() {
+        let config = Fig2Config {
+            sizes: vec![4096, 8192, 16384],
+            verify_max_flops: 0,
+            ..Fig2Config::default()
+        };
+        let data = run(&config).unwrap();
+        for implementation in ["GPU-MPS", "CPU-Accelerate", "GPU-Naive", "GPU-CUTLASS"] {
+            for chip in ChipGeneration::ALL {
+                let expected = paper::fig2_peak_tflops(implementation, chip).unwrap() * 1e3;
+                let got = data.peak(chip, implementation);
+                assert!(
+                    paper::relative_error(got, expected) < 0.05,
+                    "{implementation} on {chip}: {got} vs {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_and_csv() {
+        let data = run(&Fig2Config::smoke()).unwrap();
+        let panel = render_panel(&data, ChipGeneration::M1);
+        assert!(panel.contains("GPU-MPS"));
+        assert!(panel.contains("CPU-Single"));
+        let csv = to_csv(&data);
+        assert!(csv.starts_with("chip,implementation,n,gflops,verified"));
+        assert_eq!(csv.lines().count(), 37);
+    }
+}

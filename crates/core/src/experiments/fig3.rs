@@ -1,0 +1,199 @@
+//! Figure 3 — power dissipation (mW) per implementation and matrix size.
+//!
+//! §4: "The power measurement occurs during the run in which CPU/GPU
+//! performance is measured" — each cell wraps the same modeled run Figure 2
+//! times in the powermetrics protocol and reads the sampled window back.
+//! The figure's x-axis covers n ∈ {2048 … 16384}.
+
+use crate::platform::Platform;
+use oranges_gemm::suite::skips_size;
+use oranges_gemm::GemmError;
+use oranges_harness::csv::CsvWriter;
+use oranges_harness::experiment::RepetitionProtocol;
+use oranges_harness::figure::{series_chart, Series, SeriesChartConfig};
+use oranges_soc::chip::ChipGeneration;
+use serde::Serialize;
+
+/// Experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Fig3Config {
+    /// Matrix sizes (the paper's Figure 3 shows 2048…16384).
+    pub sizes: Vec<usize>,
+    /// Repetition protocol (power piggybacks the five GEMM reps).
+    pub protocol: RepetitionProtocol,
+    /// Chips to run.
+    pub chips: Vec<ChipGeneration>,
+}
+
+impl Default for Fig3Config {
+    fn default() -> Self {
+        Fig3Config {
+            sizes: vec![2048, 4096, 8192, 16384],
+            protocol: RepetitionProtocol::GEMM,
+            chips: ChipGeneration::ALL.to_vec(),
+        }
+    }
+}
+
+/// One cell of the Figure 3 grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Fig3Point {
+    /// Chip.
+    pub chip: ChipGeneration,
+    /// Implementation legend name.
+    pub implementation: &'static str,
+    /// Matrix size.
+    pub n: usize,
+    /// Package power over the run window, mW (mean over reps).
+    pub power_mw: f64,
+    /// Window duration of one run, seconds.
+    pub window_s: f64,
+    /// Energy of one run, joules.
+    pub energy_j: f64,
+}
+
+/// The full Figure 3 dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3Data {
+    /// All cells.
+    pub points: Vec<Fig3Point>,
+}
+
+impl Fig3Data {
+    /// Look up one cell.
+    pub fn cell(&self, chip: ChipGeneration, implementation: &str, n: usize) -> Option<&Fig3Point> {
+        self.points
+            .iter()
+            .find(|p| p.chip == chip && p.implementation == implementation && p.n == n)
+    }
+
+    /// The hottest cell of the whole grid.
+    pub fn hottest(&self) -> Option<&Fig3Point> {
+        self.points.iter().max_by(|a, b| a.power_mw.partial_cmp(&b.power_mw).expect("finite"))
+    }
+}
+
+/// Run the experiment.
+pub fn run(config: &Fig3Config) -> Result<Fig3Data, GemmError> {
+    let mut points = Vec::new();
+    for &chip in &config.chips {
+        let mut platform = Platform::new(chip);
+        for name in platform.implementation_names() {
+            for &n in &config.sizes {
+                if skips_size(name, n) {
+                    continue;
+                }
+                let samples = config.protocol.try_run(|_| {
+                    platform
+                        .gemm_modeled(name, n)
+                        .map(|r| (r.power.package_watts() * 1e3, r.power.window.as_secs_f64(), r.power.energy_j))
+                })?;
+                let count = samples.len() as f64;
+                let power_mw = samples.iter().map(|s| s.0).sum::<f64>() / count;
+                let window_s = samples.iter().map(|s| s.1).sum::<f64>() / count;
+                let energy_j = samples.iter().map(|s| s.2).sum::<f64>() / count;
+                points.push(Fig3Point { chip, implementation: name, n, power_mw, window_s, energy_j });
+            }
+        }
+    }
+    Ok(Fig3Data { points })
+}
+
+/// Render one chip's panel (linear power axis, like the paper).
+pub fn render_panel(data: &Fig3Data, chip: ChipGeneration) -> String {
+    let mut names: Vec<&'static str> =
+        data.points.iter().filter(|p| p.chip == chip).map(|p| p.implementation).collect();
+    names.dedup();
+    let series: Vec<Series> = names
+        .into_iter()
+        .map(|name| Series {
+            label: name.to_string(),
+            points: data
+                .points
+                .iter()
+                .filter(|p| p.chip == chip && p.implementation == name)
+                .map(|p| (p.n as f64, Some(p.power_mw)))
+                .collect(),
+        })
+        .collect();
+    series_chart(
+        &format!("Fig. 3 ({chip}). Power utilization of each implementation varying matrix size"),
+        "mW",
+        &series,
+        SeriesChartConfig { log_y: false, ..SeriesChartConfig::default() },
+    )
+}
+
+/// CSV of the dataset.
+pub fn to_csv(data: &Fig3Data) -> String {
+    let mut csv = CsvWriter::new(&["chip", "implementation", "n", "power_mw", "window_s", "energy_j"]);
+    for p in &data.points {
+        csv.row(&[
+            p.chip.name().to_string(),
+            p.implementation.to_string(),
+            p.n.to_string(),
+            format!("{:.1}", p.power_mw),
+            format!("{:.6}", p.window_s),
+            format!("{:.6}", p.energy_j),
+        ]);
+    }
+    csv.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> Fig3Config {
+        Fig3Config { chips: vec![ChipGeneration::M1, ChipGeneration::M4], ..Fig3Config::default() }
+    }
+
+    #[test]
+    fn m4_cutlass_is_the_hottest_cell() {
+        // §5.3: "M4 exhibited the highest power consumption using the
+        // Cutlass-style shader" — close to 20 W.
+        let data = run(&Fig3Config::default()).unwrap();
+        let hottest = data.hottest().unwrap();
+        assert_eq!(hottest.chip, ChipGeneration::M4);
+        assert_eq!(hottest.implementation, "GPU-CUTLASS");
+        assert!((15_000.0..=21_000.0).contains(&hottest.power_mw), "{}", hottest.power_mw);
+    }
+
+    #[test]
+    fn power_range_matches_paper_band() {
+        // §1: "Power consumption varies from a few Watts to 10-20 Watts".
+        let data = run(&Fig3Config::default()).unwrap();
+        for p in &data.points {
+            assert!(p.power_mw < 21_000.0, "{p:?}");
+        }
+        // Large runs burn at least ~2 W somewhere.
+        let max = data.hottest().unwrap().power_mw;
+        assert!(max > 10_000.0);
+    }
+
+    #[test]
+    fn gpu_power_collapses_at_small_sizes() {
+        // §5.3: "CPU implementations in single and OMP for small problems
+        // consume significantly higher power than GPU-based
+        // implementations" — overhead leaves the GPU idle.
+        let config = Fig3Config {
+            sizes: vec![64],
+            chips: vec![ChipGeneration::M2],
+            ..Fig3Config::default()
+        };
+        let data = run(&config).unwrap();
+        let cpu = data.cell(ChipGeneration::M2, "CPU-Single", 64).unwrap().power_mw;
+        let gpu = data.cell(ChipGeneration::M2, "GPU-MPS", 64).unwrap().power_mw;
+        assert!(cpu > 3.0 * gpu, "CPU {cpu} mW vs GPU {gpu} mW");
+    }
+
+    #[test]
+    fn skip_rules_and_csv() {
+        let data = run(&small_config()).unwrap();
+        assert!(data.cell(ChipGeneration::M1, "CPU-Single", 8192).is_none());
+        let csv = to_csv(&data);
+        assert!(csv.starts_with("chip,implementation,n,power_mw"));
+        let panel = render_panel(&data, ChipGeneration::M4);
+        assert!(panel.contains("GPU-CUTLASS"));
+    }
+}

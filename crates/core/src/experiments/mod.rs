@@ -1,0 +1,23 @@
+//! One runner per paper artifact.
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`tables`] | Table 1 (architecture), Table 2 (implementations), Table 3 (devices) |
+//! | [`fig1`] | Figure 1 — STREAM bandwidth, CPU + GPU vs theoretical |
+//! | [`fig2`] | Figure 2 — GFLOPS for all implementations × sizes × chips |
+//! | [`fig3`] | Figure 3 — power (mW) per implementation × size × chip |
+//! | [`fig4`] | Figure 4 — efficiency (GFLOPS/W), same grid as Fig. 3 |
+//! | [`references`] | the HPC Perspective comparisons (GH200, A100, …) |
+//! | [`contention`] | *extension*: CPU+GPU concurrent STREAM over one controller |
+//! | [`thermal`] | *extension*: sustained-load throttling, passive vs active cooling |
+//! | [`mixed_precision`] | *extension*: the §7 future-work item — FP16/INT8/FP64 headroom |
+
+pub mod contention;
+pub mod mixed_precision;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod references;
+pub mod tables;
+pub mod thermal;

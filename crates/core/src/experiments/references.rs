@@ -1,0 +1,132 @@
+//! The HPC Perspective comparisons — R1–R3 in the experiment index.
+//!
+//! The paper frames every M-series result against the state of the art:
+//! GH200 STREAM and cublasSgemm (measured by the authors), MI250X, Xeon
+//! Max, A100, RTX 4090 and the Green500 leader (literature). This module
+//! renders those comparisons next to our measured simulator numbers.
+
+use crate::experiments::{fig1, fig4};
+use oranges_harness::table::TextTable;
+use oranges_soc::chip::ChipGeneration;
+use oranges_soc::reference;
+
+/// R1: bandwidth comparison (paper §5.1 HPC Perspective).
+pub fn bandwidth_comparison(fig1_data: &fig1::Fig1Data) -> String {
+    let mut table =
+        TextTable::new(vec!["System", "Measured GB/s", "Theoretical GB/s", "Efficiency"]).numeric();
+    for chip in ChipGeneration::ALL {
+        for agent in ["CPU", "GPU"] {
+            let measured = fig1_data.best(chip, agent);
+            let theoretical = chip.spec().memory_bandwidth_gbs;
+            table.row(vec![
+                format!("Apple {chip} ({agent})"),
+                format!("{measured:.0}"),
+                format!("{theoretical:.0}"),
+                format!("{:.0}%", measured / theoretical * 100.0),
+            ]);
+        }
+    }
+    for system in reference::all() {
+        for bw in &system.bandwidth {
+            table.row(vec![
+                system.name.to_string(),
+                format!("{:.0}", bw.measured_gbs),
+                format!("{:.0}", bw.theoretical_gbs),
+                format!("{:.0}%", bw.efficiency() * 100.0),
+            ]);
+        }
+    }
+    format!("R1. Memory bandwidth vs HPC state of the art (§5.1)\n{}", table.render())
+}
+
+/// R2: compute comparison (paper §5.2 HPC Perspective).
+pub fn compute_comparison(mps_peaks: &[(ChipGeneration, f64)]) -> String {
+    let mut table =
+        TextTable::new(vec!["System", "Regime", "Measured TFLOPS", "Efficiency"]).numeric();
+    for (chip, tflops) in mps_peaks {
+        let theoretical = chip.spec().gpu_tflops_published;
+        table.row(vec![
+            format!("Apple {chip} (GPU-MPS)"),
+            "FP32 (MPS)".to_string(),
+            format!("{tflops:.2}"),
+            format!("{:.0}%", tflops / theoretical * 100.0),
+        ]);
+    }
+    for system in reference::all() {
+        for c in &system.compute {
+            table.row(vec![
+                system.name.to_string(),
+                c.regime.to_string(),
+                format!("{:.1}", c.measured_tflops),
+                format!("{:.0}%", c.efficiency() * 100.0),
+            ]);
+        }
+    }
+    format!("R2. FP32 GEMM vs HPC state of the art (§5.2)\n{}", table.render())
+}
+
+/// R3: efficiency comparison (paper §5.3 + §7).
+pub fn efficiency_comparison(fig4_data: &fig4::Fig4Data) -> String {
+    let mut table = TextTable::new(vec!["System", "GFLOPS/W", "Notes"]).numeric();
+    for chip in ChipGeneration::ALL {
+        table.row(vec![
+            format!("Apple {chip} (GPU-MPS)"),
+            format!("{:.0}", fig4_data.peak(chip, "GPU-MPS")),
+            "FP32 SGEMM, powermetrics estimate".to_string(),
+        ]);
+    }
+    for system in reference::all() {
+        if let Some(eff) = system.gflops_per_watt {
+            let note = match system.power_watts {
+                Some(w) => format!("{} ({w:.0} W)", system.provenance),
+                None => system.provenance.to_string(),
+            };
+            table.row(vec![system.name.to_string(), format!("{eff:.0}"), note]);
+        }
+    }
+    format!("R3. Power efficiency vs HPC state of the art (§5.3, §7)\n{}", table.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig4::Fig4Config;
+
+    #[test]
+    fn r1_contains_gh200_and_all_chips() {
+        let data = fig1::run();
+        let text = bandwidth_comparison(&data);
+        assert!(text.contains("Apple M1 (CPU)"));
+        assert!(text.contains("Apple M4 (GPU)"));
+        assert!(text.contains("Grace CPU"));
+        assert!(text.contains("3700"));
+        assert!(text.contains("MI250X"));
+    }
+
+    #[test]
+    fn r2_contains_cublas_and_tensor_rows() {
+        let peaks = vec![(ChipGeneration::M4, 2.9)];
+        let text = compute_comparison(&peaks);
+        assert!(text.contains("cublasSgemm"));
+        assert!(text.contains("41.0"));
+        assert!(text.contains("TF32"));
+        assert!(text.contains("338.0"));
+        assert!(text.contains("Xeon"));
+        assert!(text.contains("Apple M4 (GPU-MPS)"));
+    }
+
+    #[test]
+    fn r3_contains_green500_and_gpus() {
+        let data = fig4::run(&Fig4Config {
+            chips: vec![ChipGeneration::M3],
+            ..Fig4Config::default()
+        })
+        .unwrap();
+        let text = efficiency_comparison(&data);
+        assert!(text.contains("Green500"));
+        assert!(text.contains("72"));
+        assert!(text.contains("A100"));
+        assert!(text.contains("RTX 4090"));
+        assert!(text.contains("Apple M3 (GPU-MPS)"));
+    }
+}

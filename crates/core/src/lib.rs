@@ -1,0 +1,61 @@
+//! # oranges — "Apple vs. Oranges" in Rust
+//!
+//! A benchmarking framework reproducing *"Apple vs. Oranges: Evaluating
+//! the Apple Silicon M-Series SoCs for HPC Performance and Efficiency"*
+//! (Hübner, Hu, Peng, Markidis — IPPS 2025) over a deterministic
+//! simulation of the M1–M4 SoCs.
+//!
+//! The stack, bottom-up:
+//!
+//! | crate | role |
+//! |---|---|
+//! | `oranges-soc` | chip/device models (Tables 1 & 3), cores, caches, thermal, references |
+//! | `oranges-umem` | unified memory: 16 KiB pages, storage modes, calibrated bandwidth |
+//! | `oranges-amx` | AMX/SME tile coprocessor (functional + cycle model) |
+//! | `oranges-metal` | Metal-shaped GPU API, shaders, MPS, dispatch timing |
+//! | `oranges-accelerate` | `cblas_sgemm`/vDSP on the AMX model |
+//! | `oranges-powermetrics` | the power sampler, text format, SIGINFO windows |
+//! | `oranges-stream` | STREAM for CPU (thread sweep) and GPU |
+//! | `oranges-gemm` | the six Table 2 GEMM implementations |
+//! | `oranges-harness` | repetition protocol, stats, tables, figures, CSV/JSON |
+//!
+//! This crate ties them together:
+//!
+//! - [`platform::Platform`]: one handle per simulated device under test;
+//! - [`experiments`]: a runner per paper artifact — Tables 1–3,
+//!   Figures 1–4, and the HPC-reference comparisons;
+//! - [`paper`]: the published numbers (calibration anchors and expected
+//!   values for EXPERIMENTS.md);
+//! - [`report`]: the paper-vs-measured report generator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use oranges::platform::Platform;
+//! use oranges_soc::chip::ChipGeneration;
+//!
+//! let mut platform = Platform::new(ChipGeneration::M4);
+//! let run = platform.gemm("GPU-MPS", 256).unwrap();
+//! assert!(run.gflops() > 0.0);
+//! let stream = platform.stream_cpu_quick();
+//! assert!(stream.best_gbs() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod paper;
+pub mod platform;
+pub mod report;
+
+pub use platform::Platform;
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::experiments;
+    pub use crate::paper;
+    pub use crate::platform::Platform;
+    pub use crate::report;
+    pub use oranges_soc::chip::ChipGeneration;
+}

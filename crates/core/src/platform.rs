@@ -1,0 +1,201 @@
+//! The platform facade: one handle per simulated device under test.
+
+use oranges_gemm::suite::suite_for;
+use oranges_gemm::{GemmError, GemmImplementation, GemmOutcome, Matrix};
+use oranges_metal::Device;
+use oranges_powermetrics::{PowerReading, PowerSession, SamplerError};
+use oranges_soc::chip::ChipGeneration;
+use oranges_soc::device::DeviceModel;
+use oranges_stream::cpu::{CpuStream, CpuStreamConfig};
+use oranges_stream::gpu::{GpuStream, GpuStreamConfig};
+use oranges_stream::StreamRun;
+use oranges_umem::buffer::SharedAddressSpace;
+
+/// A complete run (performance + piggybacked power), as the paper's
+/// harness produces for every experiment cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredRun {
+    /// Timing outcome.
+    pub outcome: GemmOutcome,
+    /// Power reading over the same window.
+    pub power: PowerReading,
+}
+
+impl MeasuredRun {
+    /// GFLOPS of the run.
+    pub fn gflops(&self) -> f64 {
+        self.outcome.gflops()
+    }
+
+    /// GFLOPS per watt — the Figure 4 quantity.
+    pub fn gflops_per_watt(&self) -> f64 {
+        self.power.gflops_per_watt(self.outcome.flops)
+    }
+}
+
+/// One simulated device under test (chip + Table 3 enclosure + substrates).
+pub struct Platform {
+    chip: ChipGeneration,
+    device_model: &'static DeviceModel,
+    metal: Device,
+    space: SharedAddressSpace,
+    power: PowerSession,
+    suite: Vec<Box<dyn GemmImplementation>>,
+}
+
+impl Platform {
+    /// Platform for a chip in its Table 3 enclosure.
+    pub fn new(chip: ChipGeneration) -> Self {
+        let metal = Device::system_default(chip);
+        let space = metal.address_space().clone();
+        Platform {
+            chip,
+            device_model: DeviceModel::of(chip),
+            metal,
+            space,
+            power: PowerSession::new(chip),
+            suite: suite_for(chip),
+        }
+    }
+
+    /// The chip generation.
+    pub fn chip(&self) -> ChipGeneration {
+        self.chip
+    }
+
+    /// The Table 3 device.
+    pub fn device_model(&self) -> &'static DeviceModel {
+        self.device_model
+    }
+
+    /// The Metal device.
+    pub fn metal(&self) -> &Device {
+        &self.metal
+    }
+
+    /// The unified-memory space.
+    pub fn address_space(&self) -> &SharedAddressSpace {
+        &self.space
+    }
+
+    /// The power session.
+    pub fn power_session(&self) -> &PowerSession {
+        &self.power
+    }
+
+    /// Names of the available GEMM implementations (Table 2 order).
+    pub fn implementation_names(&self) -> Vec<&'static str> {
+        self.suite.iter().map(|i| i.name()).collect()
+    }
+
+    /// Run one implementation at size `n` with freshly generated matrices
+    /// (functional when under the implementation's ceiling) and measure
+    /// power over the same window.
+    pub fn gemm(&mut self, implementation: &str, n: usize) -> Result<MeasuredRun, GemmError> {
+        let a = Matrix::random(&self.space, n, 0xA11CE)?;
+        let b = Matrix::random(&self.space, n, 0xB0B)?;
+        let mut c = Matrix::zeros(&self.space, n)?;
+        let implementation = self
+            .suite
+            .iter_mut()
+            .find(|i| i.name() == implementation)
+            .ok_or_else(|| GemmError::Dimension(format!("unknown implementation {implementation}")))?;
+        let outcome = implementation.run(n, a.as_slice(), b.as_slice(), c.as_mut_slice())?;
+        let power = self
+            .power
+            .measure(implementation.work_class(), outcome.duration, outcome.duty)
+            .map_err(|e: SamplerError| GemmError::Verification(e.to_string()))?;
+        Ok(MeasuredRun { outcome, power })
+    }
+
+    /// Model-only GEMM run (no matrices) with piggybacked power — what the
+    /// figure sweeps use for the paper's largest sizes.
+    pub fn gemm_modeled(
+        &mut self,
+        implementation: &str,
+        n: usize,
+    ) -> Result<MeasuredRun, GemmError> {
+        let implementation = self
+            .suite
+            .iter_mut()
+            .find(|i| i.name() == implementation)
+            .ok_or_else(|| GemmError::Dimension(format!("unknown implementation {implementation}")))?;
+        let outcome = implementation.model_run(n)?;
+        let power = self
+            .power
+            .measure(implementation.work_class(), outcome.duration, outcome.duty)
+            .map_err(|e: SamplerError| GemmError::Verification(e.to_string()))?;
+        Ok(MeasuredRun { outcome, power })
+    }
+
+    /// Full CPU STREAM with the paper's configuration.
+    pub fn stream_cpu(&self) -> StreamRun {
+        CpuStream::new(self.chip).run()
+    }
+
+    /// Small functional CPU STREAM (validates arithmetic; for examples
+    /// and tests).
+    pub fn stream_cpu_quick(&self) -> StreamRun {
+        CpuStream::with_config(self.chip, CpuStreamConfig::functional_small()).run()
+    }
+
+    /// Full GPU STREAM with the paper's configuration.
+    pub fn stream_gpu(&self) -> StreamRun {
+        GpuStream::new(self.chip).run().expect("standard library kernels present")
+    }
+
+    /// Small functional GPU STREAM.
+    pub fn stream_gpu_quick(&self) -> StreamRun {
+        GpuStream::with_config(self.chip, GpuStreamConfig::functional_small())
+            .run()
+            .expect("standard library kernels present")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_wires_all_substrates() {
+        let platform = Platform::new(ChipGeneration::M2);
+        assert_eq!(platform.chip(), ChipGeneration::M2);
+        assert_eq!(platform.device_model().memory_gb, 16);
+        assert_eq!(
+            platform.implementation_names(),
+            vec!["CPU-Single", "CPU-OMP", "CPU-Accelerate", "GPU-Naive", "GPU-CUTLASS", "GPU-MPS"]
+        );
+    }
+
+    #[test]
+    fn gemm_runs_functionally_and_measures_power() {
+        let mut platform = Platform::new(ChipGeneration::M1);
+        let run = platform.gemm("GPU-MPS", 64).unwrap();
+        assert!(run.outcome.functional);
+        assert!(run.gflops() > 0.0);
+        assert!(run.power.package_watts() > 0.0);
+        assert!(run.gflops_per_watt() > 0.0);
+    }
+
+    #[test]
+    fn modeled_runs_cover_paper_scale() {
+        let mut platform = Platform::new(ChipGeneration::M4);
+        let run = platform.gemm_modeled("GPU-MPS", 16384).unwrap();
+        assert!(!run.outcome.functional);
+        // The headline number: ~2.9 TFLOPS.
+        assert!((run.gflops() / 1e3 - 2.9).abs() < 0.1, "{}", run.gflops());
+    }
+
+    #[test]
+    fn unknown_implementation_is_an_error() {
+        let mut platform = Platform::new(ChipGeneration::M3);
+        assert!(platform.gemm("GPU-FAST", 64).is_err());
+    }
+
+    #[test]
+    fn stream_quick_paths_validate() {
+        let platform = Platform::new(ChipGeneration::M1);
+        assert!(platform.stream_cpu_quick().validated);
+        assert!(platform.stream_gpu_quick().validated);
+    }
+}

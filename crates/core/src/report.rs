@@ -1,0 +1,165 @@
+//! The paper-vs-measured report generator (EXPERIMENTS.md's engine).
+
+use crate::experiments::{fig1, fig2, fig3, fig4};
+use crate::paper;
+use oranges_harness::table::TextTable;
+use oranges_soc::chip::ChipGeneration;
+use std::fmt::Write as _;
+
+/// One paper-vs-measured comparison row.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// What is being compared ("M1 CPU STREAM best", …).
+    pub quantity: String,
+    /// The paper's value.
+    pub published: f64,
+    /// Our measured value.
+    pub measured: f64,
+    /// Unit label.
+    pub unit: &'static str,
+}
+
+impl ComparisonRow {
+    /// Relative error.
+    pub fn relative_error(&self) -> f64 {
+        paper::relative_error(self.measured, self.published)
+    }
+}
+
+fn comparison_table(rows: &[ComparisonRow]) -> String {
+    let mut table =
+        TextTable::new(vec!["Quantity", "Paper", "Measured", "Unit", "Rel. err"]).numeric();
+    for row in rows {
+        table.row(vec![
+            row.quantity.clone(),
+            format!("{:.3}", row.published),
+            format!("{:.3}", row.measured),
+            row.unit.to_string(),
+            format!("{:.1}%", row.relative_error() * 100.0),
+        ]);
+    }
+    table.render()
+}
+
+/// Figure 1 comparison rows.
+pub fn fig1_rows(data: &fig1::Fig1Data) -> Vec<ComparisonRow> {
+    let mut rows = Vec::new();
+    for (chip, published) in paper::FIG1_CPU_BEST_GBS {
+        rows.push(ComparisonRow {
+            quantity: format!("{chip} CPU STREAM best"),
+            published,
+            measured: data.best(chip, "CPU"),
+            unit: "GB/s",
+        });
+    }
+    for (chip, published) in paper::FIG1_GPU_BEST_GBS {
+        rows.push(ComparisonRow {
+            quantity: format!("{chip} GPU STREAM best"),
+            published,
+            measured: data.best(chip, "GPU"),
+            unit: "GB/s",
+        });
+    }
+    rows
+}
+
+/// Figure 2 comparison rows (peak TFLOPS per anchored implementation).
+pub fn fig2_rows(data: &fig2::Fig2Data) -> Vec<ComparisonRow> {
+    let mut rows = Vec::new();
+    for implementation in ["CPU-Accelerate", "GPU-Naive", "GPU-CUTLASS", "GPU-MPS"] {
+        for chip in ChipGeneration::ALL {
+            if let Some(published) = paper::fig2_peak_tflops(implementation, chip) {
+                rows.push(ComparisonRow {
+                    quantity: format!("{chip} {implementation} peak"),
+                    published,
+                    measured: data.peak(chip, implementation) / 1e3,
+                    unit: "TFLOPS",
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Figure 4 comparison rows (peak TFLOPS/W for the anchored pair).
+pub fn fig4_rows(data: &fig4::Fig4Data) -> Vec<ComparisonRow> {
+    let mut rows = Vec::new();
+    for implementation in ["GPU-MPS", "CPU-Accelerate"] {
+        for chip in ChipGeneration::ALL {
+            if let Some(published) = paper::fig4_peak_tflops_per_watt(implementation, chip) {
+                rows.push(ComparisonRow {
+                    quantity: format!("{chip} {implementation} peak efficiency"),
+                    published,
+                    measured: data.peak(chip, implementation) / 1e3,
+                    unit: "TFLOPS/W",
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Build the full paper-vs-measured report body (the core of
+/// EXPERIMENTS.md).
+pub fn full_report(
+    fig1_data: &fig1::Fig1Data,
+    fig2_data: &fig2::Fig2Data,
+    fig3_data: &fig3::Fig3Data,
+    fig4_data: &fig4::Fig4Data,
+) -> String {
+    let mut out = String::new();
+    writeln!(out, "## Figure 1 — STREAM bandwidth\n").unwrap();
+    writeln!(out, "{}", comparison_table(&fig1_rows(fig1_data))).unwrap();
+    writeln!(out, "## Figure 2 — GEMM FP32 throughput (peaks)\n").unwrap();
+    writeln!(out, "{}", comparison_table(&fig2_rows(fig2_data))).unwrap();
+    writeln!(out, "## Figure 3 — power dissipation\n").unwrap();
+    if let Some(hottest) = fig3_data.hottest() {
+        writeln!(
+            out,
+            "Hottest cell: {} {} at n = {} → {:.1} W (paper: M4 + Cutlass-style shader, ~17–20 W).\n",
+            hottest.chip,
+            hottest.implementation,
+            hottest.n,
+            hottest.power_mw / 1e3,
+        )
+        .unwrap();
+    }
+    writeln!(out, "## Figure 4 — efficiency (peaks)\n").unwrap();
+    writeln!(out, "{}", comparison_table(&fig4_rows(fig4_data))).unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig2::Fig2Config;
+    use crate::experiments::fig3::Fig3Config;
+    use crate::experiments::fig4::Fig4Config;
+
+    #[test]
+    fn full_report_contains_all_sections_and_small_errors() {
+        let fig1_data = fig1::run();
+        let fig2_data = fig2::run(&Fig2Config {
+            sizes: vec![8192, 16384],
+            verify_max_flops: 0,
+            ..Fig2Config::default()
+        })
+        .unwrap();
+        let fig3_data = fig3::run(&Fig3Config::default()).unwrap();
+        let fig4_data = fig4::run(&Fig4Config::default()).unwrap();
+        let report = full_report(&fig1_data, &fig2_data, &fig3_data, &fig4_data);
+        assert!(report.contains("## Figure 1"));
+        assert!(report.contains("## Figure 2"));
+        assert!(report.contains("## Figure 3"));
+        assert!(report.contains("## Figure 4"));
+        assert!(report.contains("Hottest cell: M4 GPU-CUTLASS"));
+        // Every anchored row lands within 10% of the paper.
+        for row in fig1_rows(&fig1_data)
+            .into_iter()
+            .chain(fig2_rows(&fig2_data))
+            .chain(fig4_rows(&fig4_data))
+        {
+            assert!(row.relative_error() < 0.10, "{}: {:.1}%", row.quantity, row.relative_error() * 100.0);
+        }
+    }
+}

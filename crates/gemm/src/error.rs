@@ -1,0 +1,60 @@
+//! GEMM benchmark errors.
+
+use oranges_metal::MetalError;
+use oranges_umem::UmemError;
+use std::fmt;
+
+/// Errors from the GEMM implementations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GemmError {
+    /// Matrix dimension problems.
+    Dimension(String),
+    /// Metal-path failure.
+    Metal(MetalError),
+    /// Unified-memory failure.
+    Memory(UmemError),
+    /// BLAS-path failure.
+    Blas(String),
+    /// Verification failed.
+    Verification(String),
+}
+
+impl fmt::Display for GemmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GemmError::Dimension(s) => write!(f, "dimension error: {s}"),
+            GemmError::Metal(e) => write!(f, "metal error: {e}"),
+            GemmError::Memory(e) => write!(f, "memory error: {e}"),
+            GemmError::Blas(s) => write!(f, "blas error: {s}"),
+            GemmError::Verification(s) => write!(f, "verification failed: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for GemmError {}
+
+impl From<MetalError> for GemmError {
+    fn from(e: MetalError) -> Self {
+        GemmError::Metal(e)
+    }
+}
+
+impl From<UmemError> for GemmError {
+    fn from(e: UmemError) -> Self {
+        GemmError::Memory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: GemmError = MetalError::MissingBinding(1).into();
+        assert!(e.to_string().contains("metal error"));
+        let e: GemmError = UmemError::ZeroLength.into();
+        assert!(e.to_string().contains("memory error"));
+        assert!(GemmError::Dimension("n=0".into()).to_string().contains("n=0"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests: all six implementations agree on random inputs, and
+//! the model invariants hold across the size grid.
+
+use oranges_gemm::suite::{paper_sizes, skips_size, suite_for};
+use oranges_gemm::verify::{reference_gemm, verify_sampled};
+use oranges_gemm::gemm_flops;
+use oranges_soc::chip::ChipGeneration;
+use proptest::prelude::*;
+
+fn any_generation() -> impl Strategy<Value = ChipGeneration> {
+    prop_oneof![
+        Just(ChipGeneration::M1),
+        Just(ChipGeneration::M2),
+        Just(ChipGeneration::M3),
+        Just(ChipGeneration::M4),
+    ]
+}
+
+fn random_matrix(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(99);
+    (0..n * n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u32 << 24) as f32
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn all_implementations_agree(gen in any_generation(), n in 1usize..40, seed in 0u64..500) {
+        let a = random_matrix(n, seed);
+        let b = random_matrix(n, seed + 1);
+        let mut expected = vec![0.0f32; n * n];
+        reference_gemm(n, &a, &b, &mut expected);
+        for mut implementation in suite_for(gen) {
+            let mut c = vec![0.0f32; n * n];
+            let outcome = implementation.run(n, &a, &b, &mut c).unwrap();
+            prop_assert!(outcome.functional);
+            prop_assert_eq!(outcome.flops, gemm_flops(n as u64));
+            let tol = 1e-4f32 * n as f32 + 1e-5;
+            for idx in 0..n * n {
+                prop_assert!((c[idx] - expected[idx]).abs() <= tol * (1.0 + expected[idx].abs()),
+                    "{} n={} idx={}: {} vs {}", implementation.name(), n, idx, c[idx], expected[idx]);
+            }
+        }
+    }
+
+    #[test]
+    fn model_run_matches_run_timing(gen in any_generation(), n in 8usize..64) {
+        // The model-only path must price identically to the full path.
+        let a = random_matrix(n, 3);
+        let b = random_matrix(n, 4);
+        for mut implementation in suite_for(gen) {
+            let mut c = vec![0.0f32; n * n];
+            let full = implementation.run(n, &a, &b, &mut c).unwrap();
+            let modeled = implementation.model_run(n).unwrap();
+            prop_assert_eq!(full.duration, modeled.duration, "{}", implementation.name());
+            prop_assert_eq!(full.flops, modeled.flops);
+        }
+    }
+
+    #[test]
+    fn modeled_time_monotone_in_n(gen in any_generation(), step in 1usize..5) {
+        for mut implementation in suite_for(gen) {
+            let n1 = 128 * step;
+            let n2 = n1 * 2;
+            let t1 = implementation.model_run(n1).unwrap().duration;
+            let t2 = implementation.model_run(n2).unwrap().duration;
+            prop_assert!(t2 > t1, "{}: {} !> {}", implementation.name(), t2, t1);
+        }
+    }
+
+    #[test]
+    fn duty_is_a_fraction(gen in any_generation(), n in 1usize..2048) {
+        for mut implementation in suite_for(gen) {
+            let outcome = implementation.model_run(n).unwrap();
+            prop_assert!((0.0..=1.0).contains(&outcome.duty), "{}", implementation.name());
+        }
+    }
+
+    #[test]
+    fn verifier_accepts_reference_products(n in 1usize..48, seed in 0u64..200) {
+        let a = random_matrix(n, seed);
+        let b = random_matrix(n, seed + 7);
+        let mut c = vec![0.0f32; n * n];
+        reference_gemm(n, &a, &b, &mut c);
+        let outcome = verify_sampled(n, &a, &b, &c, 32, seed, 1e-5);
+        prop_assert!(outcome.passed, "max rel {}", outcome.max_rel_error);
+    }
+
+    #[test]
+    fn skip_rules_only_affect_plain_cpu(n_idx in 0usize..10) {
+        let n = paper_sizes()[n_idx];
+        for name in ["CPU-Accelerate", "GPU-Naive", "GPU-CUTLASS", "GPU-MPS"] {
+            prop_assert!(!skips_size(name, n));
+        }
+        prop_assert_eq!(skips_size("CPU-Single", n), n >= 8192);
+        prop_assert_eq!(skips_size("CPU-OMP", n), n >= 8192);
+    }
+}

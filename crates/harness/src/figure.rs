@@ -1,0 +1,238 @@
+//! ASCII figure rendering.
+//!
+//! Two chart types cover the paper's four figures:
+//!
+//! - [`grouped_bar_chart`]: Figure 1 — grouped bars per chip with a
+//!   reference line (theoretical bandwidth);
+//! - [`series_chart`]: Figures 2–4 — one series per implementation over
+//!   the matrix-size axis, linear or log-10 y-scale.
+
+use std::fmt::Write as _;
+
+/// One bar in a group.
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// Series label (e.g. "Copy (CPU)").
+    pub label: String,
+    /// Value in the chart's unit.
+    pub value: f64,
+}
+
+/// One group of bars (e.g. one chip).
+#[derive(Debug, Clone)]
+pub struct BarGroup {
+    /// Group label (e.g. "M1").
+    pub label: String,
+    /// Bars in legend order.
+    pub bars: Vec<Bar>,
+    /// Optional reference value rendered as a marker line (theoretical
+    /// bandwidth in Figure 1).
+    pub reference: Option<f64>,
+}
+
+/// Render grouped horizontal bars with an optional reference marker.
+pub fn grouped_bar_chart(title: &str, unit: &str, groups: &[BarGroup], width: usize) -> String {
+    let mut out = String::new();
+    writeln!(out, "{title}").unwrap();
+    let max_value = groups
+        .iter()
+        .flat_map(|g| {
+            g.bars.iter().map(|b| b.value).chain(g.reference)
+        })
+        .fold(0.0f64, f64::max);
+    if max_value <= 0.0 {
+        writeln!(out, "(no data)").unwrap();
+        return out;
+    }
+    let label_width = groups
+        .iter()
+        .flat_map(|g| g.bars.iter().map(|b| b.label.chars().count()))
+        .max()
+        .unwrap_or(0);
+    let scale = width as f64 / max_value;
+    for group in groups {
+        writeln!(out, "{}", group.label).unwrap();
+        let reference_col = group.reference.map(|r| (r * scale).round() as usize);
+        for bar in &group.bars {
+            let mut cells: Vec<char> = vec![' '; width + 1];
+            let filled = ((bar.value * scale).round() as usize).min(width);
+            for cell in cells.iter_mut().take(filled) {
+                *cell = '#';
+            }
+            if let Some(col) = reference_col {
+                let col = col.min(width);
+                cells[col] = '|';
+            }
+            let bar_text: String = cells.into_iter().collect();
+            writeln!(
+                out,
+                "  {:<label_width$} {} {:>8.1} {unit}",
+                bar.label, bar_text, bar.value
+            )
+            .unwrap();
+        }
+        if let Some(reference) = group.reference {
+            writeln!(out, "  {:<label_width$} (| = theoretical {reference:.0} {unit})", "").unwrap();
+        }
+    }
+    out
+}
+
+/// One series of a line chart.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points `(x, y)`; `y = None` marks a skipped size (§4 skip rules).
+    pub points: Vec<(f64, Option<f64>)>,
+}
+
+/// Series-chart configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SeriesChartConfig {
+    /// Plot height in rows.
+    pub height: usize,
+    /// Plot width in columns.
+    pub width: usize,
+    /// Log-10 y axis (Figures 2 and 4).
+    pub log_y: bool,
+}
+
+impl Default for SeriesChartConfig {
+    fn default() -> Self {
+        SeriesChartConfig { height: 16, width: 64, log_y: true }
+    }
+}
+
+/// Render series as a scatter/line grid with per-series glyphs.
+pub fn series_chart(title: &str, y_unit: &str, series: &[Series], config: SeriesChartConfig) -> String {
+    const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '@', '%', '^', '~'];
+    let mut out = String::new();
+    writeln!(out, "{title}").unwrap();
+
+    let ys: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().filter_map(|(_, y)| *y))
+        .filter(|y| !config.log_y || *y > 0.0)
+        .collect();
+    let xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|(x, _)| *x)).collect();
+    if ys.is_empty() || xs.is_empty() {
+        writeln!(out, "(no data)").unwrap();
+        return out;
+    }
+    let transform = |y: f64| if config.log_y { y.log10() } else { y };
+    let (y_min, y_max) = ys
+        .iter()
+        .map(|y| transform(*y))
+        .fold((f64::MAX, f64::MIN), |(lo, hi), y| (lo.min(y), hi.max(y)));
+    let (x_min, x_max) = xs
+        .iter()
+        .map(|x| x.log2())
+        .fold((f64::MAX, f64::MIN), |(lo, hi), x| (lo.min(x), hi.max(x)));
+    let y_span = (y_max - y_min).max(1e-9);
+    let x_span = (x_max - x_min).max(1e-9);
+
+    let mut grid = vec![vec![' '; config.width + 1]; config.height + 1];
+    for (index, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[index % GLYPHS.len()];
+        for (x, y) in &s.points {
+            let Some(y) = y else { continue };
+            if config.log_y && *y <= 0.0 {
+                continue;
+            }
+            let col = (((x.log2() - x_min) / x_span) * config.width as f64).round() as usize;
+            let row_from_bottom =
+                (((transform(*y) - y_min) / y_span) * config.height as f64).round() as usize;
+            let row = config.height - row_from_bottom.min(config.height);
+            grid[row][col.min(config.width)] = glyph;
+        }
+    }
+
+    let y_label_top = if config.log_y { format!("1e{y_max:.1}") } else { format!("{y_max:.1}") };
+    let y_label_bottom = if config.log_y { format!("1e{y_min:.1}") } else { format!("{y_min:.1}") };
+    for (row_index, row) in grid.iter().enumerate() {
+        let label = if row_index == 0 {
+            format!("{y_label_top:>10}")
+        } else if row_index == config.height {
+            format!("{y_label_bottom:>10}")
+        } else {
+            " ".repeat(10)
+        };
+        let line: String = row.iter().collect();
+        writeln!(out, "{label} |{line}").unwrap();
+    }
+    writeln!(out, "{:>10} +{}", "", "-".repeat(config.width + 1)).unwrap();
+    writeln!(out, "{:>10}  n = {:.0} .. {:.0} ({y_unit})", "", 2f64.powf(x_min), 2f64.powf(x_max))
+        .unwrap();
+    for (index, s) in series.iter().enumerate() {
+        writeln!(out, "{:>12} = {}", GLYPHS[index % GLYPHS.len()], s.label).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_and_marks_reference() {
+        let groups = vec![BarGroup {
+            label: "M1".into(),
+            bars: vec![
+                Bar { label: "Copy (CPU)".into(), value: 55.6 },
+                Bar { label: "Triad (CPU)".into(), value: 59.0 },
+            ],
+            reference: Some(67.0),
+        }];
+        let text = grouped_bar_chart("Fig 1", "GB/s", &groups, 40);
+        assert!(text.contains("Fig 1"));
+        assert!(text.contains("M1"));
+        assert!(text.contains("#"));
+        assert!(text.contains("|"), "reference marker missing:\n{text}");
+        assert!(text.contains("59.0 GB/s"));
+        assert!(text.contains("theoretical 67"));
+    }
+
+    #[test]
+    fn empty_bar_chart_degrades_gracefully() {
+        let text = grouped_bar_chart("empty", "x", &[], 20);
+        assert!(text.contains("(no data)"));
+    }
+
+    #[test]
+    fn series_chart_renders_all_series() {
+        let series = vec![
+            Series {
+                label: "GPU-MPS".into(),
+                points: vec![(256.0, Some(100.0)), (1024.0, Some(1000.0)), (4096.0, Some(2400.0))],
+            },
+            Series {
+                label: "CPU-Single".into(),
+                points: vec![(256.0, Some(1.2)), (1024.0, Some(1.0)), (4096.0, None)],
+            },
+        ];
+        let text = series_chart("Fig 2 (M2)", "GFLOPS", &series, SeriesChartConfig::default());
+        assert!(text.contains("GPU-MPS"));
+        assert!(text.contains("CPU-Single"));
+        assert!(text.contains('*'));
+        assert!(text.contains('o'));
+        assert!(text.contains("n = 256 .. 4096"));
+    }
+
+    #[test]
+    fn log_scale_skips_nonpositive_values() {
+        let series = vec![Series {
+            label: "zeroes".into(),
+            points: vec![(32.0, Some(0.0)), (64.0, Some(10.0))],
+        }];
+        let text =
+            series_chart("t", "u", &series, SeriesChartConfig { height: 4, width: 16, log_y: true });
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    fn empty_series_chart_degrades() {
+        let text = series_chart("t", "u", &[], SeriesChartConfig::default());
+        assert!(text.contains("(no data)"));
+    }
+}

@@ -1,0 +1,412 @@
+//! A minimal JSON emitter over `serde::Serialize`.
+//!
+//! The approved dependency set includes `serde` but not `serde_json`;
+//! reports only need *emission* (results flow out of the harness, never
+//! back in), so this ~200-line serializer covers exactly the data model
+//! the report types use. Non-finite floats serialize as `null`.
+
+use serde::ser::{self, Serialize};
+use std::fmt;
+
+/// Serialization failure (custom messages from Serialize impls).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl ser::Error for JsonError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        JsonError(msg.to_string())
+    }
+}
+
+/// Serialize any `Serialize` value to a JSON string.
+pub fn to_json_string<T: Serialize>(value: &T) -> Result<String, JsonError> {
+    let mut out = String::new();
+    value.serialize(&mut Emitter { out: &mut out })?;
+    Ok(out)
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Emitter<'a> {
+    out: &'a mut String,
+}
+
+/// Compound-state helper shared by seq/map/struct serializers.
+struct Compound<'a> {
+    out: &'a mut String,
+    first: bool,
+    closer: char,
+}
+
+impl Compound<'_> {
+    fn sep(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.out.push(',');
+        }
+    }
+}
+
+impl<'a> ser::Serializer for &'a mut Emitter<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), JsonError> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), JsonError> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), JsonError> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), JsonError> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), JsonError> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), JsonError> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), JsonError> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), JsonError> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), JsonError> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), JsonError> {
+        self.serialize_f64(v as f64)
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), JsonError> {
+        if v.is_finite() {
+            self.out.push_str(&format!("{v}"));
+        } else {
+            self.out.push_str("null");
+        }
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<(), JsonError> {
+        escape_into(self.out, &v.to_string());
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), JsonError> {
+        escape_into(self.out, v);
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), JsonError> {
+        let parts: Vec<String> = v.iter().map(|b| b.to_string()).collect();
+        self.out.push('[');
+        self.out.push_str(&parts.join(","));
+        self.out.push(']');
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), JsonError> {
+        self.serialize_unit()
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+    ) -> Result<(), JsonError> {
+        escape_into(self.out, variant);
+        Ok(())
+    }
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        self.out.push('{');
+        escape_into(self.out, variant);
+        self.out.push(':');
+        value.serialize(&mut Emitter { out: self.out })?;
+        self.out.push('}');
+        Ok(())
+    }
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, JsonError> {
+        self.out.push('[');
+        Ok(Compound { out: self.out, first: true, closer: ']' })
+    }
+    fn serialize_tuple(self, len: usize) -> Result<Compound<'a>, JsonError> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<Compound<'a>, JsonError> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, JsonError> {
+        self.out.push('{');
+        escape_into(self.out, variant);
+        self.out.push_str(":[");
+        Ok(Compound { out: self.out, first: true, closer: '!' }) // '!' = ]}
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a>, JsonError> {
+        self.out.push('{');
+        Ok(Compound { out: self.out, first: true, closer: '}' })
+    }
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, JsonError> {
+        self.out.push('{');
+        Ok(Compound { out: self.out, first: true, closer: '}' })
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, JsonError> {
+        self.out.push('{');
+        escape_into(self.out, variant);
+        self.out.push_str(":{");
+        Ok(Compound { out: self.out, first: true, closer: '?' }) // '?' = }}
+    }
+}
+
+impl ser::SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
+        self.sep();
+        value.serialize(&mut Emitter { out: self.out })
+    }
+    fn end(self) -> Result<(), JsonError> {
+        finish(self)
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        finish(self)
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        finish(self)
+    }
+}
+
+impl ser::SerializeTupleVariant for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        finish(self)
+    }
+}
+
+impl ser::SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), JsonError> {
+        self.sep();
+        // JSON keys must be strings; serialize and trust the caller used a
+        // string-like key (report types do).
+        key.serialize(&mut Emitter { out: self.out })
+    }
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
+        self.out.push(':');
+        value.serialize(&mut Emitter { out: self.out })
+    }
+    fn end(self) -> Result<(), JsonError> {
+        finish(self)
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        self.sep();
+        escape_into(self.out, key);
+        self.out.push(':');
+        value.serialize(&mut Emitter { out: self.out })
+    }
+    fn end(self) -> Result<(), JsonError> {
+        finish(self)
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        ser::SerializeStruct::serialize_field(self, key, value)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        finish(self)
+    }
+}
+
+fn finish(compound: Compound<'_>) -> Result<(), JsonError> {
+    match compound.closer {
+        ']' => compound.out.push(']'),
+        '}' => compound.out.push('}'),
+        '!' => compound.out.push_str("]}"),
+        '?' => compound.out.push_str("}}"),
+        other => unreachable!("unknown closer {other}"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+    use std::collections::BTreeMap;
+
+    #[derive(Serialize)]
+    struct Point {
+        chip: String,
+        n: u64,
+        gflops: f64,
+        verified: Option<bool>,
+    }
+
+    #[derive(Serialize)]
+    enum Kind {
+        Unit,
+        Newtype(u32),
+        Tuple(u32, u32),
+        Struct { x: u32 },
+    }
+
+    #[test]
+    fn structs_and_options() {
+        let p = Point { chip: "M1".into(), n: 256, gflops: 123.5, verified: Some(true) };
+        assert_eq!(
+            to_json_string(&p).unwrap(),
+            r#"{"chip":"M1","n":256,"gflops":123.5,"verified":true}"#
+        );
+        let p = Point { chip: "M2".into(), n: 1, gflops: f64::NAN, verified: None };
+        assert_eq!(
+            to_json_string(&p).unwrap(),
+            r#"{"chip":"M2","n":1,"gflops":null,"verified":null}"#
+        );
+    }
+
+    #[test]
+    fn sequences_and_maps() {
+        assert_eq!(to_json_string(&vec![1, 2, 3]).unwrap(), "[1,2,3]");
+        let mut map = BTreeMap::new();
+        map.insert("a".to_string(), 1.5);
+        map.insert("b".to_string(), 2.0);
+        assert_eq!(to_json_string(&map).unwrap(), r#"{"a":1.5,"b":2}"#);
+        assert_eq!(to_json_string(&(1, "two", 3.0)).unwrap(), r#"[1,"two",3]"#);
+    }
+
+    #[test]
+    fn enum_variants() {
+        assert_eq!(to_json_string(&Kind::Unit).unwrap(), r#""Unit""#);
+        assert_eq!(to_json_string(&Kind::Newtype(5)).unwrap(), r#"{"Newtype":5}"#);
+        assert_eq!(to_json_string(&Kind::Tuple(1, 2)).unwrap(), r#"{"Tuple":[1,2]}"#);
+        assert_eq!(to_json_string(&Kind::Struct { x: 9 }).unwrap(), r#"{"Struct":{"x":9}}"#);
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(to_json_string(&"say \"hi\"\n").unwrap(), r#""say \"hi\"\n""#);
+        assert_eq!(to_json_string(&'\t').unwrap(), r#""\t""#);
+        assert_eq!(to_json_string(&"\u{1}").unwrap(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(to_json_string(&true).unwrap(), "true");
+        assert_eq!(to_json_string(&-42i32).unwrap(), "-42");
+        assert_eq!(to_json_string(&3.25f32).unwrap(), "3.25");
+        assert_eq!(to_json_string(&()).unwrap(), "null");
+    }
+}

@@ -1,0 +1,45 @@
+//! # oranges-harness — benchmark orchestration and reporting
+//!
+//! Everything the paper's experimental section (§4) needs that is not a
+//! kernel: the repetition protocol (five repetitions per GEMM experiment,
+//! ten/twenty for STREAM), summary statistics, aligned text tables,
+//! ASCII renderings of the four figures, CSV files and JSON reports, and
+//! the environment discipline (`caffeinate`, mains power, reboot + idle)
+//! as a recorded object.
+//!
+//! - [`stats`]: min/max/mean/median/σ summaries and best-of-N;
+//! - [`experiment`]: repetition protocol with warm-up and skip rules;
+//! - [`table`]: aligned text tables (Tables 1–3 renderers live in the
+//!   `oranges` crate; this is the generic engine);
+//! - [`figure`]: ASCII grouped bars (Fig. 1) and log-scale series charts
+//!   (Fig. 2–4);
+//! - [`csv`]: CSV writer;
+//! - [`json`]: a minimal JSON serializer over `serde::Serialize` (kept
+//!   in-tree so the approved dependency set stays small);
+//! - [`env`]: the §4 environment record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod env;
+pub mod experiment;
+pub mod figure;
+pub mod json;
+pub mod stats;
+pub mod table;
+
+pub use experiment::{ExperimentMeta, RepetitionProtocol};
+pub use stats::Summary;
+pub use table::TextTable;
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::csv::CsvWriter;
+    pub use crate::env::EnvironmentRecord;
+    pub use crate::experiment::{ExperimentMeta, RepetitionProtocol};
+    pub use crate::figure::{grouped_bar_chart, series_chart, SeriesChartConfig};
+    pub use crate::json::to_json_string;
+    pub use crate::stats::Summary;
+    pub use crate::table::TextTable;
+}

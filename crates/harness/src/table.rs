@@ -1,0 +1,142 @@
+//! Aligned text tables (the rendering engine behind Tables 1–3).
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A text table builder.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with a header row (all columns left-aligned; adjust
+    /// with [`TextTable::align`]).
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        let header: Vec<String> = header.into_iter().map(Into::into).collect();
+        let aligns = vec![Align::Left; header.len()];
+        TextTable { header, aligns, rows: Vec::new() }
+    }
+
+    /// Set one column's alignment.
+    pub fn align(mut self, column: usize, align: Align) -> Self {
+        if column < self.aligns.len() {
+            self.aligns[column] = align;
+        }
+        self
+    }
+
+    /// Right-align every column except the first.
+    pub fn numeric(mut self) -> Self {
+        for a in self.aligns.iter_mut().skip(1) {
+            *a = Align::Right;
+        }
+        self
+    }
+
+    /// Append a row (short rows are padded with empty cells; long rows are
+    /// truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with column separators and a header rule.
+    pub fn render(&self) -> String {
+        let columns = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String], widths: &[usize], aligns: &[Align]| {
+            let mut parts = Vec::with_capacity(cells.len());
+            for ((cell, width), align) in cells.iter().zip(widths).zip(aligns) {
+                let pad = width - cell.chars().count();
+                match align {
+                    Align::Left => parts.push(format!("{cell}{}", " ".repeat(pad))),
+                    Align::Right => parts.push(format!("{}{cell}", " ".repeat(pad))),
+                }
+            }
+            writeln!(out, "| {} |", parts.join(" | ")).unwrap();
+        };
+        render_row(&mut out, &self.header, &widths, &self.aligns);
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(out, "|-{}-|", rule.join("-|-")).unwrap();
+        for row in &self.rows {
+            render_row(&mut out, row, &widths, &self.aligns);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["Feature", "M1", "M2"]).numeric();
+        t.row(vec!["Cores", "8", "8"]);
+        t.row(vec!["Bandwidth (GB/s)", "67", "100"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines the same width.
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "{text}");
+        assert!(text.contains("| Feature"));
+        assert!(text.contains("100 |"));
+    }
+
+    #[test]
+    fn numeric_right_aligns() {
+        let mut t = TextTable::new(vec!["k", "v"]).numeric();
+        t.row(vec!["a", "1"]);
+        t.row(vec!["b", "100"]);
+        let text = t.render();
+        assert!(text.contains("|   1 |"), "{text}");
+    }
+
+    #[test]
+    fn short_rows_pad() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["x"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let text = t.render();
+        assert!(text.lines().count() == 3);
+    }
+
+    #[test]
+    fn unicode_widths_counted_by_chars() {
+        let mut t = TextTable::new(vec!["η", "值"]);
+        t.row(vec!["0.85", "x"]);
+        let text = t.render();
+        assert!(text.contains("0.85"));
+    }
+}

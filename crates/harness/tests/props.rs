@@ -1,0 +1,106 @@
+//! Property tests: statistics, CSV round-trips, JSON validity, tables.
+
+use oranges_harness::csv::{parse, CsvWriter};
+use oranges_harness::experiment::RepetitionProtocol;
+use oranges_harness::json::to_json_string;
+use oranges_harness::stats::{best_of, geometric_mean, Summary};
+use oranges_harness::table::TextTable;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    #[test]
+    fn summary_bounds(samples in proptest::collection::vec(-1e6f64..1e6, 1..64)) {
+        let s = Summary::of(&samples).unwrap();
+        prop_assert_eq!(s.count, samples.len());
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.stddev >= 0.0);
+        prop_assert!(s.stddev <= (s.max - s.min) + 1e-9);
+    }
+
+    #[test]
+    fn best_of_is_max(samples in proptest::collection::vec(-1e6f64..1e6, 1..64)) {
+        let best = best_of(&samples).unwrap();
+        for v in &samples {
+            prop_assert!(best >= *v);
+        }
+        prop_assert!(samples.contains(&best));
+    }
+
+    #[test]
+    fn geometric_mean_between_min_and_max(
+        samples in proptest::collection::vec(1e-3f64..1e6, 1..32)
+    ) {
+        let g = geometric_mean(&samples).unwrap();
+        let min = samples.iter().copied().fold(f64::MAX, f64::min);
+        let max = samples.iter().copied().fold(f64::MIN, f64::max);
+        prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
+    }
+
+    #[test]
+    fn csv_round_trips_arbitrary_cells(
+        rows in proptest::collection::vec(
+            proptest::collection::vec("[a-zA-Z0-9 ,\"']{0,20}", 3..4), 0..12)
+    ) {
+        let mut writer = CsvWriter::new(&["a", "b", "c"]);
+        for row in &rows {
+            let cells: Vec<String> = row.clone();
+            writer.row(&cells);
+        }
+        let text = writer.finish();
+        let parsed = parse(&text);
+        prop_assert_eq!(parsed.len(), rows.len() + 1);
+        for (parsed_row, row) in parsed[1..].iter().zip(&rows) {
+            prop_assert_eq!(parsed_row, row);
+        }
+    }
+
+    #[test]
+    fn json_emits_valid_maps(entries in proptest::collection::btree_map(
+        "[a-z]{1,8}", -1e9f64..1e9, 0..16))
+    {
+        let map: BTreeMap<String, f64> = entries;
+        let json = to_json_string(&map).unwrap();
+        let well_formed = json.starts_with('{') && json.ends_with('}');
+        prop_assert!(well_formed, "not an object: {}", json);
+        // Each key appears quoted exactly once.
+        for key in map.keys() {
+            let needle = format!("\"{key}\":");
+            prop_assert!(json.contains(&needle), "missing {}", needle);
+        }
+    }
+
+    #[test]
+    fn protocol_runs_exact_count(reps in 1u32..30, warmup in 0u32..10) {
+        let protocol = RepetitionProtocol { reps, warmup };
+        let mut calls = 0u32;
+        let kept = protocol.run(|_| {
+            calls += 1;
+            calls
+        });
+        prop_assert_eq!(calls, reps + warmup);
+        prop_assert_eq!(kept.len(), reps as usize);
+        // The kept values are the last `reps` calls.
+        prop_assert_eq!(kept[0], warmup + 1);
+    }
+
+    #[test]
+    fn tables_render_rectangles(
+        rows in proptest::collection::vec(
+            proptest::collection::vec("[a-zA-Z0-9 ]{0,12}", 2..3), 0..10)
+    ) {
+        let mut table = TextTable::new(vec!["col1", "col2"]);
+        for row in &rows {
+            table.row(row.clone());
+        }
+        let text = table.render();
+        let lines: Vec<&str> = text.lines().collect();
+        prop_assert_eq!(lines.len(), rows.len() + 2);
+        let width = lines[0].chars().count();
+        for line in &lines {
+            prop_assert_eq!(line.chars().count(), width);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for the Metal-shaped API.
+
+use oranges_umem::UmemError;
+use std::fmt;
+
+/// Errors surfaced by devices, buffers, pipelines and command buffers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetalError {
+    /// Unified-memory failure (allocation, storage mode, bounds).
+    Memory(UmemError),
+    /// `new_buffer_with_bytes_no_copy` requires page-divisible lengths.
+    NoCopyRequiresPageMultiple {
+        /// Offending byte length.
+        length: u64,
+    },
+    /// Unknown function name in the shader library.
+    UnknownFunction(String),
+    /// A compute pass was encoded without a pipeline or buffers.
+    IncompletePass(&'static str),
+    /// Buffer binding index out of range or missing.
+    MissingBinding(usize),
+    /// Command buffer used after commit / before commit, etc.
+    InvalidState(&'static str),
+    /// Dispatch geometry invalid (zero-sized grid, oversized threadgroup).
+    BadDispatch(String),
+    /// Matrix descriptor mismatch in MPS.
+    DescriptorMismatch(String),
+}
+
+impl fmt::Display for MetalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetalError::Memory(e) => write!(f, "unified memory error: {e}"),
+            MetalError::NoCopyRequiresPageMultiple { length } => write!(
+                f,
+                "newBufferWithBytesNoCopy requires page-multiple length, got {length} bytes"
+            ),
+            MetalError::UnknownFunction(name) => {
+                write!(f, "no function named `{name}` in the library")
+            }
+            MetalError::IncompletePass(what) => write!(f, "incomplete compute pass: {what}"),
+            MetalError::MissingBinding(idx) => write!(f, "no buffer bound at index {idx}"),
+            MetalError::InvalidState(what) => write!(f, "invalid command-buffer state: {what}"),
+            MetalError::BadDispatch(what) => write!(f, "bad dispatch: {what}"),
+            MetalError::DescriptorMismatch(what) => write!(f, "MPS descriptor mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MetalError {}
+
+impl From<UmemError> for MetalError {
+    fn from(e: UmemError) -> Self {
+        MetalError::Memory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_stable() {
+        assert!(
+            MetalError::NoCopyRequiresPageMultiple { length: 100 }.to_string().contains("100")
+        );
+        assert!(MetalError::UnknownFunction("sgemm".into()).to_string().contains("sgemm"));
+        assert!(MetalError::MissingBinding(2).to_string().contains("index 2"));
+        let from: MetalError = UmemError::ZeroLength.into();
+        assert!(matches!(from, MetalError::Memory(UmemError::ZeroLength)));
+    }
+}

@@ -1,0 +1,142 @@
+//! The shader library — our `.metallib`.
+//!
+//! The paper compiles its two custom shaders into a `.metallib` and loads
+//! them by name at startup; MPS kernels come pre-loaded (§3.2). [`Library`]
+//! mirrors that: a name → kernel registry preloaded with the standard
+//! collection, open for registration of user kernels (see the
+//! `custom_shader` example).
+
+use crate::error::MetalError;
+use crate::kernel::ComputeKernel;
+use crate::mps::MpsSgemm;
+use crate::shaders::{SgemmNaive, SgemmTiled, StreamAdd, StreamCopy, StreamScale, StreamTriad};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A compute pipeline state — a dispatchable function handle.
+#[derive(Clone)]
+pub struct ComputePipelineState {
+    name: &'static str,
+    kernel: Arc<dyn ComputeKernel>,
+}
+
+impl std::fmt::Debug for ComputePipelineState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComputePipelineState").field("function", &self.name).finish()
+    }
+}
+
+impl ComputePipelineState {
+    /// Function name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Borrow the kernel.
+    pub fn kernel(&self) -> &dyn ComputeKernel {
+        self.kernel.as_ref()
+    }
+
+    /// Clone the kernel handle (used when snapshotting a pass).
+    pub(crate) fn kernel_arc(&self) -> Arc<dyn ComputeKernel> {
+        Arc::clone(&self.kernel)
+    }
+}
+
+/// A named collection of compute kernels.
+pub struct Library {
+    functions: HashMap<&'static str, Arc<dyn ComputeKernel>>,
+}
+
+impl Library {
+    /// An empty library.
+    pub fn empty() -> Self {
+        Library { functions: HashMap::new() }
+    }
+
+    /// The standard library: both custom SGEMM shaders, the four STREAM
+    /// kernels, and the MPS matrix-multiplication kernel.
+    pub fn standard() -> Self {
+        let mut lib = Library::empty();
+        lib.register(Arc::new(SgemmNaive));
+        lib.register(Arc::new(SgemmTiled));
+        lib.register(Arc::new(StreamCopy));
+        lib.register(Arc::new(StreamScale));
+        lib.register(Arc::new(StreamAdd));
+        lib.register(Arc::new(StreamTriad));
+        lib.register(Arc::new(MpsSgemm::default()));
+        lib
+    }
+
+    /// Register (or replace) a kernel under its own name.
+    pub fn register(&mut self, kernel: Arc<dyn ComputeKernel>) {
+        self.functions.insert(kernel.name(), kernel);
+    }
+
+    /// `newFunctionWithName:` + pipeline creation in one step.
+    pub fn pipeline(&self, name: &str) -> Result<ComputePipelineState, MetalError> {
+        self.functions
+            .get_key_value(name)
+            .map(|(k, v)| ComputePipelineState { name: k, kernel: Arc::clone(v) })
+            .ok_or_else(|| MetalError::UnknownFunction(name.to_string()))
+    }
+
+    /// All registered function names, sorted.
+    pub fn function_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = self.functions.keys().copied().collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+impl Default for Library {
+    fn default() -> Self {
+        Library::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_contents() {
+        let lib = Library::standard();
+        assert_eq!(
+            lib.function_names(),
+            vec![
+                "mps_sgemm",
+                "sgemm_naive",
+                "sgemm_tiled",
+                "stream_add",
+                "stream_copy",
+                "stream_scale",
+                "stream_triad",
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let lib = Library::standard();
+        assert!(matches!(lib.pipeline("missing"), Err(MetalError::UnknownFunction(_))));
+    }
+
+    #[test]
+    fn pipeline_exposes_kernel() {
+        let lib = Library::standard();
+        let p = lib.pipeline("sgemm_naive").unwrap();
+        assert_eq!(p.name(), "sgemm_naive");
+        assert_eq!(p.kernel().name(), "sgemm_naive");
+        assert!(format!("{p:?}").contains("sgemm_naive"));
+    }
+
+    #[test]
+    fn registration_replaces() {
+        let mut lib = Library::empty();
+        assert!(lib.function_names().is_empty());
+        lib.register(Arc::new(SgemmNaive));
+        lib.register(Arc::new(SgemmNaive));
+        assert_eq!(lib.function_names().len(), 1);
+    }
+}

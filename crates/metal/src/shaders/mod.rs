@@ -1,0 +1,49 @@
+//! The compiled-in shader collection (our `.metallib`).
+//!
+//! The paper benchmarks two custom MSL SGEMM shaders (a naive
+//! one-thread-per-output kernel and a "Cutlass-style" tiled kernel, both
+//! from an open-source repository) plus the four STREAM kernels ported
+//! from the CUDA/HIP GPU STREAM. This module holds the Rust equivalents;
+//! each implements [`crate::kernel::ComputeKernel`] — real arithmetic for
+//! functional runs, plus a calibrated workload description for timing.
+
+pub mod sgemm_naive;
+pub mod sgemm_tiled;
+pub mod stream;
+
+pub use sgemm_naive::SgemmNaive;
+pub use sgemm_tiled::SgemmTiled;
+pub use stream::{StreamAdd, StreamCopy, StreamScale, StreamTriad};
+
+/// GEMM FLOP count the paper uses: `n²(2n − 1)` (each of the n² outputs
+/// takes n multiplies and n−1 adds).
+pub const fn gemm_flops(n: u64) -> u64 {
+    n * n * (2 * n - 1)
+}
+
+/// Compulsory FP32 DRAM traffic of a cache-blocked square GEMM: read A and
+/// B once, write C once. The per-implementation efficiency constant (not
+/// extra modeled traffic) carries all further inefficiency, so calibration
+/// anchors stay exact.
+pub const fn gemm_bytes(n: u64) -> (u64, u64) {
+    (2 * n * n * 4, n * n * 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flop_count_matches_paper_formula() {
+        assert_eq!(gemm_flops(1), 1);
+        assert_eq!(gemm_flops(2), 4 * 3);
+        assert_eq!(gemm_flops(1024), 1024 * 1024 * 2047);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let (r, w) = gemm_bytes(256);
+        assert_eq!(r, 2 * 256 * 256 * 4);
+        assert_eq!(w, 256 * 256 * 4);
+    }
+}

@@ -1,0 +1,211 @@
+//! The analytic dispatch-time model.
+//!
+//! A dispatch costs its fixed overhead plus the slower of its two rooflines:
+//!
+//! ```text
+//! t = overhead + max( flops / (peak_flops × η_c × occupancy),
+//!                     bytes / effective_bandwidth )
+//! ```
+//!
+//! `peak_flops` is the published Table 1 figure; `η_c` comes from the
+//! kernel (calibrated per implementation and size); occupancy penalizes
+//! dispatches too small to fill the machine; effective bandwidth comes
+//! from the Figure-1-calibrated [`BandwidthModel`] (with the exact STREAM
+//! kernel table when the dispatch *is* a STREAM kernel).
+
+use crate::kernel::Workload;
+use oranges_soc::gpu::GpuSpec;
+use oranges_soc::time::SimDuration;
+use oranges_umem::bandwidth::{AccessPattern, BandwidthModel};
+use oranges_umem::controller::Agent;
+
+/// Per-dispatch timing breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingBreakdown {
+    /// Fixed overhead.
+    pub overhead: SimDuration,
+    /// Compute-roofline time.
+    pub compute: SimDuration,
+    /// Memory-roofline time.
+    pub memory: SimDuration,
+    /// Total modeled duration.
+    pub total: SimDuration,
+    /// Whether memory (true) or compute (false) bound the dispatch.
+    pub memory_bound: bool,
+    /// Sustained fraction of the compute roofline over the busy time.
+    pub compute_utilization: f64,
+    /// Sustained fraction of theoretical bandwidth over the busy time.
+    pub memory_utilization: f64,
+}
+
+/// The timing model for one device.
+#[derive(Debug, Clone)]
+pub struct TimingModel {
+    gpu: GpuSpec,
+    bandwidth: BandwidthModel,
+}
+
+impl TimingModel {
+    /// Model over a GPU spec and its chip's bandwidth model.
+    pub fn new(gpu: GpuSpec, bandwidth: BandwidthModel) -> Self {
+        TimingModel { gpu, bandwidth }
+    }
+
+    /// The GPU spec.
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// The bandwidth model.
+    pub fn bandwidth(&self) -> &BandwidthModel {
+        &self.bandwidth
+    }
+
+    /// Price a dispatch of `workload` launched over `total_threads`
+    /// work-items.
+    pub fn price(&self, workload: &Workload, total_threads: u64) -> TimingBreakdown {
+        let occupancy = self.gpu.occupancy(total_threads).max(1e-3);
+        let eta = workload.compute_efficiency.clamp(1e-6, 1.0);
+        let peak_gflops = self.gpu.gflops_roofline();
+        let compute_secs = workload.flops as f64 / (peak_gflops * 1e9 * eta * occupancy);
+
+        let gbs = match workload.stream_kernel {
+            Some(kind) => self.bandwidth.stream_gbs(Agent::Gpu, kind, 0),
+            None => self.bandwidth.pattern_gbs(
+                Agent::Gpu,
+                &AccessPattern {
+                    read_bytes: workload.read_bytes,
+                    write_bytes: workload.write_bytes,
+                    sequential: true,
+                },
+            ),
+        };
+        let memory_secs = if gbs > 0.0 {
+            workload.total_bytes() as f64 / (gbs * 1e9)
+        } else {
+            0.0
+        };
+
+        let busy_secs = compute_secs.max(memory_secs);
+        let compute = SimDuration::from_secs_f64(compute_secs);
+        let memory = SimDuration::from_secs_f64(memory_secs);
+        let total = workload.dispatch_overhead + SimDuration::from_secs_f64(busy_secs);
+
+        let compute_utilization = if busy_secs > 0.0 {
+            (workload.flops as f64 / busy_secs) / (peak_gflops * 1e9)
+        } else {
+            0.0
+        };
+        let theoretical_gbs = self.bandwidth.controller().theoretical_gbs();
+        let memory_utilization = if busy_secs > 0.0 {
+            (workload.total_bytes() as f64 / busy_secs) / (theoretical_gbs * 1e9)
+        } else {
+            0.0
+        };
+
+        TimingBreakdown {
+            overhead: workload.dispatch_overhead,
+            compute,
+            memory,
+            total,
+            memory_bound: memory_secs > compute_secs,
+            compute_utilization: compute_utilization.min(1.0),
+            memory_utilization: memory_utilization.min(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oranges_soc::chip::ChipGeneration;
+    use oranges_umem::bandwidth::StreamKernelKind;
+
+    fn model(gen: ChipGeneration) -> TimingModel {
+        TimingModel::new(GpuSpec::of(gen.spec()), BandwidthModel::of(gen))
+    }
+
+    fn gemm_workload(n: u64, eta: f64) -> Workload {
+        Workload {
+            flops: n * n * (2 * n - 1),
+            read_bytes: 2 * n * n * 4,
+            write_bytes: n * n * 4,
+            compute_efficiency: eta,
+            dispatch_overhead: SimDuration::from_micros(150),
+            stream_kernel: None,
+        }
+    }
+
+    #[test]
+    fn large_gemm_is_compute_bound() {
+        let m = model(ChipGeneration::M4);
+        let w = gemm_workload(4096, 0.68);
+        let t = m.price(&w, 4096 * 4096);
+        assert!(!t.memory_bound);
+        assert!(t.compute > t.memory);
+        // Achieved GFLOPS ≈ roofline × η.
+        let gflops = w.flops as f64 / t.total.as_secs_f64() / 1e9;
+        let expected = m.gpu().gflops_roofline() * 0.68;
+        assert!((gflops - expected).abs() / expected < 0.05, "{gflops} vs {expected}");
+    }
+
+    #[test]
+    fn small_gemm_is_overhead_dominated() {
+        let m = model(ChipGeneration::M4);
+        let w = gemm_workload(64, 0.68);
+        let t = m.price(&w, 64 * 64);
+        // At n=64 the overhead dwarfs the busy time.
+        assert!(t.overhead.as_secs_f64() > 10.0 * (t.total.as_secs_f64() - t.overhead.as_secs_f64()));
+    }
+
+    #[test]
+    fn stream_dispatch_is_memory_bound_and_matches_figure1() {
+        let m = model(ChipGeneration::M2);
+        let elements = 40_000_000u64;
+        let w = Workload {
+            flops: 2 * elements,
+            read_bytes: 2 * elements * 4,
+            write_bytes: elements * 4,
+            compute_efficiency: 0.9,
+            dispatch_overhead: SimDuration::from_micros(100),
+            stream_kernel: Some(StreamKernelKind::Triad),
+        };
+        let t = m.price(&w, elements);
+        assert!(t.memory_bound);
+        let busy = t.total.as_secs_f64() - t.overhead.as_secs_f64();
+        let gbs = w.total_bytes() as f64 / busy / 1e9;
+        // M2 GPU Triad anchor: 91 GB/s.
+        assert!((gbs - 91.0).abs() < 1.0, "{gbs}");
+    }
+
+    #[test]
+    fn occupancy_penalizes_tiny_dispatches() {
+        let m = model(ChipGeneration::M1);
+        let w = gemm_workload(256, 0.5);
+        let t_small = m.price(&w, 64); // 64 threads cannot fill the GPU
+        let t_big = m.price(&w, 256 * 256);
+        assert!(t_small.total > t_big.total);
+    }
+
+    #[test]
+    fn utilizations_are_fractions() {
+        let m = model(ChipGeneration::M3);
+        for n in [64u64, 512, 4096] {
+            let w = gemm_workload(n, 0.7);
+            let t = m.price(&w, n * n);
+            assert!((0.0..=1.0).contains(&t.compute_utilization));
+            assert!((0.0..=1.0).contains(&t.memory_utilization));
+        }
+    }
+
+    #[test]
+    fn more_flops_never_faster() {
+        let m = model(ChipGeneration::M2);
+        let mut last = SimDuration::ZERO;
+        for n in [128u64, 256, 512, 1024, 2048] {
+            let t = m.price(&gemm_workload(n, 0.6), n * n);
+            assert!(t.total >= last);
+            last = t.total;
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests: format round-trip and sampler energy conservation.
+
+use oranges_powermetrics::format;
+use oranges_powermetrics::model::{PowerModel, WorkClass};
+use oranges_powermetrics::rails::RailPowers;
+use oranges_powermetrics::sampler::{Activity, Sample, Sampler};
+use oranges_soc::chip::ChipGeneration;
+use oranges_soc::time::{SimDuration, SimInstant};
+use proptest::prelude::*;
+
+fn any_generation() -> impl Strategy<Value = ChipGeneration> {
+    prop_oneof![
+        Just(ChipGeneration::M1),
+        Just(ChipGeneration::M2),
+        Just(ChipGeneration::M3),
+        Just(ChipGeneration::M4),
+    ]
+}
+
+fn any_class() -> impl Strategy<Value = WorkClass> {
+    prop_oneof![
+        Just(WorkClass::CpuSingle),
+        Just(WorkClass::CpuOmp),
+        Just(WorkClass::CpuAccelerate),
+        Just(WorkClass::GpuNaive),
+        Just(WorkClass::GpuCutlass),
+        Just(WorkClass::GpuMps),
+        Just(WorkClass::CpuStream),
+        Just(WorkClass::GpuStream),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn parser_inverts_emitter_to_integer_mw(
+        cpu in 0.0f64..50_000.0,
+        gpu in 0.0f64..50_000.0,
+        ane in 0.0f64..5_000.0,
+        dram in 0.0f64..10_000.0,
+        ms in 1u64..600_000,
+    ) {
+        let sample = Sample {
+            window_start: SimInstant::EPOCH,
+            window_end: SimInstant::from_nanos(ms * 1_000_000),
+            powers: RailPowers { cpu_mw: cpu, gpu_mw: gpu, ane_mw: ane, dram_mw: dram },
+            energy_j: 0.0,
+        };
+        let parsed = format::parse_sample(&format::write_sample(&sample)).unwrap();
+        prop_assert!((parsed.powers.cpu_mw - cpu).abs() <= 0.5);
+        prop_assert!((parsed.powers.gpu_mw - gpu).abs() <= 0.5);
+        prop_assert!((parsed.powers.ane_mw - ane).abs() <= 0.5);
+        prop_assert!((parsed.powers.dram_mw - dram).abs() <= 0.5);
+        prop_assert!((parsed.elapsed_ms - ms as f64).abs() <= 1.0);
+        // The file's combined line is internally consistent.
+        prop_assert!((parsed.combined_mw - (parsed.powers.cpu_mw + parsed.powers.gpu_mw + parsed.powers.ane_mw)).abs() <= 1.5);
+    }
+
+    #[test]
+    fn window_energy_equals_power_times_time(
+        gen in any_generation(),
+        class in any_class(),
+        secs in 0.001f64..100.0,
+        duty in 0.0f64..1.0,
+    ) {
+        let mut sampler = Sampler::start(PowerModel::of(gen));
+        sampler.record(Activity { class, duration: SimDuration::from_secs_f64(secs), duty }).unwrap();
+        let sample = sampler.siginfo().unwrap();
+        let window_secs = sample.window().as_secs_f64();
+        let implied_j = sample.powers.package_mw() / 1e3 * window_secs;
+        prop_assert!((implied_j - sample.energy_j).abs() <= 1e-6 * (1.0 + sample.energy_j.abs()));
+    }
+
+    #[test]
+    fn splitting_a_window_conserves_energy(
+        gen in any_generation(),
+        class in any_class(),
+        secs in 0.01f64..10.0,
+    ) {
+        // One long window vs two half windows: total energy identical.
+        let model = PowerModel::of(gen);
+        let mut one = Sampler::start(model);
+        one.record(Activity::busy(class, SimDuration::from_secs_f64(secs))).unwrap();
+        let whole = one.siginfo().unwrap();
+
+        let mut two = Sampler::start(model);
+        two.record(Activity::busy(class, SimDuration::from_secs_f64(secs / 2.0))).unwrap();
+        let first = two.siginfo().unwrap();
+        two.record(Activity::busy(class, SimDuration::from_secs_f64(secs / 2.0))).unwrap();
+        let second = two.siginfo().unwrap();
+
+        // Each window rounds its duration to whole nanoseconds, so allow
+        // up to 2 ns worth of energy at the burst power envelope (~40 W).
+        prop_assert!((whole.energy_j - (first.energy_j + second.energy_j)).abs()
+            <= 1e-7 + 1e-9 * whole.energy_j);
+    }
+
+    #[test]
+    fn power_monotone_in_duty(gen in any_generation(), class in any_class(),
+                              lo in 0.0f64..1.0, hi in 0.0f64..1.0) {
+        let model = PowerModel::of(gen);
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        prop_assert!(model.powers(class, hi).package_mw() + 1e-9
+            >= model.powers(class, lo).package_mw());
+    }
+
+    #[test]
+    fn power_never_exceeds_burst_envelope(gen in any_generation(), class in any_class(),
+                                          duty in 0.0f64..1.5) {
+        let model = PowerModel::of(gen);
+        let burst = oranges_soc::device::DeviceModel::of(gen).cooling.burst_watts();
+        prop_assert!(model.powers(class, duty).package_watts() <= burst + 1e-9);
+    }
+}

@@ -1,0 +1,156 @@
+//! DVFS (dynamic voltage and frequency scaling) model.
+//!
+//! Apple's SoCs run each cluster on a ladder of P-states. The benchmarks in
+//! the paper pin the machine at maximum performance (mains power,
+//! `caffeinate`, idle system — §4), so the governor mostly sits at the top
+//! state; the ladder matters for the power model (voltage scales roughly
+//! linearly with frequency on the upper states, so power ~ f·V² ~ f³ there)
+//! and for thermally-capped sustained operation on passively cooled devices.
+
+use serde::{Deserialize, Serialize};
+
+/// A ladder of frequency states, expressed as fractions of max clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DvfsLadder {
+    /// Ascending fractions of the maximum clock, ending at 1.0.
+    fractions: Vec<f64>,
+}
+
+impl DvfsLadder {
+    /// The ladder used by M-series performance clusters (architectural
+    /// approximation: idle step plus evenly spread performance states).
+    pub fn m_series() -> Self {
+        DvfsLadder { fractions: vec![0.30, 0.45, 0.60, 0.72, 0.84, 0.92, 1.00] }
+    }
+
+    /// Build a custom ladder; fractions are sorted, deduplicated, clamped to
+    /// (0, 1], and 1.0 is appended if missing.
+    pub fn new(mut fractions: Vec<f64>) -> Self {
+        fractions.retain(|f| f.is_finite() && *f > 0.0 && *f <= 1.0);
+        fractions.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        fractions.dedup();
+        if fractions.last().copied() != Some(1.0) {
+            fractions.push(1.0);
+        }
+        DvfsLadder { fractions }
+    }
+
+    /// All states, ascending.
+    pub fn states(&self) -> &[f64] {
+        &self.fractions
+    }
+
+    /// The lowest state at or above `fraction` (requests round up — the
+    /// governor never undershoots a utilization demand).
+    pub fn quantize_up(&self, fraction: f64) -> f64 {
+        let f = fraction.clamp(0.0, 1.0);
+        for s in &self.fractions {
+            if *s + 1e-12 >= f {
+                return *s;
+            }
+        }
+        1.0
+    }
+
+    /// Relative dynamic power at a state, normalized to 1.0 at max clock.
+    ///
+    /// On the upper ladder voltage tracks frequency, giving the classic
+    /// cubic `P ∝ f³` shape; we add a floor so low states still burn
+    /// leakage-ish power.
+    pub fn relative_power(&self, fraction: f64) -> f64 {
+        let f = fraction.clamp(0.0, 1.0);
+        0.06 + 0.94 * f.powi(3)
+    }
+}
+
+/// Utilization-driven governor: picks a DVFS state for a demand level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Governor {
+    ladder: DvfsLadder,
+    /// Highest state the thermal envelope currently allows (1.0 = uncapped).
+    thermal_cap: f64,
+}
+
+impl Governor {
+    /// Governor on the given ladder, uncapped.
+    pub fn new(ladder: DvfsLadder) -> Self {
+        Governor { ladder, thermal_cap: 1.0 }
+    }
+
+    /// Apply a thermal cap (fraction of max clock allowed).
+    pub fn set_thermal_cap(&mut self, cap: f64) {
+        self.thermal_cap = cap.clamp(0.0, 1.0);
+    }
+
+    /// Current thermal cap.
+    pub fn thermal_cap(&self) -> f64 {
+        self.thermal_cap
+    }
+
+    /// The clock fraction granted for a utilization demand in [0, 1].
+    pub fn grant(&self, demand: f64) -> f64 {
+        self.ladder.quantize_up(demand).min(self.thermal_cap.max(
+            // Never drop below the lowest ladder state.
+            self.ladder.states().first().copied().unwrap_or(1.0),
+        ))
+    }
+
+    /// Relative power at the granted state.
+    pub fn power_at(&self, demand: f64) -> f64 {
+        self.ladder.relative_power(self.grant(demand))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_ends_at_max() {
+        let ladder = DvfsLadder::m_series();
+        assert_eq!(ladder.states().last().copied(), Some(1.0));
+        for pair in ladder.states().windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn custom_ladder_sanitizes_input() {
+        let ladder = DvfsLadder::new(vec![0.5, -1.0, 0.5, 2.0, f64::NAN, 0.25]);
+        assert_eq!(ladder.states(), &[0.25, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn quantize_rounds_up() {
+        let ladder = DvfsLadder::new(vec![0.25, 0.5, 0.75]);
+        assert_eq!(ladder.quantize_up(0.10), 0.25);
+        assert_eq!(ladder.quantize_up(0.25), 0.25);
+        assert_eq!(ladder.quantize_up(0.26), 0.5);
+        assert_eq!(ladder.quantize_up(0.9), 1.0);
+    }
+
+    #[test]
+    fn relative_power_is_cubic_with_floor() {
+        let ladder = DvfsLadder::m_series();
+        assert!((ladder.relative_power(1.0) - 1.0).abs() < 1e-12);
+        let half = ladder.relative_power(0.5);
+        assert!(half > 0.06 && half < 0.25, "{half}");
+        assert!(ladder.relative_power(0.0) >= 0.06);
+    }
+
+    #[test]
+    fn governor_honours_thermal_cap() {
+        let mut gov = Governor::new(DvfsLadder::m_series());
+        assert_eq!(gov.grant(1.0), 1.0);
+        gov.set_thermal_cap(0.84);
+        assert!(gov.grant(1.0) <= 0.84);
+        // Low demands are unaffected by the cap.
+        assert_eq!(gov.grant(0.1), 0.30);
+    }
+
+    #[test]
+    fn governor_power_tracks_grant() {
+        let gov = Governor::new(DvfsLadder::m_series());
+        assert!(gov.power_at(1.0) > gov.power_at(0.3));
+    }
+}

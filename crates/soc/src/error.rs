@@ -1,0 +1,69 @@
+//! Error type shared by the SoC models.
+
+use std::fmt;
+
+/// Errors produced by SoC model lookups and configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocError {
+    /// A named chip generation does not exist in the database.
+    UnknownChip(String),
+    /// A named device model does not exist in the database.
+    UnknownDevice(String),
+    /// A named reference system does not exist in the database.
+    UnknownReference(String),
+    /// A model was configured with an invalid parameter.
+    InvalidParameter {
+        /// Which parameter was rejected.
+        parameter: &'static str,
+        /// Human-readable description of why.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocError::UnknownChip(name) => write!(f, "unknown chip generation: {name}"),
+            SocError::UnknownDevice(name) => write!(f, "unknown device model: {name}"),
+            SocError::UnknownReference(name) => write!(f, "unknown reference system: {name}"),
+            SocError::InvalidParameter { parameter, reason } => {
+                write!(f, "invalid parameter `{parameter}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(
+            SocError::UnknownChip("M9".into()).to_string(),
+            "unknown chip generation: M9"
+        );
+        assert_eq!(
+            SocError::UnknownDevice("iMac".into()).to_string(),
+            "unknown device model: iMac"
+        );
+        assert_eq!(
+            SocError::UnknownReference("Cray-1".into()).to_string(),
+            "unknown reference system: Cray-1"
+        );
+        let err = SocError::InvalidParameter {
+            parameter: "threads",
+            reason: "must be non-zero".into(),
+        };
+        assert_eq!(err.to_string(), "invalid parameter `threads`: must be non-zero");
+    }
+
+    #[test]
+    fn errors_are_clonable_and_comparable() {
+        let a = SocError::UnknownChip("M5".into());
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

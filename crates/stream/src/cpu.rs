@@ -1,0 +1,223 @@
+//! CPU STREAM — McCalpin's benchmark with the paper's thread sweep.
+//!
+//! "Every chip model was tested multiple times with `OMP_NUM_THREADS`
+//! threads set from one to the number of physical cores for the respective
+//! CPUs, to get the maximum reachable CPU bandwidth" (§3.1); ten
+//! repetitions, maximum considered (§4). Timing comes from the calibrated
+//! bandwidth model (Figure 1 anchors + the concave thread-scaling curve);
+//! array arithmetic optionally runs for real and validates.
+
+use crate::kernels::StreamArrays;
+use crate::{warmup_factor, KernelResult, StreamRun};
+use oranges_soc::cache::CacheHierarchy;
+use oranges_soc::chip::ChipGeneration;
+use oranges_soc::time::SimDuration;
+use oranges_umem::bandwidth::{BandwidthModel, StreamKernelKind};
+use oranges_umem::controller::Agent;
+
+/// Configuration of a CPU STREAM run.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuStreamConfig {
+    /// Array length in f64 elements. Defaults to the cache-defeating size
+    /// (4× the largest cache level per array, McCalpin's rule).
+    pub elements: usize,
+    /// Repetitions per thread count (paper: 10).
+    pub reps: u32,
+    /// Run real array arithmetic and validate (slower; tests/examples).
+    pub functional: bool,
+    /// Amplitude of the deterministic warm-up curve.
+    pub noise_amplitude: f64,
+}
+
+impl CpuStreamConfig {
+    /// The paper's configuration for a chip.
+    pub fn paper_default(chip: ChipGeneration) -> Self {
+        CpuStreamConfig {
+            elements: CacheHierarchy::of(chip.spec()).stream_min_elements(),
+            reps: 10,
+            functional: false,
+            noise_amplitude: 0.05,
+        }
+    }
+
+    /// A small functional configuration for tests and examples.
+    pub fn functional_small() -> Self {
+        CpuStreamConfig { elements: 200_000, reps: 3, functional: true, noise_amplitude: 0.05 }
+    }
+}
+
+/// The CPU STREAM benchmark for one chip.
+#[derive(Debug)]
+pub struct CpuStream {
+    chip: ChipGeneration,
+    model: BandwidthModel,
+    config: CpuStreamConfig,
+}
+
+impl CpuStream {
+    /// Benchmark with the paper's defaults.
+    pub fn new(chip: ChipGeneration) -> Self {
+        CpuStream::with_config(chip, CpuStreamConfig::paper_default(chip))
+    }
+
+    /// Benchmark with an explicit configuration.
+    pub fn with_config(chip: ChipGeneration, config: CpuStreamConfig) -> Self {
+        CpuStream { chip, model: BandwidthModel::of(chip), config }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &CpuStreamConfig {
+        &self.config
+    }
+
+    /// Modeled bandwidth for one kernel at one thread count and
+    /// repetition (warm-up curve applied).
+    fn modeled_gbs(&self, kernel: StreamKernelKind, threads: u32, rep: u32) -> f64 {
+        self.model.stream_gbs(Agent::Cpu, kernel, threads)
+            * warmup_factor(rep, self.config.reps, self.config.noise_amplitude)
+    }
+
+    /// Run the full benchmark: thread sweep × repetitions × four kernels.
+    ///
+    /// Returns per-kernel best bandwidth (max over threads and reps) with
+    /// stream.c-style time statistics taken at the best thread count.
+    pub fn run(&self) -> StreamRun {
+        let total_cores = self.chip.spec().total_cores();
+        let bytes_per_kernel: Vec<u64> = StreamKernelKind::ALL
+            .iter()
+            .map(|k| k.bytes_per_element(8) * self.config.elements as u64)
+            .collect();
+
+        // Optional functional pass (once, at full threads) with validation.
+        let validated = if self.config.functional {
+            let mut arrays = StreamArrays::new(self.config.elements);
+            let iterations = self.config.reps;
+            for _ in 0..iterations {
+                arrays.run_iteration(total_cores as usize);
+            }
+            arrays.validate(iterations).expect("STREAM validation failed");
+            true
+        } else {
+            false
+        };
+
+        let mut results = Vec::with_capacity(4);
+        for (kernel, bytes) in StreamKernelKind::ALL.iter().zip(&bytes_per_kernel) {
+            // Thread sweep: pick the best thread count by peak bandwidth.
+            let best_threads = (1..=total_cores)
+                .max_by(|&x, &y| {
+                    let gx = self.model.stream_gbs(Agent::Cpu, *kernel, x);
+                    let gy = self.model.stream_gbs(Agent::Cpu, *kernel, y);
+                    gx.partial_cmp(&gy).expect("finite bandwidth")
+                })
+                .unwrap_or(1);
+
+            // Repetitions at the best thread count.
+            let mut times: Vec<SimDuration> = Vec::with_capacity(self.config.reps as usize);
+            let mut best_gbs: f64 = 0.0;
+            for rep in 0..self.config.reps {
+                let gbs = self.modeled_gbs(*kernel, best_threads, rep);
+                best_gbs = best_gbs.max(gbs);
+                times.push(SimDuration::from_secs_f64(*bytes as f64 / (gbs * 1e9)));
+            }
+            let min_time = times.iter().copied().min().unwrap_or(SimDuration::ZERO);
+            let max_time = times.iter().copied().max().unwrap_or(SimDuration::ZERO);
+            let avg_time = times.iter().copied().sum::<SimDuration>() / times.len().max(1) as u64;
+
+            results.push(KernelResult {
+                kernel: *kernel,
+                best_gbs,
+                min_time,
+                avg_time,
+                max_time,
+                best_threads,
+            });
+        }
+
+        StreamRun {
+            agent: "CPU",
+            elements: self.config.elements,
+            element_bytes: 8,
+            reps: self.config.reps,
+            results,
+            validated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_bandwidth_matches_figure1_anchors() {
+        let expected = [(ChipGeneration::M1, 59.0), (ChipGeneration::M2, 78.0),
+                        (ChipGeneration::M3, 92.0), (ChipGeneration::M4, 103.0)];
+        for (chip, gbs) in expected {
+            let run = CpuStream::new(chip).run();
+            assert!((run.best_gbs() - gbs).abs() / gbs < 0.01, "{chip}: {}", run.best_gbs());
+        }
+    }
+
+    #[test]
+    fn triad_wins_on_every_chip() {
+        for chip in ChipGeneration::ALL {
+            let run = CpuStream::new(chip).run();
+            let triad = run.kernel(StreamKernelKind::Triad).unwrap().best_gbs;
+            assert_eq!(triad, run.best_gbs(), "{chip}");
+        }
+    }
+
+    #[test]
+    fn m2_copy_scale_gap_visible_in_results() {
+        let run = CpuStream::new(ChipGeneration::M2).run();
+        let copy = run.kernel(StreamKernelKind::Copy).unwrap().best_gbs;
+        let triad = run.kernel(StreamKernelKind::Triad).unwrap().best_gbs;
+        assert!((20.0..=30.0).contains(&(triad - copy)), "gap {}", triad - copy);
+    }
+
+    #[test]
+    fn best_threads_is_full_complex() {
+        // The concave scaling curve saturates at all cores; the sweep must
+        // find that.
+        let run = CpuStream::new(ChipGeneration::M1).run();
+        for r in &run.results {
+            assert_eq!(r.best_threads, 8, "{:?}", r.kernel);
+        }
+        let m4 = CpuStream::new(ChipGeneration::M4).run();
+        assert_eq!(m4.results[0].best_threads, 10);
+    }
+
+    #[test]
+    fn time_statistics_are_ordered() {
+        let run = CpuStream::new(ChipGeneration::M3).run();
+        for r in &run.results {
+            assert!(r.min_time <= r.avg_time);
+            assert!(r.avg_time <= r.max_time);
+            assert!(r.min_time.as_nanos() > 0);
+        }
+    }
+
+    #[test]
+    fn functional_run_validates() {
+        let run =
+            CpuStream::with_config(ChipGeneration::M1, CpuStreamConfig::functional_small()).run();
+        assert!(run.validated);
+        assert_eq!(run.element_bytes, 8);
+    }
+
+    #[test]
+    fn paper_default_defeats_caches() {
+        for chip in ChipGeneration::ALL {
+            let config = CpuStreamConfig::paper_default(chip);
+            let bytes = config.elements as u64 * 8;
+            let hierarchy = CacheHierarchy::of(chip.spec());
+            assert_eq!(
+                hierarchy.residency(bytes),
+                oranges_soc::cache::Residency::Dram,
+                "{chip}: arrays must spill to DRAM"
+            );
+            assert_eq!(config.reps, 10, "paper runs CPU STREAM 10 times");
+        }
+    }
+}

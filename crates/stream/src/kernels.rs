@@ -1,0 +1,183 @@
+//! The four STREAM array kernels, executed for real on host memory.
+//!
+//! Matches stream.c: f64 arrays initialized `a = 1, b = 2, c = 0`, scalar
+//! `q = 3`, per-iteration sequence Copy → Scale → Add → Triad, and the
+//! closed-form validation stream.c performs after `k` iterations.
+
+use crossbeam::thread;
+
+/// stream.c's `scalar`.
+pub const STREAM_SCALAR: f64 = 3.0;
+
+/// The three STREAM arrays.
+#[derive(Debug, Clone)]
+pub struct StreamArrays {
+    /// Array a.
+    pub a: Vec<f64>,
+    /// Array b.
+    pub b: Vec<f64>,
+    /// Array c.
+    pub c: Vec<f64>,
+}
+
+impl StreamArrays {
+    /// stream.c initialization: `a = 1.0, b = 2.0, c = 0.0`.
+    pub fn new(elements: usize) -> Self {
+        StreamArrays {
+            a: vec![1.0; elements],
+            b: vec![2.0; elements],
+            c: vec![0.0; elements],
+        }
+    }
+
+    /// Array length.
+    pub fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Whether the arrays are empty.
+    pub fn is_empty(&self) -> bool {
+        self.a.is_empty()
+    }
+
+    /// Run one full Copy → Scale → Add → Triad iteration on `threads`
+    /// host threads (chunked, like the OpenMP pragmas in stream.c).
+    pub fn run_iteration(&mut self, threads: usize) {
+        let threads = threads.max(1);
+        parallel_zip1(&self.a, &mut self.c, threads, |a, c| *c = *a);
+        parallel_zip1(&self.c, &mut self.b, threads, |c, b| *b = STREAM_SCALAR * *c);
+        parallel_zip2(&self.a, &self.b, &mut self.c, threads, |a, b, c| *c = *a + *b);
+        parallel_zip2(&self.b, &self.c, &mut self.a, threads, |b, c, a| *a = *b + STREAM_SCALAR * *c);
+    }
+
+    /// stream.c's closed-form expected values after `iterations` full
+    /// iterations (it tracks scalar replicas of the arrays).
+    pub fn expected_after(iterations: u32) -> (f64, f64, f64) {
+        let (mut a, mut b, mut c) = (1.0f64, 2.0f64, 0.0f64);
+        for _ in 0..iterations {
+            c = a;
+            b = STREAM_SCALAR * c;
+            c = a + b;
+            a = b + STREAM_SCALAR * c;
+        }
+        (a, b, c)
+    }
+
+    /// Validate against the recurrence, stream.c-style (relative error
+    /// against the expected scalar value, all elements).
+    pub fn validate(&self, iterations: u32) -> Result<(), String> {
+        let (ea, eb, ec) = Self::expected_after(iterations);
+        for (name, arr, expected) in
+            [("a", &self.a, ea), ("b", &self.b, eb), ("c", &self.c, ec)]
+        {
+            for (i, &v) in arr.iter().enumerate() {
+                let err = ((v - expected) / expected).abs();
+                if err > 1e-13 {
+                    return Err(format!(
+                        "array {name}[{i}] = {v}, expected {expected} (rel err {err:.3e})"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parallel_zip1<F>(src: &[f64], dst: &mut [f64], threads: usize, f: F)
+where
+    F: Fn(&f64, &mut f64) + Sync,
+{
+    let chunk = src.len().div_ceil(threads).max(1);
+    thread::scope(|scope| {
+        for (s_chunk, d_chunk) in src.chunks(chunk).zip(dst.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (s, d) in s_chunk.iter().zip(d_chunk.iter_mut()) {
+                    f(s, d);
+                }
+            });
+        }
+    })
+    .expect("stream kernel thread panicked");
+}
+
+fn parallel_zip2<F>(x: &[f64], y: &[f64], dst: &mut [f64], threads: usize, f: F)
+where
+    F: Fn(&f64, &f64, &mut f64) + Sync,
+{
+    let chunk = x.len().div_ceil(threads).max(1);
+    thread::scope(|scope| {
+        for ((x_chunk, y_chunk), d_chunk) in
+            x.chunks(chunk).zip(y.chunks(chunk)).zip(dst.chunks_mut(chunk))
+        {
+            let f = &f;
+            scope.spawn(move |_| {
+                for ((xv, yv), d) in x_chunk.iter().zip(y_chunk.iter()).zip(d_chunk.iter_mut()) {
+                    f(xv, yv, d);
+                }
+            });
+        }
+    })
+    .expect("stream kernel thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initialization_matches_stream_c() {
+        let arrays = StreamArrays::new(10);
+        assert!(arrays.a.iter().all(|&v| v == 1.0));
+        assert!(arrays.b.iter().all(|&v| v == 2.0));
+        assert!(arrays.c.iter().all(|&v| v == 0.0));
+        assert_eq!(arrays.len(), 10);
+    }
+
+    #[test]
+    fn one_iteration_matches_recurrence() {
+        let mut arrays = StreamArrays::new(100);
+        arrays.run_iteration(1);
+        // c = 1; b = 3; c = 1 + 3 = 4; a = 3 + 12 = 15.
+        assert!(arrays.c.iter().all(|&v| v == 4.0));
+        assert!(arrays.b.iter().all(|&v| v == 3.0));
+        assert!(arrays.a.iter().all(|&v| v == 15.0));
+        arrays.validate(1).unwrap();
+    }
+
+    #[test]
+    fn multiple_iterations_validate() {
+        let mut arrays = StreamArrays::new(1000);
+        for _ in 0..5 {
+            arrays.run_iteration(4);
+        }
+        arrays.validate(5).unwrap();
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let mut one = StreamArrays::new(977); // awkward length
+        let mut many = StreamArrays::new(977);
+        for _ in 0..3 {
+            one.run_iteration(1);
+            many.run_iteration(7);
+        }
+        assert_eq!(one.a, many.a);
+        assert_eq!(one.b, many.b);
+        assert_eq!(one.c, many.c);
+    }
+
+    #[test]
+    fn validation_catches_corruption() {
+        let mut arrays = StreamArrays::new(64);
+        arrays.run_iteration(2);
+        arrays.a[13] += 1.0;
+        let err = arrays.validate(1).unwrap_err();
+        assert!(err.contains("a[13]"));
+    }
+
+    #[test]
+    fn expected_after_zero_iterations() {
+        assert_eq!(StreamArrays::expected_after(0), (1.0, 2.0, 0.0));
+    }
+}

@@ -1,0 +1,81 @@
+//! stream.c-style report rendering.
+//!
+//! The classic output block:
+//!
+//! ```text
+//! Function    Best Rate MB/s  Avg time     Min time     Max time
+//! Copy:           55810.0     0.029        0.028        0.031
+//! ...
+//! ```
+//!
+//! plus a GB/s summary row in the units the paper's Figure 1 uses.
+
+use crate::StreamRun;
+use std::fmt::Write as _;
+
+/// Render one run as a stream.c-style table.
+pub fn render_report(run: &StreamRun) -> String {
+    let mut out = String::new();
+    writeln!(out, "STREAM ({} arrays, {} elements x {} B, {} reps)",
+        run.agent, run.elements, run.element_bytes, run.reps).unwrap();
+    writeln!(out, "{}", "-".repeat(72)).unwrap();
+    writeln!(
+        out,
+        "{:<10} {:>14} {:>12} {:>12} {:>12} {:>8}",
+        "Function", "Best Rate MB/s", "Avg time", "Min time", "Max time", "Threads"
+    )
+    .unwrap();
+    for r in &run.results {
+        // stream.c reports MB/s with MB = 1e6 bytes.
+        let mbs = r.best_gbs * 1e3;
+        writeln!(
+            out,
+            "{:<10} {:>14.1} {:>12.6} {:>12.6} {:>12.6} {:>8}",
+            format!("{}:", r.kernel.name()),
+            mbs,
+            r.avg_time.as_secs_f64(),
+            r.min_time.as_secs_f64(),
+            r.max_time.as_secs_f64(),
+            if r.best_threads == 0 { "-".to_string() } else { r.best_threads.to_string() },
+        )
+        .unwrap();
+    }
+    writeln!(out, "{}", "-".repeat(72)).unwrap();
+    writeln!(out, "Best bandwidth: {:.1} GB/s", run.best_gbs()).unwrap();
+    if run.validated {
+        writeln!(out, "Solution Validates: avg error less than 1e-13 on all three arrays").unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{CpuStream, CpuStreamConfig};
+    use oranges_soc::chip::ChipGeneration;
+
+    #[test]
+    fn report_contains_all_kernels_and_summary() {
+        let run = CpuStream::new(ChipGeneration::M1).run();
+        let text = render_report(&run);
+        for name in ["Copy:", "Scale:", "Add:", "Triad:"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        assert!(text.contains("Best bandwidth: 59.0 GB/s"));
+        assert!(text.contains("Best Rate MB/s"));
+    }
+
+    #[test]
+    fn validated_runs_print_the_validation_line() {
+        let run =
+            CpuStream::with_config(ChipGeneration::M1, CpuStreamConfig::functional_small()).run();
+        let text = render_report(&run);
+        assert!(text.contains("Solution Validates"));
+    }
+
+    #[test]
+    fn unvalidated_runs_do_not_claim_validation() {
+        let run = CpuStream::new(ChipGeneration::M2).run();
+        assert!(!render_report(&run).contains("Solution Validates"));
+    }
+}

@@ -1,0 +1,287 @@
+//! Typed, page-aligned unified-memory buffers.
+//!
+//! A [`UnifiedBuffer`] mirrors what the paper's harness builds with
+//! `aligned_alloc` + `newBufferWithBytesNoCopy`: a page-aligned allocation
+//! whose length is rounded up to a 16 KiB multiple so the GPU can wrap the
+//! same physical pages without copying. Storage modes follow Metal (§2.4):
+//!
+//! - [`StorageMode::Shared`] — visible to CPU and GPU (zero-copy);
+//! - [`StorageMode::Private`] — GPU-optimal, CPU access is an error.
+//!
+//! The element data is an ordinary host `Vec<T>` (real arithmetic happens
+//! on it); the *address* is simulated and always page-aligned.
+
+use crate::address::{AddressSpace, Allocation};
+use crate::error::UmemError;
+use crate::page::is_page_aligned;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Metal-style storage mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageMode {
+    /// `MTLResourceStorageModeShared`: one physical copy, CPU- and
+    /// GPU-visible. The mode every zero-copy benchmark buffer uses.
+    Shared,
+    /// `MTLResourceStorageModePrivate`: GPU-only.
+    Private,
+}
+
+/// A shared handle to one SoC's address space.
+#[derive(Debug, Clone)]
+pub struct SharedAddressSpace {
+    inner: Arc<Mutex<AddressSpace>>,
+}
+
+impl SharedAddressSpace {
+    /// Wrap an address space for shared use.
+    pub fn new(space: AddressSpace) -> Self {
+        SharedAddressSpace { inner: Arc::new(Mutex::new(space)) }
+    }
+
+    /// A space sized in GiB (like a device's unified memory).
+    pub fn with_gib(gib: u32) -> Self {
+        SharedAddressSpace::new(AddressSpace::with_gib(gib))
+    }
+
+    /// Allocate a page-rounded region.
+    pub fn allocate(&self, bytes: u64) -> Result<Allocation, UmemError> {
+        self.inner.lock().allocate(bytes)
+    }
+
+    /// Free a region.
+    pub fn free(&self, alloc: Allocation) {
+        self.inner.lock().free(alloc);
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.inner.lock().allocated()
+    }
+
+    /// Bytes available.
+    pub fn available(&self) -> u64 {
+        self.inner.lock().available()
+    }
+}
+
+/// A typed, page-aligned unified-memory allocation.
+#[derive(Debug)]
+pub struct UnifiedBuffer<T: Copy + Default> {
+    space: SharedAddressSpace,
+    allocation: Allocation,
+    mode: StorageMode,
+    /// Requested length in elements (the logical length).
+    len: usize,
+    /// Host backing store. Its byte length equals the page-rounded
+    /// allocation so GPU wraps see whole pages, like the paper's harness.
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> UnifiedBuffer<T> {
+    /// Allocate `len` elements in `space` with the given storage mode.
+    ///
+    /// The underlying allocation is rounded up to whole pages and the
+    /// padding elements are zero-initialized — exactly the paper's
+    /// "allocation lengths were automatically extended to the nearest page
+    /// multiple" discipline.
+    pub fn allocate(
+        space: &SharedAddressSpace,
+        len: usize,
+        mode: StorageMode,
+    ) -> Result<Self, UmemError> {
+        let elem = std::mem::size_of::<T>() as u64;
+        let requested_bytes = len as u64 * elem;
+        let allocation = space.allocate(requested_bytes)?;
+        let padded_len = (allocation.len / elem) as usize;
+        Ok(UnifiedBuffer {
+            space: space.clone(),
+            allocation,
+            mode,
+            len,
+            data: vec![T::default(); padded_len],
+        })
+    }
+
+    /// Logical length in elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the logical length is zero (cannot happen through
+    /// [`UnifiedBuffer::allocate`], which rejects zero-length requests).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Requested bytes (logical length × element size).
+    pub fn byte_len(&self) -> u64 {
+        self.len as u64 * std::mem::size_of::<T>() as u64
+    }
+
+    /// Allocated bytes (page multiple ≥ [`UnifiedBuffer::byte_len`]).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.allocation.len
+    }
+
+    /// Simulated physical base address (always page-aligned).
+    pub fn base_address(&self) -> u64 {
+        self.allocation.addr
+    }
+
+    /// Storage mode.
+    pub fn storage_mode(&self) -> StorageMode {
+        self.mode
+    }
+
+    /// Whether a Metal no-copy wrap of this buffer succeeds without a
+    /// fallback copy: base is page-aligned (always true here) and the
+    /// *allocated* length is a page multiple (always true here). Exposed
+    /// because callers wrapping arbitrary sub-ranges must check.
+    pub fn supports_no_copy_wrap(&self) -> bool {
+        is_page_aligned(self.allocation.addr) && is_page_aligned(self.allocation.len)
+    }
+
+    /// CPU view of the logical elements. Errors on `Private` buffers.
+    pub fn as_slice(&self) -> Result<&[T], UmemError> {
+        match self.mode {
+            StorageMode::Shared => Ok(&self.data[..self.len]),
+            StorageMode::Private => {
+                Err(UmemError::StorageModeViolation { operation: "CPU read of Private buffer" })
+            }
+        }
+    }
+
+    /// Mutable CPU view of the logical elements. Errors on `Private`.
+    pub fn as_mut_slice(&mut self) -> Result<&mut [T], UmemError> {
+        match self.mode {
+            StorageMode::Shared => Ok(&mut self.data[..self.len]),
+            StorageMode::Private => {
+                Err(UmemError::StorageModeViolation { operation: "CPU write of Private buffer" })
+            }
+        }
+    }
+
+    /// Device-side view (GPU executors may read any mode, including the
+    /// page padding — they see whole pages).
+    pub fn device_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable device-side view over the full padded extent.
+    pub fn device_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Copy from a host slice into the buffer (CPU path, `Shared` only).
+    pub fn copy_from_slice(&mut self, src: &[T]) -> Result<(), UmemError> {
+        if src.len() > self.len {
+            return Err(UmemError::OutOfBounds { index: src.len(), len: self.len });
+        }
+        let dst = self.as_mut_slice()?;
+        dst[..src.len()].copy_from_slice(src);
+        Ok(())
+    }
+
+    /// Fill the logical extent with a value.
+    pub fn fill(&mut self, value: T) -> Result<(), UmemError> {
+        self.as_mut_slice()?.fill(value);
+        Ok(())
+    }
+}
+
+impl<T: Copy + Default> Drop for UnifiedBuffer<T> {
+    fn drop(&mut self) {
+        self.space.free(self.allocation);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PAGE_SIZE;
+
+    fn space() -> SharedAddressSpace {
+        SharedAddressSpace::with_gib(1)
+    }
+
+    #[test]
+    fn allocation_rounds_to_pages_and_pads_with_zeros() {
+        let s = space();
+        let buf = UnifiedBuffer::<f32>::allocate(&s, 100, StorageMode::Shared).unwrap();
+        assert_eq!(buf.len(), 100);
+        assert_eq!(buf.byte_len(), 400);
+        assert_eq!(buf.capacity_bytes(), PAGE_SIZE);
+        assert_eq!(buf.device_slice().len(), PAGE_SIZE as usize / 4);
+        assert!(buf.device_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn base_addresses_are_page_aligned() {
+        let s = space();
+        for _ in 0..10 {
+            let buf = UnifiedBuffer::<f64>::allocate(&s, 1000, StorageMode::Shared).unwrap();
+            assert_eq!(buf.base_address() % PAGE_SIZE, 0);
+            assert!(buf.supports_no_copy_wrap());
+        }
+    }
+
+    #[test]
+    fn shared_mode_allows_cpu_access() {
+        let s = space();
+        let mut buf = UnifiedBuffer::<f32>::allocate(&s, 8, StorageMode::Shared).unwrap();
+        buf.copy_from_slice(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(&buf.as_slice().unwrap()[..3], &[1.0, 2.0, 3.0]);
+        buf.fill(7.5).unwrap();
+        assert!(buf.as_slice().unwrap().iter().all(|&x| x == 7.5));
+    }
+
+    #[test]
+    fn private_mode_blocks_cpu_access() {
+        let s = space();
+        let mut buf = UnifiedBuffer::<f32>::allocate(&s, 8, StorageMode::Private).unwrap();
+        assert!(matches!(buf.as_slice(), Err(UmemError::StorageModeViolation { .. })));
+        assert!(matches!(buf.as_mut_slice(), Err(UmemError::StorageModeViolation { .. })));
+        // The device still sees it.
+        assert_eq!(buf.device_slice().len(), PAGE_SIZE as usize / 4);
+        buf.device_mut_slice()[0] = 3.0;
+        assert_eq!(buf.device_slice()[0], 3.0);
+    }
+
+    #[test]
+    fn copy_too_long_is_out_of_bounds() {
+        let s = space();
+        let mut buf = UnifiedBuffer::<f32>::allocate(&s, 2, StorageMode::Shared).unwrap();
+        let err = buf.copy_from_slice(&[0.0; 5]).unwrap_err();
+        assert!(matches!(err, UmemError::OutOfBounds { index: 5, len: 2 }));
+    }
+
+    #[test]
+    fn drop_returns_space() {
+        let s = space();
+        let before = s.allocated();
+        {
+            let _buf = UnifiedBuffer::<f64>::allocate(&s, 1 << 20, StorageMode::Shared).unwrap();
+            assert!(s.allocated() > before);
+        }
+        assert_eq!(s.allocated(), before);
+    }
+
+    #[test]
+    fn logical_vs_device_extents() {
+        let s = space();
+        let buf = UnifiedBuffer::<f64>::allocate(&s, 3000, StorageMode::Shared).unwrap();
+        // 3000 × 8 B = 24,000 B → 2 pages = 32,768 B → 4096 f64 elements.
+        assert_eq!(buf.as_slice().unwrap().len(), 3000);
+        assert_eq!(buf.device_slice().len(), 4096);
+    }
+
+    #[test]
+    fn zero_len_propagates_error() {
+        let s = space();
+        assert!(matches!(
+            UnifiedBuffer::<f32>::allocate(&s, 0, StorageMode::Shared),
+            Err(UmemError::ZeroLength)
+        ));
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for the unified-memory subsystem.
+
+use std::fmt;
+
+/// Errors produced by allocation and buffer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UmemError {
+    /// The address space cannot satisfy the allocation.
+    OutOfMemory {
+        /// Bytes requested (after page round-up).
+        requested: u64,
+        /// Bytes remaining in the space.
+        available: u64,
+    },
+    /// A zero-length allocation was requested.
+    ZeroLength,
+    /// A no-copy wrap requires page-divisible length and alignment
+    /// (`newBufferWithBytesNoCopy` semantics).
+    NotPageDivisible {
+        /// The offending length in bytes.
+        length: u64,
+    },
+    /// Buffer accessed with the wrong storage mode (e.g. CPU touching a
+    /// `Private` buffer).
+    StorageModeViolation {
+        /// What was attempted.
+        operation: &'static str,
+    },
+    /// Index or range outside the buffer.
+    OutOfBounds {
+        /// Requested index/offset.
+        index: usize,
+        /// Buffer length in elements.
+        len: usize,
+    },
+}
+
+impl fmt::Display for UmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UmemError::OutOfMemory { requested, available } => {
+                write!(f, "out of unified memory: requested {requested} B, available {available} B")
+            }
+            UmemError::ZeroLength => write!(f, "zero-length allocation"),
+            UmemError::NotPageDivisible { length } => {
+                write!(f, "length {length} B is not a multiple of the 16384 B page size")
+            }
+            UmemError::StorageModeViolation { operation } => {
+                write!(f, "storage-mode violation: {operation}")
+            }
+            UmemError::OutOfBounds { index, len } => {
+                write!(f, "access at {index} outside buffer of length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UmemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = UmemError::OutOfMemory { requested: 100, available: 10 };
+        assert!(e.to_string().contains("requested 100"));
+        assert!(UmemError::ZeroLength.to_string().contains("zero-length"));
+        assert!(UmemError::NotPageDivisible { length: 5 }.to_string().contains("16384"));
+        assert!(
+            UmemError::StorageModeViolation { operation: "cpu read of private buffer" }
+                .to_string()
+                .contains("cpu read")
+        );
+        assert!(UmemError::OutOfBounds { index: 9, len: 3 }.to_string().contains("9"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Page geometry of Apple Silicon unified memory.
+//!
+//! macOS on Apple Silicon uses 16 KiB pages. The paper's GEMM harness
+//! allocates all matrices with `aligned_alloc` against this page size and
+//! rounds lengths up to page multiples so Metal can wrap them zero-copy
+//! (§3.2). Every allocation in this crate follows the same discipline.
+
+/// The Apple Silicon page size: 16384 bytes.
+pub const PAGE_SIZE: u64 = 16_384;
+
+/// Round a byte length up to the next page multiple.
+///
+/// Zero stays zero (the allocator rejects zero-length requests separately).
+pub const fn round_up_to_page(bytes: u64) -> u64 {
+    match bytes % PAGE_SIZE {
+        0 => bytes,
+        rem => bytes + (PAGE_SIZE - rem),
+    }
+}
+
+/// Number of pages covering a byte length.
+pub const fn pages_for(bytes: u64) -> u64 {
+    round_up_to_page(bytes) / PAGE_SIZE
+}
+
+/// Whether an address or length is page-aligned.
+pub const fn is_page_aligned(value: u64) -> bool {
+    value % PAGE_SIZE == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_matches_the_paper() {
+        assert_eq!(PAGE_SIZE, 16_384);
+    }
+
+    #[test]
+    fn round_up_exact_multiples_unchanged() {
+        assert_eq!(round_up_to_page(0), 0);
+        assert_eq!(round_up_to_page(PAGE_SIZE), PAGE_SIZE);
+        assert_eq!(round_up_to_page(3 * PAGE_SIZE), 3 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn round_up_partial_pages() {
+        assert_eq!(round_up_to_page(1), PAGE_SIZE);
+        assert_eq!(round_up_to_page(PAGE_SIZE - 1), PAGE_SIZE);
+        assert_eq!(round_up_to_page(PAGE_SIZE + 1), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn pages_for_counts() {
+        assert_eq!(pages_for(0), 0);
+        assert_eq!(pages_for(1), 1);
+        assert_eq!(pages_for(PAGE_SIZE), 1);
+        assert_eq!(pages_for(PAGE_SIZE + 1), 2);
+    }
+
+    #[test]
+    fn alignment_check() {
+        assert!(is_page_aligned(0));
+        assert!(is_page_aligned(PAGE_SIZE * 7));
+        assert!(!is_page_aligned(PAGE_SIZE + 4));
+    }
+
+    #[test]
+    fn matrix_sizes_from_the_paper_round_cleanly() {
+        // A 1024×1024 f32 matrix is exactly 4 MiB = 256 pages.
+        let bytes = 1024u64 * 1024 * 4;
+        assert_eq!(round_up_to_page(bytes), bytes);
+        assert_eq!(pages_for(bytes), 256);
+        // A 100×100 f32 matrix (40,000 B) rounds up to 3 pages (49,152 B).
+        assert_eq!(round_up_to_page(40_000), 49_152);
+    }
+}

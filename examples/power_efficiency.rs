@@ -1,0 +1,62 @@
+//! Power & efficiency study — reproduce Figures 3 and 4, including the
+//! powermetrics text round-trip the paper's harness performs.
+//!
+//! ```sh
+//! cargo run --release --example power_efficiency
+//! ```
+
+use oranges::experiments::{fig3, fig4};
+use oranges::prelude::*;
+use oranges_powermetrics::format;
+use oranges_powermetrics::model::{PowerModel, WorkClass};
+use oranges_powermetrics::sampler::{Activity, Sampler};
+use oranges_soc::time::SimDuration;
+
+fn main() {
+    // 1. The raw powermetrics protocol, exactly as §3.3 describes it:
+    //    start → 2 s warm-up → SIGINFO (reset) → workload → SIGINFO.
+    println!("--- powermetrics protocol demo (M4, GPU-MPS, 1 s) ---");
+    let mut sampler = Sampler::start(PowerModel::of(ChipGeneration::M4));
+    sampler.idle(SimDuration::from_secs_f64(2.0)).unwrap();
+    sampler.siginfo().unwrap(); // reset after warm-up
+    sampler
+        .record(Activity::busy(WorkClass::GpuMps, SimDuration::from_secs_f64(1.0)))
+        .unwrap();
+    let sample = sampler.siginfo().unwrap();
+    let text = format::write_sample(&sample);
+    println!("{text}");
+    let parsed = format::parse_sample(&text).unwrap();
+    println!(
+        "parsed back: CPU {} mW, GPU {} mW, combined {} mW\n",
+        parsed.powers.cpu_mw, parsed.powers.gpu_mw, parsed.combined_mw
+    );
+
+    // 2. Figure 3: power across implementations and sizes.
+    let fig3_data = fig3::run(&fig3::Fig3Config::default()).expect("fig3 runs");
+    for chip in ChipGeneration::ALL {
+        println!("{}", fig3::render_panel(&fig3_data, chip));
+    }
+    let hottest = fig3_data.hottest().unwrap();
+    println!(
+        "Hottest configuration: {} {} at n = {} → {:.1} W (paper: M4 Cutlass, ~17–20 W)\n",
+        hottest.chip,
+        hottest.implementation,
+        hottest.n,
+        hottest.power_mw / 1e3
+    );
+
+    // 3. Figure 4: efficiency.
+    let fig4_data = fig4::run(&fig4::Fig4Config::default()).expect("fig4 runs");
+    for chip in ChipGeneration::ALL {
+        println!("{}", fig4::render_panel(&fig4_data, chip));
+    }
+    for chip in ChipGeneration::ALL {
+        println!(
+            "{chip}: GPU-MPS peak {:.0} GFLOPS/W, CPU-Accelerate {:.0}, CPU-OMP {:.2}",
+            fig4_data.peak(chip, "GPU-MPS"),
+            fig4_data.peak(chip, "CPU-Accelerate"),
+            fig4_data.peak(chip, "CPU-OMP"),
+        );
+    }
+    println!("\n(Green500 #1 for scale: 72 GFLOPS/W; all four chips clear 200 with MPS.)");
+}

@@ -1,0 +1,39 @@
+//! STREAM bandwidth sweep — reproduce Figure 1 and print the McCalpin
+//! report plus the ASCII chart.
+//!
+//! ```sh
+//! cargo run --release --example stream_sweep
+//! ```
+
+use oranges::experiments::fig1;
+use oranges::prelude::*;
+use oranges_stream::render_report;
+
+fn main() {
+    // Per-chip stream.c-style reports, CPU (thread sweep) then GPU.
+    for chip in ChipGeneration::ALL {
+        let platform = Platform::new(chip);
+        println!("=== {chip} ===");
+        println!("{}", render_report(&platform.stream_cpu()));
+        println!("{}", render_report(&platform.stream_gpu()));
+    }
+
+    // The full Figure 1 dataset + chart.
+    let data = fig1::run();
+    println!("{}", fig1::render(&data));
+
+    println!("CSV:\n{}", fig1::to_csv(&data));
+
+    // The paper's summary sentence, recomputed.
+    for chip in ChipGeneration::ALL {
+        let cpu = data.best(chip, "CPU");
+        let gpu = data.best(chip, "GPU");
+        let theoretical = chip.spec().memory_bandwidth_gbs;
+        println!(
+            "{chip}: CPU {cpu:.0} GB/s, GPU {gpu:.0} GB/s of {theoretical:.0} GB/s theoretical \
+             ({:.0}% / {:.0}%)",
+            cpu / theoretical * 100.0,
+            gpu / theoretical * 100.0,
+        );
+    }
+}

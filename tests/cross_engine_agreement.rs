@@ -1,0 +1,114 @@
+//! Numerical agreement across engines: every implementation (CPU scalar,
+//! CPU blocked, AMX-backed BLAS, three GPU paths) must compute the same
+//! product, up to FP32 reassociation.
+
+use oranges_gemm::suite::suite_for;
+use oranges_gemm::verify::reference_gemm;
+use oranges_soc::chip::ChipGeneration;
+
+fn random_matrix(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(12345);
+    (0..n * n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u32 << 24) as f32
+        })
+        .collect()
+}
+
+#[test]
+fn all_engines_agree_with_the_reference() {
+    let n = 48;
+    let a = random_matrix(n, 1);
+    let b = random_matrix(n, 2);
+    let mut expected = vec![0.0f32; n * n];
+    reference_gemm(n, &a, &b, &mut expected);
+
+    for chip in [ChipGeneration::M1, ChipGeneration::M4] {
+        for mut implementation in suite_for(chip) {
+            let mut c = vec![0.0f32; n * n];
+            let outcome = implementation.run(n, &a, &b, &mut c).unwrap();
+            assert!(outcome.functional, "{chip} {}", implementation.name());
+            let tolerance = 1e-4f32 * n as f32;
+            for (idx, (x, y)) in c.iter().zip(&expected).enumerate() {
+                assert!(
+                    (x - y).abs() <= tolerance * (1.0 + y.abs()),
+                    "{chip} {} at {idx}: {x} vs {y}",
+                    implementation.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn amx_sgemm_agrees_with_metal_shader() {
+    // The two deepest functional paths: instruction-level AMX simulation
+    // vs threadgroup-band GPU execution.
+    use oranges_amx::sgemm::AmxSgemm;
+    use oranges_gemm::gpu_shader::GpuShader;
+    use oranges_gemm::GemmImplementation;
+
+    let n = 32;
+    let a = random_matrix(n, 7);
+    let b = random_matrix(n, 8);
+
+    let mut amx_result = vec![0.0f32; n * n];
+    AmxSgemm::new(ChipGeneration::M2).sgemm(n, &a, &b, &mut amx_result).unwrap();
+
+    let mut gpu_result = vec![0.0f32; n * n];
+    GpuShader::naive(ChipGeneration::M2).run(n, &a, &b, &mut gpu_result).unwrap();
+
+    for idx in 0..n * n {
+        assert!(
+            (amx_result[idx] - gpu_result[idx]).abs() <= 1e-3,
+            "idx {idx}: AMX {} vs GPU {}",
+            amx_result[idx],
+            gpu_result[idx]
+        );
+    }
+}
+
+#[test]
+fn vdsp_and_blas_agree_exactly_in_timing_and_nearly_in_values() {
+    // §5.2: "The vDSP and BLAS implementations perform nearly identically".
+    use oranges_accelerate::blas::{Blas, Order, Transpose};
+    use oranges_accelerate::timing::AccelerateModel;
+    use oranges_accelerate::vdsp;
+
+    let n = 64;
+    let a = random_matrix(n, 20);
+    let b = random_matrix(n, 21);
+
+    let blas = Blas::new(ChipGeneration::M3);
+    let mut c_blas = vec![0.0f32; n * n];
+    let blas_report = blas
+        .sgemm(
+            Order::RowMajor, Transpose::NoTrans, Transpose::NoTrans,
+            n, n, n, 1.0, &a, n, &b, n, 0.0, &mut c_blas, n,
+        )
+        .unwrap();
+
+    let model = AccelerateModel::of(ChipGeneration::M3);
+    let mut c_vdsp = vec![0.0f32; n * n];
+    let vdsp_report = vdsp::mmul(&model, &a, &b, &mut c_vdsp, n, n, n).unwrap();
+
+    assert_eq!(blas_report.duration, vdsp_report.duration, "identical timing model");
+    for idx in 0..n * n {
+        assert!((c_blas[idx] - c_vdsp[idx]).abs() <= 1e-3);
+    }
+}
+
+#[test]
+fn stream_cpu_and_gpu_use_the_same_byte_accounting() {
+    use oranges_umem::bandwidth::StreamKernelKind;
+    // Copy moves 2 arrays, Add/Triad 3 — identical on both agents, only
+    // the element size differs (f64 CPU, f32 GPU).
+    for kind in StreamKernelKind::ALL {
+        let cpu_bytes = kind.bytes_per_element(8);
+        let gpu_bytes = kind.bytes_per_element(4);
+        assert_eq!(cpu_bytes, gpu_bytes * 2);
+    }
+}

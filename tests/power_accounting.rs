@@ -1,0 +1,81 @@
+//! Power accounting across crates: the sampler window must match the
+//! performance run it piggybacks (§4: "The power measurement occurs
+//! during the run in which CPU/GPU performance is measured").
+
+use oranges::prelude::*;
+use oranges_powermetrics::format;
+use oranges_powermetrics::model::{PowerModel, WorkClass};
+use oranges_powermetrics::sampler::{Activity, Sampler};
+use oranges_soc::time::SimDuration;
+
+#[test]
+fn power_window_equals_gemm_duration() {
+    let mut platform = Platform::new(ChipGeneration::M2);
+    let run = platform.gemm_modeled("GPU-MPS", 4096).unwrap();
+    assert_eq!(run.power.window, run.outcome.duration);
+}
+
+#[test]
+fn energy_scales_linearly_with_work() {
+    let mut platform = Platform::new(ChipGeneration::M3);
+    let small = platform.gemm_modeled("CPU-Accelerate", 4096).unwrap();
+    let large = platform.gemm_modeled("CPU-Accelerate", 8192).unwrap();
+    // 8× the FLOPs at (asymptotically) the same power → ~8× the energy.
+    let ratio = large.power.energy_j / small.power.energy_j;
+    assert!((6.5..9.5).contains(&ratio), "{ratio}");
+}
+
+#[test]
+fn efficiency_is_energy_per_flop_inverted() {
+    let mut platform = Platform::new(ChipGeneration::M4);
+    let run = platform.gemm_modeled("GPU-MPS", 8192).unwrap();
+    // GFLOPS/W == flops / energy_j / 1e9.
+    let from_energy = run.outcome.flops as f64 / run.power.energy_j / 1e9;
+    let reported = run.gflops_per_watt();
+    let rel = (from_energy - reported).abs() / reported;
+    assert!(rel < 0.01, "{from_energy} vs {reported}");
+}
+
+#[test]
+fn text_file_round_trip_matches_session_reading() {
+    // Reproduce the paper's full pipeline by hand and compare to the
+    // PowerSession shortcut.
+    let chip = ChipGeneration::M1;
+    let duration = SimDuration::from_secs_f64(1.5);
+
+    let mut sampler = Sampler::start(PowerModel::of(chip));
+    sampler.idle(SimDuration::from_secs_f64(2.0)).unwrap();
+    sampler.siginfo().unwrap();
+    sampler.record(Activity::busy(WorkClass::CpuAccelerate, duration)).unwrap();
+    let sample = sampler.siginfo().unwrap();
+    let parsed = format::parse_sample(&format::write_sample(&sample)).unwrap();
+
+    let session = oranges_powermetrics::PowerSession::new(chip);
+    let reading = session.measure(WorkClass::CpuAccelerate, duration, 1.0).unwrap();
+
+    assert!((parsed.powers.cpu_mw - reading.cpu_mw).abs() <= 1.0);
+    assert!((parsed.combined_mw - reading.combined_mw).abs() <= 1.5);
+}
+
+#[test]
+fn small_gpu_runs_draw_near_idle_power() {
+    // Overhead-dominated dispatches leave the GPU idle most of the window.
+    let mut platform = Platform::new(ChipGeneration::M2);
+    let tiny = platform.gemm_modeled("GPU-MPS", 32).unwrap();
+    let big = platform.gemm_modeled("GPU-MPS", 8192).unwrap();
+    // At n = 32 the dispatch overhead dominates: well under a watt versus
+    // the ~5.6 W the M2 draws at full MPS tilt.
+    assert!(tiny.power.package_watts() < 1.0, "{}", tiny.power.package_watts());
+    assert!(big.power.package_watts() > 4.0, "{}", big.power.package_watts());
+    assert!(tiny.power.package_watts() < big.power.package_watts() / 4.0);
+}
+
+#[test]
+fn cpu_loops_burn_full_power_even_at_small_sizes() {
+    // The §5.3 contrast: CPU implementations have no dispatch overhead, so
+    // they draw active power at every size.
+    let mut platform = Platform::new(ChipGeneration::M2);
+    let cpu = platform.gemm_modeled("CPU-Single", 64).unwrap();
+    let gpu = platform.gemm_modeled("GPU-MPS", 64).unwrap();
+    assert!(cpu.power.package_watts() > 3.0 * gpu.power.package_watts());
+}
