@@ -145,7 +145,9 @@ impl Blas {
         let flops = (m as u64) * (n as u64) * (2 * k as u64).max(1).saturating_sub(1).max(1);
         let functional = flops <= self.functional_limit;
         if functional && m > 0 && n > 0 {
-            self.compute(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+            self.compute(
+                trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+            );
         }
 
         Ok(BlasReport {
@@ -231,6 +233,7 @@ impl Blas {
 mod tests {
     use super::*;
 
+    #[allow(clippy::too_many_arguments)] // mirrors the cblas_sgemm signature
     fn reference(
         trans_a: Transpose,
         trans_b: Transpose,
@@ -294,13 +297,36 @@ mod tests {
         let blas = Blas::new(ChipGeneration::M1);
         let report = blas
             .sgemm(
-                Order::RowMajor, Transpose::NoTrans, Transpose::NoTrans,
-                n, n, n, 1.0, &a, n, &b, n, 0.0, &mut c, n,
+                Order::RowMajor,
+                Transpose::NoTrans,
+                Transpose::NoTrans,
+                n,
+                n,
+                n,
+                1.0,
+                &a,
+                n,
+                &b,
+                n,
+                0.0,
+                &mut c,
+                n,
             )
             .unwrap();
         let expected = reference(
-            Transpose::NoTrans, Transpose::NoTrans, n, n, n, 1.0, &a, n, &b, n, 0.0,
-            &vec![0.0; n * n], n,
+            Transpose::NoTrans,
+            Transpose::NoTrans,
+            n,
+            n,
+            n,
+            1.0,
+            &a,
+            n,
+            &b,
+            n,
+            0.0,
+            &vec![0.0; n * n],
+            n,
         );
         assert_close(&c, &expected, n);
         assert!(report.functional);
@@ -317,12 +343,36 @@ mod tests {
         let mut c = c0.clone();
         let blas = Blas::new(ChipGeneration::M2);
         blas.sgemm(
-            Order::RowMajor, Transpose::Trans, Transpose::Trans,
-            m, n, k, 0.5, &a, m, &b, k, 2.0, &mut c, n,
+            Order::RowMajor,
+            Transpose::Trans,
+            Transpose::Trans,
+            m,
+            n,
+            k,
+            0.5,
+            &a,
+            m,
+            &b,
+            k,
+            2.0,
+            &mut c,
+            n,
         )
         .unwrap();
         let expected = reference(
-            Transpose::Trans, Transpose::Trans, m, n, k, 0.5, &a, m, &b, k, 2.0, &c0, n,
+            Transpose::Trans,
+            Transpose::Trans,
+            m,
+            n,
+            k,
+            0.5,
+            &a,
+            m,
+            &b,
+            k,
+            2.0,
+            &c0,
+            n,
         );
         assert_close(&c, &expected, k);
     }
@@ -337,12 +387,37 @@ mod tests {
         let mut c = c0.clone();
         let blas = Blas::new(ChipGeneration::M3);
         blas.sgemm(
-            Order::RowMajor, Transpose::NoTrans, Transpose::NoTrans,
-            m, n, k, 1.0, &a, k, &b, n, 0.0, &mut c, ldc,
+            Order::RowMajor,
+            Transpose::NoTrans,
+            Transpose::NoTrans,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            k,
+            &b,
+            n,
+            0.0,
+            &mut c,
+            ldc,
         )
         .unwrap();
-        let expected =
-            reference(Transpose::NoTrans, Transpose::NoTrans, m, n, k, 1.0, &a, k, &b, n, 0.0, &c0, ldc);
+        let expected = reference(
+            Transpose::NoTrans,
+            Transpose::NoTrans,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            k,
+            &b,
+            n,
+            0.0,
+            &c0,
+            ldc,
+        );
         // Checked positions: the m×n window; padding untouched.
         for i in 0..m {
             for j in 0..n {
@@ -363,13 +438,41 @@ mod tests {
         let mut c = vec![0.0f32; 8];
         // lda too small.
         assert!(blas
-            .sgemm(Order::RowMajor, Transpose::NoTrans, Transpose::NoTrans,
-                2, 2, 4, 1.0, &a, 2, &b, 2, 0.0, &mut c, 2)
+            .sgemm(
+                Order::RowMajor,
+                Transpose::NoTrans,
+                Transpose::NoTrans,
+                2,
+                2,
+                4,
+                1.0,
+                &a,
+                2,
+                &b,
+                2,
+                0.0,
+                &mut c,
+                2
+            )
             .is_err());
         // A too short.
         assert!(blas
-            .sgemm(Order::RowMajor, Transpose::NoTrans, Transpose::NoTrans,
-                4, 2, 4, 1.0, &a, 4, &b, 2, 0.0, &mut c, 2)
+            .sgemm(
+                Order::RowMajor,
+                Transpose::NoTrans,
+                Transpose::NoTrans,
+                4,
+                2,
+                4,
+                1.0,
+                &a,
+                4,
+                &b,
+                2,
+                0.0,
+                &mut c,
+                2
+            )
             .is_err());
     }
 
@@ -382,8 +485,20 @@ mod tests {
         let mut c = vec![0.0f32; n * n];
         let report = blas
             .sgemm(
-                Order::RowMajor, Transpose::NoTrans, Transpose::NoTrans,
-                n, n, n, 1.0, &a, n, &b, n, 0.0, &mut c, n,
+                Order::RowMajor,
+                Transpose::NoTrans,
+                Transpose::NoTrans,
+                n,
+                n,
+                n,
+                1.0,
+                &a,
+                n,
+                &b,
+                n,
+                0.0,
+                &mut c,
+                n,
             )
             .unwrap();
         assert!(!report.functional);
@@ -401,9 +516,20 @@ mod tests {
             let mut c = vec![0.0f32; 1];
             let report = blas
                 .sgemm(
-                    Order::RowMajor, Transpose::NoTrans, Transpose::NoTrans,
-                    n, n, n, 1.0, &vec![0.0; n * n], n, &vec![0.0; n * n], n, 0.0,
-                    &mut vec![0.0; n * n], n,
+                    Order::RowMajor,
+                    Transpose::NoTrans,
+                    Transpose::NoTrans,
+                    n,
+                    n,
+                    n,
+                    1.0,
+                    &vec![0.0; n * n],
+                    n,
+                    &vec![0.0; n * n],
+                    n,
+                    0.0,
+                    &mut vec![0.0; n * n],
+                    n,
                 )
                 .unwrap();
             let _ = &mut c;

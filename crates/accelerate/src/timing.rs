@@ -99,7 +99,10 @@ mod tests {
         for (chip, tflops) in expected {
             let m = AccelerateModel::of(chip);
             let sustained = m.sustained_gflops(16384) / 1e3;
-            assert!((sustained - tflops).abs() / tflops < 0.02, "{chip}: {sustained}");
+            assert!(
+                (sustained - tflops).abs() / tflops < 0.02,
+                "{chip}: {sustained}"
+            );
         }
     }
 
@@ -120,7 +123,10 @@ mod tests {
             .map(|c| AccelerateModel::of(*c).amx_efficiency(8192))
             .collect();
         for pair in effs.windows(2) {
-            assert!(pair[1] > pair[0] - 0.01, "later AMX revisions are no worse: {effs:?}");
+            assert!(
+                pair[1] > pair[0] - 0.01,
+                "later AMX revisions are no worse: {effs:?}"
+            );
         }
     }
 

@@ -94,23 +94,63 @@ mod tests {
 
     #[test]
     fn fma_is_the_only_flop_source() {
-        assert_eq!(Instruction::Fma32 { tile: 0, xr: 0, yr: 0 }.flops(), 512);
+        assert_eq!(
+            Instruction::Fma32 {
+                tile: 0,
+                xr: 0,
+                yr: 0
+            }
+            .flops(),
+            512
+        );
         assert_eq!(Instruction::LdX { reg: 0, offset: 0 }.flops(), 0);
-        assert_eq!(Instruction::StZ { tile: 0, row: 0, offset: 0 }.flops(), 0);
+        assert_eq!(
+            Instruction::StZ {
+                tile: 0,
+                row: 0,
+                offset: 0
+            }
+            .flops(),
+            0
+        );
         assert_eq!(Instruction::ClrZ { tile: 0 }.flops(), 0);
     }
 
     #[test]
     fn cycle_costs() {
-        assert_eq!(Instruction::Fma32 { tile: 0, xr: 0, yr: 0 }.cycles(), 1.0);
+        assert_eq!(
+            Instruction::Fma32 {
+                tile: 0,
+                xr: 0,
+                yr: 0
+            }
+            .cycles(),
+            1.0
+        );
         assert_eq!(Instruction::LdX { reg: 0, offset: 0 }.cycles(), 0.5);
         assert_eq!(Instruction::LdY { reg: 0, offset: 0 }.cycles(), 0.5);
-        assert_eq!(Instruction::StZ { tile: 0, row: 0, offset: 0 }.cycles(), 0.5);
+        assert_eq!(
+            Instruction::StZ {
+                tile: 0,
+                row: 0,
+                offset: 0
+            }
+            .cycles(),
+            0.5
+        );
     }
 
     #[test]
     fn mnemonics() {
-        assert_eq!(Instruction::Fma32 { tile: 0, xr: 1, yr: 2 }.mnemonic(), "fma32");
+        assert_eq!(
+            Instruction::Fma32 {
+                tile: 0,
+                xr: 1,
+                yr: 2
+            }
+            .mnemonic(),
+            "fma32"
+        );
         assert_eq!(Instruction::ClrZ { tile: 3 }.mnemonic(), "clrz");
     }
 }

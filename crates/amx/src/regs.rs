@@ -108,6 +108,7 @@ impl RegisterFile {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::needless_range_loop)]
     use super::*;
 
     #[test]

@@ -42,7 +42,9 @@ pub struct AmxSgemm {
 impl AmxSgemm {
     /// Driver for a generation.
     pub fn new(generation: ChipGeneration) -> Self {
-        AmxSgemm { unit: AmxUnit::new(generation) }
+        AmxSgemm {
+            unit: AmxUnit::new(generation),
+        }
     }
 
     /// The underlying unit.
@@ -73,24 +75,38 @@ impl AmxSgemm {
 
         for bi in (0..full).step_by(t) {
             for bj in (0..full).step_by(t) {
-                self.unit.execute(Instruction::ClrZ { tile: 0 }, &mut stage)?;
+                self.unit
+                    .execute(Instruction::ClrZ { tile: 0 }, &mut stage)?;
                 for k in 0..n {
                     // Stage the A column segment A[bi..bi+16][k].
                     for (s, row) in stage.iter_mut().zip(bi..bi + t) {
                         *s = a[row * n + k];
                     }
-                    self.unit.execute(Instruction::LdY { reg: 0, offset: 0 }, &mut stage)?;
+                    self.unit
+                        .execute(Instruction::LdY { reg: 0, offset: 0 }, &mut stage)?;
                     // B row segment B[k][bj..bj+16] is contiguous.
                     let b_off = k * n + bj;
                     let b_row = &mut [0.0f32; TILE_F32_LANES][..];
                     b_row.copy_from_slice(&b[b_off..b_off + t]);
-                    self.unit.execute(Instruction::LdX { reg: 0, offset: 0 }, b_row)?;
-                    self.unit.execute(Instruction::Fma32 { tile: 0, xr: 0, yr: 0 }, &mut stage)?;
+                    self.unit
+                        .execute(Instruction::LdX { reg: 0, offset: 0 }, b_row)?;
+                    self.unit.execute(
+                        Instruction::Fma32 {
+                            tile: 0,
+                            xr: 0,
+                            yr: 0,
+                        },
+                        &mut stage,
+                    )?;
                 }
                 // Spill the tile.
                 for row in 0..t {
                     self.unit.execute(
-                        Instruction::StZ { tile: 0, row, offset: row * t },
+                        Instruction::StZ {
+                            tile: 0,
+                            row,
+                            offset: row * t,
+                        },
                         &mut out_rows,
                     )?;
                 }
@@ -253,7 +269,10 @@ mod tests {
             elapsed.push(driver.sgemm(n, &a, &b, &mut c).unwrap().elapsed);
         }
         for pair in elapsed.windows(2) {
-            assert!(pair[1] <= pair[0], "later generations must not be slower: {elapsed:?}");
+            assert!(
+                pair[1] <= pair[0],
+                "later generations must not be slower: {elapsed:?}"
+            );
         }
     }
 

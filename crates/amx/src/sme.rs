@@ -30,9 +30,14 @@ impl SmeUnit {
     /// Construct for a generation; errors if the ISA has no SME.
     pub fn new(generation: ChipGeneration) -> Result<Self, AmxError> {
         if !generation.spec().isa.has_sme() {
-            return Err(AmxError::Unsupported("SME requires ARMv9.2-A (M4 or later)"));
+            return Err(AmxError::Unsupported(
+                "SME requires ARMv9.2-A (M4 or later)",
+            ));
         }
-        Ok(SmeUnit { inner: AmxUnit::new(generation), streaming: false })
+        Ok(SmeUnit {
+            inner: AmxUnit::new(generation),
+            streaming: false,
+        })
     }
 
     /// Enter streaming SVE mode (`smstart`).
@@ -53,14 +58,11 @@ impl SmeUnit {
     /// `fmopa za[tile] += zn ⊗ zm`: FP32 outer-product accumulate of two
     /// streaming vectors into a ZA tile. Operands are read from `zn`/`zm`
     /// slices of [`SVL_F32_LANES`] elements.
-    pub fn fmopa(
-        &mut self,
-        tile: usize,
-        zn: &[f32],
-        zm: &[f32],
-    ) -> Result<(), AmxError> {
+    pub fn fmopa(&mut self, tile: usize, zn: &[f32], zm: &[f32]) -> Result<(), AmxError> {
         if !self.streaming {
-            return Err(AmxError::Unsupported("fmopa outside streaming mode (missing smstart)"));
+            return Err(AmxError::Unsupported(
+                "fmopa outside streaming mode (missing smstart)",
+            ));
         }
         if zn.len() < SVL_F32_LANES || zm.len() < SVL_F32_LANES {
             return Err(AmxError::BadOperand {
@@ -69,22 +71,40 @@ impl SmeUnit {
                 len: zn.len().min(zm.len()),
             });
         }
-        debug_assert_eq!(SVL_F32_LANES, TILE_F32_LANES, "SVL matches the AMX tile geometry");
+        debug_assert_eq!(
+            SVL_F32_LANES, TILE_F32_LANES,
+            "SVL matches the AMX tile geometry"
+        );
         let mut zn_buf = [0.0f32; SVL_F32_LANES];
         zn_buf.copy_from_slice(&zn[..SVL_F32_LANES]);
         let mut zm_buf = [0.0f32; SVL_F32_LANES];
         zm_buf.copy_from_slice(&zm[..SVL_F32_LANES]);
         // zn → Y (rows), zm → X (columns): za[i][j] += zn[i] * zm[j].
-        self.inner.execute(Instruction::LdY { reg: 0, offset: 0 }, &mut zn_buf)?;
-        self.inner.execute(Instruction::LdX { reg: 0, offset: 0 }, &mut zm_buf)?;
-        self.inner.execute(Instruction::Fma32 { tile, xr: 0, yr: 0 }, &mut zn_buf)?;
+        self.inner
+            .execute(Instruction::LdY { reg: 0, offset: 0 }, &mut zn_buf)?;
+        self.inner
+            .execute(Instruction::LdX { reg: 0, offset: 0 }, &mut zm_buf)?;
+        self.inner
+            .execute(Instruction::Fma32 { tile, xr: 0, yr: 0 }, &mut zn_buf)?;
         Ok(())
     }
 
     /// Read a ZA tile row into `out`.
-    pub fn read_za_row(&mut self, tile: usize, row: usize, out: &mut [f32]) -> Result<(), AmxError> {
+    pub fn read_za_row(
+        &mut self,
+        tile: usize,
+        row: usize,
+        out: &mut [f32],
+    ) -> Result<(), AmxError> {
         let mut buf = vec![0.0f32; TILE_F32_LANES];
-        self.inner.execute(Instruction::StZ { tile, row, offset: 0 }, &mut buf)?;
+        self.inner.execute(
+            Instruction::StZ {
+                tile,
+                row,
+                offset: 0,
+            },
+            &mut buf,
+        )?;
         let take = out.len().min(TILE_F32_LANES);
         out[..take].copy_from_slice(&buf[..take]);
         Ok(())
@@ -109,12 +129,16 @@ impl SmeUnit {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::needless_range_loop)]
     use super::*;
 
     #[test]
     fn sme_rejects_pre_m4_generations() {
         for gen in [ChipGeneration::M1, ChipGeneration::M2, ChipGeneration::M3] {
-            assert!(matches!(SmeUnit::new(gen), Err(AmxError::Unsupported(_))), "{gen}");
+            assert!(
+                matches!(SmeUnit::new(gen), Err(AmxError::Unsupported(_))),
+                "{gen}"
+            );
         }
         assert!(SmeUnit::new(ChipGeneration::M4).is_ok());
     }
@@ -130,7 +154,10 @@ mod tests {
     fn fmopa_requires_streaming_mode() {
         let mut sme = SmeUnit::new(ChipGeneration::M4).unwrap();
         let v = vec![1.0f32; 16];
-        assert!(matches!(sme.fmopa(0, &v, &v), Err(AmxError::Unsupported(_))));
+        assert!(matches!(
+            sme.fmopa(0, &v, &v),
+            Err(AmxError::Unsupported(_))
+        ));
         sme.smstart();
         assert!(sme.is_streaming());
         assert!(sme.fmopa(0, &v, &v).is_ok());
@@ -161,6 +188,9 @@ mod tests {
         sme.smstart();
         let short = vec![1.0f32; 8];
         let full = vec![1.0f32; 16];
-        assert!(matches!(sme.fmopa(0, &short, &full), Err(AmxError::BadOperand { .. })));
+        assert!(matches!(
+            sme.fmopa(0, &short, &full),
+            Err(AmxError::BadOperand { .. })
+        ));
     }
 }

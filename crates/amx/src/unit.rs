@@ -41,7 +41,11 @@ impl fmt::Display for AmxError {
             AmxError::BadRegister { pool, index } => {
                 write!(f, "register index {index} out of range for {pool} pool")
             }
-            AmxError::BadOperand { offset, needed, len } => write!(
+            AmxError::BadOperand {
+                offset,
+                needed,
+                len,
+            } => write!(
                 f,
                 "memory operand [{offset}..{}] out of bounds for length {len}",
                 offset + needed
@@ -180,7 +184,11 @@ impl AmxUnit {
 
     fn load_lanes(mem: &[f32], offset: usize) -> Result<[f32; TILE_F32_LANES], AmxError> {
         if offset + TILE_F32_LANES > mem.len() {
-            return Err(AmxError::BadOperand { offset, needed: TILE_F32_LANES, len: mem.len() });
+            return Err(AmxError::BadOperand {
+                offset,
+                needed: TILE_F32_LANES,
+                len: mem.len(),
+            });
         }
         let mut lanes = [0.0f32; TILE_F32_LANES];
         lanes.copy_from_slice(&mem[offset..offset + TILE_F32_LANES]);
@@ -204,10 +212,28 @@ mod tests {
             mem[i] = (i + 1) as f32; // x operand
             mem[16 + i] = 2.0; // y operand
         }
-        u.execute(Instruction::LdX { reg: 0, offset: 0 }, &mut mem).unwrap();
-        u.execute(Instruction::LdY { reg: 0, offset: 16 }, &mut mem).unwrap();
-        u.execute(Instruction::Fma32 { tile: 0, xr: 0, yr: 0 }, &mut mem).unwrap();
-        u.execute(Instruction::StZ { tile: 0, row: 0, offset: 32 }, &mut mem).unwrap();
+        u.execute(Instruction::LdX { reg: 0, offset: 0 }, &mut mem)
+            .unwrap();
+        u.execute(Instruction::LdY { reg: 0, offset: 16 }, &mut mem)
+            .unwrap();
+        u.execute(
+            Instruction::Fma32 {
+                tile: 0,
+                xr: 0,
+                yr: 0,
+            },
+            &mut mem,
+        )
+        .unwrap();
+        u.execute(
+            Instruction::StZ {
+                tile: 0,
+                row: 0,
+                offset: 32,
+            },
+            &mut mem,
+        )
+        .unwrap();
         for j in 0..16 {
             assert_eq!(mem[32 + j], 2.0 * (j + 1) as f32);
         }
@@ -217,9 +243,19 @@ mod tests {
     fn counters_accumulate() {
         let mut u = unit();
         let mut mem = vec![1.0f32; 32];
-        u.execute(Instruction::LdX { reg: 0, offset: 0 }, &mut mem).unwrap();
-        u.execute(Instruction::LdY { reg: 0, offset: 16 }, &mut mem).unwrap();
-        u.execute(Instruction::Fma32 { tile: 0, xr: 0, yr: 0 }, &mut mem).unwrap();
+        u.execute(Instruction::LdX { reg: 0, offset: 0 }, &mut mem)
+            .unwrap();
+        u.execute(Instruction::LdY { reg: 0, offset: 16 }, &mut mem)
+            .unwrap();
+        u.execute(
+            Instruction::Fma32 {
+                tile: 0,
+                xr: 0,
+                yr: 0,
+            },
+            &mut mem,
+        )
+        .unwrap();
         assert_eq!(u.instructions(), 3);
         assert_eq!(u.flops(), 512);
         assert_eq!(u.cycles(), 2.0); // 0.5 + 0.5 + 1.0
@@ -235,7 +271,15 @@ mod tests {
         let mut u = AmxUnit::new(ChipGeneration::M1); // 3.2 GHz
         let mut mem = vec![0.0f32; 32];
         for _ in 0..3200 {
-            u.execute(Instruction::Fma32 { tile: 0, xr: 0, yr: 0 }, &mut mem).unwrap();
+            u.execute(
+                Instruction::Fma32 {
+                    tile: 0,
+                    xr: 0,
+                    yr: 0,
+                },
+                &mut mem,
+            )
+            .unwrap();
         }
         // 3200 cycles at 3.2 GHz = 1 µs.
         assert_eq!(u.elapsed().as_nanos(), 1_000);
@@ -255,14 +299,31 @@ mod tests {
         let mut mem = vec![0.0f32; 32];
         assert!(matches!(
             u.execute(Instruction::LdX { reg: 8, offset: 0 }, &mut mem),
-            Err(AmxError::BadRegister { pool: "x", index: 8 })
+            Err(AmxError::BadRegister {
+                pool: "x",
+                index: 8
+            })
         ));
         assert!(matches!(
-            u.execute(Instruction::Fma32 { tile: 4, xr: 0, yr: 0 }, &mut mem),
+            u.execute(
+                Instruction::Fma32 {
+                    tile: 4,
+                    xr: 0,
+                    yr: 0
+                },
+                &mut mem
+            ),
             Err(AmxError::BadRegister { pool: "z-tile", .. })
         ));
         assert!(matches!(
-            u.execute(Instruction::StZ { tile: 0, row: 16, offset: 0 }, &mut mem),
+            u.execute(
+                Instruction::StZ {
+                    tile: 0,
+                    row: 16,
+                    offset: 0
+                },
+                &mut mem
+            ),
             Err(AmxError::BadRegister { pool: "z-row", .. })
         ));
     }
@@ -273,9 +334,15 @@ mod tests {
         let mut mem = vec![0.0f32; 20];
         assert!(matches!(
             u.execute(Instruction::LdX { reg: 0, offset: 8 }, &mut mem),
-            Err(AmxError::BadOperand { offset: 8, needed: 16, len: 20 })
+            Err(AmxError::BadOperand {
+                offset: 8,
+                needed: 16,
+                len: 20
+            })
         ));
-        assert!(u.execute(Instruction::LdX { reg: 0, offset: 4 }, &mut mem).is_ok());
+        assert!(u
+            .execute(Instruction::LdX { reg: 0, offset: 4 }, &mut mem)
+            .is_ok());
         // Failed instructions do not retire.
         assert_eq!(u.instructions(), 1);
     }
@@ -288,9 +355,21 @@ mod tests {
             Instruction::LdX { reg: 0, offset: 0 },
             Instruction::LdY { reg: 0, offset: 16 },
             Instruction::ClrZ { tile: 0 },
-            Instruction::Fma32 { tile: 0, xr: 0, yr: 0 },
-            Instruction::Fma32 { tile: 0, xr: 0, yr: 0 },
-            Instruction::StZ { tile: 0, row: 0, offset: 32 },
+            Instruction::Fma32 {
+                tile: 0,
+                xr: 0,
+                yr: 0,
+            },
+            Instruction::Fma32 {
+                tile: 0,
+                xr: 0,
+                yr: 0,
+            },
+            Instruction::StZ {
+                tile: 0,
+                row: 0,
+                offset: 32,
+            },
         ];
         u.run(&program, &mut mem).unwrap();
         assert!(mem[32..48].iter().all(|&v| v == 2.0));
@@ -300,8 +379,12 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(AmxError::Unsupported("sme").to_string().contains("sme"));
-        assert!(
-            AmxError::BadOperand { offset: 1, needed: 16, len: 4 }.to_string().contains("[1..17]")
-        );
+        assert!(AmxError::BadOperand {
+            offset: 1,
+            needed: 16,
+            len: 4
+        }
+        .to_string()
+        .contains("[1..17]"));
     }
 }

@@ -1,5 +1,9 @@
 //! Property-based tests: the AMX unit against a scalar model.
 
+// Tile assertions index z[i][j] against y[i]*x[j]; iterator rewrites
+// would obscure the outer-product math under test.
+#![allow(clippy::needless_range_loop)]
+
 use oranges_amx::insn::Instruction;
 use oranges_amx::regs::TILE_F32_LANES;
 use oranges_amx::sgemm::{reference_sgemm, AmxSgemm};

@@ -19,14 +19,21 @@ use oranges_umem::page::{round_up_to_page, PAGE_SIZE};
 fn main() {
     // 1. Thread sweep.
     println!("=== Ablation 1: CPU STREAM thread sweep (Triad GB/s) ===");
-    println!("{:<6} {}", "Chip", (1..=10).map(|t| format!("{t:>7}")).collect::<String>());
+    println!(
+        "{:<6} {}",
+        "Chip",
+        (1..=10).map(|t| format!("{t:>7}")).collect::<String>()
+    );
     for chip in ChipGeneration::ALL {
         let model = BandwidthModel::of(chip);
         let cores = chip.spec().total_cores();
         let row: String = (1..=10)
             .map(|t| {
                 if t <= cores {
-                    format!("{:>7.1}", model.stream_gbs(Agent::Cpu, StreamKernelKind::Triad, t))
+                    format!(
+                        "{:>7.1}",
+                        model.stream_gbs(Agent::Cpu, StreamKernelKind::Triad, t)
+                    )
                 } else {
                     format!("{:>7}", "-")
                 }
@@ -38,13 +45,20 @@ fn main() {
 
     // 2. Duty cycle.
     println!("=== Ablation 2: power with vs without duty-cycle modeling (M2, GPU-MPS) ===");
-    println!("{:>8} {:>16} {:>16}", "n", "with duty [mW]", "always-on [mW]");
+    println!(
+        "{:>8} {:>16} {:>16}",
+        "n", "with duty [mW]", "always-on [mW]"
+    );
     let mut platform = Platform::new(ChipGeneration::M2);
     let session = oranges_powermetrics::PowerSession::new(ChipGeneration::M2);
     for n in [32usize, 128, 512, 2048, 8192] {
         let run = platform.gemm_modeled("GPU-MPS", n).unwrap();
         let always_on = session
-            .measure(oranges_powermetrics::WorkClass::GpuMps, run.outcome.duration, 1.0)
+            .measure(
+                oranges_powermetrics::WorkClass::GpuMps,
+                run.outcome.duration,
+                1.0,
+            )
             .unwrap();
         println!(
             "{n:>8} {:>16.0} {:>16.0}",
@@ -52,13 +66,18 @@ fn main() {
             always_on.package_watts() * 1e3
         );
     }
-    println!("(without duty, small dispatches would absurdly burn full power through their overhead)\n");
+    println!(
+        "(without duty, small dispatches would absurdly burn full power through their overhead)\n"
+    );
 
     // 3. Calibration vs roofline.
     println!("=== Ablation 3: measured-calibrated vs theoretical-roofline GEMM (M4, n=16384) ===");
     let mut m4 = Platform::new(ChipGeneration::M4);
     let spec = ChipGeneration::M4.spec();
-    println!("{:<16} {:>14} {:>18}", "impl", "modeled GFLOPS", "naive roofline");
+    println!(
+        "{:<16} {:>14} {:>18}",
+        "impl", "modeled GFLOPS", "naive roofline"
+    );
     for (implementation, roofline) in [
         ("CPU-Accelerate", spec.amx_gflops()),
         ("GPU-Naive", spec.gpu_tflops_published * 1e3),
@@ -66,13 +85,20 @@ fn main() {
         ("GPU-MPS", spec.gpu_tflops_published * 1e3),
     ] {
         let run = m4.gemm_modeled(implementation, 16384).unwrap();
-        println!("{implementation:<16} {:>14.0} {:>18.0}", run.gflops(), roofline);
+        println!(
+            "{implementation:<16} {:>14.0} {:>18.0}",
+            run.gflops(),
+            roofline
+        );
     }
     println!("(a pure roofline would put every GPU shader at 4260 GFLOPS — 8-30x off the paper)\n");
 
     // 4. Page round-up.
     println!("=== Ablation 4: page round-up and no-copy eligibility ===");
-    println!("{:>8} {:>14} {:>14} {:>10}", "n", "bytes", "rounded", "waste");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "n", "bytes", "rounded", "waste"
+    );
     for n in [32u64, 100, 256, 1000, 4096] {
         let bytes = n * n * 4;
         let rounded = round_up_to_page(bytes);

@@ -1,0 +1,45 @@
+//! Campaign-orchestrator throughput: the full Figure 1–4 × M1–M4 grid,
+//! cold and cached, across worker counts.
+//!
+//! Run with `cargo bench -p oranges-bench --bench campaign`.
+
+use oranges_campaign::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    println!("=== Campaign throughput: Figures 1-4 x M1-M4 ===\n");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>10}",
+        "workers", "units", "cold (s)", "units/s", "hit rate"
+    );
+    for workers in [1usize, 2, 4, 8] {
+        let spec = CampaignSpec::paper_grid().with_workers(workers);
+        let cache = ResultCache::new();
+        let started = Instant::now();
+        let report = run_campaign(&spec, &cache).expect("campaign runs");
+        let cold = started.elapsed().as_secs_f64();
+        println!(
+            "{workers:>8} {:>10} {cold:>12.3} {:>12.2} {:>9.0}%",
+            report.units.len(),
+            report.units_per_second(),
+            report.campaign_hit_rate() * 100.0
+        );
+    }
+
+    // The cached path: how fast is a fully warm re-run?
+    let spec = CampaignSpec::paper_grid().with_workers(4);
+    let cache = ResultCache::new();
+    run_campaign(&spec, &cache).expect("warm-up campaign");
+    let started = Instant::now();
+    let reruns = 50;
+    for _ in 0..reruns {
+        let report = run_campaign(&spec, &cache).expect("cached campaign");
+        assert_eq!(report.computed_units(), 0);
+    }
+    let per_rerun = started.elapsed().as_secs_f64() / reruns as f64;
+    println!(
+        "\ncached re-run: {:.3} ms per full grid ({:.0} units/s)",
+        per_rerun * 1e3,
+        16.0 / per_rerun
+    );
+}

@@ -36,6 +36,9 @@ fn main() {
         .chain(report::fig4_rows(&fig4_data))
         .map(|row| row.relative_error())
         .fold(0.0f64, f64::max);
-    println!("max relative error across all anchored rows: {:.2}%", max_err * 100.0);
+    println!(
+        "max relative error across all anchored rows: {:.2}%",
+        max_err * 100.0
+    );
     assert!(max_err < 0.10, "reproduction drifted past 10%");
 }

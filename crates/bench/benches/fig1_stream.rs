@@ -13,8 +13,16 @@ fn main() {
     // The paper's series rows.
     println!(
         "{:<6} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "Chip", "Theoretical", "Copy(C)", "Scale(C)", "Add(C)", "Triad(C)", "Copy(G)",
-        "Scale(G)", "Add(G)", "Triad(G)"
+        "Chip",
+        "Theoretical",
+        "Copy(C)",
+        "Scale(C)",
+        "Add(C)",
+        "Triad(C)",
+        "Copy(G)",
+        "Scale(G)",
+        "Add(G)",
+        "Triad(G)"
     );
     for chip in ChipGeneration::ALL {
         let v = |agent: &str, kernel: &str| data.value(chip, agent, kernel).unwrap_or(0.0);

@@ -18,11 +18,20 @@ fn main() {
         println!(
             "{:<16} {}",
             "impl \\ n",
-            config.sizes.iter().map(|n| format!("{n:>9}")).collect::<String>()
+            config
+                .sizes
+                .iter()
+                .map(|n| format!("{n:>9}"))
+                .collect::<String>()
         );
-        for implementation in
-            ["CPU-Single", "CPU-OMP", "CPU-Accelerate", "GPU-Naive", "GPU-CUTLASS", "GPU-MPS"]
-        {
+        for implementation in [
+            "CPU-Single",
+            "CPU-OMP",
+            "CPU-Accelerate",
+            "GPU-Naive",
+            "GPU-CUTLASS",
+            "GPU-MPS",
+        ] {
             let cells: String = config
                 .sizes
                 .iter()
@@ -54,8 +63,16 @@ fn main() {
     }
 
     // Verification summary.
-    let verified = data.points.iter().filter(|p| p.verified == Some(true)).count();
-    let failed = data.points.iter().filter(|p| p.verified == Some(false)).count();
+    let verified = data
+        .points
+        .iter()
+        .filter(|p| p.verified == Some(true))
+        .count();
+    let failed = data
+        .points
+        .iter()
+        .filter(|p| p.verified == Some(false))
+        .count();
     println!("\nfunctional verification: {verified} cells passed, {failed} failed");
     assert_eq!(failed, 0, "all verified cells must pass");
 }

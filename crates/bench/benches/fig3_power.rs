@@ -14,11 +14,20 @@ fn main() {
         println!(
             "{:<16} {}",
             "impl \\ n [mW]",
-            config.sizes.iter().map(|n| format!("{n:>9}")).collect::<String>()
+            config
+                .sizes
+                .iter()
+                .map(|n| format!("{n:>9}"))
+                .collect::<String>()
         );
-        for implementation in
-            ["CPU-Single", "CPU-OMP", "CPU-Accelerate", "GPU-Naive", "GPU-CUTLASS", "GPU-MPS"]
-        {
+        for implementation in [
+            "CPU-Single",
+            "CPU-OMP",
+            "CPU-Accelerate",
+            "GPU-Naive",
+            "GPU-CUTLASS",
+            "GPU-MPS",
+        ] {
             let cells: String = config
                 .sizes
                 .iter()

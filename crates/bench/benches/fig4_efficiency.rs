@@ -14,11 +14,20 @@ fn main() {
         println!(
             "{:<16} {}",
             "impl \\ n [GF/W]",
-            config.sizes.iter().map(|n| format!("{n:>9}")).collect::<String>()
+            config
+                .sizes
+                .iter()
+                .map(|n| format!("{n:>9}"))
+                .collect::<String>()
         );
-        for implementation in
-            ["CPU-Single", "CPU-OMP", "CPU-Accelerate", "GPU-Naive", "GPU-CUTLASS", "GPU-MPS"]
-        {
+        for implementation in [
+            "CPU-Single",
+            "CPU-OMP",
+            "CPU-Accelerate",
+            "GPU-Naive",
+            "GPU-CUTLASS",
+            "GPU-MPS",
+        ] {
             let cells: String = config
                 .sizes
                 .iter()
@@ -35,8 +44,7 @@ fn main() {
     println!("paper-vs-measured (peak TFLOPS/W):");
     for implementation in ["GPU-MPS", "CPU-Accelerate"] {
         for chip in ChipGeneration::ALL {
-            if let Some(published) =
-                oranges::paper::fig4_peak_tflops_per_watt(implementation, chip)
+            if let Some(published) = oranges::paper::fig4_peak_tflops_per_watt(implementation, chip)
             {
                 println!(
                     "  {chip} {implementation}: paper {published:.2}, measured {:.2}",

@@ -57,10 +57,20 @@ fn bench_amx_tile_fma(c: &mut Criterion) {
     group.bench_function("fma32_outer_product", |b| {
         let mut unit = AmxUnit::new(ChipGeneration::M4);
         let mut mem = vec![0.5f32; 32];
-        unit.execute(Instruction::LdX { reg: 0, offset: 0 }, &mut mem).unwrap();
-        unit.execute(Instruction::LdY { reg: 0, offset: 16 }, &mut mem).unwrap();
+        unit.execute(Instruction::LdX { reg: 0, offset: 0 }, &mut mem)
+            .unwrap();
+        unit.execute(Instruction::LdY { reg: 0, offset: 16 }, &mut mem)
+            .unwrap();
         b.iter(|| {
-            unit.execute(Instruction::Fma32 { tile: 0, xr: 0, yr: 0 }, &mut mem).unwrap();
+            unit.execute(
+                Instruction::Fma32 {
+                    tile: 0,
+                    xr: 0,
+                    yr: 0,
+                },
+                &mut mem,
+            )
+            .unwrap();
             black_box(unit.flops())
         });
     });

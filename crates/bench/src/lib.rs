@@ -12,6 +12,7 @@
 //! | `references` | the HPC Perspective comparisons (R1–R3) |
 //! | `kernels_criterion` | criterion micro-benchmarks of the real host kernels |
 //! | `ablation` | design-choice ablations (thread sweep, no-copy, duty cycle) |
+//! | `campaign` | campaign-orchestrator throughput (cold vs cached, worker sweep) |
 //!
 //! The figure targets print the same rows/series the paper reports and
 //! write CSV snapshots next to the bench output.

@@ -1,0 +1,150 @@
+//! The content-keyed result cache.
+//!
+//! Keyed by [`UnitKey`] (experiment id + chip + params): the simulation
+//! is deterministic, so equal keys mean byte-identical output and the
+//! cache can serve any repeat — within one campaign (duplicate units) or
+//! across campaigns (an immediate re-run of the same spec hits for every
+//! unit). Shared across worker threads behind one mutex; the critical
+//! sections are a hash-map probe, tiny next to a unit's run time.
+
+use crate::plan::UnitKey;
+use oranges::experiments::ExperimentOutput;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hit/miss counters of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the store.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over lookups (0.0 when never used).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A shared, content-keyed store of experiment outputs.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    store: Mutex<HashMap<UnitKey, Arc<ExperimentOutput>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ResultCache::default()
+    }
+
+    /// Look up a unit; counts a hit or a miss.
+    pub fn get(&self, key: &UnitKey) -> Option<Arc<ExperimentOutput>> {
+        let found = self.store.lock().expect("cache lock").get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Store a unit's output. Returns the stored handle — if two workers
+    /// race on the same key, the first insert wins and both get the same
+    /// value (outputs for equal keys are identical by construction).
+    pub fn insert(&self, key: UnitKey, output: ExperimentOutput) -> Arc<ExperimentOutput> {
+        let mut store = self.store.lock().expect("cache lock");
+        store.entry(key).or_insert_with(|| Arc::new(output)).clone()
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.store.lock().expect("cache lock").len(),
+        }
+    }
+
+    /// Drop all entries (statistics are kept).
+    pub fn clear(&self) {
+        self.store.lock().expect("cache lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oranges_harness::record::RunRecord;
+
+    fn key(id: &str) -> UnitKey {
+        UnitKey {
+            id: id.to_string(),
+            params: "chip=M1".to_string(),
+        }
+    }
+
+    fn output(tag: f64) -> ExperimentOutput {
+        ExperimentOutput {
+            json: format!("[{tag}]"),
+            records: vec![RunRecord::global("x", "v", tag, "u")],
+            rendered: None,
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = ResultCache::new();
+        assert!(cache.get(&key("fig1")).is_none());
+        cache.insert(key("fig1"), output(1.0));
+        let hit = cache.get(&key("fig1")).expect("stored");
+        assert_eq!(hit.json, "[1]");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn first_insert_wins_races() {
+        let cache = ResultCache::new();
+        let first = cache.insert(key("fig2"), output(1.0));
+        let second = cache.insert(key("fig2"), output(2.0));
+        assert_eq!(first.json, second.json);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn distinct_params_are_distinct_entries() {
+        let cache = ResultCache::new();
+        cache.insert(key("fig1"), output(1.0));
+        let other = UnitKey {
+            id: "fig1".to_string(),
+            params: "chip=M2".to_string(),
+        };
+        cache.insert(other.clone(), output(2.0));
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.get(&other).expect("stored").json, "[2]");
+    }
+
+    #[test]
+    fn clear_keeps_statistics() {
+        let cache = ResultCache::new();
+        cache.insert(key("fig1"), output(1.0));
+        cache.get(&key("fig1"));
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.hits, 1);
+    }
+}

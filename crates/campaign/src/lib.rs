@@ -1,0 +1,77 @@
+//! # oranges-campaign — concurrent experiment-campaign orchestration
+//!
+//! The paper's result set is a *grid* — Figures 1–4 and Tables 1–3, each
+//! swept over chips × implementations × sizes — and the runners in
+//! `oranges::experiments` reproduce it one artifact at a time. This crate
+//! turns those one-shot runners into a throughput-oriented service core:
+//!
+//! - [`spec::CampaignSpec`] — *what* to run: experiment kinds × chips
+//!   (+ size overrides, worker count);
+//! - [`plan::Plan`] — the spec expanded into dependency-free,
+//!   content-keyed units (one [`Experiment`] instance each);
+//! - [`scheduler`] — a worker pool (`std::thread` + channels) that fans
+//!   the plan out; every worker owns its own
+//!   [`PlatformPool`](oranges::platform::PlatformPool), so no simulator
+//!   state is shared;
+//! - [`cache::ResultCache`] — a content-keyed result store
+//!   (experiment id + chip + params) that deduplicates repeated units and
+//!   makes re-runs near-free;
+//! - [`report::CampaignReport`] — the aggregate: per-unit outputs in
+//!   deterministic plan order, flat
+//!   [`RunRecord`](oranges_harness::record::RunRecord)s, CSV/JSON
+//!   emission, throughput and cache statistics.
+//!
+//! The simulation is deterministic per unit, so a concurrent campaign is
+//! *value-identical* to a serial one — [`report::CampaignReport::digest`]
+//! makes that checkable, and `tests/campaign_integration.rs` checks it.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use oranges_campaign::prelude::*;
+//!
+//! // A small grid: Figures 3 and 4 on two chips, four workers.
+//! let spec = CampaignSpec::new(
+//!     vec![ExperimentKind::Fig3, ExperimentKind::Fig4],
+//!     vec![ChipGeneration::M1, ChipGeneration::M4],
+//! )
+//! .with_workers(4);
+//!
+//! let cache = ResultCache::new();
+//! let report = run_campaign(&spec, &cache).unwrap();
+//! assert_eq!(report.units.len(), 4);
+//!
+//! // An immediate re-run of the same spec is served from the cache.
+//! let rerun = run_campaign(&spec, &cache).unwrap();
+//! assert_eq!(rerun.digest(), report.digest());
+//! assert!(rerun.units.iter().all(|u| u.from_cache));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod plan;
+pub mod report;
+pub mod scheduler;
+pub mod spec;
+
+// The unit abstraction is defined next to the runners that implement it
+// (`oranges::experiments`); this crate is its consumer-facing home.
+pub use oranges::experiments::{Experiment, ExperimentError, ExperimentOutput};
+
+pub use cache::{CacheStats, ResultCache};
+pub use plan::{Plan, PlanUnit, UnitKey};
+pub use report::{CampaignReport, UnitReport};
+pub use scheduler::{run_campaign, run_campaign_serial, CampaignError};
+pub use spec::{CampaignSpec, ExperimentKind};
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::cache::ResultCache;
+    pub use crate::report::CampaignReport;
+    pub use crate::scheduler::{run_campaign, run_campaign_serial};
+    pub use crate::spec::{CampaignSpec, ExperimentKind};
+    pub use crate::Experiment;
+    pub use oranges_soc::chip::ChipGeneration;
+}

@@ -1,0 +1,150 @@
+//! Spec → plan expansion: the grid as dependency-free units.
+
+use crate::spec::CampaignSpec;
+use oranges::experiments::Experiment;
+use std::fmt;
+use std::sync::Arc;
+
+/// The content key of one unit: experiment id + its full parameter
+/// digest (which includes the chip). Two units with equal keys produce
+/// byte-identical output, so the cache may serve either for both.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UnitKey {
+    /// Experiment id (`"fig1"`…).
+    pub id: String,
+    /// Parameter digest (`"chip=M1;sizes=…"`).
+    pub params: String,
+}
+
+impl UnitKey {
+    /// The key of an experiment instance.
+    pub fn of(experiment: &dyn Experiment) -> Self {
+        UnitKey {
+            id: experiment.id().to_string(),
+            params: experiment.params(),
+        }
+    }
+}
+
+impl fmt::Display for UnitKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.id, self.params)
+    }
+}
+
+/// One schedulable unit of a plan.
+#[derive(Clone)]
+pub struct PlanUnit {
+    /// Position in the plan — the deterministic assembly order.
+    pub index: usize,
+    /// Content key.
+    pub key: UnitKey,
+    /// The experiment to run.
+    pub experiment: Arc<dyn Experiment>,
+}
+
+impl fmt::Debug for PlanUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PlanUnit")
+            .field("index", &self.index)
+            .field("key", &self.key)
+            .finish()
+    }
+}
+
+/// A fully-expanded campaign: the unit list, in deterministic order.
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    /// Units in plan order (experiment kind outer, chip inner).
+    pub units: Vec<PlanUnit>,
+}
+
+impl Plan {
+    /// Expand a spec: per-chip kinds fan out over `spec.chips`,
+    /// chip-independent kinds contribute one unit each. Duplicate keys
+    /// (e.g. the same kind listed twice) are kept — the cache
+    /// deduplicates the *work*, the plan preserves the *request*.
+    pub fn expand(spec: &CampaignSpec) -> Plan {
+        let mut units = Vec::new();
+        for kind in &spec.experiments {
+            if kind.per_chip() {
+                for &chip in &spec.chips {
+                    let experiment = kind.instantiate(Some(chip), spec);
+                    units.push(PlanUnit {
+                        index: units.len(),
+                        key: UnitKey::of(experiment.as_ref()),
+                        experiment,
+                    });
+                }
+            } else {
+                let experiment = kind.instantiate(None, spec);
+                units.push(PlanUnit {
+                    index: units.len(),
+                    key: UnitKey::of(experiment.as_ref()),
+                    experiment,
+                });
+            }
+        }
+        Plan { units }
+    }
+
+    /// Number of units.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// The distinct content keys (what the cache will actually compute).
+    pub fn distinct_keys(&self) -> usize {
+        let mut keys: Vec<&UnitKey> = self.units.iter().map(|u| &u.key).collect();
+        keys.sort();
+        keys.dedup();
+        keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CampaignSpec, ExperimentKind};
+    use oranges_soc::chip::ChipGeneration;
+
+    #[test]
+    fn paper_grid_expands_to_16_units() {
+        let plan = Plan::expand(&CampaignSpec::paper_grid());
+        assert_eq!(plan.len(), 16, "4 figures x 4 chips");
+        assert_eq!(plan.distinct_keys(), 16);
+        // Deterministic order: kind-major, chip-minor.
+        assert_eq!(plan.units[0].key.id, "fig1");
+        assert!(plan.units[0].key.params.contains("M1"));
+        assert_eq!(plan.units[15].key.id, "fig4");
+        assert!(plan.units[15].key.params.contains("M4"));
+    }
+
+    #[test]
+    fn chip_independent_kinds_expand_once() {
+        let spec = CampaignSpec::new(
+            vec![ExperimentKind::Tables, ExperimentKind::Fig1],
+            vec![ChipGeneration::M1, ChipGeneration::M2],
+        );
+        let plan = Plan::expand(&spec);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.units[0].key.id, "tables");
+    }
+
+    #[test]
+    fn duplicate_requests_share_a_key() {
+        let spec = CampaignSpec::new(
+            vec![ExperimentKind::Fig4, ExperimentKind::Fig4],
+            vec![ChipGeneration::M3],
+        );
+        let plan = Plan::expand(&spec);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.distinct_keys(), 1);
+        assert_eq!(plan.units[0].key, plan.units[1].key);
+    }
+}

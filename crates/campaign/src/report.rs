@@ -1,0 +1,203 @@
+//! Campaign aggregation: per-unit outputs → records, tables, CSV, JSON.
+
+use crate::cache::CacheStats;
+use crate::plan::UnitKey;
+use oranges::experiments::ExperimentOutput;
+use oranges_harness::json::JsonError;
+use oranges_harness::record::{records_to_csv, records_to_json, RunRecord};
+use oranges_harness::table::TextTable;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One unit's slot in the report.
+#[derive(Debug, Clone)]
+pub struct UnitReport {
+    /// Plan index (report order).
+    pub index: usize,
+    /// Content key.
+    pub key: UnitKey,
+    /// Whether the result came from the cache.
+    pub from_cache: bool,
+    /// The unit's output.
+    pub output: Arc<ExperimentOutput>,
+}
+
+/// The aggregate result of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Per-unit results in plan order.
+    pub units: Vec<UnitReport>,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time of the whole campaign.
+    pub wall: Duration,
+    /// Cache statistics at completion.
+    pub cache: CacheStats,
+}
+
+impl CampaignReport {
+    /// Assemble (units must already be in plan order).
+    pub fn new(units: Vec<UnitReport>, workers: usize, wall: Duration, cache: CacheStats) -> Self {
+        debug_assert!(
+            units.iter().enumerate().all(|(i, u)| u.index == i),
+            "plan order"
+        );
+        CampaignReport {
+            units,
+            workers,
+            wall,
+            cache,
+        }
+    }
+
+    /// All flat records, in plan order (deterministic: unit order is the
+    /// plan's, record order within a unit is the runner's).
+    pub fn records(&self) -> Vec<RunRecord> {
+        self.units
+            .iter()
+            .flat_map(|u| u.output.records.iter().cloned())
+            .collect()
+    }
+
+    /// The value-identity digest: every unit's canonical JSON, keyed and
+    /// concatenated in plan order. Two campaigns over the same spec are
+    /// equal iff their digests are equal.
+    pub fn digest(&self) -> String {
+        let mut digest = String::new();
+        for unit in &self.units {
+            digest.push_str(&unit.key.to_string());
+            digest.push('=');
+            digest.push_str(&unit.output.json);
+            digest.push('\n');
+        }
+        digest
+    }
+
+    /// Units computed (not served from cache) in this campaign.
+    pub fn computed_units(&self) -> usize {
+        self.units.iter().filter(|u| !u.from_cache).count()
+    }
+
+    /// Campaign throughput in units per second.
+    pub fn units_per_second(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.units.len() as f64 / secs
+        }
+    }
+
+    /// Fraction of this campaign's units served from the cache.
+    pub fn campaign_hit_rate(&self) -> f64 {
+        if self.units.is_empty() {
+            0.0
+        } else {
+            self.units.iter().filter(|u| u.from_cache).count() as f64 / self.units.len() as f64
+        }
+    }
+
+    /// CSV of all records.
+    pub fn to_csv(&self) -> String {
+        records_to_csv(&self.records())
+    }
+
+    /// JSON array of all records.
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        records_to_json(&self.records())
+    }
+
+    /// Human-readable summary table: one row per unit.
+    pub fn render_summary(&self) -> String {
+        let mut table = TextTable::new(vec!["#", "Unit", "Records", "Cached"]).numeric();
+        for unit in &self.units {
+            table.row(vec![
+                unit.index.to_string(),
+                unit.key.to_string(),
+                unit.output.records.len().to_string(),
+                if unit.from_cache {
+                    "hit".to_string()
+                } else {
+                    "computed".to_string()
+                },
+            ]);
+        }
+        format!(
+            "Campaign: {} units ({} computed) on {} workers in {:.3} s ({:.1} units/s, {:.0}% campaign hit rate)\n{}",
+            self.units.len(),
+            self.computed_units(),
+            self.workers,
+            self.wall.as_secs_f64(),
+            self.units_per_second(),
+            self.campaign_hit_rate() * 100.0,
+            table.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> CampaignReport {
+        let output = Arc::new(ExperimentOutput {
+            json: "[1]".to_string(),
+            records: vec![RunRecord::for_chip(
+                "fig4",
+                "M1",
+                "gflops_per_watt",
+                200.0,
+                "GFLOPS/W",
+            )],
+            rendered: None,
+        });
+        let unit = |index: usize, from_cache: bool| UnitReport {
+            index,
+            key: UnitKey {
+                id: "fig4".into(),
+                params: format!("chip=M{}", index + 1),
+            },
+            from_cache,
+            output: output.clone(),
+        };
+        CampaignReport::new(
+            vec![unit(0, false), unit(1, true)],
+            2,
+            Duration::from_millis(500),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn digest_is_keyed_and_ordered() {
+        let digest = report().digest();
+        let lines: Vec<&str> = digest.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("fig4[chip=M1]="));
+        assert!(lines[1].starts_with("fig4[chip=M2]="));
+    }
+
+    #[test]
+    fn throughput_and_hit_rate() {
+        let r = report();
+        assert_eq!(r.units_per_second(), 4.0);
+        assert_eq!(r.campaign_hit_rate(), 0.5);
+        assert_eq!(r.computed_units(), 1);
+    }
+
+    #[test]
+    fn emitters_cover_all_records() {
+        let r = report();
+        let csv = r.to_csv();
+        assert_eq!(csv.lines().count(), 3, "header + 2 units x 1 record");
+        let json = r.to_json().unwrap();
+        assert!(json.contains("gflops_per_watt"));
+        let summary = r.render_summary();
+        assert!(summary.contains("2 units (1 computed) on 2 workers"));
+        assert!(summary.contains("hit"));
+    }
+}

@@ -1,0 +1,226 @@
+//! The worker-pool scheduler.
+//!
+//! Units are dependency-free, so scheduling is pure work-stealing from a
+//! shared queue: `workers` threads (`std::thread::scope` + `mpsc`
+//! channels) pop units, check the shared [`ResultCache`], run misses on
+//! their own [`PlatformPool`] (no simulator state crosses threads), and
+//! send indexed outcomes back. Assembly sorts by plan index, so the
+//! report is deterministic regardless of interleaving — and because each
+//! unit is itself deterministic, a concurrent campaign is value-identical
+//! to a serial one.
+
+use crate::cache::ResultCache;
+use crate::plan::{Plan, PlanUnit, UnitKey};
+use crate::report::{CampaignReport, UnitReport};
+use crate::spec::CampaignSpec;
+use oranges::experiments::{ExperimentError, ExperimentOutput};
+use oranges::platform::PlatformPool;
+use oranges_soc::chip::ChipGeneration;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Campaign failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// A unit's experiment failed.
+    Unit {
+        /// Which unit.
+        key: UnitKey,
+        /// Its error.
+        error: ExperimentError,
+    },
+    /// The pool itself misbehaved (a worker vanished without reporting).
+    Worker(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Unit { key, error } => write!(f, "unit {key} failed: {error}"),
+            CampaignError::Worker(msg) => write!(f, "worker failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// The chip a chip-independent unit borrows a platform for.
+fn platform_chip(unit: &PlanUnit) -> ChipGeneration {
+    unit.experiment.chip().unwrap_or(ChipGeneration::ALL[0])
+}
+
+/// Run one unit: cache probe, then compute-and-fill on miss.
+fn execute_unit(
+    unit: &PlanUnit,
+    pool: &mut PlatformPool,
+    cache: &ResultCache,
+) -> Result<(bool, Arc<ExperimentOutput>), CampaignError> {
+    if let Some(hit) = cache.get(&unit.key) {
+        return Ok((true, hit));
+    }
+    let platform = pool.platform(platform_chip(unit));
+    let output = unit
+        .experiment
+        .run(platform)
+        .map_err(|error| CampaignError::Unit {
+            key: unit.key.clone(),
+            error,
+        })?;
+    Ok((false, cache.insert(unit.key.clone(), output)))
+}
+
+/// Run a campaign through the worker pool. The cache persists across
+/// calls: pass the same instance again and an identical spec re-run is
+/// served entirely from it.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    cache: &ResultCache,
+) -> Result<CampaignReport, CampaignError> {
+    let plan = Plan::expand(spec);
+    let workers = spec.workers.clamp(1, plan.len().max(1));
+    let started = Instant::now();
+
+    let mut outcomes: Vec<Option<(bool, Arc<ExperimentOutput>)>> = vec![None; plan.len()];
+    if workers == 1 {
+        // Degenerate pool: run inline, no threads to pay for.
+        let mut pool = PlatformPool::new();
+        for unit in &plan.units {
+            outcomes[unit.index] = Some(execute_unit(unit, &mut pool, cache)?);
+        }
+    } else {
+        let queue: Mutex<VecDeque<&PlanUnit>> = Mutex::new(plan.units.iter().collect());
+        let (sender, receiver) = mpsc::channel();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let sender = sender.clone();
+                let queue = &queue;
+                scope.spawn(move || {
+                    // Each worker owns its platforms; only results and
+                    // the tiny queue/cache probes cross threads.
+                    let mut pool = PlatformPool::new();
+                    loop {
+                        let unit = match queue.lock().expect("queue lock").pop_front() {
+                            Some(unit) => unit,
+                            None => break,
+                        };
+                        let outcome = execute_unit(unit, &mut pool, cache);
+                        if sender.send((unit.index, outcome)).is_err() {
+                            break; // receiver gone: campaign already failed
+                        }
+                    }
+                });
+            }
+            drop(sender);
+            let mut first_error: Option<(usize, CampaignError)> = None;
+            for (index, outcome) in receiver {
+                match outcome {
+                    Ok(result) => outcomes[index] = Some(result),
+                    Err(error) => {
+                        // Cancel: drop all not-yet-started units so the
+                        // pool winds down after its in-flight work, and
+                        // report the error of the earliest failing unit.
+                        queue.lock().expect("queue lock").clear();
+                        if first_error
+                            .as_ref()
+                            .map(|(i, _)| index < *i)
+                            .unwrap_or(true)
+                        {
+                            first_error = Some((index, error));
+                        }
+                    }
+                }
+            }
+            match first_error {
+                Some((_, error)) => Err(error),
+                None => Ok(()),
+            }
+        })?;
+    }
+
+    let mut units = Vec::with_capacity(plan.len());
+    for (unit, outcome) in plan.units.iter().zip(outcomes) {
+        let (from_cache, output) = outcome
+            .ok_or_else(|| CampaignError::Worker(format!("unit {} never reported", unit.key)))?;
+        units.push(UnitReport {
+            index: unit.index,
+            key: unit.key.clone(),
+            from_cache,
+            output,
+        });
+    }
+    Ok(CampaignReport::new(
+        units,
+        workers,
+        started.elapsed(),
+        cache.stats(),
+    ))
+}
+
+/// The serial baseline: the same plan, one thread, a private throwaway
+/// cache (every unit computes). Concurrent campaigns are asserted
+/// value-identical to this.
+pub fn run_campaign_serial(spec: &CampaignSpec) -> Result<CampaignReport, CampaignError> {
+    let serial_spec = spec.clone().with_workers(1);
+    run_campaign(&serial_spec, &ResultCache::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ExperimentKind;
+
+    fn tiny_spec(workers: usize) -> CampaignSpec {
+        CampaignSpec::new(
+            vec![ExperimentKind::Fig4, ExperimentKind::Contention],
+            vec![ChipGeneration::M1, ChipGeneration::M3],
+        )
+        .with_power_sizes(vec![2048])
+        .with_workers(workers)
+    }
+
+    #[test]
+    fn inline_and_pooled_runs_agree() {
+        let serial = run_campaign_serial(&tiny_spec(1)).unwrap();
+        let pooled = run_campaign(&tiny_spec(3), &ResultCache::new()).unwrap();
+        assert_eq!(serial.digest(), pooled.digest());
+        assert_eq!(serial.units.len(), 4);
+        assert_eq!(pooled.workers, 3);
+    }
+
+    #[test]
+    fn rerun_is_fully_cached() {
+        let cache = ResultCache::new();
+        let first = run_campaign(&tiny_spec(2), &cache).unwrap();
+        assert!(first.units.iter().all(|u| !u.from_cache));
+        let second = run_campaign(&tiny_spec(2), &cache).unwrap();
+        assert!(second.units.iter().all(|u| u.from_cache));
+        assert_eq!(first.digest(), second.digest());
+        assert_eq!(second.cache.hit_rate(), 0.5, "4 misses then 4 hits");
+    }
+
+    #[test]
+    fn duplicate_units_compute_once() {
+        let cache = ResultCache::new();
+        let spec = CampaignSpec::new(
+            vec![ExperimentKind::Fig4, ExperimentKind::Fig4],
+            vec![ChipGeneration::M2],
+        )
+        .with_power_sizes(vec![2048])
+        .with_workers(1);
+        let report = run_campaign(&spec, &cache).unwrap();
+        assert_eq!(report.units.len(), 2);
+        assert!(!report.units[0].from_cache);
+        assert!(report.units[1].from_cache);
+        assert_eq!(report.units[0].output.json, report.units[1].output.json);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn worker_count_exceeding_plan_is_clamped() {
+        let report = run_campaign(&tiny_spec(64), &ResultCache::new()).unwrap();
+        assert_eq!(report.workers, 4, "clamped to the 4 plan units");
+    }
+}

@@ -1,0 +1,227 @@
+//! Campaign specifications: what to run, on what, with how many workers.
+
+use oranges::experiments::{
+    contention::ContentionExperiment, fig1::Fig1Experiment, fig2::Fig2Experiment,
+    fig3::Fig3Experiment, fig4::Fig4Experiment, mixed_precision::MixedPrecisionExperiment,
+    references::ReferencesExperiment, tables::TablesExperiment, thermal::ThermalExperiment,
+    Experiment,
+};
+use oranges_soc::chip::ChipGeneration;
+use std::sync::Arc;
+
+/// The paper artifacts (and extensions) a campaign can schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExperimentKind {
+    /// Figure 1 — STREAM bandwidth.
+    Fig1,
+    /// Figure 2 — GFLOPS grid.
+    Fig2,
+    /// Figure 3 — power grid.
+    Fig3,
+    /// Figure 4 — efficiency grid.
+    Fig4,
+    /// Tables 1–3 (chip-independent).
+    Tables,
+    /// HPC Perspective comparisons R1–R3 (chip-independent).
+    References,
+    /// Extension: CPU+GPU memory contention.
+    Contention,
+    /// Extension: sustained-load thermal behaviour.
+    Thermal,
+    /// Extension: mixed-precision headroom.
+    MixedPrecision,
+}
+
+impl ExperimentKind {
+    /// Every kind, in report order.
+    pub const ALL: [ExperimentKind; 9] = [
+        ExperimentKind::Fig1,
+        ExperimentKind::Fig2,
+        ExperimentKind::Fig3,
+        ExperimentKind::Fig4,
+        ExperimentKind::Tables,
+        ExperimentKind::References,
+        ExperimentKind::Contention,
+        ExperimentKind::Thermal,
+        ExperimentKind::MixedPrecision,
+    ];
+
+    /// The four paper figures — the acceptance grid.
+    pub const FIGURES: [ExperimentKind; 4] = [
+        ExperimentKind::Fig1,
+        ExperimentKind::Fig2,
+        ExperimentKind::Fig3,
+        ExperimentKind::Fig4,
+    ];
+
+    /// Whether this kind expands into one unit per chip.
+    pub fn per_chip(&self) -> bool {
+        !matches!(self, ExperimentKind::Tables | ExperimentKind::References)
+    }
+
+    /// Instantiate the unit for `chip` (`None` for chip-independent
+    /// kinds) under `spec`'s overrides.
+    pub fn instantiate(
+        &self,
+        chip: Option<ChipGeneration>,
+        spec: &CampaignSpec,
+    ) -> Arc<dyn Experiment> {
+        let chip_of =
+            |chip: Option<ChipGeneration>| chip.expect("per-chip kind expands with a chip");
+        match self {
+            ExperimentKind::Fig1 => Arc::new(Fig1Experiment {
+                chip: chip_of(chip),
+            }),
+            ExperimentKind::Fig2 => {
+                let mut experiment = Fig2Experiment::paper(chip_of(chip));
+                if let Some(sizes) = &spec.gemm_sizes {
+                    experiment.sizes = sizes.clone();
+                }
+                if let Some(ceiling) = spec.verify_max_flops {
+                    experiment.verify_max_flops = ceiling;
+                }
+                Arc::new(experiment)
+            }
+            ExperimentKind::Fig3 => {
+                let mut experiment = Fig3Experiment::paper(chip_of(chip));
+                if let Some(sizes) = &spec.power_sizes {
+                    experiment.sizes = sizes.clone();
+                }
+                Arc::new(experiment)
+            }
+            ExperimentKind::Fig4 => {
+                let mut experiment = Fig4Experiment::paper(chip_of(chip));
+                if let Some(sizes) = &spec.power_sizes {
+                    experiment.sizes = sizes.clone();
+                }
+                Arc::new(experiment)
+            }
+            ExperimentKind::Tables => Arc::new(TablesExperiment),
+            ExperimentKind::References => Arc::new(ReferencesExperiment),
+            ExperimentKind::Contention => Arc::new(ContentionExperiment {
+                chip: chip_of(chip),
+            }),
+            ExperimentKind::Thermal => {
+                Arc::new(ThermalExperiment::sustained_cutlass(chip_of(chip)))
+            }
+            ExperimentKind::MixedPrecision => Arc::new(MixedPrecisionExperiment {
+                chip: chip_of(chip),
+            }),
+        }
+    }
+}
+
+/// What a campaign runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// Experiment kinds to schedule.
+    pub experiments: Vec<ExperimentKind>,
+    /// Chips the per-chip kinds expand over.
+    pub chips: Vec<ChipGeneration>,
+    /// Override Figure 2's size sweep (`None` = the paper's sizes).
+    pub gemm_sizes: Option<Vec<usize>>,
+    /// Override Figures 3/4's size sweep (`None` = the paper's sizes).
+    pub power_sizes: Option<Vec<usize>>,
+    /// Override Figure 2's verification FLOP ceiling.
+    pub verify_max_flops: Option<u64>,
+    /// Worker threads (clamped to ≥ 1 by the scheduler).
+    pub workers: usize,
+}
+
+impl CampaignSpec {
+    /// A spec over `experiments` × `chips` with a default worker count
+    /// of one per chip.
+    pub fn new(experiments: Vec<ExperimentKind>, chips: Vec<ChipGeneration>) -> Self {
+        let workers = chips.len().max(1);
+        CampaignSpec {
+            experiments,
+            chips,
+            gemm_sizes: None,
+            power_sizes: None,
+            verify_max_flops: None,
+            workers,
+        }
+    }
+
+    /// The acceptance grid: Figures 1–4 across M1–M4 at the paper's
+    /// full sizes.
+    pub fn paper_grid() -> Self {
+        CampaignSpec::new(
+            ExperimentKind::FIGURES.to_vec(),
+            ChipGeneration::ALL.to_vec(),
+        )
+    }
+
+    /// Everything: figures, tables, references, and the three
+    /// extensions, across all chips.
+    pub fn full() -> Self {
+        CampaignSpec::new(ExperimentKind::ALL.to_vec(), ChipGeneration::ALL.to_vec())
+    }
+
+    /// A fast grid for tests: all four figures on all chips but with
+    /// reduced size sweeps and no functional verification.
+    pub fn smoke() -> Self {
+        CampaignSpec::new(
+            ExperimentKind::FIGURES.to_vec(),
+            ChipGeneration::ALL.to_vec(),
+        )
+        .with_gemm_sizes(vec![256, 1024])
+        .with_power_sizes(vec![2048, 4096])
+        .with_verify_max_flops(0)
+    }
+
+    /// Set the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Override Figure 2's size sweep.
+    pub fn with_gemm_sizes(mut self, sizes: Vec<usize>) -> Self {
+        self.gemm_sizes = Some(sizes);
+        self
+    }
+
+    /// Override Figures 3/4's size sweep.
+    pub fn with_power_sizes(mut self, sizes: Vec<usize>) -> Self {
+        self.power_sizes = Some(sizes);
+        self
+    }
+
+    /// Override Figure 2's verification ceiling.
+    pub fn with_verify_max_flops(mut self, flops: u64) -> Self {
+        self.verify_max_flops = Some(flops);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_covers_figures_times_chips() {
+        let spec = CampaignSpec::paper_grid();
+        assert_eq!(spec.experiments.len(), 4);
+        assert_eq!(spec.chips.len(), 4);
+        assert!(spec.experiments.iter().all(|k| k.per_chip()));
+    }
+
+    #[test]
+    fn chip_independent_kinds_do_not_expand_per_chip() {
+        assert!(!ExperimentKind::Tables.per_chip());
+        assert!(!ExperimentKind::References.per_chip());
+        assert_eq!(
+            ExperimentKind::ALL.iter().filter(|k| !k.per_chip()).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn overrides_flow_into_units() {
+        let spec = CampaignSpec::smoke();
+        let unit = ExperimentKind::Fig2.instantiate(Some(ChipGeneration::M2), &spec);
+        assert!(unit.params().contains("sizes=256,1024"));
+        assert!(unit.params().contains("verify_max_flops=0"));
+    }
+}

@@ -7,7 +7,13 @@
 //! unified-memory SoC (and a real concern for heterogeneous HPC codes
 //! that stream from both sides at once).
 
+use crate::experiments::experiment::{
+    chip_mismatch, Experiment, ExperimentError, ExperimentOutput,
+};
+use crate::platform::Platform;
+use oranges_harness::record::RunRecord;
 use oranges_harness::table::TextTable;
+use oranges_harness::RepetitionProtocol;
 use oranges_soc::chip::ChipGeneration;
 use oranges_umem::bandwidth::{BandwidthModel, StreamKernelKind};
 use oranges_umem::controller::Agent;
@@ -48,26 +54,100 @@ impl ContentionPoint {
 pub fn run() -> Vec<ContentionPoint> {
     ChipGeneration::ALL
         .iter()
-        .map(|&chip| {
-            let model = BandwidthModel::of(chip);
-            let threads = chip.spec().total_cores();
-            let cpu_alone = model.stream_gbs(Agent::Cpu, StreamKernelKind::Triad, threads);
-            let gpu_alone = model.stream_gbs(Agent::Gpu, StreamKernelKind::Triad, 0);
-            let share = model.controller().arbitration_share(2);
-            // Each agent gets its arbitration share of the controller; it
-            // can never use more than it could alone.
-            let theoretical = chip.spec().memory_bandwidth_gbs;
-            let cpu_contended = cpu_alone.min(theoretical * share);
-            let gpu_contended = gpu_alone.min(theoretical * share);
-            ContentionPoint {
-                chip,
-                cpu_alone_gbs: cpu_alone,
-                gpu_alone_gbs: gpu_alone,
-                cpu_contended_gbs: cpu_contended,
-                gpu_contended_gbs: gpu_contended,
-            }
-        })
+        .map(|&chip| run_chip(chip))
         .collect()
+}
+
+/// One chip's contention split.
+pub fn run_chip(chip: ChipGeneration) -> ContentionPoint {
+    let model = BandwidthModel::of(chip);
+    let threads = chip.spec().total_cores();
+    let cpu_alone = model.stream_gbs(Agent::Cpu, StreamKernelKind::Triad, threads);
+    let gpu_alone = model.stream_gbs(Agent::Gpu, StreamKernelKind::Triad, 0);
+    let share = model.controller().arbitration_share(2);
+    // Each agent gets its arbitration share of the controller; it
+    // can never use more than it could alone.
+    let theoretical = chip.spec().memory_bandwidth_gbs;
+    let cpu_contended = cpu_alone.min(theoretical * share);
+    let gpu_contended = gpu_alone.min(theoretical * share);
+    ContentionPoint {
+        chip,
+        cpu_alone_gbs: cpu_alone,
+        gpu_alone_gbs: gpu_alone,
+        cpu_contended_gbs: cpu_contended,
+        gpu_contended_gbs: gpu_contended,
+    }
+}
+
+/// The contention extension as a schedulable unit: one chip's split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContentionExperiment {
+    /// Chip under test.
+    pub chip: ChipGeneration,
+}
+
+impl Experiment for ContentionExperiment {
+    fn id(&self) -> &'static str {
+        "contention"
+    }
+
+    fn params(&self) -> String {
+        format!("chip={};kernel=Triad", self.chip.name())
+    }
+
+    fn chip(&self) -> Option<ChipGeneration> {
+        Some(self.chip)
+    }
+
+    fn protocol(&self) -> RepetitionProtocol {
+        RepetitionProtocol::STREAM_CPU
+    }
+
+    fn run(&self, platform: &mut Platform) -> Result<ExperimentOutput, ExperimentError> {
+        if platform.chip() != self.chip {
+            return Err(chip_mismatch(self.chip, platform.chip()));
+        }
+        let chip = self.chip;
+        let point = run_chip(chip);
+        let records = vec![
+            RunRecord::for_chip(
+                "contention",
+                chip.name(),
+                "cpu_alone_gbs",
+                point.cpu_alone_gbs,
+                "GB/s",
+            ),
+            RunRecord::for_chip(
+                "contention",
+                chip.name(),
+                "gpu_alone_gbs",
+                point.gpu_alone_gbs,
+                "GB/s",
+            ),
+            RunRecord::for_chip(
+                "contention",
+                chip.name(),
+                "cpu_contended_gbs",
+                point.cpu_contended_gbs,
+                "GB/s",
+            ),
+            RunRecord::for_chip(
+                "contention",
+                chip.name(),
+                "gpu_contended_gbs",
+                point.gpu_contended_gbs,
+                "GB/s",
+            ),
+            RunRecord::for_chip(
+                "contention",
+                chip.name(),
+                "aggregate_gbs",
+                point.aggregate_gbs(),
+                "GB/s",
+            ),
+        ];
+        ExperimentOutput::new(&point, records, None)
+    }
 }
 
 /// Render the experiment as a table.
@@ -93,7 +173,10 @@ pub fn render(points: &[ContentionPoint]) -> String {
             format!("{:.0}%", p.aggregate_fraction(p.chip) * 100.0),
         ]);
     }
-    format!("Extension: CPU+GPU concurrent STREAM (Triad, GB/s)\n{}", table.render())
+    format!(
+        "Extension: CPU+GPU concurrent STREAM (Triad, GB/s)\n{}",
+        table.render()
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,167 @@
+//! The [`Experiment`] abstraction every runner implements.
+//!
+//! Introduced by the `oranges-campaign` orchestrator (which re-exports
+//! it): a schedulable unit of paper reproduction. The trait is defined
+//! here, next to the runners, because the nine experiment modules
+//! implement it and the campaign crate sits above this one.
+//!
+//! An experiment names itself ([`Experiment::id`]), digests its
+//! parameters into a stable cache key ([`Experiment::params`]), declares
+//! its §4 repetition protocol, and runs against a [`Platform`] producing
+//! an [`ExperimentOutput`]: canonical JSON (value identity / caching) plus
+//! flat [`RunRecord`]s (aggregation). The simulation is deterministic, so
+//! the same id + params always produce byte-identical output — which is
+//! what makes content-keyed result caching sound.
+
+use crate::platform::Platform;
+use oranges_gemm::GemmError;
+use oranges_harness::record::RunRecord;
+use oranges_harness::RepetitionProtocol;
+use oranges_soc::chip::ChipGeneration;
+use std::fmt;
+
+/// Failure of one experiment unit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentError {
+    /// A GEMM kernel or its measurement failed.
+    Gemm(GemmError),
+    /// Serialization of the result failed.
+    Serialization(String),
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Gemm(e) => write!(f, "gemm: {e}"),
+            ExperimentError::Serialization(msg) => write!(f, "serialization: {msg}"),
+            ExperimentError::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<GemmError> for ExperimentError {
+    fn from(e: GemmError) -> Self {
+        ExperimentError::Gemm(e)
+    }
+}
+
+impl From<oranges_harness::json::JsonError> for ExperimentError {
+    fn from(e: oranges_harness::json::JsonError) -> Self {
+        ExperimentError::Serialization(e.to_string())
+    }
+}
+
+/// What one experiment unit produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentOutput {
+    /// Canonical JSON of the dataset. Byte-equal across identical runs
+    /// (the deterministic simulation guarantees it); the campaign's
+    /// value-identity checks and cache semantics rest on this.
+    pub json: String,
+    /// Flat per-cell records for aggregated tables / CSV / JSON reports.
+    pub records: Vec<RunRecord>,
+    /// Human-readable rendering (chart or table), where the runner has
+    /// one.
+    pub rendered: Option<String>,
+}
+
+impl ExperimentOutput {
+    /// Build from a serializable dataset plus its records.
+    pub fn new<T: serde::Serialize>(
+        dataset: &T,
+        records: Vec<RunRecord>,
+        rendered: Option<String>,
+    ) -> Result<Self, ExperimentError> {
+        Ok(ExperimentOutput {
+            json: oranges_harness::json::to_json_string(dataset)?,
+            records,
+            rendered,
+        })
+    }
+}
+
+/// A schedulable paper experiment.
+///
+/// `Send + Sync` because campaign workers share the plan across threads;
+/// implementations are plain parameter holders, all mutable state lives
+/// in the worker-owned [`Platform`].
+pub trait Experiment: Send + Sync {
+    /// Paper artifact id: `"fig1"` … `"fig4"`, `"tables"`,
+    /// `"references"`, or an extension id.
+    fn id(&self) -> &'static str;
+
+    /// Stable, human-readable parameter digest. Together with [`id`]
+    /// (and the chip) it forms the content key the result cache
+    /// deduplicates on, so it must capture *every* input that affects
+    /// the output.
+    ///
+    /// [`id`]: Experiment::id
+    fn params(&self) -> String;
+
+    /// The chip this unit is scoped to, or `None` for chip-independent
+    /// units (tables, cross-system references). The scheduler hands the
+    /// unit a platform of exactly this chip.
+    fn chip(&self) -> Option<ChipGeneration>;
+
+    /// The §4 repetition protocol the unit runs under.
+    fn protocol(&self) -> RepetitionProtocol;
+
+    /// Run the unit against `platform` (guaranteed by the scheduler to
+    /// match [`chip`], when chip-scoped).
+    ///
+    /// [`chip`]: Experiment::chip
+    fn run(&self, platform: &mut Platform) -> Result<ExperimentOutput, ExperimentError>;
+}
+
+/// Format a size list for parameter digests. Lossless — the digest is a
+/// cache key, so two different sweeps must never collide (a min-max-count
+/// summary would alias e.g. `[2048, 4096, 8192]` and `[2048, 6144, 8192]`).
+pub fn digest_sizes(sizes: &[usize]) -> String {
+    if sizes.is_empty() {
+        return "none".to_string();
+    }
+    sizes
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// The error returned when a chip-scoped experiment is handed a platform
+/// of a different chip (the scheduler never does this; direct callers
+/// might).
+pub fn chip_mismatch(expected: ChipGeneration, got: ChipGeneration) -> ExperimentError {
+    ExperimentError::Other(format!(
+        "experiment is scoped to {expected} but was given a {got} platform"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_digests_are_stable_and_lossless() {
+        assert_eq!(digest_sizes(&[32, 64, 128]), "32,64,128");
+        assert_eq!(digest_sizes(&[]), "none");
+        assert_eq!(digest_sizes(&[2048]), "2048");
+        // Same bounds and count, different interior: distinct keys.
+        assert_ne!(
+            digest_sizes(&[2048, 4096, 8192]),
+            digest_sizes(&[2048, 6144, 8192])
+        );
+    }
+
+    #[test]
+    fn errors_display_their_source() {
+        let e = ExperimentError::from(GemmError::Dimension("bad".into()));
+        assert!(e.to_string().contains("bad"));
+        assert!(ExperimentError::Other("boom".into())
+            .to_string()
+            .contains("boom"));
+    }
+}

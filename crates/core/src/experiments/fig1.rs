@@ -1,7 +1,13 @@
 //! Figure 1 — STREAM bandwidth per chip, CPU and GPU, vs theoretical.
 
+use crate::experiments::experiment::{
+    chip_mismatch, Experiment, ExperimentError, ExperimentOutput,
+};
+use crate::platform::Platform;
 use oranges_harness::csv::CsvWriter;
 use oranges_harness::figure::{grouped_bar_chart, Bar, BarGroup};
+use oranges_harness::record::RunRecord;
+use oranges_harness::RepetitionProtocol;
 use oranges_soc::chip::ChipGeneration;
 use oranges_stream::cpu::CpuStream;
 use oranges_stream::gpu::GpuStream;
@@ -49,33 +55,46 @@ impl Fig1Data {
     }
 }
 
-/// Run the experiment with the paper's configuration (10 CPU reps with
-/// thread sweep, 20 GPU reps, maxima reported).
+/// One chip's bars (8: 2 agents × 4 kernels) with the paper's
+/// configuration (10 CPU reps with thread sweep, 20 GPU reps, maxima
+/// reported).
+pub fn run_chip(chip: ChipGeneration) -> Vec<Fig1Point> {
+    let mut points = Vec::with_capacity(8);
+    let cpu = CpuStream::new(chip).run();
+    for result in &cpu.results {
+        points.push(Fig1Point {
+            chip,
+            agent: "CPU",
+            kernel: result.kernel.name(),
+            gbs: result.best_gbs,
+        });
+    }
+    let gpu = GpuStream::new(chip)
+        .run()
+        .expect("standard kernels present");
+    for result in &gpu.results {
+        points.push(Fig1Point {
+            chip,
+            agent: "GPU",
+            kernel: result.kernel.name(),
+            gbs: result.best_gbs,
+        });
+    }
+    points
+}
+
+/// Run the full experiment across all chips.
 pub fn run() -> Fig1Data {
     let mut points = Vec::with_capacity(32);
     let mut theoretical = Vec::with_capacity(4);
     for chip in ChipGeneration::ALL {
         theoretical.push((chip, chip.spec().memory_bandwidth_gbs));
-        let cpu = CpuStream::new(chip).run();
-        for result in &cpu.results {
-            points.push(Fig1Point {
-                chip,
-                agent: "CPU",
-                kernel: result.kernel.name(),
-                gbs: result.best_gbs,
-            });
-        }
-        let gpu = GpuStream::new(chip).run().expect("standard kernels present");
-        for result in &gpu.results {
-            points.push(Fig1Point {
-                chip,
-                agent: "GPU",
-                kernel: result.kernel.name(),
-                gbs: result.best_gbs,
-            });
-        }
+        points.extend(run_chip(chip));
     }
-    Fig1Data { points, theoretical }
+    Fig1Data {
+        points,
+        theoretical,
+    }
 }
 
 /// Render the ASCII version of Figure 1.
@@ -87,13 +106,23 @@ pub fn render(data: &Fig1Data) -> String {
             for agent in ["CPU", "GPU"] {
                 for kernel in StreamKernelKind::ALL {
                     if let Some(gbs) = data.value(*chip, agent, kernel.name()) {
-                        bars.push(Bar { label: format!("{} ({agent})", kernel.name()), value: gbs });
+                        bars.push(Bar {
+                            label: format!("{} ({agent})", kernel.name()),
+                            value: gbs,
+                        });
                     }
                 }
             }
-            let reference =
-                data.theoretical.iter().find(|(c, _)| c == chip).map(|(_, gbs)| *gbs);
-            BarGroup { label: chip.name().to_string(), bars, reference }
+            let reference = data
+                .theoretical
+                .iter()
+                .find(|(c, _)| c == chip)
+                .map(|(_, gbs)| *gbs);
+            BarGroup {
+                label: chip.name().to_string(),
+                bars,
+                reference,
+            }
         })
         .collect();
     grouped_bar_chart(
@@ -118,6 +147,47 @@ pub fn to_csv(data: &Fig1Data) -> String {
     csv.finish()
 }
 
+/// Figure 1 as a schedulable unit: one chip's STREAM bars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fig1Experiment {
+    /// Chip under test.
+    pub chip: ChipGeneration,
+}
+
+impl Experiment for Fig1Experiment {
+    fn id(&self) -> &'static str {
+        "fig1"
+    }
+
+    fn params(&self) -> String {
+        format!("chip={}", self.chip.name())
+    }
+
+    fn chip(&self) -> Option<ChipGeneration> {
+        Some(self.chip)
+    }
+
+    fn protocol(&self) -> RepetitionProtocol {
+        RepetitionProtocol::STREAM_CPU
+    }
+
+    fn run(&self, platform: &mut Platform) -> Result<ExperimentOutput, ExperimentError> {
+        if platform.chip() != self.chip {
+            return Err(chip_mismatch(self.chip, platform.chip()));
+        }
+        let chip = self.chip;
+        let points = run_chip(chip);
+        let records = points
+            .iter()
+            .map(|p| {
+                RunRecord::for_chip("fig1", chip.name(), "gbs", p.gbs, "GB/s")
+                    .with_implementation(&format!("{} ({})", p.kernel, p.agent))
+            })
+            .collect();
+        ExperimentOutput::new(&points, records, None)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,11 +205,17 @@ mod tests {
         let data = run();
         for (chip, expected) in paper::FIG1_CPU_BEST_GBS {
             let got = data.best(chip, "CPU");
-            assert!(paper::relative_error(got, expected) < 0.02, "{chip} CPU: {got}");
+            assert!(
+                paper::relative_error(got, expected) < 0.02,
+                "{chip} CPU: {got}"
+            );
         }
         for (chip, expected) in paper::FIG1_GPU_BEST_GBS {
             let got = data.best(chip, "GPU");
-            assert!(paper::relative_error(got, expected) < 0.03, "{chip} GPU: {got}");
+            assert!(
+                paper::relative_error(got, expected) < 0.03,
+                "{chip} GPU: {got}"
+            );
         }
     }
 

@@ -6,12 +6,16 @@
 //! harness verifies numerics at small scale for the same reason: full
 //! verification of an 8.8 TFLOP product is itself an 8.8 TFLOP job).
 
+use crate::experiments::experiment::{
+    chip_mismatch, digest_sizes, Experiment, ExperimentError, ExperimentOutput,
+};
 use crate::platform::Platform;
 use oranges_gemm::suite::{paper_sizes, skips_size};
 use oranges_gemm::{gemm_flops, verify_sampled, GemmError, Matrix};
 use oranges_harness::csv::CsvWriter;
 use oranges_harness::experiment::RepetitionProtocol;
 use oranges_harness::figure::{series_chart, Series, SeriesChartConfig};
+use oranges_harness::record::RunRecord;
 use oranges_harness::stats::Summary;
 use oranges_soc::chip::ChipGeneration;
 use serde::Serialize;
@@ -94,39 +98,48 @@ impl Fig2Data {
     }
 }
 
+/// Run one chip's grid on an existing platform (the campaign path; the
+/// platform's chip decides the cells). `config.chips` is ignored here.
+pub fn run_chip(platform: &mut Platform, config: &Fig2Config) -> Result<Vec<Fig2Point>, GemmError> {
+    let chip = platform.chip();
+    let mut points = Vec::new();
+    let names = platform.implementation_names();
+    for name in names {
+        for &n in &config.sizes {
+            if skips_size(name, n) {
+                continue;
+            }
+            // Optional one-shot functional verification.
+            let flops = gemm_flops(n as u64);
+            let verified = if flops <= config.verify_max_flops {
+                Some(verify_cell(platform, name, n)?)
+            } else {
+                None
+            };
+            // The five timed repetitions (model path — deterministic).
+            let samples = config
+                .protocol
+                .try_run(|_| platform.gemm_modeled(name, n).map(|r| r.gflops()))?;
+            let stats = Summary::of(&samples).expect("non-empty repetitions");
+            points.push(Fig2Point {
+                chip,
+                implementation: name,
+                n,
+                gflops: stats.mean,
+                stats,
+                verified,
+            });
+        }
+    }
+    Ok(points)
+}
+
 /// Run the experiment.
 pub fn run(config: &Fig2Config) -> Result<Fig2Data, GemmError> {
     let mut points = Vec::new();
     for &chip in &config.chips {
         let mut platform = Platform::new(chip);
-        let names = platform.implementation_names();
-        for name in names {
-            for &n in &config.sizes {
-                if skips_size(name, n) {
-                    continue;
-                }
-                // Optional one-shot functional verification.
-                let flops = gemm_flops(n as u64);
-                let verified = if flops <= config.verify_max_flops {
-                    Some(verify_cell(&mut platform, name, n)?)
-                } else {
-                    None
-                };
-                // The five timed repetitions (model path — deterministic).
-                let samples = config
-                    .protocol
-                    .try_run(|_| platform.gemm_modeled(name, n).map(|r| r.gflops()))?;
-                let stats = Summary::of(&samples).expect("non-empty repetitions");
-                points.push(Fig2Point {
-                    chip,
-                    implementation: name,
-                    n,
-                    gflops: stats.mean,
-                    stats,
-                    verified,
-                });
-            }
-        }
+        points.extend(run_chip(&mut platform, config)?);
     }
     Ok(Fig2Data { points })
 }
@@ -137,8 +150,10 @@ fn verify_cell(platform: &mut Platform, name: &'static str, n: usize) -> Result<
     let b = Matrix::random(&space, n, 2)?;
     let mut c = vec![0.0f32; n * n];
     let mut suite = oranges_gemm::suite::suite_for(platform.chip());
-    let implementation =
-        suite.iter_mut().find(|i| i.name() == name).expect("implementation exists");
+    let implementation = suite
+        .iter_mut()
+        .find(|i| i.name() == name)
+        .expect("implementation exists");
     let outcome = implementation.run(n, a.as_slice(), b.as_slice(), &mut c)?;
     if !outcome.functional {
         return Ok(false);
@@ -151,8 +166,12 @@ fn verify_cell(platform: &mut Platform, name: &'static str, n: usize) -> Result<
 pub fn render_panel(data: &Fig2Data, chip: ChipGeneration) -> String {
     let mut series = Vec::new();
     let implementations: Vec<&'static str> = {
-        let mut names: Vec<&'static str> =
-            data.points.iter().filter(|p| p.chip == chip).map(|p| p.implementation).collect();
+        let mut names: Vec<&'static str> = data
+            .points
+            .iter()
+            .filter(|p| p.chip == chip)
+            .map(|p| p.implementation)
+            .collect();
         names.dedup();
         names
     };
@@ -163,7 +182,10 @@ pub fn render_panel(data: &Fig2Data, chip: ChipGeneration) -> String {
             .filter(|p| p.chip == chip && p.implementation == name)
             .map(|p| (p.n as f64, Some(p.gflops)))
             .collect();
-        series.push(Series { label: name.to_string(), points });
+        series.push(Series {
+            label: name.to_string(),
+            points,
+        });
     }
     series_chart(
         &format!("Fig. 2 ({chip}). GFLOPS for all implementations and matrix sizes"),
@@ -192,6 +214,77 @@ pub fn to_csv(data: &Fig2Data) -> String {
     csv.finish()
 }
 
+/// Figure 2 as a schedulable unit: one chip's GFLOPS grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig2Experiment {
+    /// Chip under test.
+    pub chip: ChipGeneration,
+    /// Matrix sizes to sweep.
+    pub sizes: Vec<usize>,
+    /// Verification ceiling in FLOPs.
+    pub verify_max_flops: u64,
+}
+
+impl Fig2Experiment {
+    /// The paper's full per-chip grid.
+    pub fn paper(chip: ChipGeneration) -> Self {
+        let defaults = Fig2Config::default();
+        Fig2Experiment {
+            chip,
+            sizes: defaults.sizes,
+            verify_max_flops: defaults.verify_max_flops,
+        }
+    }
+
+    fn config(&self) -> Fig2Config {
+        Fig2Config {
+            sizes: self.sizes.clone(),
+            protocol: Experiment::protocol(self),
+            verify_max_flops: self.verify_max_flops,
+            chips: vec![self.chip],
+        }
+    }
+}
+
+impl Experiment for Fig2Experiment {
+    fn id(&self) -> &'static str {
+        "fig2"
+    }
+
+    fn params(&self) -> String {
+        format!(
+            "chip={};sizes={};verify_max_flops={}",
+            self.chip.name(),
+            digest_sizes(&self.sizes),
+            self.verify_max_flops
+        )
+    }
+
+    fn chip(&self) -> Option<ChipGeneration> {
+        Some(self.chip)
+    }
+
+    fn protocol(&self) -> RepetitionProtocol {
+        RepetitionProtocol::GEMM
+    }
+
+    fn run(&self, platform: &mut Platform) -> Result<ExperimentOutput, ExperimentError> {
+        if platform.chip() != self.chip {
+            return Err(chip_mismatch(self.chip, platform.chip()));
+        }
+        let points = run_chip(platform, &self.config())?;
+        let records = points
+            .iter()
+            .map(|p| {
+                RunRecord::for_chip("fig2", p.chip.name(), "gflops", p.gflops, "GFLOPS")
+                    .with_implementation(p.implementation)
+                    .with_n(p.n as u64)
+            })
+            .collect();
+        ExperimentOutput::new(&points, records, None)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,10 +296,16 @@ mod tests {
         // 2 chips × (6 impls × 3 sizes) = 36 cells.
         assert_eq!(data.points.len(), 36);
         // n=64 cells are verified.
-        let verified: Vec<&Fig2Point> =
-            data.points.iter().filter(|p| p.verified.is_some()).collect();
+        let verified: Vec<&Fig2Point> = data
+            .points
+            .iter()
+            .filter(|p| p.verified.is_some())
+            .collect();
         assert!(!verified.is_empty());
-        assert!(verified.iter().all(|p| p.verified == Some(true)), "all verifications pass");
+        assert!(
+            verified.iter().all(|p| p.verified == Some(true)),
+            "all verifications pass"
+        );
     }
 
     #[test]

@@ -5,12 +5,16 @@
 //! times in the powermetrics protocol and reads the sampled window back.
 //! The figure's x-axis covers n ∈ {2048 … 16384}.
 
+use crate::experiments::experiment::{
+    chip_mismatch, digest_sizes, Experiment, ExperimentError, ExperimentOutput,
+};
 use crate::platform::Platform;
 use oranges_gemm::suite::skips_size;
 use oranges_gemm::GemmError;
 use oranges_harness::csv::CsvWriter;
 use oranges_harness::experiment::RepetitionProtocol;
 use oranges_harness::figure::{series_chart, Series, SeriesChartConfig};
+use oranges_harness::record::RunRecord;
 use oranges_soc::chip::ChipGeneration;
 use serde::Serialize;
 
@@ -69,8 +73,46 @@ impl Fig3Data {
 
     /// The hottest cell of the whole grid.
     pub fn hottest(&self) -> Option<&Fig3Point> {
-        self.points.iter().max_by(|a, b| a.power_mw.partial_cmp(&b.power_mw).expect("finite"))
+        self.points
+            .iter()
+            .max_by(|a, b| a.power_mw.partial_cmp(&b.power_mw).expect("finite"))
     }
+}
+
+/// Run one chip's grid on an existing platform (the campaign path).
+/// `config.chips` is ignored; the platform's chip decides the cells.
+pub fn run_chip(platform: &mut Platform, config: &Fig3Config) -> Result<Vec<Fig3Point>, GemmError> {
+    let chip = platform.chip();
+    let mut points = Vec::new();
+    for name in platform.implementation_names() {
+        for &n in &config.sizes {
+            if skips_size(name, n) {
+                continue;
+            }
+            let samples = config.protocol.try_run(|_| {
+                platform.gemm_modeled(name, n).map(|r| {
+                    (
+                        r.power.package_watts() * 1e3,
+                        r.power.window.as_secs_f64(),
+                        r.power.energy_j,
+                    )
+                })
+            })?;
+            let count = samples.len() as f64;
+            let power_mw = samples.iter().map(|s| s.0).sum::<f64>() / count;
+            let window_s = samples.iter().map(|s| s.1).sum::<f64>() / count;
+            let energy_j = samples.iter().map(|s| s.2).sum::<f64>() / count;
+            points.push(Fig3Point {
+                chip,
+                implementation: name,
+                n,
+                power_mw,
+                window_s,
+                energy_j,
+            });
+        }
+    }
+    Ok(points)
 }
 
 /// Run the experiment.
@@ -78,31 +120,81 @@ pub fn run(config: &Fig3Config) -> Result<Fig3Data, GemmError> {
     let mut points = Vec::new();
     for &chip in &config.chips {
         let mut platform = Platform::new(chip);
-        for name in platform.implementation_names() {
-            for &n in &config.sizes {
-                if skips_size(name, n) {
-                    continue;
-                }
-                let samples = config.protocol.try_run(|_| {
-                    platform
-                        .gemm_modeled(name, n)
-                        .map(|r| (r.power.package_watts() * 1e3, r.power.window.as_secs_f64(), r.power.energy_j))
-                })?;
-                let count = samples.len() as f64;
-                let power_mw = samples.iter().map(|s| s.0).sum::<f64>() / count;
-                let window_s = samples.iter().map(|s| s.1).sum::<f64>() / count;
-                let energy_j = samples.iter().map(|s| s.2).sum::<f64>() / count;
-                points.push(Fig3Point { chip, implementation: name, n, power_mw, window_s, energy_j });
-            }
-        }
+        points.extend(run_chip(&mut platform, config)?);
     }
     Ok(Fig3Data { points })
 }
 
+/// Figure 3 as a schedulable unit: one chip's power grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig3Experiment {
+    /// Chip under test.
+    pub chip: ChipGeneration,
+    /// Matrix sizes (paper: 2048…16384).
+    pub sizes: Vec<usize>,
+}
+
+impl Fig3Experiment {
+    /// The paper's full per-chip grid.
+    pub fn paper(chip: ChipGeneration) -> Self {
+        Fig3Experiment {
+            chip,
+            sizes: Fig3Config::default().sizes,
+        }
+    }
+}
+
+impl Experiment for Fig3Experiment {
+    fn id(&self) -> &'static str {
+        "fig3"
+    }
+
+    fn params(&self) -> String {
+        format!(
+            "chip={};sizes={}",
+            self.chip.name(),
+            digest_sizes(&self.sizes)
+        )
+    }
+
+    fn chip(&self) -> Option<ChipGeneration> {
+        Some(self.chip)
+    }
+
+    fn protocol(&self) -> RepetitionProtocol {
+        RepetitionProtocol::GEMM
+    }
+
+    fn run(&self, platform: &mut Platform) -> Result<ExperimentOutput, ExperimentError> {
+        if platform.chip() != self.chip {
+            return Err(chip_mismatch(self.chip, platform.chip()));
+        }
+        let config = Fig3Config {
+            sizes: self.sizes.clone(),
+            protocol: Experiment::protocol(self),
+            chips: vec![self.chip],
+        };
+        let points = run_chip(platform, &config)?;
+        let records = points
+            .iter()
+            .map(|p| {
+                RunRecord::for_chip("fig3", p.chip.name(), "power_mw", p.power_mw, "mW")
+                    .with_implementation(p.implementation)
+                    .with_n(p.n as u64)
+            })
+            .collect();
+        ExperimentOutput::new(&points, records, None)
+    }
+}
+
 /// Render one chip's panel (linear power axis, like the paper).
 pub fn render_panel(data: &Fig3Data, chip: ChipGeneration) -> String {
-    let mut names: Vec<&'static str> =
-        data.points.iter().filter(|p| p.chip == chip).map(|p| p.implementation).collect();
+    let mut names: Vec<&'static str> = data
+        .points
+        .iter()
+        .filter(|p| p.chip == chip)
+        .map(|p| p.implementation)
+        .collect();
     names.dedup();
     let series: Vec<Series> = names
         .into_iter()
@@ -120,13 +212,23 @@ pub fn render_panel(data: &Fig3Data, chip: ChipGeneration) -> String {
         &format!("Fig. 3 ({chip}). Power utilization of each implementation varying matrix size"),
         "mW",
         &series,
-        SeriesChartConfig { log_y: false, ..SeriesChartConfig::default() },
+        SeriesChartConfig {
+            log_y: false,
+            ..SeriesChartConfig::default()
+        },
     )
 }
 
 /// CSV of the dataset.
 pub fn to_csv(data: &Fig3Data) -> String {
-    let mut csv = CsvWriter::new(&["chip", "implementation", "n", "power_mw", "window_s", "energy_j"]);
+    let mut csv = CsvWriter::new(&[
+        "chip",
+        "implementation",
+        "n",
+        "power_mw",
+        "window_s",
+        "energy_j",
+    ]);
     for p in &data.points {
         csv.row(&[
             p.chip.name().to_string(),
@@ -145,7 +247,10 @@ mod tests {
     use super::*;
 
     fn small_config() -> Fig3Config {
-        Fig3Config { chips: vec![ChipGeneration::M1, ChipGeneration::M4], ..Fig3Config::default() }
+        Fig3Config {
+            chips: vec![ChipGeneration::M1, ChipGeneration::M4],
+            ..Fig3Config::default()
+        }
     }
 
     #[test]
@@ -156,7 +261,11 @@ mod tests {
         let hottest = data.hottest().unwrap();
         assert_eq!(hottest.chip, ChipGeneration::M4);
         assert_eq!(hottest.implementation, "GPU-CUTLASS");
-        assert!((15_000.0..=21_000.0).contains(&hottest.power_mw), "{}", hottest.power_mw);
+        assert!(
+            (15_000.0..=21_000.0).contains(&hottest.power_mw),
+            "{}",
+            hottest.power_mw
+        );
     }
 
     #[test]
@@ -182,8 +291,14 @@ mod tests {
             ..Fig3Config::default()
         };
         let data = run(&config).unwrap();
-        let cpu = data.cell(ChipGeneration::M2, "CPU-Single", 64).unwrap().power_mw;
-        let gpu = data.cell(ChipGeneration::M2, "GPU-MPS", 64).unwrap().power_mw;
+        let cpu = data
+            .cell(ChipGeneration::M2, "CPU-Single", 64)
+            .unwrap()
+            .power_mw;
+        let gpu = data
+            .cell(ChipGeneration::M2, "GPU-MPS", 64)
+            .unwrap()
+            .power_mw;
         assert!(cpu > 3.0 * gpu, "CPU {cpu} mW vs GPU {gpu} mW");
     }
 

@@ -3,11 +3,16 @@
 //! Derived from the same runs as Figures 2–3: each cell's efficiency is
 //! achieved-GFLOPS divided by window-averaged package watts.
 
+use crate::experiments::experiment::{
+    chip_mismatch, digest_sizes, Experiment, ExperimentError, ExperimentOutput,
+};
 use crate::platform::Platform;
 use oranges_gemm::suite::skips_size;
 use oranges_gemm::GemmError;
 use oranges_harness::csv::CsvWriter;
 use oranges_harness::figure::{series_chart, Series, SeriesChartConfig};
+use oranges_harness::record::RunRecord;
+use oranges_harness::RepetitionProtocol;
 use oranges_soc::chip::ChipGeneration;
 use serde::Serialize;
 
@@ -22,7 +27,10 @@ pub struct Fig4Config {
 
 impl Default for Fig4Config {
     fn default() -> Self {
-        Fig4Config { sizes: vec![2048, 4096, 8192, 16384], chips: ChipGeneration::ALL.to_vec() }
+        Fig4Config {
+            sizes: vec![2048, 4096, 8192, 16384],
+            chips: ChipGeneration::ALL.to_vec(),
+        }
     }
 }
 
@@ -64,33 +72,113 @@ impl Fig4Data {
     }
 }
 
+/// Run one chip's grid on an existing platform (the campaign path).
+/// `config.chips` is ignored; the platform's chip decides the cells.
+pub fn run_chip(platform: &mut Platform, config: &Fig4Config) -> Result<Vec<Fig4Point>, GemmError> {
+    let chip = platform.chip();
+    let mut points = Vec::new();
+    for name in platform.implementation_names() {
+        for &n in &config.sizes {
+            if skips_size(name, n) {
+                continue;
+            }
+            let run = platform.gemm_modeled(name, n)?;
+            points.push(Fig4Point {
+                chip,
+                implementation: name,
+                n,
+                gflops_per_watt: run.gflops_per_watt(),
+            });
+        }
+    }
+    Ok(points)
+}
+
 /// Run the experiment.
 pub fn run(config: &Fig4Config) -> Result<Fig4Data, GemmError> {
     let mut points = Vec::new();
     for &chip in &config.chips {
         let mut platform = Platform::new(chip);
-        for name in platform.implementation_names() {
-            for &n in &config.sizes {
-                if skips_size(name, n) {
-                    continue;
-                }
-                let run = platform.gemm_modeled(name, n)?;
-                points.push(Fig4Point {
-                    chip,
-                    implementation: name,
-                    n,
-                    gflops_per_watt: run.gflops_per_watt(),
-                });
-            }
-        }
+        points.extend(run_chip(&mut platform, config)?);
     }
     Ok(Fig4Data { points })
 }
 
+/// Figure 4 as a schedulable unit: one chip's efficiency grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig4Experiment {
+    /// Chip under test.
+    pub chip: ChipGeneration,
+    /// Matrix sizes (paper: 2048…16384).
+    pub sizes: Vec<usize>,
+}
+
+impl Fig4Experiment {
+    /// The paper's full per-chip grid.
+    pub fn paper(chip: ChipGeneration) -> Self {
+        Fig4Experiment {
+            chip,
+            sizes: Fig4Config::default().sizes,
+        }
+    }
+}
+
+impl Experiment for Fig4Experiment {
+    fn id(&self) -> &'static str {
+        "fig4"
+    }
+
+    fn params(&self) -> String {
+        format!(
+            "chip={};sizes={}",
+            self.chip.name(),
+            digest_sizes(&self.sizes)
+        )
+    }
+
+    fn chip(&self) -> Option<ChipGeneration> {
+        Some(self.chip)
+    }
+
+    fn protocol(&self) -> RepetitionProtocol {
+        RepetitionProtocol::GEMM
+    }
+
+    fn run(&self, platform: &mut Platform) -> Result<ExperimentOutput, ExperimentError> {
+        if platform.chip() != self.chip {
+            return Err(chip_mismatch(self.chip, platform.chip()));
+        }
+        let config = Fig4Config {
+            sizes: self.sizes.clone(),
+            chips: vec![self.chip],
+        };
+        let points = run_chip(platform, &config)?;
+        let records = points
+            .iter()
+            .map(|p| {
+                RunRecord::for_chip(
+                    "fig4",
+                    p.chip.name(),
+                    "gflops_per_watt",
+                    p.gflops_per_watt,
+                    "GFLOPS/W",
+                )
+                .with_implementation(p.implementation)
+                .with_n(p.n as u64)
+            })
+            .collect();
+        ExperimentOutput::new(&points, records, None)
+    }
+}
+
 /// Render one chip's panel (log-y efficiency, like the paper).
 pub fn render_panel(data: &Fig4Data, chip: ChipGeneration) -> String {
-    let mut names: Vec<&'static str> =
-        data.points.iter().filter(|p| p.chip == chip).map(|p| p.implementation).collect();
+    let mut names: Vec<&'static str> = data
+        .points
+        .iter()
+        .filter(|p| p.chip == chip)
+        .map(|p| p.implementation)
+        .collect();
     names.dedup();
     let series: Vec<Series> = names
         .into_iter()
@@ -183,14 +271,20 @@ mod tests {
             let mps = data.peak(chip, "GPU-MPS");
             for other in ["GPU-Naive", "GPU-CUTLASS"] {
                 let ratio = mps / data.peak(chip, other);
-                assert!((4.0..40.0).contains(&ratio), "{chip} {other}: ratio {ratio}");
+                assert!(
+                    (4.0..40.0).contains(&ratio),
+                    "{chip} {other}: ratio {ratio}"
+                );
             }
         }
     }
 
     #[test]
     fn render_and_csv() {
-        let config = Fig4Config { chips: vec![ChipGeneration::M3], ..Fig4Config::default() };
+        let config = Fig4Config {
+            chips: vec![ChipGeneration::M3],
+            ..Fig4Config::default()
+        };
         let data = run(&config).unwrap();
         let panel = render_panel(&data, ChipGeneration::M3);
         assert!(panel.contains("GFLOPS per Watt"));

@@ -9,7 +9,13 @@
 //! quantified by an actual FP16-emulation error measurement on real
 //! matrices.
 
+use crate::experiments::experiment::{
+    chip_mismatch, Experiment, ExperimentError, ExperimentOutput,
+};
+use crate::platform::Platform;
+use oranges_harness::record::RunRecord;
 use oranges_harness::table::TextTable;
+use oranges_harness::RepetitionProtocol;
 use oranges_soc::chip::ChipGeneration;
 use oranges_soc::gpu::{GpuPrecision, GpuSpec};
 use serde::Serialize;
@@ -38,28 +44,87 @@ fn mps_efficiency(chip: ChipGeneration) -> f64 {
     fp32_peak / chip.spec().gpu_tflops_published
 }
 
-/// Project the MPS peak across the precision ladder for every chip.
-pub fn run() -> Vec<PrecisionPoint> {
+/// Project the MPS peak across the precision ladder for one chip.
+pub fn run_chip(chip: ChipGeneration) -> Vec<PrecisionPoint> {
     let precisions = [
         GpuPrecision::Fp16,
         GpuPrecision::Fp32,
         GpuPrecision::Int8,
         GpuPrecision::Fp64Emulated,
     ];
-    let mut points = Vec::new();
-    for chip in ChipGeneration::ALL {
-        let gpu = GpuSpec::of(chip.spec());
-        for precision in precisions {
-            let tflops = gpu.gflops_at(precision) / 1e3 * mps_efficiency(chip);
-            points.push(PrecisionPoint {
-                chip,
-                precision,
-                tflops,
-                native: precision.is_native(),
-            });
-        }
+    let gpu = GpuSpec::of(chip.spec());
+    precisions
+        .into_iter()
+        .map(|precision| PrecisionPoint {
+            chip,
+            precision,
+            tflops: gpu.gflops_at(precision) / 1e3 * mps_efficiency(chip),
+            native: precision.is_native(),
+        })
+        .collect()
+}
+
+/// Project the MPS peak across the precision ladder for every chip.
+pub fn run() -> Vec<PrecisionPoint> {
+    ChipGeneration::ALL
+        .iter()
+        .flat_map(|&chip| run_chip(chip))
+        .collect()
+}
+
+/// The mixed-precision extension as a schedulable unit: one chip's
+/// precision ladder plus the FP16 accuracy measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixedPrecisionExperiment {
+    /// Chip under test.
+    pub chip: ChipGeneration,
+}
+
+impl Experiment for MixedPrecisionExperiment {
+    fn id(&self) -> &'static str {
+        "mixed_precision"
     }
-    points
+
+    fn params(&self) -> String {
+        format!("chip={};ladder=fp16,fp32,int8,fp64e", self.chip.name())
+    }
+
+    fn chip(&self) -> Option<ChipGeneration> {
+        Some(self.chip)
+    }
+
+    fn protocol(&self) -> RepetitionProtocol {
+        RepetitionProtocol { reps: 1, warmup: 0 }
+    }
+
+    fn run(&self, platform: &mut Platform) -> Result<ExperimentOutput, ExperimentError> {
+        if platform.chip() != self.chip {
+            return Err(chip_mismatch(self.chip, platform.chip()));
+        }
+        let chip = self.chip;
+        let points = run_chip(chip);
+        let mut records: Vec<RunRecord> = points
+            .iter()
+            .map(|p| {
+                RunRecord::for_chip(
+                    "mixed_precision",
+                    chip.name(),
+                    "projected_tflops",
+                    p.tflops,
+                    "TFLOPS",
+                )
+                .with_implementation(&format!("{:?}", p.precision))
+            })
+            .collect();
+        records.push(RunRecord::for_chip(
+            "mixed_precision",
+            chip.name(),
+            "fp16_dot_rel_err_k1024",
+            fp16_dot_relative_error(1024, 42),
+            "rel",
+        ));
+        ExperimentOutput::new(&points, records, None)
+    }
 }
 
 /// Measure the relative error of computing a dot product in simulated
@@ -98,7 +163,11 @@ fn to_fp16(value: f32) -> f32 {
     let sign = bits >> 31;
     let exp = ((bits >> 23) & 0xFF) as i32 - 127;
     if exp > 15 {
-        return if sign == 1 { f32::NEG_INFINITY } else { f32::INFINITY };
+        return if sign == 1 {
+            f32::NEG_INFINITY
+        } else {
+            f32::INFINITY
+        };
     }
     if exp < -14 {
         return 0.0; // flush subnormals for simplicity
@@ -127,9 +196,14 @@ fn to_fp16(value: f32) -> f32 {
 
 /// Render the projection table with the accuracy column.
 pub fn render(points: &[PrecisionPoint]) -> String {
-    let mut table =
-        TextTable::new(vec!["Chip", "Precision", "Projected TFLOPS", "Native", "Rel. err (k=1024 dot)"])
-            .numeric();
+    let mut table = TextTable::new(vec![
+        "Chip",
+        "Precision",
+        "Projected TFLOPS",
+        "Native",
+        "Rel. err (k=1024 dot)",
+    ])
+    .numeric();
     for p in points {
         let error = match p.precision {
             GpuPrecision::Fp16 => format!("{:.1e}", fp16_dot_relative_error(1024, 42)),
@@ -141,11 +215,18 @@ pub fn render(points: &[PrecisionPoint]) -> String {
             p.chip.name().to_string(),
             format!("{:?}", p.precision),
             format!("{:.2}", p.tflops),
-            if p.native { "yes".to_string() } else { "no (emulated)".to_string() },
+            if p.native {
+                "yes".to_string()
+            } else {
+                "no (emulated)".to_string()
+            },
             error,
         ]);
     }
-    format!("Extension: mixed-precision headroom of the MPS-class kernel\n{}", table.render())
+    format!(
+        "Extension: mixed-precision headroom of the MPS-class kernel\n{}",
+        table.render()
+    )
 }
 
 #[cfg(test)]

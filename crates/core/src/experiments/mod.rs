@@ -11,13 +11,21 @@
 //! | [`contention`] | *extension*: CPU+GPU concurrent STREAM over one controller |
 //! | [`thermal`] | *extension*: sustained-load throttling, passive vs active cooling |
 //! | [`mixed_precision`] | *extension*: the §7 future-work item — FP16/INT8/FP64 headroom |
+//!
+//! Every runner also implements the [`Experiment`] trait — the
+//! schedulable-unit abstraction consumed by the `oranges-campaign`
+//! orchestrator. The `XxxExperiment` types in each module are the
+//! per-unit parameter holders.
 
 pub mod contention;
-pub mod mixed_precision;
+pub mod experiment;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
+pub mod mixed_precision;
 pub mod references;
 pub mod tables;
 pub mod thermal;
+
+pub use experiment::{Experiment, ExperimentError, ExperimentOutput};

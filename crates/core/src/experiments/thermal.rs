@@ -8,7 +8,13 @@
 //! *when* the passive enclosures throttle and what the sustained clock
 //! cap becomes — the mechanism behind the paper's observation.
 
+use crate::experiments::experiment::{
+    chip_mismatch, Experiment, ExperimentError, ExperimentOutput,
+};
+use crate::platform::Platform;
+use oranges_harness::record::RunRecord;
 use oranges_harness::table::TextTable;
+use oranges_harness::RepetitionProtocol;
 use oranges_powermetrics::{PowerModel, WorkClass};
 use oranges_soc::chip::ChipGeneration;
 use oranges_soc::device::DeviceModel;
@@ -34,34 +40,119 @@ pub struct SustainedPoint {
 
 /// Run `minutes` of continuous full-tilt work of `class` on every chip.
 pub fn run(class: WorkClass, minutes: f64) -> Vec<SustainedPoint> {
-    let step = SimDuration::from_secs_f64(1.0);
-    let steps = (minutes * 60.0) as u64;
     ChipGeneration::ALL
         .iter()
-        .map(|&chip| {
-            let device = DeviceModel::of(chip);
-            let mut thermal = device.thermal_model();
-            let demand = PowerModel::of(chip).active_watts(class);
-            let mut throttle_onset = None;
-            for s in 0..steps {
-                // Thermally capped power: once the cap drops, the chip
-                // clocks down and burns proportionally less.
-                let effective = demand * thermal.dvfs_cap();
-                thermal.integrate(effective, step);
-                if throttle_onset.is_none() && thermal.dvfs_cap() < 1.0 {
-                    throttle_onset = Some(step * (s + 1));
-                }
-            }
-            SustainedPoint {
-                chip,
-                passive: device.is_laptop(),
-                demand_watts: demand,
-                final_temperature_c: thermal.temperature_c(),
-                final_dvfs_cap: thermal.dvfs_cap(),
-                throttle_onset,
-            }
-        })
+        .map(|&chip| run_chip(chip, class, minutes))
         .collect()
+}
+
+/// One chip's sustained run.
+pub fn run_chip(chip: ChipGeneration, class: WorkClass, minutes: f64) -> SustainedPoint {
+    let step = SimDuration::from_secs_f64(1.0);
+    let steps = (minutes * 60.0) as u64;
+    let device = DeviceModel::of(chip);
+    let mut thermal = device.thermal_model();
+    let demand = PowerModel::of(chip).active_watts(class);
+    let mut throttle_onset = None;
+    for s in 0..steps {
+        // Thermally capped power: once the cap drops, the chip
+        // clocks down and burns proportionally less.
+        let effective = demand * thermal.dvfs_cap();
+        thermal.integrate(effective, step);
+        if throttle_onset.is_none() && thermal.dvfs_cap() < 1.0 {
+            throttle_onset = Some(step * (s + 1));
+        }
+    }
+    SustainedPoint {
+        chip,
+        passive: device.is_laptop(),
+        demand_watts: demand,
+        final_temperature_c: thermal.temperature_c(),
+        final_dvfs_cap: thermal.dvfs_cap(),
+        throttle_onset,
+    }
+}
+
+/// The thermal extension as a schedulable unit: one chip, one work
+/// class, `minutes` of sustained load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalExperiment {
+    /// Chip under test.
+    pub chip: ChipGeneration,
+    /// Sustained workload class.
+    pub class: WorkClass,
+    /// Minutes of continuous load.
+    pub minutes: f64,
+}
+
+impl ThermalExperiment {
+    /// The default sustained scenario: ten minutes of the hottest paper
+    /// configuration (the Cutlass-style shader).
+    pub fn sustained_cutlass(chip: ChipGeneration) -> Self {
+        ThermalExperiment {
+            chip,
+            class: WorkClass::GpuCutlass,
+            minutes: 10.0,
+        }
+    }
+}
+
+impl Experiment for ThermalExperiment {
+    fn id(&self) -> &'static str {
+        "thermal"
+    }
+
+    fn params(&self) -> String {
+        format!(
+            "chip={};class={};minutes={}",
+            self.chip.name(),
+            self.class.label(),
+            self.minutes
+        )
+    }
+
+    fn chip(&self) -> Option<ChipGeneration> {
+        Some(self.chip)
+    }
+
+    fn protocol(&self) -> RepetitionProtocol {
+        RepetitionProtocol { reps: 1, warmup: 0 }
+    }
+
+    fn run(&self, platform: &mut Platform) -> Result<ExperimentOutput, ExperimentError> {
+        if platform.chip() != self.chip {
+            return Err(chip_mismatch(self.chip, platform.chip()));
+        }
+        let chip = self.chip;
+        let point = run_chip(chip, self.class, self.minutes);
+        let records = vec![
+            RunRecord::for_chip(
+                "thermal",
+                chip.name(),
+                "demand_watts",
+                point.demand_watts,
+                "W",
+            )
+            .with_implementation(self.class.label()),
+            RunRecord::for_chip(
+                "thermal",
+                chip.name(),
+                "final_temperature_c",
+                point.final_temperature_c,
+                "C",
+            )
+            .with_implementation(self.class.label()),
+            RunRecord::for_chip(
+                "thermal",
+                chip.name(),
+                "final_dvfs_cap",
+                point.final_dvfs_cap,
+                "x",
+            )
+            .with_implementation(self.class.label()),
+        ];
+        ExperimentOutput::new(&point, records, None)
+    }
 }
 
 /// Render the experiment.
@@ -78,7 +169,11 @@ pub fn render(class: WorkClass, points: &[SustainedPoint]) -> String {
     for p in points {
         table.row(vec![
             p.chip.name().to_string(),
-            if p.passive { "Passive".to_string() } else { "Air".to_string() },
+            if p.passive {
+                "Passive".to_string()
+            } else {
+                "Air".to_string()
+            },
             format!("{:.1}", p.demand_watts),
             format!("{:.1}", p.final_temperature_c),
             format!("{:.2}", p.final_dvfs_cap),
@@ -88,7 +183,11 @@ pub fn render(class: WorkClass, points: &[SustainedPoint]) -> String {
             },
         ]);
     }
-    format!("Extension: sustained {} thermal behaviour\n{}", class.label(), table.render())
+    format!(
+        "Extension: sustained {} thermal behaviour\n{}",
+        class.label(),
+        table.render()
+    )
 }
 
 #[cfg(test)]
@@ -109,13 +208,19 @@ mod tests {
         // GPU-CUTLASS on M4 demands 18.5 W < the Mac mini's 28 W
         // sustained envelope: even the hottest paper configuration holds.
         let points = run(WorkClass::GpuCutlass, 10.0);
-        let m4 = points.iter().find(|p| p.chip == ChipGeneration::M4).unwrap();
+        let m4 = points
+            .iter()
+            .find(|p| p.chip == ChipGeneration::M4)
+            .unwrap();
         assert!(!m4.passive);
         assert_eq!(m4.final_dvfs_cap, 1.0, "{m4:?}");
         // But the passively cooled M3 (12 W demand vs 14 W sustained)
         // also holds — the paper's figures are consistent with
         // throttle-free runs.
-        let m3 = points.iter().find(|p| p.chip == ChipGeneration::M3).unwrap();
+        let m3 = points
+            .iter()
+            .find(|p| p.chip == ChipGeneration::M3)
+            .unwrap();
         assert!(m3.passive);
         assert_eq!(m3.final_dvfs_cap, 1.0, "{m3:?}");
     }
@@ -137,7 +242,10 @@ mod tests {
         }
         for (chip, is_laptop, cap) in &caps {
             if *is_laptop {
-                assert!(*cap < 1.0, "{chip} (passive) must throttle at burst power: {cap}");
+                assert!(
+                    *cap < 1.0,
+                    "{chip} (passive) must throttle at burst power: {cap}"
+                );
             }
         }
     }

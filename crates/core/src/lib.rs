@@ -17,16 +17,23 @@
 //! | `oranges-powermetrics` | the power sampler, text format, SIGINFO windows |
 //! | `oranges-stream` | STREAM for CPU (thread sweep) and GPU |
 //! | `oranges-gemm` | the six Table 2 GEMM implementations |
-//! | `oranges-harness` | repetition protocol, stats, tables, figures, CSV/JSON |
+//! | `oranges-harness` | repetition protocol, stats, tables, figures, CSV/JSON, run records |
+//! | `oranges-campaign` | concurrent campaign orchestration: plan, worker pool, result cache |
 //!
-//! This crate ties them together:
+//! This crate ties the substrate together:
 //!
-//! - [`platform::Platform`]: one handle per simulated device under test;
+//! - [`platform::Platform`]: one handle per simulated device under test
+//!   (and [`platform::PlatformPool`], the campaign workers' lazily-built
+//!   per-chip set);
 //! - [`experiments`]: a runner per paper artifact — Tables 1–3,
-//!   Figures 1–4, and the HPC-reference comparisons;
+//!   Figures 1–4, and the HPC-reference comparisons — each also exposed
+//!   as a schedulable [`experiments::Experiment`] unit;
 //! - [`paper`]: the published numbers (calibration anchors and expected
 //!   values for EXPERIMENTS.md);
 //! - [`report`]: the paper-vs-measured report generator.
+//!
+//! `oranges-campaign` sits above this crate and fans whole experiment
+//! grids out across a worker pool with content-keyed result caching.
 //!
 //! ## Quickstart
 //!

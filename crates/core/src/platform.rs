@@ -99,7 +99,9 @@ impl Platform {
             .suite
             .iter_mut()
             .find(|i| i.name() == implementation)
-            .ok_or_else(|| GemmError::Dimension(format!("unknown implementation {implementation}")))?;
+            .ok_or_else(|| {
+                GemmError::Dimension(format!("unknown implementation {implementation}"))
+            })?;
         let outcome = implementation.run(n, a.as_slice(), b.as_slice(), c.as_mut_slice())?;
         let power = self
             .power
@@ -119,7 +121,9 @@ impl Platform {
             .suite
             .iter_mut()
             .find(|i| i.name() == implementation)
-            .ok_or_else(|| GemmError::Dimension(format!("unknown implementation {implementation}")))?;
+            .ok_or_else(|| {
+                GemmError::Dimension(format!("unknown implementation {implementation}"))
+            })?;
         let outcome = implementation.model_run(n)?;
         let power = self
             .power
@@ -141,7 +145,9 @@ impl Platform {
 
     /// Full GPU STREAM with the paper's configuration.
     pub fn stream_gpu(&self) -> StreamRun {
-        GpuStream::new(self.chip).run().expect("standard library kernels present")
+        GpuStream::new(self.chip)
+            .run()
+            .expect("standard library kernels present")
     }
 
     /// Small functional GPU STREAM.
@@ -149,6 +155,46 @@ impl Platform {
         GpuStream::with_config(self.chip, GpuStreamConfig::functional_small())
             .run()
             .expect("standard library kernels present")
+    }
+}
+
+/// A lazily-populated set of platforms, one per chip generation.
+///
+/// Campaign workers own one pool each: a worker services units for any
+/// chip, but a [`Platform`] is chip-specific, so the pool materializes
+/// platforms on first use and reuses them for every later unit on the
+/// same chip. Construction is the expensive part (suite + substrate
+/// wiring); reuse is what makes a full-grid campaign cheap per unit.
+#[derive(Default)]
+pub struct PlatformPool {
+    platforms: Vec<Platform>,
+}
+
+impl PlatformPool {
+    /// An empty pool; platforms materialize on first request.
+    pub fn new() -> Self {
+        PlatformPool::default()
+    }
+
+    /// The platform for `chip`, creating it on first use.
+    pub fn platform(&mut self, chip: ChipGeneration) -> &mut Platform {
+        match self.platforms.iter().position(|p| p.chip() == chip) {
+            Some(index) => &mut self.platforms[index],
+            None => {
+                self.platforms.push(Platform::new(chip));
+                self.platforms.last_mut().expect("just pushed")
+            }
+        }
+    }
+
+    /// How many platforms have been materialized so far.
+    pub fn len(&self) -> usize {
+        self.platforms.len()
+    }
+
+    /// Whether the pool is still empty.
+    pub fn is_empty(&self) -> bool {
+        self.platforms.is_empty()
     }
 }
 
@@ -163,7 +209,14 @@ mod tests {
         assert_eq!(platform.device_model().memory_gb, 16);
         assert_eq!(
             platform.implementation_names(),
-            vec!["CPU-Single", "CPU-OMP", "CPU-Accelerate", "GPU-Naive", "GPU-CUTLASS", "GPU-MPS"]
+            vec![
+                "CPU-Single",
+                "CPU-OMP",
+                "CPU-Accelerate",
+                "GPU-Naive",
+                "GPU-CUTLASS",
+                "GPU-MPS"
+            ]
         );
     }
 
@@ -197,5 +250,15 @@ mod tests {
         let platform = Platform::new(ChipGeneration::M1);
         assert!(platform.stream_cpu_quick().validated);
         assert!(platform.stream_gpu_quick().validated);
+    }
+
+    #[test]
+    fn pool_materializes_once_per_chip() {
+        let mut pool = PlatformPool::new();
+        assert!(pool.is_empty());
+        assert_eq!(pool.platform(ChipGeneration::M1).chip(), ChipGeneration::M1);
+        assert_eq!(pool.platform(ChipGeneration::M4).chip(), ChipGeneration::M4);
+        assert_eq!(pool.platform(ChipGeneration::M1).chip(), ChipGeneration::M1);
+        assert_eq!(pool.len(), 2);
     }
 }

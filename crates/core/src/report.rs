@@ -159,7 +159,12 @@ mod tests {
             .chain(fig2_rows(&fig2_data))
             .chain(fig4_rows(&fig4_data))
         {
-            assert!(row.relative_error() < 0.10, "{}: {:.1}%", row.quantity, row.relative_error() * 100.0);
+            assert!(
+                row.relative_error() < 0.10,
+                "{}: {:.1}%",
+                row.quantity,
+                row.relative_error() * 100.0
+            );
         }
     }
 }

@@ -23,7 +23,9 @@ pub struct CpuAccelerate {
 impl CpuAccelerate {
     /// Implementation for a chip.
     pub fn new(chip: ChipGeneration) -> Self {
-        CpuAccelerate { blas: Blas::new(chip) }
+        CpuAccelerate {
+            blas: Blas::new(chip),
+        }
     }
 
     /// Override the functional ceiling.
@@ -132,14 +134,23 @@ mod tests {
     #[test]
     fn computes_correct_products() {
         let n = 48;
-        let a: Vec<f32> = (0..n * n).map(|i| ((i * 29 + 1) % 17) as f32 * 0.06).collect();
-        let b: Vec<f32> = (0..n * n).map(|i| ((i * 23 + 9) % 13) as f32 * 0.08).collect();
+        let a: Vec<f32> = (0..n * n)
+            .map(|i| ((i * 29 + 1) % 17) as f32 * 0.06)
+            .collect();
+        let b: Vec<f32> = (0..n * n)
+            .map(|i| ((i * 23 + 9) % 13) as f32 * 0.08)
+            .collect();
         let mut c = vec![0.0f32; n * n];
         let mut expected = vec![0.0f32; n * n];
-        CpuAccelerate::new(ChipGeneration::M2).run(n, &a, &b, &mut c).unwrap();
+        CpuAccelerate::new(ChipGeneration::M2)
+            .run(n, &a, &b, &mut c)
+            .unwrap();
         reference_gemm(n, &a, &b, &mut expected);
         for (idx, (x, y)) in c.iter().zip(&expected).enumerate() {
-            assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()), "idx={idx}: {x} vs {y}");
+            assert!(
+                (x - y).abs() < 1e-3 * (1.0 + y.abs()),
+                "idx={idx}: {x} vs {y}"
+            );
         }
     }
 
@@ -160,11 +171,15 @@ mod tests {
 
     #[test]
     fn duty_is_high_for_real_problems() {
-        let mut implementation =
-            CpuAccelerate::new(ChipGeneration::M1).with_functional_limit(0);
+        let mut implementation = CpuAccelerate::new(ChipGeneration::M1).with_functional_limit(0);
         let n = 1024;
         let outcome = implementation
-            .run(n, &vec![0.0; n * n], &vec![0.0; n * n], &mut vec![0.0; n * n])
+            .run(
+                n,
+                &vec![0.0; n * n],
+                &vec![0.0; n * n],
+                &mut vec![0.0; n * n],
+            )
             .unwrap();
         assert!(outcome.duty > 0.99, "{}", outcome.duty);
         assert!(!outcome.functional);

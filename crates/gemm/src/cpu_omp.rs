@@ -97,7 +97,9 @@ impl GemmImplementation for CpuOmp {
         c: &mut [f32],
     ) -> Result<GemmOutcome, GemmError> {
         if n == 0 || a.len() < n * n || b.len() < n * n || c.len() < n * n {
-            return Err(GemmError::Dimension(format!("need n>0 and n² elements (n={n})")));
+            return Err(GemmError::Dimension(format!(
+                "need n>0 and n² elements (n={n})"
+            )));
         }
         let flops = gemm_flops(n as u64);
         let functional = flops <= self.functional_limit;
@@ -130,7 +132,12 @@ impl GemmImplementation for CpuOmp {
             });
         }
         let duration = SimDuration::from_secs_f64(flops as f64 / (self.modeled_gflops(n) * 1e9));
-        Ok(GemmOutcome { duration, flops, functional, duty: 1.0 })
+        Ok(GemmOutcome {
+            duration,
+            flops,
+            functional,
+            duty: 1.0,
+        })
     }
 
     fn model_run(&mut self, n: usize) -> Result<GemmOutcome, GemmError> {
@@ -139,7 +146,12 @@ impl GemmImplementation for CpuOmp {
         }
         let flops = gemm_flops(n as u64);
         let duration = SimDuration::from_secs_f64(flops as f64 / (self.modeled_gflops(n) * 1e9));
-        Ok(GemmOutcome { duration, flops, functional: false, duty: 1.0 })
+        Ok(GemmOutcome {
+            duration,
+            flops,
+            functional: false,
+            duty: 1.0,
+        })
     }
 }
 
@@ -151,14 +163,21 @@ mod tests {
     #[test]
     fn computes_correct_products() {
         for n in [8usize, 64, 100] {
-            let a: Vec<f32> = (0..n * n).map(|i| ((i * 13 + 5) % 11) as f32 * 0.1).collect();
+            let a: Vec<f32> = (0..n * n)
+                .map(|i| ((i * 13 + 5) % 11) as f32 * 0.1)
+                .collect();
             let b: Vec<f32> = (0..n * n).map(|i| ((i * 7 + 3) % 9) as f32 * 0.2).collect();
             let mut c = vec![0.0f32; n * n];
             let mut expected = vec![0.0f32; n * n];
-            CpuOmp::new(ChipGeneration::M1).run(n, &a, &b, &mut c).unwrap();
+            CpuOmp::new(ChipGeneration::M1)
+                .run(n, &a, &b, &mut c)
+                .unwrap();
             reference_gemm(n, &a, &b, &mut expected);
             for (idx, (x, y)) in c.iter().zip(&expected).enumerate() {
-                assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()), "n={n} idx={idx}: {x} vs {y}");
+                assert!(
+                    (x - y).abs() < 1e-3 * (1.0 + y.abs()),
+                    "n={n} idx={idx}: {x} vs {y}"
+                );
             }
         }
     }
@@ -172,7 +191,10 @@ mod tests {
             let accelerate =
                 oranges_accelerate::timing::AccelerateModel::of(chip).sustained_gflops(2048);
             assert!(omp > 2.0 * single, "{chip}: OMP {omp} vs single {single}");
-            assert!(omp < accelerate / 10.0, "{chip}: OMP {omp} vs Accelerate {accelerate}");
+            assert!(
+                omp < accelerate / 10.0,
+                "{chip}: OMP {omp} vs Accelerate {accelerate}"
+            );
         }
     }
 

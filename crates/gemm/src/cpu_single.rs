@@ -116,7 +116,12 @@ impl GemmImplementation for CpuSingle {
             }
         }
         let duration = SimDuration::from_secs_f64(flops as f64 / (self.modeled_gflops(n) * 1e9));
-        Ok(GemmOutcome { duration, flops, functional, duty: 1.0 })
+        Ok(GemmOutcome {
+            duration,
+            flops,
+            functional,
+            duty: 1.0,
+        })
     }
 
     fn model_run(&mut self, n: usize) -> Result<GemmOutcome, GemmError> {
@@ -125,7 +130,12 @@ impl GemmImplementation for CpuSingle {
         }
         let flops = gemm_flops(n as u64);
         let duration = SimDuration::from_secs_f64(flops as f64 / (self.modeled_gflops(n) * 1e9));
-        Ok(GemmOutcome { duration, flops, functional: false, duty: 1.0 })
+        Ok(GemmOutcome {
+            duration,
+            flops,
+            functional: false,
+            duty: 1.0,
+        })
     }
 }
 
@@ -141,7 +151,9 @@ mod tests {
         let b: Vec<f32> = (0..n * n).map(|i| (i % 3) as f32 * 0.25).collect();
         let mut c = vec![0.0f32; n * n];
         let mut expected = vec![0.0f32; n * n];
-        CpuSingle::new(ChipGeneration::M1).run(n, &a, &b, &mut c).unwrap();
+        CpuSingle::new(ChipGeneration::M1)
+            .run(n, &a, &b, &mut c)
+            .unwrap();
         reference_gemm(n, &a, &b, &mut expected);
         assert_eq!(c, expected);
     }
@@ -168,7 +180,9 @@ mod tests {
         let mut implementation = CpuSingle::new(ChipGeneration::M3).with_functional_limit(0);
         let run = |imp: &mut CpuSingle, n: usize| {
             let mut c = vec![0.0f32; n * n];
-            imp.run(n, &vec![0.0; n * n], &vec![0.0; n * n], &mut c).unwrap().duration
+            imp.run(n, &vec![0.0; n * n], &vec![0.0; n * n], &mut c)
+                .unwrap()
+                .duration
         };
         let t256 = run(&mut implementation, 256);
         let t512 = run(&mut implementation, 512);
@@ -181,7 +195,9 @@ mod tests {
         let mut implementation = CpuSingle::new(ChipGeneration::M1);
         let mut c = vec![0.0f32; 4];
         assert!(implementation.run(0, &[], &[], &mut c).is_err());
-        assert!(implementation.run(4, &[0.0; 4], &[0.0; 16], &mut c).is_err());
+        assert!(implementation
+            .run(4, &[0.0; 4], &[0.0; 16], &mut c)
+            .is_err());
     }
 
     #[test]

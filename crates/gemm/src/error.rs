@@ -55,6 +55,8 @@ mod tests {
         assert!(e.to_string().contains("metal error"));
         let e: GemmError = UmemError::ZeroLength.into();
         assert!(e.to_string().contains("memory error"));
-        assert!(GemmError::Dimension("n=0".into()).to_string().contains("n=0"));
+        assert!(GemmError::Dimension("n=0".into())
+            .to_string()
+            .contains("n=0"));
     }
 }

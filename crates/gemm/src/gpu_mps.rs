@@ -21,7 +21,9 @@ pub struct GpuMps {
 impl GpuMps {
     /// Implementation on a chip's default device.
     pub fn new(chip: ChipGeneration) -> Self {
-        GpuMps { device: Device::system_default(chip) }
+        GpuMps {
+            device: Device::system_default(chip),
+        }
     }
 
     /// Build over an explicit device.
@@ -60,15 +62,19 @@ impl GemmImplementation for GpuMps {
         c: &mut [f32],
     ) -> Result<GemmOutcome, GemmError> {
         if n == 0 || a.len() < n * n || b.len() < n * n || c.len() < n * n {
-            return Err(GemmError::Dimension(format!("need n>0 and n² elements (n={n})")));
+            return Err(GemmError::Dimension(format!(
+                "need n>0 and n² elements (n={n})"
+            )));
         }
         let desc = MatrixDescriptor::new(n, n, n * 4)?;
         let mat_a = MpsMatrix::new(
-            self.device.new_buffer_with_data(&a[..n * n], StorageMode::Shared)?,
+            self.device
+                .new_buffer_with_data(&a[..n * n], StorageMode::Shared)?,
             desc,
         )?;
         let mat_b = MpsMatrix::new(
-            self.device.new_buffer_with_data(&b[..n * n], StorageMode::Shared)?,
+            self.device
+                .new_buffer_with_data(&b[..n * n], StorageMode::Shared)?,
             desc,
         )?;
         let mat_c = MpsMatrix::new(self.device.new_buffer(n * n, StorageMode::Shared)?, desc)?;
@@ -96,7 +102,10 @@ impl GemmImplementation for GpuMps {
         if n == 0 {
             return Err(GemmError::Dimension("n must be positive".into()));
         }
-        let params = KernelParams { uints: vec![n as u64, n as u64, n as u64], floats: vec![] };
+        let params = KernelParams {
+            uints: vec![n as u64, n as u64, n as u64],
+            floats: vec![],
+        };
         let kernel = MpsSgemm;
         let workload = kernel.workload(self.device.chip(), &params, n * n);
         // MPS's own grid: ceil(n/32)² threadgroups of 32×32.
@@ -127,14 +136,23 @@ mod tests {
     #[test]
     fn computes_correct_products() {
         let n = 36;
-        let a: Vec<f32> = (0..n * n).map(|i| ((i * 5 + 2) % 29) as f32 * 0.03).collect();
-        let b: Vec<f32> = (0..n * n).map(|i| ((i * 17 + 11) % 31) as f32 * 0.02).collect();
+        let a: Vec<f32> = (0..n * n)
+            .map(|i| ((i * 5 + 2) % 29) as f32 * 0.03)
+            .collect();
+        let b: Vec<f32> = (0..n * n)
+            .map(|i| ((i * 17 + 11) % 31) as f32 * 0.02)
+            .collect();
         let mut c = vec![0.0f32; n * n];
         let mut expected = vec![0.0f32; n * n];
-        GpuMps::new(ChipGeneration::M2).run(n, &a, &b, &mut c).unwrap();
+        GpuMps::new(ChipGeneration::M2)
+            .run(n, &a, &b, &mut c)
+            .unwrap();
         reference_gemm(n, &a, &b, &mut expected);
         for (idx, (x, y)) in c.iter().zip(&expected).enumerate() {
-            assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()), "idx={idx}: {x} vs {y}");
+            assert!(
+                (x - y).abs() < 1e-3 * (1.0 + y.abs()),
+                "idx={idx}: {x} vs {y}"
+            );
         }
     }
 
@@ -152,11 +170,13 @@ mod tests {
             let g_mps = mps.run(n, &zeros, &zeros, &mut c).unwrap().gflops();
             let mut accelerate = CpuAccelerate::new(chip).with_functional_limit(0);
             let g_acc = accelerate.run(n, &zeros, &zeros, &mut c).unwrap().gflops();
-            let mut naive =
-                GpuShader::with_device(device, crate::gpu_shader::ShaderKind::Naive);
+            let mut naive = GpuShader::with_device(device, crate::gpu_shader::ShaderKind::Naive);
             let g_naive = naive.run(n, &zeros, &zeros, &mut c).unwrap().gflops();
             assert!(g_mps > g_acc, "{chip}: MPS {g_mps} vs Accelerate {g_acc}");
-            assert!(g_mps > g_naive, "{chip}: MPS {g_mps} vs GPU-Naive {g_naive}");
+            assert!(
+                g_mps > g_naive,
+                "{chip}: MPS {g_mps} vs GPU-Naive {g_naive}"
+            );
         }
     }
 
@@ -177,9 +197,17 @@ mod tests {
             (g, a)
         };
         let (m1_gpu, m1_cpu) = run_pair(ChipGeneration::M1);
-        assert!(m1_gpu / m1_cpu < 1.8, "M1 GPU/CPU ratio {}", m1_gpu / m1_cpu);
+        assert!(
+            m1_gpu / m1_cpu < 1.8,
+            "M1 GPU/CPU ratio {}",
+            m1_gpu / m1_cpu
+        );
         let (m4_gpu, m4_cpu) = run_pair(ChipGeneration::M4);
-        assert!(m4_gpu / m4_cpu > 1.8, "M4 GPU/CPU ratio {}", m4_gpu / m4_cpu);
+        assert!(
+            m4_gpu / m4_cpu > 1.8,
+            "M4 GPU/CPU ratio {}",
+            m4_gpu / m4_cpu
+        );
     }
 
     #[test]

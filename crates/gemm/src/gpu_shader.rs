@@ -59,7 +59,11 @@ impl GpuShader {
             .new_default_library()
             .pipeline(kind.function_name())
             .expect("standard library always contains the sgemm shaders");
-        GpuShader { device, pipeline, kind }
+        GpuShader {
+            device,
+            pipeline,
+            kind,
+        }
     }
 
     /// The device in use.
@@ -104,10 +108,16 @@ impl GemmImplementation for GpuShader {
         c: &mut [f32],
     ) -> Result<GemmOutcome, GemmError> {
         if n == 0 || a.len() < n * n || b.len() < n * n || c.len() < n * n {
-            return Err(GemmError::Dimension(format!("need n>0 and n² elements (n={n})")));
+            return Err(GemmError::Dimension(format!(
+                "need n>0 and n² elements (n={n})"
+            )));
         }
-        let buf_a = self.device.new_buffer_with_data(&a[..n * n], StorageMode::Shared)?;
-        let buf_b = self.device.new_buffer_with_data(&b[..n * n], StorageMode::Shared)?;
+        let buf_a = self
+            .device
+            .new_buffer_with_data(&a[..n * n], StorageMode::Shared)?;
+        let buf_b = self
+            .device
+            .new_buffer_with_data(&b[..n * n], StorageMode::Shared)?;
         let buf_c = self.device.new_buffer(n * n, StorageMode::Shared)?;
 
         let queue = self.device.new_command_queue();
@@ -141,7 +151,10 @@ impl GemmImplementation for GpuShader {
             return Err(GemmError::Dimension("n must be positive".into()));
         }
         let params = KernelParams::with_n(n as u64);
-        let workload = self.pipeline.kernel().workload(self.device.chip(), &params, n * n);
+        let workload = self
+            .pipeline
+            .kernel()
+            .workload(self.device.chip(), &params, n * n);
         // Same grid as `run`: 8×8 threadgroups of 32×32 threads.
         let breakdown = self.device.timing().price(&workload, 64 * 1024);
         let duty = {
@@ -169,13 +182,18 @@ mod tests {
     #[test]
     fn both_shaders_compute_correct_products() {
         let n = 40;
-        let a: Vec<f32> = (0..n * n).map(|i| ((i * 3 + 1) % 19) as f32 * 0.05).collect();
-        let b: Vec<f32> = (0..n * n).map(|i| ((i * 11 + 7) % 23) as f32 * 0.04).collect();
+        let a: Vec<f32> = (0..n * n)
+            .map(|i| ((i * 3 + 1) % 19) as f32 * 0.05)
+            .collect();
+        let b: Vec<f32> = (0..n * n)
+            .map(|i| ((i * 11 + 7) % 23) as f32 * 0.04)
+            .collect();
         let mut expected = vec![0.0f32; n * n];
         reference_gemm(n, &a, &b, &mut expected);
-        for mut implementation in
-            [GpuShader::naive(ChipGeneration::M1), GpuShader::tiled(ChipGeneration::M1)]
-        {
+        for mut implementation in [
+            GpuShader::naive(ChipGeneration::M1),
+            GpuShader::tiled(ChipGeneration::M1),
+        ] {
             let mut c = vec![0.0f32; n * n];
             let outcome = implementation.run(n, &a, &b, &mut c).unwrap();
             assert!(outcome.functional);
@@ -218,9 +236,15 @@ mod tests {
         let mut implementation = GpuShader::with_device(device, ShaderKind::Naive);
         let small = {
             let mut c = vec![0.0f32; 32 * 32];
-            implementation.run(32, &vec![0.0; 32 * 32], &vec![0.0; 32 * 32], &mut c).unwrap()
+            implementation
+                .run(32, &vec![0.0; 32 * 32], &vec![0.0; 32 * 32], &mut c)
+                .unwrap()
         };
-        assert!(small.duty < 0.1, "duty {} should be overhead-dominated", small.duty);
+        assert!(
+            small.duty < 0.1,
+            "duty {} should be overhead-dominated",
+            small.duty
+        );
     }
 
     #[test]

@@ -80,8 +80,13 @@ pub trait GemmImplementation {
     fn work_class(&self) -> WorkClass;
 
     /// Multiply `c := a · b` for square `n×n` row-major FP32 matrices.
-    fn run(&mut self, n: usize, a: &[f32], b: &[f32], c: &mut [f32])
-        -> Result<GemmOutcome, GemmError>;
+    fn run(
+        &mut self,
+        n: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+    ) -> Result<GemmOutcome, GemmError>;
 
     /// Model-only run: the timing/power outcome of an `n×n` multiply
     /// without touching (or allocating) matrix data. The figure sweeps use

@@ -28,7 +28,9 @@ impl Matrix {
     /// Allocate an `n×n` zero matrix (page-aligned, page-rounded).
     pub fn zeros(space: &SharedAddressSpace, n: usize) -> Result<Self, GemmError> {
         if n == 0 {
-            return Err(GemmError::Dimension("matrix dimension must be positive".into()));
+            return Err(GemmError::Dimension(
+                "matrix dimension must be positive".into(),
+            ));
         }
         let buffer = UnifiedBuffer::allocate(space, n * n, StorageMode::Shared)?;
         Ok(Matrix { n, buffer })
@@ -63,12 +65,16 @@ impl Matrix {
 
     /// Read view.
     pub fn as_slice(&self) -> &[f32] {
-        self.buffer.as_slice().expect("benchmark matrices are Shared")
+        self.buffer
+            .as_slice()
+            .expect("benchmark matrices are Shared")
     }
 
     /// Write view.
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        self.buffer.as_mut_slice().expect("benchmark matrices are Shared")
+        self.buffer
+            .as_mut_slice()
+            .expect("benchmark matrices are Shared")
     }
 
     /// Consume into the unified buffer (for no-copy Metal wrapping).
@@ -120,12 +126,19 @@ mod tests {
         let b = Matrix::random(&s, 64, 42).unwrap();
         assert_eq!(a.as_slice(), b.as_slice(), "same seed, same matrix");
         let c = Matrix::random(&s, 64, 43).unwrap();
-        assert_ne!(a.as_slice(), c.as_slice(), "different seed, different matrix");
+        assert_ne!(
+            a.as_slice(),
+            c.as_slice(),
+            "different seed, different matrix"
+        );
     }
 
     #[test]
     fn zero_dimension_rejected() {
-        assert!(matches!(Matrix::zeros(&space(), 0), Err(GemmError::Dimension(_))));
+        assert!(matches!(
+            Matrix::zeros(&space(), 0),
+            Err(GemmError::Dimension(_))
+        ));
     }
 
     #[test]

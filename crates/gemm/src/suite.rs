@@ -113,8 +113,14 @@ mod tests {
     #[test]
     fn table2_has_six_rows_with_expected_frameworks() {
         assert_eq!(TABLE2.len(), 6);
-        let cpu_rows = TABLE2.iter().filter(|r| r.hardware == Hardware::Cpu).count();
-        let gpu_rows = TABLE2.iter().filter(|r| r.hardware == Hardware::Gpu).count();
+        let cpu_rows = TABLE2
+            .iter()
+            .filter(|r| r.hardware == Hardware::Cpu)
+            .count();
+        let gpu_rows = TABLE2
+            .iter()
+            .filter(|r| r.hardware == Hardware::Gpu)
+            .count();
         assert_eq!(cpu_rows, 3);
         assert_eq!(gpu_rows, 3);
         assert!(TABLE2.iter().any(|r| r.framework == "Accelerate"));
@@ -155,8 +161,12 @@ mod tests {
     #[test]
     fn all_implementations_agree_on_a_small_problem() {
         let n = 32;
-        let a: Vec<f32> = (0..n * n).map(|i| ((i * 7 + 1) % 13) as f32 / 13.0).collect();
-        let b: Vec<f32> = (0..n * n).map(|i| ((i * 11 + 5) % 17) as f32 / 17.0).collect();
+        let a: Vec<f32> = (0..n * n)
+            .map(|i| ((i * 7 + 1) % 13) as f32 / 13.0)
+            .collect();
+        let b: Vec<f32> = (0..n * n)
+            .map(|i| ((i * 11 + 5) % 17) as f32 / 17.0)
+            .collect();
         let mut expected = vec![0.0f32; n * n];
         reference_gemm(n, &a, &b, &mut expected);
         for mut implementation in suite_for(ChipGeneration::M2) {

@@ -64,7 +64,11 @@ pub fn verify_sampled(
             passed = false;
         }
     }
-    VerifyOutcome { samples, max_rel_error, passed }
+    VerifyOutcome {
+        samples,
+        max_rel_error,
+        passed,
+    }
 }
 
 #[cfg(test)]

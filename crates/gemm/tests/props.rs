@@ -1,9 +1,9 @@
 //! Property tests: all six implementations agree on random inputs, and
 //! the model invariants hold across the size grid.
 
+use oranges_gemm::gemm_flops;
 use oranges_gemm::suite::{paper_sizes, skips_size, suite_for};
 use oranges_gemm::verify::{reference_gemm, verify_sampled};
-use oranges_gemm::gemm_flops;
 use oranges_soc::chip::ChipGeneration;
 use proptest::prelude::*;
 

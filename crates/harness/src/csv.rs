@@ -11,7 +11,10 @@ pub struct CsvWriter {
 impl CsvWriter {
     /// Start a CSV with a header row.
     pub fn new(header: &[&str]) -> Self {
-        let mut w = CsvWriter { out: String::new(), columns: header.len() };
+        let mut w = CsvWriter {
+            out: String::new(),
+            columns: header.len(),
+        };
         w.raw_row(header.iter().map(|s| s.to_string()).collect());
         w
     }

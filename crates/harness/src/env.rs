@@ -61,7 +61,11 @@ impl EnvironmentRecord {
                 PowerSource::Mains => "mains",
                 PowerSource::Battery => "battery",
             },
-            if self.caffeinated { ", caffeinated" } else { "" },
+            if self.caffeinated {
+                ", caffeinated"
+            } else {
+                ""
+            },
             if self.rebooted { ", fresh reboot" } else { "" },
             self.idle_settle_s,
             self.ambient_c,

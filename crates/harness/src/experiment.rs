@@ -30,9 +30,15 @@ impl RepetitionProtocol {
     /// §4's GEMM protocol: five repetitions.
     pub const GEMM: RepetitionProtocol = RepetitionProtocol { reps: 5, warmup: 0 };
     /// §4's CPU STREAM protocol: ten repetitions.
-    pub const STREAM_CPU: RepetitionProtocol = RepetitionProtocol { reps: 10, warmup: 0 };
+    pub const STREAM_CPU: RepetitionProtocol = RepetitionProtocol {
+        reps: 10,
+        warmup: 0,
+    };
     /// §4's GPU STREAM protocol: twenty repetitions.
-    pub const STREAM_GPU: RepetitionProtocol = RepetitionProtocol { reps: 20, warmup: 0 };
+    pub const STREAM_GPU: RepetitionProtocol = RepetitionProtocol {
+        reps: 20,
+        warmup: 0,
+    };
 
     /// Run `body` `warmup + reps` times, keeping the last `reps` values.
     pub fn run<T>(&self, mut body: impl FnMut(u32) -> T) -> Vec<T> {
@@ -47,10 +53,7 @@ impl RepetitionProtocol {
     }
 
     /// Run a fallible body; the first error aborts the experiment.
-    pub fn try_run<T, E>(
-        &self,
-        mut body: impl FnMut(u32) -> Result<T, E>,
-    ) -> Result<Vec<T>, E> {
+    pub fn try_run<T, E>(&self, mut body: impl FnMut(u32) -> Result<T, E>) -> Result<Vec<T>, E> {
         let mut kept = Vec::with_capacity(self.reps as usize);
         for rep in 0..self.warmup + self.reps {
             let value = body(rep)?;
@@ -62,8 +65,8 @@ impl RepetitionProtocol {
     }
 
     /// Run and summarize an f64-valued measurement.
-    pub fn measure(&self, mut body: impl FnMut(u32) -> f64) -> Option<Summary> {
-        let samples = self.run(|rep| body(rep));
+    pub fn measure(&self, body: impl FnMut(u32) -> f64) -> Option<Summary> {
+        let samples = self.run(body);
         Summary::of(&samples)
     }
 }
@@ -107,7 +110,10 @@ mod tests {
 
     #[test]
     fn meta_is_plain_data() {
-        let meta = ExperimentMeta { id: "fig1", description: "STREAM bandwidth" };
+        let meta = ExperimentMeta {
+            id: "fig1",
+            description: "STREAM bandwidth",
+        };
         assert_eq!(meta.id, "fig1");
     }
 }

@@ -36,9 +36,7 @@ pub fn grouped_bar_chart(title: &str, unit: &str, groups: &[BarGroup], width: us
     writeln!(out, "{title}").unwrap();
     let max_value = groups
         .iter()
-        .flat_map(|g| {
-            g.bars.iter().map(|b| b.value).chain(g.reference)
-        })
+        .flat_map(|g| g.bars.iter().map(|b| b.value).chain(g.reference))
         .fold(0.0f64, f64::max);
     if max_value <= 0.0 {
         writeln!(out, "(no data)").unwrap();
@@ -72,7 +70,12 @@ pub fn grouped_bar_chart(title: &str, unit: &str, groups: &[BarGroup], width: us
             .unwrap();
         }
         if let Some(reference) = group.reference {
-            writeln!(out, "  {:<label_width$} (| = theoretical {reference:.0} {unit})", "").unwrap();
+            writeln!(
+                out,
+                "  {:<label_width$} (| = theoretical {reference:.0} {unit})",
+                ""
+            )
+            .unwrap();
         }
     }
     out
@@ -100,12 +103,21 @@ pub struct SeriesChartConfig {
 
 impl Default for SeriesChartConfig {
     fn default() -> Self {
-        SeriesChartConfig { height: 16, width: 64, log_y: true }
+        SeriesChartConfig {
+            height: 16,
+            width: 64,
+            log_y: true,
+        }
     }
 }
 
 /// Render series as a scatter/line grid with per-series glyphs.
-pub fn series_chart(title: &str, y_unit: &str, series: &[Series], config: SeriesChartConfig) -> String {
+pub fn series_chart(
+    title: &str,
+    y_unit: &str,
+    series: &[Series],
+    config: SeriesChartConfig,
+) -> String {
     const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '@', '%', '^', '~'];
     let mut out = String::new();
     writeln!(out, "{title}").unwrap();
@@ -115,7 +127,10 @@ pub fn series_chart(title: &str, y_unit: &str, series: &[Series], config: Series
         .flat_map(|s| s.points.iter().filter_map(|(_, y)| *y))
         .filter(|y| !config.log_y || *y > 0.0)
         .collect();
-    let xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|(x, _)| *x)).collect();
+    let xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+        .collect();
     if ys.is_empty() || xs.is_empty() {
         writeln!(out, "(no data)").unwrap();
         return out;
@@ -148,8 +163,16 @@ pub fn series_chart(title: &str, y_unit: &str, series: &[Series], config: Series
         }
     }
 
-    let y_label_top = if config.log_y { format!("1e{y_max:.1}") } else { format!("{y_max:.1}") };
-    let y_label_bottom = if config.log_y { format!("1e{y_min:.1}") } else { format!("{y_min:.1}") };
+    let y_label_top = if config.log_y {
+        format!("1e{y_max:.1}")
+    } else {
+        format!("{y_max:.1}")
+    };
+    let y_label_bottom = if config.log_y {
+        format!("1e{y_min:.1}")
+    } else {
+        format!("{y_min:.1}")
+    };
     for (row_index, row) in grid.iter().enumerate() {
         let label = if row_index == 0 {
             format!("{y_label_top:>10}")
@@ -162,8 +185,14 @@ pub fn series_chart(title: &str, y_unit: &str, series: &[Series], config: Series
         writeln!(out, "{label} |{line}").unwrap();
     }
     writeln!(out, "{:>10} +{}", "", "-".repeat(config.width + 1)).unwrap();
-    writeln!(out, "{:>10}  n = {:.0} .. {:.0} ({y_unit})", "", 2f64.powf(x_min), 2f64.powf(x_max))
-        .unwrap();
+    writeln!(
+        out,
+        "{:>10}  n = {:.0} .. {:.0} ({y_unit})",
+        "",
+        2f64.powf(x_min),
+        2f64.powf(x_max)
+    )
+    .unwrap();
     for (index, s) in series.iter().enumerate() {
         writeln!(out, "{:>12} = {}", GLYPHS[index % GLYPHS.len()], s.label).unwrap();
     }
@@ -179,8 +208,14 @@ mod tests {
         let groups = vec![BarGroup {
             label: "M1".into(),
             bars: vec![
-                Bar { label: "Copy (CPU)".into(), value: 55.6 },
-                Bar { label: "Triad (CPU)".into(), value: 59.0 },
+                Bar {
+                    label: "Copy (CPU)".into(),
+                    value: 55.6,
+                },
+                Bar {
+                    label: "Triad (CPU)".into(),
+                    value: 59.0,
+                },
             ],
             reference: Some(67.0),
         }];
@@ -204,14 +239,23 @@ mod tests {
         let series = vec![
             Series {
                 label: "GPU-MPS".into(),
-                points: vec![(256.0, Some(100.0)), (1024.0, Some(1000.0)), (4096.0, Some(2400.0))],
+                points: vec![
+                    (256.0, Some(100.0)),
+                    (1024.0, Some(1000.0)),
+                    (4096.0, Some(2400.0)),
+                ],
             },
             Series {
                 label: "CPU-Single".into(),
                 points: vec![(256.0, Some(1.2)), (1024.0, Some(1.0)), (4096.0, None)],
             },
         ];
-        let text = series_chart("Fig 2 (M2)", "GFLOPS", &series, SeriesChartConfig::default());
+        let text = series_chart(
+            "Fig 2 (M2)",
+            "GFLOPS",
+            &series,
+            SeriesChartConfig::default(),
+        );
         assert!(text.contains("GPU-MPS"));
         assert!(text.contains("CPU-Single"));
         assert!(text.contains('*'));
@@ -225,8 +269,16 @@ mod tests {
             label: "zeroes".into(),
             points: vec![(32.0, Some(0.0)), (64.0, Some(10.0))],
         }];
-        let text =
-            series_chart("t", "u", &series, SeriesChartConfig { height: 4, width: 16, log_y: true });
+        let text = series_chart(
+            "t",
+            "u",
+            &series,
+            SeriesChartConfig {
+                height: 4,
+                width: 16,
+                log_y: true,
+            },
+        );
         assert!(text.contains('*'));
     }
 

@@ -184,7 +184,11 @@ impl<'a> ser::Serializer for &'a mut Emitter<'_> {
     }
     fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, JsonError> {
         self.out.push('[');
-        Ok(Compound { out: self.out, first: true, closer: ']' })
+        Ok(Compound {
+            out: self.out,
+            first: true,
+            closer: ']',
+        })
     }
     fn serialize_tuple(self, len: usize) -> Result<Compound<'a>, JsonError> {
         self.serialize_seq(Some(len))
@@ -206,19 +210,27 @@ impl<'a> ser::Serializer for &'a mut Emitter<'_> {
         self.out.push('{');
         escape_into(self.out, variant);
         self.out.push_str(":[");
-        Ok(Compound { out: self.out, first: true, closer: '!' }) // '!' = ]}
+        Ok(Compound {
+            out: self.out,
+            first: true,
+            closer: '!',
+        }) // '!' = ]}
     }
     fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a>, JsonError> {
         self.out.push('{');
-        Ok(Compound { out: self.out, first: true, closer: '}' })
+        Ok(Compound {
+            out: self.out,
+            first: true,
+            closer: '}',
+        })
     }
-    fn serialize_struct(
-        self,
-        _name: &'static str,
-        _len: usize,
-    ) -> Result<Compound<'a>, JsonError> {
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>, JsonError> {
         self.out.push('{');
-        Ok(Compound { out: self.out, first: true, closer: '}' })
+        Ok(Compound {
+            out: self.out,
+            first: true,
+            closer: '}',
+        })
     }
     fn serialize_struct_variant(
         self,
@@ -230,7 +242,11 @@ impl<'a> ser::Serializer for &'a mut Emitter<'_> {
         self.out.push('{');
         escape_into(self.out, variant);
         self.out.push_str(":{");
-        Ok(Compound { out: self.out, first: true, closer: '?' }) // '?' = }}
+        Ok(Compound {
+            out: self.out,
+            first: true,
+            closer: '?',
+        }) // '?' = }}
     }
 }
 
@@ -365,12 +381,22 @@ mod tests {
 
     #[test]
     fn structs_and_options() {
-        let p = Point { chip: "M1".into(), n: 256, gflops: 123.5, verified: Some(true) };
+        let p = Point {
+            chip: "M1".into(),
+            n: 256,
+            gflops: 123.5,
+            verified: Some(true),
+        };
         assert_eq!(
             to_json_string(&p).unwrap(),
             r#"{"chip":"M1","n":256,"gflops":123.5,"verified":true}"#
         );
-        let p = Point { chip: "M2".into(), n: 1, gflops: f64::NAN, verified: None };
+        let p = Point {
+            chip: "M2".into(),
+            n: 1,
+            gflops: f64::NAN,
+            verified: None,
+        };
         assert_eq!(
             to_json_string(&p).unwrap(),
             r#"{"chip":"M2","n":1,"gflops":null,"verified":null}"#
@@ -390,14 +416,26 @@ mod tests {
     #[test]
     fn enum_variants() {
         assert_eq!(to_json_string(&Kind::Unit).unwrap(), r#""Unit""#);
-        assert_eq!(to_json_string(&Kind::Newtype(5)).unwrap(), r#"{"Newtype":5}"#);
-        assert_eq!(to_json_string(&Kind::Tuple(1, 2)).unwrap(), r#"{"Tuple":[1,2]}"#);
-        assert_eq!(to_json_string(&Kind::Struct { x: 9 }).unwrap(), r#"{"Struct":{"x":9}}"#);
+        assert_eq!(
+            to_json_string(&Kind::Newtype(5)).unwrap(),
+            r#"{"Newtype":5}"#
+        );
+        assert_eq!(
+            to_json_string(&Kind::Tuple(1, 2)).unwrap(),
+            r#"{"Tuple":[1,2]}"#
+        );
+        assert_eq!(
+            to_json_string(&Kind::Struct { x: 9 }).unwrap(),
+            r#"{"Struct":{"x":9}}"#
+        );
     }
 
     #[test]
     fn string_escaping() {
-        assert_eq!(to_json_string(&"say \"hi\"\n").unwrap(), r#""say \"hi\"\n""#);
+        assert_eq!(
+            to_json_string(&"say \"hi\"\n").unwrap(),
+            r#""say \"hi\"\n""#
+        );
         assert_eq!(to_json_string(&'\t').unwrap(), r#""\t""#);
         assert_eq!(to_json_string(&"\u{1}").unwrap(), "\"\\u0001\"");
     }

@@ -16,6 +16,8 @@
 //! - [`csv`]: CSV writer;
 //! - [`json`]: a minimal JSON serializer over `serde::Serialize` (kept
 //!   in-tree so the approved dependency set stays small);
+//! - [`record`]: serializable per-cell run records (the campaign
+//!   orchestrator's result currency);
 //! - [`env`]: the §4 environment record.
 
 #![forbid(unsafe_code)]
@@ -26,10 +28,12 @@ pub mod env;
 pub mod experiment;
 pub mod figure;
 pub mod json;
+pub mod record;
 pub mod stats;
 pub mod table;
 
 pub use experiment::{ExperimentMeta, RepetitionProtocol};
+pub use record::RunRecord;
 pub use stats::Summary;
 pub use table::TextTable;
 
@@ -40,6 +44,7 @@ pub mod prelude {
     pub use crate::experiment::{ExperimentMeta, RepetitionProtocol};
     pub use crate::figure::{grouped_bar_chart, series_chart, SeriesChartConfig};
     pub use crate::json::to_json_string;
+    pub use crate::record::RunRecord;
     pub use crate::stats::Summary;
     pub use crate::table::TextTable;
 }

@@ -1,0 +1,158 @@
+//! Serializable run records — the campaign subsystem's lingua franca.
+//!
+//! Every experiment cell flattens to a [`RunRecord`]: one named metric of
+//! one (experiment, chip, implementation, size) coordinate. Records are
+//! `Serialize + PartialEq`, so campaign results can be emitted through the
+//! CSV/JSON writers *and* compared value-for-value across runs (the
+//! concurrent-equals-serial guarantee is checked over them).
+
+use crate::csv::CsvWriter;
+use crate::json::{to_json_string, JsonError};
+use serde::Serialize;
+
+/// One metric of one experiment cell.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RunRecord {
+    /// Paper artifact id (`"fig1"`, `"fig2"`, … or an extension id).
+    pub experiment: String,
+    /// Chip label (`"M1"`…), if the cell is chip-scoped.
+    pub chip: Option<String>,
+    /// Implementation legend name, if the cell is implementation-scoped.
+    pub implementation: Option<String>,
+    /// Problem size, if the cell is size-scoped.
+    pub n: Option<u64>,
+    /// Metric name (`"gbs"`, `"gflops"`, `"power_mw"`, …).
+    pub metric: String,
+    /// Metric value.
+    pub value: f64,
+    /// Unit label (`"GB/s"`, `"GFLOPS"`, `"mW"`, …).
+    pub unit: String,
+}
+
+impl RunRecord {
+    /// A record scoped only by experiment.
+    pub fn global(experiment: &str, metric: &str, value: f64, unit: &str) -> Self {
+        RunRecord {
+            experiment: experiment.to_string(),
+            chip: None,
+            implementation: None,
+            n: None,
+            metric: metric.to_string(),
+            value,
+            unit: unit.to_string(),
+        }
+    }
+
+    /// A chip-scoped record.
+    pub fn for_chip(experiment: &str, chip: &str, metric: &str, value: f64, unit: &str) -> Self {
+        RunRecord {
+            chip: Some(chip.to_string()),
+            ..RunRecord::global(experiment, metric, value, unit)
+        }
+    }
+
+    /// Attach an implementation name.
+    pub fn with_implementation(mut self, implementation: &str) -> Self {
+        self.implementation = Some(implementation.to_string());
+        self
+    }
+
+    /// Attach a problem size.
+    pub fn with_n(mut self, n: u64) -> Self {
+        self.n = Some(n);
+        self
+    }
+
+    /// The deterministic sort key: (experiment, chip, implementation, n,
+    /// metric). Value order inside an experiment never depends on worker
+    /// interleaving once records are sorted by this.
+    pub fn sort_key(&self) -> (String, String, String, u64, String) {
+        (
+            self.experiment.clone(),
+            self.chip.clone().unwrap_or_default(),
+            self.implementation.clone().unwrap_or_default(),
+            self.n.unwrap_or(0),
+            self.metric.clone(),
+        )
+    }
+}
+
+/// CSV of a record slice (`experiment,chip,implementation,n,metric,value,unit`).
+pub fn records_to_csv(records: &[RunRecord]) -> String {
+    let mut csv = CsvWriter::new(&[
+        "experiment",
+        "chip",
+        "implementation",
+        "n",
+        "metric",
+        "value",
+        "unit",
+    ]);
+    for r in records {
+        csv.row(&[
+            r.experiment.clone(),
+            r.chip.clone().unwrap_or_default(),
+            r.implementation.clone().unwrap_or_default(),
+            r.n.map(|n| n.to_string()).unwrap_or_default(),
+            r.metric.clone(),
+            format!("{:.6}", r.value),
+            r.unit.clone(),
+        ]);
+    }
+    csv.finish()
+}
+
+/// JSON array of a record slice.
+pub fn records_to_json(records: &[RunRecord]) -> Result<String, JsonError> {
+    to_json_string(&records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<RunRecord> {
+        vec![
+            RunRecord::for_chip("fig1", "M1", "gbs", 102.5, "GB/s").with_implementation("Triad"),
+            RunRecord::for_chip("fig2", "M4", "gflops", 2900.0, "GFLOPS")
+                .with_implementation("GPU-MPS")
+                .with_n(16384),
+            RunRecord::global("tables", "rows", 17.0, "rows"),
+        ]
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = records_to_csv(&sample());
+        assert!(csv.starts_with("experiment,chip,implementation,n,metric,value,unit"));
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.contains("fig2,M4,GPU-MPS,16384,gflops,2900.000000,GFLOPS"));
+        assert!(csv.contains("tables,,,,rows,17.000000,rows"));
+    }
+
+    #[test]
+    fn json_round_trips_fields() {
+        let json = records_to_json(&sample()).unwrap();
+        assert!(json.starts_with('['));
+        assert!(json.contains(r#""experiment":"fig1""#));
+        assert!(json.contains(r#""n":16384"#));
+        assert!(json.contains(r#""chip":null"#));
+    }
+
+    #[test]
+    fn sort_key_orders_cells_deterministically() {
+        let mut records = sample();
+        records.reverse();
+        records.sort_by_key(|r| r.sort_key());
+        assert_eq!(records[0].experiment, "fig1");
+        assert_eq!(records.last().unwrap().experiment, "tables");
+    }
+
+    #[test]
+    fn equality_is_value_identity() {
+        assert_eq!(sample(), sample());
+        let mut changed = sample();
+        changed[0].value += 1e-9;
+        assert_ne!(sample(), changed);
+    }
+}

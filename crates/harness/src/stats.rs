@@ -33,7 +33,14 @@ impl Summary {
         let mean = sorted.iter().sum::<f64>() / count as f64;
         let median = sorted[(count - 1) / 2];
         let variance = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
-        Some(Summary { count, min, max, mean, median, stddev: variance.sqrt() })
+        Some(Summary {
+            count,
+            min,
+            max,
+            mean,
+            median,
+            stddev: variance.sqrt(),
+        })
     }
 
     /// Relative spread (σ / mean), 0 for a zero mean.
@@ -48,12 +55,16 @@ impl Summary {
 
 /// The paper's STREAM reporting rule: the best (maximum) of N repetitions.
 pub fn best_of(samples: &[f64]) -> Option<f64> {
-    samples.iter().copied().filter(|v| v.is_finite()).fold(None, |acc, v| {
-        Some(match acc {
-            Some(best) => best.max(v),
-            None => v,
+    samples
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(None, |acc, v| {
+            Some(match acc {
+                Some(best) => best.max(v),
+                None => v,
+            })
         })
-    })
 }
 
 /// Geometric mean (for cross-size aggregation).

@@ -25,7 +25,11 @@ impl TextTable {
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
         let header: Vec<String> = header.into_iter().map(Into::into).collect();
         let aligns = vec![Align::Left; header.len()];
-        TextTable { header, aligns, rows: Vec::new() }
+        TextTable {
+            header,
+            aligns,
+            rows: Vec::new(),
+        }
     }
 
     /// Set one column's alignment.
@@ -73,17 +77,18 @@ impl TextTable {
             }
         }
         let mut out = String::new();
-        let render_row = |out: &mut String, cells: &[String], widths: &[usize], aligns: &[Align]| {
-            let mut parts = Vec::with_capacity(cells.len());
-            for ((cell, width), align) in cells.iter().zip(widths).zip(aligns) {
-                let pad = width - cell.chars().count();
-                match align {
-                    Align::Left => parts.push(format!("{cell}{}", " ".repeat(pad))),
-                    Align::Right => parts.push(format!("{}{cell}", " ".repeat(pad))),
+        let render_row =
+            |out: &mut String, cells: &[String], widths: &[usize], aligns: &[Align]| {
+                let mut parts = Vec::with_capacity(cells.len());
+                for ((cell, width), align) in cells.iter().zip(widths).zip(aligns) {
+                    let pad = width - cell.chars().count();
+                    match align {
+                        Align::Left => parts.push(format!("{cell}{}", " ".repeat(pad))),
+                        Align::Right => parts.push(format!("{}{cell}", " ".repeat(pad))),
+                    }
                 }
-            }
-            writeln!(out, "| {} |", parts.join(" | ")).unwrap();
-        };
+                writeln!(out, "| {} |", parts.join(" | ")).unwrap();
+            };
         render_row(&mut out, &self.header, &widths, &self.aligns);
         let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
         writeln!(out, "|-{}-|", rule.join("-|-")).unwrap();

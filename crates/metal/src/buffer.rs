@@ -211,7 +211,9 @@ mod tests {
 
     #[test]
     fn labels_attach() {
-        let buf = Buffer::new(&space(), 4, StorageMode::Shared).unwrap().with_label("matA");
+        let buf = Buffer::new(&space(), 4, StorageMode::Shared)
+            .unwrap()
+            .with_label("matA");
         assert_eq!(buf.label(), "matA");
         assert!(format!("{buf:?}").contains("matA"));
     }

@@ -271,7 +271,9 @@ fn execute_pass(device: &Device, pass: &ComputePass) -> Result<PassReport, Metal
         .map_err(MetalError::BadDispatch)?;
 
     // Price the dispatch.
-    let workload = pass.kernel.workload(device.chip(), &pass.params, output_len);
+    let workload = pass
+        .kernel
+        .workload(device.chip(), &pass.params, output_len);
     let total_threads = pass.threadgroups.count() * pass.threads_per_threadgroup.count();
     let breakdown = device.timing().price(&workload, total_threads);
 
@@ -323,8 +325,8 @@ fn run_functional(
 
     // Round-robin static partition of bands over host threads; each band is
     // a disjoint &mut chunk of the output.
-    let mut per_thread: Vec<Vec<(usize, std::ops::Range<usize>, &mut [f32])>> =
-        (0..threads).map(|_| Vec::new()).collect();
+    type BandTask<'a> = (usize, std::ops::Range<usize>, &'a mut [f32]);
+    let mut per_thread: Vec<Vec<BandTask<'_>>> = (0..threads).map(|_| Vec::new()).collect();
     for (band_index, chunk) in out_slice.chunks_mut(band_len).enumerate() {
         let start = band_index * band_len;
         let range = start..start + chunk.len();
@@ -374,7 +376,10 @@ mod tests {
         ));
         cb.commit().unwrap();
         assert!(cb.wait_until_completed().is_ok());
-        assert!(matches!(cb.commit(), Err(MetalError::InvalidState("commit called twice"))));
+        assert!(matches!(
+            cb.commit(),
+            Err(MetalError::InvalidState("commit called twice"))
+        ));
     }
 
     #[test]
@@ -383,7 +388,9 @@ mod tests {
         let queue = dev.new_command_queue();
         let mut cb = queue.command_buffer();
         let mut enc = cb.compute_command_encoder();
-        let err = enc.dispatch_threadgroups(MtlSize::d2(8, 8), MtlSize::d2(8, 8)).unwrap_err();
+        let err = enc
+            .dispatch_threadgroups(MtlSize::d2(8, 8), MtlSize::d2(8, 8))
+            .unwrap_err();
         assert!(matches!(err, MetalError::IncompletePass(_)));
     }
 
@@ -405,7 +412,8 @@ mod tests {
             enc.set_buffer(0, &buf_a);
             enc.set_buffer(1, &buf_c);
             enc.set_params(KernelParams::with_n(n as u64));
-            enc.dispatch_threadgroups(MtlSize::d1(64), MtlSize::d1(256)).unwrap();
+            enc.dispatch_threadgroups(MtlSize::d1(64), MtlSize::d1(256))
+                .unwrap();
             enc.end_encoding();
         }
         cb.commit().unwrap();
@@ -431,7 +439,8 @@ mod tests {
             enc.set_buffer(0, &buf);
             enc.set_buffer(1, &buf);
             enc.set_params(KernelParams::with_n(128));
-            enc.dispatch_threadgroups(MtlSize::d1(8), MtlSize::d1(16)).unwrap();
+            enc.dispatch_threadgroups(MtlSize::d1(8), MtlSize::d1(16))
+                .unwrap();
         }
         assert!(matches!(cb.commit(), Err(MetalError::BadDispatch(_))));
     }
@@ -449,7 +458,8 @@ mod tests {
             enc.set_compute_pipeline_state(&pipeline);
             enc.set_buffer(1, &buf); // binding 0 left unbound
             enc.set_params(KernelParams::with_n(128));
-            enc.dispatch_threadgroups(MtlSize::d1(8), MtlSize::d1(16)).unwrap();
+            enc.dispatch_threadgroups(MtlSize::d1(8), MtlSize::d1(16))
+                .unwrap();
         }
         assert!(matches!(cb.commit(), Err(MetalError::MissingBinding(0))));
     }
@@ -460,7 +470,9 @@ mod tests {
         let lib = dev.new_default_library();
         let pipeline = lib.pipeline("stream_copy").unwrap();
         let n = 1024usize;
-        let buf_a = dev.new_buffer_with_data(&vec![1.0; n], StorageMode::Shared).unwrap();
+        let buf_a = dev
+            .new_buffer_with_data(&vec![1.0; n], StorageMode::Shared)
+            .unwrap();
         let buf_c = dev.new_buffer(n, StorageMode::Shared).unwrap();
         let queue = dev.new_command_queue();
         let mut cb = queue.command_buffer();
@@ -470,7 +482,8 @@ mod tests {
             enc.set_buffer(0, &buf_a);
             enc.set_buffer(1, &buf_c);
             enc.set_params(KernelParams::with_n(n as u64));
-            enc.dispatch_threadgroups(MtlSize::d1(8), MtlSize::d1(128)).unwrap();
+            enc.dispatch_threadgroups(MtlSize::d1(8), MtlSize::d1(128))
+                .unwrap();
         }
         cb.commit().unwrap();
         let reports = cb.wait_until_completed().unwrap();
@@ -490,7 +503,9 @@ mod tests {
         let mut cb = queue.command_buffer();
         let mut enc = cb.compute_command_encoder();
         enc.set_compute_pipeline_state(&pipeline);
-        let err = enc.dispatch_threadgroups(MtlSize::d1(1), MtlSize::d2(64, 64)).unwrap_err();
+        let err = enc
+            .dispatch_threadgroups(MtlSize::d1(1), MtlSize::d2(64, 64))
+            .unwrap_err();
         assert!(matches!(err, MetalError::BadDispatch(_)));
     }
 }

@@ -63,7 +63,9 @@ impl Device {
                 space: SharedAddressSpace::with_gib(memory_gb),
                 timing: TimingModel::new(gpu, bandwidth),
                 functional_limit: DEFAULT_FUNCTIONAL_LIMIT,
-                host_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+                host_threads: std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4),
             }),
         }
     }
@@ -131,7 +133,11 @@ impl Device {
     /// Allocate a unified buffer in this device's space (for later no-copy
     /// wrapping — the paper's `aligned_alloc` step).
     pub fn allocate_unified(&self, len: usize) -> Result<UnifiedBuffer<f32>, MetalError> {
-        Ok(UnifiedBuffer::allocate(&self.inner.space, len, StorageMode::Shared)?)
+        Ok(UnifiedBuffer::allocate(
+            &self.inner.space,
+            len,
+            StorageMode::Shared,
+        )?)
     }
 
     /// `newCommandQueue`.

@@ -61,11 +61,15 @@ mod tests {
 
     #[test]
     fn displays_are_stable() {
-        assert!(
-            MetalError::NoCopyRequiresPageMultiple { length: 100 }.to_string().contains("100")
-        );
-        assert!(MetalError::UnknownFunction("sgemm".into()).to_string().contains("sgemm"));
-        assert!(MetalError::MissingBinding(2).to_string().contains("index 2"));
+        assert!(MetalError::NoCopyRequiresPageMultiple { length: 100 }
+            .to_string()
+            .contains("100"));
+        assert!(MetalError::UnknownFunction("sgemm".into())
+            .to_string()
+            .contains("sgemm"));
+        assert!(MetalError::MissingBinding(2)
+            .to_string()
+            .contains("index 2"));
         let from: MetalError = UmemError::ZeroLength.into();
         assert!(matches!(from, MetalError::Memory(UmemError::ZeroLength)));
     }

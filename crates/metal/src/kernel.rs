@@ -24,7 +24,10 @@ pub struct KernelParams {
 impl KernelParams {
     /// Params with only one dimension constant (common case).
     pub fn with_n(n: u64) -> Self {
-        KernelParams { uints: vec![n], floats: Vec::new() }
+        KernelParams {
+            uints: vec![n],
+            floats: Vec::new(),
+        }
     }
 
     /// First uint (panics if absent — kernels validate in `validate`).
@@ -99,15 +102,18 @@ pub trait ComputeKernel: Send + Sync {
 
     /// Validate params/bindings before dispatch; return a human-readable
     /// reason on failure.
-    fn validate(&self, params: &KernelParams, input_lens: &[usize], output_len: usize)
-        -> Result<(), String>;
+    fn validate(
+        &self,
+        params: &KernelParams,
+        input_lens: &[usize],
+        output_len: usize,
+    ) -> Result<(), String>;
 
     /// Execute one output band functionally.
     fn execute_band(&self, inv: BandInvocation<'_>);
 
     /// Describe the dispatch for the timing model.
-    fn workload(&self, chip: ChipGeneration, params: &KernelParams, output_len: usize)
-        -> Workload;
+    fn workload(&self, chip: ChipGeneration, params: &KernelParams, output_len: usize) -> Workload;
 }
 
 /// Smooth size ramp used by kernel efficiency curves:
@@ -125,7 +131,10 @@ mod tests {
 
     #[test]
     fn params_accessors() {
-        let p = KernelParams { uints: vec![64, 2], floats: vec![3.0] };
+        let p = KernelParams {
+            uints: vec![64, 2],
+            floats: vec![3.0],
+        };
         assert_eq!(p.n(), 64);
         assert_eq!(p.uint(1), Some(2));
         assert_eq!(p.uint(2), None);

@@ -22,7 +22,9 @@ pub struct ComputePipelineState {
 
 impl std::fmt::Debug for ComputePipelineState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ComputePipelineState").field("function", &self.name).finish()
+        f.debug_struct("ComputePipelineState")
+            .field("function", &self.name)
+            .finish()
     }
 }
 
@@ -51,7 +53,9 @@ pub struct Library {
 impl Library {
     /// An empty library.
     pub fn empty() -> Self {
-        Library { functions: HashMap::new() }
+        Library {
+            functions: HashMap::new(),
+        }
     }
 
     /// The standard library: both custom SGEMM shaders, the four STREAM
@@ -64,7 +68,7 @@ impl Library {
         lib.register(Arc::new(StreamScale));
         lib.register(Arc::new(StreamAdd));
         lib.register(Arc::new(StreamTriad));
-        lib.register(Arc::new(MpsSgemm::default()));
+        lib.register(Arc::new(MpsSgemm));
         lib
     }
 
@@ -77,7 +81,10 @@ impl Library {
     pub fn pipeline(&self, name: &str) -> Result<ComputePipelineState, MetalError> {
         self.functions
             .get_key_value(name)
-            .map(|(k, v)| ComputePipelineState { name: k, kernel: Arc::clone(v) })
+            .map(|(k, v)| ComputePipelineState {
+                name: k,
+                kernel: Arc::clone(v),
+            })
             .ok_or_else(|| MetalError::UnknownFunction(name.to_string()))
     }
 
@@ -119,7 +126,10 @@ mod tests {
     #[test]
     fn unknown_function_errors() {
         let lib = Library::standard();
-        assert!(matches!(lib.pipeline("missing"), Err(MetalError::UnknownFunction(_))));
+        assert!(matches!(
+            lib.pipeline("missing"),
+            Err(MetalError::UnknownFunction(_))
+        ));
     }
 
     #[test]

@@ -47,7 +47,12 @@ impl MatrixDescriptor {
                 columns * 4
             )));
         }
-        Ok(MatrixDescriptor { rows, columns, row_bytes, data_type: DataType::Float32 })
+        Ok(MatrixDescriptor {
+            rows,
+            columns,
+            row_bytes,
+            data_type: DataType::Float32,
+        })
     }
 
     /// Elements the matrix spans.
@@ -99,7 +104,11 @@ pub struct MatrixMultiplication {
 impl MatrixMultiplication {
     /// `initWithDevice:resultRows:resultColumns:interiorColumns:`.
     pub fn new(result_rows: usize, result_columns: usize, interior_columns: usize) -> Self {
-        MatrixMultiplication { result_rows, result_columns, interior_columns }
+        MatrixMultiplication {
+            result_rows,
+            result_columns,
+            interior_columns,
+        }
     }
 
     /// `encodeToCommandBuffer:leftMatrix:rightMatrix:resultMatrix:`.
@@ -134,7 +143,10 @@ impl MatrixMultiplication {
         // MPS picks its own grid: 32×32-thread tiles over the result.
         let lib = Library::standard();
         let pipeline = lib.pipeline("mps_sgemm")?;
-        let tgs = MtlSize::d2((n as u64).div_ceil(32).max(1), (m as u64).div_ceil(32).max(1));
+        let tgs = MtlSize::d2(
+            (n as u64).div_ceil(32).max(1),
+            (m as u64).div_ceil(32).max(1),
+        );
         let tpg = MtlSize::d2(32, 32);
 
         let mut encoder = command_buffer.compute_command_encoder();
@@ -192,16 +204,30 @@ impl ComputeKernel for MpsSgemm {
             return Err("all dimensions must be positive".into());
         }
         if input_lens.len() != 2 {
-            return Err(format!("expected left and right inputs, got {}", input_lens.len()));
+            return Err(format!(
+                "expected left and right inputs, got {}",
+                input_lens.len()
+            ));
         }
         if input_lens[0] < m * k {
-            return Err(format!("left holds {} elements, need {}", input_lens[0], m * k));
+            return Err(format!(
+                "left holds {} elements, need {}",
+                input_lens[0],
+                m * k
+            ));
         }
         if input_lens[1] < k * n {
-            return Err(format!("right holds {} elements, need {}", input_lens[1], k * n));
+            return Err(format!(
+                "right holds {} elements, need {}",
+                input_lens[1],
+                k * n
+            ));
         }
         if output_len < m * n {
-            return Err(format!("result holds {output_len} elements, need {}", m * n));
+            return Err(format!(
+                "result holds {output_len} elements, need {}",
+                m * n
+            ));
         }
         Ok(())
     }
@@ -272,7 +298,10 @@ mod tests {
         let dev = Device::with_memory(ChipGeneration::M1, 1);
         let buf = dev.new_buffer(8, StorageMode::Shared).unwrap();
         let desc = MatrixDescriptor::new(4, 4, 16).unwrap();
-        assert!(matches!(Matrix::new(buf, desc), Err(MetalError::DescriptorMismatch(_))));
+        assert!(matches!(
+            Matrix::new(buf, desc),
+            Err(MetalError::DescriptorMismatch(_))
+        ));
     }
 
     #[test]
@@ -324,10 +353,16 @@ mod tests {
             (ChipGeneration::M3, 2.47),
             (ChipGeneration::M4, 2.90),
         ] {
-            let params = KernelParams { uints: vec![16384, 16384, 16384], floats: vec![] };
+            let params = KernelParams {
+                uints: vec![16384, 16384, 16384],
+                floats: vec![],
+            };
             let w = MpsSgemm.workload(chip, &params, 0);
             let sustained = chip.spec().gpu_tflops_published * w.compute_efficiency;
-            assert!((sustained - anchor).abs() / anchor < 0.03, "{chip}: {sustained} vs {anchor}");
+            assert!(
+                (sustained - anchor).abs() / anchor < 0.03,
+                "{chip}: {sustained} vs {anchor}"
+            );
         }
     }
 
@@ -336,12 +371,24 @@ mod tests {
         use crate::shaders::{SgemmNaive, SgemmTiled};
         for chip in ChipGeneration::ALL {
             for n in [512u64, 2048, 16384] {
-                let mps = MpsSgemm
-                    .workload(chip, &KernelParams { uints: vec![n, n, n], floats: vec![] }, 0);
+                let mps = MpsSgemm.workload(
+                    chip,
+                    &KernelParams {
+                        uints: vec![n, n, n],
+                        floats: vec![],
+                    },
+                    0,
+                );
                 let naive = SgemmNaive.workload(chip, &KernelParams::with_n(n), 0);
                 let tiled = SgemmTiled.workload(chip, &KernelParams::with_n(n), 0);
-                assert!(mps.compute_efficiency > naive.compute_efficiency, "{chip} n={n}");
-                assert!(mps.compute_efficiency > tiled.compute_efficiency, "{chip} n={n}");
+                assert!(
+                    mps.compute_efficiency > naive.compute_efficiency,
+                    "{chip} n={n}"
+                );
+                assert!(
+                    mps.compute_efficiency > tiled.compute_efficiency,
+                    "{chip} n={n}"
+                );
             }
         }
     }

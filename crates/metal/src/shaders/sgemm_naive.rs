@@ -51,7 +51,11 @@ impl ComputeKernel for SgemmNaive {
         if input_lens.len() != 2 {
             return Err(format!("expected A and B inputs, got {}", input_lens.len()));
         }
-        for (name, len) in [("A", input_lens[0]), ("B", input_lens[1]), ("C", output_len)] {
+        for (name, len) in [
+            ("A", input_lens[0]),
+            ("B", input_lens[1]),
+            ("C", output_len),
+        ] {
             if len < n * n {
                 return Err(format!("{name} holds {len} elements, need {}", n * n));
             }
@@ -161,8 +165,7 @@ mod tests {
             (ChipGeneration::M4, 0.54),
         ] {
             let w = SgemmNaive.workload(chip, &KernelParams::with_n(16384), 0);
-            let sustained_tflops =
-                chip.spec().gpu_tflops_published * w.compute_efficiency;
+            let sustained_tflops = chip.spec().gpu_tflops_published * w.compute_efficiency;
             assert!(
                 (sustained_tflops - anchor).abs() / anchor < 0.02,
                 "{chip}: {sustained_tflops} vs {anchor}"
@@ -179,9 +182,17 @@ mod tests {
 
     #[test]
     fn validation() {
-        assert!(SgemmNaive.validate(&KernelParams::with_n(4), &[16, 16], 16).is_ok());
-        assert!(SgemmNaive.validate(&KernelParams::with_n(4), &[15, 16], 16).is_err());
-        assert!(SgemmNaive.validate(&KernelParams::with_n(4), &[16], 16).is_err());
-        assert!(SgemmNaive.validate(&KernelParams::with_n(0), &[16, 16], 16).is_err());
+        assert!(SgemmNaive
+            .validate(&KernelParams::with_n(4), &[16, 16], 16)
+            .is_ok());
+        assert!(SgemmNaive
+            .validate(&KernelParams::with_n(4), &[15, 16], 16)
+            .is_err());
+        assert!(SgemmNaive
+            .validate(&KernelParams::with_n(4), &[16], 16)
+            .is_err());
+        assert!(SgemmNaive
+            .validate(&KernelParams::with_n(0), &[16, 16], 16)
+            .is_err());
     }
 }

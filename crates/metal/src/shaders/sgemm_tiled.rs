@@ -55,7 +55,11 @@ impl ComputeKernel for SgemmTiled {
         if input_lens.len() != 2 {
             return Err(format!("expected A and B inputs, got {}", input_lens.len()));
         }
-        for (name, len) in [("A", input_lens[0]), ("B", input_lens[1]), ("C", output_len)] {
+        for (name, len) in [
+            ("A", input_lens[0]),
+            ("B", input_lens[1]),
+            ("C", output_len),
+        ] {
             if len < n * n {
                 return Err(format!("{name} holds {len} elements, need {}", n * n));
             }
@@ -128,8 +132,12 @@ mod tests {
     #[test]
     fn agrees_with_naive_kernel() {
         for n in [3usize, 16, 33, 64] {
-            let a: Vec<f32> = (0..n * n).map(|i| ((i * 31 + 7) % 13) as f32 * 0.125).collect();
-            let b: Vec<f32> = (0..n * n).map(|i| ((i * 17 + 3) % 11) as f32 * 0.25).collect();
+            let a: Vec<f32> = (0..n * n)
+                .map(|i| ((i * 31 + 7) % 13) as f32 * 0.125)
+                .collect();
+            let b: Vec<f32> = (0..n * n)
+                .map(|i| ((i * 17 + 3) % 11) as f32 * 0.25)
+                .collect();
             let tiled = run(&SgemmTiled, n, &a, &b);
             let naive = run(&SgemmNaive, n, &a, &b);
             for (idx, (x, y)) in tiled.iter().zip(naive.iter()).enumerate() {
@@ -151,7 +159,10 @@ mod tests {
         ] {
             let w = SgemmTiled.workload(chip, &KernelParams::with_n(16384), 0);
             let sustained = chip.spec().gpu_tflops_published * w.compute_efficiency;
-            assert!((sustained - anchor).abs() / anchor < 0.02, "{chip}: {sustained}");
+            assert!(
+                (sustained - anchor).abs() / anchor < 0.02,
+                "{chip}: {sustained}"
+            );
         }
     }
 

@@ -42,7 +42,10 @@ fn validate_stream(
 ) -> Result<(), String> {
     let n = params.uint(0).ok_or("missing n constant")? as usize;
     if input_lens.len() != inputs {
-        return Err(format!("expected {inputs} input buffers, got {}", input_lens.len()));
+        return Err(format!(
+            "expected {inputs} input buffers, got {}",
+            input_lens.len()
+        ));
     }
     for (i, len) in input_lens.iter().enumerate() {
         if *len < n {
@@ -199,7 +202,12 @@ impl ComputeKernel for StreamTriad {
 mod tests {
     use super::*;
 
-    fn invoke(kernel: &dyn ComputeKernel, inputs: &[&[f32]], out_len: usize, params: &KernelParams) -> Vec<f32> {
+    fn invoke(
+        kernel: &dyn ComputeKernel,
+        inputs: &[&[f32]],
+        out_len: usize,
+        params: &KernelParams,
+    ) -> Vec<f32> {
         let mut out = vec![0.0f32; out_len];
         kernel.execute_band(BandInvocation {
             band_index: 0,
@@ -222,7 +230,10 @@ mod tests {
     #[test]
     fn scale_kernel_uses_q() {
         let c = vec![2.0f32; 16];
-        let params = KernelParams { uints: vec![16], floats: vec![0.5] };
+        let params = KernelParams {
+            uints: vec![16],
+            floats: vec![0.5],
+        };
         let out = invoke(&StreamScale, &[&c], 16, &params);
         assert!(out.iter().all(|&v| v == 1.0));
         // Default scalar is 3.0 like stream.c.
@@ -237,7 +248,10 @@ mod tests {
         let out = invoke(&StreamAdd, &[&a, &b], 8, &KernelParams::with_n(8));
         assert!(out.iter().all(|&v| v == 3.0));
 
-        let params = KernelParams { uints: vec![8], floats: vec![3.0] };
+        let params = KernelParams {
+            uints: vec![8],
+            floats: vec![3.0],
+        };
         let out = invoke(&StreamTriad, &[&b, &a], 8, &params);
         assert!(out.iter().all(|&v| v == 5.0)); // 2 + 3*1
     }

@@ -146,7 +146,10 @@ mod tests {
         // Achieved GFLOPS ≈ roofline × η.
         let gflops = w.flops as f64 / t.total.as_secs_f64() / 1e9;
         let expected = m.gpu().gflops_roofline() * 0.68;
-        assert!((gflops - expected).abs() / expected < 0.05, "{gflops} vs {expected}");
+        assert!(
+            (gflops - expected).abs() / expected < 0.05,
+            "{gflops} vs {expected}"
+        );
     }
 
     #[test]
@@ -155,7 +158,9 @@ mod tests {
         let w = gemm_workload(64, 0.68);
         let t = m.price(&w, 64 * 64);
         // At n=64 the overhead dwarfs the busy time.
-        assert!(t.overhead.as_secs_f64() > 10.0 * (t.total.as_secs_f64() - t.overhead.as_secs_f64()));
+        assert!(
+            t.overhead.as_secs_f64() > 10.0 * (t.total.as_secs_f64() - t.overhead.as_secs_f64())
+        );
     }
 
     #[test]

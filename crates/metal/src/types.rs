@@ -16,7 +16,11 @@ pub struct MtlSize {
 impl MtlSize {
     /// A new size.
     pub const fn new(width: u64, height: u64, depth: u64) -> Self {
-        MtlSize { width, height, depth }
+        MtlSize {
+            width,
+            height,
+            depth,
+        }
     }
 
     /// A 1-D size.

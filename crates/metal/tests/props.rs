@@ -47,7 +47,8 @@ fn run_shader(dev: &Device, shader: &str, n: usize, a: &[f32], b: &[f32]) -> Vec
         enc.set_buffer(1, &buf_b);
         enc.set_buffer(2, &buf_c);
         enc.set_params(KernelParams::with_n(n as u64));
-        enc.dispatch_threadgroups(MtlSize::d2(8, 8), MtlSize::d2(8, 8)).unwrap();
+        enc.dispatch_threadgroups(MtlSize::d2(8, 8), MtlSize::d2(8, 8))
+            .unwrap();
         enc.end_encoding();
     }
     cb.commit().unwrap();

@@ -35,7 +35,11 @@ pub fn write_sample(sample: &Sample) -> String {
 
 /// Render a whole run (several SIGINFO windows) to one file body.
 pub fn write_run(samples: &[Sample]) -> String {
-    samples.iter().map(write_sample).collect::<Vec<_>>().join("\n")
+    samples
+        .iter()
+        .map(write_sample)
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 /// A sample recovered from text.
@@ -70,13 +74,18 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn grab_number(line: &str) -> Result<f64, ParseError> {
-    let tail = line.split(':').nth(1).ok_or(ParseError::MissingField("value after ':'"))?;
+    let tail = line
+        .split(':')
+        .nth(1)
+        .ok_or(ParseError::MissingField("value after ':'"))?;
     let digits: String = tail
         .chars()
         .skip_while(|c| !c.is_ascii_digit() && *c != '-' && *c != '.')
         .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
         .collect();
-    digits.parse::<f64>().map_err(|_| ParseError::BadNumber(line.to_string()))
+    digits
+        .parse::<f64>()
+        .map_err(|_| ParseError::BadNumber(line.to_string()))
 }
 
 /// Parse one sample block.
@@ -96,8 +105,11 @@ pub fn parse_sample(text: &str) -> Result<ParsedSample, ParseError> {
                 .skip(1)
                 .take_while(|c| c.is_ascii_digit() || *c == '.')
                 .collect();
-            elapsed_ms =
-                Some(inner.parse::<f64>().map_err(|_| ParseError::BadNumber(line.to_string()))?);
+            elapsed_ms = Some(
+                inner
+                    .parse::<f64>()
+                    .map_err(|_| ParseError::BadNumber(line.to_string()))?,
+            );
         } else if line.starts_with("Combined Power") {
             combined = Some(grab_number(line)?);
         } else if line.starts_with("CPU Power:") {
@@ -148,7 +160,12 @@ mod tests {
         Sample {
             window_start: SimInstant::EPOCH,
             window_end: SimInstant::from_nanos(ms * 1_000_000),
-            powers: RailPowers { cpu_mw: cpu, gpu_mw: gpu, ane_mw: ane, dram_mw: dram },
+            powers: RailPowers {
+                cpu_mw: cpu,
+                gpu_mw: gpu,
+                ane_mw: ane,
+                dram_mw: dram,
+            },
             energy_j: (cpu + gpu + ane + dram) / 1e3 * (ms as f64 / 1e3),
         }
     }
@@ -177,7 +194,10 @@ mod tests {
 
     #[test]
     fn multi_window_run_files() {
-        let run = write_run(&[sample(100.0, 0.0, 0.0, 50.0, 2000), sample(5000.0, 0.0, 0.0, 800.0, 900)]);
+        let run = write_run(&[
+            sample(100.0, 0.0, 0.0, 50.0, 2000),
+            sample(5000.0, 0.0, 0.0, 800.0, 900),
+        ]);
         let parsed = parse_run(&run).unwrap();
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].powers.cpu_mw, 100.0);
@@ -192,7 +212,10 @@ mod tests {
             Err(ParseError::MissingField("Sampled system activity"))
         );
         let text = "*** Sampled system activity (10ms elapsed) ***\nGPU Power: 1 mW\nCombined Power (CPU + GPU + ANE): 1 mW";
-        assert_eq!(parse_sample(text), Err(ParseError::MissingField("CPU Power")));
+        assert_eq!(
+            parse_sample(text),
+            Err(ParseError::MissingField("CPU Power"))
+        );
     }
 
     #[test]

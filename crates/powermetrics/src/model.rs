@@ -157,7 +157,10 @@ impl PowerModel {
     /// Model for a chip in its Table 3 enclosure.
     pub fn of(chip: ChipGeneration) -> Self {
         let device = DeviceModel::of(chip);
-        PowerModel { chip, burst_watts: device.cooling.burst_watts() }
+        PowerModel {
+            chip,
+            burst_watts: device.cooling.burst_watts(),
+        }
     }
 
     /// The chip.
@@ -167,7 +170,12 @@ impl PowerModel {
 
     /// Idle rail powers — the floor the sampler sees between workloads.
     pub fn idle_powers(&self) -> RailPowers {
-        RailPowers { cpu_mw: 45.0, gpu_mw: 12.0, ane_mw: 1.0, dram_mw: 85.0 }
+        RailPowers {
+            cpu_mw: 45.0,
+            gpu_mw: 12.0,
+            ane_mw: 1.0,
+            dram_mw: 85.0,
+        }
     }
 
     /// Rail powers while `class` runs at duty cycle `duty ∈ [0, 1]`
@@ -178,9 +186,19 @@ impl PowerModel {
         let dram = total_mw * dram_fraction(class);
         let engine = total_mw - dram;
         let active = if class.is_gpu() {
-            RailPowers { cpu_mw: 0.0, gpu_mw: engine, ane_mw: 0.0, dram_mw: dram }
+            RailPowers {
+                cpu_mw: 0.0,
+                gpu_mw: engine,
+                ane_mw: 0.0,
+                dram_mw: dram,
+            }
         } else {
-            RailPowers { cpu_mw: engine, gpu_mw: 0.0, ane_mw: 0.0, dram_mw: dram }
+            RailPowers {
+                cpu_mw: engine,
+                gpu_mw: 0.0,
+                ane_mw: 0.0,
+                dram_mw: dram,
+            }
         };
         (self.idle_powers() + active).clamped_to_watts(self.burst_watts)
     }
@@ -264,7 +282,10 @@ mod tests {
         for (chip, tflops, tflops_per_w) in expected {
             let m = PowerModel::of(chip);
             let eff = tflops / m.active_watts(WorkClass::GpuMps);
-            assert!((eff - tflops_per_w).abs() / tflops_per_w < 0.02, "{chip}: {eff}");
+            assert!(
+                (eff - tflops_per_w).abs() / tflops_per_w < 0.02,
+                "{chip}: {eff}"
+            );
         }
     }
 
@@ -279,14 +300,21 @@ mod tests {
         for (chip, tflops, tflops_per_w) in expected {
             let m = PowerModel::of(chip);
             let eff = tflops / m.active_watts(WorkClass::CpuAccelerate);
-            assert!((eff - tflops_per_w).abs() / tflops_per_w < 0.02, "{chip}: {eff}");
+            assert!(
+                (eff - tflops_per_w).abs() / tflops_per_w < 0.02,
+                "{chip}: {eff}"
+            );
         }
     }
 
     #[test]
     fn laptops_dissipate_less_than_their_desktop_successors() {
         // §7: M1/M3 (MacBook Air) lower than M2/M4 (Mac mini), per class.
-        for class in [WorkClass::CpuOmp, WorkClass::GpuNaive, WorkClass::GpuCutlass] {
+        for class in [
+            WorkClass::CpuOmp,
+            WorkClass::GpuNaive,
+            WorkClass::GpuCutlass,
+        ] {
             let w = |chip| PowerModel::of(chip).active_watts(class);
             assert!(w(ChipGeneration::M1) < w(ChipGeneration::M2), "{class:?}");
             assert!(w(ChipGeneration::M3) < w(ChipGeneration::M4), "{class:?}");

@@ -18,8 +18,12 @@ pub struct RailPowers {
 
 impl RailPowers {
     /// All-zero rails.
-    pub const ZERO: RailPowers =
-        RailPowers { cpu_mw: 0.0, gpu_mw: 0.0, ane_mw: 0.0, dram_mw: 0.0 };
+    pub const ZERO: RailPowers = RailPowers {
+        cpu_mw: 0.0,
+        gpu_mw: 0.0,
+        ane_mw: 0.0,
+        dram_mw: 0.0,
+    };
 
     /// The "Combined Power (CPU + GPU + ANE)" line of the tool's output.
     /// (Real powermetrics excludes DRAM from this line; so do we.)
@@ -95,7 +99,12 @@ pub struct RailEnergy {
 
 impl RailEnergy {
     /// Zero energy.
-    pub const ZERO: RailEnergy = RailEnergy { cpu_mj: 0.0, gpu_mj: 0.0, ane_mj: 0.0, dram_mj: 0.0 };
+    pub const ZERO: RailEnergy = RailEnergy {
+        cpu_mj: 0.0,
+        gpu_mj: 0.0,
+        ane_mj: 0.0,
+        dram_mj: 0.0,
+    };
 
     /// Accumulate `powers` held for `secs`.
     pub fn accumulate(&mut self, powers: RailPowers, secs: f64) {
@@ -130,7 +139,12 @@ mod tests {
 
     #[test]
     fn combined_excludes_dram() {
-        let p = RailPowers { cpu_mw: 100.0, gpu_mw: 200.0, ane_mw: 10.0, dram_mw: 50.0 };
+        let p = RailPowers {
+            cpu_mw: 100.0,
+            gpu_mw: 200.0,
+            ane_mw: 10.0,
+            dram_mw: 50.0,
+        };
         assert_eq!(p.combined_mw(), 310.0);
         assert_eq!(p.package_mw(), 360.0);
         assert!((p.package_watts() - 0.36).abs() < 1e-12);
@@ -138,20 +152,33 @@ mod tests {
 
     #[test]
     fn clamp_scales_proportionally() {
-        let p = RailPowers { cpu_mw: 10_000.0, gpu_mw: 20_000.0, ane_mw: 0.0, dram_mw: 10_000.0 };
+        let p = RailPowers {
+            cpu_mw: 10_000.0,
+            gpu_mw: 20_000.0,
+            ane_mw: 0.0,
+            dram_mw: 10_000.0,
+        };
         let clamped = p.clamped_to_watts(20.0);
         assert!((clamped.package_mw() - 20_000.0).abs() < 1e-6);
         // Ratios preserved.
         assert!((clamped.gpu_mw / clamped.cpu_mw - 2.0).abs() < 1e-9);
         // Below-budget rails untouched.
-        let small = RailPowers { cpu_mw: 1000.0, ..RailPowers::ZERO };
+        let small = RailPowers {
+            cpu_mw: 1000.0,
+            ..RailPowers::ZERO
+        };
         assert_eq!(small.clamped_to_watts(20.0), small);
     }
 
     #[test]
     fn energy_accumulates_and_averages() {
         let mut e = RailEnergy::ZERO;
-        let p = RailPowers { cpu_mw: 5000.0, gpu_mw: 1000.0, ane_mw: 0.0, dram_mw: 500.0 };
+        let p = RailPowers {
+            cpu_mw: 5000.0,
+            gpu_mw: 1000.0,
+            ane_mw: 0.0,
+            dram_mw: 500.0,
+        };
         e.accumulate(p, 2.0);
         assert_eq!(e.cpu_mj, 10_000.0);
         let avg = e.average_over(4.0);
@@ -163,7 +190,12 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        let a = RailPowers { cpu_mw: 1.0, gpu_mw: 2.0, ane_mw: 3.0, dram_mw: 4.0 };
+        let a = RailPowers {
+            cpu_mw: 1.0,
+            gpu_mw: 2.0,
+            ane_mw: 3.0,
+            dram_mw: 4.0,
+        };
         let b = a + a;
         assert_eq!(b.cpu_mw, 2.0);
         assert_eq!((a * 3.0).dram_mw, 12.0);

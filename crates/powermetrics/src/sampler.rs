@@ -28,7 +28,11 @@ pub struct Activity {
 impl Activity {
     /// An activity fully busy for `duration`.
     pub fn busy(class: WorkClass, duration: SimDuration) -> Self {
-        Activity { class, duration, duty: 1.0 }
+        Activity {
+            class,
+            duration,
+            duty: 1.0,
+        }
     }
 }
 
@@ -107,7 +111,8 @@ impl Sampler {
             return Err(SamplerError::Stopped);
         }
         let powers = self.model.powers(activity.class, activity.duty);
-        self.energy.accumulate(powers, activity.duration.as_secs_f64());
+        self.energy
+            .accumulate(powers, activity.duration.as_secs_f64());
         self.now = self.now + activity.duration;
         Ok(())
     }
@@ -115,7 +120,11 @@ impl Sampler {
     /// Let the system idle for `duration` (the paper's warm-up and
     /// settle periods).
     pub fn idle(&mut self, duration: SimDuration) -> Result<(), SamplerError> {
-        self.record(Activity { class: WorkClass::Idle, duration, duty: 0.0 })
+        self.record(Activity {
+            class: WorkClass::Idle,
+            duration,
+            duty: 0.0,
+        })
     }
 
     /// SIGINFO: close the current window, emit a sample, reset the
@@ -169,7 +178,11 @@ mod tests {
         s.idle(SimDuration::from_secs_f64(2.0)).unwrap();
         let warmup = s.siginfo().unwrap();
         // The workload window: 1 s of full-tilt MPS.
-        s.record(Activity::busy(WorkClass::GpuMps, SimDuration::from_secs_f64(1.0))).unwrap();
+        s.record(Activity::busy(
+            WorkClass::GpuMps,
+            SimDuration::from_secs_f64(1.0),
+        ))
+        .unwrap();
         let run = s.siginfo().unwrap();
 
         // Warm-up window: idle floor only.
@@ -208,8 +221,11 @@ mod tests {
     #[test]
     fn energy_is_power_times_time() {
         let mut s = sampler();
-        s.record(Activity::busy(WorkClass::CpuAccelerate, SimDuration::from_secs_f64(3.0)))
-            .unwrap();
+        s.record(Activity::busy(
+            WorkClass::CpuAccelerate,
+            SimDuration::from_secs_f64(3.0),
+        ))
+        .unwrap();
         let sample = s.siginfo().unwrap();
         let expected_j = sample.powers.package_mw() / 1e3 * 3.0;
         assert!((sample.energy_j - expected_j).abs() < 1e-6);
@@ -218,7 +234,11 @@ mod tests {
     #[test]
     fn mixed_window_averages_components() {
         let mut s = sampler();
-        s.record(Activity::busy(WorkClass::CpuSingle, SimDuration::from_secs_f64(1.0))).unwrap();
+        s.record(Activity::busy(
+            WorkClass::CpuSingle,
+            SimDuration::from_secs_f64(1.0),
+        ))
+        .unwrap();
         s.idle(SimDuration::from_secs_f64(1.0)).unwrap();
         let sample = s.siginfo().unwrap();
         let model = PowerModel::of(ChipGeneration::M2);

@@ -60,7 +60,10 @@ pub struct PowerSession {
 impl PowerSession {
     /// Session for a chip with the paper's two-second warm-up.
     pub fn new(chip: ChipGeneration) -> Self {
-        PowerSession { model: PowerModel::of(chip), warmup: SimDuration::from_secs_f64(2.0) }
+        PowerSession {
+            model: PowerModel::of(chip),
+            warmup: SimDuration::from_secs_f64(2.0),
+        }
     }
 
     /// Override the warm-up period.
@@ -88,7 +91,11 @@ impl PowerSession {
         sampler.idle(self.warmup)?;
         sampler.siginfo()?;
         // The metered run.
-        sampler.record(Activity { class, duration, duty })?;
+        sampler.record(Activity {
+            class,
+            duration,
+            duty,
+        })?;
         let sample = sampler.siginfo()?;
         sampler.stop();
 
@@ -119,7 +126,11 @@ mod tests {
             .measure(WorkClass::GpuCutlass, SimDuration::from_secs_f64(2.0), 1.0)
             .unwrap();
         // M4 + Cutlass: the paper's ~18.5 W hotspot (± rounding to mW).
-        assert!((reading.package_watts() - 18.5).abs() < 0.3, "{}", reading.package_watts());
+        assert!(
+            (reading.package_watts() - 18.5).abs() < 0.3,
+            "{}",
+            reading.package_watts()
+        );
         assert!(reading.gpu_mw > reading.cpu_mw);
         assert_eq!(reading.window, SimDuration::from_secs_f64(2.0));
     }
@@ -127,8 +138,9 @@ mod tests {
     #[test]
     fn warmup_is_excluded_from_the_window() {
         let session = PowerSession::new(ChipGeneration::M1);
-        let reading =
-            session.measure(WorkClass::CpuSingle, SimDuration::from_secs_f64(0.5), 1.0).unwrap();
+        let reading = session
+            .measure(WorkClass::CpuSingle, SimDuration::from_secs_f64(0.5), 1.0)
+            .unwrap();
         assert_eq!(reading.window, SimDuration::from_secs_f64(0.5));
         // Energy is power × window, not power × (warmup + window).
         let implied_w = reading.energy_j / reading.window.as_secs_f64();
@@ -139,8 +151,9 @@ mod tests {
     fn gflops_per_watt_matches_figure4_for_mps() {
         // 1 second of M3 MPS at its measured 2.47 TFLOPS.
         let session = PowerSession::new(ChipGeneration::M3);
-        let reading =
-            session.measure(WorkClass::GpuMps, SimDuration::from_secs_f64(1.0), 1.0).unwrap();
+        let reading = session
+            .measure(WorkClass::GpuMps, SimDuration::from_secs_f64(1.0), 1.0)
+            .unwrap();
         let flops = 2.47e12 as u64;
         let eff = reading.gflops_per_watt(flops);
         // Paper: 0.46 TFLOPS/W on M3. Idle floor + mW rounding cost a bit.
@@ -151,7 +164,11 @@ mod tests {
     fn cpu_classes_report_cpu_rail() {
         let session = PowerSession::new(ChipGeneration::M2);
         let reading = session
-            .measure(WorkClass::CpuAccelerate, SimDuration::from_secs_f64(1.0), 1.0)
+            .measure(
+                WorkClass::CpuAccelerate,
+                SimDuration::from_secs_f64(1.0),
+                1.0,
+            )
             .unwrap();
         assert!(reading.cpu_mw > 10.0 * reading.gpu_mw.max(1.0));
     }
@@ -161,7 +178,9 @@ mod tests {
         let session = PowerSession::new(ChipGeneration::M1);
         let err = session.measure(WorkClass::Idle, SimDuration::ZERO, 0.0);
         assert_eq!(err.unwrap_err(), SamplerError::EmptyWindow);
-        let reading = session.measure(WorkClass::GpuMps, SimDuration::from_nanos(1), 0.0).unwrap();
+        let reading = session
+            .measure(WorkClass::GpuMps, SimDuration::from_nanos(1), 0.0)
+            .unwrap();
         assert!(reading.package_watts() < 0.25, "idle duty gives the floor");
     }
 }

@@ -145,8 +145,12 @@ mod tests {
     #[test]
     fn bandwidth_multiplier_decays_outward() {
         let h = hierarchy();
-        let tiers =
-            [Residency::L1, Residency::L2, Residency::Slc, Residency::Dram];
+        let tiers = [
+            Residency::L1,
+            Residency::L2,
+            Residency::Slc,
+            Residency::Dram,
+        ];
         let mults: Vec<f64> = tiers.iter().map(|t| h.bandwidth_multiplier(*t)).collect();
         for pair in mults.windows(2) {
             assert!(pair[0] > pair[1]);

@@ -23,8 +23,12 @@ pub enum ChipGeneration {
 
 impl ChipGeneration {
     /// All generations in release order — the x-axis of every paper figure.
-    pub const ALL: [ChipGeneration; 4] =
-        [ChipGeneration::M1, ChipGeneration::M2, ChipGeneration::M3, ChipGeneration::M4];
+    pub const ALL: [ChipGeneration; 4] = [
+        ChipGeneration::M1,
+        ChipGeneration::M2,
+        ChipGeneration::M3,
+        ChipGeneration::M4,
+    ];
 
     /// Marketing name ("M1" … "M4").
     pub const fn name(&self) -> &'static str {
@@ -287,14 +291,22 @@ static M1: ChipSpec = ChipSpec {
     l2_p_mib: 12,
     l2_e_mib: 4,
     slc_mib: 8,
-    amx: AmxCapabilities { fp16: true, fp32: true, fp64: true, bf16: false, sme: false },
+    amx: AmxCapabilities {
+        fp16: true,
+        fp32: true,
+        fp64: true,
+        bf16: false,
+        sme: false,
+    },
     gpu_cores_min: 7,
     gpu_cores_max: 8,
     gpu_clock_ghz: 1.27,
     gpu_tflops_published: 2.61,
     neural_engine_cores: 16,
     memory: MemoryTechnology::Lpddr4x,
-    memory_options: MemoryOptions { capacities_gb: &[8, 16] },
+    memory_options: MemoryOptions {
+        capacities_gb: &[8, 16],
+    },
     memory_bandwidth_gbs: 67.0,
     p_core_name: "Firestorm",
     e_core_name: "Icestorm",
@@ -314,14 +326,22 @@ static M2: ChipSpec = ChipSpec {
     l2_p_mib: 16,
     l2_e_mib: 4,
     slc_mib: 8,
-    amx: AmxCapabilities { fp16: true, fp32: true, fp64: true, bf16: true, sme: false },
+    amx: AmxCapabilities {
+        fp16: true,
+        fp32: true,
+        fp64: true,
+        bf16: true,
+        sme: false,
+    },
     gpu_cores_min: 8,
     gpu_cores_max: 10,
     gpu_clock_ghz: 1.39,
     gpu_tflops_published: 3.57,
     neural_engine_cores: 16,
     memory: MemoryTechnology::Lpddr5,
-    memory_options: MemoryOptions { capacities_gb: &[8, 16, 24] },
+    memory_options: MemoryOptions {
+        capacities_gb: &[8, 16, 24],
+    },
     memory_bandwidth_gbs: 100.0,
     p_core_name: "Avalanche",
     e_core_name: "Blizzard",
@@ -341,14 +361,22 @@ static M3: ChipSpec = ChipSpec {
     l2_p_mib: 16,
     l2_e_mib: 4,
     slc_mib: 8,
-    amx: AmxCapabilities { fp16: true, fp32: true, fp64: true, bf16: true, sme: false },
+    amx: AmxCapabilities {
+        fp16: true,
+        fp32: true,
+        fp64: true,
+        bf16: true,
+        sme: false,
+    },
     gpu_cores_min: 8,
     gpu_cores_max: 10,
     gpu_clock_ghz: 1.38,
     gpu_tflops_published: 3.53,
     neural_engine_cores: 16,
     memory: MemoryTechnology::Lpddr5,
-    memory_options: MemoryOptions { capacities_gb: &[8, 16, 24] },
+    memory_options: MemoryOptions {
+        capacities_gb: &[8, 16, 24],
+    },
     memory_bandwidth_gbs: 100.0,
     p_core_name: "Everest",
     e_core_name: "Sawtooth",
@@ -368,14 +396,22 @@ static M4: ChipSpec = ChipSpec {
     l2_p_mib: 16,
     l2_e_mib: 4,
     slc_mib: 12,
-    amx: AmxCapabilities { fp16: true, fp32: true, fp64: true, bf16: true, sme: true },
+    amx: AmxCapabilities {
+        fp16: true,
+        fp32: true,
+        fp64: true,
+        bf16: true,
+        sme: true,
+    },
     gpu_cores_min: 8,
     gpu_cores_max: 10,
     gpu_clock_ghz: 1.47,
     gpu_tflops_published: 4.26,
     neural_engine_cores: 16,
     memory: MemoryTechnology::Lpddr5x,
-    memory_options: MemoryOptions { capacities_gb: &[16, 24, 32] },
+    memory_options: MemoryOptions {
+        capacities_gb: &[16, 24, 32],
+    },
     memory_bandwidth_gbs: 120.0,
     p_core_name: "M4 P-core",
     e_core_name: "M4 E-core",
@@ -487,7 +523,10 @@ mod tests {
     #[test]
     fn table1_row_process_technology() {
         assert_eq!(ChipSpec::of(ChipGeneration::M1).process.table_label(), "5");
-        assert_eq!(ChipSpec::of(ChipGeneration::M2).process.table_label(), "5/4");
+        assert_eq!(
+            ChipSpec::of(ChipGeneration::M2).process.table_label(),
+            "5/4"
+        );
         assert_eq!(ChipSpec::of(ChipGeneration::M3).process.nanometres(), 3);
         assert_eq!(ChipSpec::of(ChipGeneration::M4).process.nanometres(), 3);
     }
@@ -515,9 +554,14 @@ mod tests {
 
     #[test]
     fn table1_row_clock_frequencies() {
-        let clocks: Vec<(f64, f64)> =
-            ChipSpec::all().iter().map(|s| (s.p_clock_ghz, s.e_clock_ghz)).collect();
-        assert_eq!(clocks, vec![(3.2, 2.06), (3.5, 2.42), (4.05, 2.75), (4.4, 2.85)]);
+        let clocks: Vec<(f64, f64)> = ChipSpec::all()
+            .iter()
+            .map(|s| (s.p_clock_ghz, s.e_clock_ghz))
+            .collect();
+        assert_eq!(
+            clocks,
+            vec![(3.2, 2.06), (3.5, 2.42), (4.05, 2.75), (4.4, 2.85)]
+        );
     }
 
     #[test]
@@ -543,9 +587,18 @@ mod tests {
     #[test]
     fn table1_row_amx_capabilities() {
         assert_eq!(ChipGeneration::M1.spec().amx.table_label(), "FP16,32,64");
-        assert_eq!(ChipGeneration::M2.spec().amx.table_label(), "FP16,32,64/BF16");
-        assert_eq!(ChipGeneration::M3.spec().amx.table_label(), "FP16,32,64/BF16");
-        assert_eq!(ChipGeneration::M4.spec().amx.table_label(), "FP16,32,64/BF16 (SME)");
+        assert_eq!(
+            ChipGeneration::M2.spec().amx.table_label(),
+            "FP16,32,64/BF16"
+        );
+        assert_eq!(
+            ChipGeneration::M3.spec().amx.table_label(),
+            "FP16,32,64/BF16"
+        );
+        assert_eq!(
+            ChipGeneration::M4.spec().amx.table_label(),
+            "FP16,32,64/BF16 (SME)"
+        );
     }
 
     #[test]
@@ -554,31 +607,48 @@ mod tests {
             .iter()
             .map(|s| (s.gpu_cores_min, s.gpu_cores_max, s.gpu_clock_ghz))
             .collect();
-        assert_eq!(gpu, vec![(7, 8, 1.27), (8, 10, 1.39), (8, 10, 1.38), (8, 10, 1.47)]);
+        assert_eq!(
+            gpu,
+            vec![(7, 8, 1.27), (8, 10, 1.39), (8, 10, 1.38), (8, 10, 1.47)]
+        );
     }
 
     #[test]
     fn table1_row_theoretical_tflops_range_matches_alu_model_m1_to_m3() {
         // Table 1 publishes 2.29–2.61 (M1), 2.86–3.57 (M2), 2.82–3.53 (M3);
         // the ALU model must land within 1.5% of the max-config numbers.
-        for (gen, published_max) in
-            [(ChipGeneration::M1, 2.61), (ChipGeneration::M2, 3.57), (ChipGeneration::M3, 3.53)]
-        {
+        for (gen, published_max) in [
+            (ChipGeneration::M1, 2.61),
+            (ChipGeneration::M2, 3.57),
+            (ChipGeneration::M3, 3.53),
+        ] {
             let derived = gen.spec().gpu_tflops_from_alus();
             let rel = (derived - published_max).abs() / published_max;
-            assert!(rel < 0.015, "{gen}: derived {derived:.3} vs published {published_max}");
+            assert!(
+                rel < 0.015,
+                "{gen}: derived {derived:.3} vs published {published_max}"
+            );
         }
         // Min-config sanity: M1 7-core ≈ 2.28 TFLOPS.
         let m1_min = ChipGeneration::M1.spec().gpu_tflops_min_config();
-        assert!((m1_min - 2.29).abs() / 2.29 < 0.01, "M1 min config {m1_min:.3}");
+        assert!(
+            (m1_min - 2.29).abs() / 2.29 < 0.01,
+            "M1 min config {m1_min:.3}"
+        );
     }
 
     #[test]
     fn m4_published_tflops_implies_boost_clock() {
         let spec = ChipGeneration::M4.spec();
         let implied = spec.gpu_implied_clock_ghz();
-        assert!(implied > spec.gpu_clock_ghz, "published 4.26 TFLOPS implies boost");
-        assert!((implied - 1.664).abs() < 0.01, "implied clock {implied:.3} GHz");
+        assert!(
+            implied > spec.gpu_clock_ghz,
+            "published 4.26 TFLOPS implies boost"
+        );
+        assert!(
+            (implied - 1.664).abs() < 0.01,
+            "implied clock {implied:.3} GHz"
+        );
     }
 
     #[test]
@@ -594,7 +664,10 @@ mod tests {
         assert_eq!(ChipGeneration::M2.spec().memory.name(), "LPDDR5");
         assert_eq!(ChipGeneration::M3.spec().memory.name(), "LPDDR5");
         assert_eq!(ChipGeneration::M4.spec().memory.name(), "LPDDR5X");
-        let bw: Vec<f64> = ChipSpec::all().iter().map(|s| s.memory_bandwidth_gbs).collect();
+        let bw: Vec<f64> = ChipSpec::all()
+            .iter()
+            .map(|s| s.memory_bandwidth_gbs)
+            .collect();
         assert_eq!(bw, vec![67.0, 100.0, 100.0, 120.0]);
         assert_eq!(ChipGeneration::M1.spec().memory_options.max_gb(), 16);
         assert_eq!(ChipGeneration::M2.spec().memory_options.max_gb(), 24);
@@ -627,9 +700,15 @@ mod tests {
     fn parse_round_trips() {
         for gen in ChipGeneration::ALL {
             assert_eq!(ChipGeneration::parse(gen.name()).unwrap(), gen);
-            assert_eq!(ChipGeneration::parse(&gen.name().to_lowercase()).unwrap(), gen);
+            assert_eq!(
+                ChipGeneration::parse(&gen.name().to_lowercase()).unwrap(),
+                gen
+            );
         }
-        assert!(matches!(ChipGeneration::parse("M99"), Err(SocError::UnknownChip(_))));
+        assert!(matches!(
+            ChipGeneration::parse("M99"),
+            Err(SocError::UnknownChip(_))
+        ));
     }
 
     #[test]

@@ -20,7 +20,9 @@ impl DvfsLadder {
     /// The ladder used by M-series performance clusters (architectural
     /// approximation: idle step plus evenly spread performance states).
     pub fn m_series() -> Self {
-        DvfsLadder { fractions: vec![0.30, 0.45, 0.60, 0.72, 0.84, 0.92, 1.00] }
+        DvfsLadder {
+            fractions: vec![0.30, 0.45, 0.60, 0.72, 0.84, 0.92, 1.00],
+        }
     }
 
     /// Build a custom ladder; fractions are sorted, deduplicated, clamped to
@@ -74,7 +76,10 @@ pub struct Governor {
 impl Governor {
     /// Governor on the given ladder, uncapped.
     pub fn new(ladder: DvfsLadder) -> Self {
-        Governor { ladder, thermal_cap: 1.0 }
+        Governor {
+            ladder,
+            thermal_cap: 1.0,
+        }
     }
 
     /// Apply a thermal cap (fraction of max clock allowed).

@@ -8,9 +8,7 @@
 //! do they get?" macOS schedules demanding threads onto P-cores first, then
 //! spills onto E-cores — the model follows that policy.
 
-use crate::chip::{
-    ChipSpec, E_CORE_NEON_PIPES, NEON_F32_FLOPS_PER_PIPE_CYCLE, P_CORE_NEON_PIPES,
-};
+use crate::chip::{ChipSpec, E_CORE_NEON_PIPES, NEON_F32_FLOPS_PER_PIPE_CYCLE, P_CORE_NEON_PIPES};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -125,7 +123,11 @@ impl CpuComplex {
         let p = threads.min(self.p_cluster.cores);
         let remaining = threads - p;
         let e = remaining.min(self.e_cluster.cores);
-        ThreadPlacement { p_threads: p, e_threads: e, oversubscribed: remaining - e }
+        ThreadPlacement {
+            p_threads: p,
+            e_threads: e,
+            oversubscribed: remaining - e,
+        }
     }
 
     /// Aggregate FP32 GFLOPS available to a `threads`-wide workload.
@@ -187,19 +189,35 @@ mod tests {
         let c = m1();
         assert_eq!(
             c.place_threads(2),
-            ThreadPlacement { p_threads: 2, e_threads: 0, oversubscribed: 0 }
+            ThreadPlacement {
+                p_threads: 2,
+                e_threads: 0,
+                oversubscribed: 0
+            }
         );
         assert_eq!(
             c.place_threads(4),
-            ThreadPlacement { p_threads: 4, e_threads: 0, oversubscribed: 0 }
+            ThreadPlacement {
+                p_threads: 4,
+                e_threads: 0,
+                oversubscribed: 0
+            }
         );
         assert_eq!(
             c.place_threads(6),
-            ThreadPlacement { p_threads: 4, e_threads: 2, oversubscribed: 0 }
+            ThreadPlacement {
+                p_threads: 4,
+                e_threads: 2,
+                oversubscribed: 0
+            }
         );
         assert_eq!(
             c.place_threads(12),
-            ThreadPlacement { p_threads: 4, e_threads: 4, oversubscribed: 4 }
+            ThreadPlacement {
+                p_threads: 4,
+                e_threads: 4,
+                oversubscribed: 4
+            }
         );
     }
 

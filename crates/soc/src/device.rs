@@ -166,8 +166,11 @@ mod tests {
 
     #[test]
     fn laptops_are_m1_and_m3() {
-        let laptops: Vec<ChipGeneration> =
-            DeviceModel::all().iter().filter(|d| d.is_laptop()).map(|d| d.chip).collect();
+        let laptops: Vec<ChipGeneration> = DeviceModel::all()
+            .iter()
+            .filter(|d| d.is_laptop())
+            .map(|d| d.chip)
+            .collect();
         assert_eq!(laptops, vec![ChipGeneration::M1, ChipGeneration::M3]);
     }
 

@@ -57,7 +57,10 @@ mod tests {
             parameter: "threads",
             reason: "must be non-zero".into(),
         };
-        assert_eq!(err.to_string(), "invalid parameter `threads`: must be non-zero");
+        assert_eq!(
+            err.to_string(),
+            "invalid parameter `threads`: must be non-zero"
+        );
     }
 
     #[test]

@@ -96,7 +96,10 @@ pub fn all() -> Vec<ReferenceSystem> {
             name: "Nvidia GH200 (Grace CPU)",
             kind: ReferenceKind::Cpu,
             // §5.1: "the GH200 attained 310 GB/s (81%) when using CPU memory".
-            bandwidth: vec![BandwidthPoint { theoretical_gbs: 382.7, measured_gbs: 310.0 }],
+            bandwidth: vec![BandwidthPoint {
+                theoretical_gbs: 382.7,
+                measured_gbs: 310.0,
+            }],
             compute: vec![],
             gflops_per_watt: None,
             power_watts: None,
@@ -106,7 +109,10 @@ pub fn all() -> Vec<ReferenceSystem> {
             name: "Nvidia GH200 (Hopper GPU)",
             kind: ReferenceKind::Gpu,
             // §5.1: "3700 GB/s (94%) using HBM3".
-            bandwidth: vec![BandwidthPoint { theoretical_gbs: 3936.0, measured_gbs: 3700.0 }],
+            bandwidth: vec![BandwidthPoint {
+                theoretical_gbs: 3936.0,
+                measured_gbs: 3700.0,
+            }],
             compute: vec![
                 // §5.2: cublasSgemm 41 TFLOPS = 61% of peak on CUDA cores.
                 ComputePoint {
@@ -130,7 +136,10 @@ pub fn all() -> Vec<ReferenceSystem> {
             kind: ReferenceKind::Gpu,
             // §5.1: "observed to reach 85% of its theoretical peak at only
             // 28 GB/s" — a host-link STREAM figure from [21].
-            bandwidth: vec![BandwidthPoint { theoretical_gbs: 32.9, measured_gbs: 28.0 }],
+            bandwidth: vec![BandwidthPoint {
+                theoretical_gbs: 32.9,
+                measured_gbs: 28.0,
+            }],
             compute: vec![],
             gflops_per_watt: None,
             power_watts: None,
@@ -257,9 +266,7 @@ mod tests {
         for r in all() {
             assert!(!r.provenance.is_empty(), "{}", r.name);
             assert!(
-                !r.bandwidth.is_empty()
-                    || !r.compute.is_empty()
-                    || r.gflops_per_watt.is_some(),
+                !r.bandwidth.is_empty() || !r.compute.is_empty() || r.gflops_per_watt.is_some(),
                 "{} carries no data",
                 r.name
             );
@@ -268,9 +275,16 @@ mod tests {
 
     #[test]
     fn zero_theoretical_yields_zero_efficiency() {
-        let bw = BandwidthPoint { theoretical_gbs: 0.0, measured_gbs: 10.0 };
+        let bw = BandwidthPoint {
+            theoretical_gbs: 0.0,
+            measured_gbs: 10.0,
+        };
         assert_eq!(bw.efficiency(), 0.0);
-        let c = ComputePoint { theoretical_tflops: 0.0, measured_tflops: 1.0, regime: "x" };
+        let c = ComputePoint {
+            theoretical_tflops: 0.0,
+            measured_tflops: 1.0,
+            regime: "x",
+        };
         assert_eq!(c.efficiency(), 0.0);
     }
 }

@@ -157,18 +157,34 @@ mod tests {
         let mut t = ThermalModel::new(CoolingKind::Passive);
         // Run at exactly the sustained wattage for a long time.
         for _ in 0..10_000 {
-            t.integrate(CoolingKind::Passive.sustained_watts(), SimDuration::from_secs_f64(1.0));
+            t.integrate(
+                CoolingKind::Passive.sustained_watts(),
+                SimDuration::from_secs_f64(1.0),
+            );
         }
-        assert!(t.dvfs_cap() > 0.9, "cap {} at {:.1}C", t.dvfs_cap(), t.temperature_c());
+        assert!(
+            t.dvfs_cap() > 0.9,
+            "cap {} at {:.1}C",
+            t.dvfs_cap(),
+            t.temperature_c()
+        );
     }
 
     #[test]
     fn burst_power_eventually_throttles_passive() {
         let mut t = ThermalModel::new(CoolingKind::Passive);
         for _ in 0..10_000 {
-            t.integrate(CoolingKind::Passive.burst_watts(), SimDuration::from_secs_f64(1.0));
+            t.integrate(
+                CoolingKind::Passive.burst_watts(),
+                SimDuration::from_secs_f64(1.0),
+            );
         }
-        assert!(t.dvfs_cap() < 1.0, "cap {} at {:.1}C", t.dvfs_cap(), t.temperature_c());
+        assert!(
+            t.dvfs_cap() < 1.0,
+            "cap {} at {:.1}C",
+            t.dvfs_cap(),
+            t.temperature_c()
+        );
     }
 
     #[test]

@@ -36,12 +36,16 @@ impl SimDuration {
 
     /// Construct from integer microseconds.
     pub const fn from_micros(micros: u64) -> Self {
-        SimDuration { nanos: micros * 1_000 }
+        SimDuration {
+            nanos: micros * 1_000,
+        }
     }
 
     /// Construct from integer milliseconds.
     pub const fn from_millis(millis: u64) -> Self {
-        SimDuration { nanos: millis * 1_000_000 }
+        SimDuration {
+            nanos: millis * 1_000_000,
+        }
     }
 
     /// Construct from fractional seconds, saturating at the `u64` range and
@@ -54,7 +58,9 @@ impl SimDuration {
         if nanos >= u64::MAX as f64 {
             SimDuration { nanos: u64::MAX }
         } else {
-            SimDuration { nanos: nanos.round() as u64 }
+            SimDuration {
+                nanos: nanos.round() as u64,
+            }
         }
     }
 
@@ -85,7 +91,9 @@ impl SimDuration {
 
     /// Saturating subtraction.
     pub const fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { nanos: self.nanos.saturating_sub(rhs.nanos) }
+        SimDuration {
+            nanos: self.nanos.saturating_sub(rhs.nanos),
+        }
     }
 
     /// Checked addition.
@@ -118,7 +126,9 @@ impl SimDuration {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { nanos: self.nanos.saturating_add(rhs.nanos) }
+        SimDuration {
+            nanos: self.nanos.saturating_add(rhs.nanos),
+        }
     }
 }
 
@@ -131,7 +141,9 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { nanos: self.nanos.saturating_sub(rhs.nanos) }
+        SimDuration {
+            nanos: self.nanos.saturating_sub(rhs.nanos),
+        }
     }
 }
 
@@ -144,7 +156,9 @@ impl SubAssign for SimDuration {
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration { nanos: self.nanos.saturating_mul(rhs) }
+        SimDuration {
+            nanos: self.nanos.saturating_mul(rhs),
+        }
     }
 }
 
@@ -158,7 +172,9 @@ impl Mul<f64> for SimDuration {
 impl Div<u64> for SimDuration {
     type Output = SimDuration;
     fn div(self, rhs: u64) -> SimDuration {
-        SimDuration { nanos: self.nanos / rhs.max(1) }
+        SimDuration {
+            nanos: self.nanos / rhs.max(1),
+        }
     }
 }
 
@@ -215,7 +231,9 @@ impl SimInstant {
 impl Add<SimDuration> for SimInstant {
     type Output = SimInstant;
     fn add(self, rhs: SimDuration) -> SimInstant {
-        SimInstant { nanos: self.nanos.saturating_add(rhs.as_nanos()) }
+        SimInstant {
+            nanos: self.nanos.saturating_add(rhs.as_nanos()),
+        }
     }
 }
 
@@ -283,14 +301,20 @@ mod tests {
     fn from_secs_f64_clamps_pathological_inputs() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY).as_nanos(), u64::MAX);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::INFINITY).as_nanos(),
+            u64::MAX
+        );
     }
 
     #[test]
     fn arithmetic_saturates() {
         let max = SimDuration::from_nanos(u64::MAX);
         assert_eq!((max + SimDuration::from_nanos(1)).as_nanos(), u64::MAX);
-        assert_eq!(SimDuration::ZERO - SimDuration::from_nanos(5), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::ZERO - SimDuration::from_nanos(5),
+            SimDuration::ZERO
+        );
         assert!(max.checked_add(SimDuration::from_nanos(1)).is_none());
     }
 
@@ -325,8 +349,7 @@ mod tests {
 
     #[test]
     fn durations_sum() {
-        let total: SimDuration =
-            (1..=4).map(SimDuration::from_nanos).sum();
+        let total: SimDuration = (1..=4).map(SimDuration::from_nanos).sum();
         assert_eq!(total.as_nanos(), 10);
     }
 

@@ -42,7 +42,12 @@ impl CpuStreamConfig {
 
     /// A small functional configuration for tests and examples.
     pub fn functional_small() -> Self {
-        CpuStreamConfig { elements: 200_000, reps: 3, functional: true, noise_amplitude: 0.05 }
+        CpuStreamConfig {
+            elements: 200_000,
+            reps: 3,
+            functional: true,
+            noise_amplitude: 0.05,
+        }
     }
 }
 
@@ -62,7 +67,11 @@ impl CpuStream {
 
     /// Benchmark with an explicit configuration.
     pub fn with_config(chip: ChipGeneration, config: CpuStreamConfig) -> Self {
-        CpuStream { chip, model: BandwidthModel::of(chip), config }
+        CpuStream {
+            chip,
+            model: BandwidthModel::of(chip),
+            config,
+        }
     }
 
     /// The configuration in effect.
@@ -95,7 +104,9 @@ impl CpuStream {
             for _ in 0..iterations {
                 arrays.run_iteration(total_cores as usize);
             }
-            arrays.validate(iterations).expect("STREAM validation failed");
+            arrays
+                .validate(iterations)
+                .expect("STREAM validation failed");
             true
         } else {
             false
@@ -151,11 +162,19 @@ mod tests {
 
     #[test]
     fn best_bandwidth_matches_figure1_anchors() {
-        let expected = [(ChipGeneration::M1, 59.0), (ChipGeneration::M2, 78.0),
-                        (ChipGeneration::M3, 92.0), (ChipGeneration::M4, 103.0)];
+        let expected = [
+            (ChipGeneration::M1, 59.0),
+            (ChipGeneration::M2, 78.0),
+            (ChipGeneration::M3, 92.0),
+            (ChipGeneration::M4, 103.0),
+        ];
         for (chip, gbs) in expected {
             let run = CpuStream::new(chip).run();
-            assert!((run.best_gbs() - gbs).abs() / gbs < 0.01, "{chip}: {}", run.best_gbs());
+            assert!(
+                (run.best_gbs() - gbs).abs() / gbs < 0.01,
+                "{chip}: {}",
+                run.best_gbs()
+            );
         }
     }
 
@@ -173,7 +192,11 @@ mod tests {
         let run = CpuStream::new(ChipGeneration::M2).run();
         let copy = run.kernel(StreamKernelKind::Copy).unwrap().best_gbs;
         let triad = run.kernel(StreamKernelKind::Triad).unwrap().best_gbs;
-        assert!((20.0..=30.0).contains(&(triad - copy)), "gap {}", triad - copy);
+        assert!(
+            (20.0..=30.0).contains(&(triad - copy)),
+            "gap {}",
+            triad - copy
+        );
     }
 
     #[test]

@@ -99,14 +99,21 @@ impl GpuStream {
         let triad = lib.pipeline("stream_triad")?;
 
         // stream.c initialization, f32.
-        let buf_a = self.device.new_buffer_with_data(&vec![1.0f32; n], StorageMode::Shared)?;
-        let buf_b = self.device.new_buffer_with_data(&vec![2.0f32; n], StorageMode::Shared)?;
+        let buf_a = self
+            .device
+            .new_buffer_with_data(&vec![1.0f32; n], StorageMode::Shared)?;
+        let buf_b = self
+            .device
+            .new_buffer_with_data(&vec![2.0f32; n], StorageMode::Shared)?;
         let buf_c = self.device.new_buffer(n, StorageMode::Shared)?;
 
         let queue = self.device.new_command_queue();
         let grid = MtlSize::d1(self.config.threadgroups);
         let tpg = MtlSize::d1(self.config.threads_per_threadgroup);
-        let params = KernelParams { uints: vec![n as u64], floats: vec![crate::STREAM_SCALAR as f32] };
+        let params = KernelParams {
+            uints: vec![n as u64],
+            floats: vec![crate::STREAM_SCALAR as f32],
+        };
 
         // Collect per-kernel durations across reps.
         let mut durations: Vec<Vec<SimDuration>> = vec![Vec::new(); 4];
@@ -159,7 +166,11 @@ impl GpuStream {
             let a = buf_a.read_to_vec()?;
             let b = buf_b.read_to_vec()?;
             let c = buf_c.read_to_vec()?;
-            for (name, arr, want) in [("a", &a, expected.0), ("b", &b, expected.1), ("c", &c, expected.2)] {
+            for (name, arr, want) in [
+                ("a", &a, expected.0),
+                ("b", &b, expected.1),
+                ("c", &c, expected.2),
+            ] {
                 for (i, &v) in arr.iter().enumerate() {
                     let err = ((v - want) / want).abs();
                     assert!(err < 1e-4, "GPU STREAM {name}[{i}] = {v}, expected {want}");
@@ -228,8 +239,12 @@ mod tests {
 
     #[test]
     fn best_bandwidth_matches_figure1_anchors() {
-        let expected = [(ChipGeneration::M1, 60.0), (ChipGeneration::M2, 91.0),
-                        (ChipGeneration::M3, 92.0), (ChipGeneration::M4, 100.0)];
+        let expected = [
+            (ChipGeneration::M1, 60.0),
+            (ChipGeneration::M2, 91.0),
+            (ChipGeneration::M3, 92.0),
+            (ChipGeneration::M4, 100.0),
+        ];
         for (chip, gbs) in expected {
             let run = GpuStream::new(chip).run().unwrap();
             assert!(
@@ -269,6 +284,9 @@ mod tests {
         let run = GpuStream::new(ChipGeneration::M4).run().unwrap();
         let copy = run.kernel(StreamKernelKind::Copy).unwrap();
         let add = run.kernel(StreamKernelKind::Add).unwrap();
-        assert!(add.min_time > copy.min_time, "3 arrays beat 2 arrays in time");
+        assert!(
+            add.min_time > copy.min_time,
+            "3 arrays beat 2 arrays in time"
+        );
     }
 }

@@ -45,9 +45,15 @@ impl StreamArrays {
     pub fn run_iteration(&mut self, threads: usize) {
         let threads = threads.max(1);
         parallel_zip1(&self.a, &mut self.c, threads, |a, c| *c = *a);
-        parallel_zip1(&self.c, &mut self.b, threads, |c, b| *b = STREAM_SCALAR * *c);
-        parallel_zip2(&self.a, &self.b, &mut self.c, threads, |a, b, c| *c = *a + *b);
-        parallel_zip2(&self.b, &self.c, &mut self.a, threads, |b, c, a| *a = *b + STREAM_SCALAR * *c);
+        parallel_zip1(&self.c, &mut self.b, threads, |c, b| {
+            *b = STREAM_SCALAR * *c
+        });
+        parallel_zip2(&self.a, &self.b, &mut self.c, threads, |a, b, c| {
+            *c = *a + *b
+        });
+        parallel_zip2(&self.b, &self.c, &mut self.a, threads, |b, c, a| {
+            *a = *b + STREAM_SCALAR * *c
+        });
     }
 
     /// stream.c's closed-form expected values after `iterations` full
@@ -67,9 +73,7 @@ impl StreamArrays {
     /// against the expected scalar value, all elements).
     pub fn validate(&self, iterations: u32) -> Result<(), String> {
         let (ea, eb, ec) = Self::expected_after(iterations);
-        for (name, arr, expected) in
-            [("a", &self.a, ea), ("b", &self.b, eb), ("c", &self.c, ec)]
-        {
+        for (name, arr, expected) in [("a", &self.a, ea), ("b", &self.b, eb), ("c", &self.c, ec)] {
             for (i, &v) in arr.iter().enumerate() {
                 let err = ((v - expected) / expected).abs();
                 if err > 1e-13 {
@@ -107,8 +111,10 @@ where
 {
     let chunk = x.len().div_ceil(threads).max(1);
     thread::scope(|scope| {
-        for ((x_chunk, y_chunk), d_chunk) in
-            x.chunks(chunk).zip(y.chunks(chunk)).zip(dst.chunks_mut(chunk))
+        for ((x_chunk, y_chunk), d_chunk) in x
+            .chunks(chunk)
+            .zip(y.chunks(chunk))
+            .zip(dst.chunks_mut(chunk))
         {
             let f = &f;
             scope.spawn(move |_| {

@@ -16,8 +16,12 @@ use std::fmt::Write as _;
 /// Render one run as a stream.c-style table.
 pub fn render_report(run: &StreamRun) -> String {
     let mut out = String::new();
-    writeln!(out, "STREAM ({} arrays, {} elements x {} B, {} reps)",
-        run.agent, run.elements, run.element_bytes, run.reps).unwrap();
+    writeln!(
+        out,
+        "STREAM ({} arrays, {} elements x {} B, {} reps)",
+        run.agent, run.elements, run.element_bytes, run.reps
+    )
+    .unwrap();
     writeln!(out, "{}", "-".repeat(72)).unwrap();
     writeln!(
         out,
@@ -36,14 +40,22 @@ pub fn render_report(run: &StreamRun) -> String {
             r.avg_time.as_secs_f64(),
             r.min_time.as_secs_f64(),
             r.max_time.as_secs_f64(),
-            if r.best_threads == 0 { "-".to_string() } else { r.best_threads.to_string() },
+            if r.best_threads == 0 {
+                "-".to_string()
+            } else {
+                r.best_threads.to_string()
+            },
         )
         .unwrap();
     }
     writeln!(out, "{}", "-".repeat(72)).unwrap();
     writeln!(out, "Best bandwidth: {:.1} GB/s", run.best_gbs()).unwrap();
     if run.validated {
-        writeln!(out, "Solution Validates: avg error less than 1e-13 on all three arrays").unwrap();
+        writeln!(
+            out,
+            "Solution Validates: avg error less than 1e-13 on all three arrays"
+        )
+        .unwrap();
     }
     out
 }

@@ -68,9 +68,15 @@ impl AddressSpace {
         // First fit from the free list.
         if let Some(pos) = self.free.iter().position(|f| f.len >= len) {
             let region = self.free[pos];
-            let alloc = Allocation { addr: region.addr, len };
+            let alloc = Allocation {
+                addr: region.addr,
+                len,
+            };
             if region.len > len {
-                self.free[pos] = Allocation { addr: region.addr + len, len: region.len - len };
+                self.free[pos] = Allocation {
+                    addr: region.addr + len,
+                    len: region.len - len,
+                };
             } else {
                 self.free.swap_remove(pos);
             }
@@ -79,9 +85,15 @@ impl AddressSpace {
         }
         // Bump.
         if self.cursor + len > self.capacity {
-            return Err(UmemError::OutOfMemory { requested: len, available: self.available() });
+            return Err(UmemError::OutOfMemory {
+                requested: len,
+                available: self.available(),
+            });
         }
-        let alloc = Allocation { addr: self.cursor, len };
+        let alloc = Allocation {
+            addr: self.cursor,
+            len,
+        };
         self.cursor += len;
         self.allocated_bytes += len;
         Ok(alloc)

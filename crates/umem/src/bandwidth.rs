@@ -208,12 +208,7 @@ impl BandwidthModel {
     /// Effective STREAM bandwidth in GB/s for an agent running `kernel`
     /// with `threads` CPU threads (ignored for GPU agents — a full-size
     /// dispatch saturates occupancy).
-    pub fn stream_gbs(
-        &self,
-        agent: Agent,
-        kernel: StreamKernelKind,
-        threads: u32,
-    ) -> f64 {
+    pub fn stream_gbs(&self, agent: Agent, kernel: StreamKernelKind, threads: u32) -> f64 {
         let eta = efficiency(self.controller.chip(), agent, kernel);
         let scale = match agent {
             Agent::Cpu => self.thread_scaling(threads),
@@ -273,8 +268,12 @@ mod tests {
     fn cpu_peak_bandwidth_matches_paper_anchors() {
         // Paper §5.1: 59 / 78 / 92 / 103 GB/s for M1..M4 CPU (best kernel,
         // full thread sweep).
-        let expected = [(ChipGeneration::M1, 59.0), (ChipGeneration::M2, 78.0),
-                        (ChipGeneration::M3, 92.0), (ChipGeneration::M4, 103.0)];
+        let expected = [
+            (ChipGeneration::M1, 59.0),
+            (ChipGeneration::M2, 78.0),
+            (ChipGeneration::M3, 92.0),
+            (ChipGeneration::M4, 103.0),
+        ];
         for (gen, gbs) in expected {
             let m = model(gen);
             let best = StreamKernelKind::ALL
@@ -288,8 +287,12 @@ mod tests {
     #[test]
     fn gpu_peak_bandwidth_matches_paper_anchors() {
         // Paper §5.1: 60 / 91 / 92 / 100 GB/s for M1..M4 GPU.
-        let expected = [(ChipGeneration::M1, 60.0), (ChipGeneration::M2, 91.0),
-                        (ChipGeneration::M3, 92.0), (ChipGeneration::M4, 100.0)];
+        let expected = [
+            (ChipGeneration::M1, 60.0),
+            (ChipGeneration::M2, 91.0),
+            (ChipGeneration::M3, 92.0),
+            (ChipGeneration::M4, 100.0),
+        ];
         for (gen, gbs) in expected {
             let m = model(gen);
             let best = StreamKernelKind::ALL
@@ -335,7 +338,7 @@ mod tests {
                 })
                 .fold(0.0, f64::max);
             let frac = best_any / gen.spec().memory_bandwidth_gbs;
-            assert!(frac >= 0.82 && frac <= 0.95, "{gen}: {frac}");
+            assert!((0.82..=0.95).contains(&frac), "{gen}: {frac}");
         }
     }
 
@@ -367,8 +370,16 @@ mod tests {
     #[test]
     fn pattern_bandwidth_penalizes_random_access() {
         let m = model(ChipGeneration::M4);
-        let seq = AccessPattern { read_bytes: 1 << 20, write_bytes: 1 << 20, sequential: true };
-        let rand = AccessPattern { read_bytes: 1 << 20, write_bytes: 1 << 20, sequential: false };
+        let seq = AccessPattern {
+            read_bytes: 1 << 20,
+            write_bytes: 1 << 20,
+            sequential: true,
+        };
+        let rand = AccessPattern {
+            read_bytes: 1 << 20,
+            write_bytes: 1 << 20,
+            sequential: false,
+        };
         assert!(m.pattern_gbs(Agent::Gpu, &seq) > m.pattern_gbs(Agent::Gpu, &rand));
         assert_eq!(seq.total_bytes(), 2 << 20);
     }

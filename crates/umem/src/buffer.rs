@@ -36,7 +36,9 @@ pub struct SharedAddressSpace {
 impl SharedAddressSpace {
     /// Wrap an address space for shared use.
     pub fn new(space: AddressSpace) -> Self {
-        SharedAddressSpace { inner: Arc::new(Mutex::new(space)) }
+        SharedAddressSpace {
+            inner: Arc::new(Mutex::new(space)),
+        }
     }
 
     /// A space sized in GiB (like a device's unified memory).
@@ -146,9 +148,9 @@ impl<T: Copy + Default> UnifiedBuffer<T> {
     pub fn as_slice(&self) -> Result<&[T], UmemError> {
         match self.mode {
             StorageMode::Shared => Ok(&self.data[..self.len]),
-            StorageMode::Private => {
-                Err(UmemError::StorageModeViolation { operation: "CPU read of Private buffer" })
-            }
+            StorageMode::Private => Err(UmemError::StorageModeViolation {
+                operation: "CPU read of Private buffer",
+            }),
         }
     }
 
@@ -156,9 +158,9 @@ impl<T: Copy + Default> UnifiedBuffer<T> {
     pub fn as_mut_slice(&mut self) -> Result<&mut [T], UmemError> {
         match self.mode {
             StorageMode::Shared => Ok(&mut self.data[..self.len]),
-            StorageMode::Private => {
-                Err(UmemError::StorageModeViolation { operation: "CPU write of Private buffer" })
-            }
+            StorageMode::Private => Err(UmemError::StorageModeViolation {
+                operation: "CPU write of Private buffer",
+            }),
         }
     }
 
@@ -176,7 +178,10 @@ impl<T: Copy + Default> UnifiedBuffer<T> {
     /// Copy from a host slice into the buffer (CPU path, `Shared` only).
     pub fn copy_from_slice(&mut self, src: &[T]) -> Result<(), UmemError> {
         if src.len() > self.len {
-            return Err(UmemError::OutOfBounds { index: src.len(), len: self.len });
+            return Err(UmemError::OutOfBounds {
+                index: src.len(),
+                len: self.len,
+            });
         }
         let dst = self.as_mut_slice()?;
         dst[..src.len()].copy_from_slice(src);
@@ -240,8 +245,14 @@ mod tests {
     fn private_mode_blocks_cpu_access() {
         let s = space();
         let mut buf = UnifiedBuffer::<f32>::allocate(&s, 8, StorageMode::Private).unwrap();
-        assert!(matches!(buf.as_slice(), Err(UmemError::StorageModeViolation { .. })));
-        assert!(matches!(buf.as_mut_slice(), Err(UmemError::StorageModeViolation { .. })));
+        assert!(matches!(
+            buf.as_slice(),
+            Err(UmemError::StorageModeViolation { .. })
+        ));
+        assert!(matches!(
+            buf.as_mut_slice(),
+            Err(UmemError::StorageModeViolation { .. })
+        ));
         // The device still sees it.
         assert_eq!(buf.device_slice().len(), PAGE_SIZE as usize / 4);
         buf.device_mut_slice()[0] = 3.0;

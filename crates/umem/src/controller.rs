@@ -96,10 +96,22 @@ mod tests {
 
     #[test]
     fn theoretical_matches_table1() {
-        assert_eq!(MemoryController::of(ChipGeneration::M1).theoretical_gbs(), 67.0);
-        assert_eq!(MemoryController::of(ChipGeneration::M2).theoretical_gbs(), 100.0);
-        assert_eq!(MemoryController::of(ChipGeneration::M3).theoretical_gbs(), 100.0);
-        assert_eq!(MemoryController::of(ChipGeneration::M4).theoretical_gbs(), 120.0);
+        assert_eq!(
+            MemoryController::of(ChipGeneration::M1).theoretical_gbs(),
+            67.0
+        );
+        assert_eq!(
+            MemoryController::of(ChipGeneration::M2).theoretical_gbs(),
+            100.0
+        );
+        assert_eq!(
+            MemoryController::of(ChipGeneration::M3).theoretical_gbs(),
+            100.0
+        );
+        assert_eq!(
+            MemoryController::of(ChipGeneration::M4).theoretical_gbs(),
+            120.0
+        );
     }
 
     #[test]
@@ -109,14 +121,25 @@ mod tests {
         for gen in ChipGeneration::ALL {
             let c = MemoryController::of(gen);
             let rel = (c.derived_gbs() - c.theoretical_gbs()).abs() / c.theoretical_gbs();
-            assert!(rel < 0.03, "{gen}: derived {} vs published {}", c.derived_gbs(), c.theoretical_gbs());
+            assert!(
+                rel < 0.03,
+                "{gen}: derived {} vs published {}",
+                c.derived_gbs(),
+                c.theoretical_gbs()
+            );
         }
     }
 
     #[test]
     fn technology_per_generation() {
-        assert_eq!(MemoryController::of(ChipGeneration::M1).technology().name(), "LPDDR4X");
-        assert_eq!(MemoryController::of(ChipGeneration::M4).technology().name(), "LPDDR5X");
+        assert_eq!(
+            MemoryController::of(ChipGeneration::M1).technology().name(),
+            "LPDDR4X"
+        );
+        assert_eq!(
+            MemoryController::of(ChipGeneration::M4).technology().name(),
+            "LPDDR5X"
+        );
     }
 
     #[test]

@@ -38,12 +38,21 @@ pub enum UmemError {
 impl fmt::Display for UmemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            UmemError::OutOfMemory { requested, available } => {
-                write!(f, "out of unified memory: requested {requested} B, available {available} B")
+            UmemError::OutOfMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "out of unified memory: requested {requested} B, available {available} B"
+                )
             }
             UmemError::ZeroLength => write!(f, "zero-length allocation"),
             UmemError::NotPageDivisible { length } => {
-                write!(f, "length {length} B is not a multiple of the 16384 B page size")
+                write!(
+                    f,
+                    "length {length} B is not a multiple of the 16384 B page size"
+                )
             }
             UmemError::StorageModeViolation { operation } => {
                 write!(f, "storage-mode violation: {operation}")
@@ -63,15 +72,22 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = UmemError::OutOfMemory { requested: 100, available: 10 };
+        let e = UmemError::OutOfMemory {
+            requested: 100,
+            available: 10,
+        };
         assert!(e.to_string().contains("requested 100"));
         assert!(UmemError::ZeroLength.to_string().contains("zero-length"));
-        assert!(UmemError::NotPageDivisible { length: 5 }.to_string().contains("16384"));
-        assert!(
-            UmemError::StorageModeViolation { operation: "cpu read of private buffer" }
-                .to_string()
-                .contains("cpu read")
-        );
-        assert!(UmemError::OutOfBounds { index: 9, len: 3 }.to_string().contains("9"));
+        assert!(UmemError::NotPageDivisible { length: 5 }
+            .to_string()
+            .contains("16384"));
+        assert!(UmemError::StorageModeViolation {
+            operation: "cpu read of private buffer"
+        }
+        .to_string()
+        .contains("cpu read"));
+        assert!(UmemError::OutOfBounds { index: 9, len: 3 }
+            .to_string()
+            .contains("9"));
     }
 }

@@ -25,7 +25,7 @@ pub const fn pages_for(bytes: u64) -> u64 {
 
 /// Whether an address or length is page-aligned.
 pub const fn is_page_aligned(value: u64) -> bool {
-    value % PAGE_SIZE == 0
+    value.is_multiple_of(PAGE_SIZE)
 }
 
 #[cfg(test)]

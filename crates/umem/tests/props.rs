@@ -1,12 +1,12 @@
 //! Property-based tests for unified memory.
 
+use oranges_soc::chip::ChipGeneration;
 use oranges_umem::address::AddressSpace;
 use oranges_umem::bandwidth::{AccessPattern, BandwidthModel, StreamKernelKind};
 use oranges_umem::buffer::{SharedAddressSpace, UnifiedBuffer};
 use oranges_umem::controller::Agent;
 use oranges_umem::page::{is_page_aligned, pages_for, round_up_to_page, PAGE_SIZE};
 use oranges_umem::StorageMode;
-use oranges_soc::chip::ChipGeneration;
 use proptest::prelude::*;
 
 fn any_generation() -> impl Strategy<Value = ChipGeneration> {

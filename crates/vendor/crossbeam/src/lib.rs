@@ -1,0 +1,79 @@
+//! In-tree stand-in for `crossbeam`.
+//!
+//! Only the scoped-thread API is used in this workspace, and Rust has had
+//! native scoped threads since 1.63 — so `crossbeam::thread::scope`
+//! delegates to [`std::thread::scope`] while keeping crossbeam's call
+//! shape (`scope` returns a `Result`, spawn closures receive the scope).
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads.
+pub mod thread {
+    /// Result of a scope: `Err` would carry a child panic payload;
+    /// with the std backend a child panic propagates instead, which
+    /// callers observe identically (they `.expect(..)` the result).
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle passed to `scope` closures and re-passed to every
+    /// spawned thread (crossbeam's nested-spawn shape).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the
+        /// scope again, so it can spawn nested work.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Create a scope; all threads spawned within are joined before it
+    /// returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_before_return() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .expect("scope completes");
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn scoped_threads_can_borrow_disjoint_chunks() {
+        let mut data = vec![0u64; 64];
+        super::thread::scope(|scope| {
+            for (i, chunk) in data.chunks_mut(16).enumerate() {
+                scope.spawn(move |_| {
+                    for v in chunk.iter_mut() {
+                        *v = i as u64 + 1;
+                    }
+                });
+            }
+        })
+        .expect("scope completes");
+        assert!(data.iter().all(|&v| v >= 1));
+    }
+}

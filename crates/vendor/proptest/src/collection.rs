@@ -1,0 +1,96 @@
+//! Collection strategies (`vec`, `btree_map`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Anything usable as a collection size: a fixed size or a range.
+pub trait IntoSizeRange {
+    /// Lower bound (inclusive) and upper bound (exclusive).
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+/// Strategy for `Vec<T>` with sizes drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.max_exclusive - self.min).max(1) as u64;
+        let len = self.min + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generate vectors of `element` values.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min, max_exclusive) = size.bounds();
+    assert!(min < max_exclusive, "empty size range");
+    VecStrategy {
+        element,
+        min,
+        max_exclusive,
+    }
+}
+
+/// Strategy for `BTreeMap<K, V>`.
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let span = (self.max_exclusive - self.min).max(1) as u64;
+        let len = self.min + rng.below(span) as usize;
+        // Duplicate keys collapse, like upstream proptest; the requested
+        // size is an upper bound in that case.
+        (0..len)
+            .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+            .collect()
+    }
+}
+
+/// Generate maps of `key -> value` entries.
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: impl IntoSizeRange,
+) -> BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    let (min, max_exclusive) = size.bounds();
+    assert!(min < max_exclusive, "empty size range");
+    BTreeMapStrategy {
+        key,
+        value,
+        min,
+        max_exclusive,
+    }
+}

@@ -1,0 +1,275 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Something that can generate values of one type.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erase the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always produce a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies (`prop_oneof!`).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Build from the arms.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.0.len() as u64) as usize;
+        self.0[idx].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges as strategies.
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                self.start + (rng.next_u64() as u128 % span) as $ty
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                lo + (rng.next_u64() as u128 % span) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.unit_f64() as $ty * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// ---------------------------------------------------------------------------
+// `any::<T>()`.
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        // Finite, sign-symmetric, wide dynamic range — degenerate floats
+        // (NaN/inf) are not useful to the numeric properties under test.
+        let magnitude = (rng.unit_f64() as f32) * 1e6;
+        if rng.next_u64() & 1 == 1 {
+            -magnitude
+        } else {
+            magnitude
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        let magnitude = rng.unit_f64() * 1e9;
+        if rng.next_u64() & 1 == 1 {
+            -magnitude
+        } else {
+            magnitude
+        }
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy wrapper for [`Arbitrary`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// Char-class regex strings: `"[a-z0-9]{0,20}"` as a strategy.
+// ---------------------------------------------------------------------------
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_charclass(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parse `[class]{m,n}` / `[class]{n}` / `[class]*` / `[class]+` patterns.
+fn parse_charclass(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let mut close = None;
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' => escaped = true,
+            ']' => {
+                close = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let (class, tail) = rest.split_at(close?);
+    let tail = &tail[1..];
+
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = match chars[i] {
+            '\\' => {
+                i += 1;
+                *chars.get(i)?
+            }
+            c => c,
+        };
+        if chars.get(i + 1) == Some(&'-') && i + 2 < chars.len() {
+            let hi = chars[i + 2];
+            for code in c as u32..=hi as u32 {
+                alphabet.push(char::from_u32(code)?);
+            }
+            i += 3;
+        } else {
+            alphabet.push(c);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+
+    let (min, max) = match tail {
+        "" => (1, 1),
+        "*" => (0, 8),
+        "+" => (1, 8),
+        _ => {
+            let inner = tail.strip_prefix('{')?.strip_suffix('}')?;
+            match inner.split_once(',') {
+                Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+                None => {
+                    let n = inner.trim().parse().ok()?;
+                    (n, n)
+                }
+            }
+        }
+    };
+    Some((alphabet, min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charclass_parses_ranges_and_escapes() {
+        let (alphabet, min, max) = parse_charclass("[a-cXYZ \\]]{0,5}").unwrap();
+        assert_eq!(min, 0);
+        assert_eq!(max, 5);
+        for c in ['a', 'b', 'c', 'X', 'Y', 'Z', ' ', ']'] {
+            assert!(alphabet.contains(&c), "{c}");
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_bounds_eventually() {
+        let mut rng = TestRng::new(1);
+        let strat = 0u8..4;
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

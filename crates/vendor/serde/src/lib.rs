@@ -1,0 +1,25 @@
+//! In-tree stand-in for `serde`.
+//!
+//! The build environment has no network registry, so the workspace ships
+//! the subset of serde it actually uses: the [`Serialize`] trait with the
+//! full `ser` dispatch surface (the harness implements a JSON emitter over
+//! it), a marker [`Deserialize`] trait, impls for the std types the report
+//! model needs, and the two derive macros.
+
+#![forbid(unsafe_code)]
+
+pub mod ser;
+
+/// Deserialization marker.
+///
+/// Nothing in the workspace deserializes (reports flow out, never back
+/// in), so the trait carries no methods; the derive emits an empty impl.
+pub mod de {
+    /// Marker trait: the type is declared deserializable.
+    pub trait Deserialize<'de>: Sized {}
+}
+
+pub use de::Deserialize;
+pub use ser::{Serialize, Serializer};
+#[allow(unused_imports)]
+pub use serde_derive::{Deserialize, Serialize};

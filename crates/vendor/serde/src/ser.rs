@@ -1,0 +1,379 @@
+//! The serialization half: `Serialize`, `Serializer`, and the compound
+//! traits, with the exact method surface real serde exposes (minus the
+//! 128-bit integers, which nothing here serializes).
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt::Display;
+
+/// Error values produced by a [`Serializer`].
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from a custom message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data structure that can be serialized.
+pub trait Serialize {
+    /// Serialize `self` with the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Compound serializer for sequences.
+pub trait SerializeSeq {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize one element.
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finish the sequence.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Compound serializer for tuples.
+pub trait SerializeTuple {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize one element.
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finish the tuple.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Compound serializer for tuple structs.
+pub trait SerializeTupleStruct {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize one field.
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finish the struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Compound serializer for tuple enum variants.
+pub trait SerializeTupleVariant {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize one field.
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finish the variant.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Compound serializer for maps.
+pub trait SerializeMap {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize one key.
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), Self::Error>;
+    /// Serialize one value.
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finish the map.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Compound serializer for structs.
+pub trait SerializeStruct {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize one named field.
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finish the struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Compound serializer for struct enum variants.
+pub trait SerializeStructVariant {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serialize one named field.
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finish the variant.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A format backend: receives the data model events.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Sequence state.
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Tuple state.
+    type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+    /// Tuple-struct state.
+    type SerializeTupleStruct: SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Tuple-variant state.
+    type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+    /// Map state.
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    /// Struct state.
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Struct-variant state.
+    type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serialize a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `i8`.
+    fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `i16`.
+    fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `i32`.
+    fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `i64`.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a `u8`.
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a `u16`.
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a `u32`.
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `f32`.
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error>;
+    /// Serialize an `f64`.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a `char`.
+    fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serialize raw bytes.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+    /// Serialize `None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serialize `Some(value)`.
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Serialize `()`.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a unit struct.
+    fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a unit enum variant.
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a newtype struct.
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serialize a newtype enum variant.
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Begin a sequence.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begin a tuple.
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+    /// Begin a tuple struct.
+    fn serialize_tuple_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+    /// Begin a tuple enum variant.
+    fn serialize_tuple_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+    /// Begin a map.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    /// Begin a struct.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    /// Begin a struct enum variant.
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for the std types the workspace's report model uses.
+// ---------------------------------------------------------------------------
+
+macro_rules! primitive_impl {
+    ($ty:ty, $method:ident $(, $cast:ty)?) => {
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$method(*self $(as $cast)?)
+            }
+        }
+    };
+}
+
+primitive_impl!(bool, serialize_bool);
+primitive_impl!(i8, serialize_i8);
+primitive_impl!(i16, serialize_i16);
+primitive_impl!(i32, serialize_i32);
+primitive_impl!(i64, serialize_i64);
+primitive_impl!(isize, serialize_i64, i64);
+primitive_impl!(u8, serialize_u8);
+primitive_impl!(u16, serialize_u16);
+primitive_impl!(u32, serialize_u32);
+primitive_impl!(u64, serialize_u64);
+primitive_impl!(usize, serialize_u64, u64);
+primitive_impl!(f32, serialize_f32);
+primitive_impl!(f64, serialize_f64);
+primitive_impl!(char, serialize_char);
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for &mut T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(value) => serializer.serialize_some(value),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+fn serialize_iter<'a, S, T>(
+    serializer: S,
+    iter: impl ExactSizeIterator<Item = &'a T>,
+) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    T: Serialize + 'a,
+{
+    let mut seq = serializer.serialize_seq(Some(iter.len()))?;
+    for item in iter {
+        seq.serialize_element(item)?;
+    }
+    seq.end()
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter())
+    }
+}
+
+macro_rules! tuple_impl {
+    ($len:expr => $($idx:tt $name:ident)+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut tuple = serializer.serialize_tuple($len)?;
+                $(tuple.serialize_element(&self.$idx)?;)+
+                tuple.end()
+            }
+        }
+    };
+}
+
+tuple_impl!(1 => 0 T0);
+tuple_impl!(2 => 0 T0 1 T1);
+tuple_impl!(3 => 0 T0 1 T1 2 T2);
+tuple_impl!(4 => 0 T0 1 T1 2 T2 3 T3);
+tuple_impl!(5 => 0 T0 1 T1 2 T2 3 T3 4 T4);
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (key, value) in self {
+            map.serialize_key(key)?;
+            map.serialize_value(value)?;
+        }
+        map.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (key, value) in self {
+            map.serialize_key(key)?;
+            map.serialize_value(value)?;
+        }
+        map.end()
+    }
+}

@@ -1,0 +1,365 @@
+//! In-tree `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Implemented directly over `proc_macro` (the build environment has no
+//! registry, so `syn`/`quote` are unavailable). The parser covers what the
+//! workspace derives on: non-generic structs (named, tuple, unit) and
+//! enums (unit, newtype, tuple, struct variants), plus the
+//! `#[serde(skip)]` field attribute. Anything fancier fails loudly with a
+//! `compile_error!` rather than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize` (marker impl; nothing deserializes here).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(item) => format!(
+            "impl<'de> ::serde::de::Deserialize<'de> for {} {{}}",
+            item.name
+        )
+        .parse()
+        .expect("generated impl parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error token parses")
+}
+
+// ---------------------------------------------------------------------------
+// A minimal item model.
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Body {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+/// Consume leading attributes; report whether any was `#[serde(skip)]`.
+fn eat_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(id)) = inner.first() {
+                        if id.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                if args.stream().to_string().contains("skip") {
+                                    skip = true;
+                                }
+                            }
+                        }
+                    }
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    (i, skip)
+}
+
+/// Consume a visibility qualifier (`pub`, `pub(...)`).
+fn eat_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Skip tokens until a top-level comma (angle-bracket aware); return the
+/// index just past the comma (or `tokens.len()`).
+fn skip_past_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, skip) = eat_attrs(&tokens, i);
+        i = eat_vis(&tokens, next);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("unexpected token in fields: {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        i = skip_past_comma(&tokens, i);
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _) = eat_attrs(&tokens, i);
+        i = eat_vis(&tokens, next);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        i = skip_past_comma(&tokens, i);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _) = eat_attrs(&tokens, i);
+        i = next;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("unexpected token in enum: {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Shape::Unit,
+        };
+        i = skip_past_comma(&tokens, i);
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn parse(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        let (next, _) = eat_attrs(&tokens, i);
+        i = eat_vis(&tokens, next);
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break
+            }
+            Some(_) => i += 1,
+            None => return Err("expected `struct` or `enum`".into()),
+        }
+    }
+    let is_struct = matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "struct");
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "derive on generic type `{name}` is not supported by the in-tree serde_derive"
+            ));
+        }
+    }
+    let body = if is_struct {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Shape::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Shape::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Shape::Unit),
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        }
+    };
+    Ok(Item { name, body })
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-based; parsed back into a TokenStream).
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Shape::Unit) => {
+            format!("__serializer.serialize_unit_struct({name:?})")
+        }
+        Body::Struct(Shape::Tuple(1)) => {
+            format!("__serializer.serialize_newtype_struct({name:?}, &self.0)")
+        }
+        Body::Struct(Shape::Tuple(n)) => {
+            let mut code = format!(
+                "let mut __state = ::serde::ser::Serializer::serialize_tuple_struct(__serializer, {name:?}, {n})?;\n"
+            );
+            for idx in 0..*n {
+                code += &format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __state, &self.{idx})?;\n"
+                );
+            }
+            code += "::serde::ser::SerializeTupleStruct::end(__state)";
+            code
+        }
+        Body::Struct(Shape::Named(fields)) => {
+            let kept: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let mut code = format!(
+                "let mut __state = ::serde::ser::Serializer::serialize_struct(__serializer, {name:?}, {})?;\n",
+                kept.len()
+            );
+            for f in &kept {
+                code += &format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, {:?}, &self.{})?;\n",
+                    f.name, f.name
+                );
+            }
+            code += "::serde::ser::SerializeStruct::end(__state)";
+            code
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (index, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        arms += &format!(
+                            "{name}::{vname} => __serializer.serialize_unit_variant({name:?}, {index}u32, {vname:?}),\n"
+                        );
+                    }
+                    Shape::Tuple(1) => {
+                        arms += &format!(
+                            "{name}::{vname}(__f0) => __serializer.serialize_newtype_variant({name:?}, {index}u32, {vname:?}, __f0),\n"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{\nlet mut __state = ::serde::ser::Serializer::serialize_tuple_variant(__serializer, {name:?}, {index}u32, {vname:?}, {n})?;\n",
+                            binders.join(", ")
+                        );
+                        for b in &binders {
+                            arm += &format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut __state, {b})?;\n"
+                            );
+                        }
+                        arm += "::serde::ser::SerializeTupleVariant::end(__state)\n},\n";
+                        arms += &arm;
+                    }
+                    Shape::Named(fields) => {
+                        let kept: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                        let binders: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    f.name.clone()
+                                }
+                            })
+                            .collect();
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\nlet mut __state = ::serde::ser::Serializer::serialize_struct_variant(__serializer, {name:?}, {index}u32, {vname:?}, {})?;\n",
+                            binders.join(", "),
+                            kept.len()
+                        );
+                        for f in &kept {
+                            arm += &format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut __state, {:?}, {})?;\n",
+                                f.name, f.name
+                            );
+                        }
+                        arm += "::serde::ser::SerializeStructVariant::end(__state)\n},\n";
+                        arms += &arm;
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\n}}\n}}"
+    )
+}

@@ -1,0 +1,65 @@
+//! Drive the full Figure 1–4 × M1–M4 grid through the campaign
+//! orchestrator and print a throughput summary.
+//!
+//! Run with `cargo run --release --example campaign`.
+
+use oranges_campaign::prelude::*;
+
+fn main() {
+    let spec = CampaignSpec::paper_grid().with_workers(4);
+    let cache = ResultCache::new();
+
+    println!(
+        "=== Campaign: Figures 1-4 x M1-M4, {} workers ===\n",
+        spec.workers
+    );
+    let report = run_campaign(&spec, &cache).expect("campaign runs");
+    println!("{}", report.render_summary());
+
+    println!(
+        "\nThroughput: {:.2} units/s ({} records aggregated, cache hit rate {:.0}%)",
+        report.units_per_second(),
+        report.records().len(),
+        report.campaign_hit_rate() * 100.0
+    );
+
+    // Cross-check against the serial baseline: the concurrent grid is
+    // value-identical.
+    let serial = run_campaign_serial(&spec).expect("serial baseline");
+    println!(
+        "Concurrent == serial baseline: {}",
+        if report.digest() == serial.digest() {
+            "yes (value-identical)"
+        } else {
+            "NO"
+        }
+    );
+
+    // An immediate re-run of the same spec is served from the cache.
+    let rerun = run_campaign(&spec, &cache).expect("re-run");
+    println!(
+        "Re-run: {:.2} units/s, campaign hit rate {:.0}% ({} units computed)",
+        rerun.units_per_second(),
+        rerun.campaign_hit_rate() * 100.0,
+        rerun.computed_units(),
+    );
+
+    // A taste of the aggregate: the best efficiency cell per chip.
+    println!("\nBest Figure 4 cell per chip:");
+    for chip in ChipGeneration::ALL {
+        let best = report
+            .records()
+            .into_iter()
+            .filter(|r| r.experiment == "fig4" && r.chip.as_deref() == Some(chip.name()))
+            .max_by(|a, b| a.value.partial_cmp(&b.value).expect("finite"));
+        if let Some(r) = best {
+            println!(
+                "  {}: {:.0} GFLOPS/W ({} @ n={})",
+                chip.name(),
+                r.value,
+                r.implementation.as_deref().unwrap_or("?"),
+                r.n.unwrap_or(0)
+            );
+        }
+    }
+}

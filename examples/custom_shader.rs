@@ -36,7 +36,10 @@ impl ComputeKernel for Saxpy {
     ) -> Result<(), String> {
         let n = params.uint(0).ok_or("missing n")? as usize;
         if input_lens.len() != 2 {
-            return Err(format!("expected x and y0 inputs, got {}", input_lens.len()));
+            return Err(format!(
+                "expected x and y0 inputs, got {}",
+                input_lens.len()
+            ));
         }
         if input_lens.iter().any(|l| *l < n) || output_len < n {
             return Err("buffers shorter than n".into());
@@ -83,8 +86,12 @@ fn main() {
     let x: Vec<f32> = (0..n).map(|i| (i % 100) as f32 * 0.01).collect();
     let y0: Vec<f32> = (0..n).map(|i| (i % 7) as f32).collect();
 
-    let buf_x = device.new_buffer_with_data(&x, StorageMode::Shared).unwrap();
-    let buf_y0 = device.new_buffer_with_data(&y0, StorageMode::Shared).unwrap();
+    let buf_x = device
+        .new_buffer_with_data(&x, StorageMode::Shared)
+        .unwrap();
+    let buf_y0 = device
+        .new_buffer_with_data(&y0, StorageMode::Shared)
+        .unwrap();
     let buf_y = device.new_buffer(n, StorageMode::Shared).unwrap();
 
     let pipeline = library.pipeline("saxpy").unwrap();
@@ -96,8 +103,13 @@ fn main() {
         encoder.set_buffer(0, &buf_x);
         encoder.set_buffer(1, &buf_y0);
         encoder.set_buffer(2, &buf_y);
-        encoder.set_params(KernelParams { uints: vec![n as u64], floats: vec![a] });
-        encoder.dispatch_threadgroups(MtlSize::d1(256), MtlSize::d1(256)).unwrap();
+        encoder.set_params(KernelParams {
+            uints: vec![n as u64],
+            floats: vec![a],
+        });
+        encoder
+            .dispatch_threadgroups(MtlSize::d1(256), MtlSize::d1(256))
+            .unwrap();
         encoder.end_encoding();
     }
     command_buffer.commit().unwrap();
@@ -112,6 +124,13 @@ fn main() {
 
     println!("saxpy over {n} elements on simulated {}:", device.chip());
     println!("  modeled duration : {}", report.duration);
-    println!("  achieved         : {:.1} GB/s (memory-bound: {})", report.achieved_gbs(), report.memory_bound);
-    println!("  functional       : {} (results checked)", report.functional);
+    println!(
+        "  achieved         : {:.1} GB/s (memory-bound: {})",
+        report.achieved_gbs(),
+        report.memory_bound
+    );
+    println!(
+        "  functional       : {} (results checked)",
+        report.functional
+    );
 }

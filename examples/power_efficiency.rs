@@ -20,7 +20,10 @@ fn main() {
     sampler.idle(SimDuration::from_secs_f64(2.0)).unwrap();
     sampler.siginfo().unwrap(); // reset after warm-up
     sampler
-        .record(Activity::busy(WorkClass::GpuMps, SimDuration::from_secs_f64(1.0)))
+        .record(Activity::busy(
+            WorkClass::GpuMps,
+            SimDuration::from_secs_f64(1.0),
+        ))
         .unwrap();
     let sample = sampler.siginfo().unwrap();
     let text = format::write_sample(&sample);

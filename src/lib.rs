@@ -1,0 +1,11 @@
+//! Workspace umbrella crate.
+//!
+//! Exists so the repo root can host the cross-crate integration tests
+//! (`tests/`) and runnable examples (`examples/`); the real code lives in
+//! `crates/*`. Re-exports the two top-of-stack crates for convenience.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use oranges;
+pub use oranges_campaign;

@@ -1,0 +1,95 @@
+//! Campaign orchestrator integration: the acceptance criteria.
+//!
+//! (a) a concurrent full-grid campaign (Figures 1–4 × M1–M4) is
+//!     value-identical to the serial baseline;
+//! (b) an immediate re-run of the same spec hits the cache for every
+//!     unit (100% campaign hit rate);
+//! (c) worker-count 1 vs N parity on a reduced grid.
+
+use oranges_campaign::prelude::*;
+
+/// (a) + (b) on the full paper grid. One test so the expensive grid runs
+/// once and both properties are checked against the same results.
+#[test]
+fn full_grid_concurrent_equals_serial_and_rerun_is_all_hits() {
+    let spec = CampaignSpec::paper_grid().with_workers(4);
+    assert_eq!(spec.chips.len(), 4);
+
+    let serial = run_campaign_serial(&spec).expect("serial baseline");
+    let cache = ResultCache::new();
+    let concurrent = run_campaign(&spec, &cache).expect("concurrent campaign");
+
+    // 4 figures x 4 chips, same plan both ways.
+    assert_eq!(serial.units.len(), 16);
+    assert_eq!(concurrent.units.len(), 16);
+    assert_eq!(concurrent.workers, 4);
+
+    // Value identity: canonical JSON of every unit, in plan order.
+    assert_eq!(concurrent.digest(), serial.digest());
+    // And the flat record streams agree cell for cell.
+    assert_eq!(concurrent.records(), serial.records());
+    assert!(concurrent.records().len() > 100, "the grid is not trivial");
+
+    // (b) Immediate re-run of the same spec: served entirely from cache.
+    let rerun = run_campaign(&spec, &cache).expect("cached re-run");
+    assert!(
+        rerun.units.iter().all(|u| u.from_cache),
+        "every unit a cache hit"
+    );
+    assert_eq!(rerun.campaign_hit_rate(), 1.0);
+    assert_eq!(rerun.computed_units(), 0);
+    assert_eq!(rerun.digest(), concurrent.digest());
+}
+
+/// (c) Worker-count parity: 1 vs N produce identical results.
+#[test]
+fn worker_count_parity() {
+    let base = CampaignSpec::smoke();
+    let one = run_campaign(&base.clone().with_workers(1), &ResultCache::new()).expect("1 worker");
+    for workers in [2, 4, 8] {
+        let many = run_campaign(&base.clone().with_workers(workers), &ResultCache::new())
+            .unwrap_or_else(|e| panic!("{workers} workers: {e}"));
+        assert_eq!(many.digest(), one.digest(), "{workers} workers diverged");
+        assert_eq!(many.records(), one.records());
+    }
+}
+
+/// The cache key includes parameters: a different grid must not be
+/// served from a previous campaign's entries.
+#[test]
+fn cache_distinguishes_specs() {
+    let cache = ResultCache::new();
+    let small = CampaignSpec::smoke().with_workers(2);
+    let first = run_campaign(&small, &cache).expect("first");
+
+    let larger = small.clone().with_power_sizes(vec![2048, 4096, 8192]);
+    let second = run_campaign(&larger, &cache).expect("second");
+    assert!(second
+        .units
+        .iter()
+        .filter(|u| u.key.id == "fig3")
+        .all(|u| !u.from_cache));
+    assert_ne!(first.digest(), second.digest());
+}
+
+/// Chip-independent units (tables) schedule alongside per-chip ones.
+#[test]
+fn mixed_grid_includes_chip_independent_units() {
+    let spec = CampaignSpec::new(
+        vec![ExperimentKind::Tables, ExperimentKind::MixedPrecision],
+        vec![ChipGeneration::M1, ChipGeneration::M4],
+    )
+    .with_workers(3);
+    let report = run_campaign(&spec, &ResultCache::new()).expect("mixed campaign");
+    assert_eq!(report.units.len(), 3, "1 tables + 2 mixed_precision");
+    let tables = &report.units[0];
+    assert_eq!(tables.key.id, "tables");
+    assert!(tables
+        .output
+        .rendered
+        .as_deref()
+        .unwrap_or("")
+        .contains("Table 1"));
+    let csv = report.to_csv();
+    assert!(csv.contains("mixed_precision,M4"));
+}

@@ -56,10 +56,14 @@ fn amx_sgemm_agrees_with_metal_shader() {
     let b = random_matrix(n, 8);
 
     let mut amx_result = vec![0.0f32; n * n];
-    AmxSgemm::new(ChipGeneration::M2).sgemm(n, &a, &b, &mut amx_result).unwrap();
+    AmxSgemm::new(ChipGeneration::M2)
+        .sgemm(n, &a, &b, &mut amx_result)
+        .unwrap();
 
     let mut gpu_result = vec![0.0f32; n * n];
-    GpuShader::naive(ChipGeneration::M2).run(n, &a, &b, &mut gpu_result).unwrap();
+    GpuShader::naive(ChipGeneration::M2)
+        .run(n, &a, &b, &mut gpu_result)
+        .unwrap();
 
     for idx in 0..n * n {
         assert!(
@@ -86,8 +90,20 @@ fn vdsp_and_blas_agree_exactly_in_timing_and_nearly_in_values() {
     let mut c_blas = vec![0.0f32; n * n];
     let blas_report = blas
         .sgemm(
-            Order::RowMajor, Transpose::NoTrans, Transpose::NoTrans,
-            n, n, n, 1.0, &a, n, &b, n, 0.0, &mut c_blas, n,
+            Order::RowMajor,
+            Transpose::NoTrans,
+            Transpose::NoTrans,
+            n,
+            n,
+            n,
+            1.0,
+            &a,
+            n,
+            &b,
+            n,
+            0.0,
+            &mut c_blas,
+            n,
         )
         .unwrap();
 
@@ -95,7 +111,10 @@ fn vdsp_and_blas_agree_exactly_in_timing_and_nearly_in_values() {
     let mut c_vdsp = vec![0.0f32; n * n];
     let vdsp_report = vdsp::mmul(&model, &a, &b, &mut c_vdsp, n, n, n).unwrap();
 
-    assert_eq!(blas_report.duration, vdsp_report.duration, "identical timing model");
+    assert_eq!(
+        blas_report.duration, vdsp_report.duration,
+        "identical timing model"
+    );
     for idx in 0..n * n {
         assert!((c_blas[idx] - c_vdsp[idx]).abs() <= 1e-3);
     }

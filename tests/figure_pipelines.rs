@@ -28,7 +28,10 @@ fn fig2_pipeline_small_grid() {
     }
     // Monotone in n for GPU-MPS (ramp + overhead amortization).
     let g64 = data.cell(ChipGeneration::M4, "GPU-MPS", 64).unwrap().gflops;
-    let g1024 = data.cell(ChipGeneration::M4, "GPU-MPS", 1024).unwrap().gflops;
+    let g1024 = data
+        .cell(ChipGeneration::M4, "GPU-MPS", 1024)
+        .unwrap()
+        .gflops;
     assert!(g1024 > g64);
 }
 
@@ -41,8 +44,11 @@ fn fig3_and_fig4_pipelines_are_consistent() {
         ..fig3::Fig3Config::default()
     })
     .unwrap();
-    let fig4_data =
-        fig4::run(&fig4::Fig4Config { sizes: vec![2048, 4096], chips }).unwrap();
+    let fig4_data = fig4::run(&fig4::Fig4Config {
+        sizes: vec![2048, 4096],
+        chips,
+    })
+    .unwrap();
 
     // Efficiency = GFLOPS / W must be consistent between the two datasets:
     // recompute fig4 from fig3's power and the modeled duration.
@@ -53,7 +59,13 @@ fn fig3_and_fig4_pipelines_are_consistent() {
         let watts = p3.power_mw / 1e3;
         let expected = gflops / watts;
         let rel = (p4.gflops_per_watt - expected).abs() / expected;
-        assert!(rel < 0.01, "{:?}: {} vs {}", p4, p4.gflops_per_watt, expected);
+        assert!(
+            rel < 0.01,
+            "{:?}: {} vs {}",
+            p4,
+            p4.gflops_per_watt,
+            expected
+        );
     }
 }
 

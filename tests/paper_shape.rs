@@ -23,7 +23,11 @@ fn m2_cpu_copy_scale_gap_reproduces() {
     let data = fig1::run();
     let copy = data.value(ChipGeneration::M2, "CPU", "Copy").unwrap();
     let triad = data.value(ChipGeneration::M2, "CPU", "Triad").unwrap();
-    assert!((20.0..=30.0).contains(&(triad - copy)), "gap {}", triad - copy);
+    assert!(
+        (20.0..=30.0).contains(&(triad - copy)),
+        "gap {}",
+        triad - copy
+    );
 }
 
 #[test]
@@ -37,8 +41,10 @@ fn generational_improvement_holds_for_cpu_and_gpu_peaks() {
     };
     let data = fig2::run(&config).unwrap();
     for implementation in ["CPU-Accelerate", "GPU-MPS"] {
-        let peaks: Vec<f64> =
-            ChipGeneration::ALL.iter().map(|c| data.peak(*c, implementation)).collect();
+        let peaks: Vec<f64> = ChipGeneration::ALL
+            .iter()
+            .map(|c| data.peak(*c, implementation))
+            .collect();
         for pair in peaks.windows(2) {
             assert!(pair[1] > pair[0], "{implementation}: {peaks:?}");
         }
@@ -57,7 +63,11 @@ fn m1_gpu_and_cpu_are_close_but_gpu_pulls_ahead_from_m2() {
     };
     let data = fig2::run(&config).unwrap();
     let ratio = |chip| data.peak(chip, "GPU-MPS") / data.peak(chip, "CPU-Accelerate");
-    assert!(ratio(ChipGeneration::M1) < 1.6, "M1 ratio {}", ratio(ChipGeneration::M1));
+    assert!(
+        ratio(ChipGeneration::M1) < 1.6,
+        "M1 ratio {}",
+        ratio(ChipGeneration::M1)
+    );
     for chip in [ChipGeneration::M2, ChipGeneration::M3, ChipGeneration::M4] {
         assert!(ratio(chip) > 1.6, "{chip} ratio {}", ratio(chip));
     }
@@ -76,10 +86,19 @@ fn gpu_loses_to_cpu_at_small_sizes_crossover_by_1024() {
     };
     let data = fig2::run(&config).unwrap();
     let mps = |n| data.cell(ChipGeneration::M4, "GPU-MPS", n).unwrap().gflops;
-    let accelerate = |n| data.cell(ChipGeneration::M4, "CPU-Accelerate", n).unwrap().gflops;
+    let accelerate = |n| {
+        data.cell(ChipGeneration::M4, "CPU-Accelerate", n)
+            .unwrap()
+            .gflops
+    };
     // CPU wins at 32–256 (AMX has negligible launch cost).
     for n in [32usize, 64, 128, 256] {
-        assert!(accelerate(n) > mps(n), "n={n}: CPU {} vs GPU {}", accelerate(n), mps(n));
+        assert!(
+            accelerate(n) > mps(n),
+            "n={n}: CPU {} vs GPU {}",
+            accelerate(n),
+            mps(n)
+        );
     }
     // GPU wins by 2048 at the latest.
     assert!(mps(2048) > accelerate(2048));
@@ -128,7 +147,10 @@ fn apple_vs_gh200_is_apples_to_oranges() {
         .map(|c| data.best(*c, "GPU"))
         .fold(0.0, f64::max);
     let ratio = hbm.measured_gbs / best_apple;
-    assert!(ratio > 30.0, "GH200 HBM3 is {ratio:.0}x the best M-series GPU");
+    assert!(
+        ratio > 30.0,
+        "GH200 HBM3 is {ratio:.0}x the best M-series GPU"
+    );
     // Similar *efficiency* though: both ≈ 85-95%.
     assert!((hbm.efficiency() - 0.94).abs() < 0.01);
     // And GEMM: 41 TFLOPS vs 2.9 TFLOPS ≈ 14x.

@@ -12,7 +12,10 @@ fn every_chip_builds_a_full_platform() {
         assert_eq!(platform.implementation_names().len(), 6);
         // Device memory matches Table 3.
         let expected_gb = platform.device_model().memory_gb as u64;
-        assert_eq!(platform.address_space().available(), expected_gb * 1024 * 1024 * 1024);
+        assert_eq!(
+            platform.address_space().available(),
+            expected_gb * 1024 * 1024 * 1024
+        );
     }
 }
 
@@ -33,7 +36,9 @@ fn all_six_implementations_run_on_all_chips() {
     for chip in ChipGeneration::ALL {
         let mut platform = Platform::new(chip);
         for name in platform.implementation_names() {
-            let run = platform.gemm(name, 64).unwrap_or_else(|e| panic!("{chip} {name}: {e}"));
+            let run = platform
+                .gemm(name, 64)
+                .unwrap_or_else(|e| panic!("{chip} {name}: {e}"));
             assert!(run.gflops() > 0.0, "{chip} {name}");
             assert!(run.power.package_watts() > 0.0, "{chip} {name}");
         }
@@ -45,9 +50,15 @@ fn gemm_performance_ranking_is_stable_at_scale() {
     // The Figure 2 ordering at the paper's largest size, via the facade.
     let mut platform = Platform::new(ChipGeneration::M4);
     let mps = platform.gemm_modeled("GPU-MPS", 16384).unwrap().gflops();
-    let accelerate = platform.gemm_modeled("CPU-Accelerate", 16384).unwrap().gflops();
+    let accelerate = platform
+        .gemm_modeled("CPU-Accelerate", 16384)
+        .unwrap()
+        .gflops();
     let naive_gpu = platform.gemm_modeled("GPU-Naive", 16384).unwrap().gflops();
-    let cutlass = platform.gemm_modeled("GPU-CUTLASS", 16384).unwrap().gflops();
+    let cutlass = platform
+        .gemm_modeled("GPU-CUTLASS", 16384)
+        .unwrap()
+        .gflops();
     assert!(mps > accelerate && accelerate > naive_gpu && naive_gpu > cutlass);
     // §1: M4 GPU ≈ 2.9 TFLOPS, CPU ≈ 1.5 TFLOPS.
     assert!((mps / 1e3 - 2.9).abs() < 0.15, "{mps}");

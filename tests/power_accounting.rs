@@ -46,12 +46,16 @@ fn text_file_round_trip_matches_session_reading() {
     let mut sampler = Sampler::start(PowerModel::of(chip));
     sampler.idle(SimDuration::from_secs_f64(2.0)).unwrap();
     sampler.siginfo().unwrap();
-    sampler.record(Activity::busy(WorkClass::CpuAccelerate, duration)).unwrap();
+    sampler
+        .record(Activity::busy(WorkClass::CpuAccelerate, duration))
+        .unwrap();
     let sample = sampler.siginfo().unwrap();
     let parsed = format::parse_sample(&format::write_sample(&sample)).unwrap();
 
     let session = oranges_powermetrics::PowerSession::new(chip);
-    let reading = session.measure(WorkClass::CpuAccelerate, duration, 1.0).unwrap();
+    let reading = session
+        .measure(WorkClass::CpuAccelerate, duration, 1.0)
+        .unwrap();
 
     assert!((parsed.powers.cpu_mw - reading.cpu_mw).abs() <= 1.0);
     assert!((parsed.combined_mw - reading.combined_mw).abs() <= 1.5);
@@ -65,8 +69,16 @@ fn small_gpu_runs_draw_near_idle_power() {
     let big = platform.gemm_modeled("GPU-MPS", 8192).unwrap();
     // At n = 32 the dispatch overhead dominates: well under a watt versus
     // the ~5.6 W the M2 draws at full MPS tilt.
-    assert!(tiny.power.package_watts() < 1.0, "{}", tiny.power.package_watts());
-    assert!(big.power.package_watts() > 4.0, "{}", big.power.package_watts());
+    assert!(
+        tiny.power.package_watts() < 1.0,
+        "{}",
+        tiny.power.package_watts()
+    );
+    assert!(
+        big.power.package_watts() > 4.0,
+        "{}",
+        big.power.package_watts()
+    );
     assert!(tiny.power.package_watts() < big.power.package_watts() / 4.0);
 }
 
