@@ -1,15 +1,23 @@
-//! The content-keyed result cache.
+//! The content-keyed result cache, with disk persistence.
 //!
 //! Keyed by [`UnitKey`] (experiment id + chip + params): the simulation
 //! is deterministic, so equal keys mean byte-identical output and the
-//! cache can serve any repeat — within one campaign (duplicate units) or
+//! cache can serve any repeat — within one campaign (duplicate units),
 //! across campaigns (an immediate re-run of the same spec hits for every
-//! unit). Shared across worker threads behind one mutex; the critical
-//! sections are a hash-map probe, tiny next to a unit's run time.
+//! unit), or across *processes*: [`ResultCache::save`] writes the store
+//! as one JSON document and [`ResultCache::load`] rebuilds it, so a
+//! second process running the same spec gets 100% cache hits. Shared
+//! across worker threads behind one mutex; the critical sections are a
+//! hash-map probe, tiny next to a unit's run time.
 
 use crate::plan::UnitKey;
 use oranges::experiments::ExperimentOutput;
+use oranges_harness::json::{self, JsonValue};
+use oranges_harness::metric::{self, MetricSet};
+use serde::Serialize;
 use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -81,12 +89,178 @@ impl ResultCache {
     pub fn clear(&self) {
         self.store.lock().expect("cache lock").clear();
     }
+
+    /// Persist every entry to `path` as one JSON document. Entries are
+    /// written in key order, so saving the same store always produces
+    /// the same bytes. Per-unit wall-times (stamped by the scheduler)
+    /// travel out-of-band in the envelope — the sets' own serialization
+    /// stays wall-free, preserving value identity. Non-finite values are
+    /// rejected here, at write time: they would serialize as `null` and
+    /// produce a file [`load`](ResultCache::load) can never parse.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CachePersistError> {
+        let store = self.store.lock().expect("cache lock");
+        let mut keyed: Vec<(&UnitKey, &Arc<ExperimentOutput>)> = store.iter().collect();
+        keyed.sort_by_key(|(key, _)| (*key).clone());
+        for (key, output) in &keyed {
+            check_finite(key, output)?;
+        }
+        let entries = keyed
+            .into_iter()
+            .map(|(key, output)| DiskEntry {
+                id: key.id.clone(),
+                params: key.params.clone(),
+                wall_time_s: output.wall_time_s(),
+                rendered: output.rendered.clone(),
+                sets: output.sets.clone(),
+            })
+            .collect();
+        let document = DiskCache {
+            version: DISK_FORMAT_VERSION,
+            entries,
+        };
+        drop(store);
+        let text = oranges_harness::json::to_json_string(&document)
+            .map_err(|e| CachePersistError::Serialize(e.to_string()))?;
+        std::fs::write(path.as_ref(), text)
+            .map_err(|e| CachePersistError::Io(path.as_ref().display().to_string(), e.to_string()))
+    }
+
+    /// Rebuild a cache from a [`save`](ResultCache::save)d file. Each
+    /// entry's canonical JSON is re-derived from its parsed sets, so a
+    /// loaded result is value-identical to a freshly computed one —
+    /// which is what lets a second process serve the same spec entirely
+    /// from disk. Statistics start at zero.
+    pub fn load(path: impl AsRef<Path>) -> Result<ResultCache, CachePersistError> {
+        let text = std::fs::read_to_string(path.as_ref()).map_err(|e| {
+            CachePersistError::Io(path.as_ref().display().to_string(), e.to_string())
+        })?;
+        let document = json::parse(&text).map_err(|e| CachePersistError::Parse(e.to_string()))?;
+        let version = document
+            .get("version")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| CachePersistError::Parse("missing version field".to_string()))?;
+        if version as u32 != DISK_FORMAT_VERSION {
+            return Err(CachePersistError::Parse(format!(
+                "unsupported cache format version {version}"
+            )));
+        }
+        let entries = document
+            .get("entries")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| CachePersistError::Parse("missing entries array".to_string()))?;
+        let cache = ResultCache::new();
+        let mut store = cache.store.lock().expect("cache lock");
+        for entry in entries {
+            let field = |key: &str| {
+                entry.get(key).and_then(JsonValue::as_str).ok_or_else(|| {
+                    CachePersistError::Parse(format!("entry is missing string field '{key}'"))
+                })
+            };
+            let key = UnitKey {
+                id: field("id")?.to_string(),
+                params: field("params")?.to_string(),
+            };
+            let sets = entry
+                .get("sets")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| CachePersistError::Parse(format!("entry {key} has no sets")))?
+                .iter()
+                .map(metric::set_from_json)
+                .collect::<Result<Vec<MetricSet>, _>>()
+                .map_err(|e| CachePersistError::Parse(format!("entry {key}: {e}")))?;
+            let rendered = match entry.get("rendered") {
+                None | Some(JsonValue::Null) => None,
+                Some(JsonValue::String(s)) => Some(s.clone()),
+                Some(other) => {
+                    return Err(CachePersistError::Parse(format!(
+                        "entry {key}: bad rendered field {other:?}"
+                    )))
+                }
+            };
+            let mut output = ExperimentOutput::from_sets(sets, rendered)
+                .map_err(|e| CachePersistError::Serialize(e.to_string()))?;
+            if let Some(wall) = entry.get("wall_time_s").and_then(JsonValue::as_f64) {
+                output.stamp_wall_time(wall);
+            }
+            store.insert(key, Arc::new(output));
+        }
+        drop(store);
+        Ok(cache)
+    }
 }
+
+/// On-disk format version; bumped on any envelope change.
+const DISK_FORMAT_VERSION: u32 = 1;
+
+/// Refuse to persist values the JSON round-trip cannot represent: the
+/// emitter writes non-finite floats as `null`, which the loader would
+/// reject — better to fail the save than to brick the cache file.
+fn check_finite(key: &UnitKey, output: &ExperimentOutput) -> Result<(), CachePersistError> {
+    for set in &output.sets {
+        if let Some(metric) = set.metrics.iter().find(
+            |m| matches!(m.value, oranges_harness::metric::MetricValue::Float(v) if !v.is_finite()),
+        ) {
+            return Err(CachePersistError::Serialize(format!(
+                "entry {key}: metric '{}' has a non-finite value and would not round-trip",
+                metric.name
+            )));
+        }
+        if let Some(power) = set.provenance.power {
+            let finite = power.package_watts.is_finite()
+                && power.energy_j.is_finite()
+                && power.window_s.is_finite()
+                && power.dvfs_cap.is_finite();
+            if !finite {
+                return Err(CachePersistError::Serialize(format!(
+                    "entry {key}: power context has a non-finite field and would not round-trip"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[derive(Serialize)]
+struct DiskEntry {
+    id: String,
+    params: String,
+    wall_time_s: Option<f64>,
+    rendered: Option<String>,
+    sets: Vec<MetricSet>,
+}
+
+#[derive(Serialize)]
+struct DiskCache {
+    version: u32,
+    entries: Vec<DiskEntry>,
+}
+
+/// Failure to persist or restore a cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CachePersistError {
+    /// Filesystem failure (path, cause).
+    Io(String, String),
+    /// The in-memory store would not serialize.
+    Serialize(String),
+    /// The file is not a valid cache document.
+    Parse(String),
+}
+
+impl fmt::Display for CachePersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CachePersistError::Io(path, cause) => write!(f, "cache io on {path}: {cause}"),
+            CachePersistError::Serialize(msg) => write!(f, "cache serialize: {msg}"),
+            CachePersistError::Parse(msg) => write!(f, "cache parse: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CachePersistError {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use oranges_harness::record::RunRecord;
 
     fn key(id: &str) -> UnitKey {
         UnitKey {
@@ -96,11 +270,15 @@ mod tests {
     }
 
     fn output(tag: f64) -> ExperimentOutput {
-        ExperimentOutput {
-            json: format!("[{tag}]"),
-            records: vec![RunRecord::global("x", "v", tag, "u")],
-            rendered: None,
-        }
+        ExperimentOutput::from_sets(
+            vec![MetricSet::for_chip("x", "chip=M1", "M1").metric("v", tag, "u")],
+            None,
+        )
+        .expect("serializable")
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("oranges-cache-{}-{name}.json", std::process::id()))
     }
 
     #[test]
@@ -109,7 +287,7 @@ mod tests {
         assert!(cache.get(&key("fig1")).is_none());
         cache.insert(key("fig1"), output(1.0));
         let hit = cache.get(&key("fig1")).expect("stored");
-        assert_eq!(hit.json, "[1]");
+        assert_eq!(hit.sets[0].value("v"), Some(1.0));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
         assert_eq!(stats.hit_rate(), 0.5);
@@ -134,7 +312,10 @@ mod tests {
         };
         cache.insert(other.clone(), output(2.0));
         assert_eq!(cache.stats().entries, 2);
-        assert_eq!(cache.get(&other).expect("stored").json, "[2]");
+        assert_eq!(
+            cache.get(&other).expect("stored").sets[0].value("v"),
+            Some(2.0)
+        );
     }
 
     #[test]
@@ -146,5 +327,88 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn save_load_round_trips_outputs_walls_and_rendered() {
+        let cache = ResultCache::new();
+        let mut first = output(1.5);
+        first.stamp_wall_time(0.25);
+        first.rendered = Some("Table 1\nrow".to_string());
+        cache.insert(key("fig1"), first.clone());
+        cache.insert(key("tables"), output(3.0));
+
+        let path = temp_path("roundtrip");
+        cache.save(&path).expect("save");
+        let reloaded = ResultCache::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(reloaded.stats().entries, 2);
+        let hit = reloaded.get(&key("fig1")).expect("persisted entry");
+        assert_eq!(hit.json, first.json, "canonical identity survives disk");
+        assert_eq!(hit.sets, first.sets);
+        assert_eq!(hit.rendered.as_deref(), Some("Table 1\nrow"));
+        assert_eq!(
+            hit.wall_time_s(),
+            Some(0.25),
+            "wall travels in the envelope"
+        );
+        assert_eq!(reloaded.get(&key("tables")).unwrap().wall_time_s(), None);
+    }
+
+    #[test]
+    fn save_is_deterministic_across_insertion_orders() {
+        let forward = ResultCache::new();
+        forward.insert(key("a"), output(1.0));
+        forward.insert(key("b"), output(2.0));
+        let backward = ResultCache::new();
+        backward.insert(key("b"), output(2.0));
+        backward.insert(key("a"), output(1.0));
+
+        let (p1, p2) = (temp_path("order1"), temp_path("order2"));
+        forward.save(&p1).expect("save forward");
+        backward.save(&p2).expect("save backward");
+        let (t1, t2) = (
+            std::fs::read_to_string(&p1).unwrap(),
+            std::fs::read_to_string(&p2).unwrap(),
+        );
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+        assert_eq!(t1, t2, "key-sorted save must be byte-stable");
+    }
+
+    #[test]
+    fn save_rejects_non_finite_values_instead_of_bricking_the_file() {
+        let cache = ResultCache::new();
+        let bad = ExperimentOutput::from_sets(
+            vec![MetricSet::for_chip("x", "chip=M1", "M1").metric("v", f64::NAN, "u")],
+            None,
+        )
+        .expect("serializes (as null) in memory");
+        cache.insert(key("fig1"), bad);
+        let path = temp_path("nonfinite");
+        let error = cache.save(&path).expect_err("must refuse to persist NaN");
+        assert!(matches!(error, CachePersistError::Serialize(_)), "{error}");
+        assert!(!path.exists(), "no partial file left behind");
+    }
+
+    #[test]
+    fn load_rejects_missing_and_malformed_files() {
+        assert!(matches!(
+            ResultCache::load(temp_path("enoent")),
+            Err(CachePersistError::Io(_, _))
+        ));
+        let path = temp_path("garbage");
+        std::fs::write(&path, "{\"version\":99,\"entries\":[]}").unwrap();
+        assert!(matches!(
+            ResultCache::load(&path),
+            Err(CachePersistError::Parse(_))
+        ));
+        std::fs::write(&path, "not json").unwrap();
+        assert!(matches!(
+            ResultCache::load(&path),
+            Err(CachePersistError::Parse(_))
+        ));
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -14,16 +14,29 @@
 //!   [`PlatformPool`](oranges::platform::PlatformPool), so no simulator
 //!   state is shared;
 //! - [`cache::ResultCache`] — a content-keyed result store
-//!   (experiment id + chip + params) that deduplicates repeated units and
-//!   makes re-runs near-free;
-//! - [`report::CampaignReport`] — the aggregate: per-unit outputs in
-//!   deterministic plan order, flat
-//!   [`RunRecord`](oranges_harness::record::RunRecord)s, CSV/JSON
-//!   emission, throughput and cache statistics.
+//!   (experiment id + chip + params) that deduplicates repeated units,
+//!   makes re-runs near-free, and persists to disk
+//!   ([`save`](cache::ResultCache::save)/[`load`](cache::ResultCache::load))
+//!   so a *second process* re-running the same spec gets 100% hits;
+//! - [`report::CampaignReport`] — the aggregate: per-unit
+//!   [`MetricSet`](oranges_harness::metric::MetricSet)s in deterministic
+//!   plan order with per-unit wall-time accounting, emitted generically
+//!   as rows/CSV/JSON, plus throughput and cache statistics.
+//!
+//! Every number a campaign emits is a typed, unit-carrying metric with
+//! provenance (chip, experiment id, params digest, wall-time,
+//! power/thermal context) — the single `MetricSet` currency from the
+//! platform layer to the emitters. Plans shard deterministically
+//! ([`Plan::shard`](plan::Plan::shard) /
+//! [`CampaignSpec::with_shard`](spec::CampaignSpec::with_shard)) for
+//! multi-process scale-out: the union of all shards equals the unsharded
+//! campaign.
 //!
 //! The simulation is deterministic per unit, so a concurrent campaign is
 //! *value-identical* to a serial one — [`report::CampaignReport::digest`]
 //! makes that checkable, and `tests/campaign_integration.rs` checks it.
+//! (Wall-time is excluded from canonical serialization, so timing noise
+//! never perturbs identity.)
 //!
 //! ## Quickstart
 //!
@@ -60,7 +73,7 @@ pub mod spec;
 // (`oranges::experiments`); this crate is its consumer-facing home.
 pub use oranges::experiments::{Experiment, ExperimentError, ExperimentOutput};
 
-pub use cache::{CacheStats, ResultCache};
+pub use cache::{CachePersistError, CacheStats, ResultCache};
 pub use plan::{Plan, PlanUnit, UnitKey};
 pub use report::{CampaignReport, UnitReport};
 pub use scheduler::{run_campaign, run_campaign_serial, CampaignError};
@@ -73,5 +86,6 @@ pub mod prelude {
     pub use crate::scheduler::{run_campaign, run_campaign_serial};
     pub use crate::spec::{CampaignSpec, ExperimentKind};
     pub use crate::Experiment;
+    pub use oranges_harness::metric::{MetricRow, MetricSet, MetricValue};
     pub use oranges_soc::chip::ChipGeneration;
 }

@@ -105,6 +105,32 @@ impl Plan {
         keys.dedup();
         keys.len()
     }
+
+    /// Deterministic 1-of-`count` partition for multi-process scale-out:
+    /// shard `index` keeps every unit whose plan position is congruent to
+    /// `index` modulo `count` (round-robin, so expensive kinds spread
+    /// evenly instead of clumping in one shard). Kept units are
+    /// re-indexed contiguously; the union of all `count` shards is
+    /// exactly the unsharded plan, each unit exactly once.
+    pub fn shard(&self, index: usize, count: usize) -> Plan {
+        assert!(count > 0, "shard count must be positive");
+        assert!(
+            index < count,
+            "shard index {index} out of range for {count} shards"
+        );
+        let units = self
+            .units
+            .iter()
+            .filter(|unit| unit.index % count == index)
+            .cloned()
+            .enumerate()
+            .map(|(position, mut unit)| {
+                unit.index = position;
+                unit
+            })
+            .collect();
+        Plan { units }
+    }
 }
 
 #[cfg(test)]
@@ -134,6 +160,38 @@ mod tests {
         let plan = Plan::expand(&spec);
         assert_eq!(plan.len(), 3);
         assert_eq!(plan.units[0].key.id, "tables");
+    }
+
+    #[test]
+    fn shards_partition_the_plan_exactly() {
+        let plan = Plan::expand(&CampaignSpec::paper_grid());
+        for count in [1usize, 2, 3, 5] {
+            let mut seen: Vec<UnitKey> = Vec::new();
+            for index in 0..count {
+                let shard = plan.shard(index, count);
+                // Contiguous re-indexing within the shard.
+                assert!(shard.units.iter().enumerate().all(|(i, u)| u.index == i));
+                seen.extend(shard.units.iter().map(|u| u.key.clone()));
+            }
+            let mut expected: Vec<UnitKey> = plan.units.iter().map(|u| u.key.clone()).collect();
+            seen.sort();
+            expected.sort();
+            assert_eq!(seen, expected, "{count} shards must cover exactly");
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_kinds_across_shards() {
+        let plan = Plan::expand(&CampaignSpec::paper_grid());
+        let shard = plan.shard(0, 4);
+        let ids: Vec<&str> = shard.units.iter().map(|u| u.key.id.as_str()).collect();
+        assert_eq!(ids, ["fig1", "fig2", "fig3", "fig4"], "one of each figure");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_index_must_be_in_range() {
+        let _ = Plan::expand(&CampaignSpec::paper_grid()).shard(4, 4);
     }
 
     #[test]

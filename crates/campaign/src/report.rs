@@ -1,10 +1,12 @@
-//! Campaign aggregation: per-unit outputs → records, tables, CSV, JSON.
+//! Campaign aggregation: per-unit [`MetricSet`]s → rows, tables, CSV,
+//! JSON — all through the generic metric emitters, with per-unit
+//! wall-time accounting.
 
 use crate::cache::CacheStats;
 use crate::plan::UnitKey;
 use oranges::experiments::ExperimentOutput;
 use oranges_harness::json::JsonError;
-use oranges_harness::record::{records_to_csv, records_to_json, RunRecord};
+use oranges_harness::metric::{self, MetricRow, MetricSet};
 use oranges_harness::table::TextTable;
 use std::sync::Arc;
 use std::time::Duration;
@@ -18,8 +20,19 @@ pub struct UnitReport {
     pub key: UnitKey,
     /// Whether the result came from the cache.
     pub from_cache: bool,
+    /// Wall time this campaign spent servicing the unit (near-zero for
+    /// a cache hit).
+    pub wall: Duration,
     /// The unit's output.
     pub output: Arc<ExperimentOutput>,
+}
+
+impl UnitReport {
+    /// Wall time of the *producing* run, from provenance — for a cache
+    /// hit this is the original compute time, not the probe time.
+    pub fn compute_wall_s(&self) -> Option<f64> {
+        self.output.wall_time_s()
+    }
 }
 
 /// The aggregate result of a campaign.
@@ -50,18 +63,25 @@ impl CampaignReport {
         }
     }
 
-    /// All flat records, in plan order (deterministic: unit order is the
-    /// plan's, record order within a unit is the runner's).
-    pub fn records(&self) -> Vec<RunRecord> {
+    /// Every unit's metric sets, in plan order.
+    pub fn sets(&self) -> Vec<&MetricSet> {
         self.units
             .iter()
-            .flat_map(|u| u.output.records.iter().cloned())
+            .flat_map(|u| u.output.sets.iter())
             .collect()
+    }
+
+    /// All flat (coordinate, metric) rows, in plan order (deterministic:
+    /// unit order is the plan's, set and metric order within a unit is
+    /// the runner's).
+    pub fn rows(&self) -> Vec<MetricRow> {
+        self.units.iter().flat_map(|u| u.output.rows()).collect()
     }
 
     /// The value-identity digest: every unit's canonical JSON, keyed and
     /// concatenated in plan order. Two campaigns over the same spec are
-    /// equal iff their digests are equal.
+    /// equal iff their digests are equal (wall-times are excluded from
+    /// the canonical JSON, so timing noise never breaks identity).
     pub fn digest(&self) -> String {
         let mut digest = String::new();
         for unit in &self.units {
@@ -76,6 +96,25 @@ impl CampaignReport {
     /// Units computed (not served from cache) in this campaign.
     pub fn computed_units(&self) -> usize {
         self.units.iter().filter(|u| !u.from_cache).count()
+    }
+
+    /// Total wall time spent inside units, summed across workers. On an
+    /// N-worker campaign this approaches N × [`wall`](CampaignReport::wall)
+    /// when the pool stays busy; the ratio is the pool's utilization.
+    pub fn unit_wall(&self) -> Duration {
+        self.units.iter().map(|u| u.wall).sum()
+    }
+
+    /// Total *compute* wall carried in provenance — for a fully cached
+    /// campaign this reports what the original computation cost, not
+    /// the (near-zero) probe time.
+    pub fn compute_wall_s(&self) -> f64 {
+        self.units.iter().filter_map(|u| u.compute_wall_s()).sum()
+    }
+
+    /// The slowest unit of the campaign, if any ran.
+    pub fn slowest_unit(&self) -> Option<&UnitReport> {
+        self.units.iter().max_by_key(|u| u.wall)
     }
 
     /// Campaign throughput in units per second.
@@ -97,39 +136,57 @@ impl CampaignReport {
         }
     }
 
-    /// CSV of all records.
+    /// CSV of all rows, through the generic metric emitter.
     pub fn to_csv(&self) -> String {
-        records_to_csv(&self.records())
+        metric::rows_to_csv(&self.rows())
     }
 
-    /// JSON array of all records.
+    /// JSON array of all rows, through the generic metric emitter.
     pub fn to_json(&self) -> Result<String, JsonError> {
-        records_to_json(&self.records())
+        metric::rows_to_json(&self.rows())
     }
 
-    /// Human-readable summary table: one row per unit.
+    /// Structured JSON of all metric sets (the full provenance shape).
+    pub fn sets_to_json(&self) -> Result<String, JsonError> {
+        metric::sets_to_json(&self.sets())
+    }
+
+    /// Human-readable summary table: one row per unit, with per-unit
+    /// wall-time.
     pub fn render_summary(&self) -> String {
-        let mut table = TextTable::new(vec!["#", "Unit", "Records", "Cached"]).numeric();
+        let mut table =
+            TextTable::new(vec!["#", "Unit", "Sets", "Metrics", "Cached", "Wall (ms)"]).numeric();
         for unit in &self.units {
+            let metric_count: usize = unit.output.sets.iter().map(|s| s.metrics.len()).sum();
             table.row(vec![
                 unit.index.to_string(),
                 unit.key.to_string(),
-                unit.output.records.len().to_string(),
+                unit.output.sets.len().to_string(),
+                metric_count.to_string(),
                 if unit.from_cache {
                     "hit".to_string()
                 } else {
                     "computed".to_string()
                 },
+                format!("{:.2}", unit.wall.as_secs_f64() * 1e3),
             ]);
         }
         format!(
-            "Campaign: {} units ({} computed) on {} workers in {:.3} s ({:.1} units/s, {:.0}% campaign hit rate)\n{}",
+            "Campaign: {} units ({} computed) on {} workers in {:.3} s \
+             ({:.1} units/s, {:.0}% campaign hit rate)\n\
+             Unit wall: {:.3} s total across workers ({:.1}x the campaign wall); \
+             slowest unit {}\n{}",
             self.units.len(),
             self.computed_units(),
             self.workers,
             self.wall.as_secs_f64(),
             self.units_per_second(),
             self.campaign_hit_rate() * 100.0,
+            self.unit_wall().as_secs_f64(),
+            self.unit_wall().as_secs_f64() / self.wall.as_secs_f64().max(1e-12),
+            self.slowest_unit()
+                .map(|u| format!("{} ({:.2} ms)", u.key, u.wall.as_secs_f64() * 1e3))
+                .unwrap_or_else(|| "n/a".to_string()),
             table.render()
         )
     }
@@ -140,28 +197,28 @@ mod tests {
     use super::*;
 
     fn report() -> CampaignReport {
-        let output = Arc::new(ExperimentOutput {
-            json: "[1]".to_string(),
-            records: vec![RunRecord::for_chip(
-                "fig4",
-                "M1",
-                "gflops_per_watt",
-                200.0,
-                "GFLOPS/W",
-            )],
-            rendered: None,
-        });
-        let unit = |index: usize, from_cache: bool| UnitReport {
+        let output = Arc::new(
+            ExperimentOutput::from_sets(
+                vec![MetricSet::for_chip("fig4", "chip=M1", "M1")
+                    .with_implementation("GPU-MPS")
+                    .with_n(2048)
+                    .metric("gflops_per_watt", 200.0, "GFLOPS/W")],
+                None,
+            )
+            .expect("serializable"),
+        );
+        let unit = |index: usize, from_cache: bool, wall_ms: u64| UnitReport {
             index,
             key: UnitKey {
                 id: "fig4".into(),
                 params: format!("chip=M{}", index + 1),
             },
             from_cache,
+            wall: Duration::from_millis(wall_ms),
             output: output.clone(),
         };
         CampaignReport::new(
-            vec![unit(0, false), unit(1, true)],
+            vec![unit(0, false, 200), unit(1, true, 1)],
             2,
             Duration::from_millis(500),
             CacheStats {
@@ -182,22 +239,30 @@ mod tests {
     }
 
     #[test]
-    fn throughput_and_hit_rate() {
+    fn throughput_hit_rate_and_wall_accounting() {
         let r = report();
         assert_eq!(r.units_per_second(), 4.0);
         assert_eq!(r.campaign_hit_rate(), 0.5);
         assert_eq!(r.computed_units(), 1);
+        assert_eq!(r.unit_wall(), Duration::from_millis(201));
+        assert_eq!(r.slowest_unit().unwrap().index, 0);
     }
 
     #[test]
-    fn emitters_cover_all_records() {
+    fn emitters_cover_all_rows_generically() {
         let r = report();
         let csv = r.to_csv();
-        assert_eq!(csv.lines().count(), 3, "header + 2 units x 1 record");
+        assert_eq!(csv.lines().count(), 3, "header + 2 units x 1 row");
+        assert!(csv.starts_with("experiment,chip,implementation,n,metric,type,value,unit"));
         let json = r.to_json().unwrap();
         assert!(json.contains("gflops_per_watt"));
+        let sets_json = r.sets_to_json().unwrap();
+        assert!(sets_json.contains("\"provenance\""));
+        assert_eq!(r.sets().len(), 2);
         let summary = r.render_summary();
         assert!(summary.contains("2 units (1 computed) on 2 workers"));
+        assert!(summary.contains("Unit wall: 0.201 s"));
         assert!(summary.contains("hit"));
+        assert!(summary.contains("Wall (ms)"));
     }
 }

@@ -20,7 +20,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Campaign failure.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,24 +52,38 @@ fn platform_chip(unit: &PlanUnit) -> ChipGeneration {
     unit.experiment.chip().unwrap_or(ChipGeneration::ALL[0])
 }
 
-/// Run one unit: cache probe, then compute-and-fill on miss.
+/// What one serviced unit yields: cache status, output, and the wall
+/// time this campaign spent on it (near-zero for a hit).
+type UnitOutcome = (bool, Arc<ExperimentOutput>, Duration);
+
+/// Run one unit: cache probe, then compute-and-fill on miss. Computed
+/// outputs get the unit's wall-clock time stamped into every set's
+/// provenance before they enter the cache, so the compute cost travels
+/// with the result (including across process boundaries via
+/// [`ResultCache::save`]).
 fn execute_unit(
     unit: &PlanUnit,
     pool: &mut PlatformPool,
     cache: &ResultCache,
-) -> Result<(bool, Arc<ExperimentOutput>), CampaignError> {
+) -> Result<UnitOutcome, CampaignError> {
+    let started = Instant::now();
     if let Some(hit) = cache.get(&unit.key) {
-        return Ok((true, hit));
+        return Ok((true, hit, started.elapsed()));
     }
     let platform = pool.platform(platform_chip(unit));
-    let output = unit
+    let mut output = unit
         .experiment
         .run(platform)
         .map_err(|error| CampaignError::Unit {
             key: unit.key.clone(),
             error,
         })?;
-    Ok((false, cache.insert(unit.key.clone(), output)))
+    output.stamp_wall_time(started.elapsed().as_secs_f64());
+    Ok((
+        false,
+        cache.insert(unit.key.clone(), output),
+        started.elapsed(),
+    ))
 }
 
 /// Run a campaign through the worker pool. The cache persists across
@@ -79,11 +93,14 @@ pub fn run_campaign(
     spec: &CampaignSpec,
     cache: &ResultCache,
 ) -> Result<CampaignReport, CampaignError> {
-    let plan = Plan::expand(spec);
+    let mut plan = Plan::expand(spec);
+    if let Some((index, count)) = spec.shard {
+        plan = plan.shard(index, count);
+    }
     let workers = spec.workers.clamp(1, plan.len().max(1));
     let started = Instant::now();
 
-    let mut outcomes: Vec<Option<(bool, Arc<ExperimentOutput>)>> = vec![None; plan.len()];
+    let mut outcomes: Vec<Option<UnitOutcome>> = vec![None; plan.len()];
     if workers == 1 {
         // Degenerate pool: run inline, no threads to pay for.
         let mut pool = PlatformPool::new();
@@ -142,12 +159,13 @@ pub fn run_campaign(
 
     let mut units = Vec::with_capacity(plan.len());
     for (unit, outcome) in plan.units.iter().zip(outcomes) {
-        let (from_cache, output) = outcome
+        let (from_cache, output, wall) = outcome
             .ok_or_else(|| CampaignError::Worker(format!("unit {} never reported", unit.key)))?;
         units.push(UnitReport {
             index: unit.index,
             key: unit.key.clone(),
             from_cache,
+            wall,
             output,
         });
     }
@@ -222,5 +240,43 @@ mod tests {
     fn worker_count_exceeding_plan_is_clamped() {
         let report = run_campaign(&tiny_spec(64), &ResultCache::new()).unwrap();
         assert_eq!(report.workers, 4, "clamped to the 4 plan units");
+    }
+
+    #[test]
+    fn computed_units_carry_wall_time_everywhere() {
+        let cache = ResultCache::new();
+        let report = run_campaign(&tiny_spec(2), &cache).unwrap();
+        for unit in &report.units {
+            assert!(unit.wall > Duration::ZERO, "{}", unit.key);
+            let compute = unit.output.wall_time_s().expect("stamped at compute time");
+            assert!(compute > 0.0, "{}", unit.key);
+            assert!(unit
+                .output
+                .sets
+                .iter()
+                .all(|s| s.provenance.wall_time_s == Some(compute)));
+        }
+        // Cache hits keep the original compute wall in provenance.
+        let rerun = run_campaign(&tiny_spec(2), &cache).unwrap();
+        for (unit, original) in rerun.units.iter().zip(&report.units) {
+            assert!(unit.from_cache);
+            assert_eq!(unit.output.wall_time_s(), original.output.wall_time_s());
+        }
+    }
+
+    #[test]
+    fn sharded_specs_run_their_subset_only() {
+        let whole = run_campaign(&tiny_spec(1), &ResultCache::new()).unwrap();
+        let mut union: Vec<String> = Vec::new();
+        for index in 0..2 {
+            let spec = tiny_spec(1).with_shard(index, 2);
+            let shard = run_campaign(&spec, &ResultCache::new()).unwrap();
+            assert_eq!(shard.units.len(), 2, "4 units split 2/2");
+            union.extend(shard.units.iter().map(|u| u.key.to_string()));
+        }
+        let mut expected: Vec<String> = whole.units.iter().map(|u| u.key.to_string()).collect();
+        union.sort();
+        expected.sort();
+        assert_eq!(union, expected);
     }
 }

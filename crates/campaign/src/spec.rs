@@ -126,6 +126,11 @@ pub struct CampaignSpec {
     pub verify_max_flops: Option<u64>,
     /// Worker threads (clamped to ≥ 1 by the scheduler).
     pub workers: usize,
+    /// Run only shard `(index, count)` of the expanded plan (`None` =
+    /// the whole plan). The union of all `count` shards — across
+    /// processes, each with its own cache file — equals the unsharded
+    /// campaign.
+    pub shard: Option<(usize, usize)>,
 }
 
 impl CampaignSpec {
@@ -140,6 +145,7 @@ impl CampaignSpec {
             power_sizes: None,
             verify_max_flops: None,
             workers,
+            shard: None,
         }
     }
 
@@ -191,6 +197,20 @@ impl CampaignSpec {
     /// Override Figure 2's verification ceiling.
     pub fn with_verify_max_flops(mut self, flops: u64) -> Self {
         self.verify_max_flops = Some(flops);
+        self
+    }
+
+    /// Restrict the campaign to shard `index` of `count` (see
+    /// [`Plan::shard`](crate::plan::Plan::shard)). Panics on an
+    /// out-of-range index so a bad CLI flag fails at spec-build time,
+    /// not mid-campaign.
+    pub fn with_shard(mut self, index: usize, count: usize) -> Self {
+        assert!(count > 0, "shard count must be positive");
+        assert!(
+            index < count,
+            "shard index {index} out of range for {count} shards"
+        );
+        self.shard = Some((index, count));
         self
     }
 }

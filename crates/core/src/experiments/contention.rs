@@ -11,7 +11,6 @@ use crate::experiments::experiment::{
     chip_mismatch, Experiment, ExperimentError, ExperimentOutput,
 };
 use crate::platform::Platform;
-use oranges_harness::record::RunRecord;
 use oranges_harness::table::TextTable;
 use oranges_harness::RepetitionProtocol;
 use oranges_soc::chip::ChipGeneration;
@@ -107,46 +106,20 @@ impl Experiment for ContentionExperiment {
         if platform.chip() != self.chip {
             return Err(chip_mismatch(self.chip, platform.chip()));
         }
-        let chip = self.chip;
-        let point = run_chip(chip);
-        let records = vec![
-            RunRecord::for_chip(
-                "contention",
-                chip.name(),
-                "cpu_alone_gbs",
-                point.cpu_alone_gbs,
-                "GB/s",
-            ),
-            RunRecord::for_chip(
-                "contention",
-                chip.name(),
-                "gpu_alone_gbs",
-                point.gpu_alone_gbs,
-                "GB/s",
-            ),
-            RunRecord::for_chip(
-                "contention",
-                chip.name(),
-                "cpu_contended_gbs",
-                point.cpu_contended_gbs,
-                "GB/s",
-            ),
-            RunRecord::for_chip(
-                "contention",
-                chip.name(),
-                "gpu_contended_gbs",
-                point.gpu_contended_gbs,
-                "GB/s",
-            ),
-            RunRecord::for_chip(
-                "contention",
-                chip.name(),
-                "aggregate_gbs",
-                point.aggregate_gbs(),
-                "GB/s",
-            ),
-        ];
-        ExperimentOutput::new(&point, records, None)
+        let point = run_chip(self.chip);
+        let set = self
+            .base_set()
+            .metric("cpu_alone_gbs", point.cpu_alone_gbs, "GB/s")
+            .metric("gpu_alone_gbs", point.gpu_alone_gbs, "GB/s")
+            .metric("cpu_contended_gbs", point.cpu_contended_gbs, "GB/s")
+            .metric("gpu_contended_gbs", point.gpu_contended_gbs, "GB/s")
+            .metric("aggregate_gbs", point.aggregate_gbs(), "GB/s")
+            .metric(
+                "aggregate_fraction",
+                point.aggregate_fraction(self.chip),
+                "ratio",
+            );
+        ExperimentOutput::from_sets(vec![set], None)
     }
 }
 

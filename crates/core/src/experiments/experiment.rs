@@ -8,14 +8,14 @@
 //! An experiment names itself ([`Experiment::id`]), digests its
 //! parameters into a stable cache key ([`Experiment::params`]), declares
 //! its §4 repetition protocol, and runs against a [`Platform`] producing
-//! an [`ExperimentOutput`]: canonical JSON (value identity / caching) plus
-//! flat [`RunRecord`]s (aggregation). The simulation is deterministic, so
-//! the same id + params always produce byte-identical output — which is
-//! what makes content-keyed result caching sound.
+//! an [`ExperimentOutput`]: provenance-stamped [`MetricSet`]s plus their
+//! canonical JSON (value identity / caching). The simulation is
+//! deterministic, so the same id + params always produce byte-identical
+//! output — which is what makes content-keyed result caching sound.
 
 use crate::platform::Platform;
 use oranges_gemm::GemmError;
-use oranges_harness::record::RunRecord;
+use oranges_harness::metric::{self, MetricRow, MetricSet};
 use oranges_harness::RepetitionProtocol;
 use oranges_soc::chip::ChipGeneration;
 use std::fmt;
@@ -55,32 +55,54 @@ impl From<oranges_harness::json::JsonError> for ExperimentError {
     }
 }
 
-/// What one experiment unit produces.
+/// What one experiment unit produces: the typed measurement records and
+/// their canonical identity.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentOutput {
-    /// Canonical JSON of the dataset. Byte-equal across identical runs
-    /// (the deterministic simulation guarantees it); the campaign's
+    /// Canonical JSON of the metric sets. Byte-equal across identical
+    /// runs (wall-time is excluded from serialization and the
+    /// deterministic simulation guarantees the rest); the campaign's
     /// value-identity checks and cache semantics rest on this.
     pub json: String,
-    /// Flat per-cell records for aggregated tables / CSV / JSON reports.
-    pub records: Vec<RunRecord>,
+    /// The unit's measurements: one [`MetricSet`] per grid coordinate.
+    pub sets: Vec<MetricSet>,
     /// Human-readable rendering (chart or table), where the runner has
     /// one.
     pub rendered: Option<String>,
 }
 
 impl ExperimentOutput {
-    /// Build from a serializable dataset plus its records.
-    pub fn new<T: serde::Serialize>(
-        dataset: &T,
-        records: Vec<RunRecord>,
+    /// Build from the unit's metric sets; the canonical JSON is derived
+    /// here, once, so every consumer sees the same identity.
+    pub fn from_sets(
+        sets: Vec<MetricSet>,
         rendered: Option<String>,
     ) -> Result<Self, ExperimentError> {
         Ok(ExperimentOutput {
-            json: oranges_harness::json::to_json_string(dataset)?,
-            records,
+            json: metric::sets_to_json(&sets)?,
+            sets,
             rendered,
         })
+    }
+
+    /// Flat (coordinate, metric) rows for the generic emitters.
+    pub fn rows(&self) -> Vec<MetricRow> {
+        metric::rows(&self.sets)
+    }
+
+    /// Stamp the unit's wall-clock time into every set's provenance.
+    /// Called by the campaign scheduler after timing the run; the stamp
+    /// does not perturb [`json`](ExperimentOutput::json) (wall-time is
+    /// excluded from serialization by design).
+    pub fn stamp_wall_time(&mut self, seconds: f64) {
+        for set in &mut self.sets {
+            set.provenance.wall_time_s = Some(seconds);
+        }
+    }
+
+    /// The stamped per-unit wall time, if the scheduler has run this.
+    pub fn wall_time_s(&self) -> Option<f64> {
+        self.sets.first().and_then(|s| s.provenance.wall_time_s)
     }
 }
 
@@ -115,6 +137,16 @@ pub trait Experiment: Send + Sync {
     ///
     /// [`chip`]: Experiment::chip
     fn run(&self, platform: &mut Platform) -> Result<ExperimentOutput, ExperimentError>;
+
+    /// A [`MetricSet`] seeded with this unit's provenance (id, chip,
+    /// params digest) — the starting point for every measurement the
+    /// unit emits, so no runner hand-assembles provenance.
+    fn base_set(&self) -> MetricSet {
+        match self.chip() {
+            Some(chip) => MetricSet::for_chip(self.id(), &self.params(), chip.name()),
+            None => MetricSet::new(self.id(), &self.params()),
+        }
+    }
 }
 
 /// Format a size list for parameter digests. Lossless — the digest is a

@@ -4,9 +4,8 @@ use crate::experiments::experiment::{
     chip_mismatch, Experiment, ExperimentError, ExperimentOutput,
 };
 use crate::platform::Platform;
-use oranges_harness::csv::CsvWriter;
 use oranges_harness::figure::{grouped_bar_chart, Bar, BarGroup};
-use oranges_harness::record::RunRecord;
+use oranges_harness::metric::{self, MetricSet};
 use oranges_harness::RepetitionProtocol;
 use oranges_soc::chip::ChipGeneration;
 use oranges_stream::cpu::CpuStream;
@@ -133,18 +132,22 @@ pub fn render(data: &Fig1Data) -> String {
     )
 }
 
-/// CSV of the dataset (`chip,agent,kernel,gbs`).
+/// Convert bandwidth points to provenance-stamped [`MetricSet`]s — one
+/// per bar, implementation `"Kernel (Agent)"`, metric `gbs`.
+pub fn metric_sets(points: &[Fig1Point]) -> Vec<MetricSet> {
+    points
+        .iter()
+        .map(|p| {
+            MetricSet::for_chip("fig1", &format!("chip={}", p.chip.name()), p.chip.name())
+                .with_implementation(&format!("{} ({})", p.kernel, p.agent))
+                .metric("gbs", p.gbs, "GB/s")
+        })
+        .collect()
+}
+
+/// CSV of the dataset, through the generic metric emitter.
 pub fn to_csv(data: &Fig1Data) -> String {
-    let mut csv = CsvWriter::new(&["chip", "agent", "kernel", "gbs"]);
-    for p in &data.points {
-        csv.row(&[
-            p.chip.name().to_string(),
-            p.agent.to_string(),
-            p.kernel.to_string(),
-            format!("{:.2}", p.gbs),
-        ]);
-    }
-    csv.finish()
+    metric::rows_to_csv(&metric::rows(&metric_sets(&data.points)))
 }
 
 /// Figure 1 as a schedulable unit: one chip's STREAM bars.
@@ -175,16 +178,7 @@ impl Experiment for Fig1Experiment {
         if platform.chip() != self.chip {
             return Err(chip_mismatch(self.chip, platform.chip()));
         }
-        let chip = self.chip;
-        let points = run_chip(chip);
-        let records = points
-            .iter()
-            .map(|p| {
-                RunRecord::for_chip("fig1", chip.name(), "gbs", p.gbs, "GB/s")
-                    .with_implementation(&format!("{} ({})", p.kernel, p.agent))
-            })
-            .collect();
-        ExperimentOutput::new(&points, records, None)
+        ExperimentOutput::from_sets(metric_sets(&run_chip(self.chip)), None)
     }
 }
 
@@ -228,6 +222,25 @@ mod tests {
         assert!(chart.contains("theoretical"));
         let csv = to_csv(&data);
         assert_eq!(csv.lines().count(), 33);
-        assert!(csv.starts_with("chip,agent,kernel,gbs"));
+        assert!(csv.starts_with("experiment,chip,implementation,n,metric,type,value,unit"));
+        assert!(csv.contains("fig1,M1,Triad (GPU),,gbs,float,"));
+    }
+
+    #[test]
+    fn experiment_unit_emits_provenance_stamped_sets() {
+        use crate::experiments::Experiment as _;
+        let mut platform = crate::platform::Platform::new(ChipGeneration::M1);
+        let experiment = Fig1Experiment {
+            chip: ChipGeneration::M1,
+        };
+        let output = experiment.run(&mut platform).unwrap();
+        assert_eq!(output.sets.len(), 8, "2 agents x 4 kernels");
+        for set in &output.sets {
+            assert_eq!(set.provenance.experiment, "fig1");
+            assert_eq!(set.provenance.chip.as_deref(), Some("M1"));
+            assert_eq!(set.provenance.params, experiment.params());
+            assert_eq!(set.metrics.len(), 1);
+            assert_eq!(set.metrics[0].unit, "GB/s");
+        }
     }
 }

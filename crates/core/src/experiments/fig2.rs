@@ -12,10 +12,9 @@ use crate::experiments::experiment::{
 use crate::platform::Platform;
 use oranges_gemm::suite::{paper_sizes, skips_size};
 use oranges_gemm::{gemm_flops, verify_sampled, GemmError, Matrix};
-use oranges_harness::csv::CsvWriter;
 use oranges_harness::experiment::RepetitionProtocol;
 use oranges_harness::figure::{series_chart, Series, SeriesChartConfig};
-use oranges_harness::record::RunRecord;
+use oranges_harness::metric::{self, MetricSet, PowerContext};
 use oranges_harness::stats::Summary;
 use oranges_soc::chip::ChipGeneration;
 use serde::Serialize;
@@ -71,6 +70,8 @@ pub struct Fig2Point {
     pub stats: Summary,
     /// Whether this cell's numerics were functionally verified.
     pub verified: Option<bool>,
+    /// Power/thermal context of the measured window (mean over reps).
+    pub power: PowerContext,
 }
 
 /// The full Figure 2 dataset.
@@ -116,11 +117,17 @@ pub fn run_chip(platform: &mut Platform, config: &Fig2Config) -> Result<Vec<Fig2
             } else {
                 None
             };
-            // The five timed repetitions (model path — deterministic).
-            let samples = config
+            // The five timed repetitions (model path — deterministic),
+            // with power piggybacked on the same windows.
+            let runs = config
                 .protocol
-                .try_run(|_| platform.gemm_modeled(name, n).map(|r| r.gflops()))?;
+                .try_run(|_| platform.gemm_modeled(name, n))?;
+            let samples: Vec<f64> = runs.iter().map(|r| r.gflops()).collect();
             let stats = Summary::of(&samples).expect("non-empty repetitions");
+            let count = runs.len() as f64;
+            let mean = |f: &dyn Fn(&PowerContext) -> f64| {
+                runs.iter().map(|r| f(&r.power_context())).sum::<f64>() / count
+            };
             points.push(Fig2Point {
                 chip,
                 implementation: name,
@@ -128,6 +135,12 @@ pub fn run_chip(platform: &mut Platform, config: &Fig2Config) -> Result<Vec<Fig2
                 gflops: stats.mean,
                 stats,
                 verified,
+                power: PowerContext {
+                    package_watts: mean(&|p| p.package_watts),
+                    energy_j: mean(&|p| p.energy_j),
+                    window_s: mean(&|p| p.window_s),
+                    dvfs_cap: 1.0,
+                },
             });
         }
     }
@@ -195,23 +208,29 @@ pub fn render_panel(data: &Fig2Data, chip: ChipGeneration) -> String {
     )
 }
 
-/// CSV of the dataset.
+/// Convert grid cells to provenance-stamped [`MetricSet`]s. `params` is
+/// the producing configuration's digest (campaign units pass their cache
+/// key; standalone callers a descriptive label).
+pub fn metric_sets(points: &[Fig2Point], params: &str) -> Vec<MetricSet> {
+    points
+        .iter()
+        .map(|p| {
+            let mut set = MetricSet::for_chip("fig2", params, p.chip.name())
+                .with_implementation(p.implementation)
+                .with_n(p.n as u64)
+                .with_power(p.power)
+                .metric("gflops", p.gflops, "GFLOPS");
+            if let Some(verified) = p.verified {
+                set = set.metric("verified", verified, "flag");
+            }
+            set
+        })
+        .collect()
+}
+
+/// CSV of the dataset, through the generic metric emitter.
 pub fn to_csv(data: &Fig2Data) -> String {
-    let mut csv = CsvWriter::new(&["chip", "implementation", "n", "gflops", "verified"]);
-    for p in &data.points {
-        csv.row(&[
-            p.chip.name().to_string(),
-            p.implementation.to_string(),
-            p.n.to_string(),
-            format!("{:.3}", p.gflops),
-            match p.verified {
-                Some(true) => "pass".into(),
-                Some(false) => "fail".into(),
-                None => "".into(),
-            },
-        ]);
-    }
-    csv.finish()
+    metric::rows_to_csv(&metric::rows(&metric_sets(&data.points, "standalone")))
 }
 
 /// Figure 2 as a schedulable unit: one chip's GFLOPS grid.
@@ -273,15 +292,7 @@ impl Experiment for Fig2Experiment {
             return Err(chip_mismatch(self.chip, platform.chip()));
         }
         let points = run_chip(platform, &self.config())?;
-        let records = points
-            .iter()
-            .map(|p| {
-                RunRecord::for_chip("fig2", p.chip.name(), "gflops", p.gflops, "GFLOPS")
-                    .with_implementation(p.implementation)
-                    .with_n(p.n as u64)
-            })
-            .collect();
-        ExperimentOutput::new(&points, records, None)
+        ExperimentOutput::from_sets(metric_sets(&points, &self.params()), None)
     }
 }
 
@@ -348,7 +359,21 @@ mod tests {
         assert!(panel.contains("GPU-MPS"));
         assert!(panel.contains("CPU-Single"));
         let csv = to_csv(&data);
-        assert!(csv.starts_with("chip,implementation,n,gflops,verified"));
-        assert_eq!(csv.lines().count(), 37);
+        assert!(csv.starts_with("experiment,chip,implementation,n,metric,type,value,unit"));
+        // 36 cells, each a gflops row; n=64 cells add a verified row.
+        let verified_cells = data.points.iter().filter(|p| p.verified.is_some()).count();
+        assert_eq!(csv.lines().count(), 1 + 36 + verified_cells);
+        assert!(csv.contains("fig2,M1,GPU-MPS,1024,gflops,float,"));
+    }
+
+    #[test]
+    fn cells_carry_power_context() {
+        let data = run(&Fig2Config::smoke()).unwrap();
+        for p in &data.points {
+            assert!(p.power.package_watts > 0.0, "{p:?}");
+            assert!(p.power.window_s > 0.0 && p.power.energy_j > 0.0, "{p:?}");
+        }
+        let sets = metric_sets(&data.points, "smoke");
+        assert!(sets.iter().all(|s| s.provenance.power.is_some()));
     }
 }

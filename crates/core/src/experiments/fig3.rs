@@ -11,10 +11,9 @@ use crate::experiments::experiment::{
 use crate::platform::Platform;
 use oranges_gemm::suite::skips_size;
 use oranges_gemm::GemmError;
-use oranges_harness::csv::CsvWriter;
 use oranges_harness::experiment::RepetitionProtocol;
 use oranges_harness::figure::{series_chart, Series, SeriesChartConfig};
-use oranges_harness::record::RunRecord;
+use oranges_harness::metric::{self, MetricSet, PowerContext};
 use oranges_soc::chip::ChipGeneration;
 use serde::Serialize;
 
@@ -175,15 +174,7 @@ impl Experiment for Fig3Experiment {
             chips: vec![self.chip],
         };
         let points = run_chip(platform, &config)?;
-        let records = points
-            .iter()
-            .map(|p| {
-                RunRecord::for_chip("fig3", p.chip.name(), "power_mw", p.power_mw, "mW")
-                    .with_implementation(p.implementation)
-                    .with_n(p.n as u64)
-            })
-            .collect();
-        ExperimentOutput::new(&points, records, None)
+        ExperimentOutput::from_sets(metric_sets(&points, &self.params()), None)
     }
 }
 
@@ -219,27 +210,30 @@ pub fn render_panel(data: &Fig3Data, chip: ChipGeneration) -> String {
     )
 }
 
-/// CSV of the dataset.
+/// Convert power cells to provenance-stamped [`MetricSet`]s; the cell's
+/// window/energy become its [`PowerContext`].
+pub fn metric_sets(points: &[Fig3Point], params: &str) -> Vec<MetricSet> {
+    points
+        .iter()
+        .map(|p| {
+            MetricSet::for_chip("fig3", params, p.chip.name())
+                .with_implementation(p.implementation)
+                .with_n(p.n as u64)
+                .with_power(PowerContext {
+                    package_watts: p.power_mw / 1e3,
+                    energy_j: p.energy_j,
+                    window_s: p.window_s,
+                    dvfs_cap: 1.0,
+                })
+                .metric("power_mw", p.power_mw, "mW")
+                .metric("energy_j", p.energy_j, "J")
+        })
+        .collect()
+}
+
+/// CSV of the dataset, through the generic metric emitter.
 pub fn to_csv(data: &Fig3Data) -> String {
-    let mut csv = CsvWriter::new(&[
-        "chip",
-        "implementation",
-        "n",
-        "power_mw",
-        "window_s",
-        "energy_j",
-    ]);
-    for p in &data.points {
-        csv.row(&[
-            p.chip.name().to_string(),
-            p.implementation.to_string(),
-            p.n.to_string(),
-            format!("{:.1}", p.power_mw),
-            format!("{:.6}", p.window_s),
-            format!("{:.6}", p.energy_j),
-        ]);
-    }
-    csv.finish()
+    metric::rows_to_csv(&metric::rows(&metric_sets(&data.points, "standalone")))
 }
 
 #[cfg(test)]
@@ -307,8 +301,21 @@ mod tests {
         let data = run(&small_config()).unwrap();
         assert!(data.cell(ChipGeneration::M1, "CPU-Single", 8192).is_none());
         let csv = to_csv(&data);
-        assert!(csv.starts_with("chip,implementation,n,power_mw"));
+        assert!(csv.starts_with("experiment,chip,implementation,n,metric,type,value,unit"));
+        assert!(csv.contains("fig3,M4,GPU-CUTLASS,16384,power_mw,float,"));
         let panel = render_panel(&data, ChipGeneration::M4);
         assert!(panel.contains("GPU-CUTLASS"));
+    }
+
+    #[test]
+    fn sets_carry_the_window_as_power_context() {
+        let data = run(&small_config()).unwrap();
+        let sets = metric_sets(&data.points, "test");
+        for (set, point) in sets.iter().zip(&data.points) {
+            let power = set.provenance.power.expect("fig3 always measures power");
+            assert!((power.package_watts - point.power_mw / 1e3).abs() < 1e-12);
+            assert_eq!(power.window_s, point.window_s);
+            assert_eq!(set.value("power_mw"), Some(point.power_mw));
+        }
     }
 }

@@ -9,9 +9,8 @@ use crate::experiments::experiment::{
 use crate::platform::Platform;
 use oranges_gemm::suite::skips_size;
 use oranges_gemm::GemmError;
-use oranges_harness::csv::CsvWriter;
 use oranges_harness::figure::{series_chart, Series, SeriesChartConfig};
-use oranges_harness::record::RunRecord;
+use oranges_harness::metric::{self, MetricSet, PowerContext};
 use oranges_harness::RepetitionProtocol;
 use oranges_soc::chip::ChipGeneration;
 use serde::Serialize;
@@ -45,6 +44,8 @@ pub struct Fig4Point {
     pub n: usize,
     /// Efficiency, GFLOPS per watt.
     pub gflops_per_watt: f64,
+    /// Power/thermal context of the measured window.
+    pub power: PowerContext,
 }
 
 /// The full Figure 4 dataset.
@@ -88,6 +89,7 @@ pub fn run_chip(platform: &mut Platform, config: &Fig4Config) -> Result<Vec<Fig4
                 implementation: name,
                 n,
                 gflops_per_watt: run.gflops_per_watt(),
+                power: run.power_context(),
             });
         }
     }
@@ -153,21 +155,7 @@ impl Experiment for Fig4Experiment {
             chips: vec![self.chip],
         };
         let points = run_chip(platform, &config)?;
-        let records = points
-            .iter()
-            .map(|p| {
-                RunRecord::for_chip(
-                    "fig4",
-                    p.chip.name(),
-                    "gflops_per_watt",
-                    p.gflops_per_watt,
-                    "GFLOPS/W",
-                )
-                .with_implementation(p.implementation)
-                .with_n(p.n as u64)
-            })
-            .collect();
-        ExperimentOutput::new(&points, records, None)
+        ExperimentOutput::from_sets(metric_sets(&points, &self.params()), None)
     }
 }
 
@@ -200,18 +188,23 @@ pub fn render_panel(data: &Fig4Data, chip: ChipGeneration) -> String {
     )
 }
 
-/// CSV of the dataset.
+/// Convert efficiency cells to provenance-stamped [`MetricSet`]s.
+pub fn metric_sets(points: &[Fig4Point], params: &str) -> Vec<MetricSet> {
+    points
+        .iter()
+        .map(|p| {
+            MetricSet::for_chip("fig4", params, p.chip.name())
+                .with_implementation(p.implementation)
+                .with_n(p.n as u64)
+                .with_power(p.power)
+                .metric("gflops_per_watt", p.gflops_per_watt, "GFLOPS/W")
+        })
+        .collect()
+}
+
+/// CSV of the dataset, through the generic metric emitter.
 pub fn to_csv(data: &Fig4Data) -> String {
-    let mut csv = CsvWriter::new(&["chip", "implementation", "n", "gflops_per_watt"]);
-    for p in &data.points {
-        csv.row(&[
-            p.chip.name().to_string(),
-            p.implementation.to_string(),
-            p.n.to_string(),
-            format!("{:.3}", p.gflops_per_watt),
-        ]);
-    }
-    csv.finish()
+    metric::rows_to_csv(&metric::rows(&metric_sets(&data.points, "standalone")))
 }
 
 #[cfg(test)]
@@ -289,6 +282,12 @@ mod tests {
         let panel = render_panel(&data, ChipGeneration::M3);
         assert!(panel.contains("GFLOPS per Watt"));
         let csv = to_csv(&data);
-        assert!(csv.starts_with("chip,implementation,n,gflops_per_watt"));
+        assert!(csv.starts_with("experiment,chip,implementation,n,metric,type,value,unit"));
+        assert!(csv.contains("fig4,M3,GPU-MPS,2048,gflops_per_watt,float,"));
+        // Every efficiency number carries its measurement context.
+        let sets = metric_sets(&data.points, "test");
+        assert!(sets
+            .iter()
+            .all(|s| s.provenance.power.unwrap().package_watts > 0.0));
     }
 }

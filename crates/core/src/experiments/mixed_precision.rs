@@ -13,7 +13,7 @@ use crate::experiments::experiment::{
     chip_mismatch, Experiment, ExperimentError, ExperimentOutput,
 };
 use crate::platform::Platform;
-use oranges_harness::record::RunRecord;
+use oranges_harness::metric::MetricSet;
 use oranges_harness::table::TextTable;
 use oranges_harness::RepetitionProtocol;
 use oranges_soc::chip::ChipGeneration;
@@ -101,29 +101,21 @@ impl Experiment for MixedPrecisionExperiment {
         if platform.chip() != self.chip {
             return Err(chip_mismatch(self.chip, platform.chip()));
         }
-        let chip = self.chip;
-        let points = run_chip(chip);
-        let mut records: Vec<RunRecord> = points
+        let mut sets: Vec<MetricSet> = run_chip(self.chip)
             .iter()
             .map(|p| {
-                RunRecord::for_chip(
-                    "mixed_precision",
-                    chip.name(),
-                    "projected_tflops",
-                    p.tflops,
-                    "TFLOPS",
-                )
-                .with_implementation(&format!("{:?}", p.precision))
+                self.base_set()
+                    .with_implementation(&format!("{:?}", p.precision))
+                    .metric("projected_tflops", p.tflops, "TFLOPS")
+                    .metric("native", p.native, "flag")
             })
             .collect();
-        records.push(RunRecord::for_chip(
-            "mixed_precision",
-            chip.name(),
+        sets.push(self.base_set().metric(
             "fp16_dot_rel_err_k1024",
             fp16_dot_relative_error(1024, 42),
             "rel",
         ));
-        ExperimentOutput::new(&points, records, None)
+        ExperimentOutput::from_sets(sets, None)
     }
 }
 

@@ -8,7 +8,7 @@
 use crate::experiments::experiment::{Experiment, ExperimentError, ExperimentOutput};
 use crate::experiments::{fig1, fig4};
 use crate::platform::Platform;
-use oranges_harness::record::RunRecord;
+use oranges_harness::metric::MetricSet;
 use oranges_harness::table::TextTable;
 use oranges_harness::RepetitionProtocol;
 use oranges_soc::chip::ChipGeneration;
@@ -151,32 +151,20 @@ impl Experiment for ReferencesExperiment {
             compute_comparison(&tflops_peaks),
             efficiency_comparison(&fig4_data),
         ];
-        let mut records = Vec::new();
-        for &(chip, tflops) in &tflops_peaks {
-            records.push(
-                RunRecord::for_chip(
-                    "references",
-                    chip.name(),
-                    "mps_peak_tflops",
-                    tflops,
-                    "TFLOPS",
-                )
-                .with_implementation("GPU-MPS"),
-            );
-        }
-        for &(chip, eff) in &mps_peaks {
-            records.push(
-                RunRecord::for_chip(
-                    "references",
-                    chip.name(),
-                    "mps_peak_gflops_per_watt",
-                    eff,
-                    "GFLOPS/W",
-                )
-                .with_implementation("GPU-MPS"),
-            );
-        }
-        ExperimentOutput::new(&rendered.to_vec(), records, Some(rendered.join("\n\n")))
+        // One chip-scoped set per chip, both peaks together — the
+        // experiment itself is chip-independent, the measurements inside
+        // it are not.
+        let sets: Vec<MetricSet> = tflops_peaks
+            .iter()
+            .zip(&mps_peaks)
+            .map(|(&(chip, tflops), &(_, eff))| {
+                MetricSet::for_chip("references", &self.params(), chip.name())
+                    .with_implementation("GPU-MPS")
+                    .metric("mps_peak_tflops", tflops, "TFLOPS")
+                    .metric("mps_peak_gflops_per_watt", eff, "GFLOPS/W")
+            })
+            .collect();
+        ExperimentOutput::from_sets(sets, Some(rendered.join("\n\n")))
     }
 }
 

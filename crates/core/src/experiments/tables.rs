@@ -3,7 +3,6 @@
 use crate::experiments::experiment::{Experiment, ExperimentError, ExperimentOutput};
 use crate::platform::Platform;
 use oranges_gemm::suite::TABLE2;
-use oranges_harness::record::RunRecord;
 use oranges_harness::table::{Align, TextTable};
 use oranges_harness::RepetitionProtocol;
 use oranges_soc::chip::{ChipGeneration, ChipSpec};
@@ -138,19 +137,15 @@ impl Experiment for TablesExperiment {
 
     fn run(&self, _platform: &mut Platform) -> Result<ExperimentOutput, ExperimentError> {
         let rendered = [table1(), table2(), table3()];
-        let records = rendered
-            .iter()
-            .enumerate()
-            .map(|(i, text)| {
-                RunRecord::global(
-                    "tables",
-                    &format!("table{}_lines", i + 1),
-                    text.lines().count() as f64,
-                    "lines",
-                )
-            })
-            .collect();
-        ExperimentOutput::new(&rendered.to_vec(), records, Some(rendered.join("\n\n")))
+        let mut set = self.base_set();
+        for (i, text) in rendered.iter().enumerate() {
+            set = set.metric(
+                &format!("table{}_lines", i + 1),
+                text.lines().count() as i64,
+                "lines",
+            );
+        }
+        ExperimentOutput::from_sets(vec![set], Some(rendered.join("\n\n")))
     }
 }
 

@@ -12,7 +12,7 @@ use crate::experiments::experiment::{
     chip_mismatch, Experiment, ExperimentError, ExperimentOutput,
 };
 use crate::platform::Platform;
-use oranges_harness::record::RunRecord;
+use oranges_harness::metric::PowerContext;
 use oranges_harness::table::TextTable;
 use oranges_harness::RepetitionProtocol;
 use oranges_powermetrics::{PowerModel, WorkClass};
@@ -36,6 +36,28 @@ pub struct SustainedPoint {
     pub final_dvfs_cap: f64,
     /// Time until the cap first dropped below 1.0 (None = never).
     pub throttle_onset: Option<SimDuration>,
+    /// Total energy actually dissipated over the run (accounting for
+    /// throttling), joules.
+    pub energy_j: f64,
+    /// Run length, seconds.
+    pub window_s: f64,
+}
+
+impl SustainedPoint {
+    /// The run's power/thermal provenance: end-state cap, integrated
+    /// energy, and the mean effective power over the window.
+    pub fn power_context(&self) -> PowerContext {
+        PowerContext {
+            package_watts: if self.window_s > 0.0 {
+                self.energy_j / self.window_s
+            } else {
+                self.demand_watts
+            },
+            energy_j: self.energy_j,
+            window_s: self.window_s,
+            dvfs_cap: self.final_dvfs_cap,
+        }
+    }
 }
 
 /// Run `minutes` of continuous full-tilt work of `class` on every chip.
@@ -54,10 +76,12 @@ pub fn run_chip(chip: ChipGeneration, class: WorkClass, minutes: f64) -> Sustain
     let mut thermal = device.thermal_model();
     let demand = PowerModel::of(chip).active_watts(class);
     let mut throttle_onset = None;
+    let mut energy_j = 0.0;
     for s in 0..steps {
         // Thermally capped power: once the cap drops, the chip
         // clocks down and burns proportionally less.
         let effective = demand * thermal.dvfs_cap();
+        energy_j += effective * step.as_secs_f64();
         thermal.integrate(effective, step);
         if throttle_onset.is_none() && thermal.dvfs_cap() < 1.0 {
             throttle_onset = Some(step * (s + 1));
@@ -70,6 +94,8 @@ pub fn run_chip(chip: ChipGeneration, class: WorkClass, minutes: f64) -> Sustain
         final_temperature_c: thermal.temperature_c(),
         final_dvfs_cap: thermal.dvfs_cap(),
         throttle_onset,
+        energy_j,
+        window_s: steps as f64 * step.as_secs_f64(),
     }
 }
 
@@ -123,35 +149,20 @@ impl Experiment for ThermalExperiment {
         if platform.chip() != self.chip {
             return Err(chip_mismatch(self.chip, platform.chip()));
         }
-        let chip = self.chip;
-        let point = run_chip(chip, self.class, self.minutes);
-        let records = vec![
-            RunRecord::for_chip(
-                "thermal",
-                chip.name(),
-                "demand_watts",
-                point.demand_watts,
-                "W",
-            )
-            .with_implementation(self.class.label()),
-            RunRecord::for_chip(
-                "thermal",
-                chip.name(),
-                "final_temperature_c",
-                point.final_temperature_c,
-                "C",
-            )
-            .with_implementation(self.class.label()),
-            RunRecord::for_chip(
-                "thermal",
-                chip.name(),
-                "final_dvfs_cap",
-                point.final_dvfs_cap,
-                "x",
-            )
-            .with_implementation(self.class.label()),
-        ];
-        ExperimentOutput::new(&point, records, None)
+        let point = run_chip(self.chip, self.class, self.minutes);
+        let mut set = self
+            .base_set()
+            .with_implementation(self.class.label())
+            .with_power(point.power_context())
+            .metric("demand_watts", point.demand_watts, "W")
+            .metric("final_temperature_c", point.final_temperature_c, "C")
+            .metric("final_dvfs_cap", point.final_dvfs_cap, "x")
+            .metric("energy_j", point.energy_j, "J")
+            .metric("throttled", point.throttle_onset.is_some(), "flag");
+        if let Some(onset) = point.throttle_onset {
+            set = set.metric("throttle_onset_s", onset.as_secs_f64(), "s");
+        }
+        ExperimentOutput::from_sets(vec![set], None)
     }
 }
 

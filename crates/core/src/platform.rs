@@ -2,6 +2,7 @@
 
 use oranges_gemm::suite::suite_for;
 use oranges_gemm::{GemmError, GemmImplementation, GemmOutcome, Matrix};
+use oranges_harness::metric::PowerContext;
 use oranges_metal::Device;
 use oranges_powermetrics::{PowerReading, PowerSession, SamplerError};
 use oranges_soc::chip::ChipGeneration;
@@ -30,6 +31,19 @@ impl MeasuredRun {
     /// GFLOPS per watt — the Figure 4 quantity.
     pub fn gflops_per_watt(&self) -> f64 {
         self.power.gflops_per_watt(self.outcome.flops)
+    }
+
+    /// The run's power/thermal provenance, ready to stamp onto the
+    /// [`MetricSet`](oranges_harness::metric::MetricSet)s derived from
+    /// it. Paper-protocol runs are short enough that DVFS never engages,
+    /// so the thermal state is nominal (cap 1.0).
+    pub fn power_context(&self) -> PowerContext {
+        PowerContext {
+            package_watts: self.power.package_watts(),
+            energy_j: self.power.energy_j,
+            window_s: self.power.window.as_secs_f64(),
+            dvfs_cap: 1.0,
+        }
     }
 }
 
@@ -228,6 +242,10 @@ mod tests {
         assert!(run.gflops() > 0.0);
         assert!(run.power.package_watts() > 0.0);
         assert!(run.gflops_per_watt() > 0.0);
+        let context = run.power_context();
+        assert_eq!(context.package_watts, run.power.package_watts());
+        assert!(context.window_s > 0.0 && context.energy_j > 0.0);
+        assert!(!context.throttled(), "paper-protocol runs are nominal");
     }
 
     #[test]

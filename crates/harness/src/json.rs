@@ -1,9 +1,11 @@
-//! A minimal JSON emitter over `serde::Serialize`.
+//! A minimal JSON emitter over `serde::Serialize`, plus a parser.
 //!
 //! The approved dependency set includes `serde` but not `serde_json`;
-//! reports only need *emission* (results flow out of the harness, never
-//! back in), so this ~200-line serializer covers exactly the data model
-//! the report types use. Non-finite floats serialize as `null`.
+//! this ~200-line serializer covers exactly the data model the report
+//! types use. Non-finite floats serialize as `null`. The [`parse`]
+//! half reads JSON back into a generic [`JsonValue`] tree — the
+//! disk-persistent result cache and the [`crate::metric`] round-trip
+//! path rebuild typed records from it.
 
 use serde::ser::{self, Serialize};
 use std::fmt;
@@ -357,6 +359,329 @@ fn finish(compound: Compound<'_>) -> Result<(), JsonError> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON document.
+///
+/// Objects preserve key order (a `Vec` of pairs, not a map): the emitter
+/// writes struct fields in declaration order and round-trip tests compare
+/// re-emitted text byte-for-byte.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number. The source text is kept verbatim so 64-bit integers
+    /// round-trip exactly (an eager `f64` would silently lose precision
+    /// past 2^53).
+    Number(JsonNumber),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// A JSON number, kept as its (validated) source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonNumber(String);
+
+impl JsonNumber {
+    /// The number as `f64` (always valid — the parser checked it).
+    pub fn as_f64(&self) -> f64 {
+        self.0.parse().expect("validated at parse time")
+    }
+
+    /// The number as `u64`, exactly — `None` if it is negative,
+    /// fractional, in exponent form, or out of range.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.0.parse().ok()
+    }
+
+    /// The number as `i64`, exactly — `None` if it is fractional, in
+    /// exponent form, or out of range.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.0.parse().ok()
+    }
+}
+
+impl JsonValue {
+    /// A number value from an `f64` (test/construction convenience).
+    pub fn number(value: f64) -> JsonValue {
+        JsonValue::Number(JsonNumber(format!("{value}")))
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an exact `u64`, if this is a whole
+    /// non-negative number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an exact `i64`, if this is a whole number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+}
+
+/// Parse failure: what went wrong and the byte offset it went wrong at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+pub fn parse(text: &str) -> Result<JsonValue, JsonParseError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err("trailing characters after document", pos));
+    }
+    Ok(value)
+}
+
+fn err(message: &str, offset: usize) -> JsonParseError {
+    JsonParseError {
+        message: message.to_string(),
+        offset,
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), JsonParseError> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(&format!("expected '{}'", byte as char), *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonParseError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err("unexpected end of input", *pos)),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'"') => Ok(JsonValue::String(parse_string(bytes, pos)?)),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: JsonValue,
+) -> Result<JsonValue, JsonParseError> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(err(&format!("expected '{literal}'"), *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonParseError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii digits");
+    // Validate as f64; keep the exact text for lossless integer access.
+    text.parse::<f64>()
+        .map(|_| JsonValue::Number(JsonNumber(text.to_string())))
+        .map_err(|_| err(&format!("invalid number '{text}'"), start))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonParseError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err("unterminated string", *pos)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| err("truncated \\u escape", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err("invalid \\u escape", *pos))?;
+                        // The emitter only writes \u for control chars; a
+                        // lone surrogate is replaced rather than rejected.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err("invalid escape", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy the whole contiguous unescaped span in one go.
+                // The input came in as `&str` and `"`/`\` are ASCII, so
+                // the span boundaries sit on char boundaries and the
+                // slice is valid UTF-8 by construction.
+                let start = *pos;
+                while *pos < bytes.len() && bytes[*pos] != b'"' && bytes[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&bytes[start..*pos]).expect("input is a valid &str"),
+                );
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonParseError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(err("expected ',' or ']'", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonParseError> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(fields));
+            }
+            _ => return Err(err("expected ',' or '}'", *pos)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,5 +771,76 @@ mod tests {
         assert_eq!(to_json_string(&-42i32).unwrap(), "-42");
         assert_eq!(to_json_string(&3.25f32).unwrap(), "3.25");
         assert_eq!(to_json_string(&()).unwrap(), "null");
+    }
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("-2.5e2").unwrap().as_f64(), Some(-250.0));
+        let array = parse(r#"[1,"two",null]"#).unwrap();
+        let items = array.as_array().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].as_f64(), Some(1.0));
+        assert_eq!(items[1].as_str(), Some("two"));
+        assert!(items[2].is_null());
+        let object = parse(r#"{"a":1,"b":[true]}"#).unwrap();
+        assert_eq!(object.get("a").and_then(JsonValue::as_f64), Some(1.0));
+        assert_eq!(
+            object
+                .get("b")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(1)
+        );
+        assert!(object.get("missing").is_none());
+    }
+
+    #[test]
+    fn large_integers_survive_parsing_exactly() {
+        let value = parse("12797480707342861577").unwrap();
+        assert_eq!(value.as_u64(), Some(12797480707342861577));
+        let value = parse("-9223372036854775807").unwrap();
+        assert_eq!(value.as_i64(), Some(-9223372036854775807));
+        // f64 access still works, merely rounded.
+        assert!(value.as_f64().unwrap() < -9.2e18);
+        // Fractional numbers refuse exact-integer access.
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        assert_eq!(
+            parse(r#""say \"hi\"\nA tschüß""#).unwrap(),
+            JsonValue::String("say \"hi\"\nA tschüß".into())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "nul", "1 2", "\"open"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn emit_parse_round_trips_emitter_output() {
+        let p = Point {
+            chip: "M1 \"quoted\"\n".into(),
+            n: 256,
+            gflops: 123.456789,
+            verified: None,
+        };
+        let text = to_json_string(&p).unwrap();
+        let value = parse(&text).unwrap();
+        assert_eq!(
+            value.get("chip").and_then(JsonValue::as_str),
+            Some("M1 \"quoted\"\n")
+        );
+        assert_eq!(
+            value.get("gflops").and_then(JsonValue::as_f64),
+            Some(123.456789)
+        );
+        assert!(value.get("verified").unwrap().is_null());
     }
 }

@@ -14,10 +14,11 @@
 //! - [`figure`]: ASCII grouped bars (Fig. 1) and log-scale series charts
 //!   (Fig. 2–4);
 //! - [`csv`]: CSV writer;
-//! - [`json`]: a minimal JSON serializer over `serde::Serialize` (kept
-//!   in-tree so the approved dependency set stays small);
-//! - [`record`]: serializable per-cell run records (the campaign
-//!   orchestrator's result currency);
+//! - [`json`]: a minimal JSON serializer over `serde::Serialize` plus a
+//!   parser (kept in-tree so the approved dependency set stays small);
+//! - [`metric`]: the unified typed measurement record ([`MetricSet`]) —
+//!   provenance-stamped metrics with generic CSV/JSON/table emitters,
+//!   the campaign pipeline's single result currency;
 //! - [`env`]: the §4 environment record.
 
 #![forbid(unsafe_code)]
@@ -28,12 +29,12 @@ pub mod env;
 pub mod experiment;
 pub mod figure;
 pub mod json;
-pub mod record;
+pub mod metric;
 pub mod stats;
 pub mod table;
 
 pub use experiment::{ExperimentMeta, RepetitionProtocol};
-pub use record::RunRecord;
+pub use metric::{Metric, MetricRow, MetricSet, MetricValue, PowerContext, Provenance};
 pub use stats::Summary;
 pub use table::TextTable;
 
@@ -44,7 +45,7 @@ pub mod prelude {
     pub use crate::experiment::{ExperimentMeta, RepetitionProtocol};
     pub use crate::figure::{grouped_bar_chart, series_chart, SeriesChartConfig};
     pub use crate::json::to_json_string;
-    pub use crate::record::RunRecord;
+    pub use crate::metric::{Metric, MetricRow, MetricSet, MetricValue, PowerContext, Provenance};
     pub use crate::stats::Summary;
     pub use crate::table::TextTable;
 }

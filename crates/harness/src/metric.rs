@@ -1,0 +1,724 @@
+//! The unified measurement record — one typed currency from the
+//! platform layer to the emitters.
+//!
+//! Every paper artifact is the same shape: (chip, experiment, params) →
+//! {GFLOP/s, GB/s, watts, GFLOP/s/W, thermal state}. A [`MetricSet`] is
+//! one coordinate of that grid: a provenance header (experiment id,
+//! chip, parameter digest, wall-time, power/thermal context) plus the
+//! typed, unit-carrying metrics measured there. Experiments return
+//! `MetricSet`s; the campaign scheduler stamps wall-time into them; the
+//! table/CSV/JSON emitters below consume them generically — no
+//! per-figure row-building exists anywhere downstream.
+//!
+//! Serialization is lossless both ways: [`rows_to_csv`]/[`rows_from_csv`]
+//! and [`sets_to_json`]/[`sets_from_json`] round-trip exactly (floats go
+//! through the shortest-representation formatter), which is what makes
+//! the disk-persistent result cache sound. Wall-time is deliberately
+//! `#[serde(skip)]`ed: it varies run to run, and the campaign's
+//! value-identity digest must not.
+
+use crate::csv::{self, CsvWriter};
+use crate::json::{self, to_json_string, JsonError, JsonValue};
+use crate::table::TextTable;
+use serde::Serialize;
+use std::fmt;
+
+/// A typed metric value.
+///
+/// JSON shape: `{"Float":1.5}`, `{"Int":3}`, `{"Bool":true}`,
+/// `{"Text":"pass"}` (the serde newtype-variant convention).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum MetricValue {
+    /// A real-valued measurement (finite; non-finite serializes as null
+    /// and will not round-trip).
+    Float(f64),
+    /// A count or index.
+    Int(i64),
+    /// A verdict (e.g. functional verification).
+    Bool(bool),
+    /// A label (e.g. a thermal state name).
+    Text(String),
+}
+
+impl MetricValue {
+    /// Numeric projection: `Float` and `Int` values as `f64`, `Bool` as
+    /// 0/1, `Text` as `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            MetricValue::Float(v) => Some(*v),
+            MetricValue::Int(v) => Some(*v as f64),
+            MetricValue::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            MetricValue::Text(_) => None,
+        }
+    }
+
+    /// Lossless text rendering (floats via the shortest round-trip
+    /// formatter — `"1.5"`, not `"1.500000"`).
+    pub fn render(&self) -> String {
+        match self {
+            MetricValue::Float(v) => format!("{v}"),
+            MetricValue::Int(v) => v.to_string(),
+            MetricValue::Bool(b) => b.to_string(),
+            MetricValue::Text(s) => s.clone(),
+        }
+    }
+
+    /// The type tag used in the CSV `type` column.
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            MetricValue::Float(_) => "float",
+            MetricValue::Int(_) => "int",
+            MetricValue::Bool(_) => "bool",
+            MetricValue::Text(_) => "text",
+        }
+    }
+
+    /// Parse a value back from its `(type_tag, render)` pair.
+    pub fn from_tagged(tag: &str, text: &str) -> Result<Self, MetricParseError> {
+        match tag {
+            "float" => text
+                .parse::<f64>()
+                .map(MetricValue::Float)
+                .map_err(|_| MetricParseError::new(format!("bad float '{text}'"))),
+            "int" => text
+                .parse::<i64>()
+                .map(MetricValue::Int)
+                .map_err(|_| MetricParseError::new(format!("bad int '{text}'"))),
+            "bool" => text
+                .parse::<bool>()
+                .map(MetricValue::Bool)
+                .map_err(|_| MetricParseError::new(format!("bad bool '{text}'"))),
+            "text" => Ok(MetricValue::Text(text.to_string())),
+            other => Err(MetricParseError::new(format!(
+                "unknown value type '{other}'"
+            ))),
+        }
+    }
+
+    fn from_json(value: &JsonValue) -> Result<Self, MetricParseError> {
+        let object = match value {
+            JsonValue::Object(fields) if fields.len() == 1 => &fields[0],
+            _ => {
+                return Err(MetricParseError::new(
+                    "metric value is not a variant object",
+                ))
+            }
+        };
+        match (object.0.as_str(), &object.1) {
+            ("Float", JsonValue::Number(v)) => Ok(MetricValue::Float(v.as_f64())),
+            ("Int", JsonValue::Number(v)) => v.as_i64().map(MetricValue::Int).ok_or_else(|| {
+                MetricParseError::new(format!("Int value {v:?} is not an exact i64"))
+            }),
+            ("Bool", JsonValue::Bool(b)) => Ok(MetricValue::Bool(*b)),
+            ("Text", JsonValue::String(s)) => Ok(MetricValue::Text(s.clone())),
+            (variant, _) => Err(MetricParseError::new(format!(
+                "bad metric value variant '{variant}'"
+            ))),
+        }
+    }
+}
+
+impl From<f64> for MetricValue {
+    fn from(v: f64) -> Self {
+        MetricValue::Float(v)
+    }
+}
+
+impl From<i64> for MetricValue {
+    fn from(v: i64) -> Self {
+        MetricValue::Int(v)
+    }
+}
+
+impl From<bool> for MetricValue {
+    fn from(v: bool) -> Self {
+        MetricValue::Bool(v)
+    }
+}
+
+impl From<&str> for MetricValue {
+    fn from(v: &str) -> Self {
+        MetricValue::Text(v.to_string())
+    }
+}
+
+/// One named, unit-carrying measurement.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Metric {
+    /// Metric name (`"gbs"`, `"gflops"`, `"power_mw"`, …).
+    pub name: String,
+    /// Typed value.
+    pub value: MetricValue,
+    /// Unit label (`"GB/s"`, `"GFLOPS"`, `"mW"`, …). Never empty — the
+    /// constructors enforce it, so emitters can never drop a unit.
+    pub unit: String,
+}
+
+impl Metric {
+    /// Build a metric; panics on an empty name or unit (a unit-less
+    /// number is a bug at the producer, not something to discover in a
+    /// report).
+    pub fn new(name: &str, value: impl Into<MetricValue>, unit: &str) -> Self {
+        assert!(!name.is_empty(), "metric name must not be empty");
+        assert!(!unit.is_empty(), "metric '{name}' must carry a unit label");
+        Metric {
+            name: name.to_string(),
+            value: value.into(),
+            unit: unit.to_string(),
+        }
+    }
+}
+
+/// Power/thermal context captured over the same window as the metrics it
+/// accompanies — the provenance that makes a cross-chip efficiency claim
+/// checkable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PowerContext {
+    /// Window-averaged package power, watts.
+    pub package_watts: f64,
+    /// Energy over the window, joules.
+    pub energy_j: f64,
+    /// Measurement window, seconds.
+    pub window_s: f64,
+    /// DVFS cap at measurement time (1.0 = thermally nominal; below 1.0
+    /// the chip was throttled).
+    pub dvfs_cap: f64,
+}
+
+impl PowerContext {
+    /// Whether the chip was thermally throttled during the window.
+    pub fn throttled(&self) -> bool {
+        self.dvfs_cap < 1.0
+    }
+}
+
+/// Where a [`MetricSet`]'s numbers came from.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Provenance {
+    /// Paper artifact id (`"fig1"`, …, or an extension id).
+    pub experiment: String,
+    /// Chip label (`"M1"`…) for chip-scoped measurements.
+    pub chip: Option<String>,
+    /// The producing experiment's full parameter digest — the same
+    /// string the result cache keys on.
+    pub params: String,
+    /// Wall-clock seconds the producing unit took, stamped by the
+    /// campaign scheduler. Excluded from serialization: wall-time varies
+    /// run to run and must not perturb value-identity digests; the cache
+    /// persists it out-of-band.
+    #[serde(skip)]
+    pub wall_time_s: Option<f64>,
+    /// Power/thermal context of the measurement window, where measured.
+    pub power: Option<PowerContext>,
+}
+
+/// One coordinate of an experiment grid: provenance + the typed metrics
+/// measured there.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricSet {
+    /// Measurement provenance.
+    pub provenance: Provenance,
+    /// Implementation legend name, if the coordinate is
+    /// implementation-scoped.
+    pub implementation: Option<String>,
+    /// Problem size, if the coordinate is size-scoped.
+    pub n: Option<u64>,
+    /// The measurements, in producer order.
+    pub metrics: Vec<Metric>,
+}
+
+impl MetricSet {
+    /// A chip-independent set.
+    pub fn new(experiment: &str, params: &str) -> Self {
+        MetricSet {
+            provenance: Provenance {
+                experiment: experiment.to_string(),
+                chip: None,
+                params: params.to_string(),
+                wall_time_s: None,
+                power: None,
+            },
+            implementation: None,
+            n: None,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// A chip-scoped set.
+    pub fn for_chip(experiment: &str, params: &str, chip: &str) -> Self {
+        let mut set = MetricSet::new(experiment, params);
+        set.provenance.chip = Some(chip.to_string());
+        set
+    }
+
+    /// Attach an implementation name.
+    pub fn with_implementation(mut self, implementation: &str) -> Self {
+        self.implementation = Some(implementation.to_string());
+        self
+    }
+
+    /// Attach a problem size.
+    pub fn with_n(mut self, n: u64) -> Self {
+        self.n = Some(n);
+        self
+    }
+
+    /// Attach the power/thermal context of the measurement window.
+    pub fn with_power(mut self, power: PowerContext) -> Self {
+        self.provenance.power = Some(power);
+        self
+    }
+
+    /// Append a metric (builder form).
+    pub fn metric(mut self, name: &str, value: impl Into<MetricValue>, unit: &str) -> Self {
+        self.metrics.push(Metric::new(name, value, unit));
+        self
+    }
+
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Numeric value of a metric by name.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.get(name).and_then(|m| m.value.as_f64())
+    }
+
+    /// The deterministic sort key: (experiment, chip, implementation, n).
+    pub fn sort_key(&self) -> (String, String, String, u64) {
+        (
+            self.provenance.experiment.clone(),
+            self.provenance.chip.clone().unwrap_or_default(),
+            self.implementation.clone().unwrap_or_default(),
+            self.n.unwrap_or(0),
+        )
+    }
+
+    /// Flatten to one row per metric.
+    pub fn rows(&self) -> Vec<MetricRow> {
+        self.metrics
+            .iter()
+            .map(|m| MetricRow {
+                experiment: self.provenance.experiment.clone(),
+                chip: self.provenance.chip.clone(),
+                implementation: self.implementation.clone(),
+                n: self.n,
+                metric: m.name.clone(),
+                value: m.value.clone(),
+                unit: m.unit.clone(),
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for MetricSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]",
+            self.provenance.experiment, self.provenance.params
+        )?;
+        if let Some(implementation) = &self.implementation {
+            write!(f, " {implementation}")?;
+        }
+        if let Some(n) = self.n {
+            write!(f, " n={n}")?;
+        }
+        write!(f, ": {} metrics", self.metrics.len())
+    }
+}
+
+/// One flattened (coordinate, metric) cell — what the CSV/JSON/table
+/// emitters iterate over.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricRow {
+    /// Paper artifact id.
+    pub experiment: String,
+    /// Chip label, if chip-scoped.
+    pub chip: Option<String>,
+    /// Implementation legend name, if implementation-scoped.
+    pub implementation: Option<String>,
+    /// Problem size, if size-scoped.
+    pub n: Option<u64>,
+    /// Metric name.
+    pub metric: String,
+    /// Typed value.
+    pub value: MetricValue,
+    /// Unit label.
+    pub unit: String,
+}
+
+impl MetricRow {
+    /// The deterministic sort key: (experiment, chip, implementation, n,
+    /// metric). Row order never depends on worker interleaving once
+    /// sorted by this.
+    pub fn sort_key(&self) -> (String, String, String, u64, String) {
+        (
+            self.experiment.clone(),
+            self.chip.clone().unwrap_or_default(),
+            self.implementation.clone().unwrap_or_default(),
+            self.n.unwrap_or(0),
+            self.metric.clone(),
+        )
+    }
+
+    /// Numeric projection of the value.
+    pub fn value_f64(&self) -> Option<f64> {
+        self.value.as_f64()
+    }
+}
+
+/// Flatten a slice of sets into rows, preserving set and metric order.
+pub fn rows(sets: &[MetricSet]) -> Vec<MetricRow> {
+    sets.iter().flat_map(MetricSet::rows).collect()
+}
+
+/// CSV header of the flat row emitters.
+pub const CSV_HEADER: [&str; 8] = [
+    "experiment",
+    "chip",
+    "implementation",
+    "n",
+    "metric",
+    "type",
+    "value",
+    "unit",
+];
+
+/// CSV of a row slice. Lossless: typed values carry a `type` column and
+/// floats use the shortest round-trip rendering, so [`rows_from_csv`]
+/// reconstructs the input exactly.
+pub fn rows_to_csv(rows: &[MetricRow]) -> String {
+    let mut writer = CsvWriter::new(&CSV_HEADER);
+    for row in rows {
+        writer.row(&[
+            row.experiment.clone(),
+            row.chip.clone().unwrap_or_default(),
+            row.implementation.clone().unwrap_or_default(),
+            row.n.map(|n| n.to_string()).unwrap_or_default(),
+            row.metric.clone(),
+            row.value.type_tag().to_string(),
+            row.value.render(),
+            row.unit.clone(),
+        ]);
+    }
+    writer.finish()
+}
+
+/// Failure to reconstruct typed records from CSV or JSON text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricParseError(String);
+
+impl MetricParseError {
+    fn new(message: impl Into<String>) -> Self {
+        MetricParseError(message.into())
+    }
+}
+
+impl fmt::Display for MetricParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "metric parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for MetricParseError {}
+
+impl From<json::JsonParseError> for MetricParseError {
+    fn from(e: json::JsonParseError) -> Self {
+        MetricParseError(e.to_string())
+    }
+}
+
+/// Parse rows back from [`rows_to_csv`] output. Empty `chip` /
+/// `implementation` / `n` cells become `None` (the writer emits them
+/// that way, so `Some("")` never occurs in practice).
+pub fn rows_from_csv(text: &str) -> Result<Vec<MetricRow>, MetricParseError> {
+    let parsed = csv::parse(text);
+    let mut lines = parsed.into_iter();
+    let header = lines
+        .next()
+        .ok_or_else(|| MetricParseError::new("empty CSV"))?;
+    if header != CSV_HEADER {
+        return Err(MetricParseError::new(format!(
+            "unexpected header {header:?}"
+        )));
+    }
+    let optional = |cell: &str| {
+        if cell.is_empty() {
+            None
+        } else {
+            Some(cell.to_string())
+        }
+    };
+    let mut rows = Vec::new();
+    for (index, cells) in lines.enumerate() {
+        if cells.len() != CSV_HEADER.len() {
+            return Err(MetricParseError::new(format!(
+                "row {index}: {} cells, expected {}",
+                cells.len(),
+                CSV_HEADER.len()
+            )));
+        }
+        let n = match cells[3].as_str() {
+            "" => None,
+            text => Some(
+                text.parse::<u64>()
+                    .map_err(|_| MetricParseError::new(format!("row {index}: bad n '{text}'")))?,
+            ),
+        };
+        rows.push(MetricRow {
+            experiment: cells[0].clone(),
+            chip: optional(&cells[1]),
+            implementation: optional(&cells[2]),
+            n,
+            metric: cells[4].clone(),
+            value: MetricValue::from_tagged(&cells[5], &cells[6])?,
+            unit: cells[7].clone(),
+        });
+    }
+    Ok(rows)
+}
+
+/// JSON array of a row slice (flat shape, for external consumers).
+pub fn rows_to_json(rows: &[MetricRow]) -> Result<String, JsonError> {
+    to_json_string(&rows)
+}
+
+/// JSON array of full sets (structured shape; the persistence format).
+/// Accepts owned or borrowed sets, so callers holding `Vec<&MetricSet>`
+/// views serialize without cloning. Wall-time is excluded by
+/// construction — see [`Provenance::wall_time_s`].
+pub fn sets_to_json<S>(sets: &[S]) -> Result<String, JsonError>
+where
+    S: std::borrow::Borrow<MetricSet> + Serialize,
+{
+    to_json_string(&sets)
+}
+
+/// Rebuild sets from [`sets_to_json`] output.
+pub fn sets_from_json(text: &str) -> Result<Vec<MetricSet>, MetricParseError> {
+    let document = json::parse(text)?;
+    let items = document
+        .as_array()
+        .ok_or_else(|| MetricParseError::new("document is not an array of sets"))?;
+    items.iter().map(set_from_json).collect()
+}
+
+fn optional_string(value: Option<&JsonValue>) -> Result<Option<String>, MetricParseError> {
+    match value {
+        None => Ok(None),
+        Some(JsonValue::Null) => Ok(None),
+        Some(JsonValue::String(s)) => Ok(Some(s.clone())),
+        Some(other) => Err(MetricParseError::new(format!(
+            "expected string or null, got {other:?}"
+        ))),
+    }
+}
+
+fn required_str<'a>(object: &'a JsonValue, key: &str) -> Result<&'a str, MetricParseError> {
+    object
+        .get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| MetricParseError::new(format!("missing string field '{key}'")))
+}
+
+/// Rebuild one set from its parsed JSON object — for callers (like the
+/// campaign's persistent cache) that embed sets inside a larger
+/// document and parse it once.
+pub fn set_from_json(value: &JsonValue) -> Result<MetricSet, MetricParseError> {
+    let provenance = value
+        .get("provenance")
+        .ok_or_else(|| MetricParseError::new("set is missing provenance"))?;
+    let power = match provenance.get("power") {
+        None | Some(JsonValue::Null) => None,
+        Some(context) => {
+            let field = |key: &str| {
+                context.get(key).and_then(JsonValue::as_f64).ok_or_else(|| {
+                    MetricParseError::new(format!("power context is missing '{key}'"))
+                })
+            };
+            Some(PowerContext {
+                package_watts: field("package_watts")?,
+                energy_j: field("energy_j")?,
+                window_s: field("window_s")?,
+                dvfs_cap: field("dvfs_cap")?,
+            })
+        }
+    };
+    let metrics = value
+        .get("metrics")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| MetricParseError::new("set is missing metrics array"))?
+        .iter()
+        .map(|m| {
+            let unit = required_str(m, "unit")?;
+            if unit.is_empty() {
+                return Err(MetricParseError::new("metric unit label was dropped"));
+            }
+            Ok(Metric {
+                name: required_str(m, "name")?.to_string(),
+                value: MetricValue::from_json(
+                    m.get("value")
+                        .ok_or_else(|| MetricParseError::new("metric is missing value"))?,
+                )?,
+                unit: unit.to_string(),
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(MetricSet {
+        provenance: Provenance {
+            experiment: required_str(provenance, "experiment")?.to_string(),
+            chip: optional_string(provenance.get("chip"))?,
+            params: required_str(provenance, "params")?.to_string(),
+            wall_time_s: None,
+            power,
+        },
+        implementation: optional_string(value.get("implementation"))?,
+        n: match value.get("n") {
+            None | Some(JsonValue::Null) => None,
+            Some(JsonValue::Number(v)) => Some(v.as_u64().ok_or_else(|| {
+                MetricParseError::new(format!("n field {v:?} is not an exact u64"))
+            })?),
+            Some(other) => return Err(MetricParseError::new(format!("bad n field {other:?}"))),
+        },
+        metrics,
+    })
+}
+
+/// Human-readable table of a row slice — the generic replacement for
+/// per-figure table builders.
+pub fn rows_table(rows: &[MetricRow]) -> String {
+    let mut table = TextTable::new(vec![
+        "Experiment",
+        "Chip",
+        "Implementation",
+        "n",
+        "Metric",
+        "Value",
+        "Unit",
+    ])
+    .numeric();
+    for row in rows {
+        table.row(vec![
+            row.experiment.clone(),
+            row.chip.clone().unwrap_or_default(),
+            row.implementation.clone().unwrap_or_default(),
+            row.n.map(|n| n.to_string()).unwrap_or_default(),
+            row.metric.clone(),
+            match &row.value {
+                MetricValue::Float(v) => format!("{v:.3}"),
+                other => other.render(),
+            },
+            row.unit.clone(),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_sets() -> Vec<MetricSet> {
+        vec![
+            MetricSet::for_chip("fig1", "chip=M1", "M1")
+                .with_implementation("Triad (CPU)")
+                .metric("gbs", 102.5, "GB/s"),
+            MetricSet::for_chip("fig2", "chip=M4;sizes=16384", "M4")
+                .with_implementation("GPU-MPS")
+                .with_n(16384)
+                .with_power(PowerContext {
+                    package_watts: 14.2,
+                    energy_j: 71.0,
+                    window_s: 5.0,
+                    dvfs_cap: 1.0,
+                })
+                .metric("gflops", 2900.0, "GFLOPS")
+                .metric("verified", true, "flag"),
+            MetricSet::new("tables", "tables=1,2,3").metric("rows", 17i64, "rows"),
+        ]
+    }
+
+    #[test]
+    fn builder_populates_provenance_and_metrics() {
+        let sets = sample_sets();
+        assert_eq!(sets[0].provenance.chip.as_deref(), Some("M1"));
+        assert_eq!(sets[1].value("gflops"), Some(2900.0));
+        assert_eq!(sets[1].value("verified"), Some(1.0));
+        assert!(sets[1].provenance.power.unwrap().package_watts > 14.0);
+        assert!(!sets[1].provenance.power.unwrap().throttled());
+        assert_eq!(sets[2].provenance.chip, None);
+        assert_eq!(sets[2].get("rows").unwrap().unit, "rows");
+    }
+
+    #[test]
+    #[should_panic(expected = "unit label")]
+    fn unit_labels_are_mandatory() {
+        let _ = MetricSet::new("x", "p").metric("gbs", 1.0, "");
+    }
+
+    #[test]
+    fn rows_flatten_in_order() {
+        let all = rows(&sample_sets());
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0].metric, "gbs");
+        assert_eq!(all[2].metric, "verified");
+        assert_eq!(all[2].value, MetricValue::Bool(true));
+        assert_eq!(all[3].chip, None);
+    }
+
+    #[test]
+    fn csv_round_trips_exactly() {
+        let before = rows(&sample_sets());
+        let csv = rows_to_csv(&before);
+        assert!(csv.starts_with("experiment,chip,implementation,n,metric,type,value,unit"));
+        assert!(csv.contains("fig2,M4,GPU-MPS,16384,gflops,float,2900,GFLOPS"));
+        let after = rows_from_csv(&csv).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn json_round_trips_exactly_including_power() {
+        let before = sample_sets();
+        let text = sets_to_json(&before).unwrap();
+        let after = sets_from_json(&text).unwrap();
+        assert_eq!(before, after);
+        // And re-emission is byte-identical (canonical form).
+        assert_eq!(sets_to_json(&after).unwrap(), text);
+    }
+
+    #[test]
+    fn wall_time_never_reaches_serialization() {
+        let mut set = sample_sets().remove(0);
+        let without = sets_to_json(std::slice::from_ref(&set)).unwrap();
+        set.provenance.wall_time_s = Some(12.5);
+        let with = sets_to_json(std::slice::from_ref(&set)).unwrap();
+        assert_eq!(without, with, "wall-time must not perturb value identity");
+        let reloaded = sets_from_json(&with).unwrap();
+        assert_eq!(reloaded[0].provenance.wall_time_s, None);
+    }
+
+    #[test]
+    fn sort_keys_order_rows_deterministically() {
+        let mut all = rows(&sample_sets());
+        all.reverse();
+        all.sort_by_key(MetricRow::sort_key);
+        assert_eq!(all[0].experiment, "fig1");
+        assert_eq!(all.last().unwrap().experiment, "tables");
+    }
+
+    #[test]
+    fn table_renders_all_cells() {
+        let text = rows_table(&rows(&sample_sets()));
+        for needle in ["fig1", "Triad (CPU)", "GB/s", "2900.000", "true", "flag"] {
+            assert!(text.contains(needle), "missing {needle} in\n{text}");
+        }
+    }
+
+    #[test]
+    fn display_summarizes_coordinates() {
+        let text = sample_sets()[1].to_string();
+        assert!(text.contains("fig2[chip=M4;sizes=16384] GPU-MPS n=16384"));
+    }
+}

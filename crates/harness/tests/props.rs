@@ -1,12 +1,72 @@
-//! Property tests: statistics, CSV round-trips, JSON validity, tables.
+//! Property tests: statistics, CSV round-trips, JSON validity, tables,
+//! and the MetricSet serialization contract (lossless round-trips, unit
+//! labels never dropped).
 
 use oranges_harness::csv::{parse, CsvWriter};
 use oranges_harness::experiment::RepetitionProtocol;
 use oranges_harness::json::to_json_string;
+use oranges_harness::metric::{self, MetricRow, MetricSet, MetricValue, PowerContext};
 use oranges_harness::stats::{best_of, geometric_mean, Summary};
 use oranges_harness::table::TextTable;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
+
+/// Drawn ingredients → one typed value. Kind cycles through all four
+/// variants; floats are drawn finite (non-finite serializes as JSON
+/// null by design and cannot round-trip).
+fn assemble_value(
+    kind: u8,
+    floats: &[f64],
+    ints: &[i64],
+    texts: &[String],
+    i: usize,
+) -> MetricValue {
+    match kind % 4 {
+        0 => MetricValue::Float(floats[i % floats.len()]),
+        1 => MetricValue::Int(ints[i % ints.len()]),
+        2 => MetricValue::Bool(ints[i % ints.len()] % 2 == 0),
+        _ => MetricValue::Text(texts[i % texts.len()].clone()),
+    }
+}
+
+/// Drawn ingredients → arbitrary-but-valid rows. Names/units/labels
+/// exercise commas, quotes, spaces and unicode — everything the CSV and
+/// JSON escapers must survive.
+#[allow(clippy::too_many_arguments)]
+fn assemble_rows(
+    kinds: &[u8],
+    names: &[String],
+    units: &[String],
+    floats: &[f64],
+    ints: &[i64],
+    texts: &[String],
+    ns: &[u64],
+) -> Vec<MetricRow> {
+    kinds
+        .iter()
+        .enumerate()
+        .map(|(i, &kind)| MetricRow {
+            experiment: format!("exp{}", kind % 3),
+            chip: match kind % 5 {
+                0 => None,
+                variant => Some(format!("M{variant}")),
+            },
+            implementation: if kind % 3 == 0 {
+                None
+            } else {
+                Some(texts[i % texts.len()].clone()).filter(|t| !t.is_empty())
+            },
+            n: if kind % 2 == 0 {
+                Some(ns[i % ns.len()])
+            } else {
+                None
+            },
+            metric: names[i % names.len()].clone(),
+            value: assemble_value(kind / 4, floats, ints, texts, i),
+            unit: units[i % units.len()].clone(),
+        })
+        .collect()
+}
 
 proptest! {
     #[test]
@@ -84,6 +144,92 @@ proptest! {
         prop_assert_eq!(kept.len(), reps as usize);
         // The kept values are the last `reps` calls.
         prop_assert_eq!(kept[0], warmup + 1);
+    }
+
+    #[test]
+    fn metric_rows_csv_round_trips_and_keeps_units(
+        kinds in proptest::collection::vec(0u8..20, 1..24),
+        names in proptest::collection::vec("[a-z_]{1,10}", 1..8),
+        units in proptest::collection::vec("[a-zA-Z/%° ,\"]{1,6}", 1..8),
+        floats in proptest::collection::vec(-1e9f64..1e9, 1..8),
+        ints in proptest::collection::vec(any::<i64>(), 1..8),
+        texts in proptest::collection::vec("[a-zA-Z0-9 ,\"'/-]{0,12}", 1..8),
+        ns in proptest::collection::vec(any::<u64>(), 1..8),
+    ) {
+        let rows = assemble_rows(&kinds, &names, &units, &floats, &ints, &texts, &ns);
+        let csv = metric::rows_to_csv(&rows);
+        let reloaded = metric::rows_from_csv(&csv).expect("own CSV parses");
+        // Lossless: typed values, coordinates and unit labels all survive.
+        prop_assert_eq!(&reloaded, &rows);
+        for row in &reloaded {
+            prop_assert!(!row.unit.is_empty(), "unit label dropped: {:?}", row);
+        }
+        // Re-emission is byte-identical (canonical form).
+        prop_assert_eq!(metric::rows_to_csv(&reloaded), csv);
+    }
+
+    #[test]
+    fn metric_sets_json_round_trips_and_keeps_units(
+        kinds in proptest::collection::vec(0u8..20, 1..16),
+        names in proptest::collection::vec("[a-z_]{1,10}", 1..8),
+        units in proptest::collection::vec("[a-zA-Z/%° ,\"]{1,6}", 1..8),
+        floats in proptest::collection::vec(-1e9f64..1e9, 2..8),
+        ints in proptest::collection::vec(any::<i64>(), 1..8),
+        texts in proptest::collection::vec("[a-zA-Z0-9 ,\"'/-]{0,12}", 1..8),
+        ns in proptest::collection::vec(any::<u64>(), 1..8),
+        params in "[a-z0-9=;,]{0,20}",
+    ) {
+        // One set per drawn kind, each with 0..3 metrics and (half the
+        // time) a power context.
+        let sets: Vec<MetricSet> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| {
+                let mut set = match kind % 3 {
+                    0 => MetricSet::new(&format!("exp{}", kind % 5), &params),
+                    variant => MetricSet::for_chip(
+                        &format!("exp{}", kind % 5),
+                        &params,
+                        &format!("M{variant}"),
+                    ),
+                };
+                if kind % 4 == 1 {
+                    set = set.with_implementation(&format!("impl-{}", texts[i % texts.len()]));
+                }
+                if kind % 2 == 0 {
+                    set = set.with_n(ns[i % ns.len()]);
+                }
+                if kind % 4 >= 2 {
+                    set = set.with_power(PowerContext {
+                        package_watts: floats[i % floats.len()].abs(),
+                        energy_j: floats[(i + 1) % floats.len()].abs(),
+                        window_s: floats[i % floats.len()].abs() + 1e-3,
+                        dvfs_cap: if kind % 8 >= 4 { 1.0 } else { 0.5 },
+                    });
+                }
+                for m in 0..(kind % 3) {
+                    let index = i + m as usize;
+                    set = set.metric(
+                        &names[index % names.len()],
+                        assemble_value(kind / 3 + m, &floats, &ints, &texts, index),
+                        &units[index % units.len()],
+                    );
+                }
+                set
+            })
+            .collect();
+
+        let json = metric::sets_to_json(&sets).expect("serializes");
+        let reloaded = metric::sets_from_json(&json).expect("own JSON parses");
+        prop_assert_eq!(&reloaded, &sets);
+        // Unit labels are never dropped anywhere in the pipeline.
+        for set in &reloaded {
+            for m in &set.metrics {
+                prop_assert!(!m.unit.is_empty(), "unit label dropped: {:?}", m);
+            }
+        }
+        // Re-emission is byte-identical (canonical form).
+        prop_assert_eq!(metric::sets_to_json(&reloaded).expect("serializes"), json);
     }
 
     #[test]

@@ -1,26 +1,111 @@
 //! Drive the full Figure 1–4 × M1–M4 grid through the campaign
-//! orchestrator and print a throughput summary.
+//! orchestrator and print a throughput summary with per-unit wall-time
+//! accounting.
 //!
-//! Run with `cargo run --release --example campaign`.
+//! ```text
+//! cargo run --release --example campaign [-- OPTIONS]
+//!
+//! Options:
+//!   --workers N     worker threads (default 4)
+//!   --shard I/N     run only shard I of N (deterministic partition;
+//!                   the union of all N shards equals the full grid)
+//!   --cache PATH    load the result cache from PATH if it exists and
+//!                   save it back after the run — a second invocation
+//!                   with the same PATH is served entirely from disk
+//! ```
 
 use oranges_campaign::prelude::*;
+use std::path::PathBuf;
+
+struct Options {
+    workers: usize,
+    shard: Option<(usize, usize)>,
+    cache_path: Option<PathBuf>,
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        workers: 4,
+        shard: None,
+        cache_path: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--workers" => {
+                options.workers = value("--workers").parse().expect("--workers N");
+            }
+            "--shard" => {
+                let spec = value("--shard");
+                let (index, count) = spec.split_once('/').expect("--shard I/N");
+                options.shard = Some((
+                    index.parse().expect("shard index"),
+                    count.parse().expect("shard count"),
+                ));
+            }
+            "--cache" => {
+                options.cache_path = Some(PathBuf::from(value("--cache")));
+            }
+            other => panic!("unknown option {other}"),
+        }
+    }
+    options
+}
 
 fn main() {
-    let spec = CampaignSpec::paper_grid().with_workers(4);
-    let cache = ResultCache::new();
+    let options = parse_options();
+    let mut spec = CampaignSpec::paper_grid().with_workers(options.workers);
+    if let Some((index, count)) = options.shard {
+        spec = spec.with_shard(index, count);
+    }
+
+    // Warm-start from disk when a cache file is present: a second
+    // process re-running the same spec computes nothing.
+    let cache = match &options.cache_path {
+        Some(path) if path.exists() => {
+            let cache = ResultCache::load(path).expect("readable cache file");
+            println!(
+                "Loaded {} cached units from {}",
+                cache.stats().entries,
+                path.display()
+            );
+            cache
+        }
+        _ => ResultCache::new(),
+    };
 
     println!(
-        "=== Campaign: Figures 1-4 x M1-M4, {} workers ===\n",
-        spec.workers
+        "=== Campaign: Figures 1-4 x M1-M4, {} workers{} ===\n",
+        spec.workers,
+        match options.shard {
+            Some((i, n)) => format!(", shard {i}/{n}"),
+            None => String::new(),
+        }
     );
     let report = run_campaign(&spec, &cache).expect("campaign runs");
     println!("{}", report.render_summary());
 
     println!(
-        "\nThroughput: {:.2} units/s ({} records aggregated, cache hit rate {:.0}%)",
+        "\nThroughput: {:.2} units/s ({} metric rows aggregated, cache hit rate {:.0}%)",
         report.units_per_second(),
-        report.records().len(),
+        report.rows().len(),
         report.campaign_hit_rate() * 100.0
+    );
+    println!(
+        "Wall-time accounting: campaign {:.3} s, unit wall {:.3} s across {} workers \
+         ({:.1}x, pool utilization {:.0}%), provenance compute wall {:.3} s",
+        report.wall.as_secs_f64(),
+        report.unit_wall().as_secs_f64(),
+        report.workers,
+        report.unit_wall().as_secs_f64() / report.wall.as_secs_f64().max(1e-12),
+        report.unit_wall().as_secs_f64()
+            / (report.wall.as_secs_f64() * report.workers as f64).max(1e-12)
+            * 100.0,
+        report.compute_wall_s(),
     );
 
     // Cross-check against the serial baseline: the concurrent grid is
@@ -44,21 +129,40 @@ fn main() {
         rerun.computed_units(),
     );
 
-    // A taste of the aggregate: the best efficiency cell per chip.
+    if let Some(path) = &options.cache_path {
+        cache.save(path).expect("writable cache file");
+        println!(
+            "Saved {} units to {} (re-invoke with the same --cache for a 100% hit start)",
+            cache.stats().entries,
+            path.display()
+        );
+    }
+
+    // A taste of the aggregate: the best efficiency cell per chip, with
+    // its power provenance carried alongside.
     println!("\nBest Figure 4 cell per chip:");
     for chip in ChipGeneration::ALL {
         let best = report
-            .records()
+            .sets()
             .into_iter()
-            .filter(|r| r.experiment == "fig4" && r.chip.as_deref() == Some(chip.name()))
-            .max_by(|a, b| a.value.partial_cmp(&b.value).expect("finite"));
-        if let Some(r) = best {
+            .filter(|s| {
+                s.provenance.experiment == "fig4"
+                    && s.provenance.chip.as_deref() == Some(chip.name())
+            })
+            .max_by(|a, b| {
+                let value = |s: &MetricSet| s.value("gflops_per_watt").unwrap_or(0.0);
+                value(a).partial_cmp(&value(b)).expect("finite")
+            })
+            .cloned();
+        if let Some(set) = best {
             println!(
-                "  {}: {:.0} GFLOPS/W ({} @ n={})",
+                "  {}: {:.0} GFLOPS/W ({} @ n={}, {:.1} W window, wall {:.1} ms)",
                 chip.name(),
-                r.value,
-                r.implementation.as_deref().unwrap_or("?"),
-                r.n.unwrap_or(0)
+                set.value("gflops_per_watt").unwrap_or(0.0),
+                set.implementation.as_deref().unwrap_or("?"),
+                set.n.unwrap_or(0),
+                set.provenance.power.map(|p| p.package_watts).unwrap_or(0.0),
+                set.provenance.wall_time_s.unwrap_or(0.0) * 1e3,
             );
         }
     }

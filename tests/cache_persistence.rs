@@ -1,0 +1,115 @@
+//! Disk-persistent result cache: a second process running the same spec
+//! is served entirely from the file the first process saved.
+//!
+//! "Second process" is simulated the honest way: the loaded cache is a
+//! brand-new `ResultCache` built solely from the file's bytes — nothing
+//! of the first campaign's in-memory state survives except the file.
+
+use oranges_campaign::prelude::*;
+use std::path::PathBuf;
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "oranges-persistence-{}-{name}.json",
+        std::process::id()
+    ))
+}
+
+/// The satellite acceptance test: save → load → 100% cache hits, with
+/// the loaded results value-identical to freshly computed ones.
+#[test]
+fn second_process_gets_full_cache_hits_from_disk() {
+    let spec = CampaignSpec::smoke().with_workers(2);
+
+    // Process one: compute everything, persist the cache.
+    let first_cache = ResultCache::new();
+    let first = run_campaign(&spec, &first_cache).expect("first process campaign");
+    assert!(first.units.iter().all(|u| !u.from_cache));
+    let path = temp_path("full-hits");
+    first_cache.save(&path).expect("save cache");
+    drop(first_cache);
+
+    // Process two: everything it knows comes from the file.
+    let second_cache = ResultCache::load(&path).expect("load cache");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(second_cache.stats().hits, 0, "fresh statistics");
+    let second = run_campaign(&spec, &second_cache).expect("second process campaign");
+
+    assert!(
+        second.units.iter().all(|u| u.from_cache),
+        "100% cache hits in the second process"
+    );
+    assert_eq!(second.campaign_hit_rate(), 1.0);
+    assert_eq!(second.computed_units(), 0);
+
+    // Value identity across the process boundary, cell for cell.
+    assert_eq!(second.digest(), first.digest());
+    assert_eq!(second.rows(), first.rows());
+
+    // Compute wall-times travel with the persisted results: the second
+    // process can still report what the original computation cost.
+    for (reloaded, original) in second.units.iter().zip(&first.units) {
+        assert_eq!(
+            reloaded.compute_wall_s(),
+            original.compute_wall_s(),
+            "{}",
+            reloaded.key
+        );
+        assert!(reloaded.compute_wall_s().unwrap_or(0.0) > 0.0);
+    }
+}
+
+/// Sharded processes can pool their caches through one file: shard 0
+/// saves, shard 1 extends, and a final unsharded run over the merged
+/// file computes nothing.
+#[test]
+fn shards_pool_results_through_the_cache_file() {
+    let base = CampaignSpec::smoke().with_workers(2);
+    let path = temp_path("shard-pool");
+
+    for index in 0..2 {
+        let cache = if path.exists() {
+            ResultCache::load(&path).expect("load pooled cache")
+        } else {
+            ResultCache::new()
+        };
+        let shard =
+            run_campaign(&base.clone().with_shard(index, 2), &cache).expect("sharded campaign");
+        assert!(shard.units.iter().all(|u| !u.from_cache), "disjoint shards");
+        cache.save(&path).expect("save pooled cache");
+    }
+
+    let merged = ResultCache::load(&path).expect("load merged cache");
+    std::fs::remove_file(&path).ok();
+    let full = run_campaign(&base, &merged).expect("full campaign over merged cache");
+    assert_eq!(full.computed_units(), 0, "every unit served from the pool");
+    assert_eq!(full.campaign_hit_rate(), 1.0);
+
+    // And the pooled results equal a from-scratch unsharded run.
+    let fresh = run_campaign(&base, &ResultCache::new()).expect("fresh baseline");
+    assert_eq!(full.digest(), fresh.digest());
+}
+
+/// Rendered artifacts (tables, reference comparisons) survive the disk
+/// round-trip byte-for-byte.
+#[test]
+fn rendered_artifacts_survive_persistence() {
+    let spec = CampaignSpec::new(vec![ExperimentKind::Tables], vec![ChipGeneration::M1]);
+    let cache = ResultCache::new();
+    let first = run_campaign(&spec, &cache).expect("tables campaign");
+    let rendered = first.units[0]
+        .output
+        .rendered
+        .clone()
+        .expect("tables render");
+
+    let path = temp_path("rendered");
+    cache.save(&path).expect("save");
+    let reloaded = ResultCache::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    let second = run_campaign(&spec, &reloaded).expect("campaign over loaded cache");
+    assert!(second.units[0].from_cache);
+    assert_eq!(second.units[0].output.rendered.as_ref(), Some(&rendered));
+    assert!(rendered.contains("Table 1"));
+}

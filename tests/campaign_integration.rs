@@ -1,10 +1,12 @@
 //! Campaign orchestrator integration: the acceptance criteria.
 //!
 //! (a) a concurrent full-grid campaign (Figures 1–4 × M1–M4) is
-//!     value-identical to the serial baseline;
+//!     value-identical to the serial baseline, with wall-time populated
+//!     on every unit;
 //! (b) an immediate re-run of the same spec hits the cache for every
 //!     unit (100% campaign hit rate);
-//! (c) worker-count 1 vs N parity on a reduced grid.
+//! (c) worker-count 1 vs N parity on a reduced grid;
+//! (d) sharded runs union to exactly the unsharded campaign.
 
 use oranges_campaign::prelude::*;
 
@@ -24,11 +26,38 @@ fn full_grid_concurrent_equals_serial_and_rerun_is_all_hits() {
     assert_eq!(concurrent.units.len(), 16);
     assert_eq!(concurrent.workers, 4);
 
-    // Value identity: canonical JSON of every unit, in plan order.
+    // Value identity: canonical JSON of every unit, in plan order —
+    // despite per-run wall-times differing (they are excluded from the
+    // canonical form by design).
     assert_eq!(concurrent.digest(), serial.digest());
-    // And the flat record streams agree cell for cell.
-    assert_eq!(concurrent.records(), serial.records());
-    assert!(concurrent.records().len() > 100, "the grid is not trivial");
+    // And the flat metric-row streams agree cell for cell.
+    assert_eq!(concurrent.rows(), serial.rows());
+    assert!(concurrent.rows().len() > 100, "the grid is not trivial");
+
+    // Wall-time is populated on every unit: both the service wall and
+    // the compute wall stamped into provenance.
+    for unit in concurrent.units.iter().chain(&serial.units) {
+        assert!(unit.wall > std::time::Duration::ZERO, "{}", unit.key);
+        assert!(unit.compute_wall_s().unwrap_or(0.0) > 0.0, "{}", unit.key);
+        assert!(unit
+            .output
+            .sets
+            .iter()
+            .all(|s| s.provenance.wall_time_s.is_some()));
+    }
+    assert!(concurrent.unit_wall() > std::time::Duration::ZERO);
+
+    // Every emitted number carries its measurement context: figure rows
+    // all name a chip, and the power figures carry power provenance.
+    for set in concurrent.sets() {
+        assert!(set.provenance.chip.is_some(), "{set}");
+        assert!(!set.provenance.params.is_empty());
+        assert!(set.metrics.iter().all(|m| !m.unit.is_empty()));
+        if matches!(set.provenance.experiment.as_str(), "fig2" | "fig3" | "fig4") {
+            let power = set.provenance.power.expect("power figures carry context");
+            assert!(power.package_watts > 0.0);
+        }
+    }
 
     // (b) Immediate re-run of the same spec: served entirely from cache.
     let rerun = run_campaign(&spec, &cache).expect("cached re-run");
@@ -50,7 +79,33 @@ fn worker_count_parity() {
         let many = run_campaign(&base.clone().with_workers(workers), &ResultCache::new())
             .unwrap_or_else(|e| panic!("{workers} workers: {e}"));
         assert_eq!(many.digest(), one.digest(), "{workers} workers diverged");
-        assert_eq!(many.records(), one.records());
+        assert_eq!(many.rows(), one.rows());
+    }
+}
+
+/// (d) Sharding: the union of shard results equals the unsharded run —
+/// the ROADMAP's multi-process scale-out story. Each shard runs in its
+/// own cache (as separate processes would).
+#[test]
+fn union_of_shards_equals_unsharded_run() {
+    let base = CampaignSpec::smoke();
+    let whole = run_campaign(&base, &ResultCache::new()).expect("unsharded run");
+
+    for count in [2usize, 3] {
+        let mut union: Vec<MetricRow> = Vec::new();
+        let mut total_units = 0;
+        for index in 0..count {
+            let shard_spec = base.clone().with_shard(index, count);
+            let shard = run_campaign(&shard_spec, &ResultCache::new()).expect("sharded campaign");
+            total_units += shard.units.len();
+            union.extend(shard.rows());
+        }
+        assert_eq!(total_units, whole.units.len(), "{count} shards partition");
+
+        let mut expected = whole.rows();
+        union.sort_by_key(MetricRow::sort_key);
+        expected.sort_by_key(MetricRow::sort_key);
+        assert_eq!(union, expected, "{count}-shard union diverged");
     }
 }
 

@@ -14,7 +14,11 @@ fn fig1_pipeline() {
     }
     let parsed = csv::parse(&fig1::to_csv(&data));
     assert_eq!(parsed.len(), 33);
-    assert_eq!(parsed[0], vec!["chip", "agent", "kernel", "gbs"]);
+    assert_eq!(parsed[0], oranges_harness::metric::CSV_HEADER);
+    // The generic emitter round-trips the dataset losslessly.
+    let rows = oranges_harness::metric::rows_from_csv(&fig1::to_csv(&data)).unwrap();
+    assert_eq!(rows.len(), 32);
+    assert!(rows.iter().all(|r| r.unit == "GB/s" && r.metric == "gbs"));
 }
 
 #[test]
