@@ -1,7 +1,7 @@
 //! vDSP-style vector and matrix operations.
 //!
 //! The paper (§2.1) describes vDSP as the Accelerate component for signal
-//! processing and linear algebra that "automatically leverag[es] the vector
+//! processing and linear algebra that "automatically leverag\[es\] the vector
 //! and AMX capabilities of the CPU", and reports (§5.2) that its matrix
 //! multiply performs identically to BLAS — "they assumedly both run on
 //! AMX". The functions here mirror the vDSP entry points the benchmarks

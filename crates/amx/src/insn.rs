@@ -2,7 +2,7 @@
 //!
 //! Apple never documented AMX; the operations below follow the
 //! reverse-engineered ISA used by the cryptography papers the paper cites
-//! ([3], [4]): load/store of 64-byte registers and fused outer-product
+//! (\[3\], \[4\]): load/store of 64-byte registers and fused outer-product
 //! accumulate. Loads and stores reference unified memory through plain
 //! slices (offsets into the caller's buffer); the unit validates register
 //! indices and operand lengths.

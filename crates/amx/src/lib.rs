@@ -15,7 +15,7 @@
 //!
 //! - [`regs`]: the X/Y operand pools and the Z accumulator grid;
 //! - [`insn`]: the instruction set (loads, stores, FMA variants);
-//! - [`unit`]: the execution unit — functional state + cycle accounting;
+//! - [`unit`](mod@unit): the execution unit — functional state + cycle accounting;
 //! - [`sgemm`]: blocked SGEMM on the unit (the kernel Accelerate uses);
 //! - [`sme`]: the M4 streaming-mode view of the same engine.
 

@@ -13,7 +13,7 @@
 use crate::plan::UnitKey;
 use oranges::experiments::ExperimentOutput;
 use oranges_harness::json::{self, JsonValue};
-use oranges_harness::metric::{self, MetricSet};
+use oranges_harness::metric::MetricSet;
 use serde::Serialize;
 use std::collections::HashMap;
 use std::fmt;
@@ -160,34 +160,107 @@ impl ResultCache {
                 id: field("id")?.to_string(),
                 params: field("params")?.to_string(),
             };
-            let sets = entry
-                .get("sets")
-                .and_then(JsonValue::as_array)
-                .ok_or_else(|| CachePersistError::Parse(format!("entry {key} has no sets")))?
-                .iter()
-                .map(metric::set_from_json)
-                .collect::<Result<Vec<MetricSet>, _>>()
+            // The entry is flat: id/params alongside the output envelope
+            // (sets, rendered, wall_time_s), so the shared rebuild path
+            // in `oranges` reads it directly.
+            let output = ExperimentOutput::from_json_value(entry)
                 .map_err(|e| CachePersistError::Parse(format!("entry {key}: {e}")))?;
-            let rendered = match entry.get("rendered") {
-                None | Some(JsonValue::Null) => None,
-                Some(JsonValue::String(s)) => Some(s.clone()),
-                Some(other) => {
-                    return Err(CachePersistError::Parse(format!(
-                        "entry {key}: bad rendered field {other:?}"
-                    )))
-                }
-            };
-            let mut output = ExperimentOutput::from_sets(sets, rendered)
-                .map_err(|e| CachePersistError::Serialize(e.to_string()))?;
-            if let Some(wall) = entry.get("wall_time_s").and_then(JsonValue::as_f64) {
-                output.stamp_wall_time(wall);
-            }
             store.insert(key, Arc::new(output));
         }
         drop(store);
         Ok(cache)
     }
+
+    /// Merge every entry of `other` into this cache — the shard-join
+    /// step of the multi-process orchestrator. The conflict rule is
+    /// strict: a key present in both stores must carry *byte-identical*
+    /// canonical JSON (the simulation is deterministic, so two honest
+    /// shards can never disagree); identical values merge silently, a
+    /// mismatch fails loudly with [`CacheMergeError::Conflict`] and
+    /// leaves this cache untouched. Statistics are unaffected.
+    pub fn merge_from(&self, other: &ResultCache) -> Result<MergeStats, CacheMergeError> {
+        // Snapshot the incoming store first (Arc clones, cheap) so the
+        // two locks are never held at once: no ABBA deadlock between
+        // caches cross-merging on two threads, and a self-merge
+        // (`cache.merge_from(&cache)`, e.g. via aliased Arcs) is safe.
+        let incoming: Vec<(UnitKey, Arc<ExperimentOutput>)> = other
+            .store
+            .lock()
+            .expect("cache lock")
+            .iter()
+            .map(|(key, output)| (key.clone(), output.clone()))
+            .collect();
+        let mut store = self.store.lock().expect("cache lock");
+        // Validate first so a conflict cannot leave a half-merged store.
+        for (key, output) in &incoming {
+            if let Some(existing) = store.get(key) {
+                if existing.json != output.json {
+                    return Err(CacheMergeError::Conflict {
+                        key: key.clone(),
+                        existing_json_len: existing.json.len(),
+                        incoming_json_len: output.json.len(),
+                    });
+                }
+            }
+        }
+        let mut stats = MergeStats::default();
+        for (key, output) in incoming {
+            match store.entry(key) {
+                std::collections::hash_map::Entry::Occupied(_) => stats.identical += 1,
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(output);
+                    stats.added += 1;
+                }
+            }
+        }
+        Ok(stats)
+    }
 }
+
+/// What a [`ResultCache::merge_from`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MergeStats {
+    /// Entries newly added from the other cache.
+    pub added: usize,
+    /// Entries present in both caches with identical value identity.
+    pub identical: usize,
+}
+
+/// A merge between caches that disagree — two stores carrying *different*
+/// outputs for the same content key. With a deterministic simulation this
+/// means one side is corrupt (torn write, stale format, tampering), so
+/// the merge refuses rather than silently picking a winner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheMergeError {
+    /// The same key maps to two different value identities.
+    Conflict {
+        /// The disputed key.
+        key: UnitKey,
+        /// Canonical-JSON length already in the destination cache.
+        existing_json_len: usize,
+        /// Canonical-JSON length of the conflicting incoming entry.
+        incoming_json_len: usize,
+    },
+}
+
+impl fmt::Display for CacheMergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheMergeError::Conflict {
+                key,
+                existing_json_len,
+                incoming_json_len,
+            } => write!(
+                f,
+                "cache merge conflict on {key}: value identities differ \
+                 ({existing_json_len} vs {incoming_json_len} canonical bytes) — \
+                 one store is corrupt or was produced by a different model version"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CacheMergeError {}
 
 /// On-disk format version; bumped on any envelope change.
 const DISK_FORMAT_VERSION: u32 = 1;
@@ -390,6 +463,117 @@ mod tests {
         let error = cache.save(&path).expect_err("must refuse to persist NaN");
         assert!(matches!(error, CachePersistError::Serialize(_)), "{error}");
         assert!(!path.exists(), "no partial file left behind");
+    }
+
+    #[test]
+    fn merge_adds_new_and_skips_identical_entries() {
+        let destination = ResultCache::new();
+        destination.insert(key("fig1"), output(1.0));
+        let incoming = ResultCache::new();
+        incoming.insert(key("fig1"), output(1.0)); // identical value identity
+        incoming.insert(key("fig2"), output(2.0)); // new
+
+        let stats = destination.merge_from(&incoming).expect("clean merge");
+        assert_eq!(
+            stats,
+            MergeStats {
+                added: 1,
+                identical: 1
+            }
+        );
+        assert_eq!(destination.stats().entries, 2);
+        assert_eq!(
+            destination.get(&key("fig2")).expect("merged").sets[0].value("v"),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn merge_conflicts_fail_loudly_and_leave_destination_untouched() {
+        let destination = ResultCache::new();
+        destination.insert(key("fig1"), output(1.0));
+        let incoming = ResultCache::new();
+        incoming.insert(key("fig2"), output(2.0)); // would be added…
+        incoming.insert(key("fig1"), output(9.0)); // …but this conflicts
+
+        let error = destination
+            .merge_from(&incoming)
+            .expect_err("differing identities must not merge");
+        let CacheMergeError::Conflict { key: disputed, .. } = &error;
+        assert_eq!(disputed.id, "fig1");
+        assert!(error.to_string().contains("merge conflict on fig1"));
+        // Validate-before-mutate: nothing from the incoming store landed.
+        assert_eq!(destination.stats().entries, 1);
+        assert!(destination.get(&key("fig2")).is_none());
+    }
+
+    #[test]
+    fn self_merge_is_safe_and_all_identical() {
+        // Aliased handles (Arc'd caches in a shard list) can make a
+        // cache merge with itself; that must neither deadlock nor
+        // conflict.
+        let cache = ResultCache::new();
+        cache.insert(key("fig1"), output(1.0));
+        cache.insert(key("fig2"), output(2.0));
+        let stats = cache.merge_from(&cache).expect("self-merge");
+        assert_eq!(
+            stats,
+            MergeStats {
+                added: 0,
+                identical: 2
+            }
+        );
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let destination = ResultCache::new();
+        destination.insert(key("fig1"), output(1.0));
+        let incoming = ResultCache::new();
+        incoming.insert(key("fig1"), output(1.0));
+        for _ in 0..2 {
+            let stats = destination.merge_from(&incoming).expect("merge");
+            assert_eq!(
+                stats,
+                MergeStats {
+                    added: 0,
+                    identical: 1
+                }
+            );
+        }
+        assert_eq!(destination.stats().entries, 1);
+    }
+
+    #[test]
+    fn load_returns_typed_errors_on_torn_writes_at_every_truncation_point() {
+        // Regression: a crash mid-`save` (or a partial copy) leaves a
+        // truncated document; `load` must return a typed parse error —
+        // never panic — at *any* cut point.
+        let cache = ResultCache::new();
+        let mut entry = output(1.5);
+        entry.stamp_wall_time(0.25);
+        entry.rendered = Some("Table\nrow".to_string());
+        cache.insert(key("fig1"), entry);
+        let path = temp_path("torn");
+        cache.save(&path).expect("save");
+        let full = std::fs::read_to_string(&path).expect("saved bytes");
+
+        for cut in 0..full.len() {
+            if !full.is_char_boundary(cut) {
+                continue;
+            }
+            std::fs::write(&path, &full[..cut]).expect("write torn prefix");
+            match ResultCache::load(&path) {
+                Err(CachePersistError::Parse(_)) => {}
+                Err(other) => panic!("cut at {cut}: wrong error class {other}"),
+                Ok(_) => panic!("cut at {cut}: truncated file must not load"),
+            }
+        }
+        // The intact document still loads.
+        std::fs::write(&path, &full).expect("restore");
+        assert_eq!(ResultCache::load(&path).expect("intact").stats().entries, 1);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

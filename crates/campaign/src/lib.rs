@@ -32,11 +32,38 @@
 //! multi-process scale-out: the union of all shards equals the unsharded
 //! campaign.
 //!
+//! Two layers scale the pipeline beyond one process:
+//!
+//! - [`service`] — **service mode**: a long-running daemon
+//!   ([`service::CampaignService`]) accepting spec requests over a
+//!   Unix-domain socket (newline-delimited JSON envelopes), scheduling
+//!   them on a persistent [`scheduler::WorkerPool`], answering from the
+//!   warm cache, and streaming provenance-stamped `MetricSet` JSON back;
+//! - [`orchestrate`] — the **shard orchestrator**
+//!   ([`orchestrate::Orchestrator`]): N worker *processes*, round-robin
+//!   [`Plan::shard`](plan::Plan::shard) assignments, shard caches merged
+//!   under a strict conflict rule into one unified report.
+//!
+//! ```text
+//!              CampaignSpec ──► Plan ──► scheduler ──► ResultCache ──► CampaignReport
+//!                   ▲          (units)   │  worker pool    │  content-keyed   (plan order)
+//!      JSON in/out  │                    │  (scoped or     │  disk-persistent
+//!  (to_json /       │                    │   persistent)   │  mergeable
+//!   from_json)      │                    ▼                 ▼
+//!  ┌────────────────┴───┐      Experiment::run     save/load/merge_from
+//!  │ service (socket)   │      (oranges crate)            ▲
+//!  │ orchestrator (N    │                                 │
+//!  │ worker processes) ─┴─────────────────────────────────┘
+//!  └────────────────────┘
+//! ```
+//!
 //! The simulation is deterministic per unit, so a concurrent campaign is
 //! *value-identical* to a serial one — [`report::CampaignReport::digest`]
 //! makes that checkable, and `tests/campaign_integration.rs` checks it.
 //! (Wall-time is excluded from canonical serialization, so timing noise
-//! never perturbs identity.)
+//! never perturbs identity.) The same identity underpins the service
+//! (fingerprints over the wire) and the orchestrator (merge conflicts
+//! are identity mismatches).
 //!
 //! ## Quickstart
 //!
@@ -59,31 +86,80 @@
 //! assert_eq!(rerun.digest(), report.digest());
 //! assert!(rerun.units.iter().all(|u| u.from_cache));
 //! ```
+//!
+//! ## Specs as JSON
+//!
+//! Specs cross process and socket boundaries as JSON
+//! ([`CampaignSpec::to_json`](spec::CampaignSpec::to_json) /
+//! [`from_json`](spec::CampaignSpec::from_json)) — the wire format the
+//! service accepts and the orchestrator hands its workers:
+//!
+//! ```
+//! use oranges_campaign::prelude::*;
+//!
+//! let spec = CampaignSpec::new(
+//!     vec![ExperimentKind::Fig1],
+//!     vec![ChipGeneration::M2],
+//! )
+//! .with_workers(2);
+//! let json = spec.to_json();
+//! assert_eq!(json, r#"{"experiments":["fig1"],"chips":["M2"],"workers":2}"#);
+//! assert_eq!(CampaignSpec::from_json(&json).unwrap(), spec);
+//! ```
+//!
+//! ## Caches on disk
+//!
+//! [`ResultCache::save`](cache::ResultCache::save) /
+//! [`load`](cache::ResultCache::load) persist the store as one canonical
+//! JSON document, so warmth survives the process:
+//!
+//! ```
+//! use oranges_campaign::prelude::*;
+//!
+//! let spec = CampaignSpec::new(vec![ExperimentKind::Fig4], vec![ChipGeneration::M1])
+//!     .with_power_sizes(vec![2048]);
+//! let cache = ResultCache::new();
+//! run_campaign(&spec, &cache).unwrap();
+//!
+//! let path = std::env::temp_dir().join(format!("oranges-doc-{}.json", std::process::id()));
+//! cache.save(&path).unwrap();
+//!
+//! // A "second process": rebuild from disk, re-run, compute nothing.
+//! let warm = ResultCache::load(&path).unwrap();
+//! let report = run_campaign(&spec, &warm).unwrap();
+//! assert_eq!(report.computed_units(), 0);
+//! std::fs::remove_file(&path).ok();
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod orchestrate;
 pub mod plan;
 pub mod report;
 pub mod scheduler;
+#[cfg(unix)]
+pub mod service;
 pub mod spec;
 
 // The unit abstraction is defined next to the runners that implement it
 // (`oranges::experiments`); this crate is its consumer-facing home.
 pub use oranges::experiments::{Experiment, ExperimentError, ExperimentOutput};
 
-pub use cache::{CachePersistError, CacheStats, ResultCache};
+pub use cache::{CacheMergeError, CachePersistError, CacheStats, MergeStats, ResultCache};
+pub use orchestrate::{OrchestrateError, OrchestratedRun, Orchestrator};
 pub use plan::{Plan, PlanUnit, UnitKey};
 pub use report::{CampaignReport, UnitReport};
-pub use scheduler::{run_campaign, run_campaign_serial, CampaignError};
-pub use spec::{CampaignSpec, ExperimentKind};
+pub use scheduler::{run_campaign, run_campaign_serial, CampaignError, WorkerPool};
+pub use spec::{CampaignSpec, ExperimentKind, SpecParseError};
 
 /// Convenience prelude.
 pub mod prelude {
     pub use crate::cache::ResultCache;
+    pub use crate::orchestrate::Orchestrator;
     pub use crate::report::CampaignReport;
-    pub use crate::scheduler::{run_campaign, run_campaign_serial};
+    pub use crate::scheduler::{run_campaign, run_campaign_serial, WorkerPool};
     pub use crate::spec::{CampaignSpec, ExperimentKind};
     pub use crate::Experiment;
     pub use oranges_harness::metric::{MetricRow, MetricSet, MetricValue};

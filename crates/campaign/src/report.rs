@@ -93,6 +93,22 @@ impl CampaignReport {
         digest
     }
 
+    /// A compact token of the value-identity [`digest`]: the FNV-1a
+    /// 64-bit hash of the digest text, as 16 hex characters. Two reports
+    /// with equal digests always have equal fingerprints, so it is what
+    /// the service streams (and the orchestrator logs) instead of the
+    /// full digest — cheap to compare across processes and sockets.
+    ///
+    /// [`digest`]: CampaignReport::digest
+    pub fn fingerprint(&self) -> String {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.digest().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{hash:016x}")
+    }
+
     /// Units computed (not served from cache) in this campaign.
     pub fn computed_units(&self) -> usize {
         self.units.iter().filter(|u| !u.from_cache).count()
@@ -236,6 +252,20 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("fig4[chip=M1]="));
         assert!(lines[1].starts_with("fig4[chip=M2]="));
+    }
+
+    #[test]
+    fn fingerprint_tracks_the_digest() {
+        let r = report();
+        assert_eq!(r.fingerprint().len(), 16);
+        assert_eq!(r.fingerprint(), r.fingerprint(), "deterministic");
+        let mut other = r.clone();
+        other.units[0].key.params = "chip=M4".to_string();
+        assert_ne!(other.fingerprint(), r.fingerprint());
+        // Wall-time changes never perturb value identity.
+        let mut timed = r.clone();
+        timed.units[0].wall = Duration::from_secs(30);
+        assert_eq!(timed.fingerprint(), r.fingerprint());
     }
 
     #[test]

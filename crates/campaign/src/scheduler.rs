@@ -18,8 +18,10 @@ use oranges::platform::PlatformPool;
 use oranges_soc::chip::ChipGeneration;
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
 use std::time::{Duration, Instant};
 
 /// Campaign failure.
@@ -185,6 +187,229 @@ pub fn run_campaign_serial(spec: &CampaignSpec) -> Result<CampaignReport, Campai
     run_campaign(&serial_spec, &ResultCache::new())
 }
 
+/// One queued unit of work for a persistent pool worker. The epoch
+/// identifies which `run()` the task belongs to, so results from an
+/// abandoned run (after a mid-campaign failure) can never be mistaken
+/// for a later run's.
+struct PoolTask {
+    epoch: u64,
+    index: usize,
+    unit: PlanUnit,
+    cache: Arc<ResultCache>,
+}
+
+/// State shared between a [`WorkerPool`]'s owner and its threads.
+struct PoolShared {
+    queue: Mutex<VecDeque<PoolTask>>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A *persistent* worker pool: long-lived threads, each owning its own
+/// [`PlatformPool`], that successive campaigns re-enter without paying
+/// thread spawn or platform construction again.
+///
+/// [`run_campaign`] spawns scoped threads per call — right for a one-shot
+/// CLI run. A long-running process (the campaign service) instead keeps
+/// one `WorkerPool` alive and pushes every incoming spec through it: the
+/// workers' platform state stays warm across requests, and the shared
+/// [`ResultCache`] passed to each [`run`](WorkerPool::run) makes repeat
+/// specs near-free.
+///
+/// The pool is deliberately not `Sync` (its result channel is single-
+/// consumer): one campaign runs at a time, units within it fan out over
+/// all threads. Dropping the pool shuts the threads down.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    results: mpsc::Receiver<(u64, usize, Result<UnitOutcome, CampaignError>)>,
+    handles: Vec<thread::JoinHandle<()>>,
+    workers: usize,
+    epoch: std::sync::atomic::AtomicU64,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` (≥ 1 enforced) persistent threads.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let (sender, results) = mpsc::channel();
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let sender = sender.clone();
+                thread::spawn(move || pool_worker_loop(&shared, &sender))
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            results,
+            handles,
+            workers,
+            epoch: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Number of persistent threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run one campaign through the persistent threads. Semantically
+    /// identical to [`run_campaign`] (same plan expansion, sharding,
+    /// cache protocol, deterministic assembly, earliest-failure error) —
+    /// only the thread lifetime differs. `spec.workers` is ignored; the
+    /// pool's own size governs parallelism.
+    pub fn run(
+        &self,
+        spec: &CampaignSpec,
+        cache: &Arc<ResultCache>,
+    ) -> Result<CampaignReport, CampaignError> {
+        let mut plan = Plan::expand(spec);
+        if let Some((index, count)) = spec.shard {
+            plan = plan.shard(index, count);
+        }
+        let started = Instant::now();
+        let total = plan.len();
+        // A fresh epoch per run: results from an earlier run that ended
+        // early (error or panic) may still arrive on the shared channel,
+        // and must be discarded rather than counted against this plan.
+        let epoch = self
+            .epoch
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            + 1;
+        {
+            let mut queue = self.shared.queue.lock().expect("pool queue");
+            for unit in &plan.units {
+                queue.push_back(PoolTask {
+                    epoch,
+                    index: unit.index,
+                    unit: unit.clone(),
+                    cache: Arc::clone(cache),
+                });
+            }
+        }
+        self.shared.wake.notify_all();
+
+        let mut outcomes: Vec<Option<UnitOutcome>> = vec![None; total];
+        let mut first_error: Option<(usize, CampaignError)> = None;
+        let mut outstanding = total;
+        while outstanding > 0 {
+            let (index, outcome) = match self.results.recv_timeout(Duration::from_millis(50)) {
+                Ok((message_epoch, _, _)) if message_epoch != epoch => continue, // stale run
+                Ok((_, index, outcome)) => (index, outcome),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // Pool threads never exit during a run (they block on
+                    // the condvar between tasks), so a finished handle
+                    // here means a panic unwound one mid-unit — without
+                    // this check that unit's result never arrives and
+                    // recv() would wedge the service forever.
+                    if self.handles.iter().any(|handle| handle.is_finished()) {
+                        self.shared.queue.lock().expect("pool queue").clear();
+                        return Err(CampaignError::Worker(
+                            "pool thread panicked mid-campaign".into(),
+                        ));
+                    }
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(CampaignError::Worker(
+                        "pool thread exited mid-campaign".into(),
+                    ))
+                }
+            };
+            outstanding -= 1;
+            match outcome {
+                Ok(result) => outcomes[index] = Some(result),
+                Err(error) => {
+                    // Cancel everything not yet started; in-flight units
+                    // drain normally. Report the earliest failing unit.
+                    let mut queue = self.shared.queue.lock().expect("pool queue");
+                    outstanding -= queue.len();
+                    queue.clear();
+                    drop(queue);
+                    if first_error
+                        .as_ref()
+                        .map(|(i, _)| index < *i)
+                        .unwrap_or(true)
+                    {
+                        first_error = Some((index, error));
+                    }
+                }
+            }
+        }
+        if let Some((_, error)) = first_error {
+            return Err(error);
+        }
+
+        let mut units = Vec::with_capacity(total);
+        for (unit, outcome) in plan.units.iter().zip(outcomes) {
+            let (from_cache, output, wall) = outcome.ok_or_else(|| {
+                CampaignError::Worker(format!("unit {} never reported", unit.key))
+            })?;
+            units.push(UnitReport {
+                index: unit.index,
+                key: unit.key.clone(),
+                from_cache,
+                wall,
+                output,
+            });
+        }
+        Ok(CampaignReport::new(
+            units,
+            self.workers.clamp(1, total.max(1)),
+            started.elapsed(),
+            cache.stats(),
+        ))
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            // Store under the queue lock so a worker can never check the
+            // flag and then miss the wakeup (check-then-wait is atomic
+            // with respect to this store).
+            let _queue = self.shared.queue.lock().expect("pool queue");
+            self.shared.shutdown.store(true, Ordering::Relaxed);
+        }
+        self.shared.wake.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn pool_worker_loop(
+    shared: &PoolShared,
+    results: &mpsc::Sender<(u64, usize, Result<UnitOutcome, CampaignError>)>,
+) {
+    // The platform pool persists for the thread's whole life — this is
+    // the warmth a long-running service buys over scoped threads.
+    let mut pool = PlatformPool::new();
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().expect("pool queue");
+            loop {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                match queue.pop_front() {
+                    Some(task) => break task,
+                    None => queue = shared.wake.wait(queue).expect("pool queue"),
+                }
+            }
+        };
+        let outcome = execute_unit(&task.unit, &mut pool, &task.cache);
+        if results.send((task.epoch, task.index, outcome)).is_err() {
+            return; // owner gone
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +487,34 @@ mod tests {
             assert!(unit.from_cache);
             assert_eq!(unit.output.wall_time_s(), original.output.wall_time_s());
         }
+    }
+
+    #[test]
+    fn persistent_pool_matches_scoped_scheduler_and_reenters_warm() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        let cache = Arc::new(ResultCache::new());
+        let first = pool.run(&tiny_spec(3), &cache).unwrap();
+        let scoped = run_campaign(&tiny_spec(3), &ResultCache::new()).unwrap();
+        assert_eq!(first.digest(), scoped.digest(), "same values either way");
+        assert!(first.units.iter().all(|u| !u.from_cache));
+
+        // Re-entry over the warm cache: zero computed units.
+        let second = pool.run(&tiny_spec(3), &cache).unwrap();
+        assert!(second.units.iter().all(|u| u.from_cache));
+        assert_eq!(second.computed_units(), 0);
+        assert_eq!(second.fingerprint(), first.fingerprint());
+
+        // A different spec re-enters the same threads.
+        let other = pool.run(&tiny_spec(3).with_shard(0, 2), &cache).unwrap();
+        assert_eq!(other.units.len(), 2);
+        drop(pool); // joins cleanly
+    }
+
+    #[test]
+    fn pool_shuts_down_even_when_never_used() {
+        let pool = WorkerPool::new(4);
+        drop(pool);
     }
 
     #[test]

@@ -1,0 +1,782 @@
+//! Campaign service mode: long-running daemon serving specs over a
+//! Unix-domain socket, answering from a warm [`ResultCache`].
+//!
+//! The ROADMAP's north star is a spec-in/`MetricSet`-out *service*, not a
+//! one-shot CLI. This module is that service:
+//!
+//! ```text
+//!  client                         daemon (CampaignService)
+//!    │  {"id":1,"method":"run","body":<CampaignSpec JSON>}\n
+//!    ├──────────────────────────────►│
+//!    │                               │  CampaignSpec::from_json_value
+//!    │                               │  WorkerPool::run(spec, cache)   ── persistent
+//!    │                               │        │                           threads,
+//!    │                               │        ▼                           warm cache
+//!    │   {"id":1,"kind":"unit",...}\n   (one line per unit: sets JSON
+//!    │◄──────────────────────────────┤   with full provenance)
+//!    │   {"id":1,"kind":"done",...}\n   (fingerprint, computed count,
+//!    │◄──────────────────────────────┤   cache statistics)
+//! ```
+//!
+//! Protocol: newline-delimited JSON envelopes
+//! ([`oranges_harness::envelope`]) over `AF_UNIX`. Methods:
+//!
+//! | method | body | response stream |
+//! |---|---|---|
+//! | `run` | [`CampaignSpec`] JSON | `unit` × N, then `done` |
+//! | `stats` | — | `stats` (cache + service counters) |
+//! | `ping` | — | `pong` |
+//! | `shutdown` | — | `bye`, then the daemon exits its accept loop |
+//!
+//! Any failure is an in-band `error` response carrying the request id
+//! (id 0 if the request line itself would not parse); the connection
+//! stays up. The daemon handles connections sequentially and requests
+//! within a connection in order — campaign units, not sockets, are the
+//! concurrency that matters, and they fan out over the persistent
+//! [`WorkerPool`].
+//!
+//! Because every request runs against one shared [`ResultCache`] (warm-
+//! started from disk when [`ServiceConfig::cache_path`] is set, saved
+//! back on shutdown), a repeat of any spec the daemon has seen — in this
+//! process or a previous one — is served without computing anything:
+//! `tests/service_mode.rs` proves a second identical request reports
+//! zero computed units and an identical fingerprint.
+//!
+//! ```no_run
+//! use oranges_campaign::prelude::*;
+//! use oranges_campaign::service::{CampaignService, ServiceClient, ServiceConfig};
+//!
+//! // Daemon side (usually `cargo run --example serve`):
+//! let service = CampaignService::bind(ServiceConfig::new("/tmp/oranges.sock"))?;
+//! std::thread::spawn(move || service.serve());
+//!
+//! // Client side:
+//! let mut client = ServiceClient::connect("/tmp/oranges.sock")?;
+//! let outcome = client.run(&CampaignSpec::smoke())?;
+//! assert!(outcome.units[0].output.sets[0].provenance.chip.is_some());
+//! client.shutdown()?;
+//! # Ok::<(), oranges_campaign::service::ServiceError>(())
+//! ```
+
+use crate::cache::{CachePersistError, CacheStats, ResultCache};
+use crate::plan::UnitKey;
+use crate::report::{CampaignReport, UnitReport};
+use crate::scheduler::{CampaignError, WorkerPool};
+use crate::spec::{CampaignSpec, SpecParseError};
+use oranges::experiments::ExperimentOutput;
+use oranges_harness::envelope::{EnvelopeError, Request, Response};
+use oranges_harness::json::{self, JsonValue};
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Failure anywhere in the service stack (daemon or client side).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// Socket or filesystem failure (context, cause).
+    Io(String, String),
+    /// A wire envelope would not parse.
+    Envelope(EnvelopeError),
+    /// A `run` request carried an invalid spec.
+    Spec(SpecParseError),
+    /// The campaign itself failed.
+    Campaign(CampaignError),
+    /// The warm cache would not load or save.
+    Cache(CachePersistError),
+    /// The server reported a failure in-band (client side).
+    Remote(String),
+    /// The peer violated the protocol (unexpected kind, bad body).
+    Protocol(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Io(context, cause) => write!(f, "service io ({context}): {cause}"),
+            ServiceError::Envelope(e) => write!(f, "service wire: {e}"),
+            ServiceError::Spec(e) => write!(f, "service spec: {e}"),
+            ServiceError::Campaign(e) => write!(f, "service campaign: {e}"),
+            ServiceError::Cache(e) => write!(f, "service cache: {e}"),
+            ServiceError::Remote(message) => write!(f, "server reported: {message}"),
+            ServiceError::Protocol(message) => write!(f, "protocol violation: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<EnvelopeError> for ServiceError {
+    fn from(e: EnvelopeError) -> Self {
+        ServiceError::Envelope(e)
+    }
+}
+
+impl From<SpecParseError> for ServiceError {
+    fn from(e: SpecParseError) -> Self {
+        ServiceError::Spec(e)
+    }
+}
+
+impl From<CampaignError> for ServiceError {
+    fn from(e: CampaignError) -> Self {
+        ServiceError::Campaign(e)
+    }
+}
+
+impl From<CachePersistError> for ServiceError {
+    fn from(e: CachePersistError) -> Self {
+        ServiceError::Cache(e)
+    }
+}
+
+fn io_err(context: &str, error: std::io::Error) -> ServiceError {
+    ServiceError::Io(context.to_string(), error.to_string())
+}
+
+/// How to run a [`CampaignService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Where to bind the `AF_UNIX` socket. A stale file at this path is
+    /// removed at bind time (the daemon owns the path).
+    pub socket_path: PathBuf,
+    /// Persistent worker threads in the shared pool.
+    pub workers: usize,
+    /// Warm-start the cache from this file when present, and save the
+    /// (possibly grown) cache back to it on shutdown.
+    pub cache_path: Option<PathBuf>,
+}
+
+impl ServiceConfig {
+    /// A config with 4 workers and no disk cache.
+    pub fn new(socket_path: impl Into<PathBuf>) -> Self {
+        ServiceConfig {
+            socket_path: socket_path.into(),
+            workers: 4,
+            cache_path: None,
+        }
+    }
+
+    /// Set the worker-pool size.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Warm-start from / persist to `path`.
+    pub fn with_cache_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cache_path = Some(path.into());
+        self
+    }
+}
+
+/// Lifetime counters a service reports on shutdown (and in `stats`
+/// responses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceSummary {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests dispatched (all methods).
+    pub requests: u64,
+    /// `run` requests served.
+    pub runs: u64,
+    /// `unit` responses streamed.
+    pub units_streamed: u64,
+}
+
+/// The long-running campaign daemon: one socket, one warm cache, one
+/// persistent worker pool.
+pub struct CampaignService {
+    listener: UnixListener,
+    cache: Arc<ResultCache>,
+    pool: WorkerPool,
+    config: ServiceConfig,
+}
+
+impl CampaignService {
+    /// Bind the socket and warm-start the cache. The service is not
+    /// serving yet — call [`serve`](CampaignService::serve).
+    pub fn bind(config: ServiceConfig) -> Result<Self, ServiceError> {
+        let cache = match &config.cache_path {
+            Some(path) if path.exists() => ResultCache::load(path)?,
+            _ => ResultCache::new(),
+        };
+        if config.socket_path.exists() {
+            std::fs::remove_file(&config.socket_path)
+                .map_err(|e| io_err("removing stale socket", e))?;
+        }
+        let listener = UnixListener::bind(&config.socket_path)
+            .map_err(|e| io_err(&format!("binding {}", config.socket_path.display()), e))?;
+        Ok(CampaignService {
+            listener,
+            cache: Arc::new(cache),
+            pool: WorkerPool::new(config.workers),
+            config,
+        })
+    }
+
+    /// The shared warm cache (e.g. to pre-seed it before serving).
+    pub fn cache(&self) -> &Arc<ResultCache> {
+        &self.cache
+    }
+
+    /// The bound socket path.
+    pub fn socket_path(&self) -> &Path {
+        &self.config.socket_path
+    }
+
+    /// Accept and serve connections until a `shutdown` request arrives,
+    /// then persist the cache (when configured), remove the socket file,
+    /// and return the lifetime counters. The cache is persisted even if
+    /// the accept loop has to give up, so computed results are never
+    /// lost to a socket-level failure.
+    pub fn serve(self) -> Result<ServiceSummary, ServiceError> {
+        let mut summary = ServiceSummary::default();
+        // Transient accept failures (EMFILE under fd pressure, say) are
+        // retried; only a persistent streak aborts the daemon.
+        const MAX_CONSECUTIVE_ACCEPT_FAILURES: u32 = 64;
+        let mut accept_failures = 0u32;
+        'accept: for stream in self.listener.incoming() {
+            let stream = match stream {
+                Ok(stream) => {
+                    accept_failures = 0;
+                    stream
+                }
+                Err(error) => {
+                    accept_failures += 1;
+                    eprintln!("campaign service: accept error: {error}");
+                    if accept_failures >= MAX_CONSECUTIVE_ACCEPT_FAILURES {
+                        self.persist_and_cleanup()?;
+                        return Err(io_err("accepting connection (giving up)", error));
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    continue;
+                }
+            };
+            summary.connections += 1;
+            match self.handle_connection(stream, &mut summary) {
+                Ok(true) => break 'accept,
+                Ok(false) => {}
+                Err(error) => {
+                    // One connection's I/O failure (a client vanishing
+                    // mid-response, say) must never take the daemon —
+                    // and its warm cache — down with it.
+                    eprintln!("campaign service: connection error: {error}");
+                }
+            }
+        }
+        self.persist_and_cleanup()?;
+        Ok(summary)
+    }
+
+    /// Save the warm cache (when configured) and remove the socket file.
+    fn persist_and_cleanup(&self) -> Result<(), ServiceError> {
+        if let Some(path) = &self.config.cache_path {
+            self.cache.save(path)?;
+        }
+        std::fs::remove_file(&self.config.socket_path).ok();
+        Ok(())
+    }
+
+    /// Serve one connection to completion. Returns `true` when the peer
+    /// requested shutdown.
+    fn handle_connection(
+        &self,
+        stream: UnixStream,
+        summary: &mut ServiceSummary,
+    ) -> Result<bool, ServiceError> {
+        let mut writer = stream
+            .try_clone()
+            .map_err(|e| io_err("cloning connection", e))?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let read = reader
+                .read_line(&mut line)
+                .map_err(|e| io_err("reading request", e))?;
+            if read == 0 {
+                return Ok(false); // peer disconnected
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let request = match Request::from_line(&line) {
+                Ok(request) => request,
+                Err(error) => {
+                    // Id 0 is reserved for lines we could not correlate.
+                    write_response(&mut writer, &Response::failure(0, error.to_string()))?;
+                    continue;
+                }
+            };
+            summary.requests += 1;
+            match request.method.as_str() {
+                "ping" => write_response(&mut writer, &Response::ok(request.id, "pong"))?,
+                "stats" => {
+                    let body = stats_body(&self.cache.stats(), summary);
+                    write_response(
+                        &mut writer,
+                        &Response::ok(request.id, "stats").with_body(body),
+                    )?;
+                }
+                "run" => self.handle_run(&request, &mut writer, summary)?,
+                "shutdown" => {
+                    write_response(&mut writer, &Response::ok(request.id, "bye"))?;
+                    return Ok(true);
+                }
+                other => write_response(
+                    &mut writer,
+                    &Response::failure(request.id, format!("unknown method '{other}'")),
+                )?,
+            }
+        }
+    }
+
+    /// Serve one `run` request: parse the spec, run it on the shared
+    /// pool over the warm cache, stream one `unit` response per unit and
+    /// a final `done`. Spec and campaign failures answer in-band.
+    fn handle_run(
+        &self,
+        request: &Request,
+        writer: &mut UnixStream,
+        summary: &mut ServiceSummary,
+    ) -> Result<(), ServiceError> {
+        let spec = match &request.body {
+            Some(body) => match CampaignSpec::from_json_value(body) {
+                Ok(spec) => spec,
+                Err(error) => {
+                    return write_response(
+                        writer,
+                        &Response::failure(request.id, error.to_string()),
+                    )
+                }
+            },
+            None => {
+                return write_response(
+                    writer,
+                    &Response::failure(request.id, "run request has no spec body"),
+                )
+            }
+        };
+        let report = match self.pool.run(&spec, &self.cache) {
+            Ok(report) => report,
+            Err(error) => {
+                return write_response(writer, &Response::failure(request.id, error.to_string()))
+            }
+        };
+        summary.runs += 1;
+        for unit in &report.units {
+            write_response(
+                writer,
+                &Response::ok(request.id, "unit").with_body(unit_body(unit)),
+            )?;
+            summary.units_streamed += 1;
+        }
+        write_response(
+            writer,
+            &Response::ok(request.id, "done").with_body(done_body(&report)),
+        )
+    }
+}
+
+fn write_response(writer: &mut UnixStream, response: &Response) -> Result<(), ServiceError> {
+    writer
+        .write_all(response.to_line().as_bytes())
+        .map_err(|e| io_err("writing response", e))
+}
+
+/// The `unit` response body: the unit's coordinates plus its full
+/// provenance-stamped sets — exactly the envelope shape
+/// [`ExperimentOutput::from_json_value`] rebuilds on the client.
+fn unit_body(unit: &UnitReport) -> JsonValue {
+    // `output.json` is the canonical sets array; re-parsing it embeds the
+    // sets as a tree without re-deriving their serialization.
+    let sets = json::parse(&unit.output.json).expect("canonical JSON parses");
+    let mut fields = vec![
+        ("index".to_string(), JsonValue::integer(unit.index as u64)),
+        ("id".to_string(), JsonValue::String(unit.key.id.clone())),
+        (
+            "params".to_string(),
+            JsonValue::String(unit.key.params.clone()),
+        ),
+        ("from_cache".to_string(), JsonValue::Bool(unit.from_cache)),
+    ];
+    if let Some(wall) = unit.output.wall_time_s() {
+        fields.push(("wall_time_s".to_string(), JsonValue::number(wall)));
+    }
+    if let Some(rendered) = &unit.output.rendered {
+        fields.push(("rendered".to_string(), JsonValue::String(rendered.clone())));
+    }
+    fields.push(("sets".to_string(), sets));
+    JsonValue::Object(fields)
+}
+
+/// The `done` response body: campaign totals and the value-identity
+/// fingerprint.
+fn done_body(report: &CampaignReport) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "units".to_string(),
+            JsonValue::integer(report.units.len() as u64),
+        ),
+        (
+            "computed_units".to_string(),
+            JsonValue::integer(report.computed_units() as u64),
+        ),
+        (
+            "fingerprint".to_string(),
+            JsonValue::String(report.fingerprint()),
+        ),
+        (
+            "wall_s".to_string(),
+            JsonValue::number(report.wall.as_secs_f64()),
+        ),
+        ("cache".to_string(), cache_body(&report.cache)),
+    ])
+}
+
+fn cache_body(stats: &CacheStats) -> JsonValue {
+    JsonValue::Object(vec![
+        ("hits".to_string(), JsonValue::integer(stats.hits)),
+        ("misses".to_string(), JsonValue::integer(stats.misses)),
+        (
+            "entries".to_string(),
+            JsonValue::integer(stats.entries as u64),
+        ),
+    ])
+}
+
+fn stats_body(stats: &CacheStats, summary: &ServiceSummary) -> JsonValue {
+    JsonValue::Object(vec![
+        ("cache".to_string(), cache_body(stats)),
+        (
+            "connections".to_string(),
+            JsonValue::integer(summary.connections),
+        ),
+        ("requests".to_string(), JsonValue::integer(summary.requests)),
+        ("runs".to_string(), JsonValue::integer(summary.runs)),
+        (
+            "units_streamed".to_string(),
+            JsonValue::integer(summary.units_streamed),
+        ),
+    ])
+}
+
+fn parse_cache_body(value: &JsonValue) -> Result<CacheStats, ServiceError> {
+    let field = |name: &str| {
+        value
+            .get(name)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| ServiceError::Protocol(format!("cache body has no integer '{name}'")))
+    };
+    Ok(CacheStats {
+        hits: field("hits")?,
+        misses: field("misses")?,
+        entries: field("entries")? as usize,
+    })
+}
+
+/// One unit as served over the socket, rebuilt into the same typed
+/// output a local campaign would produce.
+#[derive(Debug, Clone)]
+pub struct ServedUnit {
+    /// Plan position.
+    pub index: usize,
+    /// Content key.
+    pub key: UnitKey,
+    /// Whether the daemon answered from its warm cache.
+    pub from_cache: bool,
+    /// The rebuilt output — value-identical to a locally computed one.
+    pub output: ExperimentOutput,
+}
+
+/// What one `run` request returned.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Served units, in plan order.
+    pub units: Vec<ServedUnit>,
+    /// How many units the daemon had to compute (0 = fully warm).
+    pub computed_units: usize,
+    /// The daemon-side [`CampaignReport::fingerprint`].
+    pub fingerprint: String,
+    /// Daemon cache statistics after the run.
+    pub cache: CacheStats,
+}
+
+/// Daemon-side statistics from a `stats` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Cache statistics.
+    pub cache: CacheStats,
+    /// Lifetime counters.
+    pub summary: ServiceSummary,
+}
+
+/// A blocking client for the service protocol.
+pub struct ServiceClient {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+    next_id: u64,
+}
+
+impl ServiceClient {
+    /// Connect to a serving daemon.
+    pub fn connect(socket_path: impl AsRef<Path>) -> Result<Self, ServiceError> {
+        let stream = UnixStream::connect(socket_path.as_ref())
+            .map_err(|e| io_err(&format!("connecting {}", socket_path.as_ref().display()), e))?;
+        let writer = stream
+            .try_clone()
+            .map_err(|e| io_err("cloning connection", e))?;
+        Ok(ServiceClient {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    fn send(&mut self, method: &str, body: Option<JsonValue>) -> Result<u64, ServiceError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut request = Request::new(id, method);
+        if let Some(body) = body {
+            request = request.with_body(body);
+        }
+        self.writer
+            .write_all(request.to_line().as_bytes())
+            .map_err(|e| io_err("writing request", e))?;
+        Ok(id)
+    }
+
+    fn read_response(&mut self, id: u64) -> Result<Response, ServiceError> {
+        let mut line = String::new();
+        let read = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| io_err("reading response", e))?;
+        if read == 0 {
+            return Err(ServiceError::Protocol(
+                "server closed the connection".into(),
+            ));
+        }
+        let response = Response::from_line(&line)?;
+        if response.id != id {
+            return Err(ServiceError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                response.id
+            )));
+        }
+        if let Some(message) = &response.error {
+            return Err(ServiceError::Remote(message.clone()));
+        }
+        Ok(response)
+    }
+
+    /// Submit a spec and collect the full streamed answer.
+    pub fn run(&mut self, spec: &CampaignSpec) -> Result<RunOutcome, ServiceError> {
+        let body = json::parse(&spec.to_json())
+            .map_err(|e| ServiceError::Protocol(format!("spec JSON did not re-parse: {e}")))?;
+        let id = self.send("run", Some(body))?;
+        let mut units = Vec::new();
+        loop {
+            let response = self.read_response(id)?;
+            let body = response
+                .body
+                .as_ref()
+                .ok_or_else(|| ServiceError::Protocol(format!("{} has no body", response.kind)))?;
+            match response.kind.as_str() {
+                "unit" => units.push(parse_served_unit(body)?),
+                "done" => {
+                    let str_field = |name: &str| {
+                        body.get(name).and_then(JsonValue::as_str).ok_or_else(|| {
+                            ServiceError::Protocol(format!("done body has no '{name}'"))
+                        })
+                    };
+                    let computed = body
+                        .get("computed_units")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| {
+                            ServiceError::Protocol("done body has no 'computed_units'".into())
+                        })?;
+                    let cache = parse_cache_body(body.get("cache").unwrap_or(&JsonValue::Null))?;
+                    return Ok(RunOutcome {
+                        computed_units: computed as usize,
+                        fingerprint: str_field("fingerprint")?.to_string(),
+                        cache,
+                        units,
+                    });
+                }
+                other => {
+                    return Err(ServiceError::Protocol(format!(
+                        "unexpected response kind '{other}' during run"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Round-trip liveness probe.
+    pub fn ping(&mut self) -> Result<(), ServiceError> {
+        let id = self.send("ping", None)?;
+        let response = self.read_response(id)?;
+        match response.kind.as_str() {
+            "pong" => Ok(()),
+            other => Err(ServiceError::Protocol(format!(
+                "expected pong, got '{other}'"
+            ))),
+        }
+    }
+
+    /// Fetch daemon statistics.
+    pub fn stats(&mut self) -> Result<ServiceStats, ServiceError> {
+        let id = self.send("stats", None)?;
+        let response = self.read_response(id)?;
+        let body = response
+            .body
+            .as_ref()
+            .ok_or_else(|| ServiceError::Protocol("stats has no body".into()))?;
+        let counter = |name: &str| {
+            body.get(name)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| ServiceError::Protocol(format!("stats body has no '{name}'")))
+        };
+        Ok(ServiceStats {
+            cache: parse_cache_body(body.get("cache").unwrap_or(&JsonValue::Null))?,
+            summary: ServiceSummary {
+                connections: counter("connections")?,
+                requests: counter("requests")?,
+                runs: counter("runs")?,
+                units_streamed: counter("units_streamed")?,
+            },
+        })
+    }
+
+    /// Ask the daemon to exit after answering.
+    pub fn shutdown(&mut self) -> Result<(), ServiceError> {
+        let id = self.send("shutdown", None)?;
+        let response = self.read_response(id)?;
+        match response.kind.as_str() {
+            "bye" => Ok(()),
+            other => Err(ServiceError::Protocol(format!(
+                "expected bye, got '{other}'"
+            ))),
+        }
+    }
+
+    /// Submit an arbitrary method (protocol testing).
+    pub fn raw_request(
+        &mut self,
+        method: &str,
+        body: Option<JsonValue>,
+    ) -> Result<Response, ServiceError> {
+        let id = self.send(method, body)?;
+        self.read_response(id)
+    }
+}
+
+fn parse_served_unit(body: &JsonValue) -> Result<ServedUnit, ServiceError> {
+    let str_field = |name: &str| {
+        body.get(name)
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ServiceError::Protocol(format!("unit body has no '{name}'")))
+    };
+    let output = ExperimentOutput::from_json_value(body)
+        .map_err(|e| ServiceError::Protocol(format!("unit body did not rebuild: {e}")))?;
+    Ok(ServedUnit {
+        index: body
+            .get("index")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| ServiceError::Protocol("unit body has no 'index'".into()))?
+            as usize,
+        key: UnitKey {
+            id: str_field("id")?.to_string(),
+            params: str_field("params")?.to_string(),
+        },
+        from_cache: body
+            .get("from_cache")
+            .and_then(JsonValue::as_bool)
+            .ok_or_else(|| ServiceError::Protocol("unit body has no 'from_cache'".into()))?,
+        output,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oranges_harness::metric::MetricSet;
+    use std::sync::Arc as StdArc;
+    use std::time::Duration;
+
+    fn unit_report() -> UnitReport {
+        let mut output = ExperimentOutput::from_sets(
+            vec![MetricSet::for_chip("fig4", "chip=M2", "M2")
+                .with_implementation("GPU-MPS")
+                .with_n(2048)
+                .metric("gflops_per_watt", 214.5, "GFLOPS/W")],
+            Some("chart".to_string()),
+        )
+        .expect("serializable");
+        output.stamp_wall_time(0.05);
+        UnitReport {
+            index: 3,
+            key: UnitKey {
+                id: "fig4".to_string(),
+                params: "chip=M2".to_string(),
+            },
+            from_cache: true,
+            wall: Duration::from_millis(1),
+            output: StdArc::new(output),
+        }
+    }
+
+    #[test]
+    fn unit_body_round_trips_through_the_client_parser() {
+        let report = unit_report();
+        let body = unit_body(&report);
+        let served = parse_served_unit(&body).expect("parses");
+        assert_eq!(served.index, 3);
+        assert_eq!(served.key, report.key);
+        assert!(served.from_cache);
+        assert_eq!(
+            served.output.json, report.output.json,
+            "value identity crosses the wire"
+        );
+        assert_eq!(served.output.sets, report.output.sets);
+        assert_eq!(served.output.rendered.as_deref(), Some("chart"));
+        assert_eq!(served.output.wall_time_s(), Some(0.05));
+    }
+
+    #[test]
+    fn done_and_stats_bodies_round_trip() {
+        let report = CampaignReport::new(
+            vec![],
+            2,
+            Duration::from_millis(10),
+            CacheStats {
+                hits: 5,
+                misses: 2,
+                entries: 2,
+            },
+        );
+        let body = done_body(&report);
+        assert_eq!(
+            body.get("fingerprint").and_then(JsonValue::as_str),
+            Some(report.fingerprint().as_str())
+        );
+        let cache = parse_cache_body(body.get("cache").unwrap()).unwrap();
+        assert_eq!(cache, report.cache);
+
+        let summary = ServiceSummary {
+            connections: 1,
+            requests: 4,
+            runs: 2,
+            units_streamed: 8,
+        };
+        let stats = stats_body(&report.cache, &summary);
+        assert_eq!(stats.get("runs").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(
+            parse_cache_body(stats.get("cache").unwrap()).unwrap(),
+            report.cache
+        );
+    }
+}

@@ -6,7 +6,9 @@ use oranges::experiments::{
     references::ReferencesExperiment, tables::TablesExperiment, thermal::ThermalExperiment,
     Experiment,
 };
+use oranges_harness::json::{self, JsonValue};
 use oranges_soc::chip::ChipGeneration;
+use std::fmt;
 use std::sync::Arc;
 
 /// The paper artifacts (and extensions) a campaign can schedule.
@@ -57,6 +59,32 @@ impl ExperimentKind {
     /// Whether this kind expands into one unit per chip.
     pub fn per_chip(&self) -> bool {
         !matches!(self, ExperimentKind::Tables | ExperimentKind::References)
+    }
+
+    /// The stable artifact id this kind instantiates — identical to
+    /// [`Experiment::id`] of the instantiated unit, and the token the
+    /// JSON spec format uses.
+    pub fn id(&self) -> &'static str {
+        match self {
+            ExperimentKind::Fig1 => "fig1",
+            ExperimentKind::Fig2 => "fig2",
+            ExperimentKind::Fig3 => "fig3",
+            ExperimentKind::Fig4 => "fig4",
+            ExperimentKind::Tables => "tables",
+            ExperimentKind::References => "references",
+            ExperimentKind::Contention => "contention",
+            ExperimentKind::Thermal => "thermal",
+            ExperimentKind::MixedPrecision => "mixed_precision",
+        }
+    }
+
+    /// Parse an artifact id back into a kind (the inverse of
+    /// [`id`](ExperimentKind::id)).
+    pub fn parse(id: &str) -> Result<Self, SpecParseError> {
+        ExperimentKind::ALL
+            .into_iter()
+            .find(|kind| kind.id() == id)
+            .ok_or_else(|| SpecParseError(format!("unknown experiment id '{id}'")))
     }
 
     /// Instantiate the unit for `chip` (`None` for chip-independent
@@ -213,7 +241,160 @@ impl CampaignSpec {
         self.shard = Some((index, count));
         self
     }
+
+    /// Serialize to the JSON wire format the campaign service and the
+    /// shard orchestrator exchange. Stable field order; `None` overrides
+    /// are omitted, so the output stays minimal and byte-deterministic.
+    pub fn to_json(&self) -> String {
+        let ids = self
+            .experiments
+            .iter()
+            .map(|kind| JsonValue::String(kind.id().to_string()))
+            .collect();
+        let chips = self
+            .chips
+            .iter()
+            .map(|chip| JsonValue::String(chip.name().to_string()))
+            .collect();
+        let sizes = |sizes: &[usize]| {
+            JsonValue::Array(
+                sizes
+                    .iter()
+                    .map(|&n| JsonValue::integer(n as u64))
+                    .collect(),
+            )
+        };
+        let mut fields = vec![
+            ("experiments".to_string(), JsonValue::Array(ids)),
+            ("chips".to_string(), JsonValue::Array(chips)),
+            (
+                "workers".to_string(),
+                JsonValue::integer(self.workers as u64),
+            ),
+        ];
+        if let Some(gemm) = &self.gemm_sizes {
+            fields.push(("gemm_sizes".to_string(), sizes(gemm)));
+        }
+        if let Some(power) = &self.power_sizes {
+            fields.push(("power_sizes".to_string(), sizes(power)));
+        }
+        if let Some(flops) = self.verify_max_flops {
+            fields.push(("verify_max_flops".to_string(), JsonValue::integer(flops)));
+        }
+        if let Some((index, count)) = self.shard {
+            fields.push((
+                "shard".to_string(),
+                JsonValue::Array(vec![
+                    JsonValue::integer(index as u64),
+                    JsonValue::integer(count as u64),
+                ]),
+            ));
+        }
+        JsonValue::Object(fields).to_json_string()
+    }
+
+    /// Parse a spec from its JSON wire format (the inverse of
+    /// [`to_json`](CampaignSpec::to_json)).
+    pub fn from_json(text: &str) -> Result<Self, SpecParseError> {
+        let value = json::parse(text).map_err(|e| SpecParseError(e.to_string()))?;
+        CampaignSpec::from_json_value(&value)
+    }
+
+    /// Parse a spec from an already-parsed JSON tree (the shape a
+    /// service request's `body` carries).
+    pub fn from_json_value(value: &JsonValue) -> Result<Self, SpecParseError> {
+        let string_list = |field: &str| -> Result<Vec<&str>, SpecParseError> {
+            value
+                .get(field)
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| SpecParseError(format!("spec has no '{field}' array")))?
+                .iter()
+                .map(|item| {
+                    item.as_str()
+                        .ok_or_else(|| SpecParseError(format!("'{field}' entries must be strings")))
+                })
+                .collect()
+        };
+        let size_list = |field: &str| -> Result<Option<Vec<usize>>, SpecParseError> {
+            match value.get(field) {
+                None | Some(JsonValue::Null) => Ok(None),
+                Some(JsonValue::Array(items)) => items
+                    .iter()
+                    .map(|item| {
+                        item.as_u64().map(|n| n as usize).ok_or_else(|| {
+                            SpecParseError(format!("'{field}' entries must be whole numbers"))
+                        })
+                    })
+                    .collect::<Result<Vec<usize>, _>>()
+                    .map(Some),
+                Some(other) => Err(SpecParseError(format!(
+                    "'{field}' is not an array: {other:?}"
+                ))),
+            }
+        };
+
+        let experiments = string_list("experiments")?
+            .into_iter()
+            .map(ExperimentKind::parse)
+            .collect::<Result<Vec<_>, _>>()?;
+        let chips = string_list("chips")?
+            .into_iter()
+            .map(|name| ChipGeneration::parse(name).map_err(|e| SpecParseError(e.to_string())))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let mut spec = CampaignSpec::new(experiments, chips);
+        if let Some(workers) = value.get("workers") {
+            let workers = workers
+                .as_u64()
+                .filter(|&w| w > 0)
+                .ok_or_else(|| SpecParseError("'workers' must be a positive integer".into()))?;
+            spec.workers = workers as usize;
+        }
+        spec.gemm_sizes = size_list("gemm_sizes")?;
+        spec.power_sizes = size_list("power_sizes")?;
+        spec.verify_max_flops = match value.get("verify_max_flops") {
+            None | Some(JsonValue::Null) => None,
+            Some(flops) => Some(flops.as_u64().ok_or_else(|| {
+                SpecParseError("'verify_max_flops' must be a non-negative integer".into())
+            })?),
+        };
+        match value.get("shard") {
+            None | Some(JsonValue::Null) => {}
+            Some(shard) => {
+                let pair = shard
+                    .as_array()
+                    .filter(|items| items.len() == 2)
+                    .ok_or_else(|| {
+                        SpecParseError("'shard' must be an [index, count] pair".into())
+                    })?;
+                let (index, count) = (pair[0].as_u64(), pair[1].as_u64());
+                match (index, count) {
+                    (Some(index), Some(count)) if count > 0 && index < count => {
+                        spec.shard = Some((index as usize, count as usize));
+                    }
+                    _ => {
+                        return Err(SpecParseError(format!(
+                            "'shard' pair {shard:?} is not a valid index/count"
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(spec)
+    }
 }
+
+/// A spec document that does not describe a runnable campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecParseError(pub(crate) String);
+
+impl fmt::Display for SpecParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecParseError {}
 
 #[cfg(test)]
 mod tests {
@@ -235,6 +416,56 @@ mod tests {
             ExperimentKind::ALL.iter().filter(|k| !k.per_chip()).count(),
             2
         );
+    }
+
+    #[test]
+    fn kind_ids_round_trip_and_match_experiment_ids() {
+        for kind in ExperimentKind::ALL {
+            assert_eq!(ExperimentKind::parse(kind.id()), Ok(kind));
+            // The JSON token must equal the instantiated unit's id —
+            // they share the cache-key namespace.
+            let chip = kind.per_chip().then_some(ChipGeneration::M1);
+            let unit = kind.instantiate(chip, &CampaignSpec::smoke());
+            assert_eq!(unit.id(), kind.id());
+        }
+        assert!(ExperimentKind::parse("fig9").is_err());
+    }
+
+    #[test]
+    fn spec_json_round_trips_exactly() {
+        let minimal = CampaignSpec::paper_grid();
+        assert_eq!(CampaignSpec::from_json(&minimal.to_json()), Ok(minimal));
+
+        let full = CampaignSpec::new(
+            vec![ExperimentKind::Fig2, ExperimentKind::MixedPrecision],
+            vec![ChipGeneration::M1, ChipGeneration::M4],
+        )
+        .with_workers(6)
+        .with_gemm_sizes(vec![256, 1024])
+        .with_power_sizes(vec![2048])
+        .with_verify_max_flops(0)
+        .with_shard(1, 3);
+        let json = full.to_json();
+        assert_eq!(CampaignSpec::from_json(&json), Ok(full));
+        // Byte-deterministic: re-serializing the parsed spec reproduces
+        // the same document.
+        assert_eq!(CampaignSpec::from_json(&json).unwrap().to_json(), json);
+    }
+
+    #[test]
+    fn spec_json_rejects_bad_documents() {
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"experiments":["fig9"],"chips":["M1"]}"#,
+            r#"{"experiments":["fig1"],"chips":["M9"]}"#,
+            r#"{"experiments":["fig1"],"chips":["M1"],"workers":0}"#,
+            r#"{"experiments":["fig1"],"chips":["M1"],"gemm_sizes":[1.5]}"#,
+            r#"{"experiments":["fig1"],"chips":["M1"],"shard":[3,3]}"#,
+            r#"{"experiments":["fig1"],"chips":["M1"],"shard":[0]}"#,
+        ] {
+            assert!(CampaignSpec::from_json(bad).is_err(), "accepted {bad}");
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::platform::Platform;
 use oranges_gemm::GemmError;
+use oranges_harness::json::JsonValue;
 use oranges_harness::metric::{self, MetricRow, MetricSet};
 use oranges_harness::RepetitionProtocol;
 use oranges_soc::chip::ChipGeneration;
@@ -88,6 +89,37 @@ impl ExperimentOutput {
     /// Flat (coordinate, metric) rows for the generic emitters.
     pub fn rows(&self) -> Vec<MetricRow> {
         metric::rows(&self.sets)
+    }
+
+    /// Rebuild an output from a parsed JSON object carrying `sets` (an
+    /// array of serialized [`MetricSet`]s), an optional `rendered`
+    /// string, and an optional `wall_time_s` stamp. This is the envelope
+    /// shape both the disk-persistent result cache and the campaign
+    /// service stream — the canonical JSON is re-derived from the parsed
+    /// sets, so a rebuilt output is value-identical to the original.
+    pub fn from_json_value(value: &JsonValue) -> Result<Self, ExperimentError> {
+        let sets = value
+            .get("sets")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| ExperimentError::Serialization("output has no sets array".into()))?
+            .iter()
+            .map(metric::set_from_json)
+            .collect::<Result<Vec<MetricSet>, _>>()
+            .map_err(|e| ExperimentError::Serialization(e.to_string()))?;
+        let rendered = match value.get("rendered") {
+            None | Some(JsonValue::Null) => None,
+            Some(JsonValue::String(s)) => Some(s.clone()),
+            Some(other) => {
+                return Err(ExperimentError::Serialization(format!(
+                    "bad rendered field {other:?}"
+                )))
+            }
+        };
+        let mut output = ExperimentOutput::from_sets(sets, rendered)?;
+        if let Some(wall) = value.get("wall_time_s").and_then(JsonValue::as_f64) {
+            output.stamp_wall_time(wall);
+        }
+        Ok(output)
     }
 
     /// Stamp the unit's wall-clock time into every set's provenance.
@@ -186,6 +218,30 @@ mod tests {
             digest_sizes(&[2048, 4096, 8192]),
             digest_sizes(&[2048, 6144, 8192])
         );
+    }
+
+    #[test]
+    fn output_rebuilds_from_its_json_envelope() {
+        let mut original = ExperimentOutput::from_sets(
+            vec![MetricSet::for_chip("fig1", "chip=M1", "M1").metric("gbs", 58.6, "GB/s")],
+            Some("chart".to_string()),
+        )
+        .unwrap();
+        original.stamp_wall_time(0.125);
+        // The envelope shape the cache and service both use.
+        let envelope = format!(
+            "{{\"wall_time_s\":0.125,\"rendered\":\"chart\",\"sets\":{}}}",
+            original.json
+        );
+        let parsed = oranges_harness::json::parse(&envelope).unwrap();
+        let rebuilt = ExperimentOutput::from_json_value(&parsed).unwrap();
+        assert_eq!(rebuilt.json, original.json, "value identity survives");
+        assert_eq!(rebuilt.sets, original.sets);
+        assert_eq!(rebuilt.rendered.as_deref(), Some("chart"));
+        assert_eq!(rebuilt.wall_time_s(), Some(0.125));
+
+        let missing = oranges_harness::json::parse("{\"rendered\":null}").unwrap();
+        assert!(ExperimentOutput::from_json_value(&missing).is_err());
     }
 
     #[test]

@@ -33,7 +33,21 @@
 //! - [`report`]: the paper-vs-measured report generator.
 //!
 //! `oranges-campaign` sits above this crate and fans whole experiment
-//! grids out across a worker pool with content-keyed result caching.
+//! grids out across a worker pool with content-keyed result caching; its
+//! service mode serves specs over a Unix socket and its orchestrator
+//! shards campaigns across worker processes. The data flow, end to end:
+//!
+//! ```text
+//!  CampaignSpec ──► Plan ──► scheduler ──► ResultCache ──► CampaignReport
+//!  (kinds×chips)  (units)   (worker pool,  (content-keyed,  (MetricSets in
+//!       ▲                    PlatformPool   disk-persistent, plan order →
+//!       │                    per worker)    mergeable)       CSV/JSON/table)
+//!       │                        │
+//!  socket service            Experiment::run(&mut Platform)   ◄── this crate
+//!  orchestrator                  │
+//!  (oranges-campaign)            ▼
+//!                            MetricSet (typed value + unit + provenance)
+//! ```
 //!
 //! ## Quickstart
 //!

@@ -415,6 +415,53 @@ impl JsonValue {
         JsonValue::Number(JsonNumber(format!("{value}")))
     }
 
+    /// A number value from a `u64`, kept exact (no `f64` rounding).
+    pub fn integer(value: u64) -> JsonValue {
+        JsonValue::Number(JsonNumber(value.to_string()))
+    }
+
+    /// Re-emit this tree as JSON text. Numbers are written with their
+    /// (validated) source text, so `parse` → `to_json_string` round-trips
+    /// emitter output byte-for-byte — which is what lets wire envelopes
+    /// carry embedded documents without perturbing value identity.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.emit_into(&mut out);
+        out
+    }
+
+    fn emit_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::Number(n) => out.push_str(&n.0),
+            JsonValue::String(s) => escape_into(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.emit_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, key);
+                    out.push(':');
+                    value.emit_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     /// Object field lookup.
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
         match self {
@@ -821,6 +868,22 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\":}", "nul", "1 2", "\"open"] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn reemission_round_trips_byte_for_byte() {
+        for text in [
+            "null",
+            "true",
+            r#"{"a":1.5,"b":[1,"two",null],"c":{"d":12797480707342861577}}"#,
+            r#"["say \"hi\"\n",-2.5e2,0.1]"#,
+        ] {
+            assert_eq!(parse(text).unwrap().to_json_string(), text);
+        }
+        assert_eq!(
+            JsonValue::integer(u64::MAX).to_json_string(),
+            u64::MAX.to_string()
+        );
     }
 
     #[test]

@@ -19,13 +19,46 @@
 //! - [`metric`]: the unified typed measurement record ([`MetricSet`]) —
 //!   provenance-stamped metrics with generic CSV/JSON/table emitters,
 //!   the campaign pipeline's single result currency;
-//! - [`env`]: the §4 environment record.
+//! - [`envelope`]: newline-delimited JSON request/response envelopes —
+//!   the wire framing the campaign service speaks over its socket;
+//! - [`env`](mod@env): the §4 environment record.
+//!
+//! Every measurement in the workspace flows through one typed record:
+//!
+//! ```text
+//!  runner measurements
+//!        │
+//!        ▼
+//!  MetricSet ──► rows() ──► MetricRow ──► CSV / JSON / TextTable
+//!   (typed value + unit,         (flat emitter currency;
+//!    provenance: chip, id,        lossless both ways via
+//!    params digest, wall,         rows_from_csv / sets_from_json)
+//!    power context)
+//! ```
+//!
+//! ## Example: building and round-tripping a `MetricSet`
+//!
+//! ```
+//! use oranges_harness::metric::{self, MetricSet};
+//!
+//! let set = MetricSet::for_chip("fig2", "chip=M4;sizes=256", "M4")
+//!     .with_implementation("GPU-MPS")
+//!     .with_n(256)
+//!     .metric("gflops", 2375.0, "GFLOPS");
+//! assert_eq!(set.value("gflops"), Some(2375.0));
+//!
+//! // Lossless JSON round-trip: parse(sets_to_json(x)) == x.
+//! let json = metric::sets_to_json(&[set.clone()]).unwrap();
+//! let back = metric::sets_from_json(&json).unwrap();
+//! assert_eq!(back, vec![set]);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod csv;
 pub mod env;
+pub mod envelope;
 pub mod experiment;
 pub mod figure;
 pub mod json;
@@ -42,6 +75,7 @@ pub use table::TextTable;
 pub mod prelude {
     pub use crate::csv::CsvWriter;
     pub use crate::env::EnvironmentRecord;
+    pub use crate::envelope::{Request, Response};
     pub use crate::experiment::{ExperimentMeta, RepetitionProtocol};
     pub use crate::figure::{grouped_bar_chart, series_chart, SeriesChartConfig};
     pub use crate::json::to_json_string;

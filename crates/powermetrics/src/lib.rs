@@ -14,7 +14,7 @@
 //!   to Figures 3–4), duty-cycle scaling, cooling-envelope clamps;
 //! - [`sampler`]: the `-i 0` manual sampler with the SIGINFO window
 //!   protocol, integrating rail energy over virtual time;
-//! - [`format`]: the text emitter and the parser the harness feeds from it
+//! - [`format`](mod@format): the text emitter and the parser the harness feeds from it
 //!   (the paper's "written into a text file, which is then parsed");
 //! - [`session`]: the piggyback API that wraps a benchmark run in the
 //!   paper's exact warm-up / signal / run / signal sequence.

@@ -165,7 +165,7 @@ pub struct AmxCapabilities {
     pub fp64: bool,
     /// BF16 tile arithmetic (M2 onwards).
     pub bf16: bool,
-    /// Standardized ARM SME interface (M4 onwards; paper §2.1 and [17]).
+    /// Standardized ARM SME interface (M4 onwards; paper §2.1 and \[17\]).
     pub sme: bool,
 }
 
@@ -455,7 +455,7 @@ impl ChipSpec {
     /// One AMX block issues a 16×16 FP32 outer product per P-cluster clock:
     /// `512 flops × p_clock`. This matches the ~0.9–1.5 TFLOPS the paper
     /// measures through Accelerate at 55–66% efficiency, and the ~2 TFLOPS
-    /// SME figure of Remke & Breuer [17] for M4-class hardware.
+    /// SME figure of Remke & Breuer \[17\] for M4-class hardware.
     pub fn amx_gflops(&self) -> f64 {
         AMX_F32_FLOPS_PER_ISSUE as f64 * self.p_clock_ghz
     }

@@ -14,7 +14,7 @@
 //! - [`thermal`]: passive vs. active cooling envelopes (paper Table 3 and the
 //!   §7 observation that laptops dissipate less than desktops);
 //! - [`device`]: the four devices under test (paper Table 3);
-//! - [`reference`]: the HPC reference systems quoted in the paper's "HPC
+//! - [`reference`](mod@reference): the HPC reference systems quoted in the paper's "HPC
 //!   Perspective" boxes (GH200, A100, RTX 4090, MI250X, Xeon Max, Green500);
 //! - [`time`]: virtual time — the simulation clock every substrate advances.
 //!

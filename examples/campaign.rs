@@ -12,8 +12,12 @@
 //!   --cache PATH    load the result cache from PATH if it exists and
 //!                   save it back after the run — a second invocation
 //!                   with the same PATH is served entirely from disk
+//!   --spawn N       multi-process mode: re-invoke this example as N
+//!                   shard worker processes, merge their caches, and
+//!                   emit one unified (value-identical) report
 //! ```
 
+use oranges_campaign::orchestrate;
 use oranges_campaign::prelude::*;
 use std::path::PathBuf;
 
@@ -21,6 +25,7 @@ struct Options {
     workers: usize,
     shard: Option<(usize, usize)>,
     cache_path: Option<PathBuf>,
+    spawn: Option<usize>,
 }
 
 fn parse_options() -> Options {
@@ -28,6 +33,7 @@ fn parse_options() -> Options {
         workers: 4,
         shard: None,
         cache_path: None,
+        spawn: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -50,6 +56,9 @@ fn parse_options() -> Options {
             "--cache" => {
                 options.cache_path = Some(PathBuf::from(value("--cache")));
             }
+            "--spawn" => {
+                options.spawn = Some(value("--spawn").parse().expect("--spawn N"));
+            }
             other => panic!("unknown option {other}"),
         }
     }
@@ -57,6 +66,11 @@ fn parse_options() -> Options {
 }
 
 fn main() {
+    // Orchestrated children re-enter this same binary with worker flags;
+    // intercept them before normal option parsing.
+    if let Some(code) = orchestrate::maybe_run_worker() {
+        std::process::exit(code);
+    }
     let options = parse_options();
     let mut spec = CampaignSpec::paper_grid().with_workers(options.workers);
     if let Some((index, count)) = options.shard {
@@ -77,6 +91,43 @@ fn main() {
         }
         _ => ResultCache::new(),
     };
+
+    // Multi-process mode: spawn N copies of this example as shard
+    // workers, merge their caches, and report once.
+    if let Some(processes) = options.spawn {
+        assert!(
+            options.shard.is_none(),
+            "--shard cannot be combined with --spawn: the orchestrator assigns shards"
+        );
+        println!(
+            "=== Campaign: Figures 1-4 x M1-M4, {processes} worker processes \
+             ({} threads each) ===\n",
+            spec.workers
+        );
+        let program = std::env::current_exe().expect("own path");
+        let run = Orchestrator::new(program, processes)
+            .run(&spec, &cache)
+            .expect("orchestrated campaign");
+        println!("{}", run.report.render_summary());
+        println!(
+            "\nOrchestrator: {} processes, merged {} shard entries ({} already known), \
+             assembly computed {} units (0 = shards covered the plan), fingerprint {}",
+            run.processes,
+            run.merged.added,
+            run.merged.identical,
+            run.report.computed_units(),
+            run.report.fingerprint(),
+        );
+        if let Some(path) = &options.cache_path {
+            cache.save(path).expect("writable cache file");
+            println!(
+                "Saved {} merged units to {}",
+                cache.stats().entries,
+                path.display()
+            );
+        }
+        return;
+    }
 
     println!(
         "=== Campaign: Figures 1-4 x M1-M4, {} workers{} ===\n",

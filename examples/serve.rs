@@ -1,0 +1,158 @@
+//! Campaign service mode: a long-running daemon serving `CampaignSpec`
+//! requests over a Unix-domain socket, answering from a warm cache.
+//!
+//! ```text
+//! cargo run --release --example serve [-- OPTIONS]
+//!
+//! Options:
+//!   --socket PATH   socket to bind (default: $TMPDIR/oranges-campaign.sock)
+//!   --workers N     persistent worker threads (default 4)
+//!   --cache PATH    warm-start the cache from PATH and save it back on
+//!                   shutdown
+//!   --self-check    smoke mode: bind a private socket, submit a spec
+//!                   through a real client, assert a MetricSet comes
+//!                   back and a repeat is fully cached, shut down
+//!
+//! Protocol (newline-delimited JSON over AF_UNIX):
+//!   {"id":1,"method":"run","body":{"experiments":["fig4"],"chips":["M1"]}}
+//!   {"id":2,"method":"stats"}   {"id":3,"method":"ping"}   {"id":4,"method":"shutdown"}
+//! ```
+//!
+//! Talk to it from a shell with e.g.
+//! `nc -U /tmp/oranges-campaign.sock` or `socat - UNIX:/tmp/...`.
+
+#[cfg(unix)]
+mod daemon {
+    use oranges_campaign::prelude::*;
+    use oranges_campaign::service::{CampaignService, ServiceClient, ServiceConfig};
+    use std::path::PathBuf;
+
+    struct Options {
+        socket: PathBuf,
+        workers: usize,
+        cache: Option<PathBuf>,
+        self_check: bool,
+    }
+
+    fn parse_options() -> Options {
+        let mut options = Options {
+            socket: std::env::temp_dir().join("oranges-campaign.sock"),
+            workers: 4,
+            cache: None,
+            self_check: false,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            let mut value = |name: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--socket" => options.socket = PathBuf::from(value("--socket")),
+                "--workers" => options.workers = value("--workers").parse().expect("--workers N"),
+                "--cache" => options.cache = Some(PathBuf::from(value("--cache"))),
+                "--self-check" => options.self_check = true,
+                other => panic!("unknown option {other}"),
+            }
+        }
+        options
+    }
+
+    pub fn run() {
+        let options = parse_options();
+        if options.self_check {
+            self_check(options.workers);
+            return;
+        }
+
+        let mut config = ServiceConfig::new(&options.socket).with_workers(options.workers);
+        if let Some(cache) = &options.cache {
+            config = config.with_cache_path(cache);
+        }
+        let service = CampaignService::bind(config).expect("bind service");
+        println!(
+            "oranges campaign service: listening on {} ({} workers, {} cached units)",
+            service.socket_path().display(),
+            options.workers,
+            service.cache().stats().entries,
+        );
+        println!("send {{\"id\":1,\"method\":\"shutdown\"}} to stop\n");
+        let summary = service.serve().expect("serve");
+        println!(
+            "served {} connections / {} requests ({} runs, {} units streamed)",
+            summary.connections, summary.requests, summary.runs, summary.units_streamed
+        );
+    }
+
+    /// The CI smoke path: a real daemon on a private socket, a real client,
+    /// and hard assertions — start, submit, verify a `MetricSet` comes back,
+    /// verify the repeat is fully cached, shut down.
+    fn self_check(workers: usize) {
+        let socket =
+            std::env::temp_dir().join(format!("oranges-self-check-{}.sock", std::process::id()));
+        let service =
+            CampaignService::bind(ServiceConfig::new(&socket).with_workers(workers)).expect("bind");
+        let daemon = std::thread::spawn(move || service.serve().expect("serve"));
+
+        let mut client = ServiceClient::connect(&socket).expect("connect");
+        client.ping().expect("ping");
+
+        let spec = CampaignSpec::new(
+            vec![ExperimentKind::Fig4, ExperimentKind::Contention],
+            vec![ChipGeneration::M1, ChipGeneration::M4],
+        )
+        .with_power_sizes(vec![2048]);
+
+        let first = client.run(&spec).expect("first run");
+        assert_eq!(first.units.len(), 4, "2 kinds x 2 chips");
+        assert_eq!(first.computed_units, 4, "cold cache computes everything");
+        let set = &first.units[0].output.sets[0];
+        assert!(!set.metrics.is_empty(), "a MetricSet came back");
+        assert!(
+            set.provenance.chip.is_some(),
+            "provenance survives the wire"
+        );
+        println!(
+            "self-check: first run computed {} units, e.g. {} metrics for {} [{}]",
+            first.computed_units,
+            set.metrics.len(),
+            set.provenance.experiment,
+            set.provenance.chip.as_deref().unwrap_or("?"),
+        );
+
+        let second = client.run(&spec).expect("second run");
+        assert_eq!(
+            second.computed_units, 0,
+            "repeat is served from the warm cache"
+        );
+        assert_eq!(second.fingerprint, first.fingerprint, "value-identical");
+        assert!(second.units.iter().all(|u| u.from_cache));
+        println!(
+            "self-check: repeat served entirely from cache (fingerprint {})",
+            second.fingerprint
+        );
+
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.summary.runs, 2);
+        client.shutdown().expect("shutdown");
+        let summary = daemon.join().expect("daemon thread");
+        assert_eq!(summary.runs, 2);
+        println!(
+            "self-check: daemon shut down cleanly after {} requests — OK",
+            summary.requests
+        );
+    }
+}
+
+#[cfg(unix)]
+fn main() {
+    daemon::run();
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!(
+        "the campaign service speaks over Unix-domain sockets; this example requires a unix target"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,29 @@
+//! Standalone shard-worker binary for the multi-process orchestrator.
+//!
+//! The orchestrator can drive any program that calls
+//! [`oranges_campaign::orchestrate::maybe_run_worker`] first thing in
+//! `main`; this binary is the minimal such program. The integration
+//! tests (`tests/orchestrator.rs`) point [`Orchestrator`] at it via
+//! `CARGO_BIN_EXE_campaign_worker`, and it doubles as a deployable
+//! worker for ad-hoc multi-process runs:
+//!
+//! ```text
+//! campaign_worker --campaign-worker --spec-json '<CampaignSpec JSON>' \
+//!     --shard 0/4 --cache-out /tmp/shard-0.json [--cache-in /tmp/warm.json]
+//! ```
+//!
+//! [`Orchestrator`]: oranges_campaign::orchestrate::Orchestrator
+
+fn main() {
+    match oranges_campaign::orchestrate::maybe_run_worker() {
+        Some(code) => std::process::exit(code),
+        None => {
+            eprintln!(
+                "campaign_worker runs only as an orchestrator child; \
+                 pass {} --spec-json <json> --shard I/N --cache-out <path>",
+                oranges_campaign::orchestrate::WORKER_FLAG
+            );
+            std::process::exit(2);
+        }
+    }
+}
