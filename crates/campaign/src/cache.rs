@@ -1,4 +1,5 @@
-//! The content-keyed result cache, with disk persistence.
+//! The content-keyed result cache, with disk persistence and a
+//! versioned model-constants envelope.
 //!
 //! Keyed by [`UnitKey`] (experiment id + chip + params): the simulation
 //! is deterministic, so equal keys mean byte-identical output and the
@@ -6,9 +7,26 @@
 //! across campaigns (an immediate re-run of the same spec hits for every
 //! unit), or across *processes*: [`ResultCache::save`] writes the store
 //! as one JSON document and [`ResultCache::load`] rebuilds it, so a
-//! second process running the same spec gets 100% cache hits. Shared
-//! across worker threads behind one mutex; the critical sections are a
-//! hash-map probe, tiny next to a unit's run time.
+//! second process running the same spec gets 100% cache hits.
+//!
+//! A `ResultCache` is a cheap *handle*: cloning shares the underlying
+//! store (the execution engine's workers, every service connection, and
+//! the orchestrator all hold clones of one cache). The critical sections
+//! are a hash-map probe behind one mutex, tiny next to a unit's run
+//! time.
+//!
+//! "Equal keys mean equal output" only holds *per model version*: the
+//! unit key digests the experiment's parameters, not the calibration
+//! constants the simulation runs on. So every cache carries the
+//! [`model digest`](oranges::paper::model_constants_digest) of the
+//! constants it was filled under, the disk envelope stamps it, and the
+//! loader **invalidates** a file written under different constants —
+//! dropping the stale entries so they are recomputed — instead of
+//! letting them surface later as inexplicable
+//! [`merge_from`](ResultCache::merge_from) conflicts.
+//! [`merge_from`](ResultCache::merge_from) honors the same rule for
+//! in-memory stores: entries from a cache with a different model digest
+//! are dropped as stale, never merged and never conflicting.
 
 use crate::plan::UnitKey;
 use oranges::experiments::ExperimentOutput;
@@ -44,26 +62,73 @@ impl CacheStats {
     }
 }
 
-/// A shared, content-keyed store of experiment outputs.
-#[derive(Debug, Default)]
-pub struct ResultCache {
+#[derive(Debug)]
+struct CacheInner {
     store: Mutex<HashMap<UnitKey, Arc<ExperimentOutput>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    model_digest: String,
+}
+
+/// A shared, content-keyed store of experiment outputs. Cloning is
+/// cheap and shares the store — see the module docs.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    inner: Arc<CacheInner>,
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        ResultCache::new()
+    }
 }
 
 impl ResultCache {
-    /// An empty cache.
+    /// An empty cache stamped with the current
+    /// [`model_constants_digest`](oranges::paper::model_constants_digest).
     pub fn new() -> Self {
-        ResultCache::default()
+        ResultCache::with_model_digest(oranges::paper::model_constants_digest())
+    }
+
+    /// An empty cache carrying an explicit model digest. Regular callers
+    /// want [`new`](ResultCache::new); this exists for tests and tooling
+    /// that model a store produced by a different build.
+    pub fn with_model_digest(digest: impl Into<String>) -> Self {
+        ResultCache {
+            inner: Arc::new(CacheInner {
+                store: Mutex::new(HashMap::new()),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                model_digest: digest.into(),
+            }),
+        }
+    }
+
+    /// The model-constants digest this cache's entries were (or will be)
+    /// computed under.
+    pub fn model_digest(&self) -> &str {
+        &self.inner.model_digest
+    }
+
+    /// A token identifying this cache *instance* (shared by all clones
+    /// of one handle). The execution engine keys its in-flight table by
+    /// it, so only submissions against the same store coalesce.
+    pub(crate) fn instance_id(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
     }
 
     /// Look up a unit; counts a hit or a miss.
     pub fn get(&self, key: &UnitKey) -> Option<Arc<ExperimentOutput>> {
-        let found = self.store.lock().expect("cache lock").get(key).cloned();
+        let found = self
+            .inner
+            .store
+            .lock()
+            .expect("cache lock")
+            .get(key)
+            .cloned();
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.inner.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.inner.misses.fetch_add(1, Ordering::Relaxed),
         };
         found
     }
@@ -72,33 +137,34 @@ impl ResultCache {
     /// race on the same key, the first insert wins and both get the same
     /// value (outputs for equal keys are identical by construction).
     pub fn insert(&self, key: UnitKey, output: ExperimentOutput) -> Arc<ExperimentOutput> {
-        let mut store = self.store.lock().expect("cache lock");
+        let mut store = self.inner.store.lock().expect("cache lock");
         store.entry(key).or_insert_with(|| Arc::new(output)).clone()
     }
 
     /// Current statistics.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self.store.lock().expect("cache lock").len(),
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            entries: self.inner.store.lock().expect("cache lock").len(),
         }
     }
 
     /// Drop all entries (statistics are kept).
     pub fn clear(&self) {
-        self.store.lock().expect("cache lock").clear();
+        self.inner.store.lock().expect("cache lock").clear();
     }
 
-    /// Persist every entry to `path` as one JSON document. Entries are
-    /// written in key order, so saving the same store always produces
-    /// the same bytes. Per-unit wall-times (stamped by the scheduler)
-    /// travel out-of-band in the envelope — the sets' own serialization
-    /// stays wall-free, preserving value identity. Non-finite values are
-    /// rejected here, at write time: they would serialize as `null` and
-    /// produce a file [`load`](ResultCache::load) can never parse.
+    /// Persist every entry to `path` as one JSON document, stamped with
+    /// this cache's model digest. Entries are written in key order, so
+    /// saving the same store always produces the same bytes. Per-unit
+    /// wall-times (stamped by the scheduler) travel out-of-band in the
+    /// envelope — the sets' own serialization stays wall-free,
+    /// preserving value identity. Non-finite values are rejected here,
+    /// at write time: they would serialize as `null` and produce a file
+    /// [`load`](ResultCache::load) can never parse.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CachePersistError> {
-        let store = self.store.lock().expect("cache lock");
+        let store = self.inner.store.lock().expect("cache lock");
         let mut keyed: Vec<(&UnitKey, &Arc<ExperimentOutput>)> = store.iter().collect();
         keyed.sort_by_key(|(key, _)| (*key).clone());
         for (key, output) in &keyed {
@@ -116,6 +182,7 @@ impl ResultCache {
             .collect();
         let document = DiskCache {
             version: DISK_FORMAT_VERSION,
+            model_digest: self.inner.model_digest.clone(),
             entries,
         };
         drop(store);
@@ -125,12 +192,22 @@ impl ResultCache {
             .map_err(|e| CachePersistError::Io(path.as_ref().display().to_string(), e.to_string()))
     }
 
-    /// Rebuild a cache from a [`save`](ResultCache::save)d file. Each
-    /// entry's canonical JSON is re-derived from its parsed sets, so a
-    /// loaded result is value-identical to a freshly computed one —
-    /// which is what lets a second process serve the same spec entirely
-    /// from disk. Statistics start at zero.
-    pub fn load(path: impl AsRef<Path>) -> Result<ResultCache, CachePersistError> {
+    /// Rebuild a cache from a [`save`](ResultCache::save)d file,
+    /// reporting whether the file survived the model-digest check. Each
+    /// surviving entry's canonical JSON is re-derived from its parsed
+    /// sets, so a loaded result is value-identical to a freshly computed
+    /// one — which is what lets a second process serve the same spec
+    /// entirely from disk. Statistics start at zero.
+    ///
+    /// A file stamped with a *different* model digest was produced under
+    /// other calibration constants, and a file carrying a *different
+    /// format version* was produced by another build of this software:
+    /// either way its entries describe results this build would not
+    /// reproduce, so they are **invalidated** — the load succeeds with
+    /// an empty store (stamped with the *current* digest) and
+    /// [`CacheLoad::invalidated`] counts what was dropped. Malformed
+    /// documents still fail with typed [`CachePersistError`]s.
+    pub fn load_checked(path: impl AsRef<Path>) -> Result<CacheLoad, CachePersistError> {
         let text = std::fs::read_to_string(path.as_ref()).map_err(|e| {
             CachePersistError::Io(path.as_ref().display().to_string(), e.to_string())
         })?;
@@ -139,58 +216,106 @@ impl ResultCache {
             .get("version")
             .and_then(JsonValue::as_f64)
             .ok_or_else(|| CachePersistError::Parse("missing version field".to_string()))?;
-        if version as u32 != DISK_FORMAT_VERSION {
-            return Err(CachePersistError::Parse(format!(
-                "unsupported cache format version {version}"
-            )));
-        }
         let entries = document
             .get("entries")
             .and_then(JsonValue::as_array)
             .ok_or_else(|| CachePersistError::Parse("missing entries array".to_string()))?;
-        let cache = ResultCache::new();
-        let mut store = cache.store.lock().expect("cache lock");
-        for entry in entries {
-            let field = |key: &str| {
-                entry.get(key).and_then(JsonValue::as_str).ok_or_else(|| {
-                    CachePersistError::Parse(format!("entry is missing string field '{key}'"))
-                })
-            };
-            let key = UnitKey {
-                id: field("id")?.to_string(),
-                params: field("params")?.to_string(),
-            };
-            // The entry is flat: id/params alongside the output envelope
-            // (sets, rendered, wall_time_s), so the shared rebuild path
-            // in `oranges` reads it directly.
-            let output = ExperimentOutput::from_json_value(entry)
-                .map_err(|e| CachePersistError::Parse(format!("entry {key}: {e}")))?;
-            store.insert(key, Arc::new(output));
+        if version as u32 != DISK_FORMAT_VERSION {
+            // Another build's format (older v1, or a newer one after a
+            // downgrade). The envelope shape is unknown, so the entries
+            // cannot be trusted or even validated — but a cache is a
+            // cache: invalidate and recompute rather than refusing to
+            // start (a daemon restarting across an upgrade must come up
+            // cold, not crash on its own warm file).
+            return Ok(CacheLoad {
+                cache: ResultCache::new(),
+                invalidated: entries.len(),
+                file_digest: format!("format-v{}", version as u32),
+            });
         }
-        drop(store);
-        Ok(cache)
+        let file_digest = document
+            .get("model_digest")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| CachePersistError::Parse("missing model_digest field".to_string()))?
+            .to_string();
+
+        let cache = ResultCache::new();
+        if file_digest != cache.model_digest() {
+            // Stale model: the entries would not reproduce under the
+            // current constants. Still *parse* them (a torn file must
+            // fail loudly, not masquerade as a clean invalidation), but
+            // keep none.
+            for entry in entries {
+                parse_disk_entry(entry)?;
+            }
+            return Ok(CacheLoad {
+                cache,
+                invalidated: entries.len(),
+                file_digest,
+            });
+        }
+
+        {
+            let mut store = cache.inner.store.lock().expect("cache lock");
+            for entry in entries {
+                let (key, output) = parse_disk_entry(entry)?;
+                store.insert(key, Arc::new(output));
+            }
+        }
+        Ok(CacheLoad {
+            cache,
+            invalidated: 0,
+            file_digest,
+        })
+    }
+
+    /// [`load_checked`](ResultCache::load_checked) without the
+    /// invalidation report: the common path for callers that only want
+    /// a usable (possibly freshly-invalidated) cache.
+    pub fn load(path: impl AsRef<Path>) -> Result<ResultCache, CachePersistError> {
+        ResultCache::load_checked(path).map(|load| load.cache)
     }
 
     /// Merge every entry of `other` into this cache — the shard-join
-    /// step of the multi-process orchestrator. The conflict rule is
-    /// strict: a key present in both stores must carry *byte-identical*
-    /// canonical JSON (the simulation is deterministic, so two honest
-    /// shards can never disagree); identical values merge silently, a
-    /// mismatch fails loudly with [`CacheMergeError::Conflict`] and
-    /// leaves this cache untouched. Statistics are unaffected.
+    /// step of the multi-process orchestrator.
+    ///
+    /// Two rules, in order:
+    ///
+    /// 1. **Model versioning.** If the two caches carry different model
+    ///    digests, `other`'s entries are *stale by definition* (they
+    ///    were computed under other constants) — all of them are
+    ///    dropped, counted in [`MergeStats::stale`], and nothing
+    ///    conflicts. A constants bump therefore invalidates instead of
+    ///    erroring.
+    /// 2. **Strict identity.** Same digest: a key present in both
+    ///    stores must carry *byte-identical* canonical JSON (the
+    ///    simulation is deterministic, so two honest same-version
+    ///    shards can never disagree); identical values merge silently,
+    ///    a mismatch fails loudly with [`CacheMergeError::Conflict`]
+    ///    and leaves this cache untouched.
+    ///
+    /// Statistics are unaffected.
     pub fn merge_from(&self, other: &ResultCache) -> Result<MergeStats, CacheMergeError> {
+        if other.inner.model_digest != self.inner.model_digest {
+            return Ok(MergeStats {
+                stale: other.stats().entries,
+                ..MergeStats::default()
+            });
+        }
         // Snapshot the incoming store first (Arc clones, cheap) so the
         // two locks are never held at once: no ABBA deadlock between
         // caches cross-merging on two threads, and a self-merge
-        // (`cache.merge_from(&cache)`, e.g. via aliased Arcs) is safe.
+        // (`cache.merge_from(&cache)`, e.g. via aliased handles) is
+        // safe.
         let incoming: Vec<(UnitKey, Arc<ExperimentOutput>)> = other
+            .inner
             .store
             .lock()
             .expect("cache lock")
             .iter()
             .map(|(key, output)| (key.clone(), output.clone()))
             .collect();
-        let mut store = self.store.lock().expect("cache lock");
+        let mut store = self.inner.store.lock().expect("cache lock");
         // Validate first so a conflict cannot leave a half-merged store.
         for (key, output) in &incoming {
             if let Some(existing) = store.get(key) {
@@ -217,6 +342,19 @@ impl ResultCache {
     }
 }
 
+/// What [`ResultCache::load_checked`] found on disk.
+#[derive(Debug)]
+pub struct CacheLoad {
+    /// The rebuilt cache — empty (but usable, stamped with the current
+    /// digest) when the file was invalidated.
+    pub cache: ResultCache,
+    /// Entries dropped because the file's model digest did not match
+    /// this build (0 = the file was current and fully loaded).
+    pub invalidated: usize,
+    /// The digest stamped in the file.
+    pub file_digest: String,
+}
+
 /// What a [`ResultCache::merge_from`] call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MergeStats {
@@ -224,12 +362,17 @@ pub struct MergeStats {
     pub added: usize,
     /// Entries present in both caches with identical value identity.
     pub identical: usize,
+    /// Entries dropped because the other cache carried a different
+    /// model digest (stale under this build's constants).
+    pub stale: usize,
 }
 
-/// A merge between caches that disagree — two stores carrying *different*
-/// outputs for the same content key. With a deterministic simulation this
-/// means one side is corrupt (torn write, stale format, tampering), so
-/// the merge refuses rather than silently picking a winner.
+/// A merge between same-version caches that disagree — two stores
+/// carrying *different* outputs for the same content key. With a
+/// deterministic simulation this means one side is corrupt (torn write,
+/// tampering), so the merge refuses rather than silently picking a
+/// winner. (Cross-version stores never reach this point: a model-digest
+/// mismatch drops the stale side as invalidated instead.)
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CacheMergeError {
     /// The same key maps to two different value identities.
@@ -254,7 +397,7 @@ impl fmt::Display for CacheMergeError {
                 f,
                 "cache merge conflict on {key}: value identities differ \
                  ({existing_json_len} vs {incoming_json_len} canonical bytes) — \
-                 one store is corrupt or was produced by a different model version"
+                 one store is corrupt (same-version stores can never honestly disagree)"
             ),
         }
     }
@@ -262,8 +405,27 @@ impl fmt::Display for CacheMergeError {
 
 impl std::error::Error for CacheMergeError {}
 
-/// On-disk format version; bumped on any envelope change.
-const DISK_FORMAT_VERSION: u32 = 1;
+/// On-disk format version; bumped on any envelope change. Version 2
+/// added the `model_digest` stamp.
+const DISK_FORMAT_VERSION: u32 = 2;
+
+/// Parse one flat disk entry (id/params alongside the output envelope:
+/// sets, rendered, wall_time_s) via the shared rebuild path in
+/// `oranges`.
+fn parse_disk_entry(entry: &JsonValue) -> Result<(UnitKey, ExperimentOutput), CachePersistError> {
+    let field = |key: &str| {
+        entry.get(key).and_then(JsonValue::as_str).ok_or_else(|| {
+            CachePersistError::Parse(format!("entry is missing string field '{key}'"))
+        })
+    };
+    let key = UnitKey {
+        id: field("id")?.to_string(),
+        params: field("params")?.to_string(),
+    };
+    let output = ExperimentOutput::from_json_value(entry)
+        .map_err(|e| CachePersistError::Parse(format!("entry {key}: {e}")))?;
+    Ok((key, output))
+}
 
 /// Refuse to persist values the JSON round-trip cannot represent: the
 /// emitter writes non-finite floats as `null`, which the loader would
@@ -305,6 +467,7 @@ struct DiskEntry {
 #[derive(Serialize)]
 struct DiskCache {
     version: u32,
+    model_digest: String,
     entries: Vec<DiskEntry>,
 }
 
@@ -367,6 +530,18 @@ mod tests {
     }
 
     #[test]
+    fn clones_share_the_store_and_statistics() {
+        let cache = ResultCache::new();
+        let alias = cache.clone();
+        alias.insert(key("fig1"), output(1.0));
+        assert!(cache.get(&key("fig1")).is_some(), "stored via the alias");
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(alias.stats().hits, 1, "one shared hit counter");
+        assert_eq!(cache.instance_id(), alias.instance_id());
+        assert_ne!(cache.instance_id(), ResultCache::new().instance_id());
+    }
+
+    #[test]
     fn first_insert_wins_races() {
         let cache = ResultCache::new();
         let first = cache.insert(key("fig2"), output(1.0));
@@ -413,9 +588,12 @@ mod tests {
 
         let path = temp_path("roundtrip");
         cache.save(&path).expect("save");
-        let reloaded = ResultCache::load(&path).expect("load");
+        let reloaded = ResultCache::load_checked(&path).expect("load");
         std::fs::remove_file(&path).ok();
 
+        assert_eq!(reloaded.invalidated, 0, "current digest loads fully");
+        assert_eq!(reloaded.file_digest, cache.model_digest());
+        let reloaded = reloaded.cache;
         assert_eq!(reloaded.stats().entries, 2);
         let hit = reloaded.get(&key("fig1")).expect("persisted entry");
         assert_eq!(hit.json, first.json, "canonical identity survives disk");
@@ -451,6 +629,71 @@ mod tests {
     }
 
     #[test]
+    fn stale_model_digest_invalidates_on_load_instead_of_erroring() {
+        // A file produced by a "different build": same format, same
+        // entries, different model digest.
+        let stale = ResultCache::with_model_digest("0123456789abcdef");
+        stale.insert(key("fig1"), output(1.0));
+        stale.insert(key("fig2"), output(2.0));
+        let path = temp_path("stale-digest");
+        stale.save(&path).expect("save");
+
+        let load = ResultCache::load_checked(&path).expect("invalidation is not an error");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(load.invalidated, 2, "both stale entries dropped");
+        assert_eq!(load.file_digest, "0123456789abcdef");
+        assert_eq!(load.cache.stats().entries, 0);
+        // The returned cache is stamped with the *current* digest, so it
+        // is immediately usable (and re-savable) by this build.
+        assert_eq!(
+            load.cache.model_digest(),
+            oranges::paper::model_constants_digest()
+        );
+    }
+
+    #[test]
+    fn other_format_versions_invalidate_instead_of_erroring() {
+        // A daemon restarting across an upgrade must come up cold on a
+        // previous build's cache file, not crash on it. Model a v1 file
+        // (pre-model-digest format) with two entries.
+        let path = temp_path("old-format");
+        std::fs::write(
+            &path,
+            "{\"version\":1,\"entries\":[{\"id\":\"a\"},{\"id\":\"b\"}]}",
+        )
+        .unwrap();
+        let load = ResultCache::load_checked(&path).expect("old format invalidates");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(load.invalidated, 2);
+        assert_eq!(load.file_digest, "format-v1");
+        assert_eq!(load.cache.stats().entries, 0);
+        assert_eq!(
+            load.cache.model_digest(),
+            oranges::paper::model_constants_digest(),
+            "usable, re-savable cache for this build"
+        );
+    }
+
+    #[test]
+    fn stale_files_with_malformed_entries_still_fail_loudly() {
+        // Invalidation must not become a corruption amnesty: a torn
+        // stale file is a parse error, not a clean empty load.
+        let stale = ResultCache::with_model_digest("feedfacefeedface");
+        stale.insert(key("fig1"), output(1.0));
+        let path = temp_path("stale-torn");
+        stale.save(&path).expect("save");
+        let text = std::fs::read_to_string(&path).expect("bytes");
+        let torn = text.replace("\"sets\"", "\"nope\"");
+        assert_ne!(torn, text, "tamper took effect");
+        std::fs::write(&path, torn).expect("tamper");
+        assert!(matches!(
+            ResultCache::load_checked(&path),
+            Err(CachePersistError::Parse(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn save_rejects_non_finite_values_instead_of_bricking_the_file() {
         let cache = ResultCache::new();
         let bad = ExperimentOutput::from_sets(
@@ -478,13 +721,42 @@ mod tests {
             stats,
             MergeStats {
                 added: 1,
-                identical: 1
+                identical: 1,
+                stale: 0
             }
         );
         assert_eq!(destination.stats().entries, 2);
         assert_eq!(
             destination.get(&key("fig2")).expect("merged").sets[0].value("v"),
             Some(2.0)
+        );
+    }
+
+    #[test]
+    fn merge_drops_entries_from_a_different_model_version_as_stale() {
+        let destination = ResultCache::new();
+        destination.insert(key("fig1"), output(1.0));
+        // Same key, *different* value — under the same digest this would
+        // be a conflict; under a different digest it is simply stale.
+        let foreign = ResultCache::with_model_digest("cafebabecafebabe");
+        foreign.insert(key("fig1"), output(9.0));
+        foreign.insert(key("fig2"), output(2.0));
+
+        let stats = destination
+            .merge_from(&foreign)
+            .expect("stale entries invalidate, never conflict");
+        assert_eq!(
+            stats,
+            MergeStats {
+                added: 0,
+                identical: 0,
+                stale: 2
+            }
+        );
+        assert_eq!(destination.stats().entries, 1, "nothing foreign landed");
+        assert_eq!(
+            destination.get(&key("fig1")).expect("kept").sets[0].value("v"),
+            Some(1.0)
         );
     }
 
@@ -509,18 +781,19 @@ mod tests {
 
     #[test]
     fn self_merge_is_safe_and_all_identical() {
-        // Aliased handles (Arc'd caches in a shard list) can make a
+        // Aliased handles (cache clones in a shard list) can make a
         // cache merge with itself; that must neither deadlock nor
         // conflict.
         let cache = ResultCache::new();
         cache.insert(key("fig1"), output(1.0));
         cache.insert(key("fig2"), output(2.0));
-        let stats = cache.merge_from(&cache).expect("self-merge");
+        let stats = cache.merge_from(&cache.clone()).expect("self-merge");
         assert_eq!(
             stats,
             MergeStats {
                 added: 0,
-                identical: 2
+                identical: 2,
+                stale: 0
             }
         );
         assert_eq!(cache.stats().entries, 2);
@@ -538,7 +811,8 @@ mod tests {
                 stats,
                 MergeStats {
                     added: 0,
-                    identical: 1
+                    identical: 1,
+                    stale: 0
                 }
             );
         }
@@ -583,7 +857,15 @@ mod tests {
             Err(CachePersistError::Io(_, _))
         ));
         let path = temp_path("garbage");
-        std::fs::write(&path, "{\"version\":99,\"entries\":[]}").unwrap();
+        // A foreign version with no entries field at all: malformed, not
+        // merely another build's format.
+        std::fs::write(&path, "{\"version\":99}").unwrap();
+        assert!(matches!(
+            ResultCache::load(&path),
+            Err(CachePersistError::Parse(_))
+        ));
+        // Right version but no digest stamp: malformed, not merely stale.
+        std::fs::write(&path, "{\"version\":2,\"entries\":[]}").unwrap();
         assert!(matches!(
             ResultCache::load(&path),
             Err(CachePersistError::Parse(_))

@@ -1,0 +1,708 @@
+//! The unit-granular execution engine: the crate's scheduling core.
+//!
+//! Earlier revisions scheduled whole campaigns — `WorkerPool::run(spec)`
+//! blocked on one spec end to end, so a long-running service serialized
+//! clients and two overlapping specs computed the same units twice. The
+//! paper's grid is embarrassingly parallel at the *unit* level, though,
+//! and the unit (experiment id + chip + params digest) is the natural
+//! scheduling quantum. This module inverts the scheduler around it:
+//!
+//! - [`ExecutionEngine`] owns a fixed set of persistent worker threads
+//!   (each with its own warm [`PlatformPool`]) and a shared **in-flight
+//!   table** keyed by `(cache instance, UnitKey)`;
+//! - callers [`submit`](ExecutionEngine::submit) a batch of plan units
+//!   under a [`Subscription`]; every unit resolves to exactly one of
+//!   - an **immediate cache hit** (delivered before `submit` returns),
+//!   - a **computation** this subscription triggered, or
+//!   - a **coalesced join**: the unit is already in flight for another
+//!     subscription (possibly another service connection), so this one
+//!     attaches as a waiter and receives the same outcome when the one
+//!     computation finishes — cross-request dedupe with zero recompute;
+//! - completed [`UnitOutcome`]s are delivered over the subscription's
+//!   private channel *as they finish*, tagged with the submitter's unit
+//!   index, so consumers can stream results long before the whole batch
+//!   is done (the campaign service does exactly that).
+//!
+//! Failure is unit-scoped: an experiment error — or a **panic**, which
+//! the worker catches and converts into
+//! [`CampaignError::UnitPanicked`](crate::scheduler::CampaignError) —
+//! fails only the subscriptions waiting on that unit. The engine and its
+//! threads stay up, and the worker discards its platform pool (the only
+//! state a panicking unit could have corrupted) before taking the next
+//! job.
+//!
+//! The layers above are thin adapters: [`run_campaign`] and
+//! [`WorkerPool::run`] submit a whole plan and assemble deliveries back
+//! into deterministic plan order (value-identical to a serial run), and
+//! [`CampaignService`] feeds every client connection into one shared
+//! engine.
+//!
+//! [`run_campaign`]: crate::scheduler::run_campaign
+//! [`WorkerPool::run`]: crate::scheduler::WorkerPool::run
+//! [`CampaignService`]: crate::service::CampaignService
+
+use crate::cache::ResultCache;
+use crate::plan::{PlanUnit, UnitKey};
+use crate::scheduler::CampaignError;
+use oranges::experiments::ExperimentOutput;
+use oranges::platform::PlatformPool;
+use oranges_soc::chip::ChipGeneration;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How a subscription's unit was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnitSource {
+    /// Computed by a worker for this subscription (it was the first
+    /// submitter of the key).
+    Computed,
+    /// Served from the result cache at submit time.
+    CacheHit,
+    /// Attached to a computation another submission already had in
+    /// flight; the outcome is shared, nothing was recomputed.
+    Coalesced,
+}
+
+impl UnitSource {
+    /// Stable wire token (`"computed"` / `"cache"` / `"coalesced"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            UnitSource::Computed => "computed",
+            UnitSource::CacheHit => "cache",
+            UnitSource::Coalesced => "coalesced",
+        }
+    }
+
+    /// Parse a wire token (the inverse of [`as_str`](UnitSource::as_str)).
+    pub fn parse(token: &str) -> Option<UnitSource> {
+        match token {
+            "computed" => Some(UnitSource::Computed),
+            "cache" => Some(UnitSource::CacheHit),
+            "coalesced" => Some(UnitSource::Coalesced),
+            _ => None,
+        }
+    }
+
+    /// Whether the subscription got the result without computing it
+    /// (cache hit or coalesced join).
+    pub fn from_cache(&self) -> bool {
+        !matches!(self, UnitSource::Computed)
+    }
+}
+
+/// One satisfied unit: how it was satisfied, the shared output, and the
+/// worker wall time this subscription is charged for it — the compute
+/// time when this subscription triggered the computation, near-zero
+/// otherwise (cache hits and coalesced joins cost no worker time, so
+/// unit-wall totals never double-count a shared computation).
+#[derive(Debug, Clone)]
+pub struct UnitOutcome {
+    /// How this subscription got the result.
+    pub source: UnitSource,
+    /// The unit's output (shared — coalesced subscribers receive the
+    /// very same allocation the producer stored).
+    pub output: Arc<ExperimentOutput>,
+    /// Worker wall time charged to this subscription for the unit.
+    pub wall: Duration,
+}
+
+/// One message on a subscription channel: the submitter's unit index
+/// plus the unit's outcome (or its unit-scoped failure).
+#[derive(Debug, Clone)]
+pub struct UnitDelivery {
+    /// Index of the unit within the submitted batch (plan index for
+    /// whole-plan submissions).
+    pub index: usize,
+    /// The unit's result.
+    pub outcome: Result<UnitOutcome, CampaignError>,
+}
+
+/// Lifetime counters of an [`ExecutionEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Units submitted across all subscriptions.
+    pub units_submitted: u64,
+    /// Units actually computed by a worker.
+    pub units_computed: u64,
+    /// Units served from the cache at submit time.
+    pub cache_hits: u64,
+    /// Units that attached to an already-in-flight computation instead
+    /// of recomputing — the cross-request dedupe counter.
+    pub coalesced_joins: u64,
+    /// Units that failed (experiment error or panic).
+    pub units_failed: u64,
+}
+
+/// A waiter attached to one in-flight computation.
+struct Waiter {
+    index: usize,
+    source: UnitSource,
+    sender: mpsc::Sender<UnitDelivery>,
+}
+
+/// One queued computation.
+struct Job {
+    slot: InflightKey,
+    unit: PlanUnit,
+    cache: ResultCache,
+}
+
+/// In-flight computations are keyed per cache *instance*: two
+/// submissions coalesce only when they would read and fill the same
+/// store (campaigns over distinct caches must each populate their own).
+type InflightKey = (usize, UnitKey);
+
+#[derive(Default)]
+struct EngineState {
+    queue: VecDeque<Job>,
+    inflight: HashMap<InflightKey, Vec<Waiter>>,
+}
+
+struct EngineShared {
+    state: Mutex<EngineState>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    units_submitted: AtomicU64,
+    units_computed: AtomicU64,
+    cache_hits: AtomicU64,
+    coalesced_joins: AtomicU64,
+    units_failed: AtomicU64,
+}
+
+impl EngineShared {
+    /// The state lock, recovering from poisoning. A panic while the
+    /// lock is held would poison it; every critical section here is a
+    /// queue/map operation that cannot leave the state torn, and
+    /// refusing to continue would wedge every subscriber — so the
+    /// engine shrugs the poison off instead of propagating it.
+    fn state(&self) -> std::sync::MutexGuard<'_, EngineState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// A handle to one submission's result stream. Dropping it mid-flight is
+/// safe: the engine keeps computing for any other subscribers and
+/// discards deliveries no one is listening for.
+pub struct Subscription {
+    receiver: mpsc::Receiver<UnitDelivery>,
+    expected: usize,
+}
+
+impl Subscription {
+    /// How many deliveries this subscription will receive in total (one
+    /// per submitted unit, counting immediate cache hits).
+    pub fn expected(&self) -> usize {
+        self.expected
+    }
+
+    /// Block until the next delivery. Returns `None` once every unit has
+    /// been delivered — or if the engine shut down underneath us, which
+    /// callers should treat as a failure when deliveries are missing.
+    pub fn recv(&self) -> Option<UnitDelivery> {
+        self.receiver.recv().ok()
+    }
+
+    /// Next delivery, waiting at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<UnitDelivery, mpsc::RecvTimeoutError> {
+        self.receiver.recv_timeout(timeout)
+    }
+}
+
+/// The shared, unit-granular execution core: persistent worker threads,
+/// one in-flight table, per-subscription delivery channels. `Sync` by
+/// design — any number of callers (service connections, concurrent
+/// `WorkerPool::run`s, tests) may submit at once, and overlapping
+/// submissions against the same cache coalesce instead of recomputing.
+pub struct ExecutionEngine {
+    shared: Arc<EngineShared>,
+    handles: Vec<thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl ExecutionEngine {
+    /// Spawn `workers` (≥ 1 enforced) persistent worker threads.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(EngineShared {
+            state: Mutex::new(EngineState::default()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            units_submitted: AtomicU64::new(0),
+            units_computed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            coalesced_joins: AtomicU64::new(0),
+            units_failed: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || engine_worker_loop(&shared))
+            })
+            .collect();
+        ExecutionEngine {
+            shared,
+            handles,
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            units_submitted: self.shared.units_submitted.load(Ordering::Relaxed),
+            units_computed: self.shared.units_computed.load(Ordering::Relaxed),
+            cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
+            coalesced_joins: self.shared.coalesced_joins.load(Ordering::Relaxed),
+            units_failed: self.shared.units_failed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Submit a batch of units against `cache` and receive their
+    /// outcomes over a private channel, tagged with each unit's position
+    /// in `units`. Per unit, exactly one of three things happens
+    /// atomically under the engine lock:
+    ///
+    /// 1. the key is already **in flight** for this cache → attach as a
+    ///    waiter (coalesced join; the one computation serves everyone);
+    /// 2. the cache already **holds** the key → deliver immediately;
+    /// 3. otherwise → enter the in-flight table and enqueue a job.
+    ///
+    /// Duplicate keys *within* one batch coalesce too (the second
+    /// occurrence attaches to the first's computation).
+    pub fn submit(&self, units: &[PlanUnit], cache: &ResultCache) -> Subscription {
+        let (sender, receiver) = mpsc::channel();
+        let cache_id = cache.instance_id();
+        let mut queued = false;
+        {
+            let mut state = self.shared.state();
+            for unit in units {
+                self.shared.units_submitted.fetch_add(1, Ordering::Relaxed);
+                let slot = (cache_id, unit.key.clone());
+                if let Some(waiters) = state.inflight.get_mut(&slot) {
+                    self.shared.coalesced_joins.fetch_add(1, Ordering::Relaxed);
+                    waiters.push(Waiter {
+                        index: unit.index,
+                        source: UnitSource::Coalesced,
+                        sender: sender.clone(),
+                    });
+                    continue;
+                }
+                let probe = Instant::now();
+                if let Some(hit) = cache.get(&unit.key) {
+                    self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    let _ = sender.send(UnitDelivery {
+                        index: unit.index,
+                        outcome: Ok(UnitOutcome {
+                            source: UnitSource::CacheHit,
+                            output: hit,
+                            wall: probe.elapsed(),
+                        }),
+                    });
+                    continue;
+                }
+                state.inflight.insert(
+                    slot.clone(),
+                    vec![Waiter {
+                        index: unit.index,
+                        source: UnitSource::Computed,
+                        sender: sender.clone(),
+                    }],
+                );
+                state.queue.push_back(Job {
+                    slot,
+                    unit: unit.clone(),
+                    cache: cache.clone(),
+                });
+                queued = true;
+            }
+        }
+        if queued {
+            self.shared.wake.notify_all();
+        }
+        Subscription {
+            receiver,
+            expected: units.len(),
+        }
+    }
+}
+
+impl Drop for ExecutionEngine {
+    fn drop(&mut self) {
+        {
+            // Store under the state lock so a worker can never check the
+            // flag and then miss the wakeup.
+            let _state = self.shared.state();
+            self.shared.shutdown.store(true, Ordering::Relaxed);
+        }
+        self.shared.wake.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The chip a chip-independent unit borrows a platform for.
+fn platform_chip(unit: &PlanUnit) -> ChipGeneration {
+    unit.experiment.chip().unwrap_or(ChipGeneration::ALL[0])
+}
+
+fn engine_worker_loop(shared: &EngineShared) {
+    // The platform pool persists across jobs — the warmth a long-running
+    // engine buys over per-campaign threads.
+    let mut pool = PlatformPool::new();
+    loop {
+        let job = {
+            let mut state = shared.state();
+            loop {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                match state.queue.pop_front() {
+                    Some(job) => break job,
+                    None => {
+                        state = shared
+                            .wake
+                            .wait(state)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    }
+                }
+            }
+        };
+        // The engine must never wedge: `service_job` retires the job's
+        // in-flight entry and notifies every waiter on all of its own
+        // paths, and if it panics anyway (a bug in *our* code, not the
+        // experiment's — those are caught inside), the catch here keeps
+        // the worker thread alive and `abort_job` unblocks the waiters
+        // with a typed error so no subscriber waits on a dead entry.
+        let serviced = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            service_job(shared, &job, &mut pool)
+        }));
+        if serviced.is_err() {
+            pool = PlatformPool::new();
+            abort_job(shared, &job);
+        }
+    }
+}
+
+/// Run one job end to end: compute (or fail) the unit, retire its
+/// in-flight entry, and deliver the shared outcome to every waiter.
+fn service_job(shared: &EngineShared, job: &Job, pool: &mut PlatformPool) {
+    let started = Instant::now();
+    // Unit failure must be unit-scoped: a panicking experiment fails its
+    // subscribers, not the engine. The catch is wrapped tightly around
+    // the experiment call so the failure is attributed to the unit.
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        job.unit
+            .experiment
+            .run(pool.platform(platform_chip(&job.unit)))
+    }));
+    let outcome: Result<Arc<ExperimentOutput>, CampaignError> = match run {
+        Ok(Ok(mut output)) => {
+            output.stamp_wall_time(started.elapsed().as_secs_f64());
+            shared.units_computed.fetch_add(1, Ordering::Relaxed);
+            // Insert *before* retiring the in-flight entry, so a
+            // concurrent submit always finds the key in one of the two
+            // places.
+            Ok(job.cache.insert(job.unit.key.clone(), output))
+        }
+        Ok(Err(error)) => {
+            shared.units_failed.fetch_add(1, Ordering::Relaxed);
+            Err(CampaignError::Unit {
+                key: job.unit.key.clone(),
+                error,
+            })
+        }
+        Err(panic) => {
+            shared.units_failed.fetch_add(1, Ordering::Relaxed);
+            // The unwound experiment may have left this worker's
+            // platforms in a torn state; discard them. Fresh pools are
+            // cheap next to the corruption risk.
+            *pool = PlatformPool::new();
+            Err(CampaignError::UnitPanicked {
+                key: job.unit.key.clone(),
+                message: panic_message(panic.as_ref()),
+            })
+        }
+    };
+    let wall = started.elapsed();
+
+    let waiters = shared
+        .state()
+        .inflight
+        .remove(&job.slot)
+        .unwrap_or_default();
+    for waiter in waiters {
+        let _ = waiter.sender.send(UnitDelivery {
+            index: waiter.index,
+            outcome: outcome.clone().map(|output| UnitOutcome {
+                source: waiter.source,
+                output,
+                // The compute wall belongs to the one subscription that
+                // triggered the computation; coalesced waiters spent no
+                // worker time (their delivery latency shows up in their
+                // campaign's own wall clock), so charging them too would
+                // double-count in unit-wall/utilization accounting.
+                wall: if waiter.source == UnitSource::Computed {
+                    wall
+                } else {
+                    Duration::ZERO
+                },
+            }),
+        });
+    }
+}
+
+/// Last-ditch cleanup when servicing a job panicked in engine code:
+/// retire the in-flight entry (if it is still there) and fail its
+/// waiters with a typed error, so nothing ever blocks on a job the
+/// engine could not finish.
+fn abort_job(shared: &EngineShared, job: &Job) {
+    shared.units_failed.fetch_add(1, Ordering::Relaxed);
+    let waiters = shared
+        .state()
+        .inflight
+        .remove(&job.slot)
+        .unwrap_or_default();
+    for waiter in waiters {
+        let _ = waiter.sender.send(UnitDelivery {
+            index: waiter.index,
+            outcome: Err(CampaignError::Worker(format!(
+                "engine worker panicked servicing unit {}",
+                job.unit.key
+            ))),
+        });
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = panic.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = panic.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oranges::experiments::{Experiment, ExperimentError};
+    use oranges::platform::Platform;
+    use oranges_harness::RepetitionProtocol;
+    use std::sync::atomic::AtomicUsize;
+
+    type Gate = Arc<(Mutex<bool>, Condvar)>;
+
+    /// A test experiment that blocks until released, so tests control
+    /// exactly when a unit is "in flight".
+    struct GatedExperiment {
+        tag: String,
+        gate: Gate,
+        runs: Arc<AtomicUsize>,
+    }
+
+    impl GatedExperiment {
+        fn new(tag: &str) -> (Arc<Self>, Gate, Arc<AtomicUsize>) {
+            let gate = Arc::new((Mutex::new(false), Condvar::new()));
+            let runs = Arc::new(AtomicUsize::new(0));
+            let experiment = Arc::new(GatedExperiment {
+                tag: tag.to_string(),
+                gate: Arc::clone(&gate),
+                runs: Arc::clone(&runs),
+            });
+            (experiment, gate, runs)
+        }
+    }
+
+    fn release(gate: &Gate) {
+        *gate.0.lock().expect("gate") = true;
+        gate.1.notify_all();
+    }
+
+    impl Experiment for GatedExperiment {
+        fn id(&self) -> &'static str {
+            "gated"
+        }
+        fn params(&self) -> String {
+            format!("tag={}", self.tag)
+        }
+        fn chip(&self) -> Option<ChipGeneration> {
+            None
+        }
+        fn protocol(&self) -> RepetitionProtocol {
+            RepetitionProtocol::GEMM
+        }
+        fn run(&self, _platform: &mut Platform) -> Result<ExperimentOutput, ExperimentError> {
+            let (lock, condvar) = &*self.gate;
+            let mut released = lock.lock().expect("gate");
+            while !*released {
+                released = condvar.wait(released).expect("gate");
+            }
+            self.runs.fetch_add(1, Ordering::SeqCst);
+            ExperimentOutput::from_sets(vec![self.base_set().metric("value", 1.0, "unit")], None)
+        }
+    }
+
+    /// A test experiment that panics mid-run.
+    struct PanickingExperiment;
+
+    impl Experiment for PanickingExperiment {
+        fn id(&self) -> &'static str {
+            "panicker"
+        }
+        fn params(&self) -> String {
+            "tag=panic".to_string()
+        }
+        fn chip(&self) -> Option<ChipGeneration> {
+            None
+        }
+        fn protocol(&self) -> RepetitionProtocol {
+            RepetitionProtocol::GEMM
+        }
+        fn run(&self, _platform: &mut Platform) -> Result<ExperimentOutput, ExperimentError> {
+            panic!("intentional test panic");
+        }
+    }
+
+    fn unit_of(index: usize, experiment: Arc<dyn Experiment>) -> PlanUnit {
+        PlanUnit {
+            index,
+            key: UnitKey::of(experiment.as_ref()),
+            experiment,
+        }
+    }
+
+    #[test]
+    fn source_tokens_round_trip() {
+        for source in [
+            UnitSource::Computed,
+            UnitSource::CacheHit,
+            UnitSource::Coalesced,
+        ] {
+            assert_eq!(UnitSource::parse(source.as_str()), Some(source));
+        }
+        assert_eq!(UnitSource::parse("nope"), None);
+        assert!(!UnitSource::Computed.from_cache());
+        assert!(UnitSource::CacheHit.from_cache());
+        assert!(UnitSource::Coalesced.from_cache());
+    }
+
+    #[test]
+    fn overlapping_submissions_coalesce_onto_one_computation() {
+        let engine = ExecutionEngine::new(2);
+        let cache = ResultCache::new();
+        let (experiment, gate, runs) = GatedExperiment::new("shared");
+
+        // First submission takes the unit in flight (worker blocks on
+        // the gate), second and third attach as waiters — including a
+        // duplicate within one batch.
+        let first = engine.submit(&[unit_of(0, experiment.clone())], &cache);
+        let second = engine.submit(
+            &[
+                unit_of(0, experiment.clone()),
+                unit_of(1, experiment.clone()),
+            ],
+            &cache,
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.units_submitted, 3);
+        assert_eq!(stats.coalesced_joins, 2, "both later submissions attached");
+
+        release(&gate);
+        let produced = first.recv().expect("producer delivery");
+        let joined_a = second.recv().expect("waiter delivery");
+        let joined_b = second.recv().expect("waiter delivery");
+
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "computed exactly once");
+        let produced = produced.outcome.expect("produced ok");
+        assert_eq!(produced.source, UnitSource::Computed);
+        for joined in [joined_a, joined_b] {
+            let joined = joined.outcome.expect("joined ok");
+            assert_eq!(joined.source, UnitSource::Coalesced);
+            assert!(
+                Arc::ptr_eq(&joined.output, &produced.output),
+                "waiters share the very allocation the producer stored"
+            );
+        }
+        assert_eq!(engine.stats().units_computed, 1);
+        assert_eq!(cache.stats().entries, 1);
+
+        // A later submission is an immediate cache hit.
+        let third = engine.submit(&[unit_of(0, experiment)], &cache);
+        let hit = third.recv().expect("hit delivery").outcome.expect("ok");
+        assert_eq!(hit.source, UnitSource::CacheHit);
+        assert_eq!(engine.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn distinct_caches_do_not_coalesce() {
+        let engine = ExecutionEngine::new(2);
+        let (experiment, gate, runs) = GatedExperiment::new("percache");
+        let (cache_a, cache_b) = (ResultCache::new(), ResultCache::new());
+
+        let first = engine.submit(&[unit_of(0, experiment.clone())], &cache_a);
+        let second = engine.submit(&[unit_of(0, experiment.clone())], &cache_b);
+        assert_eq!(engine.stats().coalesced_joins, 0, "separate stores");
+
+        release(&gate);
+        assert!(first.recv().expect("a").outcome.is_ok());
+        assert!(second.recv().expect("b").outcome.is_ok());
+        assert_eq!(runs.load(Ordering::SeqCst), 2, "each cache filled once");
+        assert_eq!(cache_a.stats().entries, 1);
+        assert_eq!(cache_b.stats().entries, 1);
+    }
+
+    #[test]
+    fn a_panicking_unit_fails_its_subscribers_but_not_the_engine() {
+        let engine = ExecutionEngine::new(1);
+        let cache = ResultCache::new();
+
+        let doomed = engine.submit(&[unit_of(0, Arc::new(PanickingExperiment))], &cache);
+        let delivery = doomed.recv().expect("failure is delivered");
+        match delivery.outcome {
+            Err(CampaignError::UnitPanicked { key, message }) => {
+                assert_eq!(key.id, "panicker");
+                assert!(message.contains("intentional test panic"));
+            }
+            other => panic!("expected a panic outcome, got {other:?}"),
+        }
+        assert_eq!(engine.stats().units_failed, 1);
+        assert_eq!(cache.stats().entries, 0, "nothing poisoned the cache");
+
+        // The engine (and its single worker) is still fully serviceable.
+        let (experiment, gate, _) = GatedExperiment::new("after-panic");
+        release(&gate);
+        let next = engine.submit(&[unit_of(0, experiment)], &cache);
+        let outcome = next.recv().expect("delivery").outcome.expect("runs fine");
+        assert_eq!(outcome.source, UnitSource::Computed);
+    }
+
+    #[test]
+    fn dropping_a_subscription_mid_flight_is_harmless() {
+        let engine = ExecutionEngine::new(1);
+        let cache = ResultCache::new();
+        let (experiment, gate, runs) = GatedExperiment::new("dropped");
+
+        let abandoned = engine.submit(&[unit_of(0, experiment.clone())], &cache);
+        drop(abandoned);
+        release(&gate);
+
+        // The computation still completes and fills the cache; the next
+        // subscriber is served from it.
+        let next = engine.submit(&[unit_of(0, experiment)], &cache);
+        let outcome = next.recv().expect("delivery").outcome.expect("ok");
+        assert!(outcome.source.from_cache());
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+    }
+}

@@ -9,19 +9,30 @@
 //!   (+ size overrides, worker count);
 //! - [`plan::Plan`] — the spec expanded into dependency-free,
 //!   content-keyed units (one [`Experiment`] instance each);
-//! - [`scheduler`] — a worker pool (`std::thread` + channels) that fans
-//!   the plan out; every worker owns its own
+//! - [`engine::ExecutionEngine`] — the unit-granular scheduling core:
+//!   persistent worker threads (each owning its own
 //!   [`PlatformPool`](oranges::platform::PlatformPool), so no simulator
-//!   state is shared;
+//!   state is shared), per-subscription delivery channels, and a shared
+//!   in-flight table that **coalesces** overlapping submissions — two
+//!   concurrent campaigns compute each shared unit exactly once;
+//! - [`scheduler`] — thin campaign adapters over the engine:
+//!   [`run_campaign`] (call-scoped engine) and [`WorkerPool`]
+//!   (persistent, `Sync`, re-entered by concurrent campaigns), both
+//!   assembling unit deliveries back into deterministic plan order;
 //! - [`cache::ResultCache`] — a content-keyed result store
 //!   (experiment id + chip + params) that deduplicates repeated units,
 //!   makes re-runs near-free, and persists to disk
 //!   ([`save`](cache::ResultCache::save)/[`load`](cache::ResultCache::load))
-//!   so a *second process* re-running the same spec gets 100% hits;
+//!   so a *second process* re-running the same spec gets 100% hits; the
+//!   disk envelope is **versioned** by the workspace
+//!   [model-constants digest](oranges::paper::model_constants_digest),
+//!   so a constants change invalidates stale files on load instead of
+//!   surfacing later as merge conflicts;
 //! - [`report::CampaignReport`] — the aggregate: per-unit
 //!   [`MetricSet`](oranges_harness::metric::MetricSet)s in deterministic
 //!   plan order with per-unit wall-time accounting, emitted generically
-//!   as rows/CSV/JSON, plus throughput and cache statistics.
+//!   as rows/CSV/JSON, plus throughput, cache, and coalescing
+//!   statistics.
 //!
 //! Every number a campaign emits is a typed, unit-carrying metric with
 //! provenance (chip, experiment id, params digest, wall-time,
@@ -36,24 +47,28 @@
 //!
 //! - [`service`] — **service mode**: a long-running daemon
 //!   ([`service::CampaignService`]) accepting spec requests over a
-//!   Unix-domain socket (newline-delimited JSON envelopes), scheduling
-//!   them on a persistent [`scheduler::WorkerPool`], answering from the
-//!   warm cache, and streaming provenance-stamped `MetricSet` JSON back;
+//!   Unix-domain socket (newline-delimited JSON envelopes), one thread
+//!   per connection, all submitting units to one shared engine over the
+//!   warm cache — overlapping requests from different clients coalesce,
+//!   and each client's provenance-stamped `MetricSet` JSON streams back
+//!   the moment its units complete;
 //! - [`orchestrate`] — the **shard orchestrator**
 //!   ([`orchestrate::Orchestrator`]): N worker *processes*, round-robin
 //!   [`Plan::shard`](plan::Plan::shard) assignments, shard caches merged
-//!   under a strict conflict rule into one unified report.
+//!   under a strict conflict rule (and the model-digest invalidation
+//!   rule) into one unified report.
 //!
 //! ```text
-//!              CampaignSpec ──► Plan ──► scheduler ──► ResultCache ──► CampaignReport
-//!                   ▲          (units)   │  worker pool    │  content-keyed   (plan order)
-//!      JSON in/out  │                    │  (scoped or     │  disk-persistent
-//!  (to_json /       │                    │   persistent)   │  mergeable
-//!   from_json)      │                    ▼                 ▼
-//!  ┌────────────────┴───┐      Experiment::run     save/load/merge_from
-//!  │ service (socket)   │      (oranges crate)            ▲
-//!  │ orchestrator (N    │                                 │
-//!  │ worker processes) ─┴─────────────────────────────────┘
+//!              CampaignSpec ──► Plan ──► ExecutionEngine ──► ResultCache ──► CampaignReport
+//!                   ▲          (units)   │ unit-granular:      │  content-keyed   (plan order)
+//!      JSON in/out  │                    │ in-flight table,    │  disk-persistent
+//!  (to_json /       │                    │ coalescing, per-    │  versioned, mergeable
+//!   from_json)      │                    │ subscription        ▼
+//!  ┌────────────────┴───┐               ▼ channels      save/load/merge_from
+//!  │ service (socket,   │      Experiment::run                 ▲
+//!  │ multiplexed)       │      (oranges crate)                 │
+//!  │ orchestrator (N    │                                      │
+//!  │ worker processes) ─┴──────────────────────────────────────┘
 //!  └────────────────────┘
 //! ```
 //!
@@ -84,7 +99,7 @@
 //! // An immediate re-run of the same spec is served from the cache.
 //! let rerun = run_campaign(&spec, &cache).unwrap();
 //! assert_eq!(rerun.digest(), report.digest());
-//! assert!(rerun.units.iter().all(|u| u.from_cache));
+//! assert!(rerun.units.iter().all(|u| u.from_cache()));
 //! ```
 //!
 //! ## Specs as JSON
@@ -135,6 +150,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod engine;
 pub mod orchestrate;
 pub mod plan;
 pub mod report;
@@ -147,7 +163,12 @@ pub mod spec;
 // (`oranges::experiments`); this crate is its consumer-facing home.
 pub use oranges::experiments::{Experiment, ExperimentError, ExperimentOutput};
 
-pub use cache::{CacheMergeError, CachePersistError, CacheStats, MergeStats, ResultCache};
+pub use cache::{
+    CacheLoad, CacheMergeError, CachePersistError, CacheStats, MergeStats, ResultCache,
+};
+pub use engine::{
+    EngineStats, ExecutionEngine, Subscription, UnitDelivery, UnitOutcome, UnitSource,
+};
 pub use orchestrate::{OrchestrateError, OrchestratedRun, Orchestrator};
 pub use plan::{Plan, PlanUnit, UnitKey};
 pub use report::{CampaignReport, UnitReport};
@@ -157,6 +178,7 @@ pub use spec::{CampaignSpec, ExperimentKind, SpecParseError};
 /// Convenience prelude.
 pub mod prelude {
     pub use crate::cache::ResultCache;
+    pub use crate::engine::{ExecutionEngine, UnitSource};
     pub use crate::orchestrate::Orchestrator;
     pub use crate::report::CampaignReport;
     pub use crate::scheduler::{run_campaign, run_campaign_serial, WorkerPool};

@@ -308,20 +308,26 @@ impl Orchestrator {
             return Err(failure);
         }
 
-        // Join: every shard cache merges into the shared cache; the
-        // strict conflict rule turns a corrupt shard into a loud error.
+        // Join: every shard cache merges into the shared cache. Two
+        // rules, mirroring `ResultCache::merge_from`: a shard file
+        // stamped with a different model digest is *stale* — its entries
+        // are invalidated (counted, recomputed by the assembly pass
+        // below), never conflicting — while same-version shards merge
+        // under the strict identity rule that turns a corrupt shard into
+        // a loud error.
         let mut merged = MergeStats::default();
         for index in 0..self.processes {
-            let shard_cache = ResultCache::load(shard_path(index))?;
-            let stats =
-                cache
-                    .merge_from(&shard_cache)
-                    .map_err(|error| OrchestrateError::Merge {
-                        error,
-                        scratch: scratch.display().to_string(),
-                    })?;
+            let load = ResultCache::load_checked(shard_path(index))?;
+            merged.stale += load.invalidated;
+            let stats = cache
+                .merge_from(&load.cache)
+                .map_err(|error| OrchestrateError::Merge {
+                    error,
+                    scratch: scratch.display().to_string(),
+                })?;
             merged.added += stats.added;
             merged.identical += stats.identical;
+            merged.stale += stats.stale;
         }
 
         // Assembly: re-enter the scheduler over the merged cache. Every
@@ -387,7 +393,7 @@ pub fn run_worker(args: &[String]) -> Result<(), OrchestrateError> {
         .filter(|&(index, count)| count > 0 && index < count)
         .ok_or_else(|| OrchestrateError::Args(format!("bad --shard '{shard}', want I/N")))?;
 
-    let spec = CampaignSpec::from_json(spec_json)?.with_shard(index, count);
+    let spec = CampaignSpec::from_json(spec_json)?.with_shard(index, count)?;
     let cache = match value_of("--cache-in") {
         Some(path) if Path::new(path).exists() => ResultCache::load(path)?,
         _ => ResultCache::new(),
@@ -478,7 +484,7 @@ mod tests {
 
     #[test]
     fn orchestrator_rejects_already_sharded_specs() {
-        let spec = CampaignSpec::smoke().with_shard(0, 2);
+        let spec = CampaignSpec::smoke().with_shard(0, 2).expect("valid shard");
         let error = Orchestrator::new("unused", 2)
             .run(&spec, &ResultCache::new())
             .expect_err("shard assignment belongs to the orchestrator");

@@ -1,6 +1,6 @@
 //! Spec → plan expansion: the grid as dependency-free units.
 
-use crate::spec::CampaignSpec;
+use crate::spec::{CampaignSpec, SpecParseError};
 use oranges::experiments::Experiment;
 use std::fmt;
 use std::sync::Arc;
@@ -112,12 +112,12 @@ impl Plan {
     /// evenly instead of clumping in one shard). Kept units are
     /// re-indexed contiguously; the union of all `count` shards is
     /// exactly the unsharded plan, each unit exactly once.
-    pub fn shard(&self, index: usize, count: usize) -> Plan {
-        assert!(count > 0, "shard count must be positive");
-        assert!(
-            index < count,
-            "shard index {index} out of range for {count} shards"
-        );
+    ///
+    /// A degenerate assignment (`count == 0`, `index >= count`) is a
+    /// typed [`SpecParseError`], matching the validation every spec
+    /// entry point applies — never a panic, never a silently empty plan.
+    pub fn shard(&self, index: usize, count: usize) -> Result<Plan, SpecParseError> {
+        crate::spec::validate_shard(index, count)?;
         let units = self
             .units
             .iter()
@@ -129,7 +129,7 @@ impl Plan {
                 unit
             })
             .collect();
-        Plan { units }
+        Ok(Plan { units })
     }
 }
 
@@ -168,7 +168,7 @@ mod tests {
         for count in [1usize, 2, 3, 5] {
             let mut seen: Vec<UnitKey> = Vec::new();
             for index in 0..count {
-                let shard = plan.shard(index, count);
+                let shard = plan.shard(index, count).expect("valid assignment");
                 // Contiguous re-indexing within the shard.
                 assert!(shard.units.iter().enumerate().all(|(i, u)| u.index == i));
                 seen.extend(shard.units.iter().map(|u| u.key.clone()));
@@ -183,15 +183,18 @@ mod tests {
     #[test]
     fn round_robin_spreads_kinds_across_shards() {
         let plan = Plan::expand(&CampaignSpec::paper_grid());
-        let shard = plan.shard(0, 4);
+        let shard = plan.shard(0, 4).expect("valid assignment");
         let ids: Vec<&str> = shard.units.iter().map(|u| u.key.id.as_str()).collect();
         assert_eq!(ids, ["fig1", "fig2", "fig3", "fig4"], "one of each figure");
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn shard_index_must_be_in_range() {
-        let _ = Plan::expand(&CampaignSpec::paper_grid()).shard(4, 4);
+    fn degenerate_shard_assignments_are_typed_errors() {
+        let plan = Plan::expand(&CampaignSpec::paper_grid());
+        let error = plan.shard(4, 4).expect_err("index past the end");
+        assert!(error.to_string().contains("out of range"), "{error}");
+        let error = plan.shard(0, 0).expect_err("zero shards");
+        assert!(error.to_string().contains("must be positive"), "{error}");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! wall-time accounting.
 
 use crate::cache::CacheStats;
+use crate::engine::UnitSource;
 use crate::plan::UnitKey;
 use oranges::experiments::ExperimentOutput;
 use oranges_harness::json::JsonError;
@@ -18,16 +19,25 @@ pub struct UnitReport {
     pub index: usize,
     /// Content key.
     pub key: UnitKey,
-    /// Whether the result came from the cache.
-    pub from_cache: bool,
+    /// How the engine satisfied the unit: computed, cache hit, or
+    /// coalesced onto another campaign's in-flight computation.
+    pub source: UnitSource,
     /// Wall time this campaign spent servicing the unit (near-zero for
-    /// a cache hit).
+    /// a cache hit or coalesced join — the compute cost is charged to
+    /// the campaign that triggered it).
     pub wall: Duration,
     /// The unit's output.
     pub output: Arc<ExperimentOutput>,
 }
 
 impl UnitReport {
+    /// Whether the result arrived without this campaign computing it
+    /// (cache hit or coalesced join) — derived from
+    /// [`source`](UnitReport::source) so the two can never disagree.
+    pub fn from_cache(&self) -> bool {
+        self.source.from_cache()
+    }
+
     /// Wall time of the *producing* run, from provenance — for a cache
     /// hit this is the original compute time, not the probe time.
     pub fn compute_wall_s(&self) -> Option<f64> {
@@ -101,17 +111,21 @@ impl CampaignReport {
     ///
     /// [`digest`]: CampaignReport::digest
     pub fn fingerprint(&self) -> String {
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for byte in self.digest().bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        format!("{hash:016x}")
+        oranges_harness::fnv1a_64_hex(&self.digest())
     }
 
     /// Units computed (not served from cache) in this campaign.
     pub fn computed_units(&self) -> usize {
-        self.units.iter().filter(|u| !u.from_cache).count()
+        self.units.iter().filter(|u| !u.from_cache()).count()
+    }
+
+    /// Units this campaign received by coalescing onto a computation
+    /// another (possibly concurrent) campaign already had in flight.
+    pub fn coalesced_units(&self) -> usize {
+        self.units
+            .iter()
+            .filter(|u| u.source == UnitSource::Coalesced)
+            .count()
     }
 
     /// Total wall time spent inside units, summed across workers. On an
@@ -148,7 +162,7 @@ impl CampaignReport {
         if self.units.is_empty() {
             0.0
         } else {
-            self.units.iter().filter(|u| u.from_cache).count() as f64 / self.units.len() as f64
+            self.units.iter().filter(|u| u.from_cache()).count() as f64 / self.units.len() as f64
         }
     }
 
@@ -171,7 +185,7 @@ impl CampaignReport {
     /// wall-time.
     pub fn render_summary(&self) -> String {
         let mut table =
-            TextTable::new(vec!["#", "Unit", "Sets", "Metrics", "Cached", "Wall (ms)"]).numeric();
+            TextTable::new(vec!["#", "Unit", "Sets", "Metrics", "Source", "Wall (ms)"]).numeric();
         for unit in &self.units {
             let metric_count: usize = unit.output.sets.iter().map(|s| s.metrics.len()).sum();
             table.row(vec![
@@ -179,11 +193,7 @@ impl CampaignReport {
                 unit.key.to_string(),
                 unit.output.sets.len().to_string(),
                 metric_count.to_string(),
-                if unit.from_cache {
-                    "hit".to_string()
-                } else {
-                    "computed".to_string()
-                },
+                unit.source.as_str().to_string(),
                 format!("{:.2}", unit.wall.as_secs_f64() * 1e3),
             ]);
         }
@@ -223,18 +233,22 @@ mod tests {
             )
             .expect("serializable"),
         );
-        let unit = |index: usize, from_cache: bool, wall_ms: u64| UnitReport {
+        let unit = |index: usize, source: UnitSource, wall_ms: u64| UnitReport {
             index,
             key: UnitKey {
                 id: "fig4".into(),
                 params: format!("chip=M{}", index + 1),
             },
-            from_cache,
+            source,
+
             wall: Duration::from_millis(wall_ms),
             output: output.clone(),
         };
         CampaignReport::new(
-            vec![unit(0, false, 200), unit(1, true, 1)],
+            vec![
+                unit(0, UnitSource::Computed, 200),
+                unit(1, UnitSource::CacheHit, 1),
+            ],
             2,
             Duration::from_millis(500),
             CacheStats {
@@ -274,6 +288,7 @@ mod tests {
         assert_eq!(r.units_per_second(), 4.0);
         assert_eq!(r.campaign_hit_rate(), 0.5);
         assert_eq!(r.computed_units(), 1);
+        assert_eq!(r.coalesced_units(), 0);
         assert_eq!(r.unit_wall(), Duration::from_millis(201));
         assert_eq!(r.slowest_unit().unwrap().index, 0);
     }
@@ -292,7 +307,8 @@ mod tests {
         let summary = r.render_summary();
         assert!(summary.contains("2 units (1 computed) on 2 workers"));
         assert!(summary.contains("Unit wall: 0.201 s"));
-        assert!(summary.contains("hit"));
+        assert!(summary.contains("cache"), "source column names the hit");
+        assert!(summary.contains("computed"));
         assert!(summary.contains("Wall (ms)"));
     }
 }

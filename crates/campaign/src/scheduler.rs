@@ -1,32 +1,36 @@
-//! The worker-pool scheduler.
+//! Campaign-level adapters over the unit-granular [`ExecutionEngine`].
 //!
-//! Units are dependency-free, so scheduling is pure work-stealing from a
-//! shared queue: `workers` threads (`std::thread::scope` + `mpsc`
-//! channels) pop units, check the shared [`ResultCache`], run misses on
-//! their own [`PlatformPool`] (no simulator state crosses threads), and
-//! send indexed outcomes back. Assembly sorts by plan index, so the
-//! report is deterministic regardless of interleaving — and because each
-//! unit is itself deterministic, a concurrent campaign is value-identical
-//! to a serial one.
+//! The engine schedules *units*; campaigns are just batches of them.
+//! Both entry points here expand a spec to its plan, submit every unit
+//! under one subscription, and assemble the deliveries back into
+//! deterministic plan order:
+//!
+//! - [`run_campaign`] — spins up a private engine for the call (the
+//!   one-shot CLI shape: threads live exactly as long as the campaign);
+//! - [`WorkerPool`] — keeps one engine alive across calls (the service
+//!   shape: warm platform pools, and *concurrent* `run`s coalesce
+//!   overlapping units instead of computing them twice).
+//!
+//! Because each unit is deterministic and assembly sorts by plan index,
+//! a concurrent campaign is value-identical to a serial one — the same
+//! property the pre-engine scheduler had, now inherited from a core
+//! that also dedupes across campaigns.
 
 use crate::cache::ResultCache;
-use crate::plan::{Plan, PlanUnit, UnitKey};
+use crate::engine::{ExecutionEngine, Subscription};
+use crate::plan::{Plan, UnitKey};
 use crate::report::{CampaignReport, UnitReport};
-use crate::spec::CampaignSpec;
-use oranges::experiments::{ExperimentError, ExperimentOutput};
-use oranges::platform::PlatformPool;
-use oranges_soc::chip::ChipGeneration;
-use std::collections::VecDeque;
+use crate::spec::{CampaignSpec, SpecParseError};
+use oranges::experiments::ExperimentError;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Campaign failure.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CampaignError {
+    /// The spec did not describe a runnable campaign (e.g. a degenerate
+    /// shard assignment patched directly into the struct).
+    Spec(SpecParseError),
     /// A unit's experiment failed.
     Unit {
         /// Which unit.
@@ -34,14 +38,27 @@ pub enum CampaignError {
         /// Its error.
         error: ExperimentError,
     },
-    /// The pool itself misbehaved (a worker vanished without reporting).
+    /// A unit's experiment *panicked*. The engine catches the unwind —
+    /// only the subscriptions waiting on this unit fail, the engine and
+    /// its workers keep serving.
+    UnitPanicked {
+        /// Which unit.
+        key: UnitKey,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The engine itself misbehaved (shut down mid-campaign).
     Worker(String),
 }
 
 impl fmt::Display for CampaignError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            CampaignError::Spec(e) => write!(f, "campaign spec: {e}"),
             CampaignError::Unit { key, error } => write!(f, "unit {key} failed: {error}"),
+            CampaignError::UnitPanicked { key, message } => {
+                write!(f, "unit {key} panicked: {message}")
+            }
             CampaignError::Worker(msg) => write!(f, "worker failure: {msg}"),
         }
     }
@@ -49,128 +66,112 @@ impl fmt::Display for CampaignError {
 
 impl std::error::Error for CampaignError {}
 
-/// The chip a chip-independent unit borrows a platform for.
-fn platform_chip(unit: &PlanUnit) -> ChipGeneration {
-    unit.experiment.chip().unwrap_or(ChipGeneration::ALL[0])
-}
-
-/// What one serviced unit yields: cache status, output, and the wall
-/// time this campaign spent on it (near-zero for a hit).
-type UnitOutcome = (bool, Arc<ExperimentOutput>, Duration);
-
-/// Run one unit: cache probe, then compute-and-fill on miss. Computed
-/// outputs get the unit's wall-clock time stamped into every set's
-/// provenance before they enter the cache, so the compute cost travels
-/// with the result (including across process boundaries via
-/// [`ResultCache::save`]).
-fn execute_unit(
-    unit: &PlanUnit,
-    pool: &mut PlatformPool,
-    cache: &ResultCache,
-) -> Result<UnitOutcome, CampaignError> {
-    let started = Instant::now();
-    if let Some(hit) = cache.get(&unit.key) {
-        return Ok((true, hit, started.elapsed()));
+impl From<SpecParseError> for CampaignError {
+    fn from(e: SpecParseError) -> Self {
+        CampaignError::Spec(e)
     }
-    let platform = pool.platform(platform_chip(unit));
-    let mut output = unit
-        .experiment
-        .run(platform)
-        .map_err(|error| CampaignError::Unit {
-            key: unit.key.clone(),
-            error,
-        })?;
-    output.stamp_wall_time(started.elapsed().as_secs_f64());
-    Ok((
-        false,
-        cache.insert(unit.key.clone(), output),
-        started.elapsed(),
-    ))
 }
 
-/// Run a campaign through the worker pool. The cache persists across
-/// calls: pass the same instance again and an identical spec re-run is
-/// served entirely from it.
+/// Expand a spec into its (possibly sharded) plan — the one expansion
+/// path every entry point (CLI adapters and the service) goes through.
+pub(crate) fn expand_plan(spec: &CampaignSpec) -> Result<Plan, CampaignError> {
+    let plan = Plan::expand(spec);
+    match spec.shard {
+        Some((index, count)) => Ok(plan.shard(index, count)?),
+        None => Ok(plan),
+    }
+}
+
+/// Drain a whole-plan subscription into plan-ordered unit reports,
+/// invoking `on_unit` for every successful unit *as it is delivered*
+/// (completion order — this is how the service streams responses).
+/// Every unit is awaited (units are independent, so siblings of a
+/// failing unit finish and land in the cache for the next run); the
+/// inner error reported is the earliest failing unit's, matching serial
+/// semantics. The outer `Result` carries the observer's own failures
+/// (e.g. a dead client socket), which abort the drain immediately.
+pub(crate) fn assemble_streamed<E>(
+    plan: &Plan,
+    subscription: &Subscription,
+    mut on_unit: impl FnMut(&UnitReport) -> Result<(), E>,
+) -> Result<Result<Vec<UnitReport>, CampaignError>, E> {
+    let mut slots: Vec<Option<UnitReport>> = (0..plan.len()).map(|_| None).collect();
+    let mut first_error: Option<(usize, CampaignError)> = None;
+    for _ in 0..subscription.expected() {
+        let delivery = match subscription.recv() {
+            Some(delivery) => delivery,
+            None => {
+                return Ok(Err(CampaignError::Worker(
+                    "engine shut down mid-campaign".to_string(),
+                )))
+            }
+        };
+        match delivery.outcome {
+            Ok(outcome) => {
+                let unit = &plan.units[delivery.index];
+                let report = UnitReport {
+                    index: unit.index,
+                    key: unit.key.clone(),
+                    source: outcome.source,
+
+                    wall: outcome.wall,
+                    output: outcome.output,
+                };
+                on_unit(&report)?;
+                slots[delivery.index] = Some(report);
+            }
+            Err(error) => {
+                if first_error
+                    .as_ref()
+                    .map(|(index, _)| delivery.index < *index)
+                    .unwrap_or(true)
+                {
+                    first_error = Some((delivery.index, error));
+                }
+            }
+        }
+    }
+    if let Some((_, error)) = first_error {
+        return Ok(Err(error));
+    }
+    let mut units = Vec::with_capacity(plan.len());
+    for (unit, slot) in plan.units.iter().zip(slots) {
+        match slot {
+            Some(report) => units.push(report),
+            None => {
+                return Ok(Err(CampaignError::Worker(format!(
+                    "unit {} never reported",
+                    unit.key
+                ))))
+            }
+        }
+    }
+    Ok(Ok(units))
+}
+
+/// [`assemble_streamed`] without an observer.
+fn assemble(plan: &Plan, subscription: &Subscription) -> Result<Vec<UnitReport>, CampaignError> {
+    match assemble_streamed(plan, subscription, |_| {
+        Ok::<(), std::convert::Infallible>(())
+    }) {
+        Ok(inner) => inner,
+        Err(never) => match never {},
+    }
+}
+
+/// Run a campaign on a private, call-scoped engine. The cache persists
+/// across calls: pass the same instance again and an identical spec
+/// re-run is served entirely from it.
 pub fn run_campaign(
     spec: &CampaignSpec,
     cache: &ResultCache,
 ) -> Result<CampaignReport, CampaignError> {
-    let mut plan = Plan::expand(spec);
-    if let Some((index, count)) = spec.shard {
-        plan = plan.shard(index, count);
-    }
+    let plan = expand_plan(spec)?;
     let workers = spec.workers.clamp(1, plan.len().max(1));
     let started = Instant::now();
-
-    let mut outcomes: Vec<Option<UnitOutcome>> = vec![None; plan.len()];
-    if workers == 1 {
-        // Degenerate pool: run inline, no threads to pay for.
-        let mut pool = PlatformPool::new();
-        for unit in &plan.units {
-            outcomes[unit.index] = Some(execute_unit(unit, &mut pool, cache)?);
-        }
-    } else {
-        let queue: Mutex<VecDeque<&PlanUnit>> = Mutex::new(plan.units.iter().collect());
-        let (sender, receiver) = mpsc::channel();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let sender = sender.clone();
-                let queue = &queue;
-                scope.spawn(move || {
-                    // Each worker owns its platforms; only results and
-                    // the tiny queue/cache probes cross threads.
-                    let mut pool = PlatformPool::new();
-                    loop {
-                        let unit = match queue.lock().expect("queue lock").pop_front() {
-                            Some(unit) => unit,
-                            None => break,
-                        };
-                        let outcome = execute_unit(unit, &mut pool, cache);
-                        if sender.send((unit.index, outcome)).is_err() {
-                            break; // receiver gone: campaign already failed
-                        }
-                    }
-                });
-            }
-            drop(sender);
-            let mut first_error: Option<(usize, CampaignError)> = None;
-            for (index, outcome) in receiver {
-                match outcome {
-                    Ok(result) => outcomes[index] = Some(result),
-                    Err(error) => {
-                        // Cancel: drop all not-yet-started units so the
-                        // pool winds down after its in-flight work, and
-                        // report the error of the earliest failing unit.
-                        queue.lock().expect("queue lock").clear();
-                        if first_error
-                            .as_ref()
-                            .map(|(i, _)| index < *i)
-                            .unwrap_or(true)
-                        {
-                            first_error = Some((index, error));
-                        }
-                    }
-                }
-            }
-            match first_error {
-                Some((_, error)) => Err(error),
-                None => Ok(()),
-            }
-        })?;
-    }
-
-    let mut units = Vec::with_capacity(plan.len());
-    for (unit, outcome) in plan.units.iter().zip(outcomes) {
-        let (from_cache, output, wall) = outcome
-            .ok_or_else(|| CampaignError::Worker(format!("unit {} never reported", unit.key)))?;
-        units.push(UnitReport {
-            index: unit.index,
-            key: unit.key.clone(),
-            from_cache,
-            wall,
-            output,
-        });
-    }
+    let engine = ExecutionEngine::new(workers);
+    let subscription = engine.submit(&plan.units, cache);
+    let units = assemble(&plan, &subscription)?;
     Ok(CampaignReport::new(
         units,
         workers,
@@ -179,7 +180,7 @@ pub fn run_campaign(
     ))
 }
 
-/// The serial baseline: the same plan, one thread, a private throwaway
+/// The serial baseline: the same plan, one worker, a private throwaway
 /// cache (every unit computes). Concurrent campaigns are asserted
 /// value-identical to this.
 pub fn run_campaign_serial(spec: &CampaignSpec) -> Result<CampaignReport, CampaignError> {
@@ -187,226 +188,64 @@ pub fn run_campaign_serial(spec: &CampaignSpec) -> Result<CampaignReport, Campai
     run_campaign(&serial_spec, &ResultCache::new())
 }
 
-/// One queued unit of work for a persistent pool worker. The epoch
-/// identifies which `run()` the task belongs to, so results from an
-/// abandoned run (after a mid-campaign failure) can never be mistaken
-/// for a later run's.
-struct PoolTask {
-    epoch: u64,
-    index: usize,
-    unit: PlanUnit,
-    cache: Arc<ResultCache>,
-}
-
-/// State shared between a [`WorkerPool`]'s owner and its threads.
-struct PoolShared {
-    queue: Mutex<VecDeque<PoolTask>>,
-    wake: Condvar,
-    shutdown: AtomicBool,
-}
-
-/// A *persistent* worker pool: long-lived threads, each owning its own
-/// [`PlatformPool`], that successive campaigns re-enter without paying
-/// thread spawn or platform construction again.
+/// A *persistent* campaign runner: one long-lived
+/// [`ExecutionEngine`] that successive — and *concurrent* — campaigns
+/// re-enter without paying thread spawn or platform construction again.
 ///
-/// [`run_campaign`] spawns scoped threads per call — right for a one-shot
-/// CLI run. A long-running process (the campaign service) instead keeps
-/// one `WorkerPool` alive and pushes every incoming spec through it: the
-/// workers' platform state stays warm across requests, and the shared
-/// [`ResultCache`] passed to each [`run`](WorkerPool::run) makes repeat
-/// specs near-free.
+/// [`run_campaign`] builds an engine per call — right for a one-shot CLI
+/// run. A long-running process (the campaign service) instead keeps one
+/// `WorkerPool` alive and pushes every incoming spec through it: the
+/// workers' platform state stays warm across requests, and because all
+/// submissions share the engine's in-flight table, two overlapping
+/// campaigns against the same [`ResultCache`] compute each shared unit
+/// exactly once (the later one coalesces). The pool is `Sync`: `run`
+/// takes `&self` and any number of threads may call it at once, each
+/// getting its own subscription.
 ///
-/// The pool is deliberately not `Sync` (its result channel is single-
-/// consumer): one campaign runs at a time, units within it fan out over
-/// all threads. Dropping the pool shuts the threads down.
+/// Dropping the pool shuts the engine's threads down.
 pub struct WorkerPool {
-    shared: Arc<PoolShared>,
-    results: mpsc::Receiver<(u64, usize, Result<UnitOutcome, CampaignError>)>,
-    handles: Vec<thread::JoinHandle<()>>,
-    workers: usize,
-    epoch: std::sync::atomic::AtomicU64,
+    engine: ExecutionEngine,
 }
 
 impl WorkerPool {
-    /// Spawn `workers` (≥ 1 enforced) persistent threads.
+    /// Spawn `workers` (≥ 1 enforced) persistent engine threads.
     pub fn new(workers: usize) -> Self {
-        let workers = workers.max(1);
-        let shared = Arc::new(PoolShared {
-            queue: Mutex::new(VecDeque::new()),
-            wake: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-        });
-        let (sender, results) = mpsc::channel();
-        let handles = (0..workers)
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                let sender = sender.clone();
-                thread::spawn(move || pool_worker_loop(&shared, &sender))
-            })
-            .collect();
         WorkerPool {
-            shared,
-            results,
-            handles,
-            workers,
-            epoch: std::sync::atomic::AtomicU64::new(0),
+            engine: ExecutionEngine::new(workers),
         }
     }
 
     /// Number of persistent threads.
     pub fn workers(&self) -> usize {
-        self.workers
+        self.engine.workers()
     }
 
-    /// Run one campaign through the persistent threads. Semantically
+    /// The underlying engine (e.g. to read its dedupe/coalesce
+    /// counters).
+    pub fn engine(&self) -> &ExecutionEngine {
+        &self.engine
+    }
+
+    /// Run one campaign through the shared engine. Semantically
     /// identical to [`run_campaign`] (same plan expansion, sharding,
     /// cache protocol, deterministic assembly, earliest-failure error) —
-    /// only the thread lifetime differs. `spec.workers` is ignored; the
+    /// only the engine lifetime differs. `spec.workers` is ignored; the
     /// pool's own size governs parallelism.
     pub fn run(
         &self,
         spec: &CampaignSpec,
-        cache: &Arc<ResultCache>,
+        cache: &ResultCache,
     ) -> Result<CampaignReport, CampaignError> {
-        let mut plan = Plan::expand(spec);
-        if let Some((index, count)) = spec.shard {
-            plan = plan.shard(index, count);
-        }
+        let plan = expand_plan(spec)?;
         let started = Instant::now();
-        let total = plan.len();
-        // A fresh epoch per run: results from an earlier run that ended
-        // early (error or panic) may still arrive on the shared channel,
-        // and must be discarded rather than counted against this plan.
-        let epoch = self
-            .epoch
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-            + 1;
-        {
-            let mut queue = self.shared.queue.lock().expect("pool queue");
-            for unit in &plan.units {
-                queue.push_back(PoolTask {
-                    epoch,
-                    index: unit.index,
-                    unit: unit.clone(),
-                    cache: Arc::clone(cache),
-                });
-            }
-        }
-        self.shared.wake.notify_all();
-
-        let mut outcomes: Vec<Option<UnitOutcome>> = vec![None; total];
-        let mut first_error: Option<(usize, CampaignError)> = None;
-        let mut outstanding = total;
-        while outstanding > 0 {
-            let (index, outcome) = match self.results.recv_timeout(Duration::from_millis(50)) {
-                Ok((message_epoch, _, _)) if message_epoch != epoch => continue, // stale run
-                Ok((_, index, outcome)) => (index, outcome),
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    // Pool threads never exit during a run (they block on
-                    // the condvar between tasks), so a finished handle
-                    // here means a panic unwound one mid-unit — without
-                    // this check that unit's result never arrives and
-                    // recv() would wedge the service forever.
-                    if self.handles.iter().any(|handle| handle.is_finished()) {
-                        self.shared.queue.lock().expect("pool queue").clear();
-                        return Err(CampaignError::Worker(
-                            "pool thread panicked mid-campaign".into(),
-                        ));
-                    }
-                    continue;
-                }
-                Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    return Err(CampaignError::Worker(
-                        "pool thread exited mid-campaign".into(),
-                    ))
-                }
-            };
-            outstanding -= 1;
-            match outcome {
-                Ok(result) => outcomes[index] = Some(result),
-                Err(error) => {
-                    // Cancel everything not yet started; in-flight units
-                    // drain normally. Report the earliest failing unit.
-                    let mut queue = self.shared.queue.lock().expect("pool queue");
-                    outstanding -= queue.len();
-                    queue.clear();
-                    drop(queue);
-                    if first_error
-                        .as_ref()
-                        .map(|(i, _)| index < *i)
-                        .unwrap_or(true)
-                    {
-                        first_error = Some((index, error));
-                    }
-                }
-            }
-        }
-        if let Some((_, error)) = first_error {
-            return Err(error);
-        }
-
-        let mut units = Vec::with_capacity(total);
-        for (unit, outcome) in plan.units.iter().zip(outcomes) {
-            let (from_cache, output, wall) = outcome.ok_or_else(|| {
-                CampaignError::Worker(format!("unit {} never reported", unit.key))
-            })?;
-            units.push(UnitReport {
-                index: unit.index,
-                key: unit.key.clone(),
-                from_cache,
-                wall,
-                output,
-            });
-        }
+        let subscription = self.engine.submit(&plan.units, cache);
+        let units = assemble(&plan, &subscription)?;
         Ok(CampaignReport::new(
             units,
-            self.workers.clamp(1, total.max(1)),
+            self.engine.workers().clamp(1, plan.len().max(1)),
             started.elapsed(),
             cache.stats(),
         ))
-    }
-}
-
-impl Drop for WorkerPool {
-    fn drop(&mut self) {
-        {
-            // Store under the queue lock so a worker can never check the
-            // flag and then miss the wakeup (check-then-wait is atomic
-            // with respect to this store).
-            let _queue = self.shared.queue.lock().expect("pool queue");
-            self.shared.shutdown.store(true, Ordering::Relaxed);
-        }
-        self.shared.wake.notify_all();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
-
-fn pool_worker_loop(
-    shared: &PoolShared,
-    results: &mpsc::Sender<(u64, usize, Result<UnitOutcome, CampaignError>)>,
-) {
-    // The platform pool persists for the thread's whole life — this is
-    // the warmth a long-running service buys over scoped threads.
-    let mut pool = PlatformPool::new();
-    loop {
-        let task = {
-            let mut queue = shared.queue.lock().expect("pool queue");
-            loop {
-                if shared.shutdown.load(Ordering::Relaxed) {
-                    return;
-                }
-                match queue.pop_front() {
-                    Some(task) => break task,
-                    None => queue = shared.wake.wait(queue).expect("pool queue"),
-                }
-            }
-        };
-        let outcome = execute_unit(&task.unit, &mut pool, &task.cache);
-        if results.send((task.epoch, task.index, outcome)).is_err() {
-            return; // owner gone
-        }
     }
 }
 
@@ -414,6 +253,8 @@ fn pool_worker_loop(
 mod tests {
     use super::*;
     use crate::spec::ExperimentKind;
+    use oranges_soc::chip::ChipGeneration;
+    use std::time::Duration;
 
     fn tiny_spec(workers: usize) -> CampaignSpec {
         CampaignSpec::new(
@@ -437,15 +278,15 @@ mod tests {
     fn rerun_is_fully_cached() {
         let cache = ResultCache::new();
         let first = run_campaign(&tiny_spec(2), &cache).unwrap();
-        assert!(first.units.iter().all(|u| !u.from_cache));
+        assert!(first.units.iter().all(|u| !u.from_cache()));
         let second = run_campaign(&tiny_spec(2), &cache).unwrap();
-        assert!(second.units.iter().all(|u| u.from_cache));
+        assert!(second.units.iter().all(|u| u.from_cache()));
         assert_eq!(first.digest(), second.digest());
         assert_eq!(second.cache.hit_rate(), 0.5, "4 misses then 4 hits");
     }
 
     #[test]
-    fn duplicate_units_compute_once() {
+    fn duplicate_units_coalesce_within_one_campaign() {
         let cache = ResultCache::new();
         let spec = CampaignSpec::new(
             vec![ExperimentKind::Fig4, ExperimentKind::Fig4],
@@ -455,9 +296,11 @@ mod tests {
         .with_workers(1);
         let report = run_campaign(&spec, &cache).unwrap();
         assert_eq!(report.units.len(), 2);
-        assert!(!report.units[0].from_cache);
-        assert!(report.units[1].from_cache);
+        assert!(!report.units[0].from_cache());
+        assert!(report.units[1].from_cache(), "second occurrence coalesced");
         assert_eq!(report.units[0].output.json, report.units[1].output.json);
+        assert_eq!(report.computed_units(), 1);
+        assert_eq!(report.coalesced_units(), 1);
         assert_eq!(cache.stats().entries, 1);
     }
 
@@ -484,7 +327,7 @@ mod tests {
         // Cache hits keep the original compute wall in provenance.
         let rerun = run_campaign(&tiny_spec(2), &cache).unwrap();
         for (unit, original) in rerun.units.iter().zip(&report.units) {
-            assert!(unit.from_cache);
+            assert!(unit.from_cache());
             assert_eq!(unit.output.wall_time_s(), original.output.wall_time_s());
         }
     }
@@ -493,21 +336,27 @@ mod tests {
     fn persistent_pool_matches_scoped_scheduler_and_reenters_warm() {
         let pool = WorkerPool::new(3);
         assert_eq!(pool.workers(), 3);
-        let cache = Arc::new(ResultCache::new());
+        let cache = ResultCache::new();
         let first = pool.run(&tiny_spec(3), &cache).unwrap();
         let scoped = run_campaign(&tiny_spec(3), &ResultCache::new()).unwrap();
         assert_eq!(first.digest(), scoped.digest(), "same values either way");
-        assert!(first.units.iter().all(|u| !u.from_cache));
+        assert!(first.units.iter().all(|u| !u.from_cache()));
 
         // Re-entry over the warm cache: zero computed units.
         let second = pool.run(&tiny_spec(3), &cache).unwrap();
-        assert!(second.units.iter().all(|u| u.from_cache));
+        assert!(second.units.iter().all(|u| u.from_cache()));
         assert_eq!(second.computed_units(), 0);
         assert_eq!(second.fingerprint(), first.fingerprint());
 
         // A different spec re-enters the same threads.
-        let other = pool.run(&tiny_spec(3).with_shard(0, 2), &cache).unwrap();
+        let sharded = tiny_spec(3).with_shard(0, 2).expect("valid shard");
+        let other = pool.run(&sharded, &cache).unwrap();
         assert_eq!(other.units.len(), 2);
+        assert_eq!(
+            pool.engine().stats().units_computed,
+            4,
+            "nothing recomputed"
+        );
         drop(pool); // joins cleanly
     }
 
@@ -518,11 +367,25 @@ mod tests {
     }
 
     #[test]
+    fn a_degenerate_shard_patched_into_the_spec_is_a_typed_error() {
+        // `with_shard` rejects this at build time; patching the field
+        // directly must surface the same typed error, not a panic.
+        let mut spec = tiny_spec(1);
+        spec.shard = Some((9, 2));
+        match run_campaign(&spec, &ResultCache::new()) {
+            Err(CampaignError::Spec(error)) => {
+                assert!(error.to_string().contains("out of range"), "{error}")
+            }
+            other => panic!("expected a spec error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn sharded_specs_run_their_subset_only() {
         let whole = run_campaign(&tiny_spec(1), &ResultCache::new()).unwrap();
         let mut union: Vec<String> = Vec::new();
         for index in 0..2 {
-            let spec = tiny_spec(1).with_shard(index, 2);
+            let spec = tiny_spec(1).with_shard(index, 2).expect("valid shard");
             let shard = run_campaign(&spec, &ResultCache::new()).unwrap();
             assert_eq!(shard.units.len(), 2, "4 units split 2/2");
             union.extend(shard.units.iter().map(|u| u.key.to_string()));

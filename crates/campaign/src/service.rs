@@ -1,21 +1,20 @@
-//! Campaign service mode: long-running daemon serving specs over a
-//! Unix-domain socket, answering from a warm [`ResultCache`].
+//! Campaign service mode: a multiplexed daemon serving specs over a
+//! Unix-domain socket, all connections feeding one shared
+//! [`ExecutionEngine`] and one warm [`ResultCache`].
 //!
-//! The ROADMAP's north star is a spec-in/`MetricSet`-out *service*, not a
-//! one-shot CLI. This module is that service:
+//! The ROADMAP's north star is a spec-in/`MetricSet`-out *service*, not
+//! a one-shot CLI. This module is that service:
 //!
 //! ```text
-//!  client                         daemon (CampaignService)
-//!    │  {"id":1,"method":"run","body":<CampaignSpec JSON>}\n
-//!    ├──────────────────────────────►│
-//!    │                               │  CampaignSpec::from_json_value
-//!    │                               │  WorkerPool::run(spec, cache)   ── persistent
-//!    │                               │        │                           threads,
-//!    │                               │        ▼                           warm cache
-//!    │   {"id":1,"kind":"unit",...}\n   (one line per unit: sets JSON
-//!    │◄──────────────────────────────┤   with full provenance)
-//!    │   {"id":1,"kind":"done",...}\n   (fingerprint, computed count,
-//!    │◄──────────────────────────────┤   cache statistics)
+//!  client A ──run──►┐                          ┌─► worker threads
+//!  client B ──run──►├─ one thread per          │   (ExecutionEngine,
+//!  client C ──stats►┤  connection, all         │    warm PlatformPools)
+//!                   │  submitting units to ────┤
+//!                   │  the SHARED engine       └─► shared in-flight table:
+//!                   │                              overlapping specs from
+//!                   │  unit responses stream       different clients
+//!                   ◄─ back the moment each        coalesce onto ONE
+//!                      unit completes              computation
 //! ```
 //!
 //! Protocol: newline-delimited JSON envelopes
@@ -23,24 +22,35 @@
 //!
 //! | method | body | response stream |
 //! |---|---|---|
-//! | `run` | [`CampaignSpec`] JSON | `unit` × N, then `done` |
-//! | `stats` | — | `stats` (cache + service counters) |
+//! | `run` | [`CampaignSpec`] JSON | `unit` × N (as they finish), then `done` |
+//! | `stats` | — | `stats` (cache + engine + service counters) |
 //! | `ping` | — | `pong` |
-//! | `shutdown` | — | `bye`, then the daemon exits its accept loop |
+//! | `shutdown` | — | `bye`, then the daemon drains connections and exits |
+//!
+//! Connections are handled **concurrently** — one thread per accepted
+//! connection, every request entering the shared engine — and `unit`
+//! responses for a `run` are written the moment the engine delivers
+//! them, not after the whole campaign: a client watching a long run
+//! sees results incrementally (each `unit` body carries its plan
+//! `index`; [`ServiceClient`] reassembles plan order). Because all
+//! connections share one engine and one cache, two clients submitting
+//! overlapping specs compute each shared unit exactly once: the second
+//! subscription *coalesces* onto the in-flight computation, visible in
+//! the `stats` counters (`coalesced_joins`) and per-run in the `done`
+//! body (`coalesced_units`).
 //!
 //! Any failure is an in-band `error` response carrying the request id
 //! (id 0 if the request line itself would not parse); the connection
-//! stays up. The daemon handles connections sequentially and requests
-//! within a connection in order — campaign units, not sockets, are the
-//! concurrency that matters, and they fan out over the persistent
-//! [`WorkerPool`].
+//! stays up. A `run` that fails mid-campaign may have streamed some
+//! `unit` responses already — the terminal line is then an `error`
+//! instead of `done`.
 //!
-//! Because every request runs against one shared [`ResultCache`] (warm-
-//! started from disk when [`ServiceConfig::cache_path`] is set, saved
-//! back on shutdown), a repeat of any spec the daemon has seen — in this
-//! process or a previous one — is served without computing anything:
-//! `tests/service_mode.rs` proves a second identical request reports
-//! zero computed units and an identical fingerprint.
+//! The shared cache warm-starts from disk when
+//! [`ServiceConfig::cache_path`] is set (a file stamped with a stale
+//! model digest is invalidated, not an error) and is saved back on
+//! shutdown, so a repeat of any spec the daemon has seen — in this
+//! process or a previous one — computes nothing: `tests/service_mode.rs`
+//! proves it.
 //!
 //! ```no_run
 //! use oranges_campaign::prelude::*;
@@ -59,18 +69,22 @@
 //! ```
 
 use crate::cache::{CachePersistError, CacheStats, ResultCache};
+use crate::engine::{ExecutionEngine, UnitSource};
 use crate::plan::UnitKey;
 use crate::report::{CampaignReport, UnitReport};
-use crate::scheduler::{CampaignError, WorkerPool};
+use crate::scheduler::CampaignError;
 use crate::spec::{CampaignSpec, SpecParseError};
 use oranges::experiments::ExperimentOutput;
 use oranges_harness::envelope::{EnvelopeError, Request, Response};
 use oranges_harness::json::{self, JsonValue};
+use std::collections::HashMap;
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Failure anywhere in the service stack (daemon or client side).
 #[derive(Debug, Clone, PartialEq)]
@@ -141,7 +155,7 @@ pub struct ServiceConfig {
     /// Where to bind the `AF_UNIX` socket. A stale file at this path is
     /// removed at bind time (the daemon owns the path).
     pub socket_path: PathBuf,
-    /// Persistent worker threads in the shared pool.
+    /// Persistent worker threads in the shared engine.
     pub workers: usize,
     /// Warm-start the cache from this file when present, and save the
     /// (possibly grown) cache back to it on shutdown.
@@ -158,7 +172,7 @@ impl ServiceConfig {
         }
     }
 
-    /// Set the worker-pool size.
+    /// Set the engine worker count.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
         self
@@ -171,35 +185,96 @@ impl ServiceConfig {
     }
 }
 
-/// Lifetime counters a service reports on shutdown (and in `stats`
-/// responses).
+/// Cumulative service counters, reported by `stats` responses and
+/// returned by [`CampaignService::serve`] on shutdown.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServiceSummary {
-    /// Connections accepted.
+    /// Connections accepted over the daemon's lifetime.
     pub connections: u64,
+    /// Connections currently open (0 in the final summary).
+    pub active_connections: u64,
     /// Requests dispatched (all methods).
     pub requests: u64,
-    /// `run` requests served.
+    /// `run` requests completed successfully.
     pub runs: u64,
     /// `unit` responses streamed.
     pub units_streamed: u64,
+    /// Units the shared engine actually computed.
+    pub units_computed: u64,
+    /// Units served from the cache at submit time.
+    pub unit_cache_hits: u64,
+    /// Units that coalesced onto another request's in-flight
+    /// computation — the cross-request dedupe proof.
+    pub coalesced_joins: u64,
+}
+
+/// Mutable daemon state shared by the accept loop and every connection
+/// thread.
+struct ServiceShared {
+    engine: ExecutionEngine,
+    cache: ResultCache,
+    config: ServiceConfig,
+    shutdown: AtomicBool,
+    /// Read-half handles of every live connection, keyed by a per-
+    /// connection id. On shutdown the accept loop half-closes these so
+    /// a thread parked in `read_line` on an idle-but-open client wakes
+    /// with EOF — without this, draining would block forever on the
+    /// first client that connects and then goes quiet. (Only the read
+    /// half closes: a connection mid-`run` keeps its write half and
+    /// finishes streaming before it exits.)
+    live: Mutex<HashMap<u64, UnixStream>>,
+    next_connection: AtomicU64,
+    connections: AtomicU64,
+    active_connections: AtomicU64,
+    requests: AtomicU64,
+    runs: AtomicU64,
+    units_streamed: AtomicU64,
+}
+
+impl ServiceShared {
+    fn summary(&self) -> ServiceSummary {
+        let engine = self.engine.stats();
+        ServiceSummary {
+            connections: self.connections.load(Ordering::Relaxed),
+            active_connections: self.active_connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            runs: self.runs.load(Ordering::Relaxed),
+            units_streamed: self.units_streamed.load(Ordering::Relaxed),
+            units_computed: engine.units_computed,
+            unit_cache_hits: engine.cache_hits,
+            coalesced_joins: engine.coalesced_joins,
+        }
+    }
 }
 
 /// The long-running campaign daemon: one socket, one warm cache, one
-/// persistent worker pool.
+/// shared execution engine, one thread per live connection.
 pub struct CampaignService {
     listener: UnixListener,
-    cache: Arc<ResultCache>,
-    pool: WorkerPool,
-    config: ServiceConfig,
+    shared: Arc<ServiceShared>,
 }
 
 impl CampaignService {
-    /// Bind the socket and warm-start the cache. The service is not
-    /// serving yet — call [`serve`](CampaignService::serve).
+    /// Bind the socket and warm-start the cache (a cache file stamped
+    /// with a stale model digest is invalidated — logged, not fatal).
+    /// The service is not serving yet — call
+    /// [`serve`](CampaignService::serve).
     pub fn bind(config: ServiceConfig) -> Result<Self, ServiceError> {
         let cache = match &config.cache_path {
-            Some(path) if path.exists() => ResultCache::load(path)?,
+            Some(path) if path.exists() => {
+                let load = ResultCache::load_checked(path)?;
+                if load.invalidated > 0 {
+                    eprintln!(
+                        "campaign service: cache {} invalidated ({} stale units, \
+                         model digest {} != {})",
+                        path.display(),
+                        load.invalidated,
+                        load.file_digest,
+                        load.cache.model_digest(),
+                    );
+                }
+                load.cache
+            }
             _ => ResultCache::new(),
         };
         if config.socket_path.exists() {
@@ -208,176 +283,260 @@ impl CampaignService {
         }
         let listener = UnixListener::bind(&config.socket_path)
             .map_err(|e| io_err(&format!("binding {}", config.socket_path.display()), e))?;
+        let engine = ExecutionEngine::new(config.workers);
         Ok(CampaignService {
             listener,
-            cache: Arc::new(cache),
-            pool: WorkerPool::new(config.workers),
-            config,
+            shared: Arc::new(ServiceShared {
+                engine,
+                cache,
+                config,
+                shutdown: AtomicBool::new(false),
+                live: Mutex::new(HashMap::new()),
+                next_connection: AtomicU64::new(0),
+                connections: AtomicU64::new(0),
+                active_connections: AtomicU64::new(0),
+                requests: AtomicU64::new(0),
+                runs: AtomicU64::new(0),
+                units_streamed: AtomicU64::new(0),
+            }),
         })
     }
 
     /// The shared warm cache (e.g. to pre-seed it before serving).
-    pub fn cache(&self) -> &Arc<ResultCache> {
-        &self.cache
+    pub fn cache(&self) -> &ResultCache {
+        &self.shared.cache
     }
 
     /// The bound socket path.
     pub fn socket_path(&self) -> &Path {
-        &self.config.socket_path
+        &self.shared.config.socket_path
     }
 
-    /// Accept and serve connections until a `shutdown` request arrives,
-    /// then persist the cache (when configured), remove the socket file,
-    /// and return the lifetime counters. The cache is persisted even if
-    /// the accept loop has to give up, so computed results are never
-    /// lost to a socket-level failure.
+    /// Accept connections — each served concurrently on its own thread,
+    /// all feeding the shared engine — until a `shutdown` request
+    /// arrives, then drain the live connections, persist the cache
+    /// (when configured), remove the socket file, and return the
+    /// lifetime counters. The cache is persisted even if the accept
+    /// loop has to give up, so computed results are never lost to a
+    /// socket-level failure.
     pub fn serve(self) -> Result<ServiceSummary, ServiceError> {
-        let mut summary = ServiceSummary::default();
         // Transient accept failures (EMFILE under fd pressure, say) are
         // retried; only a persistent streak aborts the daemon.
         const MAX_CONSECUTIVE_ACCEPT_FAILURES: u32 = 64;
         let mut accept_failures = 0u32;
-        'accept: for stream in self.listener.incoming() {
-            let stream = match stream {
-                Ok(stream) => {
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut give_up: Option<ServiceError> = None;
+        // The accept call blocks; the `shutdown` handler wakes it by
+        // dialing the socket itself after setting the flag, so an idle
+        // daemon sleeps instead of polling.
+        while !self.shared.shutdown.load(Ordering::Relaxed) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
                     accept_failures = 0;
-                    stream
+                    if self.shared.shutdown.load(Ordering::Relaxed) {
+                        break; // the handler's wake-up dial, not a client
+                    }
+                    // Register the read half for the shutdown drain
+                    // *before* serving: an unregistered idle connection
+                    // could block the drain forever, so if the clone
+                    // fails (fd exhaustion) the connection is refused
+                    // rather than served untracked.
+                    let connection_id = self.shared.next_connection.fetch_add(1, Ordering::Relaxed);
+                    match stream.try_clone() {
+                        Ok(clone) => {
+                            self.shared
+                                .live
+                                .lock()
+                                .expect("live connections")
+                                .insert(connection_id, clone);
+                        }
+                        Err(error) => {
+                            eprintln!(
+                                "campaign service: refusing connection \
+                                 (cannot register for drain): {error}"
+                            );
+                            continue;
+                        }
+                    }
+                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .active_connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    let shared = Arc::clone(&self.shared);
+                    handles.push(std::thread::spawn(move || {
+                        if let Err(error) = handle_connection(&shared, stream) {
+                            // One connection's I/O failure (a client
+                            // vanishing mid-response, say) must never
+                            // take the daemon — and its warm cache —
+                            // down with it.
+                            eprintln!("campaign service: connection error: {error}");
+                        }
+                        shared
+                            .live
+                            .lock()
+                            .expect("live connections")
+                            .remove(&connection_id);
+                        shared.active_connections.fetch_sub(1, Ordering::Relaxed);
+                    }));
                 }
                 Err(error) => {
                     accept_failures += 1;
                     eprintln!("campaign service: accept error: {error}");
                     if accept_failures >= MAX_CONSECUTIVE_ACCEPT_FAILURES {
-                        self.persist_and_cleanup()?;
-                        return Err(io_err("accepting connection (giving up)", error));
+                        give_up = Some(io_err("accepting connection (giving up)", error));
+                        break;
                     }
-                    std::thread::sleep(std::time::Duration::from_millis(20));
-                    continue;
-                }
-            };
-            summary.connections += 1;
-            match self.handle_connection(stream, &mut summary) {
-                Ok(true) => break 'accept,
-                Ok(false) => {}
-                Err(error) => {
-                    // One connection's I/O failure (a client vanishing
-                    // mid-response, say) must never take the daemon —
-                    // and its warm cache — down with it.
-                    eprintln!("campaign service: connection error: {error}");
+                    std::thread::sleep(Duration::from_millis(20));
                 }
             }
+            // Reap finished connection threads as we go.
+            handles.retain(|handle| !handle.is_finished());
+        }
+        // Drain. Half-close every live connection's read side first: a
+        // thread parked in `read_line` on an idle client wakes with EOF
+        // and exits, while a thread mid-`run` keeps its write half and
+        // finishes streaming — so the join below is bounded by actual
+        // work, never by a client that connected and went quiet.
+        for (_, stream) in self.shared.live.lock().expect("live connections").drain() {
+            stream.shutdown(std::net::Shutdown::Read).ok();
+        }
+        for handle in handles {
+            let _ = handle.join();
         }
         self.persist_and_cleanup()?;
-        Ok(summary)
+        match give_up {
+            Some(error) => Err(error),
+            None => Ok(self.shared.summary()),
+        }
     }
 
     /// Save the warm cache (when configured) and remove the socket file.
     fn persist_and_cleanup(&self) -> Result<(), ServiceError> {
-        if let Some(path) = &self.config.cache_path {
-            self.cache.save(path)?;
+        if let Some(path) = &self.shared.config.cache_path {
+            self.shared.cache.save(path)?;
         }
-        std::fs::remove_file(&self.config.socket_path).ok();
+        std::fs::remove_file(&self.shared.config.socket_path).ok();
         Ok(())
     }
+}
 
-    /// Serve one connection to completion. Returns `true` when the peer
-    /// requested shutdown.
-    fn handle_connection(
-        &self,
-        stream: UnixStream,
-        summary: &mut ServiceSummary,
-    ) -> Result<bool, ServiceError> {
-        let mut writer = stream
-            .try_clone()
-            .map_err(|e| io_err("cloning connection", e))?;
-        let mut reader = BufReader::new(stream);
-        let mut line = String::new();
-        loop {
-            line.clear();
-            let read = reader
-                .read_line(&mut line)
-                .map_err(|e| io_err("reading request", e))?;
-            if read == 0 {
-                return Ok(false); // peer disconnected
-            }
-            if line.trim().is_empty() {
+/// Serve one connection to completion on its own thread.
+fn handle_connection(shared: &Arc<ServiceShared>, stream: UnixStream) -> Result<(), ServiceError> {
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| io_err("cloning connection", e))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let read = reader
+            .read_line(&mut line)
+            .map_err(|e| io_err("reading request", e))?;
+        if read == 0 {
+            return Ok(()); // peer disconnected
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Request::from_line(&line) {
+            Ok(request) => request,
+            Err(error) => {
+                // Id 0 is reserved for lines we could not correlate.
+                write_response(&mut writer, &Response::failure(0, error.to_string()))?;
                 continue;
             }
-            let request = match Request::from_line(&line) {
-                Ok(request) => request,
-                Err(error) => {
-                    // Id 0 is reserved for lines we could not correlate.
-                    write_response(&mut writer, &Response::failure(0, error.to_string()))?;
-                    continue;
-                }
-            };
-            summary.requests += 1;
-            match request.method.as_str() {
-                "ping" => write_response(&mut writer, &Response::ok(request.id, "pong"))?,
-                "stats" => {
-                    let body = stats_body(&self.cache.stats(), summary);
-                    write_response(
-                        &mut writer,
-                        &Response::ok(request.id, "stats").with_body(body),
-                    )?;
-                }
-                "run" => self.handle_run(&request, &mut writer, summary)?,
-                "shutdown" => {
-                    write_response(&mut writer, &Response::ok(request.id, "bye"))?;
-                    return Ok(true);
-                }
-                other => write_response(
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        match request.method.as_str() {
+            "ping" => write_response(&mut writer, &Response::ok(request.id, "pong"))?,
+            "stats" => {
+                let body = stats_body(&shared.cache.stats(), &shared.summary());
+                write_response(
                     &mut writer,
-                    &Response::failure(request.id, format!("unknown method '{other}'")),
-                )?,
+                    &Response::ok(request.id, "stats").with_body(body),
+                )?;
             }
+            "run" => handle_run(shared, &request, &mut writer)?,
+            "shutdown" => {
+                write_response(&mut writer, &Response::ok(request.id, "bye"))?;
+                shared.shutdown.store(true, Ordering::Relaxed);
+                // The accept loop is parked in a blocking accept; dial
+                // the socket so it wakes, sees the flag, and drains.
+                UnixStream::connect(&shared.config.socket_path).ok();
+                return Ok(());
+            }
+            other => write_response(
+                &mut writer,
+                &Response::failure(request.id, format!("unknown method '{other}'")),
+            )?,
         }
     }
+}
 
-    /// Serve one `run` request: parse the spec, run it on the shared
-    /// pool over the warm cache, stream one `unit` response per unit and
-    /// a final `done`. Spec and campaign failures answer in-band.
-    fn handle_run(
-        &self,
-        request: &Request,
-        writer: &mut UnixStream,
-        summary: &mut ServiceSummary,
-    ) -> Result<(), ServiceError> {
-        let spec = match &request.body {
-            Some(body) => match CampaignSpec::from_json_value(body) {
-                Ok(spec) => spec,
-                Err(error) => {
-                    return write_response(
-                        writer,
-                        &Response::failure(request.id, error.to_string()),
-                    )
-                }
-            },
-            None => {
-                return write_response(
-                    writer,
-                    &Response::failure(request.id, "run request has no spec body"),
-                )
-            }
-        };
-        let report = match self.pool.run(&spec, &self.cache) {
-            Ok(report) => report,
+/// Serve one `run` request: parse the spec, submit its plan to the
+/// shared engine, and stream one `unit` response *the moment each unit
+/// completes* — a concurrent client's overlapping units coalesce onto
+/// the same computations. A final `done` (or, after a unit failure, an
+/// in-band `error`) terminates the stream. Spec failures answer in-band
+/// without touching the engine.
+fn handle_run(
+    shared: &Arc<ServiceShared>,
+    request: &Request,
+    writer: &mut UnixStream,
+) -> Result<(), ServiceError> {
+    let spec = match &request.body {
+        Some(body) => match CampaignSpec::from_json_value(body) {
+            Ok(spec) => spec,
             Err(error) => {
                 return write_response(writer, &Response::failure(request.id, error.to_string()))
             }
-        };
-        summary.runs += 1;
-        for unit in &report.units {
-            write_response(
+        },
+        None => {
+            return write_response(
                 writer,
-                &Response::ok(request.id, "unit").with_body(unit_body(unit)),
-            )?;
-            summary.units_streamed += 1;
+                &Response::failure(request.id, "run request has no spec body"),
+            )
         }
+    };
+    let plan = match crate::scheduler::expand_plan(&spec) {
+        Ok(plan) => plan,
+        Err(error) => {
+            return write_response(writer, &Response::failure(request.id, error.to_string()))
+        }
+    };
+
+    let started = Instant::now();
+    let subscription = shared.engine.submit(&plan.units, &shared.cache);
+    // The one assembly routine the CLI adapters also use, with a
+    // streaming observer: every unit response is written the moment the
+    // engine delivers it. The outer error is ours (dead client socket —
+    // propagate, the connection is gone); the inner error is the
+    // campaign's (answer in-band, the connection stays up).
+    let units = crate::scheduler::assemble_streamed(&plan, &subscription, |unit| {
         write_response(
             writer,
-            &Response::ok(request.id, "done").with_body(done_body(&report)),
-        )
-    }
+            &Response::ok(request.id, "unit").with_body(unit_body(unit)),
+        )?;
+        shared.units_streamed.fetch_add(1, Ordering::Relaxed);
+        Ok::<(), ServiceError>(())
+    })?;
+    let units = match units {
+        Ok(units) => units,
+        Err(error) => {
+            return write_response(writer, &Response::failure(request.id, error.to_string()))
+        }
+    };
+    let report = CampaignReport::new(
+        units,
+        shared.engine.workers().clamp(1, plan.len().max(1)),
+        started.elapsed(),
+        shared.cache.stats(),
+    );
+    shared.runs.fetch_add(1, Ordering::Relaxed);
+    write_response(
+        writer,
+        &Response::ok(request.id, "done").with_body(done_body(&report)),
+    )
 }
 
 fn write_response(writer: &mut UnixStream, response: &Response) -> Result<(), ServiceError> {
@@ -400,7 +559,11 @@ fn unit_body(unit: &UnitReport) -> JsonValue {
             "params".to_string(),
             JsonValue::String(unit.key.params.clone()),
         ),
-        ("from_cache".to_string(), JsonValue::Bool(unit.from_cache)),
+        (
+            "source".to_string(),
+            JsonValue::String(unit.source.as_str().to_string()),
+        ),
+        ("from_cache".to_string(), JsonValue::Bool(unit.from_cache())),
     ];
     if let Some(wall) = unit.output.wall_time_s() {
         fields.push(("wall_time_s".to_string(), JsonValue::number(wall)));
@@ -423,6 +586,10 @@ fn done_body(report: &CampaignReport) -> JsonValue {
         (
             "computed_units".to_string(),
             JsonValue::integer(report.computed_units() as u64),
+        ),
+        (
+            "coalesced_units".to_string(),
+            JsonValue::integer(report.coalesced_units() as u64),
         ),
         (
             "fingerprint".to_string(),
@@ -454,11 +621,27 @@ fn stats_body(stats: &CacheStats, summary: &ServiceSummary) -> JsonValue {
             "connections".to_string(),
             JsonValue::integer(summary.connections),
         ),
+        (
+            "active_connections".to_string(),
+            JsonValue::integer(summary.active_connections),
+        ),
         ("requests".to_string(), JsonValue::integer(summary.requests)),
         ("runs".to_string(), JsonValue::integer(summary.runs)),
         (
             "units_streamed".to_string(),
             JsonValue::integer(summary.units_streamed),
+        ),
+        (
+            "units_computed".to_string(),
+            JsonValue::integer(summary.units_computed),
+        ),
+        (
+            "unit_cache_hits".to_string(),
+            JsonValue::integer(summary.unit_cache_hits),
+        ),
+        (
+            "coalesced_joins".to_string(),
+            JsonValue::integer(summary.coalesced_joins),
         ),
     ])
 }
@@ -485,19 +668,33 @@ pub struct ServedUnit {
     pub index: usize,
     /// Content key.
     pub key: UnitKey,
-    /// Whether the daemon answered from its warm cache.
-    pub from_cache: bool,
+    /// How the daemon's engine satisfied the unit.
+    pub source: UnitSource,
     /// The rebuilt output — value-identical to a locally computed one.
     pub output: ExperimentOutput,
+}
+
+impl ServedUnit {
+    /// Whether the daemon answered without computing (cache hit or
+    /// coalesced join) — derived from [`source`](ServedUnit::source), so
+    /// the two can never disagree (the wire carries both; the parser
+    /// rejects a contradictory pair).
+    pub fn from_cache(&self) -> bool {
+        self.source.from_cache()
+    }
 }
 
 /// What one `run` request returned.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
-    /// Served units, in plan order.
+    /// Served units, in plan order (the daemon streams them in
+    /// completion order; the client reassembles by index).
     pub units: Vec<ServedUnit>,
     /// How many units the daemon had to compute (0 = fully warm).
     pub computed_units: usize,
+    /// How many units coalesced onto another request's in-flight
+    /// computation.
+    pub coalesced_units: usize,
     /// The daemon-side [`CampaignReport::fingerprint`].
     pub fingerprint: String,
     /// Daemon cache statistics after the run.
@@ -509,7 +706,7 @@ pub struct RunOutcome {
 pub struct ServiceStats {
     /// Cache statistics.
     pub cache: CacheStats,
-    /// Lifetime counters.
+    /// Cumulative service + engine counters.
     pub summary: ServiceSummary,
 }
 
@@ -572,12 +769,26 @@ impl ServiceClient {
         Ok(response)
     }
 
-    /// Submit a spec and collect the full streamed answer.
+    /// Submit a spec and collect the full streamed answer. Units arrive
+    /// in completion order and are reassembled into plan order; pass an
+    /// observer to [`run_streamed`](ServiceClient::run_streamed) to see
+    /// them as they land.
     pub fn run(&mut self, spec: &CampaignSpec) -> Result<RunOutcome, ServiceError> {
+        self.run_streamed(spec, |_| {})
+    }
+
+    /// Submit a spec and invoke `on_unit` for every `unit` response as
+    /// it is read off the socket — i.e. in the order the daemon's
+    /// engine completed them, long before the campaign is done.
+    pub fn run_streamed(
+        &mut self,
+        spec: &CampaignSpec,
+        mut on_unit: impl FnMut(&ServedUnit),
+    ) -> Result<RunOutcome, ServiceError> {
         let body = json::parse(&spec.to_json())
             .map_err(|e| ServiceError::Protocol(format!("spec JSON did not re-parse: {e}")))?;
         let id = self.send("run", Some(body))?;
-        let mut units = Vec::new();
+        let mut units: Vec<ServedUnit> = Vec::new();
         loop {
             let response = self.read_response(id)?;
             let body = response
@@ -585,22 +796,27 @@ impl ServiceClient {
                 .as_ref()
                 .ok_or_else(|| ServiceError::Protocol(format!("{} has no body", response.kind)))?;
             match response.kind.as_str() {
-                "unit" => units.push(parse_served_unit(body)?),
+                "unit" => {
+                    let unit = parse_served_unit(body)?;
+                    on_unit(&unit);
+                    units.push(unit);
+                }
                 "done" => {
                     let str_field = |name: &str| {
                         body.get(name).and_then(JsonValue::as_str).ok_or_else(|| {
                             ServiceError::Protocol(format!("done body has no '{name}'"))
                         })
                     };
-                    let computed = body
-                        .get("computed_units")
-                        .and_then(JsonValue::as_u64)
-                        .ok_or_else(|| {
-                            ServiceError::Protocol("done body has no 'computed_units'".into())
-                        })?;
+                    let int_field = |name: &str| {
+                        body.get(name).and_then(JsonValue::as_u64).ok_or_else(|| {
+                            ServiceError::Protocol(format!("done body has no '{name}'"))
+                        })
+                    };
                     let cache = parse_cache_body(body.get("cache").unwrap_or(&JsonValue::Null))?;
+                    units.sort_by_key(|unit| unit.index);
                     return Ok(RunOutcome {
-                        computed_units: computed as usize,
+                        computed_units: int_field("computed_units")? as usize,
+                        coalesced_units: int_field("coalesced_units")? as usize,
                         fingerprint: str_field("fingerprint")?.to_string(),
                         cache,
                         units,
@@ -644,9 +860,13 @@ impl ServiceClient {
             cache: parse_cache_body(body.get("cache").unwrap_or(&JsonValue::Null))?,
             summary: ServiceSummary {
                 connections: counter("connections")?,
+                active_connections: counter("active_connections")?,
                 requests: counter("requests")?,
                 runs: counter("runs")?,
                 units_streamed: counter("units_streamed")?,
+                units_computed: counter("units_computed")?,
+                unit_cache_hits: counter("unit_cache_hits")?,
+                coalesced_joins: counter("coalesced_joins")?,
             },
         })
     }
@@ -682,6 +902,21 @@ fn parse_served_unit(body: &JsonValue) -> Result<ServedUnit, ServiceError> {
     };
     let output = ExperimentOutput::from_json_value(body)
         .map_err(|e| ServiceError::Protocol(format!("unit body did not rebuild: {e}")))?;
+    let source = UnitSource::parse(str_field("source")?)
+        .ok_or_else(|| ServiceError::Protocol("unit body has an unknown 'source'".into()))?;
+    // The wire carries `from_cache` alongside `source` for raw (non-Rust)
+    // clients; the typed client derives it from `source`, so the pair
+    // must agree — a contradiction means a daemon bug, not a preference.
+    let from_cache = body
+        .get("from_cache")
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| ServiceError::Protocol("unit body has no 'from_cache'".into()))?;
+    if from_cache != source.from_cache() {
+        return Err(ServiceError::Protocol(format!(
+            "unit body contradicts itself: source '{}' with from_cache {from_cache}",
+            source.as_str()
+        )));
+    }
     Ok(ServedUnit {
         index: body
             .get("index")
@@ -692,10 +927,7 @@ fn parse_served_unit(body: &JsonValue) -> Result<ServedUnit, ServiceError> {
             id: str_field("id")?.to_string(),
             params: str_field("params")?.to_string(),
         },
-        from_cache: body
-            .get("from_cache")
-            .and_then(JsonValue::as_bool)
-            .ok_or_else(|| ServiceError::Protocol("unit body has no 'from_cache'".into()))?,
+        source,
         output,
     })
 }
@@ -705,7 +937,6 @@ mod tests {
     use super::*;
     use oranges_harness::metric::MetricSet;
     use std::sync::Arc as StdArc;
-    use std::time::Duration;
 
     fn unit_report() -> UnitReport {
         let mut output = ExperimentOutput::from_sets(
@@ -723,7 +954,7 @@ mod tests {
                 id: "fig4".to_string(),
                 params: "chip=M2".to_string(),
             },
-            from_cache: true,
+            source: UnitSource::Coalesced,
             wall: Duration::from_millis(1),
             output: StdArc::new(output),
         }
@@ -736,7 +967,8 @@ mod tests {
         let served = parse_served_unit(&body).expect("parses");
         assert_eq!(served.index, 3);
         assert_eq!(served.key, report.key);
-        assert!(served.from_cache);
+        assert_eq!(served.source, UnitSource::Coalesced);
+        assert!(served.from_cache());
         assert_eq!(
             served.output.json, report.output.json,
             "value identity crosses the wire"
@@ -763,17 +995,33 @@ mod tests {
             body.get("fingerprint").and_then(JsonValue::as_str),
             Some(report.fingerprint().as_str())
         );
+        assert_eq!(
+            body.get("coalesced_units").and_then(JsonValue::as_u64),
+            Some(0)
+        );
         let cache = parse_cache_body(body.get("cache").unwrap()).unwrap();
         assert_eq!(cache, report.cache);
 
         let summary = ServiceSummary {
-            connections: 1,
+            connections: 3,
+            active_connections: 1,
             requests: 4,
             runs: 2,
             units_streamed: 8,
+            units_computed: 6,
+            unit_cache_hits: 1,
+            coalesced_joins: 1,
         };
         let stats = stats_body(&report.cache, &summary);
         assert_eq!(stats.get("runs").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(
+            stats.get("coalesced_joins").and_then(JsonValue::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            stats.get("active_connections").and_then(JsonValue::as_u64),
+            Some(1)
+        );
         assert_eq!(
             parse_cache_body(stats.get("cache").unwrap()).unwrap(),
             report.cache

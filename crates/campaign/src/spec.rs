@@ -229,17 +229,14 @@ impl CampaignSpec {
     }
 
     /// Restrict the campaign to shard `index` of `count` (see
-    /// [`Plan::shard`](crate::plan::Plan::shard)). Panics on an
-    /// out-of-range index so a bad CLI flag fails at spec-build time,
-    /// not mid-campaign.
-    pub fn with_shard(mut self, index: usize, count: usize) -> Self {
-        assert!(count > 0, "shard count must be positive");
-        assert!(
-            index < count,
-            "shard index {index} out of range for {count} shards"
-        );
+    /// [`Plan::shard`](crate::plan::Plan::shard)). A degenerate
+    /// assignment — `count == 0` or `index >= count` — is a typed
+    /// [`SpecParseError`] at spec-build time, so a bad CLI flag or wire
+    /// document fails before any unit is scheduled, never mid-campaign.
+    pub fn with_shard(mut self, index: usize, count: usize) -> Result<Self, SpecParseError> {
+        validate_shard(index, count)?;
         self.shard = Some((index, count));
-        self
+        Ok(self)
     }
 
     /// Serialize to the JSON wire format the campaign service and the
@@ -367,21 +364,40 @@ impl CampaignSpec {
                     .ok_or_else(|| {
                         SpecParseError("'shard' must be an [index, count] pair".into())
                     })?;
-                let (index, count) = (pair[0].as_u64(), pair[1].as_u64());
-                match (index, count) {
-                    (Some(index), Some(count)) if count > 0 && index < count => {
-                        spec.shard = Some((index as usize, count as usize));
-                    }
+                let (index, count) = match (pair[0].as_u64(), pair[1].as_u64()) {
+                    (Some(index), Some(count)) => (index as usize, count as usize),
                     _ => {
                         return Err(SpecParseError(format!(
                             "'shard' pair {shard:?} is not a valid index/count"
                         )))
                     }
-                }
+                };
+                validate_shard(index, count)?;
+                spec.shard = Some((index, count));
             }
         }
         Ok(spec)
     }
+}
+
+/// Check a shard assignment: `count` must be positive and `index` in
+/// range. The one validation every shard entry point shares —
+/// [`CampaignSpec::with_shard`], the JSON spec parser, and
+/// [`Plan::shard`](crate::plan::Plan::shard) — so a degenerate
+/// assignment is a typed error everywhere, never a panic or a silent
+/// empty plan.
+pub(crate) fn validate_shard(index: usize, count: usize) -> Result<(), SpecParseError> {
+    if count == 0 {
+        return Err(SpecParseError(
+            "shard count must be positive (0 shards cannot cover a plan)".to_string(),
+        ));
+    }
+    if index >= count {
+        return Err(SpecParseError(format!(
+            "shard index {index} out of range for {count} shards"
+        )));
+    }
+    Ok(())
 }
 
 /// A spec document that does not describe a runnable campaign.
@@ -444,7 +460,8 @@ mod tests {
         .with_gemm_sizes(vec![256, 1024])
         .with_power_sizes(vec![2048])
         .with_verify_max_flops(0)
-        .with_shard(1, 3);
+        .with_shard(1, 3)
+        .expect("valid shard");
         let json = full.to_json();
         assert_eq!(CampaignSpec::from_json(&json), Ok(full));
         // Byte-deterministic: re-serializing the parsed spec reproduces
@@ -463,9 +480,23 @@ mod tests {
             r#"{"experiments":["fig1"],"chips":["M1"],"gemm_sizes":[1.5]}"#,
             r#"{"experiments":["fig1"],"chips":["M1"],"shard":[3,3]}"#,
             r#"{"experiments":["fig1"],"chips":["M1"],"shard":[0]}"#,
+            r#"{"experiments":["fig1"],"chips":["M1"],"shard":[0,0]}"#,
         ] {
             assert!(CampaignSpec::from_json(bad).is_err(), "accepted {bad}");
         }
+    }
+
+    #[test]
+    fn degenerate_shards_are_typed_errors_at_build_time() {
+        let error = CampaignSpec::smoke()
+            .with_shard(0, 0)
+            .expect_err("0 shards is degenerate");
+        assert!(error.to_string().contains("must be positive"), "{error}");
+        let error = CampaignSpec::smoke()
+            .with_shard(4, 4)
+            .expect_err("index past the end");
+        assert!(error.to_string().contains("out of range"), "{error}");
+        assert!(CampaignSpec::smoke().with_shard(3, 4).is_ok());
     }
 
     #[test]

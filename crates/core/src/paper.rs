@@ -103,6 +103,62 @@ pub const GH200_TF32_TFLOPS: f64 = 338.0;
 /// §5.3: Green500 #1, GFLOPS/W.
 pub const GREEN500_TOP_GFLOPS_PER_W: f64 = 72.0;
 
+/// A stable digest of every model constant in this module — the
+/// calibration anchors all simulated results ultimately derive from.
+///
+/// The campaign result cache stamps this digest into its disk envelope:
+/// a cache file written under one set of constants is *stale* under
+/// another (the same unit key would now produce different numbers), so
+/// the loader invalidates mismatched files instead of letting stale
+/// entries surface later as inexplicable merge conflicts. The digest is
+/// FNV-1a 64 over a canonical rendering of the tables, so it changes
+/// exactly when a constant changes.
+///
+/// The value is a per-build constant, so it is computed once and cached
+/// (result caches are constructed on hot paths).
+pub fn model_constants_digest() -> String {
+    static DIGEST: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    DIGEST.get_or_init(compute_model_constants_digest).clone()
+}
+
+fn compute_model_constants_digest() -> String {
+    let mut text = String::new();
+    let mut push = |label: &str, value: f64| {
+        text.push_str(label);
+        text.push('=');
+        text.push_str(&format!("{value:.6}"));
+        text.push(';');
+    };
+    for (table, label) in [
+        (&FIG1_CPU_BEST_GBS, "fig1_cpu"),
+        (&FIG1_GPU_BEST_GBS, "fig1_gpu"),
+        (&THEORETICAL_GBS, "theoretical"),
+    ] {
+        for (chip, value) in table.iter() {
+            push(&format!("{label}.{}", chip.name()), *value);
+        }
+    }
+    for implementation in ["CPU-Accelerate", "GPU-MPS", "GPU-Naive", "GPU-CUTLASS"] {
+        for chip in ChipGeneration::ALL {
+            if let Some(value) = fig2_peak_tflops(implementation, chip) {
+                push(&format!("fig2.{implementation}.{}", chip.name()), value);
+            }
+            if let Some(value) = fig4_peak_tflops_per_watt(implementation, chip) {
+                push(&format!("fig4.{implementation}.{}", chip.name()), value);
+            }
+        }
+    }
+    push("fig4_mps_floor", FIG4_MPS_FLOOR_GFLOPS_PER_W);
+    push("fig4_cpu_ceiling", FIG4_PLAIN_CPU_CEILING_GFLOPS_PER_W);
+    push("gh200_grace", GH200_GRACE_STREAM_GBS);
+    push("gh200_hopper", GH200_HOPPER_STREAM_GBS);
+    push("gh200_cublas", GH200_CUBLAS_FP32_TFLOPS);
+    push("gh200_tf32", GH200_TF32_TFLOPS);
+    push("green500", GREEN500_TOP_GFLOPS_PER_W);
+
+    oranges_harness::fnv1a_64_hex(&text)
+}
+
 /// Relative error between a measured value and the paper's.
 pub fn relative_error(measured: f64, published: f64) -> f64 {
     if published == 0.0 {
@@ -130,6 +186,14 @@ mod tests {
     #[test]
     fn m4_peak_is_the_headline_2_9_tflops() {
         assert_eq!(fig2_peak_tflops("GPU-MPS", ChipGeneration::M4), Some(2.90));
+    }
+
+    #[test]
+    fn model_digest_is_stable_and_well_formed() {
+        let digest = model_constants_digest();
+        assert_eq!(digest.len(), 16);
+        assert!(digest.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(digest, model_constants_digest(), "deterministic");
     }
 
     #[test]

@@ -71,6 +71,19 @@ pub use metric::{Metric, MetricRow, MetricSet, MetricValue, PowerContext, Proven
 pub use stats::Summary;
 pub use table::TextTable;
 
+/// FNV-1a 64-bit hash of `text`, rendered as 16 lowercase hex
+/// characters — the workspace's one compact-digest format. Both the
+/// campaign report fingerprint and the model-constants digest use this,
+/// so the two token formats can never silently diverge.
+pub fn fnv1a_64_hex(text: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
 /// Convenience prelude.
 pub mod prelude {
     pub use crate::csv::CsvWriter;

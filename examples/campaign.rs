@@ -74,20 +74,34 @@ fn main() {
     let options = parse_options();
     let mut spec = CampaignSpec::paper_grid().with_workers(options.workers);
     if let Some((index, count)) = options.shard {
-        spec = spec.with_shard(index, count);
+        spec = spec
+            .with_shard(index, count)
+            .unwrap_or_else(|error| panic!("--shard: {error}"));
     }
 
     // Warm-start from disk when a cache file is present: a second
-    // process re-running the same spec computes nothing.
+    // process re-running the same spec computes nothing. A file written
+    // under different model constants is invalidated, not trusted.
     let cache = match &options.cache_path {
         Some(path) if path.exists() => {
-            let cache = ResultCache::load(path).expect("readable cache file");
-            println!(
-                "Loaded {} cached units from {}",
-                cache.stats().entries,
-                path.display()
-            );
-            cache
+            let loaded = ResultCache::load_checked(path).expect("readable cache file");
+            if loaded.invalidated > 0 {
+                println!(
+                    "Cache {} invalidated: {} stale units dropped \
+                     (file model digest {}, current {})",
+                    path.display(),
+                    loaded.invalidated,
+                    loaded.file_digest,
+                    loaded.cache.model_digest(),
+                );
+            } else {
+                println!(
+                    "Loaded {} cached units from {}",
+                    loaded.cache.stats().entries,
+                    path.display()
+                );
+            }
+            loaded.cache
         }
         _ => ResultCache::new(),
     };
@@ -110,11 +124,13 @@ fn main() {
             .expect("orchestrated campaign");
         println!("{}", run.report.render_summary());
         println!(
-            "\nOrchestrator: {} processes, merged {} shard entries ({} already known), \
-             assembly computed {} units (0 = shards covered the plan), fingerprint {}",
+            "\nOrchestrator: {} processes, merged {} shard entries ({} already known, \
+             {} stale-invalidated), assembly computed {} units (0 = shards covered the \
+             plan), fingerprint {}",
             run.processes,
             run.merged.added,
             run.merged.identical,
+            run.merged.stale,
             run.report.computed_units(),
             run.report.fingerprint(),
         );

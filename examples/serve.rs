@@ -12,6 +12,11 @@
 //!   --self-check    smoke mode: bind a private socket, submit a spec
 //!                   through a real client, assert a MetricSet comes
 //!                   back and a repeat is fully cached, shut down
+//!   --concurrent-check
+//!                   smoke mode: two simultaneous clients submit
+//!                   overlapping specs; assert each shared unit was
+//!                   computed exactly once (coalesce counter > 0, both
+//!                   fingerprints identical to a local serial run)
 //!
 //! Protocol (newline-delimited JSON over AF_UNIX):
 //!   {"id":1,"method":"run","body":{"experiments":["fig4"],"chips":["M1"]}}
@@ -32,6 +37,7 @@ mod daemon {
         workers: usize,
         cache: Option<PathBuf>,
         self_check: bool,
+        concurrent_check: bool,
     }
 
     fn parse_options() -> Options {
@@ -40,6 +46,7 @@ mod daemon {
             workers: 4,
             cache: None,
             self_check: false,
+            concurrent_check: false,
         };
         let mut args = std::env::args().skip(1);
         while let Some(flag) = args.next() {
@@ -52,6 +59,7 @@ mod daemon {
                 "--workers" => options.workers = value("--workers").parse().expect("--workers N"),
                 "--cache" => options.cache = Some(PathBuf::from(value("--cache"))),
                 "--self-check" => options.self_check = true,
+                "--concurrent-check" => options.concurrent_check = true,
                 other => panic!("unknown option {other}"),
             }
         }
@@ -62,6 +70,10 @@ mod daemon {
         let options = parse_options();
         if options.self_check {
             self_check(options.workers);
+            return;
+        }
+        if options.concurrent_check {
+            concurrent_check(options.workers);
             return;
         }
 
@@ -79,9 +91,98 @@ mod daemon {
         println!("send {{\"id\":1,\"method\":\"shutdown\"}} to stop\n");
         let summary = service.serve().expect("serve");
         println!(
-            "served {} connections / {} requests ({} runs, {} units streamed)",
-            summary.connections, summary.requests, summary.runs, summary.units_streamed
+            "served {} connections / {} requests ({} runs, {} units streamed; \
+             {} computed, {} cache hits, {} coalesced joins)",
+            summary.connections,
+            summary.requests,
+            summary.runs,
+            summary.units_streamed,
+            summary.units_computed,
+            summary.unit_cache_hits,
+            summary.coalesced_joins,
         );
+    }
+
+    /// The CI concurrent-clients smoke: two simultaneous clients submit
+    /// *overlapping* specs to one daemon, and the engine must compute
+    /// each shared unit exactly once. The spec also lists a duplicated
+    /// kind, so at least one coalesced join is guaranteed regardless of
+    /// how the two clients' timing interleaves.
+    fn concurrent_check(workers: usize) {
+        let socket = std::env::temp_dir().join(format!(
+            "oranges-concurrent-check-{}.sock",
+            std::process::id()
+        ));
+        let service =
+            CampaignService::bind(ServiceConfig::new(&socket).with_workers(workers)).expect("bind");
+        let daemon = std::thread::spawn(move || service.serve().expect("serve"));
+
+        // Overlapping specs: both cover Fig3+Fig4 on M2/M3, and each
+        // duplicates one kind (a deterministic within-request coalesce).
+        let spec_a = CampaignSpec::new(
+            vec![
+                ExperimentKind::Fig3,
+                ExperimentKind::Fig4,
+                ExperimentKind::Fig4,
+            ],
+            vec![ChipGeneration::M2, ChipGeneration::M3],
+        )
+        .with_power_sizes(vec![2048, 4096]);
+        let spec_b = CampaignSpec::new(
+            vec![
+                ExperimentKind::Fig4,
+                ExperimentKind::Fig3,
+                ExperimentKind::Fig3,
+            ],
+            vec![ChipGeneration::M2, ChipGeneration::M3],
+        )
+        .with_power_sizes(vec![2048, 4096]);
+
+        let run_client = |spec: CampaignSpec| {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let mut client = ServiceClient::connect(&socket).expect("connect");
+                client.run(&spec).expect("run")
+            })
+        };
+        let (client_a, client_b) = (run_client(spec_a.clone()), run_client(spec_b.clone()));
+        let outcome_a = client_a.join().expect("client A");
+        let outcome_b = client_b.join().expect("client B");
+
+        // Value identity: each streamed report equals a local serial run.
+        let serial_a = run_campaign_serial(&spec_a).expect("serial A");
+        let serial_b = run_campaign_serial(&spec_b).expect("serial B");
+        assert_eq!(outcome_a.fingerprint, serial_a.fingerprint(), "client A");
+        assert_eq!(outcome_b.fingerprint, serial_b.fingerprint(), "client B");
+
+        let mut client = ServiceClient::connect(&socket).expect("connect probe");
+        let stats = client.stats().expect("stats");
+        // Exactly-once: 4 distinct units across both specs (fig3/fig4 ×
+        // M2/M3), no matter how the clients interleaved.
+        assert_eq!(
+            stats.summary.units_computed, 4,
+            "each shared unit computed exactly once"
+        );
+        assert!(
+            stats.summary.coalesced_joins > 0,
+            "overlap must coalesce, not recompute"
+        );
+        assert_eq!(
+            stats.summary.units_computed
+                + stats.summary.unit_cache_hits
+                + stats.summary.coalesced_joins,
+            12,
+            "every submitted unit accounted for"
+        );
+        println!(
+            "concurrent-check: 2 clients x 6 units -> {} computed, {} cache hits, \
+             {} coalesced joins; both fingerprints match serial — OK",
+            stats.summary.units_computed,
+            stats.summary.unit_cache_hits,
+            stats.summary.coalesced_joins,
+        );
+        client.shutdown().expect("shutdown");
+        daemon.join().expect("daemon thread");
     }
 
     /// The CI smoke path: a real daemon on a private socket, a real client,
@@ -126,7 +227,7 @@ mod daemon {
             "repeat is served from the warm cache"
         );
         assert_eq!(second.fingerprint, first.fingerprint, "value-identical");
-        assert!(second.units.iter().all(|u| u.from_cache));
+        assert!(second.units.iter().all(|u| u.from_cache()));
         println!(
             "self-check: repeat served entirely from cache (fingerprint {})",
             second.fingerprint

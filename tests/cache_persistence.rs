@@ -24,7 +24,7 @@ fn second_process_gets_full_cache_hits_from_disk() {
     // Process one: compute everything, persist the cache.
     let first_cache = ResultCache::new();
     let first = run_campaign(&spec, &first_cache).expect("first process campaign");
-    assert!(first.units.iter().all(|u| !u.from_cache));
+    assert!(first.units.iter().all(|u| !u.from_cache()));
     let path = temp_path("full-hits");
     first_cache.save(&path).expect("save cache");
     drop(first_cache);
@@ -36,7 +36,7 @@ fn second_process_gets_full_cache_hits_from_disk() {
     let second = run_campaign(&spec, &second_cache).expect("second process campaign");
 
     assert!(
-        second.units.iter().all(|u| u.from_cache),
+        second.units.iter().all(|u| u.from_cache()),
         "100% cache hits in the second process"
     );
     assert_eq!(second.campaign_hit_rate(), 1.0);
@@ -73,9 +73,12 @@ fn shards_pool_results_through_the_cache_file() {
         } else {
             ResultCache::new()
         };
-        let shard =
-            run_campaign(&base.clone().with_shard(index, 2), &cache).expect("sharded campaign");
-        assert!(shard.units.iter().all(|u| !u.from_cache), "disjoint shards");
+        let sharded = base.clone().with_shard(index, 2).expect("valid shard");
+        let shard = run_campaign(&sharded, &cache).expect("sharded campaign");
+        assert!(
+            shard.units.iter().all(|u| !u.from_cache()),
+            "disjoint shards"
+        );
         cache.save(&path).expect("save pooled cache");
     }
 
@@ -88,6 +91,33 @@ fn shards_pool_results_through_the_cache_file() {
     // And the pooled results equal a from-scratch unsharded run.
     let fresh = run_campaign(&base, &ResultCache::new()).expect("fresh baseline");
     assert_eq!(full.digest(), fresh.digest());
+}
+
+/// A cache file written under different model constants is invalidated
+/// on load — the campaign recomputes instead of serving stale numbers,
+/// and nothing errors.
+#[test]
+fn stale_model_constants_invalidate_the_file_and_recompute() {
+    use oranges_campaign::ResultCache as Cache;
+
+    let spec = CampaignSpec::smoke().with_workers(2);
+    // Model a file produced by an older build: same entries, different
+    // constants digest.
+    let old_build = Cache::with_model_digest("00000000deadbeef");
+    let first = run_campaign(&spec, &old_build).expect("old-build campaign");
+    let path = temp_path("stale-constants");
+    old_build.save(&path).expect("save old-build cache");
+
+    let load = Cache::load_checked(&path).expect("stale file loads (as invalidated)");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(load.invalidated, first.units.len(), "all entries dropped");
+    assert_eq!(load.cache.stats().entries, 0);
+
+    // The campaign over the invalidated cache recomputes everything and
+    // still produces the same (deterministic) results.
+    let second = run_campaign(&spec, &load.cache).expect("recompute campaign");
+    assert_eq!(second.computed_units(), second.units.len());
+    assert_eq!(second.digest(), first.digest());
 }
 
 /// Rendered artifacts (tables, reference comparisons) survive the disk
@@ -109,7 +139,7 @@ fn rendered_artifacts_survive_persistence() {
     std::fs::remove_file(&path).ok();
 
     let second = run_campaign(&spec, &reloaded).expect("campaign over loaded cache");
-    assert!(second.units[0].from_cache);
+    assert!(second.units[0].from_cache());
     assert_eq!(second.units[0].output.rendered.as_ref(), Some(&rendered));
     assert!(rendered.contains("Table 1"));
 }

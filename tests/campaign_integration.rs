@@ -62,7 +62,7 @@ fn full_grid_concurrent_equals_serial_and_rerun_is_all_hits() {
     // (b) Immediate re-run of the same spec: served entirely from cache.
     let rerun = run_campaign(&spec, &cache).expect("cached re-run");
     assert!(
-        rerun.units.iter().all(|u| u.from_cache),
+        rerun.units.iter().all(|u| u.from_cache()),
         "every unit a cache hit"
     );
     assert_eq!(rerun.campaign_hit_rate(), 1.0);
@@ -95,7 +95,7 @@ fn union_of_shards_equals_unsharded_run() {
         let mut union: Vec<MetricRow> = Vec::new();
         let mut total_units = 0;
         for index in 0..count {
-            let shard_spec = base.clone().with_shard(index, count);
+            let shard_spec = base.clone().with_shard(index, count).expect("valid shard");
             let shard = run_campaign(&shard_spec, &ResultCache::new()).expect("sharded campaign");
             total_units += shard.units.len();
             union.extend(shard.rows());
@@ -123,7 +123,7 @@ fn cache_distinguishes_specs() {
         .units
         .iter()
         .filter(|u| u.key.id == "fig3")
-        .all(|u| !u.from_cache));
+        .all(|u| !u.from_cache()));
     assert_ne!(first.digest(), second.digest());
 }
 

@@ -49,7 +49,7 @@ fn four_process_campaign_is_value_identical_to_single_process() {
     assert_eq!(run.report.fingerprint(), single.fingerprint());
     // The shards covered the whole plan, so assembly computed nothing.
     assert_eq!(run.report.computed_units(), 0);
-    assert!(run.report.units.iter().all(|u| u.from_cache));
+    assert!(run.report.units.iter().all(|u| u.from_cache()));
     // Every distinct unit arrived from exactly one shard.
     assert_eq!(run.merged.added, 7);
     assert_eq!(run.merged.identical, 0);
@@ -72,7 +72,8 @@ fn orchestrator_warm_starts_children_from_the_shared_cache() {
         run.merged,
         MergeStats {
             added: 0,
-            identical: warm_entries * 2
+            identical: warm_entries * 2,
+            stale: 0
         }
     );
     assert_eq!(run.report.fingerprint(), first.fingerprint());

@@ -45,13 +45,13 @@ fn second_identical_request_is_served_entirely_from_cache() {
     let first = client.run(&small_spec()).expect("first run");
     assert_eq!(first.units.len(), 4);
     assert_eq!(first.computed_units, 4, "cold start computes everything");
-    assert!(first.units.iter().all(|u| !u.from_cache));
+    assert!(first.units.iter().all(|u| !u.from_cache()));
 
     // The acceptance property: an identical spec re-submitted to the
     // warm daemon computes *zero* units…
     let second = client.run(&small_spec()).expect("second run");
     assert_eq!(second.computed_units, 0, "served entirely from cache");
-    assert!(second.units.iter().all(|u| u.from_cache));
+    assert!(second.units.iter().all(|u| u.from_cache()));
 
     // …and is value-identical: same fingerprint, same canonical JSON,
     // unit by unit.
@@ -186,14 +186,48 @@ fn a_client_vanishing_mid_request_does_not_kill_the_daemon() {
     };
     client.ping().expect("daemon survived the dead connection");
     let outcome = client.run(&small_spec()).expect("daemon still serves");
+    assert_eq!(outcome.units.len(), 4, "full report despite the rude peer");
+
+    // With multiplexed connections this run may race the rude client's
+    // (which the daemon still executes into the warm cache even though
+    // its responses hit a dead socket) — but the engine's exactly-once
+    // guarantee holds regardless of interleaving: 4 distinct units,
+    // each computed once, everything else served by hit or coalesce.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.summary.units_computed, 4, "no duplicate computation");
     assert_eq!(
-        outcome.computed_units, 0,
-        "the rude client's units stayed in the warm cache"
+        stats.summary.units_computed
+            + stats.summary.unit_cache_hits
+            + stats.summary.coalesced_joins,
+        8,
+        "both runs' units fully accounted for"
     );
 
     client.shutdown().expect("shutdown");
     let summary = daemon.join().expect("daemon");
     assert_eq!(summary.connections, 2);
+}
+
+#[test]
+fn shutdown_drains_even_with_an_idle_connection_open() {
+    // Regression: a client that connects and then goes quiet must not
+    // block shutdown — its handler thread is parked in a blocking read,
+    // and the daemon half-closes the read side to wake it.
+    let (socket, daemon) = start_daemon("idle-drain", |c| c);
+
+    let mut idle = ServiceClient::connect(&socket).expect("idle client connects");
+    idle.ping().expect("idle client is live");
+    // `idle` stays open and silent while another client asks to stop.
+
+    let mut closer = ServiceClient::connect(&socket).expect("closer connects");
+    closer.shutdown().expect("shutdown accepted");
+
+    let summary = daemon
+        .join()
+        .expect("daemon returned despite the idle peer");
+    assert_eq!(summary.connections, 2);
+    assert_eq!(summary.active_connections, 0, "idle connection drained");
+    drop(idle);
 }
 
 #[test]
@@ -215,6 +249,154 @@ fn sequential_connections_share_the_warm_cache() {
     let stats = client.stats().expect("stats");
     assert_eq!(stats.summary.connections, 2);
     assert_eq!(stats.cache.entries, 4);
+
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon");
+}
+
+#[test]
+fn stats_reports_cumulative_engine_and_connection_counters() {
+    let (socket, daemon) = start_daemon("counters", |c| c);
+    let mut client = ServiceClient::connect(&socket).expect("connect");
+
+    let first = client.run(&small_spec()).expect("cold run");
+    assert_eq!(first.computed_units, 4);
+    let second = client.run(&small_spec()).expect("warm run");
+    assert_eq!(second.computed_units, 0);
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.summary.runs, 2);
+    assert_eq!(stats.summary.units_streamed, 8);
+    assert_eq!(
+        stats.summary.units_computed, 4,
+        "cold run computed the grid"
+    );
+    assert_eq!(
+        stats.summary.unit_cache_hits, 4,
+        "warm run hit for every unit"
+    );
+    assert_eq!(stats.summary.coalesced_joins, 0, "nothing overlapped");
+    assert_eq!(
+        stats.summary.active_connections, 1,
+        "this connection is the only live one"
+    );
+    assert_eq!(stats.summary.connections, 1);
+    assert_eq!(stats.summary.requests, 3, "run + run + stats");
+
+    client.shutdown().expect("shutdown");
+    let summary = daemon.join().expect("daemon");
+    assert_eq!(summary.units_computed, 4);
+    assert_eq!(summary.unit_cache_hits, 4);
+    assert_eq!(summary.active_connections, 0, "final summary: all drained");
+}
+
+/// The multiplexing acceptance property: two clients submit overlapping
+/// specs *concurrently*; every shared unit is computed exactly once
+/// (the engine counters prove it), and both streamed reports are
+/// digest-identical to local serial runs of their specs.
+#[test]
+fn two_concurrent_clients_compute_shared_units_exactly_once() {
+    let (socket, daemon) = start_daemon("concurrent", |c| c);
+
+    // Overlap: both specs cover (fig4, contention) x (M1, M3); each
+    // also duplicates a kind, so coalescing is exercised even if one
+    // client finishes before the other starts.
+    let spec_a = CampaignSpec::new(
+        vec![
+            ExperimentKind::Fig4,
+            ExperimentKind::Contention,
+            ExperimentKind::Fig4,
+        ],
+        vec![ChipGeneration::M1, ChipGeneration::M3],
+    )
+    .with_power_sizes(vec![2048]);
+    let spec_b = CampaignSpec::new(
+        vec![
+            ExperimentKind::Contention,
+            ExperimentKind::Fig4,
+            ExperimentKind::Contention,
+        ],
+        vec![ChipGeneration::M1, ChipGeneration::M3],
+    )
+    .with_power_sizes(vec![2048]);
+
+    let spawn_client = |spec: CampaignSpec, socket: PathBuf| {
+        std::thread::spawn(move || {
+            let mut client = ServiceClient::connect(&socket).expect("connect");
+            client.run(&spec).expect("run")
+        })
+    };
+    let handle_a = spawn_client(spec_a.clone(), socket.clone());
+    let handle_b = spawn_client(spec_b.clone(), socket.clone());
+    let outcome_a = handle_a.join().expect("client A");
+    let outcome_b = handle_b.join().expect("client B");
+
+    // Each client's streamed report is value-identical to a serial
+    // single-process run of its spec.
+    assert_eq!(
+        outcome_a.fingerprint,
+        run_campaign_serial(&spec_a)
+            .expect("serial A")
+            .fingerprint()
+    );
+    assert_eq!(
+        outcome_b.fingerprint,
+        run_campaign_serial(&spec_b)
+            .expect("serial B")
+            .fingerprint()
+    );
+    // Units come back reassembled in plan order with full provenance.
+    assert_eq!(outcome_a.units.len(), 6);
+    assert!(outcome_a
+        .units
+        .iter()
+        .enumerate()
+        .all(|(i, u)| u.index == i));
+
+    let mut client = ServiceClient::connect(&socket).expect("probe connect");
+    let stats = client.stats().expect("stats");
+    // 4 distinct units across both specs — computed exactly once each,
+    // however the two clients interleaved.
+    assert_eq!(stats.summary.units_computed, 4, "no duplicate computation");
+    // 12 submitted units total: the other 8 were hits or coalesced
+    // joins, and the in-batch duplicates guarantee joins happened.
+    assert_eq!(
+        stats.summary.units_computed
+            + stats.summary.unit_cache_hits
+            + stats.summary.coalesced_joins,
+        12
+    );
+    assert!(stats.summary.coalesced_joins > 0, "overlap coalesced");
+    let coalesced_reported = outcome_a.coalesced_units + outcome_b.coalesced_units;
+    assert_eq!(coalesced_reported as u64, stats.summary.coalesced_joins);
+
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon");
+}
+
+/// Unit responses stream as units complete: the client's observer sees
+/// every unit before the `done` summary is parsed, in the order the
+/// engine finished them.
+#[test]
+fn unit_responses_stream_before_the_run_completes() {
+    let (socket, daemon) = start_daemon("streaming", |c| c);
+    let mut client = ServiceClient::connect(&socket).expect("connect");
+
+    let mut streamed: Vec<String> = Vec::new();
+    let outcome = client
+        .run_streamed(&small_spec(), |unit| {
+            streamed.push(unit.key.to_string());
+            assert!(!unit.output.sets.is_empty(), "full payload streams");
+        })
+        .expect("streamed run");
+    assert_eq!(streamed.len(), 4, "observer saw every unit");
+    assert_eq!(outcome.units.len(), 4);
+    // The final report is plan-ordered regardless of completion order.
+    let mut sorted = streamed.clone();
+    sorted.sort();
+    let mut plan_order: Vec<String> = outcome.units.iter().map(|u| u.key.to_string()).collect();
+    plan_order.sort();
+    assert_eq!(sorted, plan_order);
 
     client.shutdown().expect("shutdown");
     daemon.join().expect("daemon");
