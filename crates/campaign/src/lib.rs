@@ -47,16 +47,22 @@
 //!
 //! - [`service`] — **service mode**: a long-running daemon
 //!   ([`service::CampaignService`]) accepting spec requests over a
-//!   Unix-domain socket (newline-delimited JSON envelopes), one thread
-//!   per connection, all submitting units to one shared engine over the
-//!   warm cache — overlapping requests from different clients coalesce,
-//!   and each client's provenance-stamped `MetricSet` JSON streams back
-//!   the moment its units complete;
+//!   pluggable [`Transport`](oranges_harness::transport::Transport)
+//!   (newline-delimited JSON envelopes over a `unix:` socket or a
+//!   `tcp:` connection — `docs/PROTOCOL.md` is the normative wire
+//!   spec), one thread per connection, all submitting units to one
+//!   shared engine over the warm cache — overlapping requests from
+//!   different clients coalesce, and each client's provenance-stamped
+//!   `MetricSet` JSON streams back the moment its units complete;
 //! - [`orchestrate`] — the **shard orchestrator**
-//!   ([`orchestrate::Orchestrator`]): N worker *processes*, round-robin
-//!   [`Plan::shard`](plan::Plan::shard) assignments, shard caches merged
-//!   under a strict conflict rule (and the model-digest invalidation
-//!   rule) into one unified report.
+//!   ([`orchestrate::Orchestrator`]): N worker *processes* on this
+//!   host, or — fleet mode ([`Orchestrator::fleet`](orchestrate::Orchestrator::fleet))
+//!   — N remote campaign daemons addressed by
+//!   [`Endpoint`](oranges_harness::transport::Endpoint); either way,
+//!   round-robin [`Plan::shard`](plan::Plan::shard) assignments and
+//!   shard results merged under a strict conflict rule (and the
+//!   model-digest staleness rule) into one unified report,
+//!   value-identical to a single-process run.
 //!
 //! ```text
 //!              CampaignSpec ──► Plan ──► ExecutionEngine ──► ResultCache ──► CampaignReport
@@ -155,7 +161,6 @@ pub mod orchestrate;
 pub mod plan;
 pub mod report;
 pub mod scheduler;
-#[cfg(unix)]
 pub mod service;
 pub mod spec;
 
@@ -185,5 +190,6 @@ pub mod prelude {
     pub use crate::spec::{CampaignSpec, ExperimentKind};
     pub use crate::Experiment;
     pub use oranges_harness::metric::{MetricRow, MetricSet, MetricValue};
+    pub use oranges_harness::transport::Endpoint;
     pub use oranges_soc::chip::ChipGeneration;
 }

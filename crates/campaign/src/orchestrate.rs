@@ -1,10 +1,11 @@
-//! Multi-process shard orchestration: spawn N worker *processes*, each
-//! running one [`Plan::shard`](crate::plan::Plan::shard) of the campaign,
-//! then join their caches into one unified report.
+//! Multi-worker shard orchestration: run a campaign as N round-robin
+//! [`Plan::shard`](crate::plan::Plan::shard)s — across worker
+//! *processes* on this host, or across a **fleet** of remote campaign
+//! daemons — then join the shard results into one unified report.
 //!
 //! PR 2 made plans shardable and caches disk-persistent; this module
 //! closes the loop the ROADMAP named next: a cross-process orchestrator
-//! over one shared cache. The parent
+//! over one shared cache. In process mode the parent
 //!
 //! 1. serializes the spec ([`CampaignSpec::to_json`]) and spawns
 //!    `processes` children of a designated worker `program`, handing
@@ -23,11 +24,30 @@
 //! Any binary becomes a worker by calling [`maybe_run_worker`] first
 //! thing in `main` — `examples/campaign.rs` does exactly that, so
 //! `--spawn N` re-invokes the example itself N times.
+//!
+//! **Fleet mode** ([`Orchestrator::fleet`]) replaces step 1–2 with
+//! remote dispatch: shard *i* travels as a `CampaignSpec` `run` request
+//! (the spec's own `shard` field carries the assignment) to the *i*-th
+//! service [`Endpoint`] — `tcp:host:port` daemons on other machines,
+//! `unix:` daemons locally, mixed freely — and the shard's unit
+//! responses stream back through the service subscription machinery
+//! ([`ServiceClient::run_streamed`]). The join step is unchanged in
+//! spirit and code path: each remote shard's units land in a local
+//! [`ResultCache`] and merge under the same rules as a shard *file* —
+//! a daemon answering with a different `model_digest` is **stale**
+//! (its units are dropped, counted in [`MergeStats::stale`], and
+//! recomputed by the assembly pass), while same-version shards must
+//! agree byte-for-byte or the merge fails loudly. A fleet run is
+//! therefore value-identical to a single-process run
+//! (`tests/fleet.rs` proves fingerprint equality against two loopback
+//! TCP daemons).
 
 use crate::cache::{CacheMergeError, CachePersistError, MergeStats, ResultCache};
 use crate::report::CampaignReport;
 use crate::scheduler::{run_campaign, CampaignError};
+use crate::service::{RunOutcome, ServiceClient, ServiceError};
 use crate::spec::{CampaignSpec, SpecParseError};
+use oranges_harness::transport::{AnyTransport, Endpoint};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -68,6 +88,25 @@ pub enum OrchestrateError {
     Campaign(CampaignError),
     /// A worker invocation had missing/malformed arguments.
     Args(String),
+    /// A fleet shard's remote service call failed (connect, protocol,
+    /// or an in-band error from the daemon).
+    Remote {
+        /// Which shard (0-based).
+        shard: usize,
+        /// The endpoint that failed, in display form.
+        endpoint: String,
+        /// The underlying [`ServiceError`], rendered.
+        message: String,
+    },
+    /// A same-version fleet shard disagreed with the shared cache on a
+    /// unit's value identity — a corrupt or dishonest daemon, never an
+    /// honest one (the simulation is deterministic per model version).
+    RemoteConflict {
+        /// The underlying conflict.
+        error: CacheMergeError,
+        /// The endpoint whose shard conflicted, in display form.
+        endpoint: String,
+    },
 }
 
 impl fmt::Display for OrchestrateError {
@@ -94,6 +133,16 @@ impl fmt::Display for OrchestrateError {
             ),
             OrchestrateError::Campaign(e) => write!(f, "orchestrator assembly: {e}"),
             OrchestrateError::Args(message) => write!(f, "worker arguments: {message}"),
+            OrchestrateError::Remote {
+                shard,
+                endpoint,
+                message,
+            } => write!(f, "fleet shard {shard} ({endpoint}) failed: {message}"),
+            OrchestrateError::RemoteConflict { error, endpoint } => write!(
+                f,
+                "fleet merge: {error} (shard served by {endpoint}; \
+                 compare its model constants and cache file against this host's)"
+            ),
         }
     }
 }
@@ -126,7 +175,7 @@ pub struct OrchestratedRun {
     pub report: CampaignReport,
     /// Totals of the shard-cache merges.
     pub merged: MergeStats,
-    /// Worker processes spawned.
+    /// Shard workers used: spawned processes, or fleet endpoints.
     pub processes: usize,
 }
 
@@ -134,11 +183,25 @@ pub struct OrchestratedRun {
 /// threads) never collide.
 static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
 
-/// Spawns shard workers and joins their results.
+/// Where the orchestrator's shard workers live.
+#[derive(Debug, Clone)]
+enum Backend {
+    /// Child processes of `program` on this host, shard results joined
+    /// through per-shard cache files.
+    Processes {
+        program: PathBuf,
+        base_args: Vec<String>,
+    },
+    /// One running campaign daemon per shard, shard results streamed
+    /// back over the service protocol.
+    Fleet { endpoints: Vec<Endpoint> },
+}
+
+/// Dispatches shard workers — local child processes or remote service
+/// endpoints — and joins their results into one report.
 #[derive(Debug, Clone)]
 pub struct Orchestrator {
-    program: PathBuf,
-    base_args: Vec<String>,
+    backend: Backend,
     processes: usize,
     scratch_dir: Option<PathBuf>,
 }
@@ -149,35 +212,70 @@ impl Orchestrator {
     /// own argument parsing.
     pub fn new(program: impl Into<PathBuf>, processes: usize) -> Self {
         Orchestrator {
-            program: program.into(),
-            base_args: Vec::new(),
+            backend: Backend::Processes {
+                program: program.into(),
+                base_args: Vec::new(),
+            },
             processes: processes.max(1),
             scratch_dir: None,
         }
     }
 
-    /// Extra arguments to pass to every worker, before the worker flags.
+    /// An orchestrator dispatching one shard to each of `endpoints` —
+    /// running campaign daemons (`cargo run --example serve -- --listen
+    /// tcp:…`), one per measurement host. Shard *i* of *N* travels as a
+    /// `run` request to endpoint *i*; results stream back over the
+    /// service protocol and merge under the same versioned-cache rules
+    /// as shard files, so the unified report is value-identical to a
+    /// single-process run.
+    ///
+    /// ```no_run
+    /// use oranges_campaign::prelude::*;
+    ///
+    /// let endpoints = vec![
+    ///     "tcp:m1-host.local:7771".parse::<Endpoint>()?,
+    ///     "tcp:m3-host.local:7771".parse::<Endpoint>()?,
+    /// ];
+    /// let cache = ResultCache::new();
+    /// let run = Orchestrator::fleet(endpoints).run(&CampaignSpec::paper_grid(), &cache)?;
+    /// println!("fleet fingerprint: {}", run.report.fingerprint());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn fleet(endpoints: Vec<Endpoint>) -> Self {
+        Orchestrator {
+            processes: endpoints.len(),
+            backend: Backend::Fleet { endpoints },
+            scratch_dir: None,
+        }
+    }
+
+    /// Extra arguments to pass to every worker, before the worker
+    /// flags. Process mode only — fleet daemons take no arguments.
     pub fn with_base_args(mut self, args: Vec<String>) -> Self {
-        self.base_args = args;
+        if let Backend::Processes { base_args, .. } = &mut self.backend {
+            *base_args = args;
+        }
         self
     }
 
-    /// Where to put shard cache files. With the default (a fresh
-    /// directory under the system temp dir) the whole directory is
-    /// removed after the run; a caller-supplied directory is left in
-    /// place — only the shard/warm files the run wrote are removed.
+    /// Where to put shard cache files (process mode only — fleet shards
+    /// never touch disk). With the default (a fresh directory under the
+    /// system temp dir) the whole directory is removed after the run; a
+    /// caller-supplied directory is left in place — only the shard/warm
+    /// files the run wrote are removed.
     pub fn with_scratch_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.scratch_dir = Some(dir.into());
         self
     }
 
-    /// Run `spec` across the worker processes, merging every shard into
-    /// `cache` (so a warm cache skips work in the children too, and the
-    /// caller can persist the union afterwards).
+    /// Run `spec` across the shard workers — child processes or fleet
+    /// endpoints — merging every shard into `cache` (so a warm cache
+    /// skips work in child processes too, and the caller can persist
+    /// the union afterwards).
     ///
     /// `spec` must be unsharded: shard assignment is the orchestrator's
-    /// job, and silently combining a caller shard with process sharding
-    /// would compute one thing and report another.
+    /// job, and silently combining a caller shard with orchestrator
+    /// sharding would compute one thing and report another.
     pub fn run(
         &self,
         spec: &CampaignSpec,
@@ -186,10 +284,14 @@ impl Orchestrator {
         if spec.shard.is_some() {
             return Err(OrchestrateError::Args(
                 "cannot orchestrate an already-sharded spec: drop the shard \
-                 (the orchestrator assigns one shard per worker process)"
+                 (the orchestrator assigns one shard per worker)"
                     .to_string(),
             ));
         }
+        let (program, base_args) = match &self.backend {
+            Backend::Fleet { endpoints } => return self.run_fleet(endpoints, spec, cache),
+            Backend::Processes { program, base_args } => (program, base_args),
+        };
         // A caller-supplied scratch directory may hold unrelated files;
         // only a directory we created ourselves is removed wholesale.
         let (scratch, owned) = match &self.scratch_dir {
@@ -206,7 +308,7 @@ impl Orchestrator {
         std::fs::create_dir_all(&scratch).map_err(|e| {
             OrchestrateError::Io(format!("creating {}", scratch.display()), e.to_string())
         })?;
-        let result = self.run_in(spec, cache, &scratch);
+        let result = self.run_in(program, base_args, spec, cache, &scratch);
         // Clean up only on success: on failure the shard caches *are*
         // the evidence (a merge conflict names two value identities the
         // operator will want to diff), so they stay on disk.
@@ -223,8 +325,100 @@ impl Orchestrator {
         result
     }
 
+    /// Fleet dispatch: one shard per endpoint, concurrently, each a
+    /// `run` request whose spec carries the shard assignment. The join
+    /// step mirrors [`run_in`](Orchestrator::run_in)'s file merge: each
+    /// shard's served units land in a local [`ResultCache`] and merge
+    /// under the versioned-cache rules — a remote `model_digest`
+    /// mismatch makes the whole shard *stale* (dropped, counted,
+    /// recomputed by the assembly pass), same-version shards merge
+    /// under the strict identity rule.
+    fn run_fleet(
+        &self,
+        endpoints: &[Endpoint],
+        spec: &CampaignSpec,
+        cache: &ResultCache,
+    ) -> Result<OrchestratedRun, OrchestrateError> {
+        if endpoints.is_empty() {
+            return Err(OrchestrateError::Args(
+                "fleet mode needs at least one endpoint".to_string(),
+            ));
+        }
+        let count = endpoints.len();
+        // Dispatch every shard concurrently and join them all before
+        // judging any (mirrors process mode: no shard is abandoned
+        // mid-flight when a sibling fails), then report the earliest
+        // failed shard.
+        let outcomes: Vec<Result<RunOutcome, ServiceError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = endpoints
+                .iter()
+                .enumerate()
+                .map(|(index, endpoint)| {
+                    scope.spawn(move || {
+                        let shard_spec = spec.clone().with_shard(index, count)?;
+                        let mut client = ServiceClient::<AnyTransport>::connect(endpoint)?;
+                        client.run(&shard_spec)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("fleet client thread"))
+                .collect()
+        });
+
+        let mut merged = MergeStats::default();
+        for (index, (endpoint, outcome)) in endpoints.iter().zip(outcomes).enumerate() {
+            let outcome = outcome.map_err(|error| OrchestrateError::Remote {
+                shard: index,
+                endpoint: endpoint.to_string(),
+                message: error.to_string(),
+            })?;
+            if outcome.model_digest != cache.model_digest() {
+                // The rule a stale shard *file* gets: its entries are
+                // dropped (counted), never merged and never conflicting;
+                // the assembly pass recomputes them under this host's
+                // constants.
+                eprintln!(
+                    "orchestrator: fleet shard {index} ({endpoint}) is stale \
+                     (model digest {} != {}); recomputing its {} units locally",
+                    outcome.model_digest,
+                    cache.model_digest(),
+                    outcome.units.len(),
+                );
+                merged.stale += outcome.units.len();
+                continue;
+            }
+            let shard_cache = ResultCache::new();
+            for unit in outcome.units {
+                shard_cache.insert(unit.key, unit.output);
+            }
+            let stats = cache.merge_from(&shard_cache).map_err(|error| {
+                OrchestrateError::RemoteConflict {
+                    error,
+                    endpoint: endpoint.to_string(),
+                }
+            })?;
+            merged.added += stats.added;
+            merged.identical += stats.identical;
+            merged.stale += stats.stale;
+        }
+
+        // Assembly: identical to process mode — re-enter the scheduler
+        // over the merged cache for one plan-ordered, value-identical
+        // report (every unit a hit unless a stale shard was dropped).
+        let report = run_campaign(spec, cache)?;
+        Ok(OrchestratedRun {
+            report,
+            merged,
+            processes: count,
+        })
+    }
+
     fn run_in(
         &self,
+        program: &Path,
+        base_args: &[String],
         spec: &CampaignSpec,
         cache: &ResultCache,
         scratch: &Path,
@@ -244,9 +438,9 @@ impl Orchestrator {
         let shard_path = |index: usize| scratch.join(format!("shard-{index}.json"));
         let mut children: Vec<(usize, Child)> = Vec::with_capacity(self.processes);
         for index in 0..self.processes {
-            let mut command = Command::new(&self.program);
+            let mut command = Command::new(program);
             command
-                .args(&self.base_args)
+                .args(base_args)
                 .arg(WORKER_FLAG)
                 .arg("--spec-json")
                 .arg(&spec_json)
@@ -271,7 +465,7 @@ impl Orchestrator {
                         running.wait().ok();
                     }
                     return Err(OrchestrateError::Io(
-                        format!("spawning {}", self.program.display()),
+                        format!("spawning {}", program.display()),
                         e.to_string(),
                     ));
                 }

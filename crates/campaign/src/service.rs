@@ -1,5 +1,5 @@
 //! Campaign service mode: a multiplexed daemon serving specs over a
-//! Unix-domain socket, all connections feeding one shared
+//! pluggable [`Transport`], all connections feeding one shared
 //! [`ExecutionEngine`] and one warm [`ResultCache`].
 //!
 //! The ROADMAP's north star is a spec-in/`MetricSet`-out *service*, not
@@ -18,7 +18,9 @@
 //! ```
 //!
 //! Protocol: newline-delimited JSON envelopes
-//! ([`oranges_harness::envelope`]) over `AF_UNIX`. Methods:
+//! ([`oranges_harness::envelope`]) over any [`Transport`] stream — a
+//! Unix-domain socket on one host, TCP across a fleet (the normative
+//! wire spec lives in `docs/PROTOCOL.md`). Methods:
 //!
 //! | method | body | response stream |
 //! |---|---|---|
@@ -26,6 +28,19 @@
 //! | `stats` | — | `stats` (cache + engine + service counters) |
 //! | `ping` | — | `pong` |
 //! | `shutdown` | — | `bye`, then the daemon drains connections and exits |
+//!
+//! The service stack is generic over [`Transport`]: [`CampaignService`]
+//! binds whatever scheme its configured [`Endpoint`] names, the
+//! live-connection registry holds that transport's streams, and the
+//! shutdown drain self-dials through the same transport. Use
+//! [`UnixTransport`](oranges_harness::transport::UnixTransport) or
+//! [`TcpTransport`](oranges_harness::transport::TcpTransport) when the
+//! scheme is fixed at compile time, or
+//! [`AnyTransport`](oranges_harness::transport::AnyTransport) to
+//! dispatch on a runtime `--listen`/`--fleet` endpoint. Every service
+//! property — idle-drain, coalescing counters, cache warm-start —
+//! holds identically under both schemes (`tests/service_mode.rs` runs
+//! the whole matrix over each).
 //!
 //! Connections are handled **concurrently** — one thread per accepted
 //! connection, every request entering the shared engine — and `unit`
@@ -50,21 +65,31 @@
 //! model digest is invalidated, not an error) and is saved back on
 //! shutdown, so a repeat of any spec the daemon has seen — in this
 //! process or a previous one — computes nothing: `tests/service_mode.rs`
-//! proves it.
+//! proves it. `done` and `stats` bodies carry the daemon's
+//! `model_digest`, so a fleet orchestrator can tell a same-version
+//! remote from a stale one before merging its results.
 //!
-//! ```no_run
+//! A complete round trip over TCP loopback (port 0 — the listener
+//! reports the resolved endpoint):
+//!
+//! ```
 //! use oranges_campaign::prelude::*;
 //! use oranges_campaign::service::{CampaignService, ServiceClient, ServiceConfig};
+//! use oranges_harness::transport::TcpTransport;
 //!
-//! // Daemon side (usually `cargo run --example serve`):
-//! let service = CampaignService::bind(ServiceConfig::new("/tmp/oranges.sock"))?;
-//! std::thread::spawn(move || service.serve());
+//! let config = ServiceConfig::new("tcp:127.0.0.1:0".parse::<Endpoint>().unwrap());
+//! let service = CampaignService::<TcpTransport>::bind(config)?;
+//! let endpoint = service.local_endpoint().clone();
+//! let daemon = std::thread::spawn(move || service.serve());
 //!
-//! // Client side:
-//! let mut client = ServiceClient::connect("/tmp/oranges.sock")?;
-//! let outcome = client.run(&CampaignSpec::smoke())?;
+//! let mut client = ServiceClient::<TcpTransport>::connect(&endpoint)?;
+//! client.ping()?;
+//! let spec = CampaignSpec::new(vec![ExperimentKind::Fig4], vec![ChipGeneration::M2])
+//!     .with_power_sizes(vec![2048]);
+//! let outcome = client.run(&spec)?;
 //! assert!(outcome.units[0].output.sets[0].provenance.chip.is_some());
 //! client.shutdown()?;
+//! daemon.join().unwrap()?;
 //! # Ok::<(), oranges_campaign::service::ServiceError>(())
 //! ```
 
@@ -77,11 +102,11 @@ use crate::spec::{CampaignSpec, SpecParseError};
 use oranges::experiments::ExperimentOutput;
 use oranges_harness::envelope::{EnvelopeError, Request, Response};
 use oranges_harness::json::{self, JsonValue};
+use oranges_harness::transport::{Endpoint, Listener, Stream, Transport};
 use std::collections::HashMap;
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
-use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -152,9 +177,13 @@ fn io_err(context: &str, error: std::io::Error) -> ServiceError {
 /// How to run a [`CampaignService`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Where to bind the `AF_UNIX` socket. A stale file at this path is
-    /// removed at bind time (the daemon owns the path).
-    pub socket_path: PathBuf,
+    /// Where to listen. `unix:` endpoints own their socket path (a
+    /// stale *socket* file is replaced at bind time — any other kind of
+    /// file is refused, not deleted — and the socket file is removed on
+    /// shutdown); `tcp:` endpoints may use port 0 to let the OS pick —
+    /// [`CampaignService::local_endpoint`] reports the resolved
+    /// address either way.
+    pub listen: Endpoint,
     /// Persistent worker threads in the shared engine.
     pub workers: usize,
     /// Warm-start the cache from this file when present, and save the
@@ -163,10 +192,11 @@ pub struct ServiceConfig {
 }
 
 impl ServiceConfig {
-    /// A config with 4 workers and no disk cache.
-    pub fn new(socket_path: impl Into<PathBuf>) -> Self {
+    /// A config with 4 workers and no disk cache. Bare paths convert to
+    /// `unix:` endpoints; parse a string (`"tcp:host:port"`) for TCP.
+    pub fn new(listen: impl Into<Endpoint>) -> Self {
         ServiceConfig {
-            socket_path: socket_path.into(),
+            listen: listen.into(),
             workers: 4,
             cache_path: None,
         }
@@ -210,19 +240,26 @@ pub struct ServiceSummary {
 
 /// Mutable daemon state shared by the accept loop and every connection
 /// thread.
-struct ServiceShared {
+struct ServiceShared<T: Transport> {
     engine: ExecutionEngine,
     cache: ResultCache,
     config: ServiceConfig,
+    /// The *resolved* bound endpoint (a `tcp:…:0` config becomes the
+    /// real port; a wildcard host stays a wildcard, faithful to the
+    /// bind) — what `local_endpoint()` reports.
+    local: Endpoint,
+    /// The self-dialable form of `local` (wildcard host → loopback) —
+    /// what the shutdown handler dials to wake the accept loop.
+    dial: Endpoint,
     shutdown: AtomicBool,
     /// Read-half handles of every live connection, keyed by a per-
     /// connection id. On shutdown the accept loop half-closes these so
-    /// a thread parked in `read_line` on an idle-but-open client wakes
-    /// with EOF — without this, draining would block forever on the
-    /// first client that connects and then goes quiet. (Only the read
-    /// half closes: a connection mid-`run` keeps its write half and
-    /// finishes streaming before it exits.)
-    live: Mutex<HashMap<u64, UnixStream>>,
+    /// a thread parked in a blocking read on an idle-but-open client
+    /// wakes with EOF — without this, draining would block forever on
+    /// the first client that connects and then goes quiet. (Only the
+    /// read half closes: a connection mid-`run` keeps its write half
+    /// and finishes streaming before it exits.)
+    live: Mutex<HashMap<u64, T::Stream>>,
     next_connection: AtomicU64,
     connections: AtomicU64,
     active_connections: AtomicU64,
@@ -231,7 +268,7 @@ struct ServiceShared {
     units_streamed: AtomicU64,
 }
 
-impl ServiceShared {
+impl<T: Transport> ServiceShared<T> {
     fn summary(&self) -> ServiceSummary {
         let engine = self.engine.stats();
         ServiceSummary {
@@ -247,17 +284,18 @@ impl ServiceShared {
     }
 }
 
-/// The long-running campaign daemon: one socket, one warm cache, one
-/// shared execution engine, one thread per live connection.
-pub struct CampaignService {
-    listener: UnixListener,
-    shared: Arc<ServiceShared>,
+/// The long-running campaign daemon: one listener (any [`Transport`]),
+/// one warm cache, one shared execution engine, one thread per live
+/// connection.
+pub struct CampaignService<T: Transport> {
+    listener: T::Listener,
+    shared: Arc<ServiceShared<T>>,
 }
 
-impl CampaignService {
-    /// Bind the socket and warm-start the cache (a cache file stamped
-    /// with a stale model digest is invalidated — logged, not fatal).
-    /// The service is not serving yet — call
+impl<T: Transport> CampaignService<T> {
+    /// Bind the configured endpoint and warm-start the cache (a cache
+    /// file stamped with a stale model digest is invalidated — logged,
+    /// not fatal). The service is not serving yet — call
     /// [`serve`](CampaignService::serve).
     pub fn bind(config: ServiceConfig) -> Result<Self, ServiceError> {
         let cache = match &config.cache_path {
@@ -277,12 +315,10 @@ impl CampaignService {
             }
             _ => ResultCache::new(),
         };
-        if config.socket_path.exists() {
-            std::fs::remove_file(&config.socket_path)
-                .map_err(|e| io_err("removing stale socket", e))?;
-        }
-        let listener = UnixListener::bind(&config.socket_path)
-            .map_err(|e| io_err(&format!("binding {}", config.socket_path.display()), e))?;
+        let listener = T::bind(&config.listen)
+            .map_err(|e| io_err(&format!("binding {}", config.listen), e))?;
+        let local = listener.local_endpoint().clone();
+        let dial = listener.dial_endpoint().clone();
         let engine = ExecutionEngine::new(config.workers);
         Ok(CampaignService {
             listener,
@@ -290,6 +326,8 @@ impl CampaignService {
                 engine,
                 cache,
                 config,
+                local,
+                dial,
                 shutdown: AtomicBool::new(false),
                 live: Mutex::new(HashMap::new()),
                 next_connection: AtomicU64::new(0),
@@ -307,18 +345,24 @@ impl CampaignService {
         &self.shared.cache
     }
 
-    /// The bound socket path.
-    pub fn socket_path(&self) -> &Path {
-        &self.shared.config.socket_path
+    /// The resolved listening endpoint, faithful to the bind: port 0 is
+    /// replaced by the OS-assigned port, and a wildcard host
+    /// (`tcp:0.0.0.0:…`) is reported as such — it means "all
+    /// interfaces", which is exactly what an operator starting a fleet
+    /// daemon wants to see. (Clients on *this* host can always dial a
+    /// concrete-host endpoint verbatim; the daemon's own shutdown
+    /// self-dial uses the loopback form internally.)
+    pub fn local_endpoint(&self) -> &Endpoint {
+        &self.shared.local
     }
 
     /// Accept connections — each served concurrently on its own thread,
     /// all feeding the shared engine — until a `shutdown` request
     /// arrives, then drain the live connections, persist the cache
-    /// (when configured), remove the socket file, and return the
-    /// lifetime counters. The cache is persisted even if the accept
-    /// loop has to give up, so computed results are never lost to a
-    /// socket-level failure.
+    /// (when configured), release the listener (removing a `unix:`
+    /// socket file), and return the lifetime counters. The cache is
+    /// persisted even if the accept loop has to give up, so computed
+    /// results are never lost to a socket-level failure.
     pub fn serve(self) -> Result<ServiceSummary, ServiceError> {
         // Transient accept failures (EMFILE under fd pressure, say) are
         // retried; only a persistent streak aborts the daemon.
@@ -327,11 +371,11 @@ impl CampaignService {
         let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
         let mut give_up: Option<ServiceError> = None;
         // The accept call blocks; the `shutdown` handler wakes it by
-        // dialing the socket itself after setting the flag, so an idle
+        // dialing the endpoint itself after setting the flag, so an idle
         // daemon sleeps instead of polling.
         while !self.shared.shutdown.load(Ordering::Relaxed) {
             match self.listener.accept() {
-                Ok((stream, _)) => {
+                Ok(stream) => {
                     accept_failures = 0;
                     if self.shared.shutdown.load(Ordering::Relaxed) {
                         break; // the handler's wake-up dial, not a client
@@ -393,12 +437,12 @@ impl CampaignService {
             handles.retain(|handle| !handle.is_finished());
         }
         // Drain. Half-close every live connection's read side first: a
-        // thread parked in `read_line` on an idle client wakes with EOF
-        // and exits, while a thread mid-`run` keeps its write half and
-        // finishes streaming — so the join below is bounded by actual
-        // work, never by a client that connected and went quiet.
+        // thread parked in a blocking read on an idle client wakes with
+        // EOF and exits, while a thread mid-`run` keeps its write half
+        // and finishes streaming — so the join below is bounded by
+        // actual work, never by a client that connected and went quiet.
         for (_, stream) in self.shared.live.lock().expect("live connections").drain() {
-            stream.shutdown(std::net::Shutdown::Read).ok();
+            stream.shutdown_read().ok();
         }
         for handle in handles {
             let _ = handle.join();
@@ -410,18 +454,22 @@ impl CampaignService {
         }
     }
 
-    /// Save the warm cache (when configured) and remove the socket file.
+    /// Save the warm cache (when configured) and release the listener's
+    /// on-disk residue (the `unix:` socket file; nothing for `tcp:`).
     fn persist_and_cleanup(&self) -> Result<(), ServiceError> {
         if let Some(path) = &self.shared.config.cache_path {
             self.shared.cache.save(path)?;
         }
-        std::fs::remove_file(&self.shared.config.socket_path).ok();
+        self.listener.cleanup();
         Ok(())
     }
 }
 
 /// Serve one connection to completion on its own thread.
-fn handle_connection(shared: &Arc<ServiceShared>, stream: UnixStream) -> Result<(), ServiceError> {
+fn handle_connection<T: Transport>(
+    shared: &Arc<ServiceShared<T>>,
+    stream: T::Stream,
+) -> Result<(), ServiceError> {
     let mut writer = stream
         .try_clone()
         .map_err(|e| io_err("cloning connection", e))?;
@@ -450,7 +498,11 @@ fn handle_connection(shared: &Arc<ServiceShared>, stream: UnixStream) -> Result<
         match request.method.as_str() {
             "ping" => write_response(&mut writer, &Response::ok(request.id, "pong"))?,
             "stats" => {
-                let body = stats_body(&shared.cache.stats(), &shared.summary());
+                let body = stats_body(
+                    &shared.cache.stats(),
+                    shared.cache.model_digest(),
+                    &shared.summary(),
+                );
                 write_response(
                     &mut writer,
                     &Response::ok(request.id, "stats").with_body(body),
@@ -461,8 +513,18 @@ fn handle_connection(shared: &Arc<ServiceShared>, stream: UnixStream) -> Result<
                 write_response(&mut writer, &Response::ok(request.id, "bye"))?;
                 shared.shutdown.store(true, Ordering::Relaxed);
                 // The accept loop is parked in a blocking accept; dial
-                // the socket so it wakes, sees the flag, and drains.
-                UnixStream::connect(&shared.config.socket_path).ok();
+                // the self-dialable endpoint so it wakes, sees the
+                // flag, and drains. If the dial fails (a host that
+                // cannot reach even its own loopback), say so loudly:
+                // the daemon will not drain — and will not persist its
+                // cache — until the next real connection arrives.
+                if let Err(error) = T::connect(&shared.dial) {
+                    eprintln!(
+                        "campaign service: shutdown wake-up dial to {} failed ({error}); \
+                         the daemon drains on the next incoming connection",
+                        shared.dial,
+                    );
+                }
                 return Ok(());
             }
             other => write_response(
@@ -479,10 +541,10 @@ fn handle_connection(shared: &Arc<ServiceShared>, stream: UnixStream) -> Result<
 /// the same computations. A final `done` (or, after a unit failure, an
 /// in-band `error`) terminates the stream. Spec failures answer in-band
 /// without touching the engine.
-fn handle_run(
-    shared: &Arc<ServiceShared>,
+fn handle_run<T: Transport>(
+    shared: &Arc<ServiceShared<T>>,
     request: &Request,
-    writer: &mut UnixStream,
+    writer: &mut T::Stream,
 ) -> Result<(), ServiceError> {
     let spec = match &request.body {
         Some(body) => match CampaignSpec::from_json_value(body) {
@@ -535,11 +597,12 @@ fn handle_run(
     shared.runs.fetch_add(1, Ordering::Relaxed);
     write_response(
         writer,
-        &Response::ok(request.id, "done").with_body(done_body(&report)),
+        &Response::ok(request.id, "done")
+            .with_body(done_body(&report, shared.cache.model_digest())),
     )
 }
 
-fn write_response(writer: &mut UnixStream, response: &Response) -> Result<(), ServiceError> {
+fn write_response(writer: &mut impl Write, response: &Response) -> Result<(), ServiceError> {
     writer
         .write_all(response.to_line().as_bytes())
         .map_err(|e| io_err("writing response", e))
@@ -575,9 +638,10 @@ fn unit_body(unit: &UnitReport) -> JsonValue {
     JsonValue::Object(fields)
 }
 
-/// The `done` response body: campaign totals and the value-identity
-/// fingerprint.
-fn done_body(report: &CampaignReport) -> JsonValue {
+/// The `done` response body: campaign totals, the value-identity
+/// fingerprint, and the daemon's model-constants digest (so a remote
+/// caller can apply the versioned-cache staleness rule).
+fn done_body(report: &CampaignReport, model_digest: &str) -> JsonValue {
     JsonValue::Object(vec![
         (
             "units".to_string(),
@@ -594,6 +658,10 @@ fn done_body(report: &CampaignReport) -> JsonValue {
         (
             "fingerprint".to_string(),
             JsonValue::String(report.fingerprint()),
+        ),
+        (
+            "model_digest".to_string(),
+            JsonValue::String(model_digest.to_string()),
         ),
         (
             "wall_s".to_string(),
@@ -614,9 +682,13 @@ fn cache_body(stats: &CacheStats) -> JsonValue {
     ])
 }
 
-fn stats_body(stats: &CacheStats, summary: &ServiceSummary) -> JsonValue {
+fn stats_body(stats: &CacheStats, model_digest: &str, summary: &ServiceSummary) -> JsonValue {
     JsonValue::Object(vec![
         ("cache".to_string(), cache_body(stats)),
+        (
+            "model_digest".to_string(),
+            JsonValue::String(model_digest.to_string()),
+        ),
         (
             "connections".to_string(),
             JsonValue::integer(summary.connections),
@@ -660,7 +732,7 @@ fn parse_cache_body(value: &JsonValue) -> Result<CacheStats, ServiceError> {
     })
 }
 
-/// One unit as served over the socket, rebuilt into the same typed
+/// One unit as served over the wire, rebuilt into the same typed
 /// output a local campaign would produce.
 #[derive(Debug, Clone)]
 pub struct ServedUnit {
@@ -697,31 +769,41 @@ pub struct RunOutcome {
     pub coalesced_units: usize,
     /// The daemon-side [`CampaignReport::fingerprint`].
     pub fingerprint: String,
+    /// The daemon's model-constants digest — results computed under a
+    /// different digest are *stale* to this workspace (the same rule
+    /// [`ResultCache::load_checked`] applies to disk files).
+    pub model_digest: String,
     /// Daemon cache statistics after the run.
     pub cache: CacheStats,
 }
 
 /// Daemon-side statistics from a `stats` request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Cache statistics.
     pub cache: CacheStats,
+    /// The daemon's model-constants digest.
+    pub model_digest: String,
     /// Cumulative service + engine counters.
     pub summary: ServiceSummary,
 }
 
-/// A blocking client for the service protocol.
-pub struct ServiceClient {
-    reader: BufReader<UnixStream>,
-    writer: UnixStream,
+/// A blocking client for the service protocol, generic over the same
+/// [`Transport`] the daemon binds.
+pub struct ServiceClient<T: Transport> {
+    reader: BufReader<T::Stream>,
+    writer: T::Stream,
     next_id: u64,
 }
 
-impl ServiceClient {
-    /// Connect to a serving daemon.
-    pub fn connect(socket_path: impl AsRef<Path>) -> Result<Self, ServiceError> {
-        let stream = UnixStream::connect(socket_path.as_ref())
-            .map_err(|e| io_err(&format!("connecting {}", socket_path.as_ref().display()), e))?;
+impl<T: Transport> ServiceClient<T> {
+    /// Connect to a serving daemon. Bare paths convert to `unix:`
+    /// endpoints; parse a string for TCP
+    /// (`"tcp:host:port".parse::<Endpoint>()`).
+    pub fn connect(endpoint: impl Into<Endpoint>) -> Result<Self, ServiceError> {
+        let endpoint = endpoint.into();
+        let stream =
+            T::connect(&endpoint).map_err(|e| io_err(&format!("connecting {endpoint}"), e))?;
         let writer = stream
             .try_clone()
             .map_err(|e| io_err("cloning connection", e))?;
@@ -778,7 +860,7 @@ impl ServiceClient {
     }
 
     /// Submit a spec and invoke `on_unit` for every `unit` response as
-    /// it is read off the socket — i.e. in the order the daemon's
+    /// it is read off the wire — i.e. in the order the daemon's
     /// engine completed them, long before the campaign is done.
     pub fn run_streamed(
         &mut self,
@@ -818,6 +900,7 @@ impl ServiceClient {
                         computed_units: int_field("computed_units")? as usize,
                         coalesced_units: int_field("coalesced_units")? as usize,
                         fingerprint: str_field("fingerprint")?.to_string(),
+                        model_digest: str_field("model_digest")?.to_string(),
                         cache,
                         units,
                     });
@@ -858,6 +941,11 @@ impl ServiceClient {
         };
         Ok(ServiceStats {
             cache: parse_cache_body(body.get("cache").unwrap_or(&JsonValue::Null))?,
+            model_digest: body
+                .get("model_digest")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| ServiceError::Protocol("stats body has no 'model_digest'".into()))?
+                .to_string(),
             summary: ServiceSummary {
                 connections: counter("connections")?,
                 active_connections: counter("active_connections")?,
@@ -990,10 +1078,16 @@ mod tests {
                 entries: 2,
             },
         );
-        let body = done_body(&report);
+        let digest = oranges::paper::model_constants_digest();
+        let body = done_body(&report, &digest);
         assert_eq!(
             body.get("fingerprint").and_then(JsonValue::as_str),
             Some(report.fingerprint().as_str())
+        );
+        assert_eq!(
+            body.get("model_digest").and_then(JsonValue::as_str),
+            Some(digest.as_str()),
+            "done carries the versioned-cache digest"
         );
         assert_eq!(
             body.get("coalesced_units").and_then(JsonValue::as_u64),
@@ -1012,8 +1106,12 @@ mod tests {
             unit_cache_hits: 1,
             coalesced_joins: 1,
         };
-        let stats = stats_body(&report.cache, &summary);
+        let stats = stats_body(&report.cache, &digest, &summary);
         assert_eq!(stats.get("runs").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(
+            stats.get("model_digest").and_then(JsonValue::as_str),
+            Some(digest.as_str())
+        );
         assert_eq!(
             stats.get("coalesced_joins").and_then(JsonValue::as_u64),
             Some(1)

@@ -21,6 +21,10 @@
 //!   the campaign pipeline's single result currency;
 //! - [`envelope`]: newline-delimited JSON request/response envelopes —
 //!   the wire framing the campaign service speaks over its socket;
+//! - [`transport`]: pluggable byte transports ([`transport::Endpoint`]
+//!   addressing, the [`transport::Transport`] trait, Unix-domain and
+//!   TCP implementations) — what carries those envelopes between
+//!   hosts;
 //! - [`env`](mod@env): the §4 environment record.
 //!
 //! Every measurement in the workspace flows through one typed record:
@@ -65,6 +69,7 @@ pub mod json;
 pub mod metric;
 pub mod stats;
 pub mod table;
+pub mod transport;
 
 pub use experiment::{ExperimentMeta, RepetitionProtocol};
 pub use metric::{Metric, MetricRow, MetricSet, MetricValue, PowerContext, Provenance};
@@ -95,4 +100,5 @@ pub mod prelude {
     pub use crate::metric::{Metric, MetricRow, MetricSet, MetricValue, PowerContext, Provenance};
     pub use crate::stats::Summary;
     pub use crate::table::TextTable;
+    pub use crate::transport::{Endpoint, Listener, Stream, Transport};
 }

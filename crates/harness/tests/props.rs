@@ -8,6 +8,7 @@ use oranges_harness::json::to_json_string;
 use oranges_harness::metric::{self, MetricRow, MetricSet, MetricValue, PowerContext};
 use oranges_harness::stats::{best_of, geometric_mean, Summary};
 use oranges_harness::table::TextTable;
+use oranges_harness::transport::Endpoint;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -248,5 +249,31 @@ proptest! {
         for line in &lines {
             prop_assert_eq!(line.chars().count(), width);
         }
+    }
+}
+
+proptest! {
+    /// `Endpoint` display and parse are exact inverses: any `unix:` path
+    /// and any `tcp:host:port` authority survives a full
+    /// display → parse → display cycle byte-for-byte, and the typed
+    /// value survives parse → display → parse. (The transport layer
+    /// leans on this: fleet lists, `--listen` flags, and resolved
+    /// listener endpoints all travel as strings.)
+    #[test]
+    fn endpoints_round_trip_between_display_and_parse(
+        path in "[a-zA-Z0-9_. /-]{1,32}",
+        host in "[a-z0-9.-]{1,20}",
+        port in 0u32..65536,
+    ) {
+        let unix_text = format!("unix:/{path}");
+        let unix: Endpoint = unix_text.parse().expect("unix endpoint parses");
+        prop_assert_eq!(&unix.to_string(), &unix_text);
+        prop_assert_eq!(&unix.to_string().parse::<Endpoint>().expect("re-parses"), &unix);
+
+        let tcp_text = format!("tcp:{host}:{port}");
+        let tcp: Endpoint = tcp_text.parse().expect("tcp endpoint parses");
+        prop_assert_eq!(&tcp.to_string(), &tcp_text);
+        prop_assert_eq!(&tcp.to_string().parse::<Endpoint>().expect("re-parses"), &tcp);
+        prop_assert_eq!(tcp.scheme(), "tcp");
     }
 }

@@ -15,6 +15,12 @@
 //!   --spawn N       multi-process mode: re-invoke this example as N
 //!                   shard worker processes, merge their caches, and
 //!                   emit one unified (value-identical) report
+//!   --fleet LIST    fleet mode: dispatch one shard to each of the
+//!                   comma-separated service endpoints (e.g.
+//!                   tcp:hostA:7771,tcp:hostB:7771 — daemons started
+//!                   with `--example serve -- --listen …`), stream the
+//!                   results back, and emit one unified
+//!                   (value-identical) report
 //! ```
 
 use oranges_campaign::orchestrate;
@@ -26,6 +32,7 @@ struct Options {
     shard: Option<(usize, usize)>,
     cache_path: Option<PathBuf>,
     spawn: Option<usize>,
+    fleet: Option<Vec<Endpoint>>,
 }
 
 fn parse_options() -> Options {
@@ -34,6 +41,7 @@ fn parse_options() -> Options {
         shard: None,
         cache_path: None,
         spawn: None,
+        fleet: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -58,6 +66,18 @@ fn parse_options() -> Options {
             }
             "--spawn" => {
                 options.spawn = Some(value("--spawn").parse().expect("--spawn N"));
+            }
+            "--fleet" => {
+                let list = value("--fleet");
+                options.fleet = Some(
+                    list.split(',')
+                        .map(|uri| {
+                            uri.trim()
+                                .parse()
+                                .unwrap_or_else(|error| panic!("--fleet: {error}"))
+                        })
+                        .collect(),
+                );
             }
             other => panic!("unknown option {other}"),
         }
@@ -105,6 +125,47 @@ fn main() {
         }
         _ => ResultCache::new(),
     };
+
+    // Fleet mode: one shard per remote campaign daemon, streamed back
+    // over the service protocol and merged into one report.
+    if let Some(endpoints) = &options.fleet {
+        assert!(
+            options.shard.is_none() && options.spawn.is_none(),
+            "--fleet cannot be combined with --shard or --spawn: the fleet \
+             orchestrator assigns shards"
+        );
+        println!(
+            "=== Campaign: Figures 1-4 x M1-M4 across a {}-daemon fleet ===\n",
+            endpoints.len()
+        );
+        for (index, endpoint) in endpoints.iter().enumerate() {
+            println!("  shard {index}/{} -> {endpoint}", endpoints.len());
+        }
+        let run = Orchestrator::fleet(endpoints.clone())
+            .run(&spec, &cache)
+            .expect("fleet campaign");
+        println!("\n{}", run.report.render_summary());
+        println!(
+            "\nFleet: {} daemons, merged {} remote units ({} already known, \
+             {} stale-recomputed), assembly computed {} units (0 = the fleet \
+             covered the plan), fingerprint {}",
+            run.processes,
+            run.merged.added,
+            run.merged.identical,
+            run.merged.stale,
+            run.report.computed_units(),
+            run.report.fingerprint(),
+        );
+        if let Some(path) = &options.cache_path {
+            cache.save(path).expect("writable cache file");
+            println!(
+                "Saved {} merged units to {}",
+                cache.stats().entries,
+                path.display()
+            );
+        }
+        return;
+    }
 
     // Multi-process mode: spawn N copies of this example as shard
     // workers, merge their caches, and report once.

@@ -1,259 +1,360 @@
 //! Campaign service mode: a long-running daemon serving `CampaignSpec`
-//! requests over a Unix-domain socket, answering from a warm cache.
+//! requests over a pluggable transport (`unix:` socket or `tcp:`),
+//! answering from a warm cache.
 //!
 //! ```text
 //! cargo run --release --example serve [-- OPTIONS]
 //!
 //! Options:
-//!   --socket PATH   socket to bind (default: $TMPDIR/oranges-campaign.sock)
+//!   --listen URI    endpoint to bind: unix:/path/to.sock or
+//!                   tcp:host:port (tcp port 0 = OS-assigned; the
+//!                   resolved endpoint is printed at startup).
+//!                   Default: unix:$TMPDIR/oranges-campaign.sock
+//!   --socket PATH   legacy alias for --listen unix:PATH
 //!   --workers N     persistent worker threads (default 4)
 //!   --cache PATH    warm-start the cache from PATH and save it back on
 //!                   shutdown
-//!   --self-check    smoke mode: bind a private socket, submit a spec
-//!                   through a real client, assert a MetricSet comes
-//!                   back and a repeat is fully cached, shut down
+//!   --self-check    smoke mode: bind a private endpoint (honors
+//!                   --listen, e.g. --listen tcp:127.0.0.1:0), submit a
+//!                   spec through a real client, assert a MetricSet
+//!                   comes back and a repeat is fully cached, shut down
 //!   --concurrent-check
 //!                   smoke mode: two simultaneous clients submit
 //!                   overlapping specs; assert each shared unit was
 //!                   computed exactly once (coalesce counter > 0, both
 //!                   fingerprints identical to a local serial run)
+//!   --fleet-check   smoke mode: two TCP loopback daemons + a fleet
+//!                   orchestrator sharding one campaign across them;
+//!                   assert the merged report fingerprint equals a
+//!                   single-process run
 //!
-//! Protocol (newline-delimited JSON over AF_UNIX):
+//! Protocol (newline-delimited JSON; see docs/PROTOCOL.md):
 //!   {"id":1,"method":"run","body":{"experiments":["fig4"],"chips":["M1"]}}
 //!   {"id":2,"method":"stats"}   {"id":3,"method":"ping"}   {"id":4,"method":"shutdown"}
 //! ```
 //!
 //! Talk to it from a shell with e.g.
-//! `nc -U /tmp/oranges-campaign.sock` or `socat - UNIX:/tmp/...`.
+//! `nc -U /tmp/oranges-campaign.sock` (unix) or `nc 127.0.0.1 7771`
+//! (tcp).
 
-#[cfg(unix)]
-mod daemon {
-    use oranges_campaign::prelude::*;
-    use oranges_campaign::service::{CampaignService, ServiceClient, ServiceConfig};
-    use std::path::PathBuf;
+use oranges_campaign::prelude::*;
+use oranges_campaign::service::{CampaignService, ServiceClient, ServiceConfig};
+use oranges_harness::transport::{AnyTransport, TcpTransport};
+use std::path::PathBuf;
 
-    struct Options {
-        socket: PathBuf,
-        workers: usize,
-        cache: Option<PathBuf>,
-        self_check: bool,
-        concurrent_check: bool,
+struct Options {
+    listen: Option<Endpoint>,
+    workers: usize,
+    cache: Option<PathBuf>,
+    self_check: bool,
+    concurrent_check: bool,
+    fleet_check: bool,
+}
+
+/// The long-running daemon's default endpoint: a well-known unix socket
+/// where unix sockets exist, a fixed TCP loopback port elsewhere.
+fn default_listen() -> Endpoint {
+    if cfg!(unix) {
+        Endpoint::Unix(std::env::temp_dir().join("oranges-campaign.sock"))
+    } else {
+        "tcp:127.0.0.1:7771".parse().expect("static endpoint")
     }
+}
 
-    fn parse_options() -> Options {
-        let mut options = Options {
-            socket: std::env::temp_dir().join("oranges-campaign.sock"),
-            workers: 4,
-            cache: None,
-            self_check: false,
-            concurrent_check: false,
+/// A private, collision-free endpoint for the check modes.
+fn private_endpoint(tag: &str) -> Endpoint {
+    if cfg!(unix) {
+        Endpoint::Unix(
+            std::env::temp_dir().join(format!("oranges-{tag}-{}.sock", std::process::id())),
+        )
+    } else {
+        "tcp:127.0.0.1:0".parse().expect("static endpoint")
+    }
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        listen: None,
+        workers: 4,
+        cache: None,
+        self_check: false,
+        concurrent_check: false,
+        fleet_check: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
         };
-        let mut args = std::env::args().skip(1);
-        while let Some(flag) = args.next() {
-            let mut value = |name: &str| {
-                args.next()
-                    .unwrap_or_else(|| panic!("{name} requires a value"))
-            };
-            match flag.as_str() {
-                "--socket" => options.socket = PathBuf::from(value("--socket")),
-                "--workers" => options.workers = value("--workers").parse().expect("--workers N"),
-                "--cache" => options.cache = Some(PathBuf::from(value("--cache"))),
-                "--self-check" => options.self_check = true,
-                "--concurrent-check" => options.concurrent_check = true,
-                other => panic!("unknown option {other}"),
+        match flag.as_str() {
+            "--listen" => {
+                let uri = value("--listen");
+                options.listen = Some(
+                    uri.parse()
+                        .unwrap_or_else(|error| panic!("--listen: {error}")),
+                );
             }
+            "--socket" => options.listen = Some(Endpoint::Unix(PathBuf::from(value("--socket")))),
+            "--workers" => options.workers = value("--workers").parse().expect("--workers N"),
+            "--cache" => options.cache = Some(PathBuf::from(value("--cache"))),
+            "--self-check" => options.self_check = true,
+            "--concurrent-check" => options.concurrent_check = true,
+            "--fleet-check" => options.fleet_check = true,
+            other => panic!("unknown option {other}"),
         }
-        options
+    }
+    options
+}
+
+fn main() {
+    let options = parse_options();
+    if options.self_check {
+        let endpoint = options
+            .listen
+            .unwrap_or_else(|| private_endpoint("self-check"));
+        self_check(endpoint, options.workers);
+        return;
+    }
+    if options.concurrent_check {
+        let endpoint = options
+            .listen
+            .unwrap_or_else(|| private_endpoint("concurrent-check"));
+        concurrent_check(endpoint, options.workers);
+        return;
+    }
+    if options.fleet_check {
+        fleet_check(options.workers);
+        return;
     }
 
-    pub fn run() {
-        let options = parse_options();
-        if options.self_check {
-            self_check(options.workers);
-            return;
-        }
-        if options.concurrent_check {
-            concurrent_check(options.workers);
-            return;
-        }
+    let listen = options.listen.unwrap_or_else(default_listen);
+    let mut config = ServiceConfig::new(listen).with_workers(options.workers);
+    if let Some(cache) = &options.cache {
+        config = config.with_cache_path(cache);
+    }
+    let service = CampaignService::<AnyTransport>::bind(config).expect("bind service");
+    println!(
+        "oranges campaign service: listening on {} ({} workers, {} cached units)",
+        service.local_endpoint(),
+        options.workers,
+        service.cache().stats().entries,
+    );
+    println!("send {{\"id\":1,\"method\":\"shutdown\"}} to stop\n");
+    let summary = service.serve().expect("serve");
+    println!(
+        "served {} connections / {} requests ({} runs, {} units streamed; \
+         {} computed, {} cache hits, {} coalesced joins)",
+        summary.connections,
+        summary.requests,
+        summary.runs,
+        summary.units_streamed,
+        summary.units_computed,
+        summary.unit_cache_hits,
+        summary.coalesced_joins,
+    );
+}
 
-        let mut config = ServiceConfig::new(&options.socket).with_workers(options.workers);
-        if let Some(cache) = &options.cache {
-            config = config.with_cache_path(cache);
-        }
-        let service = CampaignService::bind(config).expect("bind service");
-        println!(
-            "oranges campaign service: listening on {} ({} workers, {} cached units)",
-            service.socket_path().display(),
-            options.workers,
-            service.cache().stats().entries,
-        );
-        println!("send {{\"id\":1,\"method\":\"shutdown\"}} to stop\n");
-        let summary = service.serve().expect("serve");
-        println!(
-            "served {} connections / {} requests ({} runs, {} units streamed; \
-             {} computed, {} cache hits, {} coalesced joins)",
-            summary.connections,
-            summary.requests,
-            summary.runs,
-            summary.units_streamed,
-            summary.units_computed,
-            summary.unit_cache_hits,
-            summary.coalesced_joins,
-        );
+/// The CI concurrent-clients smoke: two simultaneous clients submit
+/// *overlapping* specs to one daemon, and the engine must compute
+/// each shared unit exactly once. The spec also lists a duplicated
+/// kind, so at least one coalesced join is guaranteed regardless of
+/// how the two clients' timing interleaves. Runs over whatever
+/// transport the endpoint names.
+fn concurrent_check(endpoint: Endpoint, workers: usize) {
+    let service =
+        CampaignService::<AnyTransport>::bind(ServiceConfig::new(endpoint).with_workers(workers))
+            .expect("bind");
+    let local = service.local_endpoint().clone();
+    let daemon = std::thread::spawn(move || service.serve().expect("serve"));
+
+    // Overlapping specs: both cover Fig3+Fig4 on M2/M3, and each
+    // duplicates one kind (a deterministic within-request coalesce).
+    let spec_a = CampaignSpec::new(
+        vec![
+            ExperimentKind::Fig3,
+            ExperimentKind::Fig4,
+            ExperimentKind::Fig4,
+        ],
+        vec![ChipGeneration::M2, ChipGeneration::M3],
+    )
+    .with_power_sizes(vec![2048, 4096]);
+    let spec_b = CampaignSpec::new(
+        vec![
+            ExperimentKind::Fig4,
+            ExperimentKind::Fig3,
+            ExperimentKind::Fig3,
+        ],
+        vec![ChipGeneration::M2, ChipGeneration::M3],
+    )
+    .with_power_sizes(vec![2048, 4096]);
+
+    let run_client = |spec: CampaignSpec| {
+        let endpoint = local.clone();
+        std::thread::spawn(move || {
+            let mut client = ServiceClient::<AnyTransport>::connect(&endpoint).expect("connect");
+            client.run(&spec).expect("run")
+        })
+    };
+    let (client_a, client_b) = (run_client(spec_a.clone()), run_client(spec_b.clone()));
+    let outcome_a = client_a.join().expect("client A");
+    let outcome_b = client_b.join().expect("client B");
+
+    // Value identity: each streamed report equals a local serial run.
+    let serial_a = run_campaign_serial(&spec_a).expect("serial A");
+    let serial_b = run_campaign_serial(&spec_b).expect("serial B");
+    assert_eq!(outcome_a.fingerprint, serial_a.fingerprint(), "client A");
+    assert_eq!(outcome_b.fingerprint, serial_b.fingerprint(), "client B");
+
+    let mut client = ServiceClient::<AnyTransport>::connect(&local).expect("connect probe");
+    let stats = client.stats().expect("stats");
+    // Exactly-once: 4 distinct units across both specs (fig3/fig4 ×
+    // M2/M3), no matter how the clients interleaved.
+    assert_eq!(
+        stats.summary.units_computed, 4,
+        "each shared unit computed exactly once"
+    );
+    assert!(
+        stats.summary.coalesced_joins > 0,
+        "overlap must coalesce, not recompute"
+    );
+    assert_eq!(
+        stats.summary.units_computed
+            + stats.summary.unit_cache_hits
+            + stats.summary.coalesced_joins,
+        12,
+        "every submitted unit accounted for"
+    );
+    println!(
+        "concurrent-check [{local}]: 2 clients x 6 units -> {} computed, {} cache hits, \
+         {} coalesced joins; both fingerprints match serial — OK",
+        stats.summary.units_computed, stats.summary.unit_cache_hits, stats.summary.coalesced_joins,
+    );
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+}
+
+/// The CI smoke path: a real daemon on a private endpoint, a real client,
+/// and hard assertions — start, submit, verify a `MetricSet` comes back,
+/// verify the repeat is fully cached, shut down. `--listen
+/// tcp:127.0.0.1:0` runs the same path over TCP.
+fn self_check(endpoint: Endpoint, workers: usize) {
+    let service =
+        CampaignService::<AnyTransport>::bind(ServiceConfig::new(endpoint).with_workers(workers))
+            .expect("bind");
+    let local = service.local_endpoint().clone();
+    let daemon = std::thread::spawn(move || service.serve().expect("serve"));
+
+    let mut client = ServiceClient::<AnyTransport>::connect(&local).expect("connect");
+    client.ping().expect("ping");
+
+    let spec = CampaignSpec::new(
+        vec![ExperimentKind::Fig4, ExperimentKind::Contention],
+        vec![ChipGeneration::M1, ChipGeneration::M4],
+    )
+    .with_power_sizes(vec![2048]);
+
+    let first = client.run(&spec).expect("first run");
+    assert_eq!(first.units.len(), 4, "2 kinds x 2 chips");
+    assert_eq!(first.computed_units, 4, "cold cache computes everything");
+    let set = &first.units[0].output.sets[0];
+    assert!(!set.metrics.is_empty(), "a MetricSet came back");
+    assert!(
+        set.provenance.chip.is_some(),
+        "provenance survives the wire"
+    );
+    println!(
+        "self-check [{local}]: first run computed {} units, e.g. {} metrics for {} [{}]",
+        first.computed_units,
+        set.metrics.len(),
+        set.provenance.experiment,
+        set.provenance.chip.as_deref().unwrap_or("?"),
+    );
+
+    let second = client.run(&spec).expect("second run");
+    assert_eq!(
+        second.computed_units, 0,
+        "repeat is served from the warm cache"
+    );
+    assert_eq!(second.fingerprint, first.fingerprint, "value-identical");
+    assert!(second.units.iter().all(|u| u.from_cache()));
+    println!(
+        "self-check: repeat served entirely from cache (fingerprint {})",
+        second.fingerprint
+    );
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.summary.runs, 2);
+    client.shutdown().expect("shutdown");
+    let summary = daemon.join().expect("daemon thread");
+    assert_eq!(summary.runs, 2);
+    println!(
+        "self-check: daemon shut down cleanly after {} requests — OK",
+        summary.requests
+    );
+}
+
+/// The CI fleet smoke: two TCP loopback daemons stand in for two
+/// measurement hosts; the fleet orchestrator shards one campaign
+/// across them and the merged report must be value-identical to a
+/// single-process run.
+fn fleet_check(workers: usize) {
+    let spec = CampaignSpec::new(
+        vec![
+            ExperimentKind::Fig3,
+            ExperimentKind::Fig4,
+            ExperimentKind::Contention,
+        ],
+        vec![ChipGeneration::M1, ChipGeneration::M4],
+    )
+    .with_power_sizes(vec![2048]);
+
+    let mut endpoints = Vec::new();
+    let mut daemons = Vec::new();
+    for _ in 0..2 {
+        let service = CampaignService::<TcpTransport>::bind(
+            ServiceConfig::new("tcp:127.0.0.1:0".parse::<Endpoint>().expect("endpoint"))
+                .with_workers(workers),
+        )
+        .expect("bind daemon");
+        endpoints.push(service.local_endpoint().clone());
+        daemons.push(std::thread::spawn(move || service.serve().expect("serve")));
     }
 
-    /// The CI concurrent-clients smoke: two simultaneous clients submit
-    /// *overlapping* specs to one daemon, and the engine must compute
-    /// each shared unit exactly once. The spec also lists a duplicated
-    /// kind, so at least one coalesced join is guaranteed regardless of
-    /// how the two clients' timing interleaves.
-    fn concurrent_check(workers: usize) {
-        let socket = std::env::temp_dir().join(format!(
-            "oranges-concurrent-check-{}.sock",
-            std::process::id()
-        ));
-        let service =
-            CampaignService::bind(ServiceConfig::new(&socket).with_workers(workers)).expect("bind");
-        let daemon = std::thread::spawn(move || service.serve().expect("serve"));
+    let cache = ResultCache::new();
+    let run = Orchestrator::fleet(endpoints.clone())
+        .run(&spec, &cache)
+        .expect("fleet run");
+    let local = run_campaign(&spec, &ResultCache::new()).expect("local run");
+    assert_eq!(
+        run.report.fingerprint(),
+        local.fingerprint(),
+        "fleet == single-process"
+    );
+    assert_eq!(run.report.computed_units(), 0, "shards covered the plan");
+    assert_eq!(
+        run.merged.added,
+        run.report.units.len(),
+        "every unit remote"
+    );
 
-        // Overlapping specs: both cover Fig3+Fig4 on M2/M3, and each
-        // duplicates one kind (a deterministic within-request coalesce).
-        let spec_a = CampaignSpec::new(
-            vec![
-                ExperimentKind::Fig3,
-                ExperimentKind::Fig4,
-                ExperimentKind::Fig4,
-            ],
-            vec![ChipGeneration::M2, ChipGeneration::M3],
-        )
-        .with_power_sizes(vec![2048, 4096]);
-        let spec_b = CampaignSpec::new(
-            vec![
-                ExperimentKind::Fig4,
-                ExperimentKind::Fig3,
-                ExperimentKind::Fig3,
-            ],
-            vec![ChipGeneration::M2, ChipGeneration::M3],
-        )
-        .with_power_sizes(vec![2048, 4096]);
-
-        let run_client = |spec: CampaignSpec| {
-            let socket = socket.clone();
-            std::thread::spawn(move || {
-                let mut client = ServiceClient::connect(&socket).expect("connect");
-                client.run(&spec).expect("run")
-            })
-        };
-        let (client_a, client_b) = (run_client(spec_a.clone()), run_client(spec_b.clone()));
-        let outcome_a = client_a.join().expect("client A");
-        let outcome_b = client_b.join().expect("client B");
-
-        // Value identity: each streamed report equals a local serial run.
-        let serial_a = run_campaign_serial(&spec_a).expect("serial A");
-        let serial_b = run_campaign_serial(&spec_b).expect("serial B");
-        assert_eq!(outcome_a.fingerprint, serial_a.fingerprint(), "client A");
-        assert_eq!(outcome_b.fingerprint, serial_b.fingerprint(), "client B");
-
-        let mut client = ServiceClient::connect(&socket).expect("connect probe");
+    // Both daemons did real shard work.
+    for endpoint in &endpoints {
+        let mut client = ServiceClient::<TcpTransport>::connect(endpoint).expect("probe");
         let stats = client.stats().expect("stats");
-        // Exactly-once: 4 distinct units across both specs (fig3/fig4 ×
-        // M2/M3), no matter how the clients interleaved.
-        assert_eq!(
-            stats.summary.units_computed, 4,
-            "each shared unit computed exactly once"
-        );
-        assert!(
-            stats.summary.coalesced_joins > 0,
-            "overlap must coalesce, not recompute"
-        );
-        assert_eq!(
-            stats.summary.units_computed
-                + stats.summary.unit_cache_hits
-                + stats.summary.coalesced_joins,
-            12,
-            "every submitted unit accounted for"
-        );
-        println!(
-            "concurrent-check: 2 clients x 6 units -> {} computed, {} cache hits, \
-             {} coalesced joins; both fingerprints match serial — OK",
-            stats.summary.units_computed,
-            stats.summary.unit_cache_hits,
-            stats.summary.coalesced_joins,
-        );
+        assert!(stats.summary.units_computed > 0, "{endpoint} sat idle");
         client.shutdown().expect("shutdown");
+    }
+    for daemon in daemons {
         daemon.join().expect("daemon thread");
     }
-
-    /// The CI smoke path: a real daemon on a private socket, a real client,
-    /// and hard assertions — start, submit, verify a `MetricSet` comes back,
-    /// verify the repeat is fully cached, shut down.
-    fn self_check(workers: usize) {
-        let socket =
-            std::env::temp_dir().join(format!("oranges-self-check-{}.sock", std::process::id()));
-        let service =
-            CampaignService::bind(ServiceConfig::new(&socket).with_workers(workers)).expect("bind");
-        let daemon = std::thread::spawn(move || service.serve().expect("serve"));
-
-        let mut client = ServiceClient::connect(&socket).expect("connect");
-        client.ping().expect("ping");
-
-        let spec = CampaignSpec::new(
-            vec![ExperimentKind::Fig4, ExperimentKind::Contention],
-            vec![ChipGeneration::M1, ChipGeneration::M4],
-        )
-        .with_power_sizes(vec![2048]);
-
-        let first = client.run(&spec).expect("first run");
-        assert_eq!(first.units.len(), 4, "2 kinds x 2 chips");
-        assert_eq!(first.computed_units, 4, "cold cache computes everything");
-        let set = &first.units[0].output.sets[0];
-        assert!(!set.metrics.is_empty(), "a MetricSet came back");
-        assert!(
-            set.provenance.chip.is_some(),
-            "provenance survives the wire"
-        );
-        println!(
-            "self-check: first run computed {} units, e.g. {} metrics for {} [{}]",
-            first.computed_units,
-            set.metrics.len(),
-            set.provenance.experiment,
-            set.provenance.chip.as_deref().unwrap_or("?"),
-        );
-
-        let second = client.run(&spec).expect("second run");
-        assert_eq!(
-            second.computed_units, 0,
-            "repeat is served from the warm cache"
-        );
-        assert_eq!(second.fingerprint, first.fingerprint, "value-identical");
-        assert!(second.units.iter().all(|u| u.from_cache()));
-        println!(
-            "self-check: repeat served entirely from cache (fingerprint {})",
-            second.fingerprint
-        );
-
-        let stats = client.stats().expect("stats");
-        assert_eq!(stats.summary.runs, 2);
-        client.shutdown().expect("shutdown");
-        let summary = daemon.join().expect("daemon thread");
-        assert_eq!(summary.runs, 2);
-        println!(
-            "self-check: daemon shut down cleanly after {} requests — OK",
-            summary.requests
-        );
-    }
-}
-
-#[cfg(unix)]
-fn main() {
-    daemon::run();
-}
-
-#[cfg(not(unix))]
-fn main() {
-    eprintln!(
-        "the campaign service speaks over Unix-domain sockets; this example requires a unix target"
+    println!(
+        "fleet-check: 2 TCP daemons ({}) -> merged fingerprint {} == single-process — OK",
+        endpoints
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        run.report.fingerprint(),
     );
-    std::process::exit(2);
 }

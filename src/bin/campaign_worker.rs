@@ -12,6 +12,16 @@
 //!     --shard 0/4 --cache-out /tmp/shard-0.json [--cache-in /tmp/warm.json]
 //! ```
 //!
+//! Process workers are the *same-host* scale-out shape: they exchange
+//! shards through cache files on a shared filesystem. For workers on
+//! **other hosts**, run the campaign daemon there instead
+//! (`cargo run --example serve -- --listen tcp:0.0.0.0:7771`) and point
+//! the fleet orchestrator at it
+//! ([`Orchestrator::fleet`](oranges_campaign::orchestrate::Orchestrator::fleet),
+//! or `--example campaign -- --fleet tcp:hostA:7771,tcp:hostB:7771`):
+//! shards then travel over the service protocol (docs/PROTOCOL.md)
+//! and no shared filesystem is needed — see docs/OPERATIONS.md.
+//!
 //! [`Orchestrator`]: oranges_campaign::orchestrate::Orchestrator
 
 fn main() {

@@ -1,19 +1,55 @@
-//! Service-mode integration: a real daemon on a real Unix socket, real
+//! Service-mode integration: a real daemon on a real endpoint, real
 //! clients, and the two acceptance properties — an identical second
 //! request is served *entirely* from the warm cache (0 computed units),
 //! and what crosses the wire is value-identical to a local run.
-
-#![cfg(unix)]
+//!
+//! The **whole matrix runs twice** — once over `UnixTransport`, once
+//! over `TcpTransport` (loopback, port 0) — because the transport
+//! refactor's contract is that every service property (streaming,
+//! coalescing counters, warm-start, idle-drain, error handling) holds
+//! identically under both address families. Each test is a generic
+//! body over [`TestTransport`]; the `transport_matrix!` macro at the
+//! bottom instantiates it per transport.
 
 use oranges_campaign::prelude::*;
 use oranges_campaign::service::{
     CampaignService, ServiceClient, ServiceConfig, ServiceError, ServiceSummary,
 };
+#[cfg(unix)]
+use oranges_harness::transport::UnixTransport;
+use oranges_harness::transport::{Endpoint, TcpTransport, Transport};
 use std::path::PathBuf;
 use std::thread::JoinHandle;
 
 fn temp_path(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!("oranges-svc-{}-{name}", std::process::id()))
+}
+
+/// How each transport under test mints a private, collision-free
+/// endpoint to bind.
+trait TestTransport: Transport {
+    /// Name used in scratch-file names so the two matrix instances
+    /// never collide.
+    const TAG: &'static str;
+    /// A bindable endpoint for the named test.
+    fn endpoint(name: &str) -> Endpoint;
+}
+
+#[cfg(unix)]
+impl TestTransport for UnixTransport {
+    const TAG: &'static str = "unix";
+    fn endpoint(name: &str) -> Endpoint {
+        Endpoint::Unix(temp_path(&format!("{name}.sock")))
+    }
+}
+
+impl TestTransport for TcpTransport {
+    const TAG: &'static str = "tcp";
+    fn endpoint(_name: &str) -> Endpoint {
+        // Port 0: the OS assigns a private port at bind; the daemon's
+        // resolved endpoint is what clients dial.
+        "tcp:127.0.0.1:0".parse().expect("static endpoint")
+    }
 }
 
 fn small_spec() -> CampaignSpec {
@@ -25,22 +61,23 @@ fn small_spec() -> CampaignSpec {
     .with_workers(2)
 }
 
-/// Bind a daemon on a private socket and serve it from a thread.
-fn start_daemon(
+/// Bind a daemon on a private endpoint and serve it from a thread,
+/// returning the *resolved* endpoint clients should dial.
+fn start_daemon<T: TestTransport>(
     name: &str,
     config: impl FnOnce(ServiceConfig) -> ServiceConfig,
-) -> (PathBuf, JoinHandle<ServiceSummary>) {
-    let socket = temp_path(&format!("{name}.sock"));
-    let service = CampaignService::bind(config(ServiceConfig::new(&socket).with_workers(2)))
+) -> (Endpoint, JoinHandle<ServiceSummary>) {
+    let listen = T::endpoint(&format!("{}-{name}", T::TAG));
+    let service = CampaignService::<T>::bind(config(ServiceConfig::new(listen).with_workers(2)))
         .expect("bind service");
+    let endpoint = service.local_endpoint().clone();
     let daemon = std::thread::spawn(move || service.serve().expect("serve"));
-    (socket, daemon)
+    (endpoint, daemon)
 }
 
-#[test]
-fn second_identical_request_is_served_entirely_from_cache() {
-    let (socket, daemon) = start_daemon("repeat", |c| c);
-    let mut client = ServiceClient::connect(&socket).expect("connect");
+fn second_identical_request_is_served_entirely_from_cache_over<T: TestTransport>() {
+    let (endpoint, daemon) = start_daemon::<T>("repeat", |c| c);
+    let mut client = ServiceClient::<T>::connect(&endpoint).expect("connect");
 
     let first = client.run(&small_spec()).expect("first run");
     assert_eq!(first.units.len(), 4);
@@ -67,10 +104,9 @@ fn second_identical_request_is_served_entirely_from_cache() {
     assert_eq!(summary.units_streamed, 8);
 }
 
-#[test]
-fn served_results_are_value_identical_to_a_local_run() {
-    let (socket, daemon) = start_daemon("identity", |c| c);
-    let mut client = ServiceClient::connect(&socket).expect("connect");
+fn served_results_are_value_identical_to_a_local_run_over<T: TestTransport>() {
+    let (endpoint, daemon) = start_daemon::<T>("identity", |c| c);
+    let mut client = ServiceClient::<T>::connect(&endpoint).expect("connect");
 
     let served = client.run(&small_spec()).expect("served run");
     let local = run_campaign(&small_spec(), &ResultCache::new()).expect("local run");
@@ -80,7 +116,7 @@ fn served_results_are_value_identical_to_a_local_run() {
         assert_eq!(wire.key, direct.key);
         assert_eq!(
             wire.output.json, direct.output.json,
-            "canonical sets JSON survives the socket for {}",
+            "canonical sets JSON survives the wire for {}",
             wire.key
         );
         // Wall-time stamps are timing noise (two separate runs), so
@@ -101,13 +137,12 @@ fn served_results_are_value_identical_to_a_local_run() {
     daemon.join().expect("daemon");
 }
 
-#[test]
-fn daemon_persists_its_cache_and_warm_starts_the_next_incarnation() {
-    let cache_file = temp_path("persist.json");
+fn daemon_persists_its_cache_and_warm_starts_the_next_incarnation_over<T: TestTransport>() {
+    let cache_file = temp_path(&format!("persist-{}.json", T::TAG));
     std::fs::remove_file(&cache_file).ok();
 
-    let (socket, daemon) = start_daemon("persist-a", |c| c.with_cache_path(&cache_file));
-    let mut client = ServiceClient::connect(&socket).expect("connect");
+    let (endpoint, daemon) = start_daemon::<T>("persist-a", |c| c.with_cache_path(&cache_file));
+    let mut client = ServiceClient::<T>::connect(&endpoint).expect("connect");
     let first = client.run(&small_spec()).expect("run");
     assert_eq!(first.computed_units, 4);
     client.shutdown().expect("shutdown");
@@ -116,8 +151,8 @@ fn daemon_persists_its_cache_and_warm_starts_the_next_incarnation() {
 
     // A brand-new daemon process (modelled by a new service instance)
     // warm-starts from the file and computes nothing.
-    let (socket, daemon) = start_daemon("persist-b", |c| c.with_cache_path(&cache_file));
-    let mut client = ServiceClient::connect(&socket).expect("connect");
+    let (endpoint, daemon) = start_daemon::<T>("persist-b", |c| c.with_cache_path(&cache_file));
+    let mut client = ServiceClient::<T>::connect(&endpoint).expect("connect");
     let warm = client.run(&small_spec()).expect("warm run");
     assert_eq!(warm.computed_units, 0, "warm start across daemon restarts");
     assert_eq!(warm.fingerprint, first.fingerprint);
@@ -126,10 +161,9 @@ fn daemon_persists_its_cache_and_warm_starts_the_next_incarnation() {
     std::fs::remove_file(&cache_file).ok();
 }
 
-#[test]
-fn protocol_errors_are_in_band_and_do_not_kill_the_connection() {
-    let (socket, daemon) = start_daemon("errors", |c| c);
-    let mut client = ServiceClient::connect(&socket).expect("connect");
+fn protocol_errors_are_in_band_and_do_not_kill_the_connection_over<T: TestTransport>() {
+    let (endpoint, daemon) = start_daemon::<T>("errors", |c| c);
+    let mut client = ServiceClient::<T>::connect(&endpoint).expect("connect");
 
     // Unknown method.
     match client.raw_request("frobnicate", None) {
@@ -159,17 +193,15 @@ fn protocol_errors_are_in_band_and_do_not_kill_the_connection() {
     assert_eq!(summary.runs, 1, "failed requests are not runs");
 }
 
-#[test]
-fn a_client_vanishing_mid_request_does_not_kill_the_daemon() {
+fn a_client_vanishing_mid_request_does_not_kill_the_daemon_over<T: TestTransport>() {
     use std::io::Write;
-    use std::os::unix::net::UnixStream;
 
-    let (socket, daemon) = start_daemon("vanish", |c| c);
+    let (endpoint, daemon) = start_daemon::<T>("vanish", |c| c);
 
     // A rude client: submit a run, then slam the connection shut before
     // reading a single response byte — the daemon's writes will fail.
     {
-        let mut rude = UnixStream::connect(&socket).expect("connect rude client");
+        let mut rude = T::connect(&endpoint).expect("connect rude client");
         let body = small_spec().to_json();
         rude.write_all(format!("{{\"id\":1,\"method\":\"run\",\"body\":{body}}}\n").as_bytes())
             .expect("send request");
@@ -179,7 +211,7 @@ fn a_client_vanishing_mid_request_does_not_kill_the_daemon() {
     // The daemon must still be alive and warm for the next client.
     let mut client = loop {
         // The rude connection may still be draining; retry briefly.
-        match ServiceClient::connect(&socket) {
+        match ServiceClient::<T>::connect(&endpoint) {
             Ok(client) => break client,
             Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
         }
@@ -208,18 +240,17 @@ fn a_client_vanishing_mid_request_does_not_kill_the_daemon() {
     assert_eq!(summary.connections, 2);
 }
 
-#[test]
-fn shutdown_drains_even_with_an_idle_connection_open() {
+fn shutdown_drains_even_with_an_idle_connection_open_over<T: TestTransport>() {
     // Regression: a client that connects and then goes quiet must not
     // block shutdown — its handler thread is parked in a blocking read,
     // and the daemon half-closes the read side to wake it.
-    let (socket, daemon) = start_daemon("idle-drain", |c| c);
+    let (endpoint, daemon) = start_daemon::<T>("idle-drain", |c| c);
 
-    let mut idle = ServiceClient::connect(&socket).expect("idle client connects");
+    let mut idle = ServiceClient::<T>::connect(&endpoint).expect("idle client connects");
     idle.ping().expect("idle client is live");
     // `idle` stays open and silent while another client asks to stop.
 
-    let mut closer = ServiceClient::connect(&socket).expect("closer connects");
+    let mut closer = ServiceClient::<T>::connect(&endpoint).expect("closer connects");
     closer.shutdown().expect("shutdown accepted");
 
     let summary = daemon
@@ -230,18 +261,17 @@ fn shutdown_drains_even_with_an_idle_connection_open() {
     drop(idle);
 }
 
-#[test]
-fn sequential_connections_share_the_warm_cache() {
-    let (socket, daemon) = start_daemon("connections", |c| c);
+fn sequential_connections_share_the_warm_cache_over<T: TestTransport>() {
+    let (endpoint, daemon) = start_daemon::<T>("connections", |c| c);
 
     let first = {
-        let mut client = ServiceClient::connect(&socket).expect("connect 1");
+        let mut client = ServiceClient::<T>::connect(&endpoint).expect("connect 1");
         client.run(&small_spec()).expect("run 1")
         // client drops; connection closes
     };
     assert_eq!(first.computed_units, 4);
 
-    let mut client = ServiceClient::connect(&socket).expect("connect 2");
+    let mut client = ServiceClient::<T>::connect(&endpoint).expect("connect 2");
     let second = client.run(&small_spec()).expect("run 2");
     assert_eq!(second.computed_units, 0, "warmth crosses connections");
     assert_eq!(second.fingerprint, first.fingerprint);
@@ -249,18 +279,27 @@ fn sequential_connections_share_the_warm_cache() {
     let stats = client.stats().expect("stats");
     assert_eq!(stats.summary.connections, 2);
     assert_eq!(stats.cache.entries, 4);
+    assert_eq!(
+        stats.model_digest,
+        oranges::paper::model_constants_digest(),
+        "stats name the daemon's model digest"
+    );
 
     client.shutdown().expect("shutdown");
     daemon.join().expect("daemon");
 }
 
-#[test]
-fn stats_reports_cumulative_engine_and_connection_counters() {
-    let (socket, daemon) = start_daemon("counters", |c| c);
-    let mut client = ServiceClient::connect(&socket).expect("connect");
+fn stats_reports_cumulative_engine_and_connection_counters_over<T: TestTransport>() {
+    let (endpoint, daemon) = start_daemon::<T>("counters", |c| c);
+    let mut client = ServiceClient::<T>::connect(&endpoint).expect("connect");
 
     let first = client.run(&small_spec()).expect("cold run");
     assert_eq!(first.computed_units, 4);
+    assert_eq!(
+        first.model_digest,
+        oranges::paper::model_constants_digest(),
+        "done bodies carry the versioned-cache digest"
+    );
     let second = client.run(&small_spec()).expect("warm run");
     assert_eq!(second.computed_units, 0);
 
@@ -294,9 +333,8 @@ fn stats_reports_cumulative_engine_and_connection_counters() {
 /// specs *concurrently*; every shared unit is computed exactly once
 /// (the engine counters prove it), and both streamed reports are
 /// digest-identical to local serial runs of their specs.
-#[test]
-fn two_concurrent_clients_compute_shared_units_exactly_once() {
-    let (socket, daemon) = start_daemon("concurrent", |c| c);
+fn two_concurrent_clients_compute_shared_units_exactly_once_over<T: TestTransport>() {
+    let (endpoint, daemon) = start_daemon::<T>("concurrent", |c| c);
 
     // Overlap: both specs cover (fig4, contention) x (M1, M3); each
     // also duplicates a kind, so coalescing is exercised even if one
@@ -320,14 +358,14 @@ fn two_concurrent_clients_compute_shared_units_exactly_once() {
     )
     .with_power_sizes(vec![2048]);
 
-    let spawn_client = |spec: CampaignSpec, socket: PathBuf| {
+    let spawn_client = |spec: CampaignSpec, endpoint: Endpoint| {
         std::thread::spawn(move || {
-            let mut client = ServiceClient::connect(&socket).expect("connect");
+            let mut client = ServiceClient::<T>::connect(&endpoint).expect("connect");
             client.run(&spec).expect("run")
         })
     };
-    let handle_a = spawn_client(spec_a.clone(), socket.clone());
-    let handle_b = spawn_client(spec_b.clone(), socket.clone());
+    let handle_a = spawn_client(spec_a.clone(), endpoint.clone());
+    let handle_b = spawn_client(spec_b.clone(), endpoint.clone());
     let outcome_a = handle_a.join().expect("client A");
     let outcome_b = handle_b.join().expect("client B");
 
@@ -353,7 +391,7 @@ fn two_concurrent_clients_compute_shared_units_exactly_once() {
         .enumerate()
         .all(|(i, u)| u.index == i));
 
-    let mut client = ServiceClient::connect(&socket).expect("probe connect");
+    let mut client = ServiceClient::<T>::connect(&endpoint).expect("probe connect");
     let stats = client.stats().expect("stats");
     // 4 distinct units across both specs — computed exactly once each,
     // however the two clients interleaved.
@@ -377,10 +415,9 @@ fn two_concurrent_clients_compute_shared_units_exactly_once() {
 /// Unit responses stream as units complete: the client's observer sees
 /// every unit before the `done` summary is parsed, in the order the
 /// engine finished them.
-#[test]
-fn unit_responses_stream_before_the_run_completes() {
-    let (socket, daemon) = start_daemon("streaming", |c| c);
-    let mut client = ServiceClient::connect(&socket).expect("connect");
+fn unit_responses_stream_before_the_run_completes_over<T: TestTransport>() {
+    let (endpoint, daemon) = start_daemon::<T>("streaming", |c| c);
+    let mut client = ServiceClient::<T>::connect(&endpoint).expect("connect");
 
     let mut streamed: Vec<String> = Vec::new();
     let outcome = client
@@ -401,3 +438,66 @@ fn unit_responses_stream_before_the_run_completes() {
     client.shutdown().expect("shutdown");
     daemon.join().expect("daemon");
 }
+
+/// Instantiate the whole matrix for one transport.
+macro_rules! transport_matrix {
+    ($module:ident, $transport:ty) => {
+        mod $module {
+            use super::*;
+
+            #[test]
+            fn second_identical_request_is_served_entirely_from_cache() {
+                second_identical_request_is_served_entirely_from_cache_over::<$transport>();
+            }
+
+            #[test]
+            fn served_results_are_value_identical_to_a_local_run() {
+                served_results_are_value_identical_to_a_local_run_over::<$transport>();
+            }
+
+            #[test]
+            fn daemon_persists_its_cache_and_warm_starts_the_next_incarnation() {
+                daemon_persists_its_cache_and_warm_starts_the_next_incarnation_over::<$transport>();
+            }
+
+            #[test]
+            fn protocol_errors_are_in_band_and_do_not_kill_the_connection() {
+                protocol_errors_are_in_band_and_do_not_kill_the_connection_over::<$transport>();
+            }
+
+            #[test]
+            fn a_client_vanishing_mid_request_does_not_kill_the_daemon() {
+                a_client_vanishing_mid_request_does_not_kill_the_daemon_over::<$transport>();
+            }
+
+            #[test]
+            fn shutdown_drains_even_with_an_idle_connection_open() {
+                shutdown_drains_even_with_an_idle_connection_open_over::<$transport>();
+            }
+
+            #[test]
+            fn sequential_connections_share_the_warm_cache() {
+                sequential_connections_share_the_warm_cache_over::<$transport>();
+            }
+
+            #[test]
+            fn stats_reports_cumulative_engine_and_connection_counters() {
+                stats_reports_cumulative_engine_and_connection_counters_over::<$transport>();
+            }
+
+            #[test]
+            fn two_concurrent_clients_compute_shared_units_exactly_once() {
+                two_concurrent_clients_compute_shared_units_exactly_once_over::<$transport>();
+            }
+
+            #[test]
+            fn unit_responses_stream_before_the_run_completes() {
+                unit_responses_stream_before_the_run_completes_over::<$transport>();
+            }
+        }
+    };
+}
+
+#[cfg(unix)]
+transport_matrix!(unix_transport, UnixTransport);
+transport_matrix!(tcp_transport, TcpTransport);
