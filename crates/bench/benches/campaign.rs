@@ -2,8 +2,14 @@
 //! cold and cached, across worker counts.
 //!
 //! Run with `cargo bench -p oranges-bench --bench campaign`.
+//!
+//! Besides the human-readable table, the run writes its numbers to
+//! `BENCH_campaign.json` in the working directory — one machine-readable
+//! document (per-worker cold wall/throughput, cached re-run latency) so
+//! later changes can be diffed against this baseline.
 
 use oranges_campaign::prelude::*;
+use oranges_harness::json::JsonValue;
 use std::time::Instant;
 
 fn main() {
@@ -12,6 +18,7 @@ fn main() {
         "{:>8} {:>10} {:>12} {:>12} {:>10}",
         "workers", "units", "cold (s)", "units/s", "hit rate"
     );
+    let mut cold_runs = Vec::new();
     for workers in [1usize, 2, 4, 8] {
         let spec = CampaignSpec::paper_grid().with_workers(workers);
         let cache = ResultCache::new();
@@ -24,12 +31,24 @@ fn main() {
             report.units_per_second(),
             report.campaign_hit_rate() * 100.0
         );
+        cold_runs.push(JsonValue::Object(vec![
+            ("workers".to_string(), JsonValue::integer(workers as u64)),
+            (
+                "units".to_string(),
+                JsonValue::integer(report.units.len() as u64),
+            ),
+            ("cold_s".to_string(), JsonValue::number(cold)),
+            (
+                "units_per_s".to_string(),
+                JsonValue::number(report.units_per_second()),
+            ),
+        ]));
     }
 
     // The cached path: how fast is a fully warm re-run?
     let spec = CampaignSpec::paper_grid().with_workers(4);
     let cache = ResultCache::new();
-    run_campaign(&spec, &cache).expect("warm-up campaign");
+    let warmup = run_campaign(&spec, &cache).expect("warm-up campaign");
     let started = Instant::now();
     let reruns = 50;
     for _ in 0..reruns {
@@ -42,4 +61,41 @@ fn main() {
         per_rerun * 1e3,
         16.0 / per_rerun
     );
+
+    // Machine-readable baseline for later PRs to diff.
+    let document = JsonValue::Object(vec![
+        (
+            "bench".to_string(),
+            JsonValue::String("campaign".to_string()),
+        ),
+        (
+            "grid".to_string(),
+            JsonValue::String("fig1-4 x M1-M4".to_string()),
+        ),
+        ("cold_runs".to_string(), JsonValue::Array(cold_runs)),
+        (
+            "cached_rerun".to_string(),
+            JsonValue::Object(vec![
+                ("workers".to_string(), JsonValue::integer(4)),
+                ("reruns".to_string(), JsonValue::integer(reruns)),
+                (
+                    "per_rerun_ms".to_string(),
+                    JsonValue::number(per_rerun * 1e3),
+                ),
+                (
+                    "units_per_s".to_string(),
+                    JsonValue::number(warmup.units.len() as f64 / per_rerun),
+                ),
+            ]),
+        ),
+    ]);
+    // Anchor at the workspace root regardless of the invocation cwd
+    // (cargo runs benches from the package directory).
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_campaign.json");
+    match std::fs::write(&path, document.to_json_string() + "\n") {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(error) => eprintln!("could not write {}: {error}", path.display()),
+    }
 }

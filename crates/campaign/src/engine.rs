@@ -46,6 +46,9 @@ use crate::plan::{PlanUnit, UnitKey};
 use crate::scheduler::CampaignError;
 use oranges::experiments::ExperimentOutput;
 use oranges::platform::PlatformPool;
+use oranges_harness::obs::{
+    CampaignEvent, EventBroadcaster, EventKind, EventStream, Histogram, HistogramSnapshot,
+};
 use oranges_soc::chip::ChipGeneration;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -134,6 +137,9 @@ pub struct EngineStats {
     pub coalesced_joins: u64,
     /// Units that failed (experiment error or panic).
     pub units_failed: u64,
+    /// Lifecycle events lost to full subscriber buffers (see
+    /// [`ExecutionEngine::subscribe_events`]).
+    pub events_dropped: u64,
 }
 
 /// A waiter attached to one in-flight computation.
@@ -170,6 +176,11 @@ struct EngineShared {
     cache_hits: AtomicU64,
     coalesced_joins: AtomicU64,
     units_failed: AtomicU64,
+    events: EventBroadcaster,
+    /// Per-experiment compute-latency histograms, keyed by experiment
+    /// id. The lock guards only the map; observations on a retrieved
+    /// histogram are lock-free.
+    latency: Mutex<HashMap<String, Arc<Histogram>>>,
 }
 
 impl EngineShared {
@@ -182,6 +193,22 @@ impl EngineShared {
         self.state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Record one computed-unit latency in the experiment's histogram,
+    /// creating the histogram on first observation.
+    fn record_latency(&self, experiment: &str, seconds: f64) {
+        let histogram = {
+            let mut map = self
+                .latency
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            Arc::clone(
+                map.entry(experiment.to_string())
+                    .or_insert_with(|| Arc::new(Histogram::latency())),
+            )
+        };
+        histogram.observe(seconds);
     }
 }
 
@@ -237,6 +264,8 @@ impl ExecutionEngine {
             cache_hits: AtomicU64::new(0),
             coalesced_joins: AtomicU64::new(0),
             units_failed: AtomicU64::new(0),
+            events: EventBroadcaster::new(),
+            latency: Mutex::new(HashMap::new()),
         });
         let handles = (0..workers)
             .map(|_| {
@@ -264,7 +293,62 @@ impl ExecutionEngine {
             cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
             coalesced_joins: self.shared.coalesced_joins.load(Ordering::Relaxed),
             units_failed: self.shared.units_failed.load(Ordering::Relaxed),
+            events_dropped: self.shared.events.events_dropped(),
         }
+    }
+
+    /// Number of jobs queued but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state().queue.len()
+    }
+
+    /// Number of units currently in flight (queued or computing).
+    pub fn inflight(&self) -> usize {
+        self.shared.state().inflight.len()
+    }
+
+    /// Number of worker threads still running. Anything less than
+    /// [`workers`](ExecutionEngine::workers) means a worker died to an
+    /// engine bug — the readiness signal a health probe wants.
+    pub fn alive_workers(&self) -> usize {
+        self.handles.iter().filter(|h| !h.is_finished()).count()
+    }
+
+    /// Subscribe to the engine's lifecycle events over a bounded
+    /// channel holding up to `capacity` events. Publishing never
+    /// blocks: if this subscriber falls behind, events are dropped for
+    /// it and counted in [`EngineStats::events_dropped`]. Dropping the
+    /// stream unsubscribes.
+    pub fn subscribe_events(&self, capacity: usize) -> EventStream {
+        self.shared.events.subscribe(capacity)
+    }
+
+    /// The engine's event broadcaster — the service publishes its own
+    /// connection/cache events onto the same bus so one `subscribe`
+    /// stream carries everything.
+    pub fn events(&self) -> &EventBroadcaster {
+        &self.shared.events
+    }
+
+    /// Current subscriber count on the event bus.
+    pub fn event_subscribers(&self) -> usize {
+        self.shared.events.subscriber_count()
+    }
+
+    /// Per-experiment compute-latency snapshots, sorted by experiment
+    /// id for deterministic exposition output.
+    pub fn latency_snapshots(&self) -> Vec<(String, HistogramSnapshot)> {
+        let map = self
+            .shared
+            .latency
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut snapshots: Vec<(String, HistogramSnapshot)> = map
+            .iter()
+            .map(|(id, histogram)| (id.clone(), histogram.snapshot()))
+            .collect();
+        snapshots.sort_by(|a, b| a.0.cmp(&b.0));
+        snapshots
     }
 
     /// Submit a batch of units against `cache` and receive their
@@ -283,6 +367,10 @@ impl ExecutionEngine {
         let (sender, receiver) = mpsc::channel();
         let cache_id = cache.instance_id();
         let mut queued = false;
+        // Events are collected under the lock (so their order matches
+        // the classification order) but broadcast only after it is
+        // released — the critical section stays queue-work only.
+        let mut events: Vec<CampaignEvent> = Vec::new();
         {
             let mut state = self.shared.state();
             for unit in units {
@@ -290,6 +378,11 @@ impl ExecutionEngine {
                 let slot = (cache_id, unit.key.clone());
                 if let Some(waiters) = state.inflight.get_mut(&slot) {
                     self.shared.coalesced_joins.fetch_add(1, Ordering::Relaxed);
+                    events.push(CampaignEvent::unit(
+                        EventKind::Coalesced,
+                        &unit.key.to_string(),
+                        &unit.key.id,
+                    ));
                     waiters.push(Waiter {
                         index: unit.index,
                         source: UnitSource::Coalesced,
@@ -300,6 +393,11 @@ impl ExecutionEngine {
                 let probe = Instant::now();
                 if let Some(hit) = cache.get(&unit.key) {
                     self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    events.push(CampaignEvent::unit(
+                        EventKind::CacheHit,
+                        &unit.key.to_string(),
+                        &unit.key.id,
+                    ));
                     let _ = sender.send(UnitDelivery {
                         index: unit.index,
                         outcome: Ok(UnitOutcome {
@@ -328,6 +426,9 @@ impl ExecutionEngine {
         }
         if queued {
             self.shared.wake.notify_all();
+        }
+        for event in &events {
+            self.shared.events.publish(event);
         }
         Subscription {
             receiver,
@@ -378,6 +479,11 @@ fn engine_worker_loop(shared: &EngineShared) {
                 }
             }
         };
+        shared.events.publish(&CampaignEvent::unit(
+            EventKind::UnitStarted,
+            &job.unit.key.to_string(),
+            &job.unit.key.id,
+        ));
         // The engine must never wedge: `service_job` retires the job's
         // in-flight entry and notifies every waiter on all of its own
         // paths, and if it panics anyway (a bug in *our* code, not the
@@ -435,6 +541,24 @@ fn service_job(shared: &EngineShared, job: &Job, pool: &mut PlatformPool) {
         }
     };
     let wall = started.elapsed();
+    let event = match &outcome {
+        Ok(_) => {
+            shared.record_latency(&job.unit.key.id, wall.as_secs_f64());
+            CampaignEvent::unit(
+                EventKind::UnitCompleted,
+                &job.unit.key.to_string(),
+                &job.unit.key.id,
+            )
+            .with_wall(wall.as_secs_f64())
+        }
+        Err(error) => CampaignEvent::unit(
+            EventKind::UnitFailed,
+            &job.unit.key.to_string(),
+            &job.unit.key.id,
+        )
+        .with_detail(&error.to_string()),
+    };
+    shared.events.publish(&event);
 
     let waiters = shared
         .state()
@@ -468,6 +592,14 @@ fn service_job(shared: &EngineShared, job: &Job, pool: &mut PlatformPool) {
 /// engine could not finish.
 fn abort_job(shared: &EngineShared, job: &Job) {
     shared.units_failed.fetch_add(1, Ordering::Relaxed);
+    shared.events.publish(
+        &CampaignEvent::unit(
+            EventKind::UnitFailed,
+            &job.unit.key.to_string(),
+            &job.unit.key.id,
+        )
+        .with_detail("engine worker panicked servicing the unit"),
+    );
     let waiters = shared
         .state()
         .inflight
@@ -686,6 +818,131 @@ mod tests {
         let next = engine.submit(&[unit_of(0, experiment)], &cache);
         let outcome = next.recv().expect("delivery").outcome.expect("runs fine");
         assert_eq!(outcome.source, UnitSource::Computed);
+    }
+
+    /// Pull events off `stream` until `want` of them match `kind` (or
+    /// a generous timeout expires), returning everything seen.
+    fn collect_until(stream: &EventStream, kind: EventKind, want: usize) -> Vec<CampaignEvent> {
+        let mut seen = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while seen
+            .iter()
+            .filter(|e: &&CampaignEvent| e.kind == kind)
+            .count()
+            < want
+            && Instant::now() < deadline
+        {
+            if let Ok(event) = stream.recv_timeout(Duration::from_millis(50)) {
+                seen.push(event);
+            }
+        }
+        seen
+    }
+
+    #[test]
+    fn lifecycle_events_and_latency_histograms_cover_every_path() {
+        let engine = ExecutionEngine::new(2);
+        let cache = ResultCache::new();
+        let stream = engine.subscribe_events(64);
+        assert_eq!(engine.event_subscribers(), 1);
+
+        let (experiment, gate, _) = GatedExperiment::new("observed");
+        let first = engine.submit(&[unit_of(0, experiment.clone())], &cache);
+        // Attach a second submission while the first is gated in
+        // flight, so a coalesced event is emitted deterministically.
+        let second = engine.submit(&[unit_of(0, experiment.clone())], &cache);
+        release(&gate);
+        assert!(first.recv().expect("first").outcome.is_ok());
+        assert!(second.recv().expect("second").outcome.is_ok());
+        // A third submission after completion is a cache hit.
+        let third = engine.submit(&[unit_of(0, experiment)], &cache);
+        assert!(third.recv().expect("third").outcome.is_ok());
+
+        let events = collect_until(&stream, EventKind::CacheHit, 1);
+        let kind_count = |k: EventKind| events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(kind_count(EventKind::UnitStarted), 1, "one computation");
+        assert_eq!(kind_count(EventKind::UnitCompleted), 1);
+        assert_eq!(kind_count(EventKind::Coalesced), 1);
+        assert_eq!(kind_count(EventKind::CacheHit), 1);
+        let completed = events
+            .iter()
+            .find(|e| e.kind == EventKind::UnitCompleted)
+            .expect("completed event");
+        assert!(completed.wall_s.is_some(), "completion carries wall time");
+        assert_eq!(completed.experiment.as_deref(), Some("gated"));
+        assert!(completed.unit.as_deref().unwrap_or("").contains("gated"));
+
+        // The computation landed in the per-experiment histogram.
+        let latency = engine.latency_snapshots();
+        assert_eq!(latency.len(), 1);
+        assert_eq!(latency[0].0, "gated");
+        assert_eq!(latency[0].1.count, 1);
+
+        // Failures are events too.
+        let doomed = engine.submit(&[unit_of(0, Arc::new(PanickingExperiment))], &cache);
+        assert!(doomed.recv().expect("failure delivered").outcome.is_err());
+        let failures = collect_until(&stream, EventKind::UnitFailed, 1);
+        let failed = failures
+            .iter()
+            .find(|e| e.kind == EventKind::UnitFailed)
+            .expect("failure event");
+        assert!(failed.detail.as_deref().unwrap_or("").contains("panic"));
+    }
+
+    #[test]
+    fn a_slow_event_subscriber_drops_events_but_never_stalls_the_engine() {
+        let engine = ExecutionEngine::new(2);
+        let cache = ResultCache::new();
+        // Capacity-1 subscriber that never reads: every unit's started+
+        // completed pair overflows it immediately.
+        let _slow = engine.subscribe_events(1);
+        for round in 0..8 {
+            let (experiment, gate, _) = GatedExperiment::new(&format!("burst{round}"));
+            release(&gate);
+            let sub = engine.submit(&[unit_of(0, experiment)], &cache);
+            assert!(sub.recv().expect("delivery").outcome.is_ok());
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.units_computed, 8, "all units completed despite drops");
+        assert!(
+            stats.events_dropped > 0,
+            "a full subscriber buffer counts drops: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn queue_and_inflight_gauges_track_pending_work() {
+        let engine = ExecutionEngine::new(1);
+        let cache = ResultCache::new();
+        assert_eq!(engine.queue_depth(), 0);
+        assert_eq!(engine.inflight(), 0);
+        assert_eq!(engine.alive_workers(), 1);
+
+        let (a, gate_a, _) = GatedExperiment::new("gauge-a");
+        let (b, gate_b, _) = GatedExperiment::new("gauge-b");
+        let (c, gate_c, _) = GatedExperiment::new("gauge-c");
+        let sub = engine.submit(&[unit_of(0, a), unit_of(1, b), unit_of(2, c)], &cache);
+        // All three are in flight; the single worker holds one off the
+        // queue (gated), leaving two queued once it picks up.
+        assert_eq!(engine.inflight(), 3);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while engine.queue_depth() > 2 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(engine.queue_depth(), 2);
+
+        release(&gate_a);
+        release(&gate_b);
+        release(&gate_c);
+        for _ in 0..3 {
+            assert!(sub.recv().expect("delivery").outcome.is_ok());
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while engine.inflight() > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(engine.queue_depth(), 0);
+        assert_eq!(engine.inflight(), 0);
     }
 
     #[test]

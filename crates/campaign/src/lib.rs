@@ -178,6 +178,7 @@ pub use orchestrate::{OrchestrateError, OrchestratedRun, Orchestrator};
 pub use plan::{Plan, PlanUnit, UnitKey};
 pub use report::{CampaignReport, UnitReport};
 pub use scheduler::{run_campaign, run_campaign_serial, CampaignError, WorkerPool};
+pub use service::{HealthReport, ServiceGauges, ServiceSummary};
 pub use spec::{CampaignSpec, ExperimentKind, SpecParseError};
 
 /// Convenience prelude.

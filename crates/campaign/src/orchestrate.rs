@@ -98,6 +98,18 @@ pub enum OrchestrateError {
         /// The underlying [`ServiceError`], rendered.
         message: String,
     },
+    /// A fleet endpoint answered its pre-dispatch `health` probe but
+    /// reported itself not ready (draining, or dead worker threads) —
+    /// the shard was never dispatched, so the campaign fails in
+    /// milliseconds instead of timing out mid-run.
+    Unhealthy {
+        /// Which shard (0-based).
+        shard: usize,
+        /// The endpoint that reported unhealthy, in display form.
+        endpoint: String,
+        /// Why it is not ready, as reported by the daemon.
+        reason: String,
+    },
     /// A same-version fleet shard disagreed with the shared cache on a
     /// unit's value identity — a corrupt or dishonest daemon, never an
     /// honest one (the simulation is deterministic per model version).
@@ -138,6 +150,15 @@ impl fmt::Display for OrchestrateError {
                 endpoint,
                 message,
             } => write!(f, "fleet shard {shard} ({endpoint}) failed: {message}"),
+            OrchestrateError::Unhealthy {
+                shard,
+                endpoint,
+                reason,
+            } => write!(
+                f,
+                "fleet shard {shard} ({endpoint}) is not ready: {reason}; \
+                 nothing was dispatched"
+            ),
             OrchestrateError::RemoteConflict { error, endpoint } => write!(
                 f,
                 "fleet merge: {error} (shard served by {endpoint}; \
@@ -345,6 +366,35 @@ impl Orchestrator {
             ));
         }
         let count = endpoints.len();
+        // Health pre-poll: probe every endpoint's `health` before
+        // dispatching anything. An unreachable host is a typed
+        // connect failure and an unhealthy one (draining, dead worker
+        // threads) a typed `Unhealthy` — either way the campaign fails
+        // in milliseconds with the shard and endpoint named, instead
+        // of a shard timing out mid-run with work already dispatched.
+        for (index, endpoint) in endpoints.iter().enumerate() {
+            let remote = |error: ServiceError| OrchestrateError::Remote {
+                shard: index,
+                endpoint: endpoint.to_string(),
+                message: error.to_string(),
+            };
+            let mut probe = ServiceClient::<AnyTransport>::connect(endpoint).map_err(remote)?;
+            let health = probe.health().map_err(remote)?;
+            if !health.ready {
+                return Err(OrchestrateError::Unhealthy {
+                    shard: index,
+                    endpoint: endpoint.to_string(),
+                    reason: if health.draining {
+                        "draining after shutdown".to_string()
+                    } else {
+                        format!(
+                            "{}/{} engine workers alive",
+                            health.workers_alive, health.workers_configured
+                        )
+                    },
+                });
+            }
+        }
         // Dispatch every shard concurrently and join them all before
         // judging any (mirrors process mode: no shard is abandoned
         // mid-flight when a sibling fails), then report the earliest

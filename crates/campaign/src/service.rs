@@ -26,6 +26,9 @@
 //! |---|---|---|
 //! | `run` | [`CampaignSpec`] JSON | `unit` × N (as they finish), then `done` |
 //! | `stats` | — | `stats` (cache + engine + service counters) |
+//! | `metrics` | — | `metrics` (Prometheus text exposition as a string body) |
+//! | `health` | — | `health` (liveness + readiness for supervisors) |
+//! | `subscribe` | — | `subscribed`, then one `event` per lifecycle event |
 //! | `ping` | — | `pong` |
 //! | `shutdown` | — | `bye`, then the daemon drains connections and exits |
 //!
@@ -102,6 +105,7 @@ use crate::spec::{CampaignSpec, SpecParseError};
 use oranges::experiments::ExperimentOutput;
 use oranges_harness::envelope::{EnvelopeError, Request, Response};
 use oranges_harness::json::{self, JsonValue};
+use oranges_harness::obs::{CampaignEvent, EventKind, Exposition};
 use oranges_harness::transport::{Endpoint, Listener, Stream, Transport};
 use std::collections::HashMap;
 use std::fmt;
@@ -236,6 +240,31 @@ pub struct ServiceSummary {
     /// Units that coalesced onto another request's in-flight
     /// computation — the cross-request dedupe proof.
     pub coalesced_joins: u64,
+    /// Units submitted to the shared engine across all requests (every
+    /// one resolves to computed, cache hit, or coalesced join).
+    pub units_submitted: u64,
+    /// Units that failed (experiment error or contained panic).
+    pub units_failed: u64,
+    /// Lifecycle events dropped because a `subscribe` client's buffer
+    /// was full — publishing never blocks an engine worker.
+    pub events_dropped: u64,
+}
+
+/// Point-in-time gauges reported alongside the cumulative
+/// [`ServiceSummary`] in `stats` responses (and as gauges in the
+/// `metrics` exposition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceGauges {
+    /// Jobs queued in the engine but not yet picked up by a worker.
+    pub queue_depth: u64,
+    /// Units currently in flight (queued or computing).
+    pub units_inflight: u64,
+    /// Live event subscribers (`subscribe` connections and in-process
+    /// streams).
+    pub event_subscribers: u64,
+    /// Engine worker threads still running (readiness wants this equal
+    /// to the configured worker count).
+    pub workers_alive: u64,
 }
 
 /// Mutable daemon state shared by the accept loop and every connection
@@ -280,7 +309,122 @@ impl<T: Transport> ServiceShared<T> {
             units_computed: engine.units_computed,
             unit_cache_hits: engine.cache_hits,
             coalesced_joins: engine.coalesced_joins,
+            units_submitted: engine.units_submitted,
+            units_failed: engine.units_failed,
+            events_dropped: engine.events_dropped,
         }
+    }
+
+    fn gauges(&self) -> ServiceGauges {
+        ServiceGauges {
+            queue_depth: self.engine.queue_depth() as u64,
+            units_inflight: self.engine.inflight() as u64,
+            event_subscribers: self.engine.event_subscribers() as u64,
+            workers_alive: self.engine.alive_workers() as u64,
+        }
+    }
+
+    fn health(&self) -> HealthReport {
+        HealthReport::of(
+            self.shutdown.load(Ordering::Relaxed),
+            self.engine.alive_workers(),
+            self.engine.workers(),
+            self.cache.stats().entries,
+            &self.local,
+        )
+    }
+}
+
+/// Liveness + readiness, answered by the `health` method. A daemon that
+/// answers at all is *live*; it is *ready* only while it is not
+/// draining and every configured engine worker thread is still running
+/// — the signal a supervisor or fleet orchestrator should gate
+/// dispatch on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Overall readiness: not draining, all workers alive.
+    pub ready: bool,
+    /// The daemon received `shutdown` and is draining connections.
+    pub draining: bool,
+    /// Engine worker threads still running.
+    pub workers_alive: u64,
+    /// Engine worker threads configured at bind.
+    pub workers_configured: u64,
+    /// Entries in the warm cache (0 is healthy — a cold daemon).
+    pub cache_entries: u64,
+    /// The resolved listening endpoint.
+    pub endpoint: String,
+}
+
+impl HealthReport {
+    /// Derive readiness from the raw signals. Kept separate from the
+    /// service so the drain transition (`draining: true` ⇒ not ready)
+    /// is testable without a socket.
+    pub fn of(
+        draining: bool,
+        workers_alive: usize,
+        workers_configured: usize,
+        cache_entries: usize,
+        endpoint: &Endpoint,
+    ) -> HealthReport {
+        HealthReport {
+            ready: !draining && workers_alive == workers_configured,
+            draining,
+            workers_alive: workers_alive as u64,
+            workers_configured: workers_configured as u64,
+            cache_entries: cache_entries as u64,
+            endpoint: endpoint.to_string(),
+        }
+    }
+
+    /// The `health` response body.
+    pub fn to_body(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("ready".to_string(), JsonValue::Bool(self.ready)),
+            ("draining".to_string(), JsonValue::Bool(self.draining)),
+            (
+                "workers_alive".to_string(),
+                JsonValue::integer(self.workers_alive),
+            ),
+            (
+                "workers_configured".to_string(),
+                JsonValue::integer(self.workers_configured),
+            ),
+            (
+                "cache_entries".to_string(),
+                JsonValue::integer(self.cache_entries),
+            ),
+            (
+                "endpoint".to_string(),
+                JsonValue::String(self.endpoint.clone()),
+            ),
+        ])
+    }
+
+    /// Parse a `health` response body (the client side).
+    pub fn from_body(body: &JsonValue) -> Result<HealthReport, ServiceError> {
+        let flag = |name: &str| {
+            body.get(name)
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| ServiceError::Protocol(format!("health body has no bool '{name}'")))
+        };
+        let counter = |name: &str| {
+            body.get(name).and_then(JsonValue::as_u64).ok_or_else(|| {
+                ServiceError::Protocol(format!("health body has no integer '{name}'"))
+            })
+        };
+        Ok(HealthReport {
+            ready: flag("ready")?,
+            draining: flag("draining")?,
+            workers_alive: counter("workers_alive")?,
+            workers_configured: counter("workers_configured")?,
+            cache_entries: counter("cache_entries")?,
+            endpoint: body
+                .get("endpoint")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| ServiceError::Protocol("health body has no 'endpoint'".into()))?
+                .to_string(),
+        })
     }
 }
 
@@ -406,6 +550,10 @@ impl<T: Transport> CampaignService<T> {
                     self.shared
                         .active_connections
                         .fetch_add(1, Ordering::Relaxed);
+                    self.shared.engine.events().publish(
+                        &CampaignEvent::new(EventKind::ConnectionOpened)
+                            .with_connection(connection_id),
+                    );
                     let shared = Arc::clone(&self.shared);
                     handles.push(std::thread::spawn(move || {
                         if let Err(error) = handle_connection(&shared, stream) {
@@ -421,6 +569,10 @@ impl<T: Transport> CampaignService<T> {
                             .expect("live connections")
                             .remove(&connection_id);
                         shared.active_connections.fetch_sub(1, Ordering::Relaxed);
+                        shared.engine.events().publish(
+                            &CampaignEvent::new(EventKind::ConnectionClosed)
+                                .with_connection(connection_id),
+                        );
                     }));
                 }
                 Err(error) => {
@@ -459,6 +611,10 @@ impl<T: Transport> CampaignService<T> {
     fn persist_and_cleanup(&self) -> Result<(), ServiceError> {
         if let Some(path) = &self.shared.config.cache_path {
             self.shared.cache.save(path)?;
+            self.shared.engine.events().publish(
+                &CampaignEvent::new(EventKind::CachePersisted)
+                    .with_detail(&path.display().to_string()),
+            );
         }
         self.listener.cleanup();
         Ok(())
@@ -502,12 +658,28 @@ fn handle_connection<T: Transport>(
                     &shared.cache.stats(),
                     shared.cache.model_digest(),
                     &shared.summary(),
+                    &shared.gauges(),
                 );
                 write_response(
                     &mut writer,
                     &Response::ok(request.id, "stats").with_body(body),
                 )?;
             }
+            "metrics" => {
+                let text = metrics_text(shared);
+                write_response(
+                    &mut writer,
+                    &Response::ok(request.id, "metrics").with_body(JsonValue::String(text)),
+                )?;
+            }
+            "health" => {
+                let body = shared.health().to_body();
+                write_response(
+                    &mut writer,
+                    &Response::ok(request.id, "health").with_body(body),
+                )?;
+            }
+            "subscribe" => return handle_subscribe(shared, &request, &mut writer),
             "run" => handle_run(shared, &request, &mut writer)?,
             "shutdown" => {
                 write_response(&mut writer, &Response::ok(request.id, "bye"))?;
@@ -602,6 +774,193 @@ fn handle_run<T: Transport>(
     )
 }
 
+/// How many events a `subscribe` connection may buffer before the
+/// broadcaster starts dropping (and counting) events for it.
+const SUBSCRIBE_BUFFER: usize = 1024;
+
+/// Idle heartbeat period on a `subscribe` stream — both a liveness
+/// signal for the watcher and how the daemon notices a vanished client
+/// (the heartbeat write fails).
+const SUBSCRIBE_HEARTBEAT: Duration = Duration::from_secs(5);
+
+/// Serve one `subscribe` request: acknowledge, then stream one `event`
+/// response per lifecycle event until the client disconnects or the
+/// daemon drains. The connection is dedicated to the stream from here
+/// on (no further requests are read), and the loop parks in a bounded
+/// `recv_timeout` — not a socket read — so the shutdown drain never
+/// waits on a quiet subscriber for more than one poll interval.
+fn handle_subscribe<T: Transport>(
+    shared: &Arc<ServiceShared<T>>,
+    request: &Request,
+    writer: &mut T::Stream,
+) -> Result<(), ServiceError> {
+    let stream = shared.engine.subscribe_events(SUBSCRIBE_BUFFER);
+    write_response(writer, &Response::ok(request.id, "subscribed"))?;
+    let mut last_write = Instant::now();
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            // Drain: end the stream so the connection thread can exit.
+            return Ok(());
+        }
+        let event = match stream.recv_timeout(Duration::from_millis(100)) {
+            Ok(event) => event,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if last_write.elapsed() < SUBSCRIBE_HEARTBEAT {
+                    continue;
+                }
+                CampaignEvent::new(EventKind::Heartbeat)
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
+        };
+        let response = Response::ok(request.id, "event").with_body(event.to_json());
+        if write_response(writer, &response).is_err() {
+            // The client going away is the normal end of a subscription,
+            // not a connection error worth logging.
+            return Ok(());
+        }
+        last_write = Instant::now();
+    }
+}
+
+/// Render the full metrics exposition: service + engine counters, the
+/// point-in-time gauges, and one latency histogram per experiment —
+/// the same counter set `stats` reports, in scrapeable form.
+fn metrics_text<T: Transport>(shared: &ServiceShared<T>) -> String {
+    let summary = shared.summary();
+    let gauges = shared.gauges();
+    let cache = shared.cache.stats();
+    let mut exp = Exposition::new();
+    exp.counter(
+        "oranges_connections_total",
+        "Connections accepted over the daemon's lifetime.",
+        &[],
+        summary.connections,
+    );
+    exp.counter(
+        "oranges_requests_total",
+        "Requests dispatched (all methods).",
+        &[],
+        summary.requests,
+    );
+    exp.counter(
+        "oranges_runs_total",
+        "Run requests completed successfully.",
+        &[],
+        summary.runs,
+    );
+    exp.counter(
+        "oranges_units_streamed_total",
+        "Unit responses streamed to clients.",
+        &[],
+        summary.units_streamed,
+    );
+    exp.counter(
+        "oranges_units_submitted_total",
+        "Units submitted to the shared engine.",
+        &[],
+        summary.units_submitted,
+    );
+    exp.counter(
+        "oranges_units_total",
+        "Units resolved, by how the engine satisfied them.",
+        &[("source", "computed")],
+        summary.units_computed,
+    );
+    exp.counter(
+        "oranges_units_total",
+        "Units resolved, by how the engine satisfied them.",
+        &[("source", "cache")],
+        summary.unit_cache_hits,
+    );
+    exp.counter(
+        "oranges_units_total",
+        "Units resolved, by how the engine satisfied them.",
+        &[("source", "coalesced")],
+        summary.coalesced_joins,
+    );
+    exp.counter(
+        "oranges_units_failed_total",
+        "Units that failed (experiment error or contained panic).",
+        &[],
+        summary.units_failed,
+    );
+    exp.counter(
+        "oranges_events_dropped_total",
+        "Lifecycle events dropped on full subscriber buffers.",
+        &[],
+        summary.events_dropped,
+    );
+    exp.counter(
+        "oranges_cache_lookups_total",
+        "Warm-cache lookups, by result.",
+        &[("result", "hit")],
+        cache.hits,
+    );
+    exp.counter(
+        "oranges_cache_lookups_total",
+        "Warm-cache lookups, by result.",
+        &[("result", "miss")],
+        cache.misses,
+    );
+    exp.gauge(
+        "oranges_cache_entries",
+        "Entries in the warm cache.",
+        &[],
+        cache.entries as f64,
+    );
+    exp.gauge(
+        "oranges_active_connections",
+        "Connections currently open.",
+        &[],
+        summary.active_connections as f64,
+    );
+    exp.gauge(
+        "oranges_queue_depth",
+        "Engine jobs queued but not yet picked up by a worker.",
+        &[],
+        gauges.queue_depth as f64,
+    );
+    exp.gauge(
+        "oranges_units_inflight",
+        "Units currently in flight (queued or computing).",
+        &[],
+        gauges.units_inflight as f64,
+    );
+    exp.gauge(
+        "oranges_event_subscribers",
+        "Live event subscribers.",
+        &[],
+        gauges.event_subscribers as f64,
+    );
+    exp.gauge(
+        "oranges_workers_alive",
+        "Engine worker threads still running.",
+        &[],
+        gauges.workers_alive as f64,
+    );
+    exp.gauge(
+        "oranges_workers_configured",
+        "Engine worker threads configured at bind.",
+        &[],
+        shared.engine.workers() as f64,
+    );
+    exp.gauge(
+        "oranges_build_info",
+        "Constant 1, labeled with the model-constants digest.",
+        &[("model_digest", shared.cache.model_digest())],
+        1.0,
+    );
+    for (experiment, snapshot) in shared.engine.latency_snapshots() {
+        exp.histogram(
+            "oranges_unit_latency_seconds",
+            "Compute wall time per unit, by experiment.",
+            &[("experiment", &experiment)],
+            &snapshot,
+        );
+    }
+    exp.finish()
+}
+
 fn write_response(writer: &mut impl Write, response: &Response) -> Result<(), ServiceError> {
     writer
         .write_all(response.to_line().as_bytes())
@@ -682,7 +1041,12 @@ fn cache_body(stats: &CacheStats) -> JsonValue {
     ])
 }
 
-fn stats_body(stats: &CacheStats, model_digest: &str, summary: &ServiceSummary) -> JsonValue {
+fn stats_body(
+    stats: &CacheStats,
+    model_digest: &str,
+    summary: &ServiceSummary,
+    gauges: &ServiceGauges,
+) -> JsonValue {
     JsonValue::Object(vec![
         ("cache".to_string(), cache_body(stats)),
         (
@@ -714,6 +1078,34 @@ fn stats_body(stats: &CacheStats, model_digest: &str, summary: &ServiceSummary) 
         (
             "coalesced_joins".to_string(),
             JsonValue::integer(summary.coalesced_joins),
+        ),
+        (
+            "units_submitted".to_string(),
+            JsonValue::integer(summary.units_submitted),
+        ),
+        (
+            "units_failed".to_string(),
+            JsonValue::integer(summary.units_failed),
+        ),
+        (
+            "events_dropped".to_string(),
+            JsonValue::integer(summary.events_dropped),
+        ),
+        (
+            "queue_depth".to_string(),
+            JsonValue::integer(gauges.queue_depth),
+        ),
+        (
+            "units_inflight".to_string(),
+            JsonValue::integer(gauges.units_inflight),
+        ),
+        (
+            "event_subscribers".to_string(),
+            JsonValue::integer(gauges.event_subscribers),
+        ),
+        (
+            "workers_alive".to_string(),
+            JsonValue::integer(gauges.workers_alive),
         ),
     ])
 }
@@ -786,6 +1178,8 @@ pub struct ServiceStats {
     pub model_digest: String,
     /// Cumulative service + engine counters.
     pub summary: ServiceSummary,
+    /// Point-in-time gauges at the moment the daemon answered.
+    pub gauges: ServiceGauges,
 }
 
 /// A blocking client for the service protocol, generic over the same
@@ -955,8 +1349,103 @@ impl<T: Transport> ServiceClient<T> {
                 units_computed: counter("units_computed")?,
                 unit_cache_hits: counter("unit_cache_hits")?,
                 coalesced_joins: counter("coalesced_joins")?,
+                units_submitted: counter("units_submitted")?,
+                units_failed: counter("units_failed")?,
+                events_dropped: counter("events_dropped")?,
+            },
+            gauges: ServiceGauges {
+                queue_depth: counter("queue_depth")?,
+                units_inflight: counter("units_inflight")?,
+                event_subscribers: counter("event_subscribers")?,
+                workers_alive: counter("workers_alive")?,
             },
         })
+    }
+
+    /// Fetch the daemon's metrics exposition (Prometheus text format).
+    pub fn metrics(&mut self) -> Result<String, ServiceError> {
+        let id = self.send("metrics", None)?;
+        let response = self.read_response(id)?;
+        if response.kind != "metrics" {
+            return Err(ServiceError::Protocol(format!(
+                "expected metrics, got '{}'",
+                response.kind
+            )));
+        }
+        response
+            .body
+            .as_ref()
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ServiceError::Protocol("metrics has no string body".into()))
+    }
+
+    /// Probe the daemon's liveness and readiness.
+    pub fn health(&mut self) -> Result<HealthReport, ServiceError> {
+        let id = self.send("health", None)?;
+        let response = self.read_response(id)?;
+        if response.kind != "health" {
+            return Err(ServiceError::Protocol(format!(
+                "expected health, got '{}'",
+                response.kind
+            )));
+        }
+        let body = response
+            .body
+            .as_ref()
+            .ok_or_else(|| ServiceError::Protocol("health has no body".into()))?;
+        HealthReport::from_body(body)
+    }
+
+    /// Subscribe to the daemon's live event stream, consuming the
+    /// connection (the protocol dedicates it to the stream). `on_event`
+    /// is invoked for every lifecycle event — heartbeats are filtered
+    /// out — and returning `false` ends the subscription by dropping
+    /// the connection. Returns `Ok(())` when the daemon drains (clean
+    /// EOF) or the callback stops the stream.
+    pub fn subscribe(
+        mut self,
+        mut on_event: impl FnMut(&CampaignEvent) -> bool,
+    ) -> Result<(), ServiceError> {
+        let id = self.send("subscribe", None)?;
+        let ack = self.read_response(id)?;
+        if ack.kind != "subscribed" {
+            return Err(ServiceError::Protocol(format!(
+                "expected subscribed, got '{}'",
+                ack.kind
+            )));
+        }
+        loop {
+            let mut line = String::new();
+            let read = self
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| io_err("reading event", e))?;
+            if read == 0 {
+                return Ok(()); // daemon drained — the stream's clean end
+            }
+            let response = Response::from_line(&line)?;
+            if let Some(message) = &response.error {
+                return Err(ServiceError::Remote(message.clone()));
+            }
+            if response.kind != "event" {
+                return Err(ServiceError::Protocol(format!(
+                    "expected event, got '{}'",
+                    response.kind
+                )));
+            }
+            let body = response
+                .body
+                .as_ref()
+                .ok_or_else(|| ServiceError::Protocol("event has no body".into()))?;
+            let event = CampaignEvent::from_json(body).map_err(ServiceError::Protocol)?;
+            if event.kind == EventKind::Heartbeat {
+                continue;
+            }
+            if !on_event(&event) {
+                return Ok(());
+            }
+        }
     }
 
     /// Ask the daemon to exit after answering.
@@ -1105,8 +1594,17 @@ mod tests {
             units_computed: 6,
             unit_cache_hits: 1,
             coalesced_joins: 1,
+            units_submitted: 8,
+            units_failed: 0,
+            events_dropped: 2,
         };
-        let stats = stats_body(&report.cache, &digest, &summary);
+        let gauges = ServiceGauges {
+            queue_depth: 3,
+            units_inflight: 5,
+            event_subscribers: 1,
+            workers_alive: 4,
+        };
+        let stats = stats_body(&report.cache, &digest, &summary, &gauges);
         assert_eq!(stats.get("runs").and_then(JsonValue::as_u64), Some(2));
         assert_eq!(
             stats.get("model_digest").and_then(JsonValue::as_str),
@@ -1121,8 +1619,68 @@ mod tests {
             Some(1)
         );
         assert_eq!(
+            stats.get("units_submitted").and_then(JsonValue::as_u64),
+            Some(8)
+        );
+        assert_eq!(
+            stats.get("units_failed").and_then(JsonValue::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            stats.get("events_dropped").and_then(JsonValue::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            stats.get("queue_depth").and_then(JsonValue::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            stats.get("units_inflight").and_then(JsonValue::as_u64),
+            Some(5)
+        );
+        assert_eq!(
+            stats.get("event_subscribers").and_then(JsonValue::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            stats.get("workers_alive").and_then(JsonValue::as_u64),
+            Some(4)
+        );
+        assert_eq!(
             parse_cache_body(stats.get("cache").unwrap()).unwrap(),
             report.cache
         );
+    }
+
+    #[test]
+    fn health_flips_to_not_ready_during_drain_and_on_dead_workers() {
+        let endpoint: Endpoint = "tcp:127.0.0.1:7771".parse().unwrap();
+        let healthy = HealthReport::of(false, 4, 4, 16, &endpoint);
+        assert!(healthy.ready);
+        assert!(!healthy.draining);
+
+        // The shutdown drain flips readiness even with all workers up.
+        let draining = HealthReport::of(true, 4, 4, 16, &endpoint);
+        assert!(!draining.ready);
+        assert!(draining.draining);
+
+        // So does a dead worker thread, even outside a drain.
+        let degraded = HealthReport::of(false, 3, 4, 16, &endpoint);
+        assert!(!degraded.ready);
+        assert!(!degraded.draining);
+
+        // A cold cache is healthy.
+        assert!(HealthReport::of(false, 1, 1, 0, &endpoint).ready);
+    }
+
+    #[test]
+    fn health_body_round_trips_through_the_client_parser() {
+        let endpoint: Endpoint = "unix:/tmp/oranges.sock".parse().unwrap();
+        let report = HealthReport::of(true, 2, 4, 7, &endpoint);
+        let parsed = HealthReport::from_body(&report.to_body()).expect("parses");
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.endpoint, "unix:/tmp/oranges.sock");
+        // A body missing a field is a typed protocol error.
+        assert!(HealthReport::from_body(&JsonValue::Object(vec![])).is_err());
     }
 }

@@ -19,6 +19,10 @@
 //! - [`metric`]: the unified typed measurement record ([`MetricSet`]) —
 //!   provenance-stamped metrics with generic CSV/JSON/table emitters,
 //!   the campaign pipeline's single result currency;
+//! - [`obs`]: observability primitives — Prometheus-style text
+//!   exposition, concurrent latency histograms, and a non-blocking
+//!   campaign event broadcaster (what the service's `metrics` and
+//!   `subscribe` methods are built from);
 //! - [`envelope`]: newline-delimited JSON request/response envelopes —
 //!   the wire framing the campaign service speaks over its socket;
 //! - [`transport`]: pluggable byte transports ([`transport::Endpoint`]
@@ -67,6 +71,7 @@ pub mod experiment;
 pub mod figure;
 pub mod json;
 pub mod metric;
+pub mod obs;
 pub mod stats;
 pub mod table;
 pub mod transport;
@@ -98,6 +103,7 @@ pub mod prelude {
     pub use crate::figure::{grouped_bar_chart, series_chart, SeriesChartConfig};
     pub use crate::json::to_json_string;
     pub use crate::metric::{Metric, MetricRow, MetricSet, MetricValue, PowerContext, Provenance};
+    pub use crate::obs::{CampaignEvent, EventBroadcaster, EventKind, Exposition, Histogram};
     pub use crate::stats::Summary;
     pub use crate::table::TextTable;
     pub use crate::transport::{Endpoint, Listener, Stream, Transport};

@@ -6,6 +6,10 @@ use oranges_harness::csv::{parse, CsvWriter};
 use oranges_harness::experiment::RepetitionProtocol;
 use oranges_harness::json::to_json_string;
 use oranges_harness::metric::{self, MetricRow, MetricSet, MetricValue, PowerContext};
+use oranges_harness::obs::{
+    escape_label_value, log_spaced_buckets, sanitize_label_name, sanitize_metric_name, Exposition,
+    Histogram,
+};
 use oranges_harness::stats::{best_of, geometric_mean, Summary};
 use oranges_harness::table::TextTable;
 use oranges_harness::transport::Endpoint;
@@ -275,5 +279,186 @@ proptest! {
         prop_assert_eq!(&tcp.to_string(), &tcp_text);
         prop_assert_eq!(&tcp.to_string().parse::<Endpoint>().expect("re-parses"), &tcp);
         prop_assert_eq!(tcp.scheme(), "tcp");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics exposition: hostile names and values always emit parseable text
+// ---------------------------------------------------------------------------
+
+/// A deliberately small parser for the exposition sample-line grammar
+/// (`name{key="value",...} number`). It accepts exactly what a scraper
+/// would: names in `[a-zA-Z_:][a-zA-Z0-9_:]*`, label names without the
+/// colon, label values with `\\`/`\"`/`\n` escapes, and `+Inf`/`-Inf`/
+/// `NaN` specials. Anything else is an error — so the property below
+/// proves the writer's sanitizers cover *every* input.
+type Sample = (String, Vec<(String, String)>, f64);
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let mut chars = line.chars().peekable();
+    let mut name = String::new();
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            name.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    if name.is_empty() {
+        return Err(format!("no metric name in {line:?}"));
+    }
+    if name.starts_with(|c: char| c.is_ascii_digit()) {
+        return Err(format!("metric name starts with a digit in {line:?}"));
+    }
+    let mut labels = Vec::new();
+    if chars.peek() == Some(&'{') {
+        chars.next();
+        loop {
+            if chars.peek() == Some(&'}') {
+                chars.next();
+                break;
+            }
+            let mut key = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    key.push(c);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            if key.is_empty() || key.starts_with(|c: char| c.is_ascii_digit()) {
+                return Err(format!("bad label name in {line:?}"));
+            }
+            if chars.next() != Some('=') || chars.next() != Some('"') {
+                return Err(format!("label {key} is not key=\"value\" in {line:?}"));
+            }
+            let mut value = String::new();
+            loop {
+                match chars.next() {
+                    Some('\\') => match chars.next() {
+                        Some('\\') => value.push('\\'),
+                        Some('"') => value.push('"'),
+                        Some('n') => value.push('\n'),
+                        other => return Err(format!("bad escape {other:?} in {line:?}")),
+                    },
+                    Some('"') => break,
+                    Some(c) => value.push(c),
+                    None => return Err(format!("unterminated label value in {line:?}")),
+                }
+            }
+            labels.push((key, value));
+            match chars.peek() {
+                Some(',') => {
+                    chars.next();
+                }
+                Some('}') => {}
+                other => return Err(format!("bad label separator {other:?} in {line:?}")),
+            }
+        }
+    }
+    if chars.next() != Some(' ') {
+        return Err(format!("no space before the value in {line:?}"));
+    }
+    let value_text: String = chars.collect();
+    let value = match value_text.as_str() {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        other => other
+            .parse()
+            .map_err(|e| format!("bad value {other:?} in {line:?}: {e}"))?,
+    };
+    Ok((name, labels, value))
+}
+
+proptest! {
+    /// The exposition writer's whole-surface property: **arbitrary**
+    /// metric names, label names, and label values — any unicode,
+    /// including quotes, braces, backslashes, and newlines — emit text
+    /// where every sample line re-parses, the sanitized names land in
+    /// the exposition alphabet, and label values round-trip exactly
+    /// through escape → parse. This is what makes `metrics` safe to
+    /// build from user-influenced strings (experiment ids, endpoints).
+    #[test]
+    fn hostile_names_and_values_emit_a_parseable_exposition(
+        raw_name in "[a-z0-9_:{}\",= éµ\n\\\\\\]]{0,12}",
+        raw_label in "[a-z0-9_:{}\",= éµ\n\\\\\\]]{0,8}",
+        raw_value in "[a-z0-9_:{}\",= éµ\n\\\\\\]]{0,16}",
+        counter_value in 0u64..1_000_000,
+        gauge_value in -1e9f64..1e9,
+        observations in proptest::collection::vec(1e-5f64..1e3, 0..8),
+    ) {
+        let mut exposition = Exposition::new();
+        exposition.counter(&raw_name, "hostile counter", &[(&raw_label, &raw_value)], counter_value);
+        exposition.gauge(&format!("g_{raw_name}"), "hostile gauge", &[(&raw_label, &raw_value)], gauge_value);
+        let histogram = Histogram::new(log_spaced_buckets(1e-4, 10.0, 4));
+        for v in &observations {
+            histogram.observe(*v);
+        }
+        exposition.histogram(
+            &format!("h_{raw_name}"),
+            "hostile histogram",
+            &[(&raw_label, &raw_value)],
+            &histogram.snapshot(),
+        );
+        let text = exposition.finish();
+
+        // Every sample line parses; collect them for the checks below.
+        let mut samples = Vec::new();
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match parse_sample(line) {
+                Ok(sample) => samples.push(sample),
+                Err(e) => prop_assert!(false, "{e}"),
+            }
+        }
+
+        // The counter round-trips: sanitized name, sanitized label
+        // name, and the label *value* exactly as it went in.
+        let counter_name = sanitize_metric_name(&raw_name);
+        let (_, labels, value) = samples
+            .iter()
+            .find(|(name, _, _)| name == &counter_name)
+            .expect("counter sample present");
+        prop_assert_eq!(labels, &vec![(sanitize_label_name(&raw_label), raw_value.clone())]);
+        prop_assert_eq!(*value, counter_value as f64);
+
+        // The gauge value survives text exactly (shortest round-trip
+        // float formatting).
+        let gauge_name = sanitize_metric_name(&format!("g_{raw_name}"));
+        let (_, _, value) = samples
+            .iter()
+            .find(|(name, _, _)| name == &gauge_name)
+            .expect("gauge sample present");
+        prop_assert_eq!(*value, gauge_value);
+
+        // The histogram renders its full shape: one bucket per bound
+        // plus +Inf, and a _count equal to the observations.
+        let histogram_name = sanitize_metric_name(&format!("h_{raw_name}"));
+        let buckets: Vec<_> = samples
+            .iter()
+            .filter(|(name, _, _)| name == &format!("{histogram_name}_bucket"))
+            .collect();
+        prop_assert_eq!(buckets.len(), 5);
+        let inf = buckets
+            .iter()
+            .find(|(_, labels, _)| labels.iter().any(|(k, v)| k == "le" && v == "+Inf"))
+            .expect("+Inf bucket present");
+        prop_assert_eq!(inf.2, observations.len() as f64);
+        let (_, _, count) = samples
+            .iter()
+            .find(|(name, _, _)| name == &format!("{histogram_name}_count"))
+            .expect("_count sample present");
+        prop_assert_eq!(*count, observations.len() as f64);
+
+        // And the escaper itself is injective where it must be: the
+        // escaped form never contains a bare quote or newline.
+        let escaped = escape_label_value(&raw_value);
+        prop_assert!(!escaped.contains('\n'));
+        prop_assert!(!escaped.replace("\\\"", "").contains('"'));
     }
 }

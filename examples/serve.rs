@@ -27,6 +27,11 @@
 //!                   orchestrator sharding one campaign across them;
 //!                   assert the merged report fingerprint equals a
 //!                   single-process run
+//!   --metrics-check smoke mode: run a small campaign with a live
+//!                   `subscribe` watcher attached, scrape `metrics`
+//!                   (assert the exposition parses and carries latency
+//!                   histogram buckets), probe `health` before and
+//!                   after the shutdown drain
 //!
 //! Protocol (newline-delimited JSON; see docs/PROTOCOL.md):
 //!   {"id":1,"method":"run","body":{"experiments":["fig4"],"chips":["M1"]}}
@@ -49,6 +54,7 @@ struct Options {
     self_check: bool,
     concurrent_check: bool,
     fleet_check: bool,
+    metrics_check: bool,
 }
 
 /// The long-running daemon's default endpoint: a well-known unix socket
@@ -80,6 +86,7 @@ fn parse_options() -> Options {
         self_check: false,
         concurrent_check: false,
         fleet_check: false,
+        metrics_check: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -101,6 +108,7 @@ fn parse_options() -> Options {
             "--self-check" => options.self_check = true,
             "--concurrent-check" => options.concurrent_check = true,
             "--fleet-check" => options.fleet_check = true,
+            "--metrics-check" => options.metrics_check = true,
             other => panic!("unknown option {other}"),
         }
     }
@@ -125,6 +133,13 @@ fn main() {
     }
     if options.fleet_check {
         fleet_check(options.workers);
+        return;
+    }
+    if options.metrics_check {
+        let endpoint = options
+            .listen
+            .unwrap_or_else(|| private_endpoint("metrics-check"));
+        metrics_check(endpoint, options.workers);
         return;
     }
 
@@ -291,6 +306,160 @@ fn self_check(endpoint: Endpoint, workers: usize) {
     println!(
         "self-check: daemon shut down cleanly after {} requests — OK",
         summary.requests
+    );
+}
+
+/// Strict-enough exposition parse: every non-comment line must be
+/// `name{labels} value` (or `name value`) with a float-parseable value
+/// and balanced, quote-escaped labels. Returns the sample count.
+fn assert_exposition_parses(text: &str) -> usize {
+    let mut samples = 0;
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("no value separator in {line:?}"));
+        assert!(
+            value == "+Inf" || value == "-Inf" || value == "NaN" || value.parse::<f64>().is_ok(),
+            "unparseable value in {line:?}"
+        );
+        let name = series.split('{').next().unwrap_or("");
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "illegal metric name in {line:?}"
+        );
+        if let Some(open) = series.find('{') {
+            assert!(series.ends_with('}'), "unterminated labels in {line:?}");
+            let labels = &series[open + 1..series.len() - 1];
+            // Quotes must balance after unescaping — the cheap proof
+            // that label values were escaped correctly.
+            let unescaped_quotes = labels
+                .as_bytes()
+                .iter()
+                .enumerate()
+                .filter(|(i, b)| **b == b'"' && (*i == 0 || labels.as_bytes()[i - 1] != b'\\'))
+                .count();
+            assert!(
+                unescaped_quotes % 2 == 0,
+                "unbalanced label quotes in {line:?}"
+            );
+        }
+        samples += 1;
+    }
+    samples
+}
+
+/// The CI observability smoke: a daemon on any transport, a live
+/// `subscribe` watcher, a small campaign, a `metrics` scrape that must
+/// parse and carry per-experiment latency histograms, and `health`
+/// probes bracketing the shutdown drain.
+fn metrics_check(endpoint: Endpoint, workers: usize) {
+    let service =
+        CampaignService::<AnyTransport>::bind(ServiceConfig::new(endpoint).with_workers(workers))
+            .expect("bind");
+    let local = service.local_endpoint().clone();
+    let daemon = std::thread::spawn(move || service.serve().expect("serve"));
+
+    // Health before: live and ready, all workers up.
+    let mut client = ServiceClient::<AnyTransport>::connect(&local).expect("connect");
+    let health = client.health().expect("health");
+    assert!(health.ready, "fresh daemon must be ready: {health:?}");
+    assert_eq!(health.workers_alive, workers as u64);
+    assert_eq!(health.endpoint, local.to_string());
+
+    // Attach a live watcher before any work exists.
+    let watcher_endpoint = local.clone();
+    let watcher = std::thread::spawn(move || {
+        let watcher_client =
+            ServiceClient::<AnyTransport>::connect(&watcher_endpoint).expect("watcher connect");
+        let mut events = Vec::new();
+        watcher_client
+            .subscribe(|event| {
+                events.push(event.clone());
+                true
+            })
+            .expect("subscribe stream");
+        events
+    });
+    // Wait until the subscription is registered so no event outruns it.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while client.stats().expect("stats").gauges.event_subscribers == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "subscriber never registered"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    // A short-lived probe connection, opened while the watcher is
+    // live, so connection open/close events are observed too.
+    {
+        let mut probe = ServiceClient::<AnyTransport>::connect(&local).expect("probe connect");
+        probe.ping().expect("probe ping");
+    }
+
+    let spec = CampaignSpec::new(
+        vec![ExperimentKind::Fig4, ExperimentKind::Contention],
+        vec![ChipGeneration::M1, ChipGeneration::M3],
+    )
+    .with_power_sizes(vec![2048]);
+    let outcome = client.run(&spec).expect("run");
+    assert_eq!(outcome.units.len(), 4, "2 kinds x 2 chips");
+
+    // Scrape and parse the exposition.
+    let text = client.metrics().expect("metrics");
+    let samples = assert_exposition_parses(&text);
+    assert!(samples > 20, "suspiciously small exposition: {samples}");
+    for needle in [
+        "# TYPE oranges_unit_latency_seconds histogram",
+        "oranges_unit_latency_seconds_bucket{experiment=\"fig4\",le=\"+Inf\"}",
+        "oranges_unit_latency_seconds_count{experiment=\"fig4\"}",
+        "# TYPE oranges_units_total counter",
+        "oranges_units_total{source=\"computed\"} 4",
+        "oranges_runs_total 1",
+        "oranges_workers_alive",
+        "oranges_events_dropped_total 0",
+    ] {
+        assert!(text.contains(needle), "metrics missing {needle:?}:\n{text}");
+    }
+
+    // One counter set: metrics and stats must agree.
+    let stats = client.stats().expect("stats");
+    assert!(text.contains(&format!(
+        "oranges_units_submitted_total {}",
+        stats.summary.units_submitted
+    )));
+    let health = client.health().expect("health mid-run");
+    assert!(health.ready, "still ready after the run");
+
+    client.shutdown().expect("shutdown");
+    let summary = daemon.join().expect("daemon thread");
+    assert_eq!(summary.units_failed, 0);
+
+    // The watcher saw the whole lifecycle: every unit started and
+    // completed exactly once, and the drain ended its stream cleanly.
+    let events = watcher.join().expect("watcher thread");
+    let count = |kind: &str| events.iter().filter(|e| e.kind.as_str() == kind).count();
+    assert_eq!(count("unit_started"), 4, "events: {events:?}");
+    assert_eq!(count("unit_completed"), 4);
+    assert_eq!(count("unit_failed"), 0);
+    assert!(count("connection_opened") >= 1);
+
+    // Health after the drain: the endpoint is gone — connection refused
+    // IS the supervisor's not-ready signal once the daemon exits.
+    assert!(
+        ServiceClient::<AnyTransport>::connect(&local).is_err(),
+        "daemon still reachable after drain"
+    );
+    println!(
+        "metrics-check [{local}]: {samples} samples scraped, {} events streamed \
+         (4 started + 4 completed), health ready -> drained — OK",
+        events.len(),
     );
 }
 

@@ -195,6 +195,77 @@ fn degenerate_fleets_are_typed_errors() {
 }
 
 #[test]
+fn unhealthy_endpoints_fail_fast_before_any_shard_is_dispatched() {
+    // A host that *answers* its health probe but reports not-ready
+    // (here: draining after shutdown) must produce the typed
+    // `Unhealthy` error naming the shard — and the healthy sibling
+    // must never receive a shard. Stand up a minimal wire-level fake
+    // so the not-ready answer is deterministic, not a drain race.
+    use oranges_campaign::service::HealthReport;
+    use oranges_harness::envelope::{Request, Response};
+    use std::io::{BufRead, BufReader, Write};
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake daemon");
+    let draining = format!(
+        "tcp:127.0.0.1:{}",
+        listener.local_addr().expect("addr").port()
+    )
+    .parse::<Endpoint>()
+    .expect("endpoint");
+    let fake_endpoint = draining.clone();
+    let fake = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept probe");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read probe request");
+        let request = Request::from_line(&line).expect("parse probe request");
+        assert_eq!(request.method, "health", "the probe leads with health");
+        let report = HealthReport::of(true, 2, 2, 0, &fake_endpoint);
+        assert!(!report.ready, "draining implies not ready");
+        let mut stream = stream;
+        stream
+            .write_all(
+                Response::ok(request.id, "health")
+                    .with_body(report.to_body())
+                    .to_line()
+                    .as_bytes(),
+            )
+            .expect("answer probe");
+    });
+    let (live, daemon) = start_tcp_daemon();
+
+    let error = Orchestrator::fleet(vec![live.clone(), draining.clone()])
+        .run(&grid_spec(), &ResultCache::new())
+        .expect_err("a draining endpoint must fail the campaign");
+    match &error {
+        OrchestrateError::Unhealthy {
+            shard,
+            endpoint,
+            reason,
+        } => {
+            assert_eq!(*shard, 1, "the draining endpoint is shard 1");
+            assert_eq!(endpoint, &draining.to_string());
+            assert!(reason.contains("draining"), "{reason}");
+        }
+        other => panic!("expected an unhealthy error, got {other}"),
+    }
+    assert!(
+        error.to_string().contains("nothing was dispatched"),
+        "{error}"
+    );
+    fake.join().expect("fake daemon");
+
+    // Fail-fast means the healthy sibling never saw a run request.
+    let summary = stats_and_shutdown(&live);
+    assert_eq!(
+        summary.runs, 0,
+        "no shard was dispatched to the live daemon"
+    );
+    assert_eq!(summary.units_computed, 0);
+    daemon.join().expect("daemon");
+}
+
+#[test]
 fn unreachable_endpoints_are_typed_remote_errors_naming_the_shard() {
     // Reserve a port, then close the listener: connecting to it must
     // fail fast (loopback refuses), and the orchestrator must say which

@@ -439,6 +439,196 @@ fn unit_responses_stream_before_the_run_completes_over<T: TestTransport>() {
     daemon.join().expect("daemon");
 }
 
+/// The observability surface: `metrics` returns a parseable exposition
+/// carrying per-experiment latency histograms, `health` reports ready,
+/// and the exposition agrees with the `stats` counter set.
+fn metrics_and_health_expose_one_agreeing_counter_set_over<T: TestTransport>() {
+    let (endpoint, daemon) = start_daemon::<T>("metrics", |c| c);
+    let mut client = ServiceClient::<T>::connect(&endpoint).expect("connect");
+
+    let health = client.health().expect("health");
+    assert!(health.ready, "fresh daemon is ready: {health:?}");
+    assert!(!health.draining);
+    assert_eq!(health.workers_alive, 2);
+    assert_eq!(health.workers_configured, 2);
+    assert_eq!(health.cache_entries, 0, "cold cache is healthy");
+    assert_eq!(health.endpoint, endpoint.to_string());
+
+    let first = client.run(&small_spec()).expect("cold run");
+    assert_eq!(first.computed_units, 4);
+    let second = client.run(&small_spec()).expect("warm run");
+    assert_eq!(second.computed_units, 0);
+
+    let stats = client.stats().expect("stats");
+    let text = client.metrics().expect("metrics");
+
+    // stats and metrics agree on one counter set.
+    for (name, value) in [
+        ("oranges_runs_total", stats.summary.runs),
+        (
+            "oranges_units_submitted_total",
+            stats.summary.units_submitted,
+        ),
+        ("oranges_units_failed_total", stats.summary.units_failed),
+        ("oranges_events_dropped_total", stats.summary.events_dropped),
+        ("oranges_units_streamed_total", stats.summary.units_streamed),
+    ] {
+        let needle = format!("{name} {value}");
+        assert!(
+            text.contains(&needle),
+            "metrics missing {needle:?}:\n{text}"
+        );
+    }
+    assert!(text.contains(&format!(
+        "oranges_units_total{{source=\"computed\"}} {}",
+        stats.summary.units_computed
+    )));
+    assert!(text.contains(&format!(
+        "oranges_units_total{{source=\"cache\"}} {}",
+        stats.summary.unit_cache_hits
+    )));
+    assert_eq!(stats.summary.units_submitted, 8);
+    assert_eq!(stats.summary.units_failed, 0);
+
+    // Per-experiment latency histograms: both experiments of the spec,
+    // cumulative buckets ending in a +Inf count of the computed units.
+    for experiment in ["fig4", "contention"] {
+        assert!(
+            text.contains(&format!(
+                "oranges_unit_latency_seconds_bucket{{experiment=\"{experiment}\",le=\"+Inf\"}} 2"
+            )),
+            "missing {experiment} histogram:\n{text}"
+        );
+        assert!(text.contains(&format!(
+            "oranges_unit_latency_seconds_count{{experiment=\"{experiment}\"}} 2"
+        )));
+    }
+    assert!(text.contains("# TYPE oranges_unit_latency_seconds histogram"));
+
+    // Gauges at rest: nothing queued, nothing in flight, all workers up.
+    assert_eq!(stats.gauges.queue_depth, 0);
+    assert_eq!(stats.gauges.units_inflight, 0);
+    assert_eq!(stats.gauges.workers_alive, 2);
+    assert!(text.contains("oranges_queue_depth 0"));
+    assert!(text.contains("oranges_workers_alive 2"));
+
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon");
+}
+
+/// The `subscribe` acceptance property: a watching client sees the
+/// complete lifecycle of a concurrent two-client run — every distinct
+/// unit gets a started + completed pair, coalesced/cached submissions
+/// emit exactly one compute per unit, and the shutdown drain ends the
+/// stream cleanly.
+fn a_subscriber_observes_the_complete_lifecycle_of_a_concurrent_run_over<T: TestTransport>() {
+    let (endpoint, daemon) = start_daemon::<T>("subscribe", |c| c);
+
+    // Watcher first, so no event can outrun it.
+    let watcher_endpoint = endpoint.clone();
+    let watcher = std::thread::spawn(move || {
+        let client = ServiceClient::<T>::connect(&watcher_endpoint).expect("watcher connect");
+        let mut events = Vec::new();
+        client
+            .subscribe(|event| {
+                events.push(event.clone());
+                true
+            })
+            .expect("subscription ends cleanly on drain");
+        events
+    });
+    let mut probe = ServiceClient::<T>::connect(&endpoint).expect("probe connect");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while probe.stats().expect("stats").gauges.event_subscribers == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "subscriber never registered"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    // The same overlapping pair the concurrency test uses: 12 units
+    // submitted, 4 distinct, in-batch duplicates guarantee coalescing.
+    let spec_a = CampaignSpec::new(
+        vec![
+            ExperimentKind::Fig4,
+            ExperimentKind::Contention,
+            ExperimentKind::Fig4,
+        ],
+        vec![ChipGeneration::M1, ChipGeneration::M3],
+    )
+    .with_power_sizes(vec![2048]);
+    let spec_b = CampaignSpec::new(
+        vec![
+            ExperimentKind::Contention,
+            ExperimentKind::Fig4,
+            ExperimentKind::Contention,
+        ],
+        vec![ChipGeneration::M1, ChipGeneration::M3],
+    )
+    .with_power_sizes(vec![2048]);
+    let spawn_client = |spec: CampaignSpec, endpoint: Endpoint| {
+        std::thread::spawn(move || {
+            let mut client = ServiceClient::<T>::connect(&endpoint).expect("connect");
+            client.run(&spec).expect("run")
+        })
+    };
+    let handle_a = spawn_client(spec_a, endpoint.clone());
+    let handle_b = spawn_client(spec_b, endpoint.clone());
+    let outcome_a = handle_a.join().expect("client A");
+    let outcome_b = handle_b.join().expect("client B");
+
+    let stats = probe.stats().expect("stats");
+    assert_eq!(stats.summary.units_computed, 4);
+    assert_eq!(
+        stats.summary.events_dropped, 0,
+        "the watcher kept up; completeness below is meaningful"
+    );
+    probe.shutdown().expect("shutdown");
+    daemon.join().expect("daemon");
+
+    // The drain ended the watcher's stream; judge what it saw.
+    let events = watcher.join().expect("watcher thread");
+    use oranges_harness::obs::EventKind;
+    let of_kind =
+        |kind: EventKind| -> Vec<_> { events.iter().filter(|e| e.kind == kind).collect() };
+    let started = of_kind(EventKind::UnitStarted);
+    let completed = of_kind(EventKind::UnitCompleted);
+    assert_eq!(started.len(), 4, "one compute per distinct unit");
+    assert_eq!(completed.len(), 4, "every started unit completed");
+    assert!(of_kind(EventKind::UnitFailed).is_empty());
+    // Every distinct unit key has a started + completed pair, and the
+    // keys match what the clients were served.
+    let keys = |events: &[&oranges_harness::obs::CampaignEvent]| -> Vec<String> {
+        let mut keys: Vec<String> = events
+            .iter()
+            .map(|e| e.unit.clone().expect("unit events carry their key"))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    };
+    let started_keys = keys(&started);
+    let completed_keys = keys(&completed);
+    assert_eq!(started_keys, completed_keys);
+    assert_eq!(started_keys.len(), 4, "4 distinct units, once each");
+    let mut served_keys: Vec<String> = outcome_a
+        .units
+        .iter()
+        .chain(&outcome_b.units)
+        .map(|u| u.key.to_string())
+        .collect();
+    served_keys.sort();
+    served_keys.dedup();
+    assert_eq!(started_keys, served_keys);
+    // The other 8 submissions were answered without computing, each
+    // announced as a cache hit or coalesced join.
+    let cheap = of_kind(EventKind::CacheHit).len() + of_kind(EventKind::Coalesced).len();
+    assert_eq!(cheap, 8, "12 submitted - 4 computed");
+    // Completions carry wall time.
+    assert!(completed.iter().all(|e| e.wall_s.is_some()));
+}
+
 /// Instantiate the whole matrix for one transport.
 macro_rules! transport_matrix {
     ($module:ident, $transport:ty) => {
@@ -493,6 +683,17 @@ macro_rules! transport_matrix {
             #[test]
             fn unit_responses_stream_before_the_run_completes() {
                 unit_responses_stream_before_the_run_completes_over::<$transport>();
+            }
+
+            #[test]
+            fn metrics_and_health_expose_one_agreeing_counter_set() {
+                metrics_and_health_expose_one_agreeing_counter_set_over::<$transport>();
+            }
+
+            #[test]
+            fn a_subscriber_observes_the_complete_lifecycle_of_a_concurrent_run() {
+                a_subscriber_observes_the_complete_lifecycle_of_a_concurrent_run_over::<$transport>(
+                );
             }
         }
     };
