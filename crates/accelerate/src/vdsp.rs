@@ -8,27 +8,24 @@
 //! touch; `mmul` shares the BLAS timing model for exactly that reason.
 
 use crate::timing::AccelerateModel;
+use oranges_kernels::{elem, reduce};
 use oranges_soc::time::SimDuration;
 
-/// `vDSP_vsmul`: `out[i] = a[i] * scalar`.
+/// `vDSP_vsmul`: `out[i] = a[i] * scalar` (unrolled elementwise kernel,
+/// bitwise-equal to the naive loop).
 pub fn vsmul(a: &[f32], scalar: f32, out: &mut [f32]) {
-    let n = a.len().min(out.len());
-    for i in 0..n {
-        out[i] = a[i] * scalar;
-    }
+    elem::scale_f32(a, scalar, out);
 }
 
 /// `vDSP_vadd`: `out[i] = a[i] + b[i]`.
 pub fn vadd(a: &[f32], b: &[f32], out: &mut [f32]) {
-    let n = a.len().min(b.len()).min(out.len());
-    for i in 0..n {
-        out[i] = a[i] + b[i];
-    }
+    elem::add_f32(a, b, out);
 }
 
-/// `vDSP_dotpr`: dot product.
+/// `vDSP_dotpr`: dot product (8-accumulator unrolled reduction — the
+/// pipelined kernel a real vDSP dispatches to).
 pub fn dotpr(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+    reduce::dot_f32(a, b)
 }
 
 /// `vDSP_vfill`: fill with a constant.
@@ -36,9 +33,9 @@ pub fn vfill(value: f32, out: &mut [f32]) {
     out.fill(value);
 }
 
-/// `vDSP_maxv`: maximum element (NaN-propagating like vDSP).
+/// `vDSP_maxv`: maximum element (NaN-ignoring like `f32::max`).
 pub fn maxv(a: &[f32]) -> f32 {
-    a.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    reduce::max_f32(a)
 }
 
 /// Result of a timed `mmul`.
@@ -80,9 +77,7 @@ pub fn mmul(
             if a_il == 0.0 {
                 continue;
             }
-            for (j, v) in row.iter_mut().enumerate() {
-                *v += a_il * b[l * n + j];
-            }
+            elem::axpy_f32(a_il, &b[l * n..l * n + n], row);
         }
     }
     let flops = (m as u64) * (n as u64) * (2 * p as u64).max(1) - (m as u64) * (n as u64);

@@ -12,6 +12,8 @@
 //! hardware interleaves the 16 used Z rows; the simulator flattens that
 //! detail away and exposes a dense 16×16 tile per tile index).
 
+use oranges_kernels::elem::axpy_f32;
+
 /// Bytes per tile register (X, Y and each Z row).
 pub const TILE_REG_BYTES: usize = 64;
 /// FP32 lanes per 64-byte register.
@@ -93,15 +95,15 @@ impl RegisterFile {
 
     /// Accumulate the outer product of `x[xr]` and `y[yr]` into Z `tile`:
     /// `z[i][j] += y[i] * x[j]` — the fundamental AMX FP32 operation.
+    ///
+    /// Each Z row is one [`axpy_f32`] lane sweep (unrolled, bitwise-equal
+    /// to the scalar lane loop it replaced).
     pub fn fma32(&mut self, tile: usize, xr: usize, yr: usize) {
         let x = self.x[xr];
         let y = self.y[yr];
         let z = &mut self.z[tile];
         for (i, zrow) in z.iter_mut().enumerate() {
-            let yi = y[i];
-            for (j, zv) in zrow.iter_mut().enumerate() {
-                *zv += yi * x[j];
-            }
+            axpy_f32(y[i], &x, zrow);
         }
     }
 }

@@ -4,12 +4,14 @@
 //! paper calls `cblas_sgemm` (Listing 1): C := A·B over 16×16 output tiles,
 //! each computed as a sum of `fma32` outer products. Full tiles run on the
 //! simulated unit instruction-by-instruction (real arithmetic, counted
-//! cycles); edge remainders (when `n` is not a multiple of 16) fall back to
-//! a scalar loop whose cycles are charged at NEON rate.
+//! cycles); edge remainders (when `n` is not a multiple of 16) run on the
+//! host-side register-tiled microkernel ([`oranges_kernels::gemm`]) with
+//! their cycles charged at NEON rate.
 
 use crate::insn::Instruction;
 use crate::regs::TILE_F32_LANES;
 use crate::unit::{AmxError, AmxUnit};
+use oranges_kernels::gemm::sgemm_f32;
 use oranges_soc::chip::ChipGeneration;
 use oranges_soc::time::SimDuration;
 
@@ -70,33 +72,43 @@ impl AmxSgemm {
 
         let t = TILE_F32_LANES;
         let full = n / t * t; // extent covered by full tiles
-        let mut stage = vec![0.0f32; t]; // A-column staging (panel transpose)
+        let mut a_panel = vec![0.0f32; t * n]; // A panel, staged once per tile row
+        let mut b_row = vec![0.0f32; t]; // hoisted LdX staging buffer
         let mut out_rows = vec![0.0f32; t * t]; // Z spill area
 
         for bi in (0..full).step_by(t) {
+            // Stage the transposed A panel A[bi..bi+16][0..n] once per
+            // tile row: a_panel[k*16 + r] = A[bi+r][k]. Every bj tile of
+            // this row reuses it, and LdY reads it in place by offset.
+            for r in 0..t {
+                let a_row = &a[(bi + r) * n..(bi + r) * n + n];
+                for (k, &v) in a_row.iter().enumerate() {
+                    a_panel[k * t + r] = v;
+                }
+            }
             for bj in (0..full).step_by(t) {
                 self.unit
-                    .execute(Instruction::ClrZ { tile: 0 }, &mut stage)?;
+                    .execute(Instruction::ClrZ { tile: 0 }, &mut out_rows)?;
                 for k in 0..n {
-                    // Stage the A column segment A[bi..bi+16][k].
-                    for (s, row) in stage.iter_mut().zip(bi..bi + t) {
-                        *s = a[row * n + k];
-                    }
-                    self.unit
-                        .execute(Instruction::LdY { reg: 0, offset: 0 }, &mut stage)?;
+                    self.unit.execute(
+                        Instruction::LdY {
+                            reg: 0,
+                            offset: k * t,
+                        },
+                        &mut a_panel,
+                    )?;
                     // B row segment B[k][bj..bj+16] is contiguous.
                     let b_off = k * n + bj;
-                    let b_row = &mut [0.0f32; TILE_F32_LANES][..];
                     b_row.copy_from_slice(&b[b_off..b_off + t]);
                     self.unit
-                        .execute(Instruction::LdX { reg: 0, offset: 0 }, b_row)?;
+                        .execute(Instruction::LdX { reg: 0, offset: 0 }, &mut b_row)?;
                     self.unit.execute(
                         Instruction::Fma32 {
                             tile: 0,
                             xr: 0,
                             yr: 0,
                         },
-                        &mut stage,
+                        &mut b_row,
                     )?;
                 }
                 // Spill the tile.
@@ -117,22 +129,30 @@ impl AmxSgemm {
             }
         }
 
-        // Scalar cleanup for edge rows/columns (n not a multiple of 16).
+        // Microkernel cleanup for edge rows/columns (n not a multiple of
+        // 16): the L-shaped remainder is two rectangular GEMMs — the
+        // bottom row strip and the right column strip — each computed by
+        // the register-tiled microkernel (bitwise-identical to the scalar
+        // triple loop it replaced).
         let mut scalar_flops = 0u64;
         if full < n {
-            for i in 0..n {
-                for j in 0..n {
-                    if i < full && j < full {
-                        continue;
-                    }
-                    let mut acc = 0.0f32;
-                    for k in 0..n {
-                        acc += a[i * n + k] * b[k * n + j];
-                    }
-                    c[i * n + j] = acc;
-                    scalar_flops += 2 * n as u64;
-                }
+            // Rows full..n × all columns.
+            sgemm_f32(
+                n - full,
+                n,
+                n,
+                &a[full * n..],
+                n,
+                b,
+                n,
+                &mut c[full * n..],
+                n,
+            );
+            // Rows 0..full × columns full..n.
+            if full > 0 {
+                sgemm_f32(full, n - full, n, a, n, &b[full..], n, &mut c[full..], n);
             }
+            scalar_flops = 2 * (n as u64) * ((n * n - full * full) as u64);
         }
 
         // Charge scalar work at single-core NEON rate.
@@ -155,17 +175,11 @@ impl AmxSgemm {
     }
 }
 
-/// Scalar reference SGEMM (`c := a · b`) used by tests and verification.
+/// Scalar reference SGEMM (`c := a · b`) used by tests and verification —
+/// the microkernel's scalar twin, so "reference" and "twin" can never
+/// drift apart.
 pub fn reference_sgemm(n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    for i in 0..n {
-        for j in 0..n {
-            let mut acc = 0.0f32;
-            for k in 0..n {
-                acc += a[i * n + k] * b[k * n + j];
-            }
-            c[i * n + j] = acc;
-        }
-    }
+    oranges_kernels::gemm::sgemm_f32_scalar(n, n, n, a, n, b, n, c, n);
 }
 
 #[cfg(test)]

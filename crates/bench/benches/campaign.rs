@@ -12,6 +12,66 @@ use oranges_campaign::prelude::*;
 use oranges_harness::json::JsonValue;
 use std::time::Instant;
 
+/// Per-experiment service-time breakdown of a workers=1 cold run — the
+/// clean attribution case (no queueing, every unit computed). Explains the
+/// flat worker-scaling curve: speedup is bounded by the slowest single
+/// unit (the Amdahl floor), so if one experiment dominates total service
+/// time with a handful of long units, extra workers idle.
+fn print_unit_breakdown(report: &CampaignReport) -> Vec<JsonValue> {
+    // Aggregate by experiment id, preserving first-seen order.
+    let mut rows: Vec<(String, u64, f64, f64)> = Vec::new();
+    for unit in &report.units {
+        let wall = unit.wall.as_secs_f64();
+        match rows.iter_mut().find(|(id, ..)| *id == unit.key.id) {
+            Some((_, units, total, max)) => {
+                *units += 1;
+                *total += wall;
+                *max = max.max(wall);
+            }
+            None => rows.push((unit.key.id.clone(), 1, wall, wall)),
+        }
+    }
+    rows.sort_by(|x, y| y.2.total_cmp(&x.2));
+    let grand_total: f64 = rows.iter().map(|(_, _, total, _)| total).sum();
+
+    println!("\nper-experiment service time (workers=1, cold):");
+    println!(
+        "{:>12} {:>6} {:>10} {:>10} {:>7}",
+        "experiment", "units", "total (s)", "max (s)", "share"
+    );
+    let mut json = Vec::new();
+    for (id, units, total, max) in &rows {
+        let share = total / grand_total.max(f64::MIN_POSITIVE);
+        println!(
+            "{id:>12} {units:>6} {total:>10.3} {max:>10.3} {:>6.0}%",
+            share * 100.0
+        );
+        json.push(JsonValue::Object(vec![
+            ("experiment".to_string(), JsonValue::String(id.clone())),
+            ("units".to_string(), JsonValue::integer(*units)),
+            ("total_s".to_string(), JsonValue::number(*total)),
+            ("max_unit_s".to_string(), JsonValue::number(*max)),
+            ("share".to_string(), JsonValue::number(share)),
+        ]));
+    }
+    let wall = report.wall.as_secs_f64();
+    println!(
+        "unit service time sums to {grand_total:.3} s over a {wall:.3} s run \
+         ({:.2}x busy): near-1x means the host CPU is saturated by compute, so \
+         worker counts beyond the available cores cannot scale",
+        grand_total / wall.max(f64::MIN_POSITIVE)
+    );
+    if let Some(slowest) = report.slowest_unit() {
+        println!(
+            "slowest unit: {} at {:.3} s — the Amdahl floor for any worker count",
+            slowest.key,
+            slowest.wall.as_secs_f64()
+        );
+    }
+    println!();
+    json
+}
+
 fn main() {
     println!("=== Campaign throughput: Figures 1-4 x M1-M4 ===\n");
     println!(
@@ -19,6 +79,7 @@ fn main() {
         "workers", "units", "cold (s)", "units/s", "hit rate"
     );
     let mut cold_runs = Vec::new();
+    let mut breakdown_json = Vec::new();
     for workers in [1usize, 2, 4, 8] {
         let spec = CampaignSpec::paper_grid().with_workers(workers);
         let cache = ResultCache::new();
@@ -43,6 +104,9 @@ fn main() {
                 JsonValue::number(report.units_per_second()),
             ),
         ]));
+        if workers == 1 {
+            breakdown_json = print_unit_breakdown(&report);
+        }
     }
 
     // The cached path: how fast is a fully warm re-run?
@@ -73,6 +137,10 @@ fn main() {
             JsonValue::String("fig1-4 x M1-M4".to_string()),
         ),
         ("cold_runs".to_string(), JsonValue::Array(cold_runs)),
+        (
+            "unit_breakdown_workers1".to_string(),
+            JsonValue::Array(breakdown_json),
+        ),
         (
             "cached_rerun".to_string(),
             JsonValue::Object(vec![

@@ -6,21 +6,15 @@
 //! (tighter than the f32 kernels, so the tolerance bounds kernel error,
 //! not reference error).
 
+use oranges_kernels::reduce::dot_f32_to_f64_strided;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
-/// Scalar reference GEMM used by unit tests (`c := a · b`).
+/// Scalar reference GEMM used by unit tests (`c := a · b`) — the
+/// microkernel layer's scalar twin.
 pub fn reference_gemm(n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    for i in 0..n {
-        for j in 0..n {
-            let mut acc = 0.0f32;
-            for k in 0..n {
-                acc += a[i * n + k] * b[k * n + j];
-            }
-            c[i * n + j] = acc;
-        }
-    }
+    oranges_kernels::gemm::sgemm_f32_scalar(n, n, n, a, n, b, n, c, n);
 }
 
 /// Result of sampled verification.
@@ -52,10 +46,9 @@ pub fn verify_sampled(
     for _ in 0..samples {
         let i = rng.gen_range(0..n);
         let j = rng.gen_range(0..n);
-        let mut acc = 0.0f64;
-        for k in 0..n {
-            acc += a[i * n + k] as f64 * b[k * n + j] as f64;
-        }
+        // Row i of A against strided column j of B, widened to f64 with
+        // a 4-accumulator unrolled dot (oranges-kernels).
+        let acc = dot_f32_to_f64_strided(&a[i * n..(i + 1) * n], &b[j..], n);
         let got = c[i * n + j] as f64;
         let denom = acc.abs().max(1e-12);
         let rel = (got - acc).abs() / denom;

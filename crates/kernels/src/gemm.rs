@@ -1,0 +1,238 @@
+//! Register-tiled SGEMM microkernel over packed panels.
+//!
+//! `C := A · B` (row-major, leading dimensions) computed `MR×NR` output
+//! tiles at a time. A and B are repacked once into panel-contiguous
+//! buffers — A panels store `MR` rows k-major (so the microkernel reads
+//! one contiguous `MR`-vector per k step), B panels store `NR` columns
+//! row-major — which turns the inner loop into two sequential streams and
+//! a `MR×NR = 32`-accumulator register tile. The 32 independent
+//! accumulator chains supply the instruction-level parallelism (a naive
+//! j-inner loop has one), the packed reads vectorize, and the k loop is
+//! unrolled 4×.
+//!
+//! **Bitwise equivalence:** each output element keeps exactly one
+//! accumulator, accumulated in ascending-k order — the same IEEE
+//! operations in the same order as the scalar triple loop — so results
+//! are bitwise-identical to [`sgemm_f32_scalar`] (edge padding multiplies
+//! into lanes that are never written back). That is what lets consumers
+//! swap this kernel into verified paths without perturbing campaign
+//! value-identity.
+
+/// Microkernel tile rows.
+pub const MR: usize = 4;
+/// Microkernel tile columns.
+pub const NR: usize = 8;
+/// k-loop unroll factor.
+const KU: usize = 4;
+
+/// `c := a · b` for row-major `m×k` · `k×n` with leading dimensions
+/// `lda/ldb/ldc` (`lda >= k`, `ldb >= n`, `ldc >= n`). `c`'s `m×n`
+/// region is overwritten; elements beyond each leading dimension are
+/// untouched.
+// BLAS-shaped signature: the argument list is the interface.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_f32(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    assert!(lda >= k && ldb >= n && ldc >= n, "leading dimensions");
+    if k > 0 {
+        assert!(a.len() >= (m - 1) * lda + k, "a too short");
+        assert!(b.len() >= (k - 1) * ldb + n, "b too short");
+    }
+    assert!(c.len() >= (m - 1) * ldc + n, "c too short");
+
+    let m_panels = m.div_ceil(MR);
+    let n_panels = n.div_ceil(NR);
+
+    // Pack A: panel ip holds rows ip*MR.. as [p*MR + r], zero-padded rows.
+    let mut a_pack = vec![0.0f32; m_panels * MR * k];
+    // Pack B: panel jp holds columns jp*NR.. as [p*NR + j], zero-padded.
+    let mut b_pack = vec![0.0f32; n_panels * NR * k];
+    if k > 0 {
+        for ip in 0..m_panels {
+            let panel = &mut a_pack[ip * MR * k..(ip + 1) * MR * k];
+            for r in 0..MR.min(m - ip * MR) {
+                let row = &a[(ip * MR + r) * lda..(ip * MR + r) * lda + k];
+                for (p, &v) in row.iter().enumerate() {
+                    panel[p * MR + r] = v;
+                }
+            }
+        }
+        for jp in 0..n_panels {
+            let width = NR.min(n - jp * NR);
+            let panel = &mut b_pack[jp * NR * k..(jp + 1) * NR * k];
+            for p in 0..k {
+                let row = &b[p * ldb + jp * NR..p * ldb + jp * NR + width];
+                panel[p * NR..p * NR + width].copy_from_slice(row);
+            }
+        }
+    }
+
+    for ip in 0..m_panels {
+        let ap = &a_pack[ip * MR * k..(ip + 1) * MR * k];
+        for jp in 0..n_panels {
+            let bp = &b_pack[jp * NR * k..(jp + 1) * NR * k];
+            let mut acc = [[0.0f32; NR]; MR];
+
+            // k-unrolled microkernel over the packed streams.
+            let mut apc = ap.chunks_exact(KU * MR);
+            let mut bpc = bp.chunks_exact(KU * NR);
+            for (ab, bb) in (&mut apc).zip(&mut bpc) {
+                for u in 0..KU {
+                    let av = &ab[u * MR..(u + 1) * MR];
+                    let bv = &bb[u * NR..(u + 1) * NR];
+                    for (r, row) in acc.iter_mut().enumerate() {
+                        let ar = av[r];
+                        for (ci, slot) in row.iter_mut().enumerate() {
+                            *slot += ar * bv[ci];
+                        }
+                    }
+                }
+            }
+            for (av, bv) in apc
+                .remainder()
+                .chunks_exact(MR)
+                .zip(bpc.remainder().chunks_exact(NR))
+            {
+                for (r, row) in acc.iter_mut().enumerate() {
+                    let ar = av[r];
+                    for (ci, slot) in row.iter_mut().enumerate() {
+                        *slot += ar * bv[ci];
+                    }
+                }
+            }
+
+            // Write back the valid region only.
+            let (i0, j0) = (ip * MR, jp * NR);
+            for r in 0..MR.min(m - i0) {
+                let out = &mut c[(i0 + r) * ldc + j0..(i0 + r) * ldc + j0 + NR.min(n - j0)];
+                out.copy_from_slice(&acc[r][..out.len()]);
+            }
+        }
+    }
+}
+
+/// Scalar twin of [`sgemm_f32`]: the literal triple loop, one sequential
+/// accumulator per output element.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_f32_scalar(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * lda + p] * b[p * ldb + j];
+            }
+            c[i * ldc + j] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det_matrix(rows: usize, cols: usize, seed: u32) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        (0..rows * cols)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 8) as f32 / (1u32 << 24) as f32 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_scalar_bitwise_on_awkward_shapes() {
+        for (m, n, k) in [
+            (1, 1, 1),
+            (4, 8, 4),
+            (3, 7, 5),
+            (5, 9, 4),
+            (16, 16, 16),
+            (17, 13, 11),
+            (8, 8, 0),
+            (1, 23, 31),
+            (29, 1, 3),
+        ] {
+            let a = det_matrix(m, k, 1);
+            let b = det_matrix(k, n, 2);
+            let mut fast = vec![f32::NAN; m * n];
+            let mut slow = vec![f32::NAN; m * n];
+            sgemm_f32(m, n, k, &a, k.max(1), &b, n, &mut fast, n);
+            sgemm_f32_scalar(m, n, k, &a, k.max(1), &b, n, &mut slow, n);
+            assert_eq!(fast, slow, "m={m} n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn respects_leading_dimensions() {
+        // Multiply a 2x3 · 3x2 submatrix embedded in wider storage.
+        let lda = 5;
+        let ldb = 4;
+        let ldc = 6;
+        let mut a = vec![9.0f32; 2 * lda];
+        let mut b = vec![9.0f32; 3 * ldb];
+        // a = [1 2 3; 4 5 6], b = [1 0; 0 1; 1 1]
+        a[0] = 1.0;
+        a[1] = 2.0;
+        a[2] = 3.0;
+        a[lda] = 4.0;
+        a[lda + 1] = 5.0;
+        a[lda + 2] = 6.0;
+        b[0] = 1.0;
+        b[1] = 0.0;
+        b[ldb] = 0.0;
+        b[ldb + 1] = 1.0;
+        b[2 * ldb] = 1.0;
+        b[2 * ldb + 1] = 1.0;
+        let mut c = vec![-1.0f32; 2 * ldc];
+        sgemm_f32(2, 2, 3, &a, lda, &b, ldb, &mut c, ldc);
+        assert_eq!(&c[..2], &[4.0, 5.0]);
+        assert_eq!(&c[ldc..ldc + 2], &[10.0, 11.0]);
+        // Storage beyond the written region is untouched.
+        assert_eq!(c[2], -1.0);
+        assert_eq!(c[ldc + 2], -1.0);
+    }
+
+    #[test]
+    fn zero_k_writes_zeros() {
+        let mut c = vec![5.0f32; 4];
+        sgemm_f32(2, 2, 0, &[], 1, &[], 2, &mut c, 2);
+        assert_eq!(c, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn empty_output_is_a_no_op() {
+        let mut c: Vec<f32> = Vec::new();
+        sgemm_f32(0, 4, 2, &[], 2, &[0.0; 8], 4, &mut c, 4);
+        sgemm_f32(4, 0, 2, &[0.0; 8], 2, &[], 0, &mut c, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "a too short")]
+    fn short_a_panics() {
+        let mut c = vec![0.0f32; 4];
+        sgemm_f32(2, 2, 3, &[0.0; 5], 3, &[0.0; 6], 2, &mut c, 2);
+    }
+}

@@ -1,0 +1,75 @@
+//! ULP (units-in-the-last-place) distance between floats, for bounding
+//! the rounding drift a reordered reduction is allowed.
+//!
+//! Finite floats of the same sign map onto consecutive integers under
+//! their bit patterns; mapping negative values through the sign-magnitude
+//! flip makes the whole finite line monotone, so the ULP distance is an
+//! integer difference. NaNs (and comparisons that would cross infinity)
+//! return the maximum distance — never "close".
+
+fn ordered_f32(x: f32) -> i64 {
+    let bits = x.to_bits() as i32;
+    let ordered = if bits < 0 { i32::MIN - bits } else { bits };
+    ordered as i64
+}
+
+fn ordered_f64(x: f64) -> i128 {
+    let bits = x.to_bits() as i64;
+    let ordered = if bits < 0 { i64::MIN - bits } else { bits };
+    ordered as i128
+}
+
+/// ULP distance between two f32 values (`u64::MAX` if either is NaN).
+pub fn ulp_distance_f32(x: f32, y: f32) -> u64 {
+    if x.is_nan() || y.is_nan() {
+        return u64::MAX;
+    }
+    (ordered_f32(x) - ordered_f32(y)).unsigned_abs()
+}
+
+/// ULP distance between two f64 values (`u128::MAX` if either is NaN).
+pub fn ulp_distance_f64(x: f64, y: f64) -> u128 {
+    if x.is_nan() || y.is_nan() {
+        return u128::MAX;
+    }
+    (ordered_f64(x) - ordered_f64(y)).unsigned_abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_values_are_zero_apart() {
+        assert_eq!(ulp_distance_f32(1.5, 1.5), 0);
+        assert_eq!(ulp_distance_f64(-2.25, -2.25), 0);
+    }
+
+    #[test]
+    fn signed_zeros_are_zero_apart() {
+        assert_eq!(ulp_distance_f32(0.0, -0.0), 0);
+        assert_eq!(ulp_distance_f64(0.0, -0.0), 0);
+    }
+
+    #[test]
+    fn adjacent_representable_values_are_one_apart() {
+        let x = 1.0f32;
+        let next = f32::from_bits(x.to_bits() + 1);
+        assert_eq!(ulp_distance_f32(x, next), 1);
+        let y = -1.0f64;
+        let next = f64::from_bits(y.to_bits() + 1); // next representable
+        assert_eq!(ulp_distance_f64(y, next), 1);
+    }
+
+    #[test]
+    fn crossing_zero_counts_both_sides() {
+        let tiny = f32::from_bits(1); // smallest positive subnormal
+        assert_eq!(ulp_distance_f32(tiny, -tiny), 2);
+    }
+
+    #[test]
+    fn nan_is_never_close() {
+        assert_eq!(ulp_distance_f32(f32::NAN, 1.0), u64::MAX);
+        assert_eq!(ulp_distance_f64(1.0, f64::NAN), u128::MAX);
+    }
+}

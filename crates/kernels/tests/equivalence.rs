@@ -1,0 +1,258 @@
+//! Equivalence proofs: every unrolled kernel against its scalar twin.
+//!
+//! Bitwise for everything elementwise (stream passes, fused iteration,
+//! elem ops) and for the SGEMM microkernel (one in-order accumulator per
+//! output element); error-bounded for the reordered reductions, using
+//! the standard summation bound `|err| <= c · n · eps · Σ|terms|`.
+//! Deterministic sweeps cover the awkward lengths (0, 1, lane−1, lane+1,
+//! primes); proptests cover the space in between.
+
+use oranges_kernels::{elem, gemm, reduce, stream};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn series_f32(n: usize, seed: u32) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(11);
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state >> 8) as f32 / (1u32 << 24) as f32 - 0.5
+        })
+        .collect()
+}
+
+fn series_f64(n: usize, seed: u32) -> Vec<f64> {
+    series_f32(n, seed).into_iter().map(f64::from).collect()
+}
+
+/// Lengths around the unroll width (8), around the microkernel tile, and
+/// prime sizes that never divide evenly.
+const AWKWARD: [usize; 13] = [0, 1, 2, 7, 8, 9, 13, 15, 16, 17, 31, 97, 257];
+
+fn assert_reduction_close_f32(fast: f32, slow: f32, terms: impl Iterator<Item = f64>, n: usize) {
+    let sum_abs: f64 = terms.map(f64::abs).sum();
+    let tol = 4.0 * (n as f64 + 8.0) * f32::EPSILON as f64 * sum_abs + 1e-30;
+    assert!(
+        (f64::from(fast) - f64::from(slow)).abs() <= tol,
+        "fast {fast} vs scalar {slow} beyond summation bound {tol} (n={n})"
+    );
+}
+
+fn assert_reduction_close_f64(fast: f64, slow: f64, terms: impl Iterator<Item = f64>, n: usize) {
+    let sum_abs: f64 = terms.map(f64::abs).sum();
+    let tol = 4.0 * (n as f64 + 8.0) * f64::EPSILON * sum_abs + 1e-300;
+    assert!(
+        (fast - slow).abs() <= tol,
+        "fast {fast} vs scalar {slow} beyond summation bound {tol} (n={n})"
+    );
+}
+
+#[test]
+fn reductions_match_twins_on_awkward_lengths() {
+    for n in AWKWARD {
+        let a32 = series_f32(n, 1);
+        let b32 = series_f32(n, 2);
+        let a64 = series_f64(n, 3);
+        let b64 = series_f64(n, 4);
+
+        assert_reduction_close_f32(
+            reduce::dot_f32(&a32, &b32),
+            reduce::dot_f32_scalar(&a32, &b32),
+            a32.iter()
+                .zip(&b32)
+                .map(|(x, y)| f64::from(*x) * f64::from(*y)),
+            n,
+        );
+        assert_reduction_close_f64(
+            reduce::dot_f64(&a64, &b64),
+            reduce::dot_f64_scalar(&a64, &b64),
+            a64.iter().zip(&b64).map(|(x, y)| x * y),
+            n,
+        );
+        assert_reduction_close_f32(
+            reduce::sum_f32(&a32),
+            reduce::sum_f32_scalar(&a32),
+            a32.iter().map(|&x| f64::from(x)),
+            n,
+        );
+        assert_reduction_close_f64(
+            reduce::sum_f64(&a64),
+            reduce::sum_f64_scalar(&a64),
+            a64.iter().copied(),
+            n,
+        );
+        assert_eq!(
+            reduce::max_f32(&a32),
+            reduce::max_f32_scalar(&a32),
+            "max n={n}"
+        );
+        assert_reduction_close_f64(
+            reduce::dot_f32_to_f64(&a32, &b32),
+            reduce::dot_f32_to_f64_scalar(&a32, &b32),
+            a32.iter()
+                .zip(&b32)
+                .map(|(x, y)| f64::from(*x) * f64::from(*y)),
+            n,
+        );
+    }
+}
+
+#[test]
+fn strided_dot_matches_twin_on_awkward_lengths_and_strides() {
+    for n in AWKWARD {
+        for stride in [1usize, 2, 3, 7] {
+            let a = series_f32(n, 5);
+            let col_len = if n == 0 { 0 } else { (n - 1) * stride + 1 };
+            let b = series_f32(col_len, 6);
+            assert_reduction_close_f64(
+                reduce::dot_f32_to_f64_strided(&a, &b, stride),
+                reduce::dot_f32_to_f64_strided_scalar(&a, &b, stride),
+                a.iter()
+                    .enumerate()
+                    .map(|(i, &x)| f64::from(x) * f64::from(b[i * stride])),
+                n,
+            );
+        }
+    }
+}
+
+#[test]
+fn stream_and_elem_kernels_match_twins_bitwise_on_awkward_lengths() {
+    for n in AWKWARD {
+        let a = series_f64(n, 7);
+        let b = series_f64(n, 8);
+        let mut fast = vec![0.0f64; n];
+        let mut slow = vec![0.0f64; n];
+
+        stream::copy_f64(&a, &mut fast);
+        stream::copy_f64_scalar(&a, &mut slow);
+        assert_eq!(fast, slow, "copy n={n}");
+        stream::scale_f64(3.0, &a, &mut fast);
+        stream::scale_f64_scalar(3.0, &a, &mut slow);
+        assert_eq!(fast, slow, "scale n={n}");
+        stream::add_f64(&a, &b, &mut fast);
+        stream::add_f64_scalar(&a, &b, &mut slow);
+        assert_eq!(fast, slow, "add n={n}");
+        stream::triad_f64(3.0, &a, &b, &mut fast);
+        stream::triad_f64_scalar(3.0, &a, &b, &mut slow);
+        assert_eq!(fast, slow, "triad n={n}");
+
+        let a32 = series_f32(n, 9);
+        let b32 = series_f32(n, 10);
+        let mut fast32 = vec![0.0f32; n];
+        let mut slow32 = vec![0.0f32; n];
+        elem::scale_f32(&a32, 1.25, &mut fast32);
+        elem::scale_f32_scalar(&a32, 1.25, &mut slow32);
+        assert_eq!(fast32, slow32, "scale_f32 n={n}");
+        elem::add_f32(&a32, &b32, &mut fast32);
+        elem::add_f32_scalar(&a32, &b32, &mut slow32);
+        assert_eq!(fast32, slow32, "add_f32 n={n}");
+        elem::axpy_f32(0.75, &a32, &mut fast32);
+        elem::axpy_f32_scalar(0.75, &a32, &mut slow32);
+        assert_eq!(fast32, slow32, "axpy_f32 n={n}");
+    }
+}
+
+#[test]
+fn sgemm_matches_twin_bitwise_on_awkward_shapes() {
+    // Around the MR=4 / NR=8 tile edges and at primes.
+    for &(m, n, k) in &[
+        (1usize, 1usize, 1usize),
+        (3, 7, 5),
+        (4, 8, 16),
+        (5, 9, 17),
+        (7, 15, 3),
+        (13, 11, 13),
+        (16, 16, 16),
+        (17, 17, 17),
+        (2, 31, 1),
+    ] {
+        let a = series_f32(m * k, 11);
+        let b = series_f32(k * n, 12);
+        let mut fast = vec![f32::NAN; m * n];
+        let mut slow = vec![f32::NAN; m * n];
+        gemm::sgemm_f32(m, n, k, &a, k, &b, n, &mut fast, n);
+        gemm::sgemm_f32_scalar(m, n, k, &a, k, &b, n, &mut slow, n);
+        assert_eq!(fast, slow, "m={m} n={n} k={k}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_dot_f32_within_summation_bound(
+        a in vec(any::<f32>(), 0..300),
+        b in vec(any::<f32>(), 0..300),
+    ) {
+        let n = a.len().min(b.len());
+        let fast = reduce::dot_f32(&a, &b);
+        let slow = reduce::dot_f32_scalar(&a, &b);
+        let sum_abs: f64 = a.iter().zip(&b)
+            .map(|(x, y)| (f64::from(*x) * f64::from(*y)).abs())
+            .sum();
+        let tol = 4.0 * (n as f64 + 8.0) * f32::EPSILON as f64 * sum_abs + 1e-30;
+        prop_assert!((f64::from(fast) - f64::from(slow)).abs() <= tol,
+            "fast {fast} vs {slow}, tol {tol}");
+    }
+
+    #[test]
+    fn prop_sum_f64_within_summation_bound(a in vec(any::<f64>(), 0..300)) {
+        let fast = reduce::sum_f64(&a);
+        let slow = reduce::sum_f64_scalar(&a);
+        let sum_abs: f64 = a.iter().map(|x| x.abs()).sum();
+        let tol = 4.0 * (a.len() as f64 + 8.0) * f64::EPSILON * sum_abs + 1e-300;
+        prop_assert!((fast - slow).abs() <= tol, "fast {fast} vs {slow}, tol {tol}");
+    }
+
+    #[test]
+    fn prop_max_f32_matches_twin_exactly(a in vec(any::<f32>(), 0..300)) {
+        prop_assert_eq!(reduce::max_f32(&a), reduce::max_f32_scalar(&a));
+    }
+
+    #[test]
+    fn prop_fused_iteration_is_bitwise_the_four_passes(
+        seed in vec(any::<f64>(), 0..600),
+        iterations in 1u32..4,
+    ) {
+        let n = seed.len();
+        let (mut a1, mut a2) = (seed.clone(), seed.clone());
+        let (mut b1, mut b2) = (vec![2.0; n], vec![2.0; n]);
+        let (mut c1, mut c2) = (vec![0.0; n], vec![0.0; n]);
+        for _ in 0..iterations {
+            stream::fused_iteration_f64(&mut a1, &mut b1, &mut c1, 3.0);
+            stream::fused_iteration_f64_scalar(&mut a2, &mut b2, &mut c2, 3.0);
+        }
+        prop_assert_eq!(a1, a2);
+        prop_assert_eq!(b1, b2);
+        prop_assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn prop_axpy_is_bitwise_scalar(
+        x in vec(any::<f32>(), 0..200),
+        s in -10.0f32..10.0,
+    ) {
+        let mut fast = vec![1.5f32; x.len()];
+        let mut slow = vec![1.5f32; x.len()];
+        elem::axpy_f32(s, &x, &mut fast);
+        elem::axpy_f32_scalar(s, &x, &mut slow);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn prop_sgemm_is_bitwise_scalar(
+        m in 0usize..24,
+        n in 0usize..24,
+        k in 0usize..24,
+        seed in 0u32..1000,
+    ) {
+        let a = series_f32(m * k, seed);
+        let b = series_f32(k * n, seed.wrapping_add(1));
+        let mut fast = vec![f32::NAN; m * n];
+        let mut slow = vec![f32::NAN; m * n];
+        gemm::sgemm_f32(m, n, k, &a, k.max(1), &b, n, &mut fast, n);
+        gemm::sgemm_f32_scalar(m, n, k, &a, k.max(1), &b, n, &mut slow, n);
+        prop_assert_eq!(fast, slow);
+    }
+}

@@ -101,9 +101,9 @@ impl CpuStream {
         let validated = if self.config.functional {
             let mut arrays = StreamArrays::new(self.config.elements);
             let iterations = self.config.reps;
-            for _ in 0..iterations {
-                arrays.run_iteration(total_cores as usize);
-            }
+            // One chunk-worker pool serves the whole run (no per-pass or
+            // per-iteration thread churn); bitwise-identical to stepping.
+            arrays.run_iterations(iterations, total_cores as usize);
             arrays
                 .validate(iterations)
                 .expect("STREAM validation failed");

@@ -3,8 +3,20 @@
 //! Matches stream.c: f64 arrays initialized `a = 1, b = 2, c = 0`, scalar
 //! `q = 3`, per-iteration sequence Copy → Scale → Add → Triad, and the
 //! closed-form validation stream.c performs after `k` iterations.
+//!
+//! The actual array math lives in [`oranges_kernels::stream`]: every pass
+//! is elementwise on the same index, so a full iteration legally fuses
+//! into one memory sweep per chunk ([`fused_iteration_f64`] — 4 words of
+//! traffic per element instead of 10) with bitwise-identical results. For
+//! the same reason, chunk `i` of iteration `t + 1` depends only on chunk
+//! `i` of iteration `t`: a worker can run *all* iterations of its chunk
+//! without ever synchronizing. [`StreamArrays::run_iterations`] exploits
+//! both — one scoped worker pool serves the whole run, where the previous
+//! implementation spawned a fresh thread scope per kernel pass (8
+//! short-lived threads per iteration).
 
 use crossbeam::thread;
+use oranges_kernels::stream::fused_iteration_f64;
 
 /// stream.c's `scalar`.
 pub const STREAM_SCALAR: f64 = 3.0;
@@ -43,17 +55,38 @@ impl StreamArrays {
     /// Run one full Copy → Scale → Add → Triad iteration on `threads`
     /// host threads (chunked, like the OpenMP pragmas in stream.c).
     pub fn run_iteration(&mut self, threads: usize) {
-        let threads = threads.max(1);
-        parallel_zip1(&self.a, &mut self.c, threads, |a, c| *c = *a);
-        parallel_zip1(&self.c, &mut self.b, threads, |c, b| {
-            *b = STREAM_SCALAR * *c
-        });
-        parallel_zip2(&self.a, &self.b, &mut self.c, threads, |a, b, c| {
-            *c = *a + *b
-        });
-        parallel_zip2(&self.b, &self.c, &mut self.a, threads, |b, c, a| {
-            *a = *b + STREAM_SCALAR * *c
-        });
+        self.run_iterations(1, threads);
+    }
+
+    /// Run `iterations` full iterations on one pool of `threads` chunk
+    /// workers.
+    ///
+    /// Each worker owns one chunk of all three arrays and sweeps it with
+    /// the fused iteration kernel `iterations` times — no per-pass or
+    /// per-iteration thread churn, and no barriers (iteration `t + 1` of
+    /// an element depends only on iteration `t` of the *same* element).
+    /// Results are bitwise-identical for any thread count.
+    pub fn run_iterations(&mut self, iterations: u32, threads: usize) {
+        if self.is_empty() || iterations == 0 {
+            return;
+        }
+        let threads = threads.clamp(1, self.len());
+        let chunk = self.len().div_ceil(threads);
+        thread::scope(|scope| {
+            for ((a_chunk, b_chunk), c_chunk) in self
+                .a
+                .chunks_mut(chunk)
+                .zip(self.b.chunks_mut(chunk))
+                .zip(self.c.chunks_mut(chunk))
+            {
+                scope.spawn(move |_| {
+                    for _ in 0..iterations {
+                        fused_iteration_f64(a_chunk, b_chunk, c_chunk, STREAM_SCALAR);
+                    }
+                });
+            }
+        })
+        .expect("stream kernel thread panicked");
     }
 
     /// stream.c's closed-form expected values after `iterations` full
@@ -85,46 +118,6 @@ impl StreamArrays {
         }
         Ok(())
     }
-}
-
-fn parallel_zip1<F>(src: &[f64], dst: &mut [f64], threads: usize, f: F)
-where
-    F: Fn(&f64, &mut f64) + Sync,
-{
-    let chunk = src.len().div_ceil(threads).max(1);
-    thread::scope(|scope| {
-        for (s_chunk, d_chunk) in src.chunks(chunk).zip(dst.chunks_mut(chunk)) {
-            let f = &f;
-            scope.spawn(move |_| {
-                for (s, d) in s_chunk.iter().zip(d_chunk.iter_mut()) {
-                    f(s, d);
-                }
-            });
-        }
-    })
-    .expect("stream kernel thread panicked");
-}
-
-fn parallel_zip2<F>(x: &[f64], y: &[f64], dst: &mut [f64], threads: usize, f: F)
-where
-    F: Fn(&f64, &f64, &mut f64) + Sync,
-{
-    let chunk = x.len().div_ceil(threads).max(1);
-    thread::scope(|scope| {
-        for ((x_chunk, y_chunk), d_chunk) in x
-            .chunks(chunk)
-            .zip(y.chunks(chunk))
-            .zip(dst.chunks_mut(chunk))
-        {
-            let f = &f;
-            scope.spawn(move |_| {
-                for ((xv, yv), d) in x_chunk.iter().zip(y_chunk.iter()).zip(d_chunk.iter_mut()) {
-                    f(xv, yv, d);
-                }
-            });
-        }
-    })
-    .expect("stream kernel thread panicked");
 }
 
 #[cfg(test)]
@@ -171,6 +164,32 @@ mod tests {
         assert_eq!(one.a, many.a);
         assert_eq!(one.b, many.b);
         assert_eq!(one.c, many.c);
+    }
+
+    #[test]
+    fn pooled_run_equals_per_iteration_runs_for_any_thread_count() {
+        for threads in [1usize, 3, 8, 2000] {
+            let mut pooled = StreamArrays::new(977);
+            let mut stepped = StreamArrays::new(977);
+            pooled.run_iterations(4, threads);
+            for _ in 0..4 {
+                stepped.run_iteration(threads);
+            }
+            assert_eq!(pooled.a, stepped.a, "threads={threads}");
+            assert_eq!(pooled.b, stepped.b, "threads={threads}");
+            assert_eq!(pooled.c, stepped.c, "threads={threads}");
+            pooled.validate(4).unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_arrays_and_zero_iterations_are_no_ops() {
+        let mut empty = StreamArrays::new(0);
+        empty.run_iterations(3, 4);
+        assert!(empty.is_empty());
+        let mut arrays = StreamArrays::new(8);
+        arrays.run_iterations(0, 4);
+        assert!(arrays.validate(0).is_ok());
     }
 
     #[test]
