@@ -133,6 +133,17 @@ impl ResultCache {
         found
     }
 
+    /// Whether the cache holds `key`, *without* counting a hit or a
+    /// miss. The engine's admission check peeks with this so a rejected
+    /// submission leaves cache statistics untouched too.
+    pub fn contains(&self, key: &UnitKey) -> bool {
+        self.inner
+            .store
+            .lock()
+            .expect("cache lock")
+            .contains_key(key)
+    }
+
     /// Store a unit's output. Returns the stored handle — if two workers
     /// race on the same key, the first insert wins and both get the same
     /// value (outputs for equal keys are identical by construction).

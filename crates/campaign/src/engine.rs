@@ -50,11 +50,163 @@ use oranges_harness::obs::{
     CampaignEvent, EventBroadcaster, EventKind, EventStream, Histogram, HistogramSnapshot,
 };
 use oranges_soc::chip::ChipGeneration;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, Weak};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Scheduling class of a submission. The engine runs **weighted fair
+/// queueing** across the three classes (see `DISPATCH_PATTERN`): when
+/// several classes have queued work, workers serve them in a fixed 4:2:1
+/// high:normal:batch rotation, so a saturating batch campaign cannot
+/// starve a small high-priority probe, while a backed-up high class
+/// still leaks batch work through (no class starves outright).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Interactive probes; 4 of every 7 dispatch slots.
+    High,
+    /// The default; 2 of every 7 dispatch slots.
+    #[default]
+    Normal,
+    /// Bulk campaigns (the fleet orchestrator submits shards here);
+    /// 1 of every 7 dispatch slots.
+    Batch,
+}
+
+/// The weighted round-robin dispatch rotation. Workers scan this
+/// pattern from a rotating cursor and pop from the first class with
+/// queued work, which yields the 4:2:1 service weights.
+const DISPATCH_PATTERN: [Priority; 7] = [
+    Priority::High,
+    Priority::High,
+    Priority::High,
+    Priority::High,
+    Priority::Normal,
+    Priority::Normal,
+    Priority::Batch,
+];
+
+impl Priority {
+    /// Stable wire token (`"high"` / `"normal"` / `"batch"`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Batch => "batch",
+        }
+    }
+
+    /// Parse a wire token (the inverse of [`as_str`](Priority::as_str)).
+    pub fn parse(token: &str) -> Option<Priority> {
+        match token {
+            "high" => Some(Priority::High),
+            "normal" => Some(Priority::Normal),
+            "batch" => Some(Priority::Batch),
+            _ => None,
+        }
+    }
+
+    /// Index into the per-class queue array.
+    fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Batch => 2,
+        }
+    }
+
+    /// Strictly increasing with urgency, for promotion comparisons.
+    fn urgency(self) -> u8 {
+        match self {
+            Priority::High => 2,
+            Priority::Normal => 1,
+            Priority::Batch => 0,
+        }
+    }
+
+    /// All classes, in queue-array order.
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Batch];
+}
+
+/// Per-submission scheduling options for
+/// [`ExecutionEngine::submit_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Scheduling class (default [`Priority::Normal`]).
+    pub priority: Priority,
+    /// Fail this subscription's still-unresolved units with
+    /// [`CampaignError::DeadlineExceeded`] once this much time has
+    /// passed since submit. Units whose computation is already running
+    /// when the deadline fires still complete (and land in the cache)
+    /// — the deadline fails *deliveries*, never other subscribers.
+    pub deadline: Option<Duration>,
+}
+
+impl SubmitOptions {
+    /// Options at the given priority, no deadline.
+    pub fn priority(priority: Priority) -> SubmitOptions {
+        SubmitOptions {
+            priority,
+            deadline: None,
+        }
+    }
+
+    /// Builder-style deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> SubmitOptions {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Typed admission rejection from
+/// [`ExecutionEngine::submit_with`]. A rejected submission leaves the
+/// engine exactly as it found it: no units counted, no queue slots or
+/// in-flight entries taken, no cache reads recorded — only
+/// [`EngineStats::submissions_rejected`] ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The submission needed more queue slots than the engine's cap
+    /// has free. Retry later, shrink the batch, or raise the cap.
+    Busy {
+        /// Jobs queued (all classes) at rejection time.
+        queued: usize,
+        /// The engine's queue cap.
+        cap: usize,
+        /// Fresh computations this submission would have enqueued.
+        needed: usize,
+    },
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::Busy {
+                queued,
+                cap,
+                needed,
+            } => write!(
+                f,
+                "engine busy: submission needs {needed} queue slots but {queued}/{cap} are taken"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// What a cancellation (explicit, drop, or deadline) actually undid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CancelOutcome {
+    /// Deliveries this subscriber will no longer receive (each was
+    /// answered with a typed error instead).
+    pub waiters_cancelled: usize,
+    /// Queued, not-yet-started computations abandoned because this
+    /// subscriber was their only waiter. In-flight computations with
+    /// other waiters — coalesced siblings — are never touched.
+    pub jobs_abandoned: usize,
+}
 
 /// How a subscription's unit was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -124,9 +276,30 @@ pub struct UnitDelivery {
 }
 
 /// Lifetime counters of an [`ExecutionEngine`].
+///
+/// # Counter identity
+///
+/// Every accepted unit is classified at submit time as a cache hit, a
+/// coalesced join, or the enqueueing submission of a fresh job — and
+/// every fresh job retires as exactly one of computed, failed, or
+/// cancelled (abandoned while still queued). So at quiescence (no
+/// queued or in-flight units):
+///
+/// ```text
+/// units_submitted == units_computed + cache_hits + coalesced_joins
+///                    + units_failed + units_cancelled
+/// ```
+///
+/// `deadline_expired` and `submissions_rejected` sit *outside* the
+/// identity: the former counts failed deliveries (the unit itself may
+/// still compute for a coalesced sibling, or be double-counted in
+/// `units_cancelled` when its queued job was abandoned too), and the
+/// latter counts whole rejected submissions, whose units were never
+/// admitted into `units_submitted` at all.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineStats {
-    /// Units submitted across all subscriptions.
+    /// Units accepted across all subscriptions (rejected submissions
+    /// contribute nothing).
     pub units_submitted: u64,
     /// Units actually computed by a worker.
     pub units_computed: u64,
@@ -137,9 +310,30 @@ pub struct EngineStats {
     pub coalesced_joins: u64,
     /// Units that failed (experiment error or panic).
     pub units_failed: u64,
+    /// Queued computations abandoned by cancellation or deadline
+    /// expiry before a worker picked them up.
+    pub units_cancelled: u64,
+    /// Unit deliveries failed with
+    /// [`CampaignError::DeadlineExceeded`].
+    pub deadline_expired: u64,
+    /// Whole submissions turned away with [`AdmitError::Busy`].
+    pub submissions_rejected: u64,
     /// Lifecycle events lost to full subscriber buffers (see
     /// [`ExecutionEngine::subscribe_events`]).
     pub events_dropped: u64,
+}
+
+impl EngineStats {
+    /// The right-hand side of the counter identity (see the type-level
+    /// docs): equals [`units_submitted`](EngineStats::units_submitted)
+    /// at quiescence.
+    pub fn units_resolved(&self) -> u64 {
+        self.units_computed
+            + self.cache_hits
+            + self.coalesced_joins
+            + self.units_failed
+            + self.units_cancelled
+    }
 }
 
 /// A waiter attached to one in-flight computation.
@@ -147,6 +341,9 @@ struct Waiter {
     index: usize,
     source: UnitSource,
     sender: mpsc::Sender<UnitDelivery>,
+    /// Owning subscription, so cancellation can surgically remove this
+    /// waiter without touching coalesced siblings.
+    sub: u64,
 }
 
 /// One queued computation.
@@ -161,21 +358,75 @@ struct Job {
 /// store (campaigns over distinct caches must each populate their own).
 type InflightKey = (usize, UnitKey);
 
+/// One in-flight computation: its waiters, the class its job is queued
+/// under, and whether it is still in a queue (a worker flips `queued`
+/// off when it picks the job up — cancellation may only abandon jobs
+/// that are still queued).
+struct Flight {
+    waiters: Vec<Waiter>,
+    priority: Priority,
+    queued: bool,
+}
+
 #[derive(Default)]
 struct EngineState {
-    queue: VecDeque<Job>,
-    inflight: HashMap<InflightKey, Vec<Waiter>>,
+    /// One FIFO per priority class, indexed by [`Priority::index`].
+    queues: [VecDeque<Job>; 3],
+    /// Rotating position in [`DISPATCH_PATTERN`].
+    cursor: usize,
+    inflight: HashMap<InflightKey, Flight>,
+}
+
+impl EngineState {
+    fn queued_total(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Weighted-fair pop: scan the dispatch pattern from the cursor and
+    /// take the head of the first class with queued work. Marks the
+    /// job's flight as no longer queued (it is now owned by a worker).
+    fn pop_job(&mut self) -> Option<Job> {
+        for step in 0..DISPATCH_PATTERN.len() {
+            let position = (self.cursor + step) % DISPATCH_PATTERN.len();
+            let class = DISPATCH_PATTERN[position];
+            if let Some(job) = self.queues[class.index()].pop_front() {
+                self.cursor = (position + 1) % DISPATCH_PATTERN.len();
+                if let Some(flight) = self.inflight.get_mut(&job.slot) {
+                    flight.queued = false;
+                }
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+/// A subscription deadline awaiting the reaper.
+struct DeadlineEntry {
+    at: Instant,
+    sub: u64,
 }
 
 struct EngineShared {
     state: Mutex<EngineState>,
     wake: Condvar,
     shutdown: AtomicBool,
+    /// Queue cap for bounded admission; `None` = unbounded.
+    queue_cap: Option<usize>,
+    /// Subscription id allocator (cancellation's addressing scheme).
+    next_sub: AtomicU64,
+    /// Registered deadlines, serviced by the reaper thread. Locked
+    /// strictly non-nested with `state`.
+    deadlines: Mutex<Vec<DeadlineEntry>>,
+    deadline_wake: Condvar,
     units_submitted: AtomicU64,
     units_computed: AtomicU64,
     cache_hits: AtomicU64,
     coalesced_joins: AtomicU64,
     units_failed: AtomicU64,
+    units_cancelled: AtomicU64,
+    deadline_expired: AtomicU64,
+    submissions_rejected: AtomicU64,
     events: EventBroadcaster,
     /// Per-experiment compute-latency histograms, keyed by experiment
     /// id. The lock guards only the map; observations on a retrieved
@@ -191,6 +442,14 @@ impl EngineShared {
     /// engine shrugs the poison off instead of propagating it.
     fn state(&self) -> std::sync::MutexGuard<'_, EngineState> {
         self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The deadline registry lock (same poison-shrugging rationale as
+    /// [`state`](EngineShared::state)).
+    fn deadlines(&self) -> std::sync::MutexGuard<'_, Vec<DeadlineEntry>> {
+        self.deadlines
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
@@ -212,12 +471,19 @@ impl EngineShared {
     }
 }
 
-/// A handle to one submission's result stream. Dropping it mid-flight is
-/// safe: the engine keeps computing for any other subscribers and
-/// discards deliveries no one is listening for.
+/// A handle to one submission's result stream.
+///
+/// Dropping the subscription **cancels** whatever of it has not
+/// resolved: queued computations nobody else is waiting on are
+/// abandoned (freeing their queue slots), while computations with
+/// coalesced siblings — or already running on a worker — are left
+/// strictly alone. Dropping after draining every delivery is therefore
+/// a no-op.
 pub struct Subscription {
     receiver: mpsc::Receiver<UnitDelivery>,
     expected: usize,
+    sub: u64,
+    shared: Arc<EngineShared>,
 }
 
 impl Subscription {
@@ -238,6 +504,61 @@ impl Subscription {
     pub fn recv_timeout(&self, timeout: Duration) -> Result<UnitDelivery, mpsc::RecvTimeoutError> {
         self.receiver.recv_timeout(timeout)
     }
+
+    /// Cancel the subscription's unresolved units now: each is answered
+    /// with [`CampaignError::Cancelled`] over this channel, and queued
+    /// jobs with no other waiter are abandoned. Idempotent, and safe to
+    /// race with workers — a job a worker already picked up completes
+    /// normally (into the cache, for any coalesced siblings).
+    pub fn cancel(&self) -> CancelOutcome {
+        cancel_subscription(&self.shared, self.sub, CancelKind::Cancelled)
+    }
+
+    /// A clonable handle that can cancel this subscription from
+    /// anywhere — the service's `cancel` wire method keeps one per
+    /// `run_token`. Holding it does not keep the engine alive.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        CancelHandle {
+            sub: self.sub,
+            shared: Arc::downgrade(&self.shared),
+        }
+    }
+}
+
+impl fmt::Debug for Subscription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Subscription")
+            .field("sub", &self.sub)
+            .field("expected", &self.expected)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        cancel_subscription(&self.shared, self.sub, CancelKind::Cancelled);
+    }
+}
+
+/// Cancels one subscription from outside it (see
+/// [`Subscription::cancel_handle`]). Cancelling an already-resolved or
+/// already-cancelled subscription is a harmless no-op that reports
+/// zeros.
+#[derive(Clone)]
+pub struct CancelHandle {
+    sub: u64,
+    shared: Weak<EngineShared>,
+}
+
+impl CancelHandle {
+    /// Cancel the subscription (same semantics as
+    /// [`Subscription::cancel`]).
+    pub fn cancel(&self) -> CancelOutcome {
+        match self.shared.upgrade() {
+            Some(shared) => cancel_subscription(&shared, self.sub, CancelKind::Cancelled),
+            None => CancelOutcome::default(),
+        }
+    }
 }
 
 /// The shared, unit-granular execution core: persistent worker threads,
@@ -248,34 +569,61 @@ impl Subscription {
 pub struct ExecutionEngine {
     shared: Arc<EngineShared>,
     handles: Vec<thread::JoinHandle<()>>,
+    reaper: Option<thread::JoinHandle<()>>,
     workers: usize,
 }
 
 impl ExecutionEngine {
-    /// Spawn `workers` (≥ 1 enforced) persistent worker threads.
+    /// Spawn `workers` (≥ 1 enforced) persistent worker threads with an
+    /// unbounded queue.
     pub fn new(workers: usize) -> Self {
+        Self::with_queue_cap(workers, None)
+    }
+
+    /// Spawn `workers` (≥ 1 enforced) persistent worker threads,
+    /// bounding the job queue at `queue_cap` when given: submissions
+    /// that would enqueue more fresh computations than the cap has free
+    /// slots are rejected whole with [`AdmitError::Busy`]. Coalesced
+    /// joins and cache hits take no slots, so they are always admitted.
+    pub fn with_queue_cap(workers: usize, queue_cap: Option<usize>) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(EngineShared {
             state: Mutex::new(EngineState::default()),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            queue_cap,
+            next_sub: AtomicU64::new(0),
+            deadlines: Mutex::new(Vec::new()),
+            deadline_wake: Condvar::new(),
             units_submitted: AtomicU64::new(0),
             units_computed: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             coalesced_joins: AtomicU64::new(0),
             units_failed: AtomicU64::new(0),
+            units_cancelled: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            submissions_rejected: AtomicU64::new(0),
             events: EventBroadcaster::new(),
             latency: Mutex::new(HashMap::new()),
         });
-        let handles = (0..workers)
+        let handles: Vec<thread::JoinHandle<()>> = (0..workers)
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 thread::spawn(move || engine_worker_loop(&shared))
             })
             .collect();
+        // The deadline reaper rides along as one more engine thread
+        // (tracked apart from the workers so health gauges stay
+        // honest); it sleeps until the earliest registered deadline and
+        // costs nothing when deadlines are unused.
+        let reaper = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || deadline_reaper_loop(&shared))
+        };
         ExecutionEngine {
             shared,
             handles,
+            reaper: Some(reaper),
             workers,
         }
     }
@@ -283,6 +631,11 @@ impl ExecutionEngine {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The queue cap this engine admits against, if bounded.
+    pub fn queue_cap(&self) -> Option<usize> {
+        self.shared.queue_cap
     }
 
     /// Lifetime counters.
@@ -293,13 +646,28 @@ impl ExecutionEngine {
             cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
             coalesced_joins: self.shared.coalesced_joins.load(Ordering::Relaxed),
             units_failed: self.shared.units_failed.load(Ordering::Relaxed),
+            units_cancelled: self.shared.units_cancelled.load(Ordering::Relaxed),
+            deadline_expired: self.shared.deadline_expired.load(Ordering::Relaxed),
+            submissions_rejected: self.shared.submissions_rejected.load(Ordering::Relaxed),
             events_dropped: self.shared.events.events_dropped(),
         }
     }
 
-    /// Number of jobs queued but not yet picked up by a worker.
+    /// Number of jobs queued but not yet picked up by a worker, summed
+    /// across all priority classes.
     pub fn queue_depth(&self) -> usize {
-        self.shared.state().queue.len()
+        self.shared.state().queued_total()
+    }
+
+    /// Per-class queue depths, indexed like [`Priority::ALL`]
+    /// (high, normal, batch).
+    pub fn queue_depths(&self) -> [usize; 3] {
+        let state = self.shared.state();
+        [
+            state.queues[0].len(),
+            state.queues[1].len(),
+            state.queues[2].len(),
+        ]
     }
 
     /// Number of units currently in flight (queued or computing).
@@ -363,31 +731,113 @@ impl ExecutionEngine {
     ///
     /// Duplicate keys *within* one batch coalesce too (the second
     /// occurrence attaches to the first's computation).
+    ///
+    /// Uses default [`SubmitOptions`] (normal priority, no deadline)
+    /// and bypasses nothing: on an engine with a queue cap this
+    /// **panics** when the cap would reject the submission — capped
+    /// engines should call [`submit_with`](ExecutionEngine::submit_with)
+    /// and handle [`AdmitError::Busy`].
     pub fn submit(&self, units: &[PlanUnit], cache: &ResultCache) -> Subscription {
+        self.submit_with(units, cache, SubmitOptions::default())
+            .expect("submission rejected; use submit_with on a capped engine")
+    }
+
+    /// [`submit`](ExecutionEngine::submit) with explicit scheduling
+    /// options, and with bounded admission: on a capped engine, a
+    /// submission that would enqueue more fresh computations than the
+    /// cap has free slots is rejected whole with [`AdmitError::Busy`],
+    /// leaving the engine value-identical to never having been asked —
+    /// no counters (beyond the rejection itself), queue slots,
+    /// in-flight entries, or cache reads.
+    pub fn submit_with(
+        &self,
+        units: &[PlanUnit],
+        cache: &ResultCache,
+        options: SubmitOptions,
+    ) -> Result<Subscription, AdmitError> {
         let (sender, receiver) = mpsc::channel();
         let cache_id = cache.instance_id();
-        let mut queued = false;
+        let sub = self.shared.next_sub.fetch_add(1, Ordering::Relaxed);
+        let mut queued_any = false;
+        let mut pending_waiters = false;
         // Events are collected under the lock (so their order matches
         // the classification order) but broadcast only after it is
         // released — the critical section stays queue-work only.
         let mut events: Vec<CampaignEvent> = Vec::new();
         {
             let mut state = self.shared.state();
+            // Admission pass: count the fresh computations this batch
+            // would enqueue, without mutating anything. Uses the
+            // non-counting `ResultCache::contains` so a rejected
+            // submission perturbs no cache statistics either. (Cache
+            // entries are never removed, so a key that reads as a hit
+            // here cannot become a fresh job in the commit pass below.)
+            if let Some(cap) = self.shared.queue_cap {
+                let queued = state.queued_total();
+                let mut fresh: HashSet<InflightKey> = HashSet::new();
+                for unit in units {
+                    let slot = (cache_id, unit.key.clone());
+                    if state.inflight.contains_key(&slot) || cache.contains(&unit.key) {
+                        continue;
+                    }
+                    fresh.insert(slot);
+                }
+                let needed = fresh.len();
+                if queued + needed > cap {
+                    drop(state);
+                    self.shared
+                        .submissions_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared.events.publish(
+                        &CampaignEvent::new(EventKind::SubmissionRejected).with_detail(&format!(
+                            "needs {needed} queue slots, {queued}/{cap} taken"
+                        )),
+                    );
+                    return Err(AdmitError::Busy {
+                        queued,
+                        cap,
+                        needed,
+                    });
+                }
+            }
+            // Commit pass: classify every unit, as before.
             for unit in units {
                 self.shared.units_submitted.fetch_add(1, Ordering::Relaxed);
                 let slot = (cache_id, unit.key.clone());
-                if let Some(waiters) = state.inflight.get_mut(&slot) {
+                let mut promotion: Option<Priority> = None;
+                if let Some(flight) = state.inflight.get_mut(&slot) {
                     self.shared.coalesced_joins.fetch_add(1, Ordering::Relaxed);
                     events.push(CampaignEvent::unit(
                         EventKind::Coalesced,
                         &unit.key.to_string(),
                         &unit.key.id,
                     ));
-                    waiters.push(Waiter {
+                    flight.waiters.push(Waiter {
                         index: unit.index,
                         source: UnitSource::Coalesced,
                         sender: sender.clone(),
+                        sub,
                     });
+                    pending_waiters = true;
+                    // Priority inheritance: a high-priority join must
+                    // not wait behind the batch queue its producer
+                    // chose, so the queued job moves to the joiner's
+                    // class.
+                    if flight.queued && options.priority.urgency() > flight.priority.urgency() {
+                        promotion = Some(flight.priority);
+                        flight.priority = options.priority;
+                    }
+                }
+                if let Some(from) = promotion {
+                    let queue = &mut state.queues[from.index()];
+                    if let Some(position) = queue.iter().position(|job| job.slot == slot) {
+                        if let Some(job) = queue.remove(position) {
+                            state.queues[options.priority.index()].push_back(job);
+                        }
+                    }
+                    continue;
+                }
+                if state.inflight.contains_key(&slot) {
                     continue;
                 }
                 let probe = Instant::now();
@@ -410,30 +860,49 @@ impl ExecutionEngine {
                 }
                 state.inflight.insert(
                     slot.clone(),
-                    vec![Waiter {
-                        index: unit.index,
-                        source: UnitSource::Computed,
-                        sender: sender.clone(),
-                    }],
+                    Flight {
+                        waiters: vec![Waiter {
+                            index: unit.index,
+                            source: UnitSource::Computed,
+                            sender: sender.clone(),
+                            sub,
+                        }],
+                        priority: options.priority,
+                        queued: true,
+                    },
                 );
-                state.queue.push_back(Job {
+                state.queues[options.priority.index()].push_back(Job {
                     slot,
                     unit: unit.clone(),
                     cache: cache.clone(),
                 });
-                queued = true;
+                queued_any = true;
+                pending_waiters = true;
             }
         }
-        if queued {
+        if queued_any {
             self.shared.wake.notify_all();
         }
         for event in &events {
             self.shared.events.publish(event);
         }
-        Subscription {
+        // Register the deadline only when something is actually left to
+        // wait for (all-cache-hit submissions resolve before return).
+        if let Some(deadline) = options.deadline {
+            if pending_waiters {
+                self.shared.deadlines().push(DeadlineEntry {
+                    at: Instant::now() + deadline,
+                    sub,
+                });
+                self.shared.deadline_wake.notify_all();
+            }
+        }
+        Ok(Subscription {
             receiver,
             expected: units.len(),
-        }
+            sub,
+            shared: Arc::clone(&self.shared),
+        })
     }
 }
 
@@ -446,8 +915,16 @@ impl Drop for ExecutionEngine {
             self.shared.shutdown.store(true, Ordering::Relaxed);
         }
         self.shared.wake.notify_all();
+        {
+            // Same dance for the reaper, which waits on its own lock.
+            let _deadlines = self.shared.deadlines();
+        }
+        self.shared.deadline_wake.notify_all();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
+        }
+        if let Some(reaper) = self.reaper.take() {
+            let _ = reaper.join();
         }
     }
 }
@@ -468,7 +945,7 @@ fn engine_worker_loop(shared: &EngineShared) {
                 if shared.shutdown.load(Ordering::Relaxed) {
                     return;
                 }
-                match state.queue.pop_front() {
+                match state.pop_job() {
                     Some(job) => break job,
                     None => {
                         state = shared
@@ -564,6 +1041,7 @@ fn service_job(shared: &EngineShared, job: &Job, pool: &mut PlatformPool) {
         .state()
         .inflight
         .remove(&job.slot)
+        .map(|flight| flight.waiters)
         .unwrap_or_default();
     for waiter in waiters {
         let _ = waiter.sender.send(UnitDelivery {
@@ -604,6 +1082,7 @@ fn abort_job(shared: &EngineShared, job: &Job) {
         .state()
         .inflight
         .remove(&job.slot)
+        .map(|flight| flight.waiters)
         .unwrap_or_default();
     for waiter in waiters {
         let _ = waiter.sender.send(UnitDelivery {
@@ -613,6 +1092,147 @@ fn abort_job(shared: &EngineShared, job: &Job) {
                 job.unit.key
             ))),
         });
+    }
+}
+
+/// Why a subscription's unresolved units are being torn down — decides
+/// the typed error delivered and which counter ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CancelKind {
+    /// Explicit cancel, or the subscription was dropped.
+    Cancelled,
+    /// The subscription's deadline expired.
+    Deadline,
+}
+
+/// Tear down one subscription's unresolved units: remove its waiters
+/// (each answered with a typed error over its own channel), and abandon
+/// queued jobs left with no waiter at all. The subtle invariant lives
+/// here: waiters are matched by subscription id, so a cancelled
+/// *producer* never takes an in-flight unit away from coalesced
+/// siblings — and a job a worker already picked up (`queued == false`)
+/// is never abandoned; it completes into the cache for whoever remains.
+///
+/// Idempotent: a second call (or a cancel racing a deadline) finds
+/// nothing left to remove and reports zeros.
+fn cancel_subscription(shared: &EngineShared, sub: u64, kind: CancelKind) -> CancelOutcome {
+    let mut orphaned: Vec<(usize, mpsc::Sender<UnitDelivery>, UnitKey)> = Vec::new();
+    let mut abandoned: Vec<UnitKey> = Vec::new();
+    {
+        let mut state = shared.state();
+        let mut emptied: Vec<InflightKey> = Vec::new();
+        for (slot, flight) in state.inflight.iter_mut() {
+            let before = flight.waiters.len();
+            let mut kept = Vec::with_capacity(before);
+            for waiter in flight.waiters.drain(..) {
+                if waiter.sub == sub {
+                    orphaned.push((waiter.index, waiter.sender, slot.1.clone()));
+                } else {
+                    kept.push(waiter);
+                }
+            }
+            flight.waiters = kept;
+            if flight.waiters.is_empty() && flight.queued && before > 0 {
+                emptied.push(slot.clone());
+            }
+        }
+        for slot in emptied {
+            let Some(flight) = state.inflight.remove(&slot) else {
+                continue;
+            };
+            let queue = &mut state.queues[flight.priority.index()];
+            if let Some(position) = queue.iter().position(|job| job.slot == slot) {
+                queue.remove(position);
+            }
+            abandoned.push(slot.1);
+        }
+    }
+    if !abandoned.is_empty() {
+        shared
+            .units_cancelled
+            .fetch_add(abandoned.len() as u64, Ordering::Relaxed);
+    }
+    if kind == CancelKind::Deadline && !orphaned.is_empty() {
+        shared
+            .deadline_expired
+            .fetch_add(orphaned.len() as u64, Ordering::Relaxed);
+    }
+    // The subscription's deadline (if any) is spent either way.
+    shared.deadlines().retain(|entry| entry.sub != sub);
+    // Deliveries and events go out after every lock is released.
+    let outcome = CancelOutcome {
+        waiters_cancelled: orphaned.len(),
+        jobs_abandoned: abandoned.len(),
+    };
+    for (index, sender, key) in orphaned {
+        let error = match kind {
+            CancelKind::Cancelled => CampaignError::Cancelled { key: key.clone() },
+            CancelKind::Deadline => CampaignError::DeadlineExceeded { key: key.clone() },
+        };
+        let _ = sender.send(UnitDelivery {
+            index,
+            outcome: Err(error),
+        });
+        if kind == CancelKind::Deadline {
+            shared.events.publish(&CampaignEvent::unit(
+                EventKind::DeadlineExpired,
+                &key.to_string(),
+                &key.id,
+            ));
+        }
+    }
+    for key in &abandoned {
+        shared.events.publish(&CampaignEvent::unit(
+            EventKind::UnitCancelled,
+            &key.to_string(),
+            &key.id,
+        ));
+    }
+    outcome
+}
+
+/// The deadline reaper: one engine-owned thread that sleeps until the
+/// earliest registered deadline, then expires that subscription's
+/// unresolved units with [`CampaignError::DeadlineExceeded`].
+fn deadline_reaper_loop(shared: &EngineShared) {
+    let mut deadlines = shared.deadlines();
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let now = Instant::now();
+        let mut expired: Vec<u64> = Vec::new();
+        deadlines.retain(|entry| {
+            if entry.at <= now {
+                expired.push(entry.sub);
+                false
+            } else {
+                true
+            }
+        });
+        if !expired.is_empty() {
+            // Expiry takes the state lock; never hold both.
+            drop(deadlines);
+            for sub in expired {
+                cancel_subscription(shared, sub, CancelKind::Deadline);
+            }
+            deadlines = shared.deadlines();
+            continue;
+        }
+        let next = deadlines.iter().map(|entry| entry.at).min();
+        deadlines = match next {
+            Some(at) => {
+                shared
+                    .deadline_wake
+                    .wait_timeout(deadlines, at.saturating_duration_since(now))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .0
+            }
+            None => shared
+                .deadline_wake
+                .wait(deadlines)
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        };
     }
 }
 
@@ -946,12 +1566,18 @@ mod tests {
     }
 
     #[test]
-    fn dropping_a_subscription_mid_flight_is_harmless() {
+    fn dropping_a_subscription_mid_compute_is_harmless() {
         let engine = ExecutionEngine::new(1);
         let cache = ResultCache::new();
         let (experiment, gate, runs) = GatedExperiment::new("dropped");
 
         let abandoned = engine.submit(&[unit_of(0, experiment.clone())], &cache);
+        // Wait until the worker owns the job: once it is off the queue,
+        // dropping the subscription may not abandon it.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while engine.queue_depth() > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(2));
+        }
         drop(abandoned);
         release(&gate);
 
@@ -961,5 +1587,40 @@ mod tests {
         let outcome = next.recv().expect("delivery").outcome.expect("ok");
         assert!(outcome.source.from_cache());
         assert_eq!(runs.load(Ordering::SeqCst), 1);
+        assert_eq!(engine.stats().units_cancelled, 0, "nothing was queued");
+    }
+
+    #[test]
+    fn dropping_a_subscription_abandons_its_queued_units() {
+        let engine = ExecutionEngine::new(1);
+        let cache = ResultCache::new();
+        let (blocker, gate, _) = GatedExperiment::new("drop-blocker");
+        let (doomed, _gate_doomed, doomed_runs) = GatedExperiment::new("drop-doomed");
+
+        // The single worker blocks on the gated unit; the second
+        // submission's unit stays queued.
+        let holder = engine.submit(&[unit_of(0, blocker)], &cache);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while engine.queue_depth() > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(2));
+        }
+        let queued = engine.submit(&[unit_of(0, doomed)], &cache);
+        assert_eq!(engine.queue_depth(), 1);
+        drop(queued);
+        assert_eq!(engine.queue_depth(), 0, "the queue slot was freed");
+        assert_eq!(engine.stats().units_cancelled, 1);
+
+        release(&gate);
+        assert!(holder.recv().expect("blocker delivery").outcome.is_ok());
+        assert_eq!(doomed_runs.load(Ordering::SeqCst), 0, "never computed");
+    }
+
+    #[test]
+    fn priority_tokens_round_trip() {
+        for priority in Priority::ALL {
+            assert_eq!(Priority::parse(priority.as_str()), Some(priority));
+        }
+        assert_eq!(Priority::parse("urgent"), None);
+        assert_eq!(Priority::default(), Priority::Normal);
     }
 }

@@ -172,19 +172,20 @@ pub use cache::{
     CacheLoad, CacheMergeError, CachePersistError, CacheStats, MergeStats, ResultCache,
 };
 pub use engine::{
-    EngineStats, ExecutionEngine, Subscription, UnitDelivery, UnitOutcome, UnitSource,
+    AdmitError, CancelHandle, CancelOutcome, EngineStats, ExecutionEngine, Priority, SubmitOptions,
+    Subscription, UnitDelivery, UnitOutcome, UnitSource,
 };
 pub use orchestrate::{OrchestrateError, OrchestratedRun, Orchestrator};
 pub use plan::{Plan, PlanUnit, UnitKey};
 pub use report::{CampaignReport, UnitReport};
 pub use scheduler::{run_campaign, run_campaign_serial, CampaignError, WorkerPool};
-pub use service::{HealthReport, ServiceGauges, ServiceSummary};
+pub use service::{CancelAck, HealthReport, RunOptions, ServiceGauges, ServiceSummary};
 pub use spec::{CampaignSpec, ExperimentKind, SpecParseError};
 
 /// Convenience prelude.
 pub mod prelude {
     pub use crate::cache::ResultCache;
-    pub use crate::engine::{ExecutionEngine, UnitSource};
+    pub use crate::engine::{ExecutionEngine, Priority, SubmitOptions, UnitSource};
     pub use crate::orchestrate::Orchestrator;
     pub use crate::report::CampaignReport;
     pub use crate::scheduler::{run_campaign, run_campaign_serial, WorkerPool};

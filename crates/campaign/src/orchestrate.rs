@@ -43,9 +43,10 @@
 //! TCP daemons).
 
 use crate::cache::{CacheMergeError, CachePersistError, MergeStats, ResultCache};
+use crate::engine::Priority;
 use crate::report::CampaignReport;
 use crate::scheduler::{run_campaign, CampaignError};
-use crate::service::{RunOutcome, ServiceClient, ServiceError};
+use crate::service::{RunOptions, RunOutcome, ServiceClient, ServiceError};
 use crate::spec::{CampaignSpec, SpecParseError};
 use oranges_harness::transport::{AnyTransport, Endpoint};
 use std::fmt;
@@ -407,7 +408,10 @@ impl Orchestrator {
                     scope.spawn(move || {
                         let shard_spec = spec.clone().with_shard(index, count)?;
                         let mut client = ServiceClient::<AnyTransport>::connect(endpoint)?;
-                        client.run(&shard_spec)
+                        // Fleet shards are bulk work: dispatch at batch
+                        // priority so an interactive probe against the
+                        // same daemon overtakes them in the queue.
+                        client.run_with(&shard_spec, &RunOptions::priority(Priority::Batch))
                     })
                 })
                 .collect();

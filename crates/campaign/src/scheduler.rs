@@ -49,6 +49,20 @@ pub enum CampaignError {
     },
     /// The engine itself misbehaved (shut down mid-campaign).
     Worker(String),
+    /// The unit's subscription was cancelled (explicitly or by
+    /// dropping it) before this unit ran. Coalesced siblings of the
+    /// same unit are unaffected.
+    Cancelled {
+        /// Which unit.
+        key: UnitKey,
+    },
+    /// The subscription's deadline expired before this unit resolved.
+    /// If the computation was already running it still completes into
+    /// the cache — only this delivery fails.
+    DeadlineExceeded {
+        /// Which unit.
+        key: UnitKey,
+    },
 }
 
 impl fmt::Display for CampaignError {
@@ -60,6 +74,12 @@ impl fmt::Display for CampaignError {
                 write!(f, "unit {key} panicked: {message}")
             }
             CampaignError::Worker(msg) => write!(f, "worker failure: {msg}"),
+            CampaignError::Cancelled { key } => {
+                write!(f, "unit {key} cancelled before it ran")
+            }
+            CampaignError::DeadlineExceeded { key } => {
+                write!(f, "unit {key} missed its submission deadline")
+            }
         }
     }
 }

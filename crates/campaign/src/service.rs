@@ -24,7 +24,8 @@
 //!
 //! | method | body | response stream |
 //! |---|---|---|
-//! | `run` | [`CampaignSpec`] JSON | `unit` × N (as they finish), then `done` |
+//! | `run` | [`CampaignSpec`] JSON (+ optional `priority`, `deadline_ms`, `run_token`) | `unit` × N (as they finish), then `done` — or terminal `busy` / `cancelled` / `deadline_exceeded` |
+//! | `cancel` | `{token}` | `cancelled` ack (`active`, `waiters_cancelled`, `jobs_abandoned`) |
 //! | `stats` | — | `stats` (cache + engine + service counters) |
 //! | `metrics` | — | `metrics` (Prometheus text exposition as a string body) |
 //! | `health` | — | `health` (liveness + readiness for supervisors) |
@@ -97,7 +98,9 @@
 //! ```
 
 use crate::cache::{CachePersistError, CacheStats, ResultCache};
-use crate::engine::{ExecutionEngine, UnitSource};
+use crate::engine::{
+    AdmitError, CancelHandle, ExecutionEngine, Priority, SubmitOptions, UnitSource,
+};
 use crate::plan::UnitKey;
 use crate::report::{CampaignReport, UnitReport};
 use crate::scheduler::CampaignError;
@@ -132,6 +135,21 @@ pub enum ServiceError {
     Remote(String),
     /// The peer violated the protocol (unexpected kind, bad body).
     Protocol(String),
+    /// The daemon's engine rejected the run at admission: it needed
+    /// more queue slots than the cap has free. Retry later, shrink the
+    /// spec, or raise the daemon's `--queue-cap`.
+    Busy {
+        /// Jobs queued at rejection time.
+        queued: u64,
+        /// The daemon's queue cap.
+        cap: u64,
+    },
+    /// The run was cancelled (via its `run_token` from another
+    /// connection, or engine-side). Carries the first cancelled unit.
+    Cancelled(String),
+    /// The run's `deadline_ms` expired before every unit resolved.
+    /// Carries the first expired unit.
+    DeadlineExceeded(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -144,6 +162,13 @@ impl fmt::Display for ServiceError {
             ServiceError::Cache(e) => write!(f, "service cache: {e}"),
             ServiceError::Remote(message) => write!(f, "server reported: {message}"),
             ServiceError::Protocol(message) => write!(f, "protocol violation: {message}"),
+            ServiceError::Busy { queued, cap } => {
+                write!(f, "daemon busy: engine queue {queued}/{cap} full")
+            }
+            ServiceError::Cancelled(unit) => write!(f, "run cancelled (first unit: {unit})"),
+            ServiceError::DeadlineExceeded(unit) => {
+                write!(f, "run deadline exceeded (first unit: {unit})")
+            }
         }
     }
 }
@@ -193,6 +218,10 @@ pub struct ServiceConfig {
     /// Warm-start the cache from this file when present, and save the
     /// (possibly grown) cache back to it on shutdown.
     pub cache_path: Option<PathBuf>,
+    /// Bound the engine's job queue: a `run` needing more fresh
+    /// computations than the cap has free slots is rejected whole with
+    /// a typed `busy` response. `None` (the default) admits everything.
+    pub queue_cap: Option<usize>,
 }
 
 impl ServiceConfig {
@@ -203,6 +232,7 @@ impl ServiceConfig {
             listen: listen.into(),
             workers: 4,
             cache_path: None,
+            queue_cap: None,
         }
     }
 
@@ -215,6 +245,13 @@ impl ServiceConfig {
     /// Warm-start from / persist to `path`.
     pub fn with_cache_path(mut self, path: impl Into<PathBuf>) -> Self {
         self.cache_path = Some(path.into());
+        self
+    }
+
+    /// Bound the engine's job queue (see
+    /// [`queue_cap`](ServiceConfig::queue_cap)).
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = Some(cap);
         self
     }
 }
@@ -245,6 +282,13 @@ pub struct ServiceSummary {
     pub units_submitted: u64,
     /// Units that failed (experiment error or contained panic).
     pub units_failed: u64,
+    /// Queued computations abandoned by cancellation or deadline
+    /// expiry before a worker picked them up.
+    pub units_cancelled: u64,
+    /// Unit deliveries failed because their run's deadline expired.
+    pub deadline_expired: u64,
+    /// Whole submissions turned away with a typed `busy` rejection.
+    pub submissions_rejected: u64,
     /// Lifecycle events dropped because a `subscribe` client's buffer
     /// was full — publishing never blocks an engine worker.
     pub events_dropped: u64,
@@ -257,6 +301,12 @@ pub struct ServiceSummary {
 pub struct ServiceGauges {
     /// Jobs queued in the engine but not yet picked up by a worker.
     pub queue_depth: u64,
+    /// Jobs queued in the high-priority class.
+    pub queue_high: u64,
+    /// Jobs queued in the normal-priority class.
+    pub queue_normal: u64,
+    /// Jobs queued in the batch-priority class.
+    pub queue_batch: u64,
     /// Units currently in flight (queued or computing).
     pub units_inflight: u64,
     /// Live event subscribers (`subscribe` connections and in-process
@@ -289,6 +339,10 @@ struct ServiceShared<T: Transport> {
     /// read half closes: a connection mid-`run` keeps its write half
     /// and finishes streaming before it exits.)
     live: Mutex<HashMap<u64, T::Stream>>,
+    /// Active runs that registered a `run_token`, so a `cancel` request
+    /// — from *any* connection — can reach their engine subscription.
+    /// Entries are removed when their run finishes.
+    cancels: Mutex<HashMap<String, CancelHandle>>,
     next_connection: AtomicU64,
     connections: AtomicU64,
     active_connections: AtomicU64,
@@ -311,13 +365,20 @@ impl<T: Transport> ServiceShared<T> {
             coalesced_joins: engine.coalesced_joins,
             units_submitted: engine.units_submitted,
             units_failed: engine.units_failed,
+            units_cancelled: engine.units_cancelled,
+            deadline_expired: engine.deadline_expired,
+            submissions_rejected: engine.submissions_rejected,
             events_dropped: engine.events_dropped,
         }
     }
 
     fn gauges(&self) -> ServiceGauges {
+        let depths = self.engine.queue_depths();
         ServiceGauges {
-            queue_depth: self.engine.queue_depth() as u64,
+            queue_depth: depths.iter().sum::<usize>() as u64,
+            queue_high: depths[0] as u64,
+            queue_normal: depths[1] as u64,
+            queue_batch: depths[2] as u64,
             units_inflight: self.engine.inflight() as u64,
             event_subscribers: self.engine.event_subscribers() as u64,
             workers_alive: self.engine.alive_workers() as u64,
@@ -463,7 +524,7 @@ impl<T: Transport> CampaignService<T> {
             .map_err(|e| io_err(&format!("binding {}", config.listen), e))?;
         let local = listener.local_endpoint().clone();
         let dial = listener.dial_endpoint().clone();
-        let engine = ExecutionEngine::new(config.workers);
+        let engine = ExecutionEngine::with_queue_cap(config.workers, config.queue_cap);
         Ok(CampaignService {
             listener,
             shared: Arc::new(ServiceShared {
@@ -474,6 +535,7 @@ impl<T: Transport> CampaignService<T> {
                 dial,
                 shutdown: AtomicBool::new(false),
                 live: Mutex::new(HashMap::new()),
+                cancels: Mutex::new(HashMap::new()),
                 next_connection: AtomicU64::new(0),
                 connections: AtomicU64::new(0),
                 active_connections: AtomicU64::new(0),
@@ -681,6 +743,7 @@ fn handle_connection<T: Transport>(
             }
             "subscribe" => return handle_subscribe(shared, &request, &mut writer),
             "run" => handle_run(shared, &request, &mut writer)?,
+            "cancel" => handle_cancel(shared, &request, &mut writer)?,
             "shutdown" => {
                 write_response(&mut writer, &Response::ok(request.id, "bye"))?;
                 shared.shutdown.store(true, Ordering::Relaxed);
@@ -707,24 +770,88 @@ fn handle_connection<T: Transport>(
     }
 }
 
-/// Serve one `run` request: parse the spec, submit its plan to the
-/// shared engine, and stream one `unit` response *the moment each unit
+/// Scheduling fields a `run` request may carry alongside its spec
+/// (`priority`, `deadline_ms`, `run_token` — the spec parser ignores
+/// sibling keys it does not know, so they ride in the same body).
+struct RunRequestOptions {
+    options: SubmitOptions,
+    token: Option<String>,
+}
+
+fn parse_run_options(body: &JsonValue) -> Result<RunRequestOptions, String> {
+    let priority = match body.get("priority").and_then(JsonValue::as_str) {
+        Some(token) => {
+            Priority::parse(token).ok_or_else(|| format!("unknown priority '{token}'"))?
+        }
+        None => Priority::Normal,
+    };
+    let deadline = match body.get("deadline_ms") {
+        Some(value) => {
+            let ms = value
+                .as_u64()
+                .ok_or_else(|| "deadline_ms must be a non-negative integer".to_string())?;
+            Some(Duration::from_millis(ms))
+        }
+        None => None,
+    };
+    let token = body
+        .get("run_token")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string);
+    Ok(RunRequestOptions {
+        options: SubmitOptions { priority, deadline },
+        token,
+    })
+}
+
+/// Removes a `run_token` registration when the run ends, on every exit
+/// path (including a dead client socket mid-stream).
+struct TokenGuard<'a> {
+    cancels: &'a Mutex<HashMap<String, CancelHandle>>,
+    token: Option<String>,
+}
+
+impl Drop for TokenGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(token) = self.token.take() {
+            self.cancels
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .remove(&token);
+        }
+    }
+}
+
+/// Serve one `run` request: parse the spec (plus optional `priority`,
+/// `deadline_ms` and `run_token` fields), submit its plan to the shared
+/// engine, and stream one `unit` response *the moment each unit
 /// completes* — a concurrent client's overlapping units coalesce onto
-/// the same computations. A final `done` (or, after a unit failure, an
-/// in-band `error`) terminates the stream. Spec failures answer in-band
-/// without touching the engine.
+/// the same computations. The terminal response is `done` on success, a
+/// typed `busy` when admission rejected the run, a typed `cancelled` /
+/// `deadline_exceeded` when scheduling tore it down, or an in-band
+/// `error` after a unit failure. Spec failures answer in-band without
+/// touching the engine.
 fn handle_run<T: Transport>(
     shared: &Arc<ServiceShared<T>>,
     request: &Request,
     writer: &mut T::Stream,
 ) -> Result<(), ServiceError> {
-    let spec = match &request.body {
-        Some(body) => match CampaignSpec::from_json_value(body) {
-            Ok(spec) => spec,
-            Err(error) => {
-                return write_response(writer, &Response::failure(request.id, error.to_string()))
+    let (spec, run_options) = match &request.body {
+        Some(body) => {
+            let spec = match CampaignSpec::from_json_value(body) {
+                Ok(spec) => spec,
+                Err(error) => {
+                    return write_response(
+                        writer,
+                        &Response::failure(request.id, error.to_string()),
+                    )
+                }
+            };
+            match parse_run_options(body) {
+                Ok(options) => (spec, options),
+                Err(error) => return write_response(writer, &Response::failure(request.id, error)),
             }
-        },
+        }
         None => {
             return write_response(
                 writer,
@@ -740,12 +867,60 @@ fn handle_run<T: Transport>(
     };
 
     let started = Instant::now();
-    let subscription = shared.engine.submit(&plan.units, &shared.cache);
+    let subscription =
+        match shared
+            .engine
+            .submit_with(&plan.units, &shared.cache, run_options.options)
+        {
+            Ok(subscription) => subscription,
+            Err(AdmitError::Busy {
+                queued,
+                cap,
+                needed,
+            }) => {
+                // Typed rejection: the engine is exactly as it was, the
+                // client knows to back off and retry.
+                return write_response(
+                    writer,
+                    &Response::ok(request.id, "busy").with_body(JsonValue::Object(vec![
+                        ("queued".to_string(), JsonValue::integer(queued as u64)),
+                        ("cap".to_string(), JsonValue::integer(cap as u64)),
+                        ("needed".to_string(), JsonValue::integer(needed as u64)),
+                    ])),
+                );
+            }
+        };
+    // Register the run's cancel handle under its token (if any) only
+    // *after* admission, and hold it in a guard so every exit path —
+    // done, error, dead socket — deregisters it. Registering a token
+    // that is already active is refused (the first run owns it).
+    let mut guard = TokenGuard {
+        cancels: &shared.cancels,
+        token: None,
+    };
+    if let Some(token) = run_options.token {
+        let mut cancels = shared
+            .cancels
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if cancels.contains_key(&token) {
+            drop(cancels);
+            return write_response(
+                writer,
+                &Response::failure(request.id, format!("run_token '{token}' is already active")),
+            );
+        }
+        cancels.insert(token.clone(), subscription.cancel_handle());
+        drop(cancels);
+        guard.token = Some(token);
+    }
     // The one assembly routine the CLI adapters also use, with a
     // streaming observer: every unit response is written the moment the
     // engine delivers it. The outer error is ours (dead client socket —
-    // propagate, the connection is gone); the inner error is the
-    // campaign's (answer in-band, the connection stays up).
+    // propagate, the connection is gone; dropping the subscription then
+    // abandons whatever of the run nobody else is waiting on). The
+    // inner error is the campaign's (answer in-band or typed, the
+    // connection stays up).
     let units = crate::scheduler::assemble_streamed(&plan, &subscription, |unit| {
         write_response(
             writer,
@@ -756,6 +931,23 @@ fn handle_run<T: Transport>(
     })?;
     let units = match units {
         Ok(units) => units,
+        Err(CampaignError::Cancelled { key }) => {
+            return write_response(
+                writer,
+                &Response::ok(request.id, "cancelled").with_body(JsonValue::Object(vec![(
+                    "unit".to_string(),
+                    JsonValue::String(key.to_string()),
+                )])),
+            );
+        }
+        Err(CampaignError::DeadlineExceeded { key }) => {
+            return write_response(
+                writer,
+                &Response::ok(request.id, "deadline_exceeded").with_body(JsonValue::Object(vec![
+                    ("unit".to_string(), JsonValue::String(key.to_string())),
+                ])),
+            );
+        }
         Err(error) => {
             return write_response(writer, &Response::failure(request.id, error.to_string()))
         }
@@ -771,6 +963,55 @@ fn handle_run<T: Transport>(
         writer,
         &Response::ok(request.id, "done")
             .with_body(done_body(&report, shared.cache.model_digest())),
+    )
+}
+
+/// Serve one `cancel` request: look the token up in the active-run
+/// registry and cancel that run's engine subscription. Cancelling a
+/// token that is not active — never registered, or its run already
+/// finished — is *not* an error (the race against normal completion is
+/// inherent); the ack reports `active: false` and zero counts.
+fn handle_cancel<T: Transport>(
+    shared: &Arc<ServiceShared<T>>,
+    request: &Request,
+    writer: &mut T::Stream,
+) -> Result<(), ServiceError> {
+    let token = request
+        .body
+        .as_ref()
+        .and_then(|body| body.get("token"))
+        .and_then(JsonValue::as_str)
+        .map(str::to_string);
+    let Some(token) = token else {
+        return write_response(
+            writer,
+            &Response::failure(request.id, "cancel request has no 'token'"),
+        );
+    };
+    let handle = shared
+        .cancels
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(&token)
+        .cloned();
+    let (active, outcome) = match handle {
+        Some(handle) => (true, handle.cancel()),
+        None => (false, Default::default()),
+    };
+    write_response(
+        writer,
+        &Response::ok(request.id, "cancelled").with_body(JsonValue::Object(vec![
+            ("token".to_string(), JsonValue::String(token)),
+            ("active".to_string(), JsonValue::Bool(active)),
+            (
+                "waiters_cancelled".to_string(),
+                JsonValue::integer(outcome.waiters_cancelled as u64),
+            ),
+            (
+                "jobs_abandoned".to_string(),
+                JsonValue::integer(outcome.jobs_abandoned as u64),
+            ),
+        ])),
     )
 }
 
@@ -885,6 +1126,24 @@ fn metrics_text<T: Transport>(shared: &ServiceShared<T>) -> String {
         summary.units_failed,
     );
     exp.counter(
+        "oranges_units_cancelled_total",
+        "Queued units abandoned by cancellation before a worker ran them.",
+        &[],
+        summary.units_cancelled,
+    );
+    exp.counter(
+        "oranges_deadline_expired_total",
+        "Unit deliveries failed because their submission's deadline passed.",
+        &[],
+        summary.deadline_expired,
+    );
+    exp.counter(
+        "oranges_submissions_rejected_total",
+        "Whole submissions rejected at admission (engine queue full).",
+        &[],
+        summary.submissions_rejected,
+    );
+    exp.counter(
         "oranges_events_dropped_total",
         "Lifecycle events dropped on full subscriber buffers.",
         &[],
@@ -919,6 +1178,24 @@ fn metrics_text<T: Transport>(shared: &ServiceShared<T>) -> String {
         "Engine jobs queued but not yet picked up by a worker.",
         &[],
         gauges.queue_depth as f64,
+    );
+    exp.gauge(
+        "oranges_priority_queue_depth",
+        "Engine jobs queued, by priority class.",
+        &[("priority", "high")],
+        gauges.queue_high as f64,
+    );
+    exp.gauge(
+        "oranges_priority_queue_depth",
+        "Engine jobs queued, by priority class.",
+        &[("priority", "normal")],
+        gauges.queue_normal as f64,
+    );
+    exp.gauge(
+        "oranges_priority_queue_depth",
+        "Engine jobs queued, by priority class.",
+        &[("priority", "batch")],
+        gauges.queue_batch as f64,
     );
     exp.gauge(
         "oranges_units_inflight",
@@ -1088,12 +1365,36 @@ fn stats_body(
             JsonValue::integer(summary.units_failed),
         ),
         (
+            "units_cancelled".to_string(),
+            JsonValue::integer(summary.units_cancelled),
+        ),
+        (
+            "deadline_expired".to_string(),
+            JsonValue::integer(summary.deadline_expired),
+        ),
+        (
+            "submissions_rejected".to_string(),
+            JsonValue::integer(summary.submissions_rejected),
+        ),
+        (
             "events_dropped".to_string(),
             JsonValue::integer(summary.events_dropped),
         ),
         (
             "queue_depth".to_string(),
             JsonValue::integer(gauges.queue_depth),
+        ),
+        (
+            "queue_high".to_string(),
+            JsonValue::integer(gauges.queue_high),
+        ),
+        (
+            "queue_normal".to_string(),
+            JsonValue::integer(gauges.queue_normal),
+        ),
+        (
+            "queue_batch".to_string(),
+            JsonValue::integer(gauges.queue_batch),
         ),
         (
             "units_inflight".to_string(),
@@ -1167,6 +1468,58 @@ pub struct RunOutcome {
     pub model_digest: String,
     /// Daemon cache statistics after the run.
     pub cache: CacheStats,
+}
+
+/// Client-side scheduling options for a `run` request — the wire twin
+/// of the engine's [`SubmitOptions`], plus an optional *run token* the
+/// submitter (or anyone who knows the token) can [`cancel`] with from
+/// another connection.
+///
+/// [`cancel`]: ServiceClient::cancel
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Scheduling class for every unit of the run.
+    pub priority: Priority,
+    /// Fail deliveries still pending after this many milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Token registering the run for out-of-band cancellation. Must be
+    /// unique among *active* runs on the daemon; reusable once the run
+    /// ends.
+    pub run_token: Option<String>,
+}
+
+impl RunOptions {
+    /// Options at the given priority, no deadline, no token.
+    pub fn priority(priority: Priority) -> Self {
+        RunOptions {
+            priority,
+            ..RunOptions::default()
+        }
+    }
+
+    /// Set a delivery deadline in milliseconds.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Register the run under a cancellation token.
+    pub fn with_token(mut self, token: impl Into<String>) -> Self {
+        self.run_token = Some(token.into());
+        self
+    }
+}
+
+/// The daemon's acknowledgement of a `cancel` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CancelAck {
+    /// Whether the token named an active run when the cancel landed.
+    /// `false` is not an error — the run may simply have finished first.
+    pub active: bool,
+    /// Pending deliveries the cancel tore down.
+    pub waiters_cancelled: u64,
+    /// Queued jobs abandoned outright (no other submission wanted them).
+    pub jobs_abandoned: u64,
 }
 
 /// Daemon-side statistics from a `stats` request.
@@ -1253,16 +1606,54 @@ impl<T: Transport> ServiceClient<T> {
         self.run_streamed(spec, |_| {})
     }
 
+    /// [`run`](ServiceClient::run) with explicit scheduling options —
+    /// priority class, delivery deadline, cancellation token.
+    pub fn run_with(
+        &mut self,
+        spec: &CampaignSpec,
+        options: &RunOptions,
+    ) -> Result<RunOutcome, ServiceError> {
+        self.run_streamed_with(spec, options, |_| {})
+    }
+
     /// Submit a spec and invoke `on_unit` for every `unit` response as
     /// it is read off the wire — i.e. in the order the daemon's
     /// engine completed them, long before the campaign is done.
     pub fn run_streamed(
         &mut self,
         spec: &CampaignSpec,
+        on_unit: impl FnMut(&ServedUnit),
+    ) -> Result<RunOutcome, ServiceError> {
+        self.run_streamed_with(spec, &RunOptions::default(), on_unit)
+    }
+
+    /// [`run_streamed`](ServiceClient::run_streamed) with explicit
+    /// scheduling options. Typed terminal responses surface as typed
+    /// errors: `busy` → [`ServiceError::Busy`], `cancelled` →
+    /// [`ServiceError::Cancelled`], `deadline_exceeded` →
+    /// [`ServiceError::DeadlineExceeded`].
+    pub fn run_streamed_with(
+        &mut self,
+        spec: &CampaignSpec,
+        options: &RunOptions,
         mut on_unit: impl FnMut(&ServedUnit),
     ) -> Result<RunOutcome, ServiceError> {
-        let body = json::parse(&spec.to_json())
+        let mut body = json::parse(&spec.to_json())
             .map_err(|e| ServiceError::Protocol(format!("spec JSON did not re-parse: {e}")))?;
+        if let JsonValue::Object(fields) = &mut body {
+            if options.priority != Priority::Normal {
+                fields.push((
+                    "priority".to_string(),
+                    JsonValue::String(options.priority.as_str().to_string()),
+                ));
+            }
+            if let Some(ms) = options.deadline_ms {
+                fields.push(("deadline_ms".to_string(), JsonValue::integer(ms)));
+            }
+            if let Some(token) = &options.run_token {
+                fields.push(("run_token".to_string(), JsonValue::String(token.clone())));
+            }
+        }
         let id = self.send("run", Some(body))?;
         let mut units: Vec<ServedUnit> = Vec::new();
         loop {
@@ -1299,6 +1690,29 @@ impl<T: Transport> ServiceClient<T> {
                         units,
                     });
                 }
+                "busy" => {
+                    let int = |name: &str| body.get(name).and_then(JsonValue::as_u64);
+                    return Err(ServiceError::Busy {
+                        queued: int("queued").unwrap_or(0),
+                        cap: int("cap").unwrap_or(0),
+                    });
+                }
+                "cancelled" => {
+                    let unit = body
+                        .get("unit")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("?")
+                        .to_string();
+                    return Err(ServiceError::Cancelled(unit));
+                }
+                "deadline_exceeded" => {
+                    let unit = body
+                        .get("unit")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("?")
+                        .to_string();
+                    return Err(ServiceError::DeadlineExceeded(unit));
+                }
                 other => {
                     return Err(ServiceError::Protocol(format!(
                         "unexpected response kind '{other}' during run"
@@ -1306,6 +1720,42 @@ impl<T: Transport> ServiceClient<T> {
                 }
             }
         }
+    }
+
+    /// Cancel an active run by its token, from *any* connection. The
+    /// ack is race-free: a token whose run already finished (or never
+    /// existed) answers `active: false` with zero counts — cancelling
+    /// late is not an error.
+    pub fn cancel(&mut self, token: &str) -> Result<CancelAck, ServiceError> {
+        let body = JsonValue::Object(vec![(
+            "token".to_string(),
+            JsonValue::String(token.to_string()),
+        )]);
+        let id = self.send("cancel", Some(body))?;
+        let response = self.read_response(id)?;
+        if response.kind != "cancelled" {
+            return Err(ServiceError::Protocol(format!(
+                "expected cancelled, got '{}'",
+                response.kind
+            )));
+        }
+        let body = response
+            .body
+            .as_ref()
+            .ok_or_else(|| ServiceError::Protocol("cancelled has no body".into()))?;
+        let int = |name: &str| {
+            body.get(name)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| ServiceError::Protocol(format!("cancelled body has no '{name}'")))
+        };
+        Ok(CancelAck {
+            active: body
+                .get("active")
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| ServiceError::Protocol("cancelled body has no 'active'".into()))?,
+            waiters_cancelled: int("waiters_cancelled")?,
+            jobs_abandoned: int("jobs_abandoned")?,
+        })
     }
 
     /// Round-trip liveness probe.
@@ -1351,10 +1801,16 @@ impl<T: Transport> ServiceClient<T> {
                 coalesced_joins: counter("coalesced_joins")?,
                 units_submitted: counter("units_submitted")?,
                 units_failed: counter("units_failed")?,
+                units_cancelled: counter("units_cancelled")?,
+                deadline_expired: counter("deadline_expired")?,
+                submissions_rejected: counter("submissions_rejected")?,
                 events_dropped: counter("events_dropped")?,
             },
             gauges: ServiceGauges {
                 queue_depth: counter("queue_depth")?,
+                queue_high: counter("queue_high")?,
+                queue_normal: counter("queue_normal")?,
+                queue_batch: counter("queue_batch")?,
                 units_inflight: counter("units_inflight")?,
                 event_subscribers: counter("event_subscribers")?,
                 workers_alive: counter("workers_alive")?,
@@ -1596,10 +2052,16 @@ mod tests {
             coalesced_joins: 1,
             units_submitted: 8,
             units_failed: 0,
+            units_cancelled: 1,
+            deadline_expired: 0,
+            submissions_rejected: 2,
             events_dropped: 2,
         };
         let gauges = ServiceGauges {
             queue_depth: 3,
+            queue_high: 1,
+            queue_normal: 0,
+            queue_batch: 2,
             units_inflight: 5,
             event_subscribers: 1,
             workers_alive: 4,
@@ -1625,6 +2087,20 @@ mod tests {
         assert_eq!(
             stats.get("units_failed").and_then(JsonValue::as_u64),
             Some(0)
+        );
+        assert_eq!(
+            stats.get("units_cancelled").and_then(JsonValue::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            stats
+                .get("submissions_rejected")
+                .and_then(JsonValue::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            stats.get("queue_batch").and_then(JsonValue::as_u64),
+            Some(2)
         );
         assert_eq!(
             stats.get("events_dropped").and_then(JsonValue::as_u64),

@@ -388,6 +388,14 @@ pub enum EventKind {
     CachePersisted,
     /// Periodic liveness tick on a `subscribe` stream.
     Heartbeat,
+    /// A queued, not-yet-started unit was abandoned because every
+    /// subscriber waiting on it cancelled (or timed out).
+    UnitCancelled,
+    /// A subscription's deadline expired, failing one of its pending
+    /// unit deliveries.
+    DeadlineExpired,
+    /// A whole submission was turned away at admission (queue full).
+    SubmissionRejected,
 }
 
 impl EventKind {
@@ -403,6 +411,9 @@ impl EventKind {
             EventKind::ConnectionClosed => "connection_closed",
             EventKind::CachePersisted => "cache_persisted",
             EventKind::Heartbeat => "heartbeat",
+            EventKind::UnitCancelled => "unit_cancelled",
+            EventKind::DeadlineExpired => "deadline_expired",
+            EventKind::SubmissionRejected => "submission_rejected",
         }
     }
 
@@ -418,6 +429,9 @@ impl EventKind {
             "connection_closed" => EventKind::ConnectionClosed,
             "cache_persisted" => EventKind::CachePersisted,
             "heartbeat" => EventKind::Heartbeat,
+            "unit_cancelled" => EventKind::UnitCancelled,
+            "deadline_expired" => EventKind::DeadlineExpired,
+            "submission_rejected" => EventKind::SubmissionRejected,
             _ => return None,
         })
     }
@@ -822,6 +836,9 @@ mod tests {
             EventKind::ConnectionClosed,
             EventKind::CachePersisted,
             EventKind::Heartbeat,
+            EventKind::UnitCancelled,
+            EventKind::DeadlineExpired,
+            EventKind::SubmissionRejected,
         ] {
             assert_eq!(EventKind::parse(kind.as_str()), Some(kind));
         }

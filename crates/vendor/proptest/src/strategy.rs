@@ -41,6 +41,27 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Tuples of strategies are strategies (proptest's composite shape).
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
 /// Uniform choice between boxed strategies (`prop_oneof!`).
 pub struct Union<T>(Vec<BoxedStrategy<T>>);
 

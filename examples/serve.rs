@@ -12,6 +12,10 @@
 //!                   Default: unix:$TMPDIR/oranges-campaign.sock
 //!   --socket PATH   legacy alias for --listen unix:PATH
 //!   --workers N     persistent worker threads (default 4)
+//!   --queue-cap N   bound the engine's admission queue: a run whose
+//!                   fresh units outnumber the free slots is refused
+//!                   whole with a typed `busy` response instead of
+//!                   queueing unboundedly (default: unbounded)
 //!   --cache PATH    warm-start the cache from PATH and save it back on
 //!                   shutdown
 //!   --self-check    smoke mode: bind a private endpoint (honors
@@ -32,6 +36,13 @@
 //!                   (assert the exposition parses and carries latency
 //!                   histogram buckets), probe `health` before and
 //!                   after the shutdown drain
+//!   --admission-check
+//!                   smoke mode: saturate a 1-worker daemon with
+//!                   batch-priority bulk runs, prove a high-priority
+//!                   probe overtakes the backlog, cancel the bulk by
+//!                   token; then prove a `--queue-cap 2` daemon
+//!                   refuses an oversized run with a typed `busy`
+//!                   rejection while admitting a fitting one
 //!
 //! Protocol (newline-delimited JSON; see docs/PROTOCOL.md):
 //!   {"id":1,"method":"run","body":{"experiments":["fig4"],"chips":["M1"]}}
@@ -43,18 +54,22 @@
 //! (tcp).
 
 use oranges_campaign::prelude::*;
-use oranges_campaign::service::{CampaignService, ServiceClient, ServiceConfig};
+use oranges_campaign::service::{
+    CampaignService, RunOptions, ServiceClient, ServiceConfig, ServiceError,
+};
 use oranges_harness::transport::{AnyTransport, TcpTransport};
 use std::path::PathBuf;
 
 struct Options {
     listen: Option<Endpoint>,
     workers: usize,
+    queue_cap: Option<usize>,
     cache: Option<PathBuf>,
     self_check: bool,
     concurrent_check: bool,
     fleet_check: bool,
     metrics_check: bool,
+    admission_check: bool,
 }
 
 /// The long-running daemon's default endpoint: a well-known unix socket
@@ -82,11 +97,13 @@ fn parse_options() -> Options {
     let mut options = Options {
         listen: None,
         workers: 4,
+        queue_cap: None,
         cache: None,
         self_check: false,
         concurrent_check: false,
         fleet_check: false,
         metrics_check: false,
+        admission_check: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -104,11 +121,15 @@ fn parse_options() -> Options {
             }
             "--socket" => options.listen = Some(Endpoint::Unix(PathBuf::from(value("--socket")))),
             "--workers" => options.workers = value("--workers").parse().expect("--workers N"),
+            "--queue-cap" => {
+                options.queue_cap = Some(value("--queue-cap").parse().expect("--queue-cap N"))
+            }
             "--cache" => options.cache = Some(PathBuf::from(value("--cache"))),
             "--self-check" => options.self_check = true,
             "--concurrent-check" => options.concurrent_check = true,
             "--fleet-check" => options.fleet_check = true,
             "--metrics-check" => options.metrics_check = true,
+            "--admission-check" => options.admission_check = true,
             other => panic!("unknown option {other}"),
         }
     }
@@ -142,17 +163,30 @@ fn main() {
         metrics_check(endpoint, options.workers);
         return;
     }
+    if options.admission_check {
+        let endpoint = options
+            .listen
+            .unwrap_or_else(|| private_endpoint("admission-check"));
+        admission_check(endpoint);
+        return;
+    }
 
     let listen = options.listen.unwrap_or_else(default_listen);
     let mut config = ServiceConfig::new(listen).with_workers(options.workers);
+    if let Some(cap) = options.queue_cap {
+        config = config.with_queue_cap(cap);
+    }
     if let Some(cache) = &options.cache {
         config = config.with_cache_path(cache);
     }
     let service = CampaignService::<AnyTransport>::bind(config).expect("bind service");
     println!(
-        "oranges campaign service: listening on {} ({} workers, {} cached units)",
+        "oranges campaign service: listening on {} ({} workers, {} queue cap, {} cached units)",
         service.local_endpoint(),
         options.workers,
+        options
+            .queue_cap
+            .map_or("unbounded".to_string(), |cap| cap.to_string()),
         service.cache().stats().entries,
     );
     println!("send {{\"id\":1,\"method\":\"shutdown\"}} to stop\n");
@@ -525,5 +559,200 @@ fn fleet_check(workers: usize) {
             .collect::<Vec<_>>()
             .join(", "),
         run.report.fingerprint(),
+    );
+}
+
+/// A second collision-free endpoint on the same transport scheme as
+/// `like` — the admission check needs two daemons and CI invokes it
+/// once per scheme.
+fn sibling_endpoint(like: &Endpoint, tag: &str) -> Endpoint {
+    match like {
+        Endpoint::Unix(_) => Endpoint::Unix(
+            std::env::temp_dir().join(format!("oranges-{tag}-{}.sock", std::process::id())),
+        ),
+        Endpoint::Tcp(_) => "tcp:127.0.0.1:0".parse().expect("static endpoint"),
+    }
+}
+
+/// The CI admission-control smoke: the three traffic-shaping
+/// behaviours proven end to end over a real transport.
+///
+/// 1. Fairness: a 1-worker daemon is saturated with batch-priority
+///    bulk runs; a high-priority probe submitted into that backlog
+///    must complete while batch work is still queued — weighted fair
+///    queueing let it overtake, FIFO would have parked it at the tail.
+/// 2. Cancellation: the bulk runs are cancelled by token from a
+///    *different* connection; queued units are abandoned (freeing
+///    their slots), the bulk clients see typed `cancelled` terminals,
+///    and the engine's counter identity still balances at quiescence.
+/// 3. Bounded admission: a daemon capped at 2 queue slots refuses a
+///    4-fresh-unit run with a typed `busy` rejection — and then admits
+///    a fitting 2-unit run on the same connection.
+fn admission_check(endpoint: Endpoint) {
+    const BULK_RUNS: usize = 6;
+    let service =
+        CampaignService::<AnyTransport>::bind(ServiceConfig::new(endpoint).with_workers(1))
+            .expect("bind");
+    let local = service.local_endpoint().clone();
+    let daemon = std::thread::spawn(move || service.serve().expect("serve"));
+
+    // Saturate: six bulk runs over everything, each with distinct size
+    // overrides (so the size-sweep kinds stay distinct keys run to
+    // run; the size-independent kinds coalesce, which needs no slots),
+    // at batch priority, each registered under a cancellation token.
+    let bulk_clients: Vec<_> = (0..BULK_RUNS)
+        .map(|i| {
+            let endpoint = local.clone();
+            std::thread::spawn(move || {
+                let spec = CampaignSpec::full()
+                    .with_gemm_sizes(vec![192 + 64 * i])
+                    .with_power_sizes(vec![2048 + i])
+                    .with_verify_max_flops(0);
+                let mut client =
+                    ServiceClient::<AnyTransport>::connect(&endpoint).expect("bulk connect");
+                client.run_with(
+                    &spec,
+                    &RunOptions::priority(Priority::Batch)
+                        .with_token(format!("admission-bulk-{i}")),
+                )
+            })
+        })
+        .collect();
+
+    // Wait for a real backlog before probing.
+    let mut client = ServiceClient::<AnyTransport>::connect(&local).expect("connect");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let gauges = client.stats().expect("stats").gauges;
+        if gauges.queue_batch >= 32 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "batch backlog never built up (queue_batch {})",
+            gauges.queue_batch
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    // The probe: one fresh high-priority unit (its power size is used
+    // by no bulk run). Fair queueing must let it overtake the backlog.
+    let probe_spec = CampaignSpec::new(vec![ExperimentKind::Fig4], vec![ChipGeneration::M1])
+        .with_power_sizes(vec![1536]);
+    let started = std::time::Instant::now();
+    let probe = client
+        .run_with(&probe_spec, &RunOptions::priority(Priority::High))
+        .expect("high-priority probe");
+    let latency = started.elapsed();
+    assert_eq!(probe.units.len(), 1);
+    assert_eq!(probe.computed_units, 1, "the probe key is fresh");
+    assert!(
+        latency < std::time::Duration::from_secs(10),
+        "probe took {latency:?}"
+    );
+    let after = client.stats().expect("stats");
+    assert!(
+        after.gauges.queue_batch > 0,
+        "the probe only proves fairness if batch work was still queued when it finished"
+    );
+
+    // Cancel every bulk run by token, from this third connection.
+    let mut active_cancels = 0;
+    let mut jobs_abandoned = 0;
+    for i in 0..BULK_RUNS {
+        let ack = client
+            .cancel(&format!("admission-bulk-{i}"))
+            .expect("cancel");
+        if ack.active {
+            active_cancels += 1;
+        }
+        jobs_abandoned += ack.jobs_abandoned;
+    }
+    assert!(active_cancels > 0, "no bulk run was still active");
+    assert!(jobs_abandoned > 0, "cancellation abandoned no queued work");
+    let mut typed_cancelled = 0;
+    for handle in bulk_clients {
+        match handle.join().expect("bulk thread") {
+            Err(ServiceError::Cancelled(_)) => typed_cancelled += 1,
+            Ok(_) => {} // finished before the cancel landed — fine
+            Err(other) => panic!("bulk run failed unexpectedly: {other}"),
+        }
+    }
+    assert!(
+        typed_cancelled > 0,
+        "no bulk client saw a typed cancelled terminal"
+    );
+
+    // Quiescence, then the counter identity: every submitted unit is
+    // accounted for even after mass cancellation.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let stats = loop {
+        let stats = client.stats().expect("stats");
+        if stats.gauges.queue_depth == 0 && stats.gauges.units_inflight == 0 {
+            break stats;
+        }
+        assert!(std::time::Instant::now() < deadline, "engine never drained");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    };
+    let s = &stats.summary;
+    assert_eq!(
+        s.units_submitted,
+        s.units_computed
+            + s.unit_cache_hits
+            + s.coalesced_joins
+            + s.units_failed
+            + s.units_cancelled,
+        "counter identity after mass cancellation"
+    );
+    assert!(s.units_cancelled > 0, "abandoned units must be counted");
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+    println!(
+        "admission-check [{local}]: high-priority probe overtook {} queued batch units \
+         in {latency:?}; cancel abandoned {jobs_abandoned} queued units \
+         ({typed_cancelled} typed cancelled terminals) — OK",
+        after.gauges.queue_batch,
+    );
+
+    // Bounded admission: a capped daemon refuses an oversized run
+    // outright — value-identical to never having seen it — and admits
+    // a fitting one.
+    let capped = CampaignService::<AnyTransport>::bind(
+        ServiceConfig::new(sibling_endpoint(&local, "admission-busy"))
+            .with_workers(1)
+            .with_queue_cap(2),
+    )
+    .expect("bind capped");
+    let capped_local = capped.local_endpoint().clone();
+    let capped_daemon = std::thread::spawn(move || capped.serve().expect("serve"));
+    let mut client = ServiceClient::<AnyTransport>::connect(&capped_local).expect("connect");
+    let oversized = CampaignSpec::new(
+        vec![ExperimentKind::Fig4, ExperimentKind::Contention],
+        vec![ChipGeneration::M1, ChipGeneration::M4],
+    )
+    .with_power_sizes(vec![2048]);
+    match client.run(&oversized) {
+        Err(ServiceError::Busy { queued, cap }) => {
+            assert_eq!(queued, 0, "the daemon was idle");
+            assert_eq!(cap, 2);
+        }
+        Ok(_) => panic!("4 fresh units must not fit a cap of 2"),
+        Err(other) => panic!("expected a typed busy rejection, got: {other}"),
+    }
+    let fitting = CampaignSpec::new(
+        vec![ExperimentKind::Fig4],
+        vec![ChipGeneration::M1, ChipGeneration::M4],
+    )
+    .with_power_sizes(vec![2048]);
+    let outcome = client.run(&fitting).expect("fitting run");
+    assert_eq!(outcome.units.len(), 2, "1 kind x 2 chips fits the cap");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.summary.submissions_rejected, 1);
+    assert_eq!(stats.summary.units_computed, 2);
+    client.shutdown().expect("shutdown");
+    capped_daemon.join().expect("capped daemon");
+    println!(
+        "admission-check [{capped_local}]: cap 2 refused 4 fresh units with a typed busy \
+         rejection, then admitted 2 — OK"
     );
 }

@@ -13,7 +13,7 @@
 
 use oranges_campaign::prelude::*;
 use oranges_campaign::service::{
-    CampaignService, ServiceClient, ServiceConfig, ServiceError, ServiceSummary,
+    CampaignService, RunOptions, ServiceClient, ServiceConfig, ServiceError, ServiceSummary,
 };
 #[cfg(unix)]
 use oranges_harness::transport::UnixTransport;
@@ -221,18 +221,22 @@ fn a_client_vanishing_mid_request_does_not_kill_the_daemon_over<T: TestTransport
     assert_eq!(outcome.units.len(), 4, "full report despite the rude peer");
 
     // With multiplexed connections this run may race the rude client's
-    // (which the daemon still executes into the warm cache even though
-    // its responses hit a dead socket) — but the engine's exactly-once
-    // guarantee holds regardless of interleaving: 4 distinct units,
-    // each computed once, everything else served by hit or coalesce.
+    // (whose dead socket now *cancels* whatever of its run nobody else
+    // wants — queued units are abandoned, computed ones land in the warm
+    // cache) — but the engine's guarantees hold regardless of
+    // interleaving: 4 distinct units, each computed exactly once
+    // (cancelled-then-resubmitted units compute for the second run),
+    // and the counter identity accounts for every submitted unit.
     let stats = client.stats().expect("stats");
     assert_eq!(stats.summary.units_computed, 4, "no duplicate computation");
     assert_eq!(
         stats.summary.units_computed
             + stats.summary.unit_cache_hits
-            + stats.summary.coalesced_joins,
+            + stats.summary.coalesced_joins
+            + stats.summary.units_failed
+            + stats.summary.units_cancelled,
         8,
-        "both runs' units fully accounted for"
+        "both runs' units fully accounted for (cancellations included)"
     );
 
     client.shutdown().expect("shutdown");
@@ -629,6 +633,175 @@ fn a_subscriber_observes_the_complete_lifecycle_of_a_concurrent_run_over<T: Test
     assert!(completed.iter().all(|e| e.wall_s.is_some()));
 }
 
+/// Admission over the wire: an oversized cold run against a capped
+/// daemon is rejected with a *typed* `busy` (not an opaque error), a
+/// fitting high-priority run on the same daemon is then admitted and
+/// served, a malformed `priority` answers in-band, and cancelling a
+/// token that names no active run acks `active: false` instead of
+/// erroring.
+fn busy_rejections_and_priorities_are_typed_over<T: TestTransport>() {
+    let (endpoint, daemon) = start_daemon::<T>("busy", |c| c.with_workers(1).with_queue_cap(2));
+    let mut client = ServiceClient::<T>::connect(&endpoint).expect("connect");
+
+    // 4 fresh units against a cap of 2 on an idle daemon: deterministic
+    // all-or-nothing rejection.
+    match client.run(&small_spec()) {
+        Err(ServiceError::Busy { queued, cap }) => {
+            assert_eq!(queued, 0, "the queue was empty; the spec was just too big");
+            assert_eq!(cap, 2);
+        }
+        other => panic!("expected a typed busy rejection, got {other:?}"),
+    }
+
+    // The connection survives the rejection, and a fitting spec — at
+    // explicit high priority, with a deadline it will easily beat — is
+    // admitted and fully served.
+    let fitting = CampaignSpec::new(vec![ExperimentKind::Fig4], vec![ChipGeneration::M1])
+        .with_power_sizes(vec![2048]);
+    let options = RunOptions::priority(Priority::High).with_deadline_ms(30_000);
+    let outcome = client.run_with(&fitting, &options).expect("admitted run");
+    assert_eq!(outcome.units.len(), 1);
+
+    // A malformed priority token answers in-band; the connection stays.
+    let mut body = oranges_harness::json::parse(&fitting.to_json()).expect("spec parses");
+    if let oranges_harness::json::JsonValue::Object(fields) = &mut body {
+        fields.push((
+            "priority".to_string(),
+            oranges_harness::json::JsonValue::String("urgent".to_string()),
+        ));
+    }
+    match client.raw_request("run", Some(body)) {
+        Err(ServiceError::Remote(message)) => {
+            assert!(message.contains("unknown priority"), "{message}");
+        }
+        other => panic!("expected an in-band error, got {other:?}"),
+    }
+
+    // Cancelling a token nobody registered is a no-op ack, not an error
+    // (the race against normal completion is inherent to cancellation).
+    let ack = client.cancel("no-such-run").expect("cancel answers");
+    assert!(!ack.active);
+    assert_eq!(ack.waiters_cancelled, 0);
+    assert_eq!(ack.jobs_abandoned, 0);
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.summary.submissions_rejected, 1);
+    assert_eq!(stats.summary.units_computed, 1, "only the admitted run ran");
+
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon");
+}
+
+/// The cancellation contract over the wire: a batch run registered
+/// under a `run_token` is cancelled from another connection and gets a
+/// *typed* `cancelled` terminal; a sibling whose units coalesced onto
+/// the cancelled run's in-flight computations still receives every one
+/// of its units.
+fn cancelling_a_run_spares_a_coalesced_sibling_over<T: TestTransport>() {
+    // Cancellation inherently races completion; the choreography below
+    // makes the cancel win overwhelmingly (16-unit victim, 1 worker,
+    // the sibling's synchronous run buys the window) — but it *is* a
+    // race, so an attempt where the victim finished first is retried.
+    for attempt in 0..3 {
+        let (endpoint, daemon) =
+            start_daemon::<T>(&format!("cancel{attempt}"), |c| c.with_workers(1));
+
+        // The victim: the 16-unit smoke grid at batch priority, under a
+        // cancellation token. Signal the moment its first unit streams.
+        let (first_unit_tx, first_unit_rx) = std::sync::mpsc::channel::<()>();
+        let victim_endpoint = endpoint.clone();
+        let victim = std::thread::spawn(move || {
+            let mut client = ServiceClient::<T>::connect(&victim_endpoint).expect("victim connect");
+            let options = RunOptions::priority(Priority::Batch).with_token("victim-run");
+            let mut signalled = false;
+            client.run_streamed_with(&CampaignSpec::smoke(), &options, |_| {
+                if !signalled {
+                    signalled = true;
+                    let _ = first_unit_tx.send(());
+                }
+            })
+        });
+        first_unit_rx
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .expect("victim's first unit streamed");
+
+        // The sibling: a 4-unit subset of the victim's grid (same key
+        // overrides), run synchronously at default priority — its units
+        // ride the victim's in-flight computations (coalesce or hit),
+        // and its completion guarantees the victim is still mid-run
+        // with a deep batch backlog when the cancel lands.
+        let sibling_spec =
+            CampaignSpec::new(vec![ExperimentKind::Fig4], ChipGeneration::ALL.to_vec())
+                .with_gemm_sizes(vec![256, 1024])
+                .with_power_sizes(vec![2048, 4096])
+                .with_verify_max_flops(0);
+        let mut sibling = ServiceClient::<T>::connect(&endpoint).expect("sibling connect");
+        let sibling_outcome = sibling.run(&sibling_spec).expect("sibling run");
+
+        // Cancel the victim by token, from the sibling's connection.
+        let ack = sibling.cancel("victim-run").expect("cancel answers");
+        let victim_result = victim.join().expect("victim thread");
+        if !ack.active || victim_result.is_ok() {
+            // The victim finished before the cancel landed — legal, rare.
+            sibling.shutdown().expect("shutdown");
+            daemon.join().expect("daemon");
+            continue;
+        }
+        assert!(
+            ack.jobs_abandoned > 0,
+            "the victim's un-started batch backlog was abandoned"
+        );
+        match victim_result {
+            Err(ServiceError::Cancelled(unit)) => {
+                assert!(
+                    !unit.is_empty(),
+                    "the terminal names the first cancelled unit"
+                )
+            }
+            other => panic!("expected a typed cancelled terminal, got {other:?}"),
+        }
+
+        // The sibling was untouched: all 4 of its units arrived, each
+        // served off the victim's work (coalesced or cached) — and the
+        // engine's books balance with cancellations in the story.
+        assert_eq!(sibling_outcome.units.len(), 4);
+        // The worker may still be finishing the unit it held when the
+        // cancel landed; the counter identity is a quiescence property.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let stats = loop {
+            let stats = sibling.stats().expect("stats");
+            if stats.gauges.queue_depth == 0 && stats.gauges.units_inflight == 0 {
+                break stats;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "engine never quiesced after the cancel"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        assert_eq!(
+            stats.summary.unit_cache_hits + stats.summary.coalesced_joins,
+            4,
+            "every sibling unit rode the victim's computations"
+        );
+        assert!(stats.summary.units_cancelled > 0);
+        assert_eq!(
+            stats.summary.units_submitted,
+            stats.summary.units_computed
+                + stats.summary.unit_cache_hits
+                + stats.summary.coalesced_joins
+                + stats.summary.units_failed
+                + stats.summary.units_cancelled,
+            "counter identity over the wire"
+        );
+
+        sibling.shutdown().expect("shutdown");
+        daemon.join().expect("daemon");
+        return;
+    }
+    panic!("the cancel never beat the 16-unit victim across 3 attempts");
+}
+
 /// Instantiate the whole matrix for one transport.
 macro_rules! transport_matrix {
     ($module:ident, $transport:ty) => {
@@ -694,6 +867,16 @@ macro_rules! transport_matrix {
             fn a_subscriber_observes_the_complete_lifecycle_of_a_concurrent_run() {
                 a_subscriber_observes_the_complete_lifecycle_of_a_concurrent_run_over::<$transport>(
                 );
+            }
+
+            #[test]
+            fn busy_rejections_and_priorities_are_typed() {
+                busy_rejections_and_priorities_are_typed_over::<$transport>();
+            }
+
+            #[test]
+            fn cancelling_a_run_spares_a_coalesced_sibling() {
+                cancelling_a_run_spares_a_coalesced_sibling_over::<$transport>();
             }
         }
     };
