@@ -12,6 +12,7 @@
 
 use crate::threading::parallel_row_blocks;
 use crate::timing::AccelerateModel;
+use oranges_kernels::{sgemm_f32_blocked, CacheParams};
 use oranges_soc::chip::ChipGeneration;
 use oranges_soc::time::SimDuration;
 use serde::Serialize;
@@ -65,16 +66,23 @@ pub struct Blas {
     model: AccelerateModel,
     workers: usize,
     functional_limit: u64,
+    cache: CacheParams,
 }
 
 impl Blas {
     /// BLAS bound to a chip generation; functional work is parallelized
-    /// over as many host threads as the chip has performance cores.
+    /// over as many host threads as the chip has performance cores, with
+    /// cache-blocking geometry from the chip's per-core L1/L2.
     pub fn new(chip: ChipGeneration) -> Self {
+        let spec = chip.spec();
         Blas {
             model: AccelerateModel::of(chip),
-            workers: chip.spec().p_cores as usize,
+            workers: spec.p_cores as usize,
             functional_limit: DEFAULT_FUNCTIONAL_LIMIT,
+            cache: CacheParams::new(
+                spec.l1_p_kib as usize * 1024,
+                spec.l2_p_mib as usize * 1024 * 1024,
+            ),
         }
     }
 
@@ -174,8 +182,36 @@ impl Blas {
         c: &mut [f32],
         ldc: usize,
     ) {
-        // Fast path only when C rows are packed; strided C falls back to
-        // the single-threaded loop (parallel_row_blocks needs contiguity).
+        // The paper's Listing 1 shape — no transposes, alpha 1, beta 0,
+        // packed C — routes through the cache-blocked macrokernel, one
+        // row slab and private pack buffers per worker. Bitwise-identical
+        // to the scalar triple loop.
+        if trans_a == Transpose::NoTrans
+            && trans_b == Transpose::NoTrans
+            && alpha == 1.0
+            && beta == 0.0
+            && ldc == n
+            && n > 0
+        {
+            parallel_row_blocks(c, m, n, self.workers, |rows, block| {
+                sgemm_f32_blocked(
+                    rows.len(),
+                    n,
+                    k,
+                    &a[rows.start * lda..],
+                    lda,
+                    b,
+                    ldb,
+                    block,
+                    n,
+                    &self.cache,
+                );
+            });
+            return;
+        }
+        // General fast path when C rows are packed; strided C falls back
+        // to the single-threaded loop (parallel_row_blocks needs
+        // contiguity).
         if ldc == n && n > 0 {
             parallel_row_blocks(c, m, n, self.workers, |rows, block| {
                 for (local_i, i) in rows.clone().enumerate() {

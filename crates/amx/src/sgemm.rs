@@ -5,13 +5,14 @@
 //! each computed as a sum of `fma32` outer products. Full tiles run on the
 //! simulated unit instruction-by-instruction (real arithmetic, counted
 //! cycles); edge remainders (when `n` is not a multiple of 16) run on the
-//! host-side register-tiled microkernel ([`oranges_kernels::gemm`]) with
-//! their cycles charged at NEON rate.
+//! host-side cache-blocked macrokernel ([`oranges_kernels::block`]) with
+//! block sizes from the chip's per-core L1/L2 geometry and their cycles
+//! charged at NEON rate.
 
 use crate::insn::Instruction;
 use crate::regs::TILE_F32_LANES;
 use crate::unit::{AmxError, AmxUnit};
-use oranges_kernels::gemm::sgemm_f32;
+use oranges_kernels::{sgemm_f32_blocked, CacheParams};
 use oranges_soc::chip::ChipGeneration;
 use oranges_soc::time::SimDuration;
 
@@ -129,15 +130,20 @@ impl AmxSgemm {
             }
         }
 
-        // Microkernel cleanup for edge rows/columns (n not a multiple of
+        // Macrokernel cleanup for edge rows/columns (n not a multiple of
         // 16): the L-shaped remainder is two rectangular GEMMs — the
         // bottom row strip and the right column strip — each computed by
-        // the register-tiled microkernel (bitwise-identical to the scalar
-        // triple loop it replaced).
+        // the cache-blocked panel kernel with this chip's L1/L2 geometry
+        // (bitwise-identical to the scalar triple loop it replaced).
         let mut scalar_flops = 0u64;
         if full < n {
+            let spec = self.unit.generation().spec();
+            let cache = CacheParams::new(
+                spec.l1_p_kib as usize * 1024,
+                spec.l2_p_mib as usize * 1024 * 1024,
+            );
             // Rows full..n × all columns.
-            sgemm_f32(
+            sgemm_f32_blocked(
                 n - full,
                 n,
                 n,
@@ -147,10 +153,22 @@ impl AmxSgemm {
                 n,
                 &mut c[full * n..],
                 n,
+                &cache,
             );
             // Rows 0..full × columns full..n.
             if full > 0 {
-                sgemm_f32(full, n - full, n, a, n, &b[full..], n, &mut c[full..], n);
+                sgemm_f32_blocked(
+                    full,
+                    n - full,
+                    n,
+                    a,
+                    n,
+                    &b[full..],
+                    n,
+                    &mut c[full..],
+                    n,
+                    &cache,
+                );
             }
             scalar_flops = 2 * (n as u64) * ((n * n - full * full) as u64);
         }

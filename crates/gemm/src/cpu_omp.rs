@@ -4,20 +4,21 @@
 //! implementation — blocked loops parallelized with OpenMP but not
 //! hand-vectorized, which is why Figure 2 shows it only a few times faster
 //! than the naive baseline (and why Figure 4 keeps both CPU loops below
-//! 1 GFLOPS/W). Functionally we run a real blocked multiply across all
-//! host cores (crossbeam); timing comes from the calibrated model.
+//! 1 GFLOPS/W). Functionally we run the cache-blocked macrokernel
+//! ([`oranges_kernels::block`]) across all host cores: each worker owns a
+//! disjoint row slab and its own pack buffers, with block sizes derived
+//! from the simulated chip's per-core cache geometry. Timing comes from
+//! the calibrated model.
 
 use crate::error::GemmError;
 use crate::matrix::gemm_flops;
 use crate::suite::Hardware;
 use crate::{GemmImplementation, GemmOutcome};
 use oranges_accelerate::threading::parallel_row_blocks;
+use oranges_kernels::{sgemm_f32_blocked, CacheParams};
 use oranges_powermetrics::WorkClass;
 use oranges_soc::chip::ChipGeneration;
 use oranges_soc::time::SimDuration;
-
-/// Tile edge of the blocked algorithm.
-const BLOCK: usize = 64;
 
 /// Sustained full-complex GFLOPS at large n: the naive per-core rate times
 /// a parallel-efficiency-weighted core count. The open-source blocked
@@ -104,31 +105,27 @@ impl GemmImplementation for CpuOmp {
         let flops = gemm_flops(n as u64);
         let functional = flops <= self.functional_limit;
         if functional {
+            // Blocked macrokernel per worker: each thread runs the Goto
+            // schedule over its disjoint MC-aligned row slab with private
+            // pack buffers, block sizes from the chip's per-core caches.
+            let spec = self.chip.spec();
+            let cache = CacheParams::new(
+                spec.l1_p_kib as usize * 1024,
+                spec.l2_p_mib as usize * 1024 * 1024,
+            );
             parallel_row_blocks(c, n, n, self.workers, |rows, block| {
-                // Blocked i/k/j with the block row range assigned to this
-                // worker — the structure of the OpenMP original.
-                for (local_i, i) in rows.clone().enumerate() {
-                    block[local_i * n..(local_i + 1) * n].fill(0.0);
-                    let _ = i;
-                }
-                let mut k0 = 0;
-                while k0 < n {
-                    let k_end = (k0 + BLOCK).min(n);
-                    for (local_i, i) in rows.clone().enumerate() {
-                        let row = &mut block[local_i * n..(local_i + 1) * n];
-                        for k in k0..k_end {
-                            let a_ik = a[i * n + k];
-                            if a_ik == 0.0 {
-                                continue;
-                            }
-                            let b_row = &b[k * n..k * n + n];
-                            for (v, &bv) in row.iter_mut().zip(b_row) {
-                                *v += a_ik * bv;
-                            }
-                        }
-                    }
-                    k0 = k_end;
-                }
+                sgemm_f32_blocked(
+                    rows.len(),
+                    n,
+                    n,
+                    &a[rows.start * n..],
+                    n,
+                    b,
+                    n,
+                    block,
+                    n,
+                    &cache,
+                );
             });
         }
         let duration = SimDuration::from_secs_f64(flops as f64 / (self.modeled_gflops(n) * 1e9));
@@ -158,10 +155,12 @@ impl GemmImplementation for CpuOmp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::verify::reference_gemm;
+    use crate::verify::{reference_gemm, verify_dense};
 
     #[test]
-    fn computes_correct_products() {
+    fn computes_products_bitwise_equal_to_reference() {
+        // The blocked macrokernel is bitwise-identical to the scalar
+        // reference, so the fused dense sweep must find zero ULPs.
         for n in [8usize, 64, 100] {
             let a: Vec<f32> = (0..n * n)
                 .map(|i| ((i * 13 + 5) % 11) as f32 * 0.1)
@@ -173,12 +172,8 @@ mod tests {
                 .run(n, &a, &b, &mut c)
                 .unwrap();
             reference_gemm(n, &a, &b, &mut expected);
-            for (idx, (x, y)) in c.iter().zip(&expected).enumerate() {
-                assert!(
-                    (x - y).abs() < 1e-3 * (1.0 + y.abs()),
-                    "n={n} idx={idx}: {x} vs {y}"
-                );
-            }
+            let outcome = verify_dense(&c, &expected, 0.0);
+            assert!(outcome.passed && outcome.max_ulp == 0, "n={n}: {outcome:?}");
         }
     }
 

@@ -17,7 +17,11 @@
 //! - [`elem`] — f32 elementwise ops (`scale`, `add`, `axpy`) for the
 //!   vDSP-shaped API and the AMX outer-product lane loop;
 //! - [`gemm`] — an `MR×NR` register-tiled SGEMM microkernel over packed
-//!   panels with a k-unrolled inner loop.
+//!   panels with a k-unrolled inner loop;
+//! - [`block`] — the Goto/BLIS cache-blocked macrokernel above that tile:
+//!   NC/KC/MC panel loops with [`block::CacheParams`]-derived block sizes,
+//!   packing once per panel and seeding tile accumulators from C so the
+//!   KC split stays bitwise-faithful to the scalar loop.
 //!
 //! # Equivalence contract
 //!
@@ -28,8 +32,10 @@
 //! |---|---|
 //! | `stream::*`, `elem::*` | **bitwise** — elementwise ops are not reordered |
 //! | `gemm::sgemm_f32` | **bitwise** — one accumulator per output element, k-order preserved (the tile itself supplies the ILP) |
+//! | `block::sgemm_f32_blocked` | **bitwise** — KC panels ascend and re-seed from stored f32 partials (store/load is exact), so the element-wise op sequence equals the scalar loop |
 //! | `reduce::*` (dot/sum) | **ULP-bounded** — multi-accumulator reductions reorder the sum |
 //! | `reduce::max_f32` | value-equal — max is order-insensitive |
+//! | `ulp::diff_stats_f32` | exact — fused diff/threshold/count pass matches its three separate sweeps |
 //!
 //! The bitwise rows are what let consumers swap these kernels in without
 //! perturbing campaign value-identity fingerprints; the ULP rows feed
@@ -37,13 +43,15 @@
 
 #![forbid(unsafe_code)]
 
+pub mod block;
 pub mod elem;
 pub mod gemm;
 pub mod reduce;
 pub mod stream;
 pub mod ulp;
 
+pub use block::{sgemm_f32_blocked, sgemm_f32_blocked_with, BlockSizes, CacheParams};
 pub use gemm::{sgemm_f32, sgemm_f32_scalar};
 pub use reduce::{dot_f32, dot_f64, max_f32, sum_f32, sum_f64};
 pub use stream::fused_iteration_f64;
-pub use ulp::{ulp_distance_f32, ulp_distance_f64};
+pub use ulp::{diff_stats_f32, ulp_distance_f32, ulp_distance_f64, DiffStats};

@@ -134,7 +134,15 @@ pub fn sum_f64_scalar(a: &[f64]) -> f64 {
 }
 
 /// Maximum element, 8 lanes (identity `-inf` on empty input, NaN-ignoring
-/// like [`f32::max`] — exactly the semantics of folding with `f32::max`).
+/// like [`f32::max`]).
+///
+/// The lane fold is the branch-free select `if x > acc { x } else
+/// { acc }` rather than [`f32::max`]: the latter lowers to `llvm.maxnum`,
+/// whose NaN-propagation rules cost a branchy fixup sequence per element
+/// on x86, which is what regressed this kernel below its scalar twin.
+/// The select form compiles to a plain packed-max/blend. NaN inputs are
+/// still ignored (`NaN > acc` is false and the accumulator starts at
+/// `-inf`, so it can never become NaN).
 ///
 /// Max is order-insensitive, so this is value-equal to its scalar twin.
 pub fn max_f32(a: &[f32]) -> f32 {
@@ -142,7 +150,11 @@ pub fn max_f32(a: &[f32]) -> f32 {
     let mut chunks = a.chunks_exact(ACC_LANES);
     for x in &mut chunks {
         for lane in 0..ACC_LANES {
-            acc[lane] = acc[lane].max(x[lane]);
+            acc[lane] = if x[lane] > acc[lane] {
+                x[lane]
+            } else {
+                acc[lane]
+            };
         }
     }
     let mut m = ((acc[0].max(acc[1])).max(acc[2].max(acc[3])))
@@ -281,6 +293,21 @@ mod tests {
             let a = series_f32(n);
             assert_eq!(max_f32(&a), max_f32_scalar(&a), "n={n}");
         }
+    }
+
+    #[test]
+    fn max_ignores_nans_like_its_twin() {
+        let mut a = series_f32(41);
+        a[0] = f32::NAN;
+        a[9] = f32::NAN;
+        a[40] = f32::NAN;
+        let m = max_f32(&a);
+        assert!(!m.is_nan());
+        assert_eq!(m, max_f32_scalar(&a));
+        // All-NaN input degrades to the empty identity, as f32::max does.
+        let nans = vec![f32::NAN; 17];
+        assert_eq!(max_f32(&nans), f32::NEG_INFINITY);
+        assert_eq!(max_f32_scalar(&nans), f32::NEG_INFINITY);
     }
 
     #[test]

@@ -35,6 +35,66 @@ pub fn ulp_distance_f64(x: f64, y: f64) -> u128 {
     (ordered_f64(x) - ordered_f64(y)).unsigned_abs()
 }
 
+/// Result of one fused [`diff_stats_f32`] sweep over a pair of arrays.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiffStats {
+    /// Largest absolute difference, as bits of the f32 (so the struct
+    /// stays `Eq`); [`DiffStats::max_abs`] recovers the float. NaN pairs
+    /// force `f32::INFINITY`.
+    max_abs_bits: u32,
+    /// Largest elementwise ULP distance (`u64::MAX` when a pair has a
+    /// NaN on one side only).
+    pub max_ulp: u64,
+    /// Elements whose absolute difference exceeded the threshold
+    /// (NaN-on-one-side pairs always count).
+    pub mismatches: usize,
+    /// Elements compared (the common prefix length).
+    pub compared: usize,
+}
+
+impl DiffStats {
+    /// Largest absolute difference seen.
+    pub fn max_abs(&self) -> f32 {
+        f32::from_bits(self.max_abs_bits)
+    }
+}
+
+/// Fused verification sweep: one pass over the common prefix of `got`
+/// and `want` computing the max absolute difference, max ULP distance,
+/// and the count of elements exceeding `abs_tol` — replacing the
+/// separate diff → threshold → count sweeps (three reads of each array)
+/// with a single read of each.
+///
+/// Pairs where both sides are NaN count as equal (distance 0); a NaN on
+/// one side only is an unconditional mismatch at maximum distance.
+pub fn diff_stats_f32(got: &[f32], want: &[f32], abs_tol: f32) -> DiffStats {
+    let compared = got.len().min(want.len());
+    let mut stats = DiffStats {
+        compared,
+        ..DiffStats::default()
+    };
+    let mut max_abs = 0.0f32;
+    for (&g, &w) in got[..compared].iter().zip(&want[..compared]) {
+        if g.is_nan() || w.is_nan() {
+            if g.is_nan() != w.is_nan() {
+                max_abs = f32::INFINITY;
+                stats.max_ulp = u64::MAX;
+                stats.mismatches += 1;
+            }
+            continue;
+        }
+        let diff = (g - w).abs();
+        max_abs = if diff > max_abs { diff } else { max_abs };
+        let ulp = ulp_distance_f32(g, w);
+        stats.max_ulp = stats.max_ulp.max(ulp);
+        if diff > abs_tol {
+            stats.mismatches += 1;
+        }
+    }
+    stats.max_abs_bits = max_abs.to_bits();
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,5 +131,47 @@ mod tests {
     fn nan_is_never_close() {
         assert_eq!(ulp_distance_f32(f32::NAN, 1.0), u64::MAX);
         assert_eq!(ulp_distance_f64(1.0, f64::NAN), u128::MAX);
+    }
+
+    #[test]
+    fn diff_stats_matches_separate_sweeps() {
+        let got: Vec<f32> = (0..97).map(|i| (i as f32).sin()).collect();
+        let want: Vec<f32> = got
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| if i % 7 == 0 { x + 1e-3 } else { x })
+            .collect();
+        let tol = 1e-4f32;
+        let fused = diff_stats_f32(&got, &want, tol);
+        // The three sweeps it replaces.
+        let max_abs = got
+            .iter()
+            .zip(&want)
+            .map(|(g, w)| (g - w).abs())
+            .fold(0.0f32, f32::max);
+        let max_ulp = got
+            .iter()
+            .zip(&want)
+            .map(|(&g, &w)| ulp_distance_f32(g, w))
+            .max()
+            .unwrap();
+        let mismatches = got
+            .iter()
+            .zip(&want)
+            .filter(|(g, w)| (*g - *w).abs() > tol)
+            .count();
+        assert_eq!(fused.max_abs(), max_abs);
+        assert_eq!(fused.max_ulp, max_ulp);
+        assert_eq!(fused.mismatches, mismatches);
+        assert_eq!(fused.compared, 97);
+    }
+
+    #[test]
+    fn diff_stats_handles_nan_sides() {
+        let stats = diff_stats_f32(&[f32::NAN, f32::NAN, 1.0], &[f32::NAN, 1.0, 1.0], 0.0);
+        assert_eq!(stats.mismatches, 1); // NaN-vs-NaN is equal, NaN-vs-1.0 is not
+        assert_eq!(stats.max_ulp, u64::MAX);
+        assert!(stats.max_abs().is_infinite());
+        assert_eq!(diff_stats_f32(&[], &[1.0], 0.0).compared, 0);
     }
 }

@@ -1,12 +1,15 @@
 //! Equivalence proofs: every unrolled kernel against its scalar twin.
 //!
 //! Bitwise for everything elementwise (stream passes, fused iteration,
-//! elem ops) and for the SGEMM microkernel (one in-order accumulator per
-//! output element); error-bounded for the reordered reductions, using
-//! the standard summation bound `|err| <= c · n · eps · Σ|terms|`.
-//! Deterministic sweeps cover the awkward lengths (0, 1, lane−1, lane+1,
-//! primes); proptests cover the space in between.
+//! elem ops), for the SGEMM microkernel (one in-order accumulator per
+//! output element), and for the cache-blocked macrokernel (KC panels
+//! ascend and re-seed from stored f32 partials); error-bounded for the
+//! reordered reductions, using the standard summation bound
+//! `|err| <= c · n · eps · Σ|terms|`. Deterministic sweeps cover the
+//! awkward lengths (0, 1, lane−1, lane+1, primes) and sizes straddling
+//! every MC/KC/NC panel boundary; proptests cover the space in between.
 
+use oranges_kernels::block::{sgemm_f32_blocked, sgemm_f32_blocked_with, BlockSizes, CacheParams};
 use oranges_kernels::{elem, gemm, reduce, stream};
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -177,6 +180,109 @@ fn sgemm_matches_twin_bitwise_on_awkward_shapes() {
     }
 }
 
+/// Small explicit blocks so modest matrices cross every panel loop:
+/// MC = 8 (2 tile rows), KC = 12 (3 k-unroll groups), NC = 16 (2 tile
+/// columns).
+const TEST_BLOCKS: BlockSizes = BlockSizes {
+    mc: 8,
+    kc: 12,
+    nc: 16,
+};
+
+#[test]
+fn blocked_sgemm_matches_twin_bitwise_at_panel_boundaries() {
+    // m/n/k at MC/NC/KC ± 1, exact multiples, primes, and k = 0.
+    let mut shapes = Vec::new();
+    for m in [7usize, 8, 9, 16, 17, 23] {
+        for n in [15usize, 16, 17, 32, 31] {
+            for k in [11usize, 12, 13, 24, 37, 0] {
+                shapes.push((m, n, k));
+            }
+        }
+    }
+    shapes.extend_from_slice(&[(1, 1, 1), (3, 5, 7), (29, 31, 37)]);
+    for (m, n, k) in shapes {
+        let a = series_f32(m * k, 21);
+        let b = series_f32(k * n, 22);
+        let mut fast = vec![f32::NAN; m * n];
+        let mut slow = vec![f32::NAN; m * n];
+        sgemm_f32_blocked_with(m, n, k, &a, k.max(1), &b, n, &mut fast, n, &TEST_BLOCKS);
+        gemm::sgemm_f32_scalar(m, n, k, &a, k.max(1), &b, n, &mut slow, n);
+        assert_eq!(fast, slow, "m={m} n={n} k={k}");
+    }
+}
+
+#[test]
+fn blocked_sgemm_matches_twin_bitwise_with_odd_leading_dimensions() {
+    let (m, n, k) = (9usize, 17usize, 13usize);
+    let (lda, ldb, ldc) = (k + 3, n + 5, n + 7); // odd, non-packed strides
+    let a = series_f32(m * lda, 23);
+    let b = series_f32(k * ldb, 24);
+    let mut fast = vec![-3.0f32; m * ldc];
+    let mut slow = vec![-3.0f32; m * ldc];
+    sgemm_f32_blocked_with(m, n, k, &a, lda, &b, ldb, &mut fast, ldc, &TEST_BLOCKS);
+    gemm::sgemm_f32_scalar(m, n, k, &a, lda, &b, ldb, &mut slow, ldc);
+    assert_eq!(fast, slow);
+    // Storage beyond each row's n columns is untouched.
+    for r in 0..m {
+        assert_eq!(
+            &fast[r * ldc + n..(r + 1) * ldc],
+            &slow[r * ldc + n..(r + 1) * ldc]
+        );
+        assert!(fast[r * ldc + n..(r + 1) * ldc].iter().all(|&v| v == -3.0));
+    }
+}
+
+#[test]
+fn blocked_sgemm_handles_degenerate_blocks_larger_than_the_matrix() {
+    // MC > m, NC > n, KC > k: a single partial block in every loop.
+    let sizes = BlockSizes {
+        mc: 64,
+        kc: 64,
+        nc: 64,
+    };
+    for (m, n, k) in [(3usize, 5usize, 7usize), (1, 9, 2), (13, 1, 1)] {
+        let a = series_f32(m * k, 25);
+        let b = series_f32(k * n, 26);
+        let mut fast = vec![f32::NAN; m * n];
+        let mut slow = vec![f32::NAN; m * n];
+        sgemm_f32_blocked_with(m, n, k, &a, k, &b, n, &mut fast, n, &sizes);
+        gemm::sgemm_f32_scalar(m, n, k, &a, k, &b, n, &mut slow, n);
+        assert_eq!(fast, slow, "m={m} n={n} k={k}");
+    }
+}
+
+#[test]
+fn blocked_sgemm_matches_twin_with_host_default_geometry() {
+    // The production parameter path (larger-than-matrix blocks collapse
+    // to one panel each) and a size big enough to split KC at least once
+    // under the test geometry.
+    let params = CacheParams::host_default();
+    for (m, n, k) in [(33usize, 29usize, 41usize), (64, 64, 64)] {
+        let a = series_f32(m * k, 27);
+        let b = series_f32(k * n, 28);
+        let mut fast = vec![f32::NAN; m * n];
+        let mut slow = vec![f32::NAN; m * n];
+        sgemm_f32_blocked(m, n, k, &a, k, &b, n, &mut fast, n, &params);
+        gemm::sgemm_f32_scalar(m, n, k, &a, k, &b, n, &mut slow, n);
+        assert_eq!(fast, slow, "m={m} n={n} k={k}");
+    }
+}
+
+#[test]
+fn blocked_sgemm_agrees_with_unblocked_microkernel_bitwise() {
+    // Transitivity check made explicit: both paths equal the scalar twin,
+    // so they must equal each other.
+    let (m, n, k) = (23usize, 31usize, 29usize);
+    let a = series_f32(m * k, 29);
+    let b = series_f32(k * n, 30);
+    let mut blocked = vec![f32::NAN; m * n];
+    let mut micro = vec![f32::NAN; m * n];
+    sgemm_f32_blocked_with(m, n, k, &a, k, &b, n, &mut blocked, n, &TEST_BLOCKS);
+    gemm::sgemm_f32(m, n, k, &a, k, &b, n, &mut micro, n);
+    assert_eq!(blocked, micro);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -252,6 +358,27 @@ proptest! {
         let mut fast = vec![f32::NAN; m * n];
         let mut slow = vec![f32::NAN; m * n];
         gemm::sgemm_f32(m, n, k, &a, k.max(1), &b, n, &mut fast, n);
+        gemm::sgemm_f32_scalar(m, n, k, &a, k.max(1), &b, n, &mut slow, n);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn prop_blocked_sgemm_is_bitwise_scalar(
+        m in 0usize..40,
+        n in 0usize..40,
+        k in 0usize..40,
+        mc in 1usize..12,
+        kc in 1usize..16,
+        nc in 1usize..20,
+        seed in 0u32..1000,
+    ) {
+        // Arbitrary (even tile-misaligned) block sizes must stay bitwise.
+        let sizes = BlockSizes { mc, kc, nc };
+        let a = series_f32(m * k, seed);
+        let b = series_f32(k * n, seed.wrapping_add(1));
+        let mut fast = vec![f32::NAN; m * n];
+        let mut slow = vec![f32::NAN; m * n];
+        sgemm_f32_blocked_with(m, n, k, &a, k.max(1), &b, n, &mut fast, n, &sizes);
         gemm::sgemm_f32_scalar(m, n, k, &a, k.max(1), &b, n, &mut slow, n);
         prop_assert_eq!(fast, slow);
     }

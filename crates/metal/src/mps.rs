@@ -14,6 +14,7 @@ use crate::command::CommandBuffer;
 use crate::error::MetalError;
 use crate::kernel::{size_ramp, BandInvocation, ComputeKernel, KernelParams, Workload};
 use crate::library::Library;
+use crate::shaders::sgemm_band;
 use crate::types::MtlSize;
 use oranges_soc::chip::ChipGeneration;
 use oranges_soc::time::SimDuration;
@@ -233,23 +234,18 @@ impl ComputeKernel for MpsSgemm {
     }
 
     fn execute_band(&self, inv: BandInvocation<'_>) {
+        let m = inv.params.uint(0).expect("rows") as usize;
         let n = inv.params.uint(1).expect("columns") as usize;
         let k = inv.params.uint(2).expect("interior") as usize;
-        let m = inv.params.uint(0).expect("rows") as usize;
-        let a = inv.inputs[0];
-        let b = inv.inputs[1];
-        for (off, out) in inv.output.iter_mut().enumerate() {
-            let idx = inv.range.start + off;
-            if idx >= m * n {
-                break;
-            }
-            let (i, j) = (idx / n, idx % n);
-            let mut acc = 0.0f32;
-            for kk in 0..k {
-                acc += a[i * k + kk] * b[kk * n + j];
-            }
-            *out = acc;
-        }
+        sgemm_band(
+            m,
+            n,
+            k,
+            inv.inputs[0],
+            inv.inputs[1],
+            inv.range.start,
+            inv.output,
+        );
     }
 
     fn workload(&self, chip: ChipGeneration, params: &KernelParams, _out: usize) -> Workload {

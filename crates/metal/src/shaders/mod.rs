@@ -29,6 +29,123 @@ pub const fn gemm_bytes(n: u64) -> (u64, u64) {
     (2 * n * n * 4, n * n * 4)
 }
 
+/// Functional GEMM over one output band: the shared arithmetic behind the
+/// SGEMM kernels' `execute_band` (`a` is row-major `m×k`, `b` is `k×n`,
+/// the band covers output elements `start..start + out.len()` of the
+/// row-major `m×n` C).
+///
+/// Full rows inside the band run through the cache-blocked macrokernel
+/// ([`oranges_kernels::block`], host-default geometry — `execute_band`
+/// has no chip handle); the partial head/tail rows a band boundary slices
+/// through fall back to the per-element ascending-k loop. Both orders are
+/// bitwise-identical to the scalar triple loop, so banding never changes
+/// a bit of output.
+pub(crate) fn sgemm_band(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    start: usize,
+    out: &mut [f32],
+) {
+    use oranges_kernels::{sgemm_f32_blocked, CacheParams};
+
+    let total = m * n;
+    let start = start.min(total);
+    let end = (start + out.len()).min(total);
+    if start >= end {
+        return;
+    }
+    let out = &mut out[..end - start];
+    let scalar_element = |idx: usize, slot: &mut f32| {
+        let (i, j) = (idx / n, idx % n);
+        let mut acc = 0.0f32;
+        for p in 0..k {
+            acc += a[i * k + p] * b[p * n + j];
+        }
+        *slot = acc;
+    };
+
+    // Partial head row (band starts mid-row).
+    let head_end = if start.is_multiple_of(n) {
+        start
+    } else {
+        end.min((start / n + 1) * n)
+    };
+    for idx in start..head_end {
+        scalar_element(idx, &mut out[idx - start]);
+    }
+    // Full rows through the blocked macrokernel.
+    let full_end = (end / n) * n;
+    if full_end > head_end {
+        let (r0, r1) = (head_end / n, full_end / n);
+        sgemm_f32_blocked(
+            r1 - r0,
+            n,
+            k,
+            &a[r0 * k..],
+            k,
+            b,
+            n,
+            &mut out[head_end - start..full_end - start],
+            n,
+            &CacheParams::host_default(),
+        );
+    }
+    // Partial tail row.
+    for idx in head_end.max(full_end)..end {
+        scalar_element(idx, &mut out[idx - start]);
+    }
+}
+
+#[cfg(test)]
+mod band_tests {
+    use super::*;
+
+    #[test]
+    fn banded_equals_whole_run_bitwise() {
+        let (m, n, k) = (7usize, 5, 9);
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 31 + 7) % 13) as f32 * 0.125)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 17 + 3) % 11) as f32 * 0.25)
+            .collect();
+        let mut whole = vec![0.0f32; m * n];
+        sgemm_band(m, n, k, &a, &b, 0, &mut whole);
+        // Scalar reference.
+        let mut expected = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                expected[i * n + j] = acc;
+            }
+        }
+        assert_eq!(whole, expected);
+        // Awkward band splits (mid-row boundaries) must agree bitwise.
+        for band_len in [1usize, 3, 8, 11, 16] {
+            let mut banded = vec![0.0f32; m * n];
+            for (bi, chunk) in banded.chunks_mut(band_len).enumerate() {
+                let start = bi * band_len;
+                let len = chunk.len();
+                sgemm_band(m, n, k, &a, &b, start, &mut chunk[..len]);
+            }
+            assert_eq!(banded, expected, "band_len={band_len}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_band_is_no_op() {
+        let mut out = vec![5.0f32; 4];
+        sgemm_band(2, 2, 2, &[1.0; 4], &[1.0; 4], 4, &mut out);
+        assert_eq!(out, vec![5.0; 4]);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,7 +7,7 @@
 //! paper's measured peaks (0.20 / 0.39 / 0.45 / 0.54 TFLOPS on M1–M4).
 
 use crate::kernel::{size_ramp, BandInvocation, ComputeKernel, KernelParams, Workload};
-use crate::shaders::{gemm_bytes, gemm_flops};
+use crate::shaders::{gemm_bytes, gemm_flops, sgemm_band};
 use oranges_soc::chip::ChipGeneration;
 use oranges_soc::time::SimDuration;
 
@@ -64,21 +64,19 @@ impl ComputeKernel for SgemmNaive {
     }
 
     fn execute_band(&self, inv: BandInvocation<'_>) {
+        // Functional semantics are the per-element ascending-k loop; the
+        // shared band helper computes exactly that (bitwise) while running
+        // the band's full rows through the cache-blocked macrokernel.
         let n = inv.params.n() as usize;
-        let a = inv.inputs[0];
-        let b = inv.inputs[1];
-        for (off, out) in inv.output.iter_mut().enumerate() {
-            let idx = inv.range.start + off;
-            if idx >= n * n {
-                break;
-            }
-            let (i, j) = (idx / n, idx % n);
-            let mut acc = 0.0f32;
-            for k in 0..n {
-                acc += a[i * n + k] * b[k * n + j];
-            }
-            *out = acc;
-        }
+        sgemm_band(
+            n,
+            n,
+            n,
+            inv.inputs[0],
+            inv.inputs[1],
+            inv.range.start,
+            inv.output,
+        );
     }
 
     fn workload(&self, chip: ChipGeneration, params: &KernelParams, _out: usize) -> Workload {

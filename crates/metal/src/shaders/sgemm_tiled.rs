@@ -6,17 +6,16 @@
 //! (0.15 / 0.16 / 0.27 / 0.34 TFLOPS vs. the naive 0.20–0.54) — tile-memory
 //! traffic without register-level blocking loses to the TBDR cache
 //! hierarchy — and it burns the most power on M4 (Fig. 3). The calibrated
-//! efficiency table preserves that inversion; the functional path really
-//! does k-blocked staged accumulation, so results remain bit-identical to
-//! the naive kernel's up to FP32 reassociation.
+//! efficiency table preserves that inversion; the functional path routes
+//! through the same cache-blocked macrokernel as every other backend, so
+//! tiled results are now **bitwise identical** to the naive kernel's
+//! (both equal the scalar triple loop) — the shaders differ only in their
+//! calibrated timing, which is where the paper's inversion lives.
 
 use crate::kernel::{size_ramp, BandInvocation, ComputeKernel, KernelParams, Workload};
-use crate::shaders::{gemm_bytes, gemm_flops};
+use crate::shaders::{gemm_bytes, gemm_flops, sgemm_band};
 use oranges_soc::chip::ChipGeneration;
 use oranges_soc::time::SimDuration;
-
-/// k-block staged through (simulated) threadgroup memory.
-const K_BLOCK: usize = 32;
 
 /// Peak sustained fraction of the FP32 roofline (paper Fig. 2 anchors).
 fn peak_efficiency(chip: ChipGeneration) -> f64 {
@@ -69,31 +68,15 @@ impl ComputeKernel for SgemmTiled {
 
     fn execute_band(&self, inv: BandInvocation<'_>) {
         let n = inv.params.n() as usize;
-        let a = inv.inputs[0];
-        let b = inv.inputs[1];
-        // k-blocked accumulation with an explicit staging buffer, mimicking
-        // the threadgroup-memory pipeline of the real shader.
-        let mut a_stage = [0.0f32; K_BLOCK];
-        for (off, out) in inv.output.iter_mut().enumerate() {
-            let idx = inv.range.start + off;
-            if idx >= n * n {
-                break;
-            }
-            let (i, j) = (idx / n, idx % n);
-            let mut acc = 0.0f32;
-            let mut k0 = 0;
-            while k0 < n {
-                let kb = K_BLOCK.min(n - k0);
-                a_stage[..kb].copy_from_slice(&a[i * n + k0..i * n + k0 + kb]);
-                let mut partial = 0.0f32;
-                for (kk, &av) in a_stage[..kb].iter().enumerate() {
-                    partial += av * b[(k0 + kk) * n + j];
-                }
-                acc += partial;
-                k0 += kb;
-            }
-            *out = acc;
-        }
+        sgemm_band(
+            n,
+            n,
+            n,
+            inv.inputs[0],
+            inv.inputs[1],
+            inv.range.start,
+            inv.output,
+        );
     }
 
     fn workload(&self, chip: ChipGeneration, params: &KernelParams, _out: usize) -> Workload {
@@ -140,12 +123,8 @@ mod tests {
                 .collect();
             let tiled = run(&SgemmTiled, n, &a, &b);
             let naive = run(&SgemmNaive, n, &a, &b);
-            for (idx, (x, y)) in tiled.iter().zip(naive.iter()).enumerate() {
-                assert!(
-                    (x - y).abs() <= 1e-3 * (1.0 + y.abs()),
-                    "n={n} idx={idx}: {x} vs {y}"
-                );
-            }
+            // Both route through the blocked macrokernel: bitwise equal.
+            assert_eq!(tiled, naive, "n={n}");
         }
     }
 
