@@ -336,6 +336,12 @@ impl EngineStats {
     }
 }
 
+/// A completion wakeup callback, invoked after each delivery lands on
+/// a subscription's channel (see
+/// [`ExecutionEngine::submit_with_notify`]). Must be cheap and
+/// non-blocking — it runs on engine worker threads.
+pub type DeliveryNotify = Arc<dyn Fn() + Send + Sync>;
+
 /// A waiter attached to one in-flight computation.
 struct Waiter {
     index: usize,
@@ -344,6 +350,8 @@ struct Waiter {
     /// Owning subscription, so cancellation can surgically remove this
     /// waiter without touching coalesced siblings.
     sub: u64,
+    /// Completion hook fired after each send on `sender`.
+    notify: Option<DeliveryNotify>,
 }
 
 /// One queued computation.
@@ -503,6 +511,13 @@ impl Subscription {
     /// Next delivery, waiting at most `timeout`.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<UnitDelivery, mpsc::RecvTimeoutError> {
         self.receiver.recv_timeout(timeout)
+    }
+
+    /// Next delivery if one is already queued, without blocking — the
+    /// companion to [`ExecutionEngine::submit_with_notify`]: a reactor
+    /// drains this on each delivery wakeup instead of parking a thread.
+    pub fn try_recv(&self) -> Result<UnitDelivery, mpsc::TryRecvError> {
+        self.receiver.try_recv()
     }
 
     /// Cancel the subscription's unresolved units now: each is answered
@@ -755,6 +770,23 @@ impl ExecutionEngine {
         cache: &ResultCache,
         options: SubmitOptions,
     ) -> Result<Subscription, AdmitError> {
+        self.submit_with_notify(units, cache, options, None)
+    }
+
+    /// [`submit_with`](ExecutionEngine::submit_with) plus a delivery
+    /// wakeup hook: `notify` is invoked after **every** delivery lands
+    /// on the subscription's channel — submit-time cache hits, worker
+    /// completions and failures, cancellations, and deadline expiries
+    /// alike — so a readiness-driven consumer (the service reactor)
+    /// can drain [`Subscription::try_recv`] on wakeups instead of
+    /// parking a thread in [`Subscription::recv`].
+    pub fn submit_with_notify(
+        &self,
+        units: &[PlanUnit],
+        cache: &ResultCache,
+        options: SubmitOptions,
+        notify: Option<DeliveryNotify>,
+    ) -> Result<Subscription, AdmitError> {
         let (sender, receiver) = mpsc::channel();
         let cache_id = cache.instance_id();
         let sub = self.shared.next_sub.fetch_add(1, Ordering::Relaxed);
@@ -817,6 +849,7 @@ impl ExecutionEngine {
                         source: UnitSource::Coalesced,
                         sender: sender.clone(),
                         sub,
+                        notify: notify.clone(),
                     });
                     pending_waiters = true;
                     // Priority inheritance: a high-priority join must
@@ -856,6 +889,9 @@ impl ExecutionEngine {
                             wall: probe.elapsed(),
                         }),
                     });
+                    if let Some(notify) = &notify {
+                        notify();
+                    }
                     continue;
                 }
                 state.inflight.insert(
@@ -866,6 +902,7 @@ impl ExecutionEngine {
                             source: UnitSource::Computed,
                             sender: sender.clone(),
                             sub,
+                            notify: notify.clone(),
                         }],
                         priority: options.priority,
                         queued: true,
@@ -1061,6 +1098,9 @@ fn service_job(shared: &EngineShared, job: &Job, pool: &mut PlatformPool) {
                 },
             }),
         });
+        if let Some(notify) = &waiter.notify {
+            notify();
+        }
     }
 }
 
@@ -1092,6 +1132,9 @@ fn abort_job(shared: &EngineShared, job: &Job) {
                 job.unit.key
             ))),
         });
+        if let Some(notify) = &waiter.notify {
+            notify();
+        }
     }
 }
 
@@ -1116,7 +1159,13 @@ enum CancelKind {
 /// Idempotent: a second call (or a cancel racing a deadline) finds
 /// nothing left to remove and reports zeros.
 fn cancel_subscription(shared: &EngineShared, sub: u64, kind: CancelKind) -> CancelOutcome {
-    let mut orphaned: Vec<(usize, mpsc::Sender<UnitDelivery>, UnitKey)> = Vec::new();
+    type Orphan = (
+        usize,
+        mpsc::Sender<UnitDelivery>,
+        UnitKey,
+        Option<DeliveryNotify>,
+    );
+    let mut orphaned: Vec<Orphan> = Vec::new();
     let mut abandoned: Vec<UnitKey> = Vec::new();
     {
         let mut state = shared.state();
@@ -1126,7 +1175,7 @@ fn cancel_subscription(shared: &EngineShared, sub: u64, kind: CancelKind) -> Can
             let mut kept = Vec::with_capacity(before);
             for waiter in flight.waiters.drain(..) {
                 if waiter.sub == sub {
-                    orphaned.push((waiter.index, waiter.sender, slot.1.clone()));
+                    orphaned.push((waiter.index, waiter.sender, slot.1.clone(), waiter.notify));
                 } else {
                     kept.push(waiter);
                 }
@@ -1164,7 +1213,7 @@ fn cancel_subscription(shared: &EngineShared, sub: u64, kind: CancelKind) -> Can
         waiters_cancelled: orphaned.len(),
         jobs_abandoned: abandoned.len(),
     };
-    for (index, sender, key) in orphaned {
+    for (index, sender, key, notify) in orphaned {
         let error = match kind {
             CancelKind::Cancelled => CampaignError::Cancelled { key: key.clone() },
             CancelKind::Deadline => CampaignError::DeadlineExceeded { key: key.clone() },
@@ -1173,6 +1222,9 @@ fn cancel_subscription(shared: &EngineShared, sub: u64, kind: CancelKind) -> Can
             index,
             outcome: Err(error),
         });
+        if let Some(notify) = &notify {
+            notify();
+        }
         if kind == CancelKind::Deadline {
             shared.events.publish(&CampaignEvent::unit(
                 EventKind::DeadlineExpired,

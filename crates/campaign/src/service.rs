@@ -7,14 +7,15 @@
 //!
 //! ```text
 //!  client A ──run──►┐                          ┌─► worker threads
-//!  client B ──run──►├─ one thread per          │   (ExecutionEngine,
-//!  client C ──stats►┤  connection, all         │    warm PlatformPools)
+//!  client B ──run──►├─ one readiness REACTOR   │   (ExecutionEngine,
+//!  client C ──stats►┤  multiplexing every      │    warm PlatformPools)
+//!                   │  connection, all         │
 //!                   │  submitting units to ────┤
 //!                   │  the SHARED engine       └─► shared in-flight table:
 //!                   │                              overlapping specs from
 //!                   │  unit responses stream       different clients
-//!                   ◄─ back the moment each        coalesce onto ONE
-//!                      unit completes              computation
+//!                   ◄─ back on completion          coalesce onto ONE
+//!                      wakeups                     computation
 //! ```
 //!
 //! Protocol: newline-delimited JSON envelopes
@@ -46,14 +47,20 @@
 //! holds identically under both schemes (`tests/service_mode.rs` runs
 //! the whole matrix over each).
 //!
-//! Connections are handled **concurrently** — one thread per accepted
-//! connection, every request entering the shared engine — and `unit`
-//! responses for a `run` are written the moment the engine delivers
-//! them, not after the whole campaign: a client watching a long run
-//! sees results incrementally (each `unit` body carries its plan
-//! `index`; [`ServiceClient`] reassembles plan order). Because all
-//! connections share one engine and one cache, two clients submitting
-//! overlapping specs compute each shared unit exactly once: the second
+//! Connections are handled **concurrently** on a single I/O thread: a
+//! readiness reactor ([`oranges_harness::reactor`]) owns every accepted
+//! stream as a nonblocking table entry, so an idle connection or a
+//! parked `subscribe` stream costs a table row, not an OS thread — the
+//! daemon's thread census is O(1) in its connection count (accept +
+//! dispatch + the engine's workers and reaper). Compute stays
+//! thread-based in the engine; engine unit completions reach the
+//! reactor through coalescing wakeup notifies, and `unit` responses
+//! for a `run` are written the moment the engine delivers them, not
+//! after the whole campaign: a client watching a long run sees results
+//! incrementally (each `unit` body carries its plan `index`;
+//! [`ServiceClient`] reassembles plan order). Because all connections
+//! share one engine and one cache, two clients submitting overlapping
+//! specs compute each shared unit exactly once: the second
 //! subscription *coalesces* onto the in-flight computation, visible in
 //! the `stats` counters (`coalesced_joins`) and per-run in the `done`
 //! body (`coalesced_units`).
@@ -99,22 +106,26 @@
 
 use crate::cache::{CachePersistError, CacheStats, ResultCache};
 use crate::engine::{
-    AdmitError, CancelHandle, ExecutionEngine, Priority, SubmitOptions, UnitSource,
+    AdmitError, CancelHandle, ExecutionEngine, Priority, SubmitOptions, Subscription, UnitSource,
 };
-use crate::plan::UnitKey;
+use crate::plan::{Plan, UnitKey};
 use crate::report::{CampaignReport, UnitReport};
 use crate::scheduler::CampaignError;
 use crate::spec::{CampaignSpec, SpecParseError};
 use oranges::experiments::ExperimentOutput;
 use oranges_harness::envelope::{EnvelopeError, Request, Response};
 use oranges_harness::json::{self, JsonValue};
-use oranges_harness::obs::{CampaignEvent, EventKind, Exposition};
+use oranges_harness::obs::{CampaignEvent, EventKind, EventStream, Exposition};
+use oranges_harness::reactor::{
+    Event, Reactor, ReadInterest, Token, WakeHandle, WRITE_BACKLOG_THRESHOLD,
+};
 use oranges_harness::transport::{Endpoint, Listener, Stream, Transport};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::TryRecvError;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -292,6 +303,12 @@ pub struct ServiceSummary {
     /// Lifecycle events dropped because a `subscribe` client's buffer
     /// was full — publishing never blocks an engine worker.
     pub events_dropped: u64,
+    /// Reactor wakeups delivered for engine completion notifies
+    /// (coalesced: a burst of unit completions between two dispatch
+    /// turns costs one wakeup).
+    pub reactor_notify_wakeups: u64,
+    /// Reactor timer expirations delivered (subscribe heartbeats).
+    pub reactor_timer_wakeups: u64,
 }
 
 /// Point-in-time gauges reported alongside the cumulative
@@ -315,11 +332,15 @@ pub struct ServiceGauges {
     /// Engine worker threads still running (readiness wants this equal
     /// to the configured worker count).
     pub workers_alive: u64,
+    /// Connections registered in the reactor's table right now (the
+    /// per-connection cost of this daemon is this gauge times one table
+    /// entry — not a thread).
+    pub reactor_registered_connections: u64,
 }
 
-/// Mutable daemon state shared by the accept loop and every connection
-/// thread.
-struct ServiceShared<T: Transport> {
+/// Mutable daemon state shared by the accept thread and the reactor
+/// dispatch loop (and read by `stats`/`metrics` handlers).
+struct ServiceShared {
     engine: ExecutionEngine,
     cache: ResultCache,
     config: ServiceConfig,
@@ -331,27 +352,23 @@ struct ServiceShared<T: Transport> {
     /// what the shutdown handler dials to wake the accept loop.
     dial: Endpoint,
     shutdown: AtomicBool,
-    /// Read-half handles of every live connection, keyed by a per-
-    /// connection id. On shutdown the accept loop half-closes these so
-    /// a thread parked in a blocking read on an idle-but-open client
-    /// wakes with EOF — without this, draining would block forever on
-    /// the first client that connects and then goes quiet. (Only the
-    /// read half closes: a connection mid-`run` keeps its write half
-    /// and finishes streaming before it exits.)
-    live: Mutex<HashMap<u64, T::Stream>>,
     /// Active runs that registered a `run_token`, so a `cancel` request
     /// — from *any* connection — can reach their engine subscription.
     /// Entries are removed when their run finishes.
-    cancels: Mutex<HashMap<String, CancelHandle>>,
-    next_connection: AtomicU64,
+    cancels: Arc<Mutex<HashMap<String, CancelHandle>>>,
     connections: AtomicU64,
     active_connections: AtomicU64,
     requests: AtomicU64,
     runs: AtomicU64,
     units_streamed: AtomicU64,
+    /// Reactor counters, mirrored out of the (single-threaded) dispatch
+    /// loop so `serve`'s final summary and concurrent readers see them.
+    reactor_notify_wakeups: AtomicU64,
+    reactor_timer_wakeups: AtomicU64,
+    reactor_connections: AtomicU64,
 }
 
-impl<T: Transport> ServiceShared<T> {
+impl ServiceShared {
     fn summary(&self) -> ServiceSummary {
         let engine = self.engine.stats();
         ServiceSummary {
@@ -369,6 +386,8 @@ impl<T: Transport> ServiceShared<T> {
             deadline_expired: engine.deadline_expired,
             submissions_rejected: engine.submissions_rejected,
             events_dropped: engine.events_dropped,
+            reactor_notify_wakeups: self.reactor_notify_wakeups.load(Ordering::Relaxed),
+            reactor_timer_wakeups: self.reactor_timer_wakeups.load(Ordering::Relaxed),
         }
     }
 
@@ -382,6 +401,7 @@ impl<T: Transport> ServiceShared<T> {
             units_inflight: self.engine.inflight() as u64,
             event_subscribers: self.engine.event_subscribers() as u64,
             workers_alive: self.engine.alive_workers() as u64,
+            reactor_registered_connections: self.reactor_connections.load(Ordering::Relaxed),
         }
     }
 
@@ -490,11 +510,12 @@ impl HealthReport {
 }
 
 /// The long-running campaign daemon: one listener (any [`Transport`]),
-/// one warm cache, one shared execution engine, one thread per live
-/// connection.
+/// one warm cache, one shared execution engine, and one readiness
+/// reactor multiplexing every live connection — the daemon's thread
+/// count does not grow with its connection count.
 pub struct CampaignService<T: Transport> {
     listener: T::Listener,
-    shared: Arc<ServiceShared<T>>,
+    shared: Arc<ServiceShared>,
 }
 
 impl<T: Transport> CampaignService<T> {
@@ -534,14 +555,15 @@ impl<T: Transport> CampaignService<T> {
                 local,
                 dial,
                 shutdown: AtomicBool::new(false),
-                live: Mutex::new(HashMap::new()),
-                cancels: Mutex::new(HashMap::new()),
-                next_connection: AtomicU64::new(0),
+                cancels: Arc::new(Mutex::new(HashMap::new())),
                 connections: AtomicU64::new(0),
                 active_connections: AtomicU64::new(0),
                 requests: AtomicU64::new(0),
                 runs: AtomicU64::new(0),
                 units_streamed: AtomicU64::new(0),
+                reactor_notify_wakeups: AtomicU64::new(0),
+                reactor_timer_wakeups: AtomicU64::new(0),
+                reactor_connections: AtomicU64::new(0),
             }),
         })
     }
@@ -562,105 +584,36 @@ impl<T: Transport> CampaignService<T> {
         &self.shared.local
     }
 
-    /// Accept connections — each served concurrently on its own thread,
-    /// all feeding the shared engine — until a `shutdown` request
-    /// arrives, then drain the live connections, persist the cache
-    /// (when configured), release the listener (removing a `unix:`
-    /// socket file), and return the lifetime counters. The cache is
-    /// persisted even if the accept loop has to give up, so computed
-    /// results are never lost to a socket-level failure.
+    /// Accept connections and serve them all from one readiness
+    /// reactor — every live connection is a table entry, not a thread —
+    /// until a `shutdown` request arrives, then drain the live
+    /// connections (idle ones get a clean EOF immediately; a connection
+    /// mid-`run` finishes streaming first), persist the cache (when
+    /// configured), release the listener (removing a `unix:` socket
+    /// file), and return the lifetime counters. The cache is persisted
+    /// even if the accept thread has to give up, so computed results
+    /// are never lost to a socket-level failure.
     pub fn serve(self) -> Result<ServiceSummary, ServiceError> {
-        // Transient accept failures (EMFILE under fd pressure, say) are
-        // retried; only a persistent streak aborts the daemon.
-        const MAX_CONSECUTIVE_ACCEPT_FAILURES: u32 = 64;
-        let mut accept_failures = 0u32;
-        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        let mut give_up: Option<ServiceError> = None;
-        // The accept call blocks; the `shutdown` handler wakes it by
-        // dialing the endpoint itself after setting the flag, so an idle
-        // daemon sleeps instead of polling.
-        while !self.shared.shutdown.load(Ordering::Relaxed) {
-            match self.listener.accept() {
-                Ok(stream) => {
-                    accept_failures = 0;
-                    if self.shared.shutdown.load(Ordering::Relaxed) {
-                        break; // the handler's wake-up dial, not a client
-                    }
-                    // Register the read half for the shutdown drain
-                    // *before* serving: an unregistered idle connection
-                    // could block the drain forever, so if the clone
-                    // fails (fd exhaustion) the connection is refused
-                    // rather than served untracked.
-                    let connection_id = self.shared.next_connection.fetch_add(1, Ordering::Relaxed);
-                    match stream.try_clone() {
-                        Ok(clone) => {
-                            self.shared
-                                .live
-                                .lock()
-                                .expect("live connections")
-                                .insert(connection_id, clone);
-                        }
-                        Err(error) => {
-                            eprintln!(
-                                "campaign service: refusing connection \
-                                 (cannot register for drain): {error}"
-                            );
-                            continue;
-                        }
-                    }
-                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
-                    self.shared
-                        .active_connections
-                        .fetch_add(1, Ordering::Relaxed);
-                    self.shared.engine.events().publish(
-                        &CampaignEvent::new(EventKind::ConnectionOpened)
-                            .with_connection(connection_id),
-                    );
-                    let shared = Arc::clone(&self.shared);
-                    handles.push(std::thread::spawn(move || {
-                        if let Err(error) = handle_connection(&shared, stream) {
-                            // One connection's I/O failure (a client
-                            // vanishing mid-response, say) must never
-                            // take the daemon — and its warm cache —
-                            // down with it.
-                            eprintln!("campaign service: connection error: {error}");
-                        }
-                        shared
-                            .live
-                            .lock()
-                            .expect("live connections")
-                            .remove(&connection_id);
-                        shared.active_connections.fetch_sub(1, Ordering::Relaxed);
-                        shared.engine.events().publish(
-                            &CampaignEvent::new(EventKind::ConnectionClosed)
-                                .with_connection(connection_id),
-                        );
-                    }));
-                }
-                Err(error) => {
-                    accept_failures += 1;
-                    eprintln!("campaign service: accept error: {error}");
-                    if accept_failures >= MAX_CONSECUTIVE_ACCEPT_FAILURES {
-                        give_up = Some(io_err("accepting connection (giving up)", error));
-                        break;
-                    }
-                    std::thread::sleep(Duration::from_millis(20));
-                }
+        let mut reactor: Reactor<T::Stream> = Reactor::new();
+        let wake = reactor.wake_handle();
+        let listener = &self.listener;
+        let shared = &self.shared;
+        // Two service threads, regardless of connection count: this
+        // caller becomes the dispatch loop, and one scoped thread runs
+        // the blocking accept. The accept thread hands streams to the
+        // reactor over its wakeup channel; the `shutdown` handler wakes
+        // the blocked accept by dialing the endpoint itself.
+        let give_up = std::thread::scope(|scope| {
+            let acceptor = scope.spawn(move || accept_loop::<T>(listener, shared, wake));
+            Dispatcher::<T> {
+                shared,
+                reactor: &mut reactor,
+                conns: HashMap::new(),
+                draining: false,
             }
-            // Reap finished connection threads as we go.
-            handles.retain(|handle| !handle.is_finished());
-        }
-        // Drain. Half-close every live connection's read side first: a
-        // thread parked in a blocking read on an idle client wakes with
-        // EOF and exits, while a thread mid-`run` keeps its write half
-        // and finishes streaming — so the join below is bounded by
-        // actual work, never by a client that connected and went quiet.
-        for (_, stream) in self.shared.live.lock().expect("live connections").drain() {
-            stream.shutdown_read().ok();
-        }
-        for handle in handles {
-            let _ = handle.join();
-        }
+            .run();
+            acceptor.join().unwrap_or(None)
+        });
         self.persist_and_cleanup()?;
         match give_up {
             Some(error) => Err(error),
@@ -683,89 +636,814 @@ impl<T: Transport> CampaignService<T> {
     }
 }
 
-/// Serve one connection to completion on its own thread.
-fn handle_connection<T: Transport>(
-    shared: &Arc<ServiceShared<T>>,
-    stream: T::Stream,
-) -> Result<(), ServiceError> {
-    let mut writer = stream
-        .try_clone()
-        .map_err(|e| io_err("cloning connection", e))?;
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+/// The accept thread's whole job: hand accepted streams to the reactor
+/// over its wakeup channel. Transient accept failures (EMFILE under fd
+/// pressure, say) are retried; only a persistent streak aborts the
+/// daemon — by flagging the drain and waking the dispatch loop, so the
+/// cache is still persisted.
+fn accept_loop<T: Transport>(
+    listener: &T::Listener,
+    shared: &ServiceShared,
+    wake: WakeHandle<T::Stream>,
+) -> Option<ServiceError> {
+    const MAX_CONSECUTIVE_ACCEPT_FAILURES: u32 = 64;
+    let mut accept_failures = 0u32;
     loop {
-        line.clear();
-        let read = reader
-            .read_line(&mut line)
-            .map_err(|e| io_err("reading request", e))?;
-        if read == 0 {
-            return Ok(()); // peer disconnected
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return None;
         }
+        match listener.accept() {
+            Ok(stream) => {
+                accept_failures = 0;
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return None; // the drain's wake-up dial, not a client
+                }
+                wake.accepted(stream);
+            }
+            Err(error) => {
+                accept_failures += 1;
+                eprintln!("campaign service: accept error: {error}");
+                if accept_failures >= MAX_CONSECUTIVE_ACCEPT_FAILURES {
+                    shared.shutdown.store(true, Ordering::Relaxed);
+                    wake.shutdown();
+                    return Some(io_err("accepting connection (giving up)", error));
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Protocol state of one reactor-registered connection.
+struct Conn {
+    state: ConnState,
+    /// Requests framed while a `run` was streaming (the protocol is
+    /// sequential per connection): replayed in order once the run's
+    /// terminal response is enqueued — the behavior a blocking
+    /// `BufReader` gave pipelined clients.
+    deferred: VecDeque<String>,
+}
+
+enum ConnState {
+    /// Reading framed requests.
+    Command,
+    /// A `run` is streaming; reads are paused, deliveries arrive via
+    /// notify wakeups.
+    Running(RunState),
+    /// A `subscribe` stream; reads watch only for hangup, events arrive
+    /// via notify wakeups, heartbeats via the reactor timer.
+    Subscribing(SubState),
+}
+
+/// One in-flight `run`, pumped incrementally from notify wakeups — the
+/// reactor-shaped twin of `scheduler::assemble_streamed`, preserving
+/// its semantics exactly: units stream as delivered, the
+/// earliest-plan-index error wins, a shut-down engine or a
+/// never-reported unit is a worker error.
+struct RunState {
+    id: u64,
+    plan: Plan,
+    subscription: Subscription,
+    slots: Vec<Option<UnitReport>>,
+    first_error: Option<(usize, CampaignError)>,
+    received: usize,
+    started: Instant,
+    /// Deregisters the run's `run_token` when the run state drops — on
+    /// every exit path, including a connection that dies mid-stream.
+    _guard: TokenGuard,
+}
+
+struct SubState {
+    id: u64,
+    events: EventStream,
+    /// The write queue crossed the backpressure threshold: stop
+    /// draining events (let the broadcaster's bounded buffer fill and
+    /// count drops) until [`Event::Writable`] reports recovery.
+    paused: bool,
+}
+
+/// What one completed delivery asks the dispatch loop to do — computed
+/// under the connection-table borrow, acted on after it ends.
+enum PumpStep {
+    /// Write a `unit` response; `bool` = that was the final delivery.
+    Unit(String, bool),
+    /// An error delivery was recorded; `bool` = final delivery.
+    Recorded(bool),
+    /// No delivery queued.
+    Idle,
+}
+
+/// The reactor dispatch loop: the daemon's single I/O thread. Owns the
+/// per-connection protocol state and interprets reactor events; the
+/// engine's worker threads only ever touch it through coalescing
+/// notify wakeups.
+struct Dispatcher<'a, T: Transport> {
+    shared: &'a ServiceShared,
+    reactor: &'a mut Reactor<T::Stream>,
+    conns: HashMap<u64, Conn>,
+    draining: bool,
+}
+
+impl<T: Transport> Dispatcher<'_, T> {
+    fn run(mut self) {
+        loop {
+            if self.draining && self.reactor.is_empty() {
+                // The registration table is empty, but the final close
+                // notifications may still be queued: drain them so every
+                // connection's teardown (gauge decrement, lifecycle
+                // event) lands before serve returns its summary.
+                while let Some(event) = self.reactor.poll_timeout(Duration::ZERO) {
+                    self.dispatch(event);
+                }
+                break;
+            }
+            let event = self.reactor.poll();
+            self.dispatch(event);
+            self.sync_reactor_counters();
+        }
+        self.sync_reactor_counters();
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Accepted(token) => self.on_accepted(token),
+            Event::Line(token, line) => self.on_line(token, line),
+            Event::Notify(token) => self.on_notify(token),
+            Event::Timer(token) => self.on_timer(token),
+            Event::Writable(token) => self.on_writable(token),
+            Event::Closed(token, reason) => self.on_closed(token, reason),
+            Event::Rejected(reason) => {
+                eprintln!("campaign service: refusing connection: {reason}")
+            }
+            Event::Shutdown => self.begin_drain(false),
+        }
+    }
+
+    /// Mirror the reactor's counters into the shared atomics that
+    /// `stats`, `metrics`, and the final summary read.
+    fn sync_reactor_counters(&mut self) {
+        self.shared
+            .reactor_notify_wakeups
+            .store(self.reactor.notify_wakeups(), Ordering::Relaxed);
+        self.shared
+            .reactor_timer_wakeups
+            .store(self.reactor.timer_wakeups(), Ordering::Relaxed);
+        self.shared
+            .reactor_connections
+            .store(self.reactor.connections() as u64, Ordering::Relaxed);
+    }
+
+    fn on_accepted(&mut self, token: Token) {
+        self.shared.connections.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .active_connections
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .engine
+            .events()
+            .publish(&CampaignEvent::new(EventKind::ConnectionOpened).with_connection(token.id()));
+        self.conns.insert(
+            token.id(),
+            Conn {
+                state: ConnState::Command,
+                deferred: VecDeque::new(),
+            },
+        );
+        if self.draining {
+            // Raced past the shutdown flag in the accept thread:
+            // counted, then drained immediately with a clean EOF.
+            self.reactor.close_after_flush(token);
+        }
+    }
+
+    fn on_closed(&mut self, token: Token, reason: Option<String>) {
+        if let Some(reason) = reason {
+            // One connection's I/O failure (a client vanishing
+            // mid-response, say) must never take the daemon — and its
+            // warm cache — down with it.
+            eprintln!("campaign service: connection error: {reason}");
+        }
+        // Dropping the state runs the teardown the threaded service got
+        // from stack unwinding: a mid-run subscription cancels whatever
+        // of the run nobody else wants, the token guard deregisters,
+        // a subscriber's event stream unregisters.
+        if self.conns.remove(&token.id()).is_some() {
+            self.shared
+                .active_connections
+                .fetch_sub(1, Ordering::Relaxed);
+            self.shared.engine.events().publish(
+                &CampaignEvent::new(EventKind::ConnectionClosed).with_connection(token.id()),
+            );
+        }
+    }
+
+    fn on_line(&mut self, token: Token, line: String) {
+        let line = {
+            let Some(conn) = self.conns.get_mut(&token.id()) else {
+                return;
+            };
+            match &conn.state {
+                // Pipelined while a run streams: replay after the run.
+                ConnState::Running(_) => {
+                    conn.deferred.push_back(line);
+                    return;
+                }
+                // The connection is dedicated to the event stream; a
+                // line that raced the subscribe ack is discarded.
+                ConnState::Subscribing(_) => return,
+                ConnState::Command => line,
+            }
+        };
+        self.handle_command_line(token, line);
+    }
+
+    fn on_notify(&mut self, token: Token) {
+        let running = {
+            let Some(conn) = self.conns.get(&token.id()) else {
+                return;
+            };
+            matches!(conn.state, ConnState::Running(_))
+        };
+        if running {
+            self.pump_run(token);
+        } else {
+            self.pump_events(token);
+        }
+    }
+
+    fn on_timer(&mut self, token: Token) {
+        // The only armed timer is the subscribe heartbeat — both a
+        // liveness signal for the watcher and how the daemon notices a
+        // vanished client promptly (the heartbeat write fails).
+        let line = {
+            let Some(conn) = self.conns.get(&token.id()) else {
+                return;
+            };
+            let ConnState::Subscribing(sub) = &conn.state else {
+                return;
+            };
+            Response::ok(sub.id, "event")
+                .with_body(CampaignEvent::new(EventKind::Heartbeat).to_json())
+                .to_line()
+        };
+        self.reactor.enqueue_write(token, line.as_bytes());
+        if self.reactor.is_registered(token) {
+            self.reactor.set_timer(token, SUBSCRIBE_HEARTBEAT);
+        }
+    }
+
+    fn on_writable(&mut self, token: Token) {
+        let resumed = {
+            let Some(conn) = self.conns.get_mut(&token.id()) else {
+                return;
+            };
+            match &mut conn.state {
+                ConnState::Subscribing(sub) if sub.paused => {
+                    sub.paused = false;
+                    true
+                }
+                _ => false,
+            }
+        };
+        if resumed {
+            self.pump_events(token);
+        }
+    }
+
+    fn respond(&mut self, token: Token, response: &Response) {
+        self.reactor
+            .enqueue_write(token, response.to_line().as_bytes());
+    }
+
+    fn handle_command_line(&mut self, token: Token, line: String) {
         if line.trim().is_empty() {
-            continue;
+            // Nothing to answer, so no flush will re-check an EOF-seen
+            // connection for close — sweep explicitly.
+            self.reactor.sweep_eof(token);
+            return;
         }
         let request = match Request::from_line(&line) {
             Ok(request) => request,
             Err(error) => {
                 // Id 0 is reserved for lines we could not correlate.
-                write_response(&mut writer, &Response::failure(0, error.to_string()))?;
-                continue;
+                self.respond(token, &Response::failure(0, error.to_string()));
+                return;
             }
         };
-        shared.requests.fetch_add(1, Ordering::Relaxed);
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
         match request.method.as_str() {
-            "ping" => write_response(&mut writer, &Response::ok(request.id, "pong"))?,
+            "ping" => self.respond(token, &Response::ok(request.id, "pong")),
             "stats" => {
+                self.sync_reactor_counters();
                 let body = stats_body(
-                    &shared.cache.stats(),
-                    shared.cache.model_digest(),
-                    &shared.summary(),
-                    &shared.gauges(),
+                    &self.shared.cache.stats(),
+                    self.shared.cache.model_digest(),
+                    &self.shared.summary(),
+                    &self.shared.gauges(),
                 );
-                write_response(
-                    &mut writer,
-                    &Response::ok(request.id, "stats").with_body(body),
-                )?;
+                self.respond(token, &Response::ok(request.id, "stats").with_body(body));
             }
             "metrics" => {
-                let text = metrics_text(shared);
-                write_response(
-                    &mut writer,
+                self.sync_reactor_counters();
+                let text = metrics_text(self.shared);
+                self.respond(
+                    token,
                     &Response::ok(request.id, "metrics").with_body(JsonValue::String(text)),
-                )?;
+                );
             }
             "health" => {
-                let body = shared.health().to_body();
-                write_response(
-                    &mut writer,
-                    &Response::ok(request.id, "health").with_body(body),
-                )?;
+                let body = self.shared.health().to_body();
+                self.respond(token, &Response::ok(request.id, "health").with_body(body));
             }
-            "subscribe" => return handle_subscribe(shared, &request, &mut writer),
-            "run" => handle_run(shared, &request, &mut writer)?,
-            "cancel" => handle_cancel(shared, &request, &mut writer)?,
+            "subscribe" => self.handle_subscribe(token, &request),
+            "run" => self.handle_run(token, &request),
+            "cancel" => self.handle_cancel(token, &request),
             "shutdown" => {
-                write_response(&mut writer, &Response::ok(request.id, "bye"))?;
-                shared.shutdown.store(true, Ordering::Relaxed);
-                // The accept loop is parked in a blocking accept; dial
-                // the self-dialable endpoint so it wakes, sees the
-                // flag, and drains. If the dial fails (a host that
-                // cannot reach even its own loopback), say so loudly:
-                // the daemon will not drain — and will not persist its
-                // cache — until the next real connection arrives.
-                if let Err(error) = T::connect(&shared.dial) {
-                    eprintln!(
-                        "campaign service: shutdown wake-up dial to {} failed ({error}); \
-                         the daemon drains on the next incoming connection",
-                        shared.dial,
-                    );
-                }
-                return Ok(());
+                self.respond(token, &Response::ok(request.id, "bye"));
+                self.begin_drain(true);
             }
-            other => write_response(
-                &mut writer,
+            other => self.respond(
+                token,
                 &Response::failure(request.id, format!("unknown method '{other}'")),
-            )?,
+            ),
+        }
+    }
+
+    /// Serve one `run` request: parse the spec (plus optional
+    /// `priority`, `deadline_ms` and `run_token` fields), submit its
+    /// plan to the shared engine with this connection's notify hook,
+    /// and switch the connection to the `Running` state — `unit`
+    /// responses are then written from notify wakeups the moment each
+    /// unit completes, and a concurrent client's overlapping units
+    /// coalesce onto the same computations. The terminal response is
+    /// `done` on success, a typed `busy` when admission rejected the
+    /// run, a typed `cancelled` / `deadline_exceeded` when scheduling
+    /// tore it down, or an in-band `error` after a unit failure. Spec
+    /// failures answer in-band without touching the engine.
+    fn handle_run(&mut self, token: Token, request: &Request) {
+        let (spec, run_options) = match &request.body {
+            Some(body) => {
+                let spec = match CampaignSpec::from_json_value(body) {
+                    Ok(spec) => spec,
+                    Err(error) => {
+                        return self
+                            .respond(token, &Response::failure(request.id, error.to_string()));
+                    }
+                };
+                match parse_run_options(body) {
+                    Ok(options) => (spec, options),
+                    Err(error) => {
+                        return self.respond(token, &Response::failure(request.id, error));
+                    }
+                }
+            }
+            None => {
+                return self.respond(
+                    token,
+                    &Response::failure(request.id, "run request has no spec body"),
+                );
+            }
+        };
+        let plan = match crate::scheduler::expand_plan(&spec) {
+            Ok(plan) => plan,
+            Err(error) => {
+                return self.respond(token, &Response::failure(request.id, error.to_string()));
+            }
+        };
+        let Some(notify) = self.reactor.notify_handle(token) else {
+            return; // the connection died under us; its Closed event is queued
+        };
+
+        let started = Instant::now();
+        let subscription = match self.shared.engine.submit_with_notify(
+            &plan.units,
+            &self.shared.cache,
+            run_options.options,
+            Some(notify.callback()),
+        ) {
+            Ok(subscription) => subscription,
+            Err(AdmitError::Busy {
+                queued,
+                cap,
+                needed,
+            }) => {
+                // Typed rejection: the engine is exactly as it was, the
+                // client knows to back off and retry.
+                return self.respond(
+                    token,
+                    &Response::ok(request.id, "busy").with_body(JsonValue::Object(vec![
+                        ("queued".to_string(), JsonValue::integer(queued as u64)),
+                        ("cap".to_string(), JsonValue::integer(cap as u64)),
+                        ("needed".to_string(), JsonValue::integer(needed as u64)),
+                    ])),
+                );
+            }
+        };
+        // Register the run's cancel handle under its token (if any)
+        // only *after* admission, and hold it in a guard so every exit
+        // path — done, error, dead socket — deregisters it. Registering
+        // a token that is already active is refused (the first run owns
+        // it).
+        let mut guard = TokenGuard {
+            cancels: Arc::clone(&self.shared.cancels),
+            token: None,
+        };
+        if let Some(run_token) = run_options.token {
+            let mut cancels = self
+                .shared
+                .cancels
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if cancels.contains_key(&run_token) {
+                drop(cancels);
+                return self.respond(
+                    token,
+                    &Response::failure(
+                        request.id,
+                        format!("run_token '{run_token}' is already active"),
+                    ),
+                );
+            }
+            cancels.insert(run_token.clone(), subscription.cancel_handle());
+            drop(cancels);
+            guard.token = Some(run_token);
+        }
+        let slots = (0..plan.len()).map(|_| None).collect();
+        let run = RunState {
+            id: request.id,
+            plan,
+            subscription,
+            slots,
+            first_error: None,
+            received: 0,
+            started,
+            _guard: guard,
+        };
+        let Some(conn) = self.conns.get_mut(&token.id()) else {
+            return; // dropping `run` cancels the fresh subscription
+        };
+        conn.state = ConnState::Running(run);
+        // The protocol is sequential per connection: the next request
+        // must not be framed until this response stream finishes.
+        self.reactor.set_read_interest(token, ReadInterest::Paused);
+        // Submit-time cache hits were delivered before the subscription
+        // returned; their notify fired into a not-yet-polled channel.
+        self.pump_run(token);
+    }
+
+    /// Drain every delivery the engine has queued for the connection's
+    /// run, writing `unit` responses as they land; on the final
+    /// delivery, finish the run with its terminal response.
+    fn pump_run(&mut self, token: Token) {
+        loop {
+            let step = {
+                let Some(conn) = self.conns.get_mut(&token.id()) else {
+                    return;
+                };
+                let ConnState::Running(run) = &mut conn.state else {
+                    return;
+                };
+                let expected = run.subscription.expected();
+                match run.subscription.try_recv() {
+                    Ok(delivery) => {
+                        run.received += 1;
+                        let done = run.received == expected;
+                        match delivery.outcome {
+                            Ok(outcome) => {
+                                let unit = &run.plan.units[delivery.index];
+                                let report = UnitReport {
+                                    index: unit.index,
+                                    key: unit.key.clone(),
+                                    source: outcome.source,
+                                    wall: outcome.wall,
+                                    output: outcome.output,
+                                };
+                                let line = Response::ok(run.id, "unit")
+                                    .with_body(unit_body(&report))
+                                    .to_line();
+                                run.slots[delivery.index] = Some(report);
+                                PumpStep::Unit(line, done)
+                            }
+                            Err(error) => {
+                                // The earliest-plan-index error becomes
+                                // the terminal response, like the
+                                // blocking assembly always did.
+                                if run
+                                    .first_error
+                                    .as_ref()
+                                    .map(|(index, _)| delivery.index < *index)
+                                    .unwrap_or(true)
+                                {
+                                    run.first_error = Some((delivery.index, error));
+                                }
+                                PumpStep::Recorded(done)
+                            }
+                        }
+                    }
+                    Err(TryRecvError::Empty) => PumpStep::Idle,
+                    Err(TryRecvError::Disconnected) => {
+                        if run.received < expected {
+                            // Deliveries are missing and no sender is
+                            // left: the engine shut down underneath us.
+                            run.first_error = Some((
+                                0,
+                                CampaignError::Worker("engine shut down mid-campaign".to_string()),
+                            ));
+                            PumpStep::Recorded(true)
+                        } else {
+                            PumpStep::Idle
+                        }
+                    }
+                }
+            };
+            match step {
+                PumpStep::Unit(line, done) => {
+                    self.reactor.enqueue_write(token, line.as_bytes());
+                    self.shared.units_streamed.fetch_add(1, Ordering::Relaxed);
+                    if !self.reactor.is_registered(token) {
+                        // The write failed (client vanished): its Closed
+                        // event is queued, and dropping the run state
+                        // there cancels whatever nobody else wants.
+                        return;
+                    }
+                    if done {
+                        return self.finish_run(token);
+                    }
+                }
+                PumpStep::Recorded(done) => {
+                    if done {
+                        return self.finish_run(token);
+                    }
+                }
+                PumpStep::Idle => return,
+            }
+        }
+    }
+
+    /// Every delivery is in: write the terminal response, release the
+    /// run state (subscription, token guard), and hand the connection
+    /// back to the command state — or into the drain, if one began
+    /// while the run was streaming.
+    fn finish_run(&mut self, token: Token) {
+        let Some(conn) = self.conns.get_mut(&token.id()) else {
+            return;
+        };
+        let state = std::mem::replace(&mut conn.state, ConnState::Command);
+        let ConnState::Running(run) = state else {
+            conn.state = state;
+            return;
+        };
+        let RunState {
+            id,
+            plan,
+            subscription,
+            slots,
+            first_error,
+            started,
+            _guard,
+            received: _,
+        } = run;
+        let response = match first_error {
+            Some((_, CampaignError::Cancelled { key })) => {
+                Response::ok(id, "cancelled").with_body(JsonValue::Object(vec![(
+                    "unit".to_string(),
+                    JsonValue::String(key.to_string()),
+                )]))
+            }
+            Some((_, CampaignError::DeadlineExceeded { key })) => {
+                Response::ok(id, "deadline_exceeded").with_body(JsonValue::Object(vec![(
+                    "unit".to_string(),
+                    JsonValue::String(key.to_string()),
+                )]))
+            }
+            Some((_, error)) => Response::failure(id, error.to_string()),
+            None => {
+                let mut units = Vec::with_capacity(plan.len());
+                let mut missing = None;
+                for (unit, slot) in plan.units.iter().zip(slots) {
+                    match slot {
+                        Some(report) => units.push(report),
+                        None => {
+                            missing = Some(format!("unit {} never reported", unit.key));
+                            break;
+                        }
+                    }
+                }
+                match missing {
+                    Some(message) => Response::failure(id, message),
+                    None => {
+                        let report = CampaignReport::new(
+                            units,
+                            self.shared.engine.workers().clamp(1, plan.len().max(1)),
+                            started.elapsed(),
+                            self.shared.cache.stats(),
+                        );
+                        self.shared.runs.fetch_add(1, Ordering::Relaxed);
+                        Response::ok(id, "done")
+                            .with_body(done_body(&report, self.shared.cache.model_digest()))
+                    }
+                }
+            }
+        };
+        // The subscription resolved every unit; dropping it (and the
+        // token guard) now is the threaded handler's end-of-run scope.
+        drop(subscription);
+        self.respond(token, &response);
+        self.after_command(token);
+    }
+
+    /// The connection is back in the command state: replay requests
+    /// that were pipelined behind the finished run, then restore read
+    /// interest — or finish the drain's close for this connection.
+    fn after_command(&mut self, token: Token) {
+        loop {
+            let line = {
+                let Some(conn) = self.conns.get_mut(&token.id()) else {
+                    return;
+                };
+                if !matches!(conn.state, ConnState::Command) {
+                    return; // a replayed request became a run/subscribe
+                }
+                conn.deferred.pop_front()
+            };
+            match line {
+                Some(line) => self.handle_command_line(token, line),
+                None => break,
+            }
+        }
+        if self.draining {
+            self.reactor.close_after_flush(token);
+        } else {
+            // Re-framing buffered bytes happens inside the reactor, so
+            // a request that arrived during the run is not lost; if the
+            // peer already hung up, this surfaces the clean close.
+            self.reactor.set_read_interest(token, ReadInterest::Framed);
+        }
+    }
+
+    /// Serve one `cancel` request: look the token up in the active-run
+    /// registry and cancel that run's engine subscription. Cancelling a
+    /// token that is not active — never registered, or its run already
+    /// finished — is *not* an error (the race against normal completion
+    /// is inherent); the ack reports `active: false` and zero counts.
+    fn handle_cancel(&mut self, token: Token, request: &Request) {
+        let run_token = request
+            .body
+            .as_ref()
+            .and_then(|body| body.get("token"))
+            .and_then(JsonValue::as_str)
+            .map(str::to_string);
+        let Some(run_token) = run_token else {
+            return self.respond(
+                token,
+                &Response::failure(request.id, "cancel request has no 'token'"),
+            );
+        };
+        let handle = self
+            .shared
+            .cancels
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&run_token)
+            .cloned();
+        let (active, outcome) = match handle {
+            Some(handle) => (true, handle.cancel()),
+            None => (false, Default::default()),
+        };
+        self.respond(
+            token,
+            &Response::ok(request.id, "cancelled").with_body(JsonValue::Object(vec![
+                ("token".to_string(), JsonValue::String(run_token)),
+                ("active".to_string(), JsonValue::Bool(active)),
+                (
+                    "waiters_cancelled".to_string(),
+                    JsonValue::integer(outcome.waiters_cancelled as u64),
+                ),
+                (
+                    "jobs_abandoned".to_string(),
+                    JsonValue::integer(outcome.jobs_abandoned as u64),
+                ),
+            ])),
+        );
+    }
+
+    /// Serve one `subscribe` request: acknowledge, then dedicate the
+    /// connection to the event stream — reads switch to hangup-only
+    /// watching, events are written from notify wakeups, and the idle
+    /// heartbeat rides the reactor timer. A parked subscriber costs a
+    /// table entry, not a thread, which is what lets one daemon hold
+    /// thousands of them.
+    fn handle_subscribe(&mut self, token: Token, request: &Request) {
+        let Some(notify) = self.reactor.notify_handle(token) else {
+            return;
+        };
+        let events = self
+            .shared
+            .engine
+            .events()
+            .subscribe_with_notify(SUBSCRIBE_BUFFER, notify.callback());
+        self.respond(token, &Response::ok(request.id, "subscribed"));
+        if !self.reactor.is_registered(token) {
+            return; // the ack write failed; the stream unregisters here
+        }
+        let Some(conn) = self.conns.get_mut(&token.id()) else {
+            return;
+        };
+        conn.state = ConnState::Subscribing(SubState {
+            id: request.id,
+            events,
+            paused: false,
+        });
+        self.reactor.set_read_interest(token, ReadInterest::EofOnly);
+        self.reactor.set_timer(token, SUBSCRIBE_HEARTBEAT);
+    }
+
+    /// Write every queued lifecycle event to the subscriber — stopping
+    /// at the backpressure threshold, so a slow watcher fills the
+    /// broadcaster's bounded buffer (whose counted drops are the
+    /// documented overflow policy) instead of growing an unbounded
+    /// write queue here.
+    fn pump_events(&mut self, token: Token) {
+        loop {
+            let line = {
+                let Some(conn) = self.conns.get_mut(&token.id()) else {
+                    return;
+                };
+                let ConnState::Subscribing(sub) = &mut conn.state else {
+                    return;
+                };
+                if sub.paused {
+                    return;
+                }
+                if self.reactor.write_backlog(token) > WRITE_BACKLOG_THRESHOLD {
+                    sub.paused = true;
+                    return;
+                }
+                match sub.events.try_recv() {
+                    Ok(event) => Some(
+                        Response::ok(sub.id, "event")
+                            .with_body(event.to_json())
+                            .to_line(),
+                    ),
+                    Err(TryRecvError::Empty) => return,
+                    // The broadcaster is gone (engine teardown): end the
+                    // stream cleanly.
+                    Err(TryRecvError::Disconnected) => None,
+                }
+            };
+            match line {
+                Some(line) => {
+                    self.reactor.enqueue_write(token, line.as_bytes());
+                    if !self.reactor.is_registered(token) {
+                        return; // the write failed; Closed is queued
+                    }
+                    self.reactor.set_timer(token, SUBSCRIBE_HEARTBEAT);
+                }
+                None => {
+                    self.reactor.close_after_flush(token);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Begin the shutdown drain (idempotent): flag it, wake the accept
+    /// thread (when the trigger was a `shutdown` request — an accept
+    /// give-up arrives with the thread already gone), half-close every
+    /// read side, and close every connection that is not mid-`run` once
+    /// its queued output flushes — the clean EOF idle clients and
+    /// subscribers are promised. Mid-`run` connections finish streaming
+    /// first and join the drain from `after_command`.
+    fn begin_drain(&mut self, dial: bool) {
+        if self.draining {
+            return;
+        }
+        self.draining = true;
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        if dial {
+            // The accept thread is parked in a blocking accept; dial
+            // the self-dialable endpoint so it wakes, sees the flag,
+            // and exits. If the dial fails (a host that cannot reach
+            // even its own loopback), say so loudly: the accept thread
+            // — and so the daemon — will not exit until the next real
+            // connection arrives.
+            if let Err(error) = T::connect(&self.shared.dial) {
+                eprintln!(
+                    "campaign service: shutdown wake-up dial to {} failed ({error}); \
+                     the daemon drains on the next incoming connection",
+                    self.shared.dial,
+                );
+            }
+        }
+        self.reactor.shutdown_reads();
+        for token in self.reactor.tokens() {
+            let mid_run = self
+                .conns
+                .get(&token.id())
+                .is_some_and(|conn| matches!(conn.state, ConnState::Running(_)));
+            if !mid_run {
+                self.reactor.close_after_flush(token);
+            }
         }
     }
 }
@@ -806,12 +1484,12 @@ fn parse_run_options(body: &JsonValue) -> Result<RunRequestOptions, String> {
 
 /// Removes a `run_token` registration when the run ends, on every exit
 /// path (including a dead client socket mid-stream).
-struct TokenGuard<'a> {
-    cancels: &'a Mutex<HashMap<String, CancelHandle>>,
+struct TokenGuard {
+    cancels: Arc<Mutex<HashMap<String, CancelHandle>>>,
     token: Option<String>,
 }
 
-impl Drop for TokenGuard<'_> {
+impl Drop for TokenGuard {
     fn drop(&mut self) {
         if let Some(token) = self.token.take() {
             self.cancels
@@ -820,199 +1498,6 @@ impl Drop for TokenGuard<'_> {
                 .remove(&token);
         }
     }
-}
-
-/// Serve one `run` request: parse the spec (plus optional `priority`,
-/// `deadline_ms` and `run_token` fields), submit its plan to the shared
-/// engine, and stream one `unit` response *the moment each unit
-/// completes* — a concurrent client's overlapping units coalesce onto
-/// the same computations. The terminal response is `done` on success, a
-/// typed `busy` when admission rejected the run, a typed `cancelled` /
-/// `deadline_exceeded` when scheduling tore it down, or an in-band
-/// `error` after a unit failure. Spec failures answer in-band without
-/// touching the engine.
-fn handle_run<T: Transport>(
-    shared: &Arc<ServiceShared<T>>,
-    request: &Request,
-    writer: &mut T::Stream,
-) -> Result<(), ServiceError> {
-    let (spec, run_options) = match &request.body {
-        Some(body) => {
-            let spec = match CampaignSpec::from_json_value(body) {
-                Ok(spec) => spec,
-                Err(error) => {
-                    return write_response(
-                        writer,
-                        &Response::failure(request.id, error.to_string()),
-                    )
-                }
-            };
-            match parse_run_options(body) {
-                Ok(options) => (spec, options),
-                Err(error) => return write_response(writer, &Response::failure(request.id, error)),
-            }
-        }
-        None => {
-            return write_response(
-                writer,
-                &Response::failure(request.id, "run request has no spec body"),
-            )
-        }
-    };
-    let plan = match crate::scheduler::expand_plan(&spec) {
-        Ok(plan) => plan,
-        Err(error) => {
-            return write_response(writer, &Response::failure(request.id, error.to_string()))
-        }
-    };
-
-    let started = Instant::now();
-    let subscription =
-        match shared
-            .engine
-            .submit_with(&plan.units, &shared.cache, run_options.options)
-        {
-            Ok(subscription) => subscription,
-            Err(AdmitError::Busy {
-                queued,
-                cap,
-                needed,
-            }) => {
-                // Typed rejection: the engine is exactly as it was, the
-                // client knows to back off and retry.
-                return write_response(
-                    writer,
-                    &Response::ok(request.id, "busy").with_body(JsonValue::Object(vec![
-                        ("queued".to_string(), JsonValue::integer(queued as u64)),
-                        ("cap".to_string(), JsonValue::integer(cap as u64)),
-                        ("needed".to_string(), JsonValue::integer(needed as u64)),
-                    ])),
-                );
-            }
-        };
-    // Register the run's cancel handle under its token (if any) only
-    // *after* admission, and hold it in a guard so every exit path —
-    // done, error, dead socket — deregisters it. Registering a token
-    // that is already active is refused (the first run owns it).
-    let mut guard = TokenGuard {
-        cancels: &shared.cancels,
-        token: None,
-    };
-    if let Some(token) = run_options.token {
-        let mut cancels = shared
-            .cancels
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if cancels.contains_key(&token) {
-            drop(cancels);
-            return write_response(
-                writer,
-                &Response::failure(request.id, format!("run_token '{token}' is already active")),
-            );
-        }
-        cancels.insert(token.clone(), subscription.cancel_handle());
-        drop(cancels);
-        guard.token = Some(token);
-    }
-    // The one assembly routine the CLI adapters also use, with a
-    // streaming observer: every unit response is written the moment the
-    // engine delivers it. The outer error is ours (dead client socket —
-    // propagate, the connection is gone; dropping the subscription then
-    // abandons whatever of the run nobody else is waiting on). The
-    // inner error is the campaign's (answer in-band or typed, the
-    // connection stays up).
-    let units = crate::scheduler::assemble_streamed(&plan, &subscription, |unit| {
-        write_response(
-            writer,
-            &Response::ok(request.id, "unit").with_body(unit_body(unit)),
-        )?;
-        shared.units_streamed.fetch_add(1, Ordering::Relaxed);
-        Ok::<(), ServiceError>(())
-    })?;
-    let units = match units {
-        Ok(units) => units,
-        Err(CampaignError::Cancelled { key }) => {
-            return write_response(
-                writer,
-                &Response::ok(request.id, "cancelled").with_body(JsonValue::Object(vec![(
-                    "unit".to_string(),
-                    JsonValue::String(key.to_string()),
-                )])),
-            );
-        }
-        Err(CampaignError::DeadlineExceeded { key }) => {
-            return write_response(
-                writer,
-                &Response::ok(request.id, "deadline_exceeded").with_body(JsonValue::Object(vec![
-                    ("unit".to_string(), JsonValue::String(key.to_string())),
-                ])),
-            );
-        }
-        Err(error) => {
-            return write_response(writer, &Response::failure(request.id, error.to_string()))
-        }
-    };
-    let report = CampaignReport::new(
-        units,
-        shared.engine.workers().clamp(1, plan.len().max(1)),
-        started.elapsed(),
-        shared.cache.stats(),
-    );
-    shared.runs.fetch_add(1, Ordering::Relaxed);
-    write_response(
-        writer,
-        &Response::ok(request.id, "done")
-            .with_body(done_body(&report, shared.cache.model_digest())),
-    )
-}
-
-/// Serve one `cancel` request: look the token up in the active-run
-/// registry and cancel that run's engine subscription. Cancelling a
-/// token that is not active — never registered, or its run already
-/// finished — is *not* an error (the race against normal completion is
-/// inherent); the ack reports `active: false` and zero counts.
-fn handle_cancel<T: Transport>(
-    shared: &Arc<ServiceShared<T>>,
-    request: &Request,
-    writer: &mut T::Stream,
-) -> Result<(), ServiceError> {
-    let token = request
-        .body
-        .as_ref()
-        .and_then(|body| body.get("token"))
-        .and_then(JsonValue::as_str)
-        .map(str::to_string);
-    let Some(token) = token else {
-        return write_response(
-            writer,
-            &Response::failure(request.id, "cancel request has no 'token'"),
-        );
-    };
-    let handle = shared
-        .cancels
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .get(&token)
-        .cloned();
-    let (active, outcome) = match handle {
-        Some(handle) => (true, handle.cancel()),
-        None => (false, Default::default()),
-    };
-    write_response(
-        writer,
-        &Response::ok(request.id, "cancelled").with_body(JsonValue::Object(vec![
-            ("token".to_string(), JsonValue::String(token)),
-            ("active".to_string(), JsonValue::Bool(active)),
-            (
-                "waiters_cancelled".to_string(),
-                JsonValue::integer(outcome.waiters_cancelled as u64),
-            ),
-            (
-                "jobs_abandoned".to_string(),
-                JsonValue::integer(outcome.jobs_abandoned as u64),
-            ),
-        ])),
-    )
 }
 
 /// How many events a `subscribe` connection may buffer before the
@@ -1024,49 +1509,10 @@ const SUBSCRIBE_BUFFER: usize = 1024;
 /// (the heartbeat write fails).
 const SUBSCRIBE_HEARTBEAT: Duration = Duration::from_secs(5);
 
-/// Serve one `subscribe` request: acknowledge, then stream one `event`
-/// response per lifecycle event until the client disconnects or the
-/// daemon drains. The connection is dedicated to the stream from here
-/// on (no further requests are read), and the loop parks in a bounded
-/// `recv_timeout` — not a socket read — so the shutdown drain never
-/// waits on a quiet subscriber for more than one poll interval.
-fn handle_subscribe<T: Transport>(
-    shared: &Arc<ServiceShared<T>>,
-    request: &Request,
-    writer: &mut T::Stream,
-) -> Result<(), ServiceError> {
-    let stream = shared.engine.subscribe_events(SUBSCRIBE_BUFFER);
-    write_response(writer, &Response::ok(request.id, "subscribed"))?;
-    let mut last_write = Instant::now();
-    loop {
-        if shared.shutdown.load(Ordering::Relaxed) {
-            // Drain: end the stream so the connection thread can exit.
-            return Ok(());
-        }
-        let event = match stream.recv_timeout(Duration::from_millis(100)) {
-            Ok(event) => event,
-            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
-                if last_write.elapsed() < SUBSCRIBE_HEARTBEAT {
-                    continue;
-                }
-                CampaignEvent::new(EventKind::Heartbeat)
-            }
-            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
-        };
-        let response = Response::ok(request.id, "event").with_body(event.to_json());
-        if write_response(writer, &response).is_err() {
-            // The client going away is the normal end of a subscription,
-            // not a connection error worth logging.
-            return Ok(());
-        }
-        last_write = Instant::now();
-    }
-}
-
 /// Render the full metrics exposition: service + engine counters, the
 /// point-in-time gauges, and one latency histogram per experiment —
 /// the same counter set `stats` reports, in scrapeable form.
-fn metrics_text<T: Transport>(shared: &ServiceShared<T>) -> String {
+fn metrics_text(shared: &ServiceShared) -> String {
     let summary = shared.summary();
     let gauges = shared.gauges();
     let cache = shared.cache.stats();
@@ -1150,6 +1596,18 @@ fn metrics_text<T: Transport>(shared: &ServiceShared<T>) -> String {
         summary.events_dropped,
     );
     exp.counter(
+        "oranges_reactor_wakeups_total",
+        "Reactor wakeups dispatched, by kind.",
+        &[("kind", "notify")],
+        summary.reactor_notify_wakeups,
+    );
+    exp.counter(
+        "oranges_reactor_wakeups_total",
+        "Reactor wakeups dispatched, by kind.",
+        &[("kind", "timer")],
+        summary.reactor_timer_wakeups,
+    );
+    exp.counter(
         "oranges_cache_lookups_total",
         "Warm-cache lookups, by result.",
         &[("result", "hit")],
@@ -1216,6 +1674,12 @@ fn metrics_text<T: Transport>(shared: &ServiceShared<T>) -> String {
         gauges.workers_alive as f64,
     );
     exp.gauge(
+        "oranges_reactor_registered_connections",
+        "Connections registered in the service reactor's table.",
+        &[],
+        gauges.reactor_registered_connections as f64,
+    );
+    exp.gauge(
         "oranges_workers_configured",
         "Engine worker threads configured at bind.",
         &[],
@@ -1236,12 +1700,6 @@ fn metrics_text<T: Transport>(shared: &ServiceShared<T>) -> String {
         );
     }
     exp.finish()
-}
-
-fn write_response(writer: &mut impl Write, response: &Response) -> Result<(), ServiceError> {
-    writer
-        .write_all(response.to_line().as_bytes())
-        .map_err(|e| io_err("writing response", e))
 }
 
 /// The `unit` response body: the unit's coordinates plus its full
@@ -1381,6 +1839,14 @@ fn stats_body(
             JsonValue::integer(summary.events_dropped),
         ),
         (
+            "reactor_notify_wakeups".to_string(),
+            JsonValue::integer(summary.reactor_notify_wakeups),
+        ),
+        (
+            "reactor_timer_wakeups".to_string(),
+            JsonValue::integer(summary.reactor_timer_wakeups),
+        ),
+        (
             "queue_depth".to_string(),
             JsonValue::integer(gauges.queue_depth),
         ),
@@ -1407,6 +1873,10 @@ fn stats_body(
         (
             "workers_alive".to_string(),
             JsonValue::integer(gauges.workers_alive),
+        ),
+        (
+            "reactor_registered_connections".to_string(),
+            JsonValue::integer(gauges.reactor_registered_connections),
         ),
     ])
 }
@@ -1805,6 +2275,8 @@ impl<T: Transport> ServiceClient<T> {
                 deadline_expired: counter("deadline_expired")?,
                 submissions_rejected: counter("submissions_rejected")?,
                 events_dropped: counter("events_dropped")?,
+                reactor_notify_wakeups: counter("reactor_notify_wakeups")?,
+                reactor_timer_wakeups: counter("reactor_timer_wakeups")?,
             },
             gauges: ServiceGauges {
                 queue_depth: counter("queue_depth")?,
@@ -1814,6 +2286,7 @@ impl<T: Transport> ServiceClient<T> {
                 units_inflight: counter("units_inflight")?,
                 event_subscribers: counter("event_subscribers")?,
                 workers_alive: counter("workers_alive")?,
+                reactor_registered_connections: counter("reactor_registered_connections")?,
             },
         })
     }
@@ -2056,6 +2529,8 @@ mod tests {
             deadline_expired: 0,
             submissions_rejected: 2,
             events_dropped: 2,
+            reactor_notify_wakeups: 7,
+            reactor_timer_wakeups: 3,
         };
         let gauges = ServiceGauges {
             queue_depth: 3,
@@ -2065,6 +2540,7 @@ mod tests {
             units_inflight: 5,
             event_subscribers: 1,
             workers_alive: 4,
+            reactor_registered_connections: 2,
         };
         let stats = stats_body(&report.cache, &digest, &summary, &gauges);
         assert_eq!(stats.get("runs").and_then(JsonValue::as_u64), Some(2));
@@ -2121,6 +2597,24 @@ mod tests {
         assert_eq!(
             stats.get("workers_alive").and_then(JsonValue::as_u64),
             Some(4)
+        );
+        assert_eq!(
+            stats
+                .get("reactor_notify_wakeups")
+                .and_then(JsonValue::as_u64),
+            Some(7)
+        );
+        assert_eq!(
+            stats
+                .get("reactor_timer_wakeups")
+                .and_then(JsonValue::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            stats
+                .get("reactor_registered_connections")
+                .and_then(JsonValue::as_u64),
+            Some(2)
         );
         assert_eq!(
             parse_cache_body(stats.get("cache").unwrap()).unwrap(),

@@ -29,6 +29,10 @@
 //!   addressing, the [`transport::Transport`] trait, Unix-domain and
 //!   TCP implementations) — what carries those envelopes between
 //!   hosts;
+//! - [`reactor`]: a minimal readiness event loop over nonblocking
+//!   [`transport::Stream`]s — registration table, wakeup channel,
+//!   level-triggered line framing, write queues, and timers — the I/O
+//!   plane the campaign service multiplexes its connections on;
 //! - [`env`](mod@env): the §4 environment record.
 //!
 //! Every measurement in the workspace flows through one typed record:
@@ -72,6 +76,7 @@ pub mod figure;
 pub mod json;
 pub mod metric;
 pub mod obs;
+pub mod reactor;
 pub mod stats;
 pub mod table;
 pub mod transport;

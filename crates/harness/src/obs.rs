@@ -587,6 +587,7 @@ impl CampaignEvent {
 struct Subscriber {
     id: u64,
     sender: SyncSender<CampaignEvent>,
+    notify: Option<Arc<dyn Fn() + Send + Sync>>,
 }
 
 #[derive(Default)]
@@ -623,13 +624,35 @@ impl EventBroadcaster {
     /// events. Events published while the buffer is full are dropped
     /// for this subscriber (and counted), not queued.
     pub fn subscribe(&self, capacity: usize) -> EventStream {
+        self.register(capacity, None)
+    }
+
+    /// Like [`subscribe`](EventBroadcaster::subscribe), but invoking
+    /// `notify` after each successfully buffered event — the hook a
+    /// readiness-driven consumer (the service reactor) installs so it
+    /// is woken instead of polling
+    /// [`try_recv`](EventStream::try_recv). Dropped (buffer-full)
+    /// events do not notify: there is nothing new to read.
+    pub fn subscribe_with_notify(
+        &self,
+        capacity: usize,
+        notify: Arc<dyn Fn() + Send + Sync>,
+    ) -> EventStream {
+        self.register(capacity, Some(notify))
+    }
+
+    fn register(
+        &self,
+        capacity: usize,
+        notify: Option<Arc<dyn Fn() + Send + Sync>>,
+    ) -> EventStream {
         let (sender, receiver) = std::sync::mpsc::sync_channel(capacity.max(1));
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         self.inner
             .subscribers
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .push(Subscriber { id, sender });
+            .push(Subscriber { id, sender, notify });
         EventStream {
             id,
             receiver,
@@ -647,7 +670,12 @@ impl EventBroadcaster {
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         subscribers.retain(|sub| match sub.sender.try_send(event.clone()) {
-            Ok(()) => true,
+            Ok(()) => {
+                if let Some(notify) = &sub.notify {
+                    notify();
+                }
+                true
+            }
             Err(TrySendError::Full(_)) => {
                 self.inner.dropped.fetch_add(1, Ordering::Relaxed);
                 true

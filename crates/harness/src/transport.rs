@@ -72,9 +72,30 @@ use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
+use std::os::fd::AsRawFd;
+#[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
+
+/// An opaque, connection-stable identity for readiness registration.
+///
+/// The reactor ([`crate::reactor`]) keys its registration table by its
+/// own generationed tokens; this is the *transport-level* identity a
+/// stream carries into that table — on unix targets it is the raw file
+/// descriptor number, which is what a `poll(2)`-style readiness set
+/// would be built from. Cloned handles of one connection share a
+/// descriptor table entry but not necessarily a number, so tokens are
+/// compared only for registration bookkeeping and diagnostics, never
+/// for connection equality across clones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReadinessToken(pub u64);
+
+impl fmt::Display for ReadinessToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fd:{}", self.0)
+    }
+}
 
 /// A malformed endpoint string.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -227,10 +248,23 @@ pub trait Stream: Read + Write + Send + Sized + 'static {
 
     /// Close the read half only; in-flight writes continue.
     fn shutdown_read(&self) -> io::Result<()>;
+
+    /// Switch the connection between blocking and nonblocking I/O.
+    ///
+    /// In nonblocking mode `read`/`write` return
+    /// [`io::ErrorKind::WouldBlock`] instead of parking the calling
+    /// thread — the mode every stream registered with the reactor
+    /// ([`crate::reactor`]) runs in. The mode is a property of the
+    /// connection, not the handle: it applies to clones too.
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()>;
+
+    /// The transport-level readiness identity of this connection (the
+    /// raw descriptor number on unix targets). See [`ReadinessToken`].
+    fn readiness_token(&self) -> ReadinessToken;
 }
 
 /// Accepts inbound [`Stream`]s for one bound endpoint.
-pub trait Listener: Send + Sized + 'static {
+pub trait Listener: Send + Sync + Sized + 'static {
     /// The stream type this listener produces.
     type Stream: Stream;
 
@@ -310,6 +344,14 @@ impl Stream for UnixStream {
 
     fn shutdown_read(&self) -> io::Result<()> {
         self.shutdown(std::net::Shutdown::Read)
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        UnixStream::set_nonblocking(self, nonblocking)
+    }
+
+    fn readiness_token(&self) -> ReadinessToken {
+        ReadinessToken(self.as_raw_fd() as u64)
     }
 }
 
@@ -409,6 +451,21 @@ impl Stream for TcpStream {
 
     fn shutdown_read(&self) -> io::Result<()> {
         self.shutdown(std::net::Shutdown::Read)
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        TcpStream::set_nonblocking(self, nonblocking)
+    }
+
+    fn readiness_token(&self) -> ReadinessToken {
+        #[cfg(unix)]
+        {
+            ReadinessToken(self.as_raw_fd() as u64)
+        }
+        #[cfg(not(unix))]
+        {
+            ReadinessToken(0)
+        }
     }
 }
 
@@ -569,6 +626,22 @@ impl Stream for AnyStream {
             #[cfg(unix)]
             AnyStream::Unix(stream) => stream.shutdown_read(),
             AnyStream::Tcp(stream) => Stream::shutdown_read(stream),
+        }
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            AnyStream::Unix(stream) => Stream::set_nonblocking(stream, nonblocking),
+            AnyStream::Tcp(stream) => Stream::set_nonblocking(stream, nonblocking),
+        }
+    }
+
+    fn readiness_token(&self) -> ReadinessToken {
+        match self {
+            #[cfg(unix)]
+            AnyStream::Unix(stream) => stream.readiness_token(),
+            AnyStream::Tcp(stream) => stream.readiness_token(),
         }
     }
 }
@@ -785,6 +858,58 @@ mod tests {
     #[test]
     fn tcp_read_half_shutdown_keeps_the_write_half() {
         read_half_shutdown_contract::<TcpTransport>(&"tcp:127.0.0.1:0".parse().unwrap());
+    }
+
+    /// The contract the reactor depends on: in nonblocking mode a read
+    /// from a silent peer returns `WouldBlock` instead of parking, data
+    /// that has arrived is still readable, and readiness tokens are
+    /// stable per connection and distinct across connections.
+    fn nonblocking_readiness_contract<T: Transport>(endpoint: &Endpoint) {
+        let listener = T::bind(endpoint).expect("bind");
+        let dial = listener.dial_endpoint().clone();
+        let mut client = T::connect(&dial).expect("connect");
+        let mut server = listener.accept().expect("accept");
+        server.set_nonblocking(true).expect("nonblocking mode");
+
+        let mut buffer = [0u8; 8];
+        let error = server.read(&mut buffer).expect_err("peer is silent");
+        assert_eq!(error.kind(), io::ErrorKind::WouldBlock, "{error}");
+
+        assert_eq!(server.readiness_token(), server.readiness_token());
+        assert_ne!(server.readiness_token(), client.readiness_token());
+
+        client.write_all(b"x").expect("send");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            match server.read(&mut buffer) {
+                Ok(n) => {
+                    assert_eq!(&buffer[..n], b"x");
+                    break;
+                }
+                Err(error) if error.kind() == io::ErrorKind::WouldBlock => {
+                    assert!(std::time::Instant::now() < deadline, "byte never arrived");
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                Err(error) => panic!("nonblocking read failed: {error}"),
+            }
+        }
+        listener.cleanup();
+    }
+
+    #[test]
+    fn tcp_nonblocking_reads_would_block_instead_of_parking() {
+        nonblocking_readiness_contract::<TcpTransport>(&"tcp:127.0.0.1:0".parse().unwrap());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_nonblocking_reads_would_block_instead_of_parking() {
+        let path = std::env::temp_dir().join(format!(
+            "oranges-transport-nonblock-{}.sock",
+            std::process::id()
+        ));
+        nonblocking_readiness_contract::<UnixTransport>(&Endpoint::Unix(path.clone()));
+        std::fs::remove_file(&path).ok();
     }
 
     #[cfg(unix)]

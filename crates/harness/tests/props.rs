@@ -3,13 +3,15 @@
 //! labels never dropped).
 
 use oranges_harness::csv::{parse, CsvWriter};
+use oranges_harness::envelope::{Request, Response};
 use oranges_harness::experiment::RepetitionProtocol;
-use oranges_harness::json::to_json_string;
+use oranges_harness::json::{to_json_string, JsonValue};
 use oranges_harness::metric::{self, MetricRow, MetricSet, MetricValue, PowerContext};
 use oranges_harness::obs::{
     escape_label_value, log_spaced_buckets, sanitize_label_name, sanitize_metric_name, Exposition,
     Histogram,
 };
+use oranges_harness::reactor::{FrameBuffer, WriteQueue};
 use oranges_harness::stats::{best_of, geometric_mean, Summary};
 use oranges_harness::table::TextTable;
 use oranges_harness::transport::Endpoint;
@@ -460,5 +462,160 @@ proptest! {
         let escaped = escape_label_value(&raw_value);
         prop_assert!(!escaped.contains('\n'));
         prop_assert!(!escaped.replace("\\\"", "").contains('"'));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Nonblocking wire framing: the reactor's FrameBuffer and WriteQueue
+// ---------------------------------------------------------------------
+
+/// A writer that accepts only as many bytes per call as its script
+/// allows — 0 means `WouldBlock` — cycling through the script: a peer
+/// whose socket buffer fills at awkward moments.
+struct ShortWriter {
+    accepted: Vec<u8>,
+    script: Vec<usize>,
+    calls: usize,
+}
+
+impl std::io::Write for ShortWriter {
+    fn write(&mut self, chunk: &[u8]) -> std::io::Result<usize> {
+        let cap = self.script[self.calls % self.script.len()];
+        self.calls += 1;
+        if cap == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WouldBlock,
+                "send buffer full",
+            ));
+        }
+        let take = cap.min(chunk.len());
+        self.accepted.extend_from_slice(&chunk[..take]);
+        Ok(take)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A recorded wire session: alternating request/response envelope
+/// lines whose payloads mix ASCII with 2-, 3-, and 4-byte UTF-8
+/// sequences, so arbitrary byte cuts land mid-character and
+/// mid-envelope.
+fn record_session(entries: &[(u64, String, String)]) -> Vec<String> {
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, (id, method, payload))| {
+            let body = JsonValue::Object(vec![(
+                "payload".to_string(),
+                JsonValue::String(payload.clone()),
+            )]);
+            if i % 2 == 0 {
+                Request::new(*id, method).with_body(body).to_line()
+            } else {
+                Response::ok(*id, method).with_body(body).to_line()
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    /// The framing invariant the whole nonblocking service rests on:
+    /// a recorded wire session cut at **arbitrary** byte boundaries —
+    /// mid-envelope, mid-UTF-8 sequence, empty segments — reassembles
+    /// through [`FrameBuffer`] into the exact original lines, each of
+    /// which still parses as its envelope. When the session ends
+    /// without a trailing newline (a peer that sends its last line and
+    /// hangs up), `take_remainder` recovers that final line too.
+    #[test]
+    fn wire_sessions_reassemble_across_arbitrary_segmentation(
+        entries in proptest::collection::vec(
+            (
+                proptest::prelude::any::<u64>(),
+                "[a-z_]{1,8}",
+                "[ -~éµλ中𝄞]{0,24}",
+            ),
+            1..8,
+        ),
+        raw_cuts in proptest::collection::vec(proptest::prelude::any::<usize>(), 0..16),
+        truncate_final_newline in proptest::prelude::any::<bool>(),
+    ) {
+        let lines = record_session(&entries);
+        let mut stream: Vec<u8> = lines.iter().flat_map(|l| l.bytes()).collect();
+        if truncate_final_newline {
+            stream.pop();
+        }
+
+        // Arbitrary segmentation: sorted unique cut indices into the
+        // byte stream, segments fed one at a time.
+        let mut cuts: Vec<usize> = raw_cuts.iter().map(|c| c % (stream.len() + 1)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        cuts.push(stream.len());
+
+        let mut buffer = FrameBuffer::new();
+        let mut reassembled = Vec::new();
+        let mut start = 0;
+        for cut in cuts {
+            buffer.extend(&stream[start..cut]);
+            start = cut;
+            while let Some(line) = buffer.next_line().expect("session bytes are valid UTF-8") {
+                reassembled.push(line);
+            }
+        }
+        if let Some(tail) = buffer.take_remainder().expect("tail is valid UTF-8") {
+            reassembled.push(tail);
+        }
+        prop_assert_eq!(buffer.buffered(), 0);
+
+        let expected: Vec<String> = lines
+            .iter()
+            .map(|l| l.trim_end_matches('\n').to_string())
+            .collect();
+        prop_assert_eq!(&reassembled, &expected, "byte-identical reassembly");
+        for (i, line) in reassembled.iter().enumerate() {
+            if i % 2 == 0 {
+                let request = Request::from_line(line).expect("request re-parses");
+                prop_assert_eq!(request.id, entries[i].0);
+                prop_assert_eq!(&request.method, &entries[i].1);
+            } else {
+                let response = Response::from_line(line).expect("response re-parses");
+                prop_assert_eq!(response.id, entries[i].0);
+                prop_assert_eq!(&response.kind, &entries[i].1);
+            }
+        }
+    }
+
+    /// The writer-side twin: a [`WriteQueue`] flushed into a peer that
+    /// takes arbitrarily few bytes per call (including `WouldBlock`
+    /// stalls) delivers the byte stream intact and in order, and the
+    /// queue's accounting (`pending`/`is_empty`) stays truthful
+    /// throughout.
+    #[test]
+    fn write_queue_delivers_exact_bytes_through_short_writes(
+        chunks in proptest::collection::vec("[ -~éµλ中𝄞]{0,48}", 1..12),
+        mut script in proptest::collection::vec(0usize..17, 1..8),
+    ) {
+        // Guarantee progress: at least one nonzero capacity per cycle.
+        script.push(16);
+        let mut queue = WriteQueue::new();
+        let mut writer = ShortWriter { accepted: Vec::new(), script, calls: 0 };
+        let mut expected = Vec::new();
+        for chunk in &chunks {
+            queue.enqueue(chunk.as_bytes());
+            expected.extend_from_slice(chunk.as_bytes());
+            // Interleave flush attempts with enqueues, as the reactor does.
+            queue.flush_into(&mut writer).expect("short writes are not errors");
+            prop_assert!(queue.pending() <= expected.len());
+        }
+        let mut spins = 0;
+        while !queue.is_empty() {
+            queue.flush_into(&mut writer).expect("short writes are not errors");
+            spins += 1;
+            prop_assert!(spins < 100_000, "flush loop must make progress");
+        }
+        prop_assert_eq!(&writer.accepted, &expected, "exact bytes, in order");
+        prop_assert_eq!(queue.pending(), 0);
     }
 }

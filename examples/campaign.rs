@@ -20,7 +20,10 @@
 //!                   tcp:hostA:7771,tcp:hostB:7771 — daemons started
 //!                   with `--example serve -- --listen …`), stream the
 //!                   results back, and emit one unified
-//!                   (value-identical) report
+//!                   (value-identical) report. Endpoints may repeat:
+//!                   the daemon's reactor multiplexes every connection
+//!                   off one event loop, so listing one daemon N times
+//!                   runs N shards against it concurrently
 //! ```
 
 use oranges_campaign::orchestrate;

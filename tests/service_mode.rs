@@ -802,6 +802,226 @@ fn cancelling_a_run_spares_a_coalesced_sibling_over<T: TestTransport>() {
     panic!("the cancel never beat the 16-unit victim across 3 attempts");
 }
 
+/// Soft fd limit for this process (Linux `/proc/self/limits`), if
+/// readable — the soak sizes its connection count to it.
+fn fd_soft_limit() -> Option<usize> {
+    let limits = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let line = limits.lines().find(|l| l.starts_with("Max open files"))?;
+    line.split_whitespace().nth(3)?.parse().ok()
+}
+
+/// One idle subscriber in the soak: a raw socket, the reassembly
+/// buffer for its event stream, and what it has seen so far.
+struct SoakSub<S> {
+    stream: S,
+    frame: oranges_harness::reactor::FrameBuffer,
+    acked: bool,
+    events: usize,
+    eof: bool,
+}
+
+/// One nonblocking read pass over every subscriber socket, reassembling
+/// and checking each framed response; returns how many streams have
+/// reached EOF. Any socket error other than `WouldBlock` fails the test
+/// — the drain contract is a *clean* EOF, not a reset.
+fn soak_drain_pass<S: oranges_harness::transport::Stream>(subs: &mut [SoakSub<S>]) -> usize {
+    use oranges_harness::envelope::Response;
+
+    let mut eofs = 0;
+    let mut chunk = [0u8; 8192];
+    for sub in subs.iter_mut() {
+        if sub.eof {
+            eofs += 1;
+            continue;
+        }
+        loop {
+            match sub.stream.read(&mut chunk) {
+                Ok(0) => {
+                    sub.eof = true;
+                    eofs += 1;
+                    break;
+                }
+                Ok(n) => {
+                    sub.frame.extend(&chunk[..n]);
+                    while let Some(line) = sub
+                        .frame
+                        .next_line()
+                        .expect("subscriber stream is valid UTF-8")
+                    {
+                        let response = Response::from_line(&line).expect("stream frames envelopes");
+                        if !sub.acked {
+                            assert_eq!(response.kind, "subscribed", "first frame is the ack");
+                            sub.acked = true;
+                        } else {
+                            assert_eq!(response.kind, "event", "subscribe streams only events");
+                            sub.events += 1;
+                        }
+                    }
+                }
+                Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(error) => panic!("subscriber socket failed (not a clean EOF): {error}"),
+            }
+        }
+    }
+    eofs
+}
+
+/// The connection-scaling soak (ignored by default; CI runs it at
+/// `--release`): one daemon holds ~1000 concurrent idle subscriptions
+/// as reactor table entries — not parked threads — while 8 active
+/// clients run overlapping campaigns through it. Exactly-once unit
+/// accounting holds across all 8 runs, no subscriber event is dropped
+/// (the load stays below the documented per-subscriber buffer bound),
+/// and the shutdown drain delivers a clean EOF to every stream.
+fn a_thousand_idle_subscribers_ride_along_eight_active_clients_over<T: TestTransport>() {
+    use oranges_harness::transport::Stream as _;
+    use std::io::Write;
+
+    // Size to the fd budget: each subscriber costs one fd on the test
+    // side and one in the daemon (same process), plus slack for the
+    // daemon's own plumbing.
+    let target: usize = 1000;
+    let subscribers = match fd_soft_limit() {
+        Some(limit) if limit < 2 * target + 128 => (limit.saturating_sub(128)) / 2,
+        _ => target,
+    };
+    assert!(
+        subscribers >= 64,
+        "fd limit too low for a meaningful soak; raise `ulimit -n`"
+    );
+
+    let (endpoint, daemon) = start_daemon::<T>("soak", |c| c);
+    let mut probe = ServiceClient::<T>::connect(&endpoint).expect("probe connect");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(180);
+
+    // Open every subscription, draining as we go so no subscriber is
+    // ever owed more than its buffer bound while the fleet builds up.
+    let mut subs: Vec<SoakSub<T::Stream>> = Vec::with_capacity(subscribers);
+    for i in 0..subscribers {
+        let mut stream = loop {
+            // The accept backlog can overflow while the fleet floods
+            // in; retry until the daemon catches up.
+            match T::connect(&endpoint) {
+                Ok(stream) => break stream,
+                Err(error) => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "connect {i} kept failing: {error}"
+                    );
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            }
+        };
+        stream
+            .write_all(format!("{{\"id\":{i},\"method\":\"subscribe\"}}\n").as_bytes())
+            .expect("send subscribe");
+        stream
+            .set_nonblocking(true)
+            .expect("subscriber goes nonblocking");
+        subs.push(SoakSub {
+            stream,
+            frame: oranges_harness::reactor::FrameBuffer::new(),
+            acked: false,
+            events: 0,
+            eof: false,
+        });
+        if i % 64 == 0 {
+            soak_drain_pass(&mut subs);
+        }
+    }
+    while !subs.iter().all(|s| s.acked) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "not every subscription was acknowledged"
+        );
+        soak_drain_pass(&mut subs);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    // The whole fleet is parked in the daemon: every subscriber (plus
+    // this probe) is a reactor table entry, and all of them are live
+    // event subscribers.
+    let stats = probe.stats().expect("stats under load");
+    assert_eq!(stats.gauges.event_subscribers as usize, subscribers);
+    assert_eq!(
+        stats.gauges.reactor_registered_connections as usize,
+        subscribers + 1,
+        "every idle subscription is a reactor table entry"
+    );
+    assert_eq!(stats.summary.active_connections as usize, subscribers + 1);
+    assert_eq!(stats.summary.events_dropped, 0);
+
+    // 8 active clients, all racing the same 4-unit spec: the engine
+    // must compute each distinct unit exactly once and serve the rest
+    // from coalescing joins or the warm cache.
+    let runners: Vec<_> = (0..8)
+        .map(|_| {
+            let endpoint = endpoint.clone();
+            std::thread::spawn(move || {
+                let mut client = ServiceClient::<T>::connect(&endpoint).expect("runner connect");
+                client.run(&small_spec()).expect("runner run")
+            })
+        })
+        .collect();
+    while runners.iter().any(|r| !r.is_finished()) {
+        assert!(std::time::Instant::now() < deadline, "runners hung");
+        soak_drain_pass(&mut subs);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let outcomes: Vec<_> = runners
+        .into_iter()
+        .map(|r| r.join().expect("runner thread"))
+        .collect();
+    let fingerprint = &outcomes[0].fingerprint;
+    for outcome in &outcomes {
+        assert_eq!(outcome.units.len(), 4);
+        assert_eq!(&outcome.fingerprint, fingerprint, "identical digests");
+    }
+
+    let stats = probe.stats().expect("stats after runs");
+    assert_eq!(
+        stats.summary.units_computed, 4,
+        "4 distinct units, each computed exactly once across 8 clients"
+    );
+    assert_eq!(
+        stats.summary.units_computed
+            + stats.summary.unit_cache_hits
+            + stats.summary.coalesced_joins
+            + stats.summary.units_failed
+            + stats.summary.units_cancelled,
+        32,
+        "all 8 x 4 submitted units accounted for"
+    );
+    assert_eq!(stats.summary.units_submitted, 32);
+    assert_eq!(
+        stats.summary.events_dropped, 0,
+        "no subscriber fell behind its buffer bound"
+    );
+
+    // Drain: every one of the streams must end in a clean EOF.
+    probe.shutdown().expect("shutdown");
+    while soak_drain_pass(&mut subs) < subscribers {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "drain left subscriber streams open"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    for sub in &subs {
+        assert!(sub.eof, "every stream saw EOF");
+        assert_eq!(sub.frame.buffered(), 0, "no torn frame at EOF");
+    }
+    assert!(
+        subs.iter().all(|s| s.events > 0),
+        "every subscriber saw lifecycle traffic"
+    );
+
+    let summary = daemon.join().expect("daemon");
+    assert_eq!(summary.events_dropped, 0);
+    assert_eq!(summary.active_connections, 0, "all drained");
+    assert_eq!(summary.connections as usize, subscribers + 9);
+}
+
 /// Instantiate the whole matrix for one transport.
 macro_rules! transport_matrix {
     ($module:ident, $transport:ty) => {
@@ -877,6 +1097,14 @@ macro_rules! transport_matrix {
             #[test]
             fn cancelling_a_run_spares_a_coalesced_sibling() {
                 cancelling_a_run_spares_a_coalesced_sibling_over::<$transport>();
+            }
+
+            /// Connection-scaling soak: expensive, so ignored by
+            /// default; CI runs it at `--release` with `-- --ignored`.
+            #[test]
+            #[ignore = "many-clients soak; run with --release -- --ignored"]
+            fn a_thousand_idle_subscribers_ride_along_eight_active_clients() {
+                a_thousand_idle_subscribers_ride_along_eight_active_clients_over::<$transport>();
             }
         }
     };
